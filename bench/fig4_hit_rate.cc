@@ -1,0 +1,79 @@
+// Reproduces paper Figure 4 (a/b/c): front-end cache hit rate vs cache
+// size for LRU, LFU, ARC, LRU-2, CoT and the theoretical perfect cache
+// (TPC), on Zipfian workloads with s = 0.90, 0.99, 1.20.
+//
+// Paper setup: 1M keys, 10M accesses, 20 clients each with its own cache;
+// the hit rate is a property of each private cache, so we measure one
+// cache per configuration. Tracker-to-cache ratios per the paper: 16:1 for
+// s=0.90, 8:1 for s=0.99, 4:1 for s=1.20 (LRU-2 history sized equally).
+// Expected shape: CoT ~ TPC at every size; CoT beats LRU/LFU with ~75%
+// fewer lines and ARC with ~50% fewer; the gap narrows as skew rises.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "util/random.h"
+#include "workload/zipfian_generator.h"
+
+namespace {
+
+using namespace cot;
+
+double MeasureHitRate(cache::Cache* cache, workload::ZipfianGenerator& gen,
+                      uint64_t total_ops, uint64_t seed) {
+  Rng rng(seed);
+  uint64_t warmup = total_ops / 2;
+  for (uint64_t i = 0; i < warmup; ++i) {
+    cache::Key k = gen.Next(rng);
+    if (!cache->Get(k).has_value()) cache->Put(k, k);
+  }
+  cache->ResetStats();
+  for (uint64_t i = warmup; i < total_ops; ++i) {
+    cache::Key k = gen.Next(rng);
+    if (!cache->Get(k).has_value()) cache->Put(k, k);
+  }
+  return cache->stats().HitRate();
+}
+
+int Run(bool full) {
+  bench::Banner("Figure 4", "hit rate vs cache size, 6 series x 3 skews",
+                full);
+
+  const uint64_t keys = full ? 1000000 : 100000;
+  const uint64_t ops = full ? 10000000 : 1000000;
+  std::vector<size_t> sizes = full
+      ? std::vector<size_t>{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+      : std::vector<size_t>{2, 8, 32, 128, 512};
+
+  for (double skew : {0.90, 0.99, 1.20}) {
+    size_t ratio = bench::TrackerRatioForSkew(skew);
+    std::printf("\n--- Zipfian %.2f (tracker/history ratio %zu:1) ---\n",
+                skew, ratio);
+    std::printf("%8s", "lines");
+    for (const auto& name : bench::PolicyNames()) {
+      std::printf(" %8s", name.c_str());
+    }
+    std::printf(" %8s\n", "tpc");
+    workload::ZipfianGenerator tpc(keys, skew);
+    for (size_t lines : sizes) {
+      std::printf("%8zu", lines);
+      for (const auto& name : bench::PolicyNames()) {
+        auto cache = bench::MakePolicy(name, lines, ratio);
+        workload::ZipfianGenerator gen(keys, skew);
+        double rate = MeasureHitRate(cache.get(), gen, ops, /*seed=*/42);
+        std::printf(" %7.1f%%", rate * 100.0);
+      }
+      std::printf(" %7.1f%%\n", tpc.TopCMass(lines) * 100.0);
+    }
+  }
+  std::printf("\nShape check: CoT tracks TPC at every size and skew; LRU "
+              "trails everything;\nLRU-2 is the closest static "
+              "competitor; the spread narrows as skew grows.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(cot::bench::FullScale(argc, argv)); }

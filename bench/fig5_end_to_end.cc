@@ -1,0 +1,107 @@
+// Reproduces paper Figure 5: end-to-end running time of 1M lookups issued
+// by 20 concurrent clients, for uniform / Zipf 0.99 / Zipf 1.20 workloads,
+// without a front-end cache and with a 512-line cache under each policy.
+//
+// Paper numbers (RTT 244us, same-cluster deployment, 10 repetitions with
+// 95% CIs): no-cache skewed runtimes are 8.9x (0.99) and 12.27x (1.2) the
+// uniform runtime, driven by thrashing at the most-loaded shard; a CoT
+// front-end cuts 70% / 88%; other policies cut 52-67% / 80-88%; on the
+// uniform workload all caches are statistically free (no overhead).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "metrics/summary.h"
+#include "sim/end_to_end_sim.h"
+
+namespace {
+
+using namespace cot;
+
+struct Workload {
+  const char* label;
+  workload::Distribution dist;
+  double skew;
+};
+
+int Run(bool full) {
+  bench::Banner("Figure 5",
+                "end-to-end runtime, 20 clients, 512-line front-ends", full);
+
+  const uint64_t ops = full ? 1000000 : 200000;
+  const int repetitions = full ? 10 : 3;
+  const size_t lines = 512;
+  sim::LatencyModel model;  // RTT 244us as in the paper
+
+  const Workload workloads[] = {
+      {"uniform", workload::Distribution::kUniform, 0.0},
+      {"zipf-0.99", workload::Distribution::kZipfian, 0.99},
+      {"zipf-1.20", workload::Distribution::kZipfian, 1.20},
+  };
+
+  std::printf("%10s %10s %14s %16s %14s\n", "workload", "policy",
+              "runtime(ms)", "95%ci(+/-ms)", "vs no-cache");
+  double uniform_nocache_ms = 0.0;
+  for (const Workload& w : workloads) {
+    cluster::ExperimentConfig config;
+    config.num_servers = 8;
+    config.num_clients = 20;
+    config.key_space = full ? 1000000 : 100000;
+    config.total_ops = ops;
+    workload::PhaseSpec phase;
+    phase.distribution = w.dist;
+    phase.skew = w.skew;
+    phase.read_fraction = 0.998;
+    config.phases = {phase};
+
+    size_t ratio = w.dist == workload::Distribution::kUniform
+                       ? 4
+                       : bench::TrackerRatioForSkew(w.skew);
+
+    double nocache_ms = 0.0;
+    std::vector<std::string> rows = {"none"};
+    for (const auto& name : bench::PolicyNames()) rows.push_back(name);
+    for (const auto& name : rows) {
+      metrics::Summary runtime_ms;
+      for (int rep = 0; rep < repetitions; ++rep) {
+        config.seed = 42 + static_cast<uint64_t>(rep) * 1000;
+        auto result = sim::RunEndToEnd(
+            config,
+            [&](uint32_t) { return bench::MakePolicy(name, lines, ratio); },
+            model);
+        if (!result.ok()) {
+          std::fprintf(stderr, "sim failed: %s\n",
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        runtime_ms.Add(result->makespan_us / 1000.0);
+      }
+      double mean = runtime_ms.mean();
+      if (name == "none") {
+        nocache_ms = mean;
+        if (w.dist == workload::Distribution::kUniform) {
+          uniform_nocache_ms = mean;
+        }
+      }
+      std::printf("%10s %10s %14.1f %16.1f %13.0f%%\n", w.label,
+                  name.c_str(), mean, runtime_ms.ci95_half_width(),
+                  100.0 * (1.0 - mean / nocache_ms));
+    }
+    if (w.dist != workload::Distribution::kUniform &&
+        uniform_nocache_ms > 0.0) {
+      std::printf("%10s  no-cache runtime is %.2fx the uniform no-cache "
+                  "runtime (paper: %.2fx)\n",
+                  w.label, nocache_ms / uniform_nocache_ms,
+                  w.skew < 1.0 ? 8.9 : 12.27);
+    }
+  }
+  std::printf("\nShape check: skewed no-cache runtimes are multiples of "
+              "uniform; CoT gives the largest cut;\nuniform rows show no "
+              "meaningful cache overhead.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(cot::bench::FullScale(argc, argv)); }

@@ -1,0 +1,113 @@
+// Reproduces paper Figure 6: end-to-end running time of 50K lookups issued
+// by a SINGLE client thread (1M/20), isolating skew effects from
+// client/server thrashing.
+//
+// Paper observations: without a front-end cache the Zipf 0.99 / 1.20 runs
+// take 3.2x / 4.5x the uniform run — proportional to the workloads'
+// imbalance factors (1.73 / 4.18) rather than the much larger thrashing-
+// amplified multiples of Figure 5 — and a small front-end cache makes the
+// skewed runs *faster* than uniform, because lookups are served locally.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "metrics/summary.h"
+#include "sim/end_to_end_sim.h"
+
+namespace {
+
+using namespace cot;
+
+struct Workload {
+  const char* label;
+  workload::Distribution dist;
+  double skew;
+};
+
+int Run(bool full) {
+  bench::Banner("Figure 6", "end-to-end runtime, ONE client, 50K lookups",
+                full);
+
+  const uint64_t ops = full ? 50000 : 20000;
+  const int repetitions = full ? 10 : 3;
+  const size_t lines = 512;
+  sim::LatencyModel model;
+
+  const Workload workloads[] = {
+      {"uniform", workload::Distribution::kUniform, 0.0},
+      {"zipf-0.99", workload::Distribution::kZipfian, 0.99},
+      {"zipf-1.20", workload::Distribution::kZipfian, 1.20},
+  };
+
+  std::printf("%10s %10s %14s %14s %14s\n", "workload", "policy",
+              "runtime(ms)", "vs no-cache", "max-backlog");
+  double uniform_nocache_ms = 0.0;
+  for (const Workload& w : workloads) {
+    cluster::ExperimentConfig config;
+    config.num_servers = 8;
+    config.num_clients = 1;
+    config.key_space = full ? 1000000 : 100000;
+    config.total_ops = ops;
+    workload::PhaseSpec phase;
+    phase.distribution = w.dist;
+    phase.skew = w.skew;
+    phase.read_fraction = 0.998;
+    config.phases = {phase};
+    size_t ratio = w.dist == workload::Distribution::kUniform
+                       ? 4
+                       : bench::TrackerRatioForSkew(w.skew);
+
+    double nocache_ms = 0.0;
+    std::vector<std::string> rows = {"none"};
+    for (const auto& name : bench::PolicyNames()) rows.push_back(name);
+    for (const auto& name : rows) {
+      metrics::Summary runtime_ms;
+      double backlog = 0.0;
+      for (int rep = 0; rep < repetitions; ++rep) {
+        config.seed = 7 + static_cast<uint64_t>(rep) * 1000;
+        auto result = sim::RunEndToEnd(
+            config,
+            [&](uint32_t) { return bench::MakePolicy(name, lines, ratio); },
+            model);
+        if (!result.ok()) {
+          std::fprintf(stderr, "sim failed: %s\n",
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        runtime_ms.Add(result->makespan_us / 1000.0);
+        backlog = std::max(backlog, result->max_backlog);
+      }
+      double mean = runtime_ms.mean();
+      if (name == "none") {
+        nocache_ms = mean;
+        if (w.dist == workload::Distribution::kUniform) {
+          uniform_nocache_ms = mean;
+        }
+      }
+      std::printf("%10s %10s %14.1f %13.0f%% %14.1f\n", w.label,
+                  name.c_str(), mean, 100.0 * (1.0 - mean / nocache_ms),
+                  backlog);
+    }
+    if (w.dist != workload::Distribution::kUniform &&
+        uniform_nocache_ms > 0.0) {
+      std::printf("%10s  no-cache runtime is %.2fx uniform (paper: %.1fx; "
+                  "imbalance factor %.2f)\n",
+                  w.label, nocache_ms / uniform_nocache_ms,
+                  w.skew < 1.0 ? 3.2 : 4.5, w.skew < 1.0 ? 1.73 : 4.18);
+    }
+  }
+  std::printf("\nShape check: skew slows even a single client (no "
+              "thrashing: backlog ~0) and the penalty grows with the\n"
+              "imbalance factor; with a front-end cache the skewed runs "
+              "become cheaper than uniform, as in the paper.\nNote: the "
+              "paper's 3.2x/4.5x magnitudes imply server-side degradation "
+              "(e.g. paging 750 KB values in 4 GB\ninstances) that our "
+              "traffic-share service model reproduces only "
+              "directionally — see EXPERIMENTS.md.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(cot::bench::FullScale(argc, argv)); }

@@ -1,0 +1,74 @@
+// Reproduces the paper's appendix figure ("Effect of Tracker Size on
+// CoT's Hit Rate"): cache hit rate as the tracker size K grows while the
+// cache size C stays fixed, on Zipfian 0.99.
+//
+// Paper setup: 10M accesses, C in {1,3,7,...,511}, K >= 2C. Expected
+// shape: the first tracker doublings raise the hit rate sharply (up to
+// ~2.88x for small caches), then the curve saturates around K = 16C —
+// which is exactly the ratio CoT's phase-1 discovery converges to for
+// this workload.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/cot_cache.h"
+#include "util/random.h"
+#include "workload/zipfian_generator.h"
+
+namespace {
+
+using namespace cot;
+
+double MeasureHitRate(size_t cache_lines, size_t tracker_lines,
+                      uint64_t keys, uint64_t ops) {
+  core::CotCache cache(cache_lines, tracker_lines);
+  workload::ZipfianGenerator gen(keys, 0.99);
+  Rng rng(42);
+  uint64_t warmup = ops / 2;
+  for (uint64_t i = 0; i < warmup; ++i) {
+    cache::Key k = gen.Next(rng);
+    if (!cache.Get(k).has_value()) cache.Put(k, k);
+  }
+  cache.ResetStats();
+  for (uint64_t i = warmup; i < ops; ++i) {
+    cache::Key k = gen.Next(rng);
+    if (!cache.Get(k).has_value()) cache.Put(k, k);
+  }
+  return cache.stats().HitRate();
+}
+
+int Run(bool full) {
+  bench::Banner("Appendix figure", "hit rate vs tracker size at fixed "
+                                   "cache size (Zipf 0.99)", full);
+
+  const uint64_t keys = full ? 1000000 : 100000;
+  const uint64_t ops = full ? 10000000 : 1000000;
+  std::vector<size_t> cache_sizes =
+      full ? std::vector<size_t>{1, 3, 7, 15, 31, 63, 127, 255, 511}
+           : std::vector<size_t>{1, 7, 31, 127, 511};
+  std::vector<size_t> ratios = {2, 4, 8, 16, 32};
+
+  std::printf("%8s", "C \\ K/C");
+  for (size_t r : ratios) std::printf(" %7zux", r);
+  std::printf("\n");
+  for (size_t c : cache_sizes) {
+    std::printf("%8zu", c);
+    double prev = 0.0;
+    for (size_t r : ratios) {
+      double rate = MeasureHitRate(c, r * c, keys, ops);
+      std::printf(" %7.2f%%", rate * 100.0);
+      prev = rate;
+    }
+    (void)prev;
+    std::printf("\n");
+  }
+  std::printf("\nShape check: each row rises steeply through the first "
+              "doublings and flattens by ~16x;\nsmall caches gain the "
+              "most from extra tracking.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(cot::bench::FullScale(argc, argv)); }

@@ -1,0 +1,87 @@
+// Microbenchmarks (google-benchmark) for the per-operation costs the
+// paper's Section 5.3 argues are negligible: each replacement policy's
+// read-through access, the space-saving tracker update, and the
+// consistent-hash lookup. LFU/LRU-2/CoT pay O(log C) heap maintenance;
+// the end-to-end experiments show this disappears against even a
+// same-rack RTT.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "cluster/consistent_hash_ring.h"
+#include "core/space_saving_tracker.h"
+#include "util/random.h"
+#include "workload/zipfian_generator.h"
+
+namespace {
+
+using namespace cot;
+
+constexpr uint64_t kKeys = 100000;
+constexpr size_t kLines = 512;
+
+void PolicyAccessLoop(benchmark::State& state, const char* policy) {
+  auto cache = bench::MakePolicy(policy, kLines,
+                                 bench::TrackerRatioForSkew(0.99));
+  workload::ZipfianGenerator gen(kKeys, 0.99);
+  Rng rng(42);
+  for (auto _ : state) {
+    cache::Key k = gen.Next(rng);
+    auto v = cache->Get(k);
+    if (!v.has_value()) cache->Put(k, k);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_LruAccess(benchmark::State& state) { PolicyAccessLoop(state, "lru"); }
+void BM_LfuAccess(benchmark::State& state) { PolicyAccessLoop(state, "lfu"); }
+void BM_ArcAccess(benchmark::State& state) { PolicyAccessLoop(state, "arc"); }
+void BM_Lru2Access(benchmark::State& state) {
+  PolicyAccessLoop(state, "lru-2");
+}
+void BM_CotAccess(benchmark::State& state) { PolicyAccessLoop(state, "cot"); }
+
+void BM_TrackerTrackAccess(benchmark::State& state) {
+  core::SpaceSavingTracker tracker(static_cast<size_t>(state.range(0)));
+  workload::ZipfianGenerator gen(kKeys, 0.99);
+  Rng rng(42);
+  for (auto _ : state) {
+    auto r = tracker.TrackAccess(gen.Next(rng), core::AccessType::kRead);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RingLookup(benchmark::State& state) {
+  cluster::ConsistentHashRing ring(8, static_cast<uint32_t>(state.range(0)));
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.ServerFor(rng.NextUint64()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ZipfianNext(benchmark::State& state) {
+  workload::ZipfianGenerator gen(1000000, 0.99);
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_LruAccess);
+BENCHMARK(BM_LfuAccess);
+BENCHMARK(BM_ArcAccess);
+BENCHMARK(BM_Lru2Access);
+BENCHMARK(BM_CotAccess);
+BENCHMARK(BM_TrackerTrackAccess)->Arg(512)->Arg(4096)->Arg(32768);
+BENCHMARK(BM_RingLookup)->Arg(128)->Arg(16384);
+BENCHMARK(BM_ZipfianNext);
+
+}  // namespace
+
+BENCHMARK_MAIN();

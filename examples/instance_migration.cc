@@ -1,0 +1,105 @@
+// instance_migration: warm handoff across front-end instance generations.
+//
+// The paper motivates CoT with the elasticity *and migration flexibility*
+// of the cloud: front-end instances are routinely replaced (spot
+// reclamation, deploys, autoscaling). A freshly started replacement with
+// a cold cache re-exposes the back-end to the full workload skew until it
+// re-learns the heavy hitters. `CotCache::ExportState`/`ImportState`
+// hands the tracker+cache knowledge to the successor, so the back-end
+// never sees the skew spike.
+//
+// Build & run:  ./build/examples/instance_migration
+
+#include <cstdio>
+#include <memory>
+
+#include "cluster/cache_cluster.h"
+#include "cluster/frontend_client.h"
+#include "core/cot_cache.h"
+#include "metrics/imbalance.h"
+#include "workload/op_stream.h"
+
+namespace {
+
+constexpr uint64_t kKeySpace = 200000;
+
+// Serves `ops` operations and reports the back-end imbalance and the local
+// hit rate over exactly that window.
+struct WindowReport {
+  double imbalance;
+  double hit_rate;
+};
+
+WindowReport ServeWindow(cot::cluster::CacheCluster& cluster,
+                         cot::cluster::FrontendClient& client,
+                         cot::workload::OpStream& stream, uint64_t ops) {
+  cluster.ResetServerCounters();
+  uint64_t hits_before = client.stats().local_hits;
+  uint64_t reads_before = client.stats().reads;
+  for (uint64_t i = 0; i < ops; ++i) client.Apply(stream.Next());
+  double hit_rate =
+      static_cast<double>(client.stats().local_hits - hits_before) /
+      static_cast<double>(client.stats().reads - reads_before);
+  return WindowReport{
+      cot::metrics::LoadImbalance(cluster.PerServerLookups()), hit_rate};
+}
+
+}  // namespace
+
+int main() {
+  cot::cluster::CacheCluster cluster(8, kKeySpace);
+  cot::workload::PhaseSpec zipf;
+  zipf.distribution = cot::workload::Distribution::kZipfian;
+  zipf.skew = 1.2;
+  zipf.read_fraction = 0.998;
+  zipf.num_ops = 0;
+  auto stream = cot::workload::OpStream::Create(kKeySpace, {zipf}, 42);
+  if (!stream.ok()) return 1;
+
+  // Generation 1 warms up and reaches balance.
+  auto gen1 = std::make_unique<cot::cluster::FrontendClient>(
+      &cluster, std::make_unique<cot::core::CotCache>(512, 2048));
+  WindowReport warm = ServeWindow(cluster, *gen1, *stream, 1000000);
+  std::printf("generation 1 (warm):      imbalance %.2f, hit rate %.1f%%\n",
+              warm.imbalance, warm.hit_rate * 100.0);
+
+  // Export its knowledge before it is torn down.
+  auto* gen1_cache = dynamic_cast<cot::core::CotCache*>(gen1->local_cache());
+  auto handoff = gen1_cache->ExportState();
+  std::printf("handoff payload:          %zu tracked keys (%zu with cached "
+              "values) — %.1f KB of metadata\n",
+              handoff.size(),
+              static_cast<size_t>(std::count_if(
+                  handoff.begin(), handoff.end(),
+                  [](const auto& e) { return e.value.has_value(); })),
+              handoff.size() * 24.0 / 1024.0);
+  gen1.reset();  // instance reclaimed
+
+  // A cold generation 2, for contrast.
+  {
+    cot::cluster::FrontendClient cold(
+        &cluster, std::make_unique<cot::core::CotCache>(512, 2048));
+    WindowReport report = ServeWindow(cluster, cold, *stream, 10000);
+    std::printf("generation 2, first 10k ops, cold: imbalance %.2f, hit rate "
+                "%.1f%%   <- the back-end eats the skew again\n",
+                report.imbalance, report.hit_rate * 100.0);
+  }
+
+  // Warm-started generation 2.
+  {
+    cot::cluster::FrontendClient warm2(
+        &cluster, std::make_unique<cot::core::CotCache>(512, 2048));
+    auto* cache = dynamic_cast<cot::core::CotCache*>(warm2.local_cache());
+    cache->ImportState(handoff);
+    WindowReport report = ServeWindow(cluster, warm2, *stream, 10000);
+    std::printf("generation 2, first 10k ops, warm: imbalance %.2f, hit rate "
+                "%.1f%%   <- no relearning window\n",
+                report.imbalance, report.hit_rate * 100.0);
+  }
+
+  std::printf("\nThe handoff is tracker metadata plus value handles — tiny "
+              "compared to re-warming against the\nback-end, and exactly "
+              "the state the space-saving tracker guarantees to be the "
+              "workload's top-K.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: drop a CoT front-end cache in front of any key/value
+// back-end.
+//
+// The cache stores fixed-size value handles (like memcached item
+// pointers); this example keeps the actual payloads in a side store keyed
+// by handle, the pattern a real front-end server would use for blobs.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+#include "core/cot_cache.h"
+#include "util/random.h"
+#include "workload/key_space.h"
+#include "workload/zipfian_generator.h"
+
+int main() {
+  // A CoT cache with 64 lines, tracking 512 keys (8:1 — the ratio CoT's
+  // resizer discovers for Zipfian 0.99; see examples/social_feed.cc for
+  // fully automatic sizing).
+  cot::core::CotCache cache(/*cache_capacity=*/64, /*tracker_capacity=*/512);
+
+  // Payload side store: handle -> bytes. The "database" below fabricates a
+  // profile blob on demand.
+  std::unordered_map<cot::cache::Value, std::string> payloads;
+  cot::cache::Value next_handle = 1;
+  auto fetch_from_database = [&](const std::string& key) {
+    cot::cache::Value handle = next_handle++;
+    payloads[handle] = "profile{" + key + "}";
+    return handle;
+  };
+
+  // 100k lookups over a million-profile table, Zipfian-skewed like real
+  // social traffic.
+  cot::workload::KeySpace keys(1000000);
+  cot::workload::ZipfianGenerator popularity(keys.size(), 0.99);
+  cot::Rng rng(2024);
+
+  for (int i = 0; i < 100000; ++i) {
+    cot::workload::Key id = popularity.Next(rng);
+    std::string key = keys.Format(id);
+
+    std::optional<cot::cache::Value> handle = cache.Get(id);
+    if (!handle.has_value()) {
+      // Miss: fetch from the slow path and *offer* it to the cache. CoT
+      // admits it only if it is hotter than the coldest resident key.
+      cot::cache::Value fresh = fetch_from_database(key);
+      cache.Put(id, fresh);
+      handle = fresh;
+    }
+    (void)payloads[*handle];  // use the payload
+  }
+
+  const cot::cache::CacheStats& stats = cache.stats();
+  std::printf("lookups:        %llu\n",
+              static_cast<unsigned long long>(stats.lookups()));
+  std::printf("hit rate:       %.1f%% with only %zu cache lines\n",
+              stats.HitRate() * 100.0, cache.capacity());
+  std::printf("admissions:     %llu (Put offers declined: the admission "
+              "filter at work)\n",
+              static_cast<unsigned long long>(stats.insertions));
+  std::printf("h_min:          %.1f (hotness a newcomer must beat)\n",
+              cache.MinCachedHotness().value_or(0.0));
+
+  // Updates invalidate and, via the dual-cost model, push churn-heavy keys
+  // out of contention.
+  cot::workload::Key hot_key = 0;
+  cache.Invalidate(hot_key);
+  std::printf("after update:   key %llu invalidated, tracker hotness %.1f\n",
+              static_cast<unsigned long long>(hot_key),
+              cache.tracker().HotnessOf(hot_key).value_or(0.0));
+  return 0;
+}

@@ -1,0 +1,99 @@
+// social_feed: the paper's motivating deployment — front-end servers in
+// different regions see different local trends (#miami vs #ny), so a "one
+// size fits all" front-end cache wastes memory in one region and fails to
+// balance in another. Each front-end here runs CoT with elastic resizing
+// against a shared 8-shard caching tier; every region converges to its
+// own cache size with no coordination.
+//
+// Build & run:  ./build/examples/social_feed
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cluster/cache_cluster.h"
+#include "cluster/frontend_client.h"
+#include "core/cot_cache.h"
+#include "core/elastic_resizer.h"
+#include "workload/op_stream.h"
+
+namespace {
+
+struct Region {
+  const char* name;
+  double skew;          // how "trendy" the region's traffic is
+  uint64_t permute_seed;  // different regions trend on different keys
+};
+
+}  // namespace
+
+int main() {
+  constexpr uint64_t kKeySpace = 200000;
+  constexpr uint64_t kOpsPerRegion = 3000000;
+
+  cot::cluster::CacheCluster cluster(/*num_servers=*/8, kKeySpace);
+
+  const Region regions[] = {
+      {"new-york", 1.2, 11},   // heavy local trends
+      {"green-bay", 0.9, 22},  // mild skew
+      {"suburbs", 0.0, 33},    // no trends at all (uniform)
+  };
+
+  std::vector<std::unique_ptr<cot::cluster::FrontendClient>> clients;
+  std::vector<cot::workload::OpStream> streams;
+  for (const Region& region : regions) {
+    // Every region starts from the same tiny configuration...
+    auto client = std::make_unique<cot::cluster::FrontendClient>(
+        &cluster, std::make_unique<cot::core::CotCache>(2, 4));
+    cot::core::ResizerConfig config;
+    config.target_imbalance = 1.1;  // the only operator input
+    config.warmup_epochs = 2;
+    if (!client->EnableElasticResizing(config).ok()) return 1;
+    clients.push_back(std::move(client));
+
+    cot::workload::PhaseSpec phase;
+    if (region.skew == 0.0) {
+      phase.distribution = cot::workload::Distribution::kUniform;
+    } else {
+      // Permuted so each region's hot set is a different slice of keys.
+      phase.distribution = cot::workload::Distribution::kPermutedZipfian;
+      phase.skew = region.skew;
+      phase.permute_seed = region.permute_seed;
+    }
+    phase.read_fraction = 0.998;
+    phase.num_ops = kOpsPerRegion;
+    auto stream = cot::workload::OpStream::Create(kKeySpace, {phase},
+                                                  region.permute_seed);
+    if (!stream.ok()) return 1;
+    streams.push_back(std::move(stream).value());
+  }
+
+  // Regions serve traffic concurrently (round-robin interleave).
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (size_t i = 0; i < clients.size(); ++i) {
+      if (streams[i].Done()) continue;
+      clients[i]->Apply(streams[i].Next());
+      progressed = true;
+    }
+  }
+
+  std::printf("%-10s %6s %12s %14s %12s %10s\n", "region", "skew",
+              "cache-lines", "tracker-lines", "hit-rate", "I_c");
+  for (size_t i = 0; i < clients.size(); ++i) {
+    auto* cache =
+        dynamic_cast<cot::core::CotCache*>(clients[i]->local_cache());
+    const auto& history = clients[i]->resizer()->history();
+    double ic = history.empty() ? 1.0 : history.back().smoothed_imbalance;
+    std::printf("%-10s %6.2f %12zu %14zu %11.1f%% %10.2f\n",
+                regions[i].name, regions[i].skew, cache->capacity(),
+                cache->tracker_capacity(),
+                clients[i]->stats().LocalHitRate() * 100.0, ic);
+  }
+  std::printf("\nEach region sized itself: the trend-heavy region grew a "
+              "real cache, the mild one stayed small,\nand the uniform "
+              "region kept (near) none — same I_t, no coordination, no "
+              "shared state.\n");
+  return 0;
+}

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Runs every paper-reproduction bench at the given scale.
+# Usage: scripts/run_all_benches.sh [--full]
+set -e
+cd "$(dirname "$0")/.."
+for b in build/bench/*; do
+  echo "================================================================"
+  echo "$b $*"
+  "$b" "$@"
+done

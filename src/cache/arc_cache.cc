@@ -1,0 +1,190 @@
+#include "cache/arc_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cot::cache {
+
+ArcCache::ArcCache(size_t capacity) : capacity_(capacity) {}
+
+std::list<Key>& ArcCache::ListFor(ListId id) {
+  switch (id) {
+    case ListId::kT1:
+      return t1_;
+    case ListId::kT2:
+      return t2_;
+    case ListId::kB1:
+      return b1_;
+    case ListId::kB2:
+      return b2_;
+  }
+  return t1_;  // unreachable
+}
+
+void ArcCache::MoveTo(Key key, ListId target) {
+  auto it = dir_.find(key);
+  assert(it != dir_.end());
+  bool was_resident =
+      it->second.list == ListId::kT1 || it->second.list == ListId::kT2;
+  bool now_resident = target == ListId::kT1 || target == ListId::kT2;
+  ListFor(it->second.list).erase(it->second.pos);
+  std::list<Key>& dst = ListFor(target);
+  dst.push_front(key);
+  it->second.list = target;
+  it->second.pos = dst.begin();
+  if (was_resident && !now_resident) --resident_;
+  if (!was_resident && now_resident) ++resident_;
+}
+
+void ArcCache::Remove(Key key) {
+  auto it = dir_.find(key);
+  assert(it != dir_.end());
+  if (it->second.list == ListId::kT1 || it->second.list == ListId::kT2) {
+    --resident_;
+  }
+  ListFor(it->second.list).erase(it->second.pos);
+  dir_.erase(it);
+}
+
+void ArcCache::Replace(bool key_was_in_b2) {
+  // REPLACE(x, p) from the ARC paper: evict from T1 when it exceeds the
+  // target (or exactly meets it and the request came through B2), else
+  // from T2; the victim's key survives in the matching ghost list.
+  //
+  // Classic ARC only reaches REPLACE with a full cache. Our API adds
+  // Invalidate(), which can leave ghosts behind with free resident slots;
+  // in that state there is nothing to evict and REPLACE is a no-op.
+  if (resident_ < capacity_) return;
+  if (!t1_.empty() &&
+      (static_cast<double>(t1_.size()) > p_ ||
+       (key_was_in_b2 && static_cast<double>(t1_.size()) == p_))) {
+    Key victim = t1_.back();
+    MoveTo(victim, ListId::kB1);
+  } else {
+    assert(!t2_.empty());
+    Key victim = t2_.back();
+    MoveTo(victim, ListId::kB2);
+  }
+  ++stats_.evictions;
+}
+
+std::optional<Value> ArcCache::Get(Key key) {
+  auto it = dir_.find(key);
+  if (it == dir_.end() ||
+      (it->second.list != ListId::kT1 && it->second.list != ListId::kT2)) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  // Case I: hit — promote to the frequency list.
+  Value v = it->second.value;
+  MoveTo(key, ListId::kT2);
+  ++stats_.hits;
+  return v;
+}
+
+void ArcCache::Put(Key key, Value value) {
+  if (capacity_ == 0) return;
+  const double c = static_cast<double>(capacity_);
+  auto it = dir_.find(key);
+  if (it != dir_.end()) {
+    switch (it->second.list) {
+      case ListId::kT1:
+      case ListId::kT2:
+        // Already resident: refresh value and treat as a frequency signal.
+        it->second.value = value;
+        MoveTo(key, ListId::kT2);
+        return;
+      case ListId::kB1: {
+        // Case II: ghost hit on the recency side — grow p.
+        double delta = b1_.size() >= b2_.size()
+                           ? 1.0
+                           : static_cast<double>(b2_.size()) /
+                                 static_cast<double>(b1_.size());
+        p_ = std::min(c, p_ + delta);
+        Replace(/*key_was_in_b2=*/false);
+        MoveTo(key, ListId::kT2);
+        dir_[key].value = value;
+        ++stats_.insertions;
+        return;
+      }
+      case ListId::kB2: {
+        // Case III: ghost hit on the frequency side — shrink p.
+        double delta = b2_.size() >= b1_.size()
+                           ? 1.0
+                           : static_cast<double>(b1_.size()) /
+                                 static_cast<double>(b2_.size());
+        p_ = std::max(0.0, p_ - delta);
+        Replace(/*key_was_in_b2=*/true);
+        MoveTo(key, ListId::kT2);
+        dir_[key].value = value;
+        ++stats_.insertions;
+        return;
+      }
+    }
+  }
+  // Case IV: completely new key.
+  if (t1_.size() + b1_.size() == capacity_) {
+    // Case IV(a).
+    if (t1_.size() < capacity_) {
+      Remove(b1_.back());
+      Replace(/*key_was_in_b2=*/false);
+    } else {
+      // B1 is empty and T1 is full: discard T1's LRU outright.
+      Remove(t1_.back());
+      ++stats_.evictions;
+    }
+  } else if (t1_.size() + b1_.size() < capacity_) {
+    // Case IV(b).
+    size_t total = t1_.size() + t2_.size() + b1_.size() + b2_.size();
+    if (total >= capacity_) {
+      if (total == 2 * capacity_) Remove(b2_.back());
+      Replace(/*key_was_in_b2=*/false);
+    }
+  }
+  t1_.push_front(key);
+  dir_[key] = Entry{ListId::kT1, t1_.begin(), value};
+  ++resident_;
+  ++stats_.insertions;
+}
+
+void ArcCache::Invalidate(Key key) {
+  auto it = dir_.find(key);
+  if (it == dir_.end()) return;
+  if (it->second.list == ListId::kT1 || it->second.list == ListId::kT2) {
+    ++stats_.invalidations;
+  }
+  Remove(key);
+}
+
+bool ArcCache::Contains(Key key) const {
+  auto it = dir_.find(key);
+  return it != dir_.end() &&
+         (it->second.list == ListId::kT1 || it->second.list == ListId::kT2);
+}
+
+size_t ArcCache::size() const { return resident_; }
+
+Status ArcCache::Resize(size_t /*new_capacity*/) {
+  return Status::Unimplemented(
+      "ARC defines its invariants for a fixed capacity c; see CoT for an "
+      "elastic policy");
+}
+
+ArcCache::ListSizes ArcCache::list_sizes() const {
+  return ListSizes{t1_.size(), t2_.size(), b1_.size(), b2_.size()};
+}
+
+bool ArcCache::CheckInvariants() const {
+  size_t c = capacity_;
+  if (t1_.size() + t2_.size() > c) return false;
+  if (t1_.size() + b1_.size() > c) return false;
+  if (t1_.size() + t2_.size() + b1_.size() + b2_.size() > 2 * c) return false;
+  if (p_ < 0.0 || p_ > static_cast<double>(c)) return false;
+  if (resident_ != t1_.size() + t2_.size()) return false;
+  if (dir_.size() != t1_.size() + t2_.size() + b1_.size() + b2_.size()) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cot::cache

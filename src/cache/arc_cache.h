@@ -1,0 +1,87 @@
+#ifndef COT_CACHE_ARC_CACHE_H_
+#define COT_CACHE_ARC_CACHE_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/cache.h"
+
+namespace cot::cache {
+
+/// Adaptive Replacement Cache (Megiddo & Modha, FAST 2003) — the strongest
+/// self-tuning fixed-size baseline the paper compares against.
+///
+/// ARC partitions resident entries into a recency list T1 and a frequency
+/// list T2, shadowed by ghost lists B1/B2 that remember recently evicted
+/// keys (metadata only). A hit in B1 ("we evicted this from the recency
+/// side too early") grows the adaptation target `p` for T1; a hit in B2
+/// shrinks it. The REPLACE subroutine moves entries between the lists to
+/// track `p`.
+///
+/// The paper's critique (Section 3): ARC admits *every* missed key into T1,
+/// so under a heavy-tailed workload each one-hit-wonder momentarily costs a
+/// slot that a heavy hitter could hold. CoT's tracker-gated admission
+/// avoids exactly that cost.
+///
+/// Invariant (from the paper): |T1|+|T2| <= c, |T1|+|B1| <= c,
+/// |T1|+|T2|+|B1|+|B2| <= 2c, and 0 <= p <= c.
+class ArcCache : public Cache {
+ public:
+  /// Creates an ARC cache of `capacity` resident entries (ghost lists hold
+  /// up to the same number of keys again, metadata only).
+  explicit ArcCache(size_t capacity);
+
+  std::optional<Value> Get(Key key) override;
+  void Put(Key key, Value value) override;
+  void Invalidate(Key key) override;
+  bool Contains(Key key) const override;
+  size_t size() const override;
+  size_t capacity() const override { return capacity_; }
+
+  /// ARC has no published resize semantics (`p`, ghost sizes and the
+  /// invariants are all defined in terms of a fixed `c`); returns
+  /// kUnimplemented. This is the elasticity gap the paper contrasts CoT
+  /// against.
+  Status Resize(size_t new_capacity) override;
+
+  std::string name() const override { return "arc"; }
+
+  /// The adaptation target for |T1| (test/diagnostic hook).
+  double p() const { return p_; }
+  /// List sizes (test hook): {|T1|, |T2|, |B1|, |B2|}.
+  struct ListSizes {
+    size_t t1, t2, b1, b2;
+  };
+  ListSizes list_sizes() const;
+
+  /// Verifies ARC's structural invariants; O(1). Test hook.
+  bool CheckInvariants() const;
+
+ private:
+  enum class ListId : uint8_t { kT1, kT2, kB1, kB2 };
+
+  struct Entry {
+    ListId list;
+    std::list<Key>::iterator pos;
+    Value value;  // meaningful only for resident entries (T1/T2)
+  };
+
+  std::list<Key>& ListFor(ListId id);
+
+  /// Moves `key` (already indexed) to the MRU end of `target`.
+  void MoveTo(Key key, ListId target);
+  /// Removes `key` entirely.
+  void Remove(Key key);
+  /// ARC's REPLACE(x, p): demotes the LRU of T1 or T2 to its ghost list.
+  void Replace(bool key_was_in_b2);
+
+  size_t capacity_;
+  double p_ = 0.0;
+  std::list<Key> t1_, t2_, b1_, b2_;  // front = MRU
+  std::unordered_map<Key, Entry> dir_;
+  size_t resident_ = 0;
+};
+
+}  // namespace cot::cache
+
+#endif  // COT_CACHE_ARC_CACHE_H_

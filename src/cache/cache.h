@@ -1,0 +1,106 @@
+#ifndef COT_CACHE_CACHE_H_
+#define COT_CACHE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/status.h"
+
+namespace cot::cache {
+
+/// Cache keys are dense 64-bit ids (see `cot::workload::KeySpace` for the
+/// textual form).
+using Key = uint64_t;
+
+/// Cached values are fixed-size 64-bit handles. Like memcached's item
+/// pointers, the cache manages *which* entries stay resident, not the bytes
+/// of the payload; callers that cache variable-size blobs keep them in a
+/// side store indexed by the handle (see `examples/quickstart.cc`). This
+/// matches the paper's accounting: every reported metric is a per-lookup
+/// count, independent of value size.
+using Value = uint64_t;
+
+/// Counters every replacement policy maintains. All counts are cumulative
+/// since construction or the last `ResetStats()`.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+
+  /// Lookups observed (hits + misses).
+  uint64_t lookups() const { return hits + misses; }
+
+  /// Fraction of lookups served from the cache; 0 when no lookups yet.
+  double HitRate() const {
+    uint64_t n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+/// Abstract front-end cache replacement policy.
+///
+/// The driving protocol (paper Section 2, the memcached client-driven
+/// model) is:
+///   - `Get(key)`: attempt to serve a read locally. A miss returns
+///     `nullopt`; the caller then fetches from the back-end and calls
+///     `Put(key, value)` to offer the value for admission.
+///   - `Invalidate(key)`: an update invalidates the local entry.
+///
+/// `Put` is an *offer*: policies with admission control (CoT) may decline
+/// to cache the value; classic policies always admit (evicting per policy).
+///
+/// A capacity of 0 means "no front-end cache": `Get` always misses and
+/// `Put` is a no-op. This is a valid steady state — CoT can elastically
+/// shrink to it under uniform workloads.
+///
+/// Implementations are not thread-safe; the paper's model gives each client
+/// thread its own cache.
+class Cache {
+ public:
+  virtual ~Cache() = default;
+
+  /// Looks up `key`, updating recency/frequency state and hit/miss counters.
+  virtual std::optional<Value> Get(Key key) = 0;
+
+  /// Offers (`key`, `value`) for caching after a miss was served from the
+  /// back-end. May evict per policy, or decline (admission-filtering
+  /// policies). Overwrites the stored value if `key` is already resident.
+  virtual void Put(Key key, Value value) = 0;
+
+  /// Removes `key` if resident (update/delete invalidation path).
+  virtual void Invalidate(Key key) = 0;
+
+  /// True if `key` is resident. Does not perturb policy state or stats.
+  virtual bool Contains(Key key) const = 0;
+
+  /// Number of resident entries.
+  virtual size_t size() const = 0;
+
+  /// Maximum number of resident entries.
+  virtual size_t capacity() const = 0;
+
+  /// Changes the capacity, evicting per policy when shrinking. Policies
+  /// without a natural resize semantic (ARC) return `kUnimplemented` — the
+  /// paper's point that elasticity must be designed in, not bolted on.
+  virtual Status Resize(size_t new_capacity) = 0;
+
+  /// Short policy name for reports, e.g. "lru", "arc", "cot".
+  virtual std::string name() const = 0;
+
+  /// Cumulative counters.
+  const CacheStats& stats() const { return stats_; }
+
+  /// Zeroes the counters (entries stay resident).
+  void ResetStats() { stats_ = CacheStats(); }
+
+ protected:
+  CacheStats stats_;
+};
+
+}  // namespace cot::cache
+
+#endif  // COT_CACHE_CACHE_H_

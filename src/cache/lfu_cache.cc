@@ -1,0 +1,57 @@
+#include "cache/lfu_cache.h"
+
+namespace cot::cache {
+
+LfuCache::LfuCache(size_t capacity) : capacity_(capacity) {}
+
+std::optional<Value> LfuCache::Get(Key key) {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  Priority p = heap_.PriorityOf(key);
+  heap_.Update(key, Priority{p.first + 1, p.second});
+  ++stats_.hits;
+  return it->second;
+}
+
+void LfuCache::Put(Key key, Value value) {
+  if (capacity_ == 0) return;
+  auto it = values_.find(key);
+  if (it != values_.end()) {
+    it->second = value;
+    return;
+  }
+  if (values_.size() >= capacity_) EvictOne();
+  values_[key] = value;
+  heap_.Push(key, Priority{1, next_seq_++});
+  ++stats_.insertions;
+}
+
+void LfuCache::Invalidate(Key key) {
+  if (values_.erase(key) == 0) return;
+  heap_.Erase(key);
+  ++stats_.invalidations;
+}
+
+bool LfuCache::Contains(Key key) const { return values_.count(key) != 0; }
+
+Status LfuCache::Resize(size_t new_capacity) {
+  capacity_ = new_capacity;
+  while (values_.size() > capacity_) EvictOne();
+  return Status::OK();
+}
+
+uint64_t LfuCache::FrequencyOf(Key key) const {
+  if (!heap_.Contains(key)) return 0;
+  return heap_.PriorityOf(key).first;
+}
+
+void LfuCache::EvictOne() {
+  auto [key, priority] = heap_.Pop();
+  values_.erase(key);
+  ++stats_.evictions;
+}
+
+}  // namespace cot::cache

@@ -1,0 +1,51 @@
+#ifndef COT_CACHE_LFU_CACHE_H_
+#define COT_CACHE_LFU_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "cache/cache.h"
+#include "util/indexed_min_heap.h"
+
+namespace cot::cache {
+
+/// Least-Frequently-Used replacement backed by an indexed min-heap, exactly
+/// the O(log C) structure the paper describes (Section 3). The key at the
+/// heap root has the fewest hits while resident and is the eviction victim.
+/// Frequency counts start at 1 on insertion and are *not* remembered across
+/// evictions (no history — that limitation, shared with LRU, is what CoT's
+/// tracker removes). Ties on frequency evict the least recently inserted.
+class LfuCache : public Cache {
+ public:
+  /// Creates an LFU cache holding at most `capacity` entries.
+  explicit LfuCache(size_t capacity);
+
+  std::optional<Value> Get(Key key) override;
+  void Put(Key key, Value value) override;
+  void Invalidate(Key key) override;
+  bool Contains(Key key) const override;
+  size_t size() const override { return values_.size(); }
+  size_t capacity() const override { return capacity_; }
+  Status Resize(size_t new_capacity) override;
+  std::string name() const override { return "lfu"; }
+
+  /// Frequency of a resident key (test hook); 0 when absent.
+  uint64_t FrequencyOf(Key key) const;
+
+ private:
+  // Priority: (frequency, insertion sequence) — min-heap pops the coldest,
+  // oldest entry.
+  using Priority = std::pair<uint64_t, uint64_t>;
+
+  void EvictOne();
+
+  size_t capacity_;
+  uint64_t next_seq_ = 0;
+  IndexedMinHeap<Key, Priority> heap_;
+  std::unordered_map<Key, Value> values_;
+};
+
+}  // namespace cot::cache
+
+#endif  // COT_CACHE_LFU_CACHE_H_

@@ -1,0 +1,55 @@
+#include "cache/lru_cache.h"
+
+namespace cot::cache {
+
+LruCache::LruCache(size_t capacity) : capacity_(capacity) {}
+
+std::optional<Value> LruCache::Get(Key key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  recency_.splice(recency_.begin(), recency_, it->second);
+  ++stats_.hits;
+  return it->second->value;
+}
+
+void LruCache::Put(Key key, Value value) {
+  if (capacity_ == 0) return;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->value = value;
+    recency_.splice(recency_.begin(), recency_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) EvictOne();
+  recency_.push_front(Entry{key, value});
+  map_[key] = recency_.begin();
+  ++stats_.insertions;
+}
+
+void LruCache::Invalidate(Key key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  recency_.erase(it->second);
+  map_.erase(it);
+  ++stats_.invalidations;
+}
+
+bool LruCache::Contains(Key key) const { return map_.count(key) != 0; }
+
+Status LruCache::Resize(size_t new_capacity) {
+  capacity_ = new_capacity;
+  while (map_.size() > capacity_) EvictOne();
+  return Status::OK();
+}
+
+void LruCache::EvictOne() {
+  const Entry& victim = recency_.back();
+  map_.erase(victim.key);
+  recency_.pop_back();
+  ++stats_.evictions;
+}
+
+}  // namespace cot::cache

@@ -1,0 +1,46 @@
+#ifndef COT_CACHE_LRU_CACHE_H_
+#define COT_CACHE_LRU_CACHE_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/cache.h"
+
+namespace cot::cache {
+
+/// Least-Recently-Used replacement: O(1) per operation via an intrusive
+/// recency list plus a hash index. The classic front-end policy the paper
+/// compares against; its weakness (Section 3) is that any recently touched
+/// cold key evicts a hotter one, which is fatal for tiny caches over
+/// long-tailed workloads.
+class LruCache : public Cache {
+ public:
+  /// Creates an LRU cache holding at most `capacity` entries.
+  explicit LruCache(size_t capacity);
+
+  std::optional<Value> Get(Key key) override;
+  void Put(Key key, Value value) override;
+  void Invalidate(Key key) override;
+  bool Contains(Key key) const override;
+  size_t size() const override { return map_.size(); }
+  size_t capacity() const override { return capacity_; }
+  Status Resize(size_t new_capacity) override;
+  std::string name() const override { return "lru"; }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+  };
+  using List = std::list<Entry>;
+
+  void EvictOne();
+
+  size_t capacity_;
+  List recency_;  // front = most recent
+  std::unordered_map<Key, List::iterator> map_;
+};
+
+}  // namespace cot::cache
+
+#endif  // COT_CACHE_LRU_CACHE_H_

@@ -1,0 +1,109 @@
+#include "cache/lruk_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace cot::cache {
+
+LrukCache::LrukCache(size_t capacity, size_t history_capacity, int k)
+    : capacity_(capacity), history_capacity_(history_capacity), k_(k) {
+  assert(k >= 1);
+}
+
+LrukCache::Priority LrukCache::PriorityFor(const RefTimes& times) const {
+  // times is newest-first. The K-th most recent reference is times[k-1];
+  // fewer than K references = infinite backward distance = priority 0.
+  uint64_t kth = times.size() >= static_cast<size_t>(k_)
+                     ? times[static_cast<size_t>(k_) - 1]
+                     : 0;
+  uint64_t last = times.empty() ? 0 : times.front();
+  return Priority{kth, last};
+}
+
+void LrukCache::RecordReference(RefTimes& times) {
+  ++clock_;
+  times.insert(times.begin(), clock_);
+  if (times.size() > static_cast<size_t>(k_)) times.resize(k_);
+}
+
+std::optional<Value> LrukCache::Get(Key key) {
+  auto it = resident_.find(key);
+  if (it == resident_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  RecordReference(it->second.times);
+  evict_heap_.Update(key, PriorityFor(it->second.times));
+  ++stats_.hits;
+  return it->second.value;
+}
+
+void LrukCache::Put(Key key, Value value) {
+  if (capacity_ == 0) return;
+  auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    it->second.value = value;
+    RecordReference(it->second.times);
+    evict_heap_.Update(key, PriorityFor(it->second.times));
+    return;
+  }
+  // Restore any retained history for this key.
+  RefTimes times;
+  auto hist_it = history_.find(key);
+  if (hist_it != history_.end()) {
+    times = std::move(hist_it->second.times);
+    history_lru_.erase(hist_it->second.lru_pos);
+    history_.erase(hist_it);
+  }
+  RecordReference(times);
+  if (resident_.size() >= capacity_) EvictOne();
+  evict_heap_.Push(key, PriorityFor(times));
+  resident_[key] = Resident{value, std::move(times)};
+  ++stats_.insertions;
+}
+
+void LrukCache::Invalidate(Key key) {
+  auto it = resident_.find(key);
+  if (it == resident_.end()) return;
+  RetireToHistory(key, std::move(it->second.times));
+  resident_.erase(it);
+  evict_heap_.Erase(key);
+  ++stats_.invalidations;
+}
+
+bool LrukCache::Contains(Key key) const { return resident_.count(key) != 0; }
+
+Status LrukCache::Resize(size_t new_capacity) {
+  capacity_ = new_capacity;
+  while (resident_.size() > capacity_) EvictOne();
+  return Status::OK();
+}
+
+std::string LrukCache::name() const {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "lru-%d", k_);
+  return buf;
+}
+
+void LrukCache::EvictOne() {
+  auto [victim, priority] = evict_heap_.Pop();
+  auto it = resident_.find(victim);
+  assert(it != resident_.end());
+  RetireToHistory(victim, std::move(it->second.times));
+  resident_.erase(it);
+  ++stats_.evictions;
+}
+
+void LrukCache::RetireToHistory(Key key, RefTimes times) {
+  if (history_capacity_ == 0) return;
+  while (history_.size() >= history_capacity_) {
+    Key oldest = history_lru_.back();
+    history_lru_.pop_back();
+    history_.erase(oldest);
+  }
+  history_lru_.push_front(key);
+  history_[key] = Ghost{std::move(times), history_lru_.begin()};
+}
+
+}  // namespace cot::cache

@@ -1,0 +1,142 @@
+#include "cache/mq_cache.h"
+
+#include <cassert>
+
+namespace cot::cache {
+
+MqCache::MqCache(size_t capacity, int num_queues, size_t ghost_capacity,
+                 uint64_t life_time)
+    : capacity_(capacity),
+      num_queues_(num_queues),
+      ghost_capacity_(ghost_capacity != 0 ? ghost_capacity : 4 * capacity),
+      life_time_(life_time != 0 ? life_time : 8 * capacity),
+      queues_(static_cast<size_t>(num_queues)) {
+  assert(num_queues >= 1);
+  if (life_time_ == 0) life_time_ = 1;  // capacity 0 edge
+}
+
+int MqCache::QueueForFrequency(uint64_t frequency) const {
+  int q = 0;
+  while (frequency > 1 && q < num_queues_ - 1) {
+    frequency >>= 1;
+    ++q;
+  }
+  return q;
+}
+
+void MqCache::Enqueue(Key key) {
+  Resident& entry = resident_[key];
+  int q = QueueForFrequency(entry.frequency);
+  queues_[q].push_front(key);
+  entry.queue = q;
+  entry.pos = queues_[q].begin();
+  entry.expire_at = now_ + life_time_;
+}
+
+void MqCache::AdjustExpired() {
+  // One pass over queue heads per access, as in the paper: demote the LRU
+  // entry of each non-bottom queue whose lifetime expired.
+  for (int q = 1; q < num_queues_; ++q) {
+    if (queues_[q].empty()) continue;
+    Key tail = queues_[q].back();
+    Resident& entry = resident_[tail];
+    if (entry.expire_at < now_) {
+      queues_[q].pop_back();
+      int down = q - 1;
+      queues_[down].push_front(tail);
+      entry.queue = down;
+      entry.pos = queues_[down].begin();
+      entry.expire_at = now_ + life_time_;
+    }
+  }
+}
+
+std::optional<cache::Value> MqCache::Get(Key key) {
+  ++now_;
+  AdjustExpired();
+  auto it = resident_.find(key);
+  if (it == resident_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  queues_[it->second.queue].erase(it->second.pos);
+  ++it->second.frequency;
+  Enqueue(key);
+  ++stats_.hits;
+  return it->second.value;
+}
+
+void MqCache::Put(Key key, Value value) {
+  if (capacity_ == 0) return;
+  ++now_;
+  auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    it->second.value = value;
+    return;
+  }
+  uint64_t frequency = 1;
+  auto ghost = ghosts_.find(key);
+  if (ghost != ghosts_.end()) {
+    frequency = ghost->second.frequency + 1;  // resume remembered hotness
+    ghost_fifo_.erase(ghost->second.pos);
+    ghosts_.erase(ghost);
+  }
+  if (resident_.size() >= capacity_) EvictOne();
+  resident_[key] = Resident{value, frequency, 0, 0, {}};
+  Enqueue(key);
+  ++stats_.insertions;
+}
+
+void MqCache::EvictOne() {
+  for (auto& queue : queues_) {
+    if (queue.empty()) continue;
+    Key victim = queue.back();
+    queue.pop_back();
+    auto it = resident_.find(victim);
+    assert(it != resident_.end());
+    AddGhost(victim, it->second.frequency);
+    resident_.erase(it);
+    ++stats_.evictions;
+    return;
+  }
+}
+
+void MqCache::AddGhost(Key key, uint64_t frequency) {
+  if (ghost_capacity_ == 0) return;
+  while (ghosts_.size() >= ghost_capacity_) {
+    Key oldest = ghost_fifo_.back();
+    ghost_fifo_.pop_back();
+    ghosts_.erase(oldest);
+  }
+  ghost_fifo_.push_front(key);
+  ghosts_[key] = Ghost{frequency, ghost_fifo_.begin()};
+}
+
+void MqCache::Invalidate(Key key) {
+  auto it = resident_.find(key);
+  if (it == resident_.end()) return;
+  queues_[it->second.queue].erase(it->second.pos);
+  AddGhost(key, it->second.frequency);
+  resident_.erase(it);
+  ++stats_.invalidations;
+}
+
+bool MqCache::Contains(Key key) const { return resident_.count(key) != 0; }
+
+Status MqCache::Resize(size_t new_capacity) {
+  capacity_ = new_capacity;
+  while (resident_.size() > capacity_) EvictOne();
+  return Status::OK();
+}
+
+uint64_t MqCache::FrequencyOf(Key key) const {
+  auto it = resident_.find(key);
+  return it == resident_.end() ? 0 : it->second.frequency;
+}
+
+int MqCache::QueueOf(Key key) const {
+  auto it = resident_.find(key);
+  return it == resident_.end() ? -1 : it->second.queue;
+}
+
+}  // namespace cot::cache

@@ -1,0 +1,30 @@
+#include "cache/perfect_cache.h"
+
+namespace cot::cache {
+
+PerfectCache::PerfectCache(std::vector<Key> hot_keys)
+    : hot_set_(hot_keys.begin(), hot_keys.end()) {}
+
+std::optional<Value> PerfectCache::Get(Key key) {
+  if (hot_set_.count(key) != 0) {
+    ++stats_.hits;
+    return Value{key};  // oracle: value identity mirrors the key
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void PerfectCache::Put(Key /*key*/, Value /*value*/) {}
+
+void PerfectCache::Invalidate(Key /*key*/) {}
+
+bool PerfectCache::Contains(Key key) const {
+  return hot_set_.count(key) != 0;
+}
+
+Status PerfectCache::Resize(size_t /*new_capacity*/) {
+  return Status::Unimplemented(
+      "perfect cache content is fixed at construction");
+}
+
+}  // namespace cot::cache

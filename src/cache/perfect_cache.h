@@ -1,0 +1,38 @@
+#ifndef COT_CACHE_PERFECT_CACHE_H_
+#define COT_CACHE_PERFECT_CACHE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache.h"
+
+namespace cot::cache {
+
+/// Oracle "perfect cache" (Fan et al. 2011, and the paper's TPC series in
+/// Figure 4): given the true hot-most C keys of the workload, every access
+/// to one of them hits and every other access misses. Not implementable
+/// online — it exists to upper-bound what any C-line replacement policy can
+/// achieve, and to validate CoT's claim of near-perfect behaviour.
+class PerfectCache : public Cache {
+ public:
+  /// Creates an oracle over the given hot set (its size is the capacity).
+  explicit PerfectCache(std::vector<Key> hot_keys);
+
+  std::optional<Value> Get(Key key) override;
+  /// No-op: the oracle's content is fixed by construction.
+  void Put(Key key, Value value) override;
+  /// No-op (metrics-only oracle; hot keys stay hot).
+  void Invalidate(Key key) override;
+  bool Contains(Key key) const override;
+  size_t size() const override { return hot_set_.size(); }
+  size_t capacity() const override { return hot_set_.size(); }
+  Status Resize(size_t new_capacity) override;
+  std::string name() const override { return "perfect"; }
+
+ private:
+  std::unordered_set<Key> hot_set_;
+};
+
+}  // namespace cot::cache
+
+#endif  // COT_CACHE_PERFECT_CACHE_H_

@@ -1,0 +1,81 @@
+#ifndef COT_CACHE_SYNCHRONIZED_CACHE_H_
+#define COT_CACHE_SYNCHRONIZED_CACHE_H_
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "cache/cache.h"
+
+namespace cot::cache {
+
+/// Thread-safety decorator: serializes every operation on a wrapped cache
+/// behind one mutex.
+///
+/// The paper's model gives each client thread its own private cache, which
+/// is the recommended (lock-free) deployment; this wrapper exists for
+/// embedders that must share one cache across threads (e.g. one front-end
+/// process with a shared hot-keys cache). Coarse-grained by design — the
+/// paper's workloads spend microseconds per RTT against ~100 ns per cache
+/// op, so a single mutex is nowhere near the bottleneck.
+class SynchronizedCache : public Cache {
+ public:
+  /// Wraps and owns `inner`.
+  explicit SynchronizedCache(std::unique_ptr<Cache> inner)
+      : inner_(std::move(inner)) {}
+
+  std::optional<Value> Get(Key key) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::optional<Value> v = inner_->Get(key);
+    MirrorStats();
+    return v;
+  }
+  void Put(Key key, Value value) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->Put(key, value);
+    MirrorStats();
+  }
+  void Invalidate(Key key) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->Invalidate(key);
+    MirrorStats();
+  }
+  bool Contains(Key key) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Contains(key);
+  }
+  size_t size() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->size();
+  }
+  size_t capacity() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->capacity();
+  }
+  Status Resize(size_t new_capacity) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status s = inner_->Resize(new_capacity);
+    MirrorStats();
+    return s;
+  }
+  std::string name() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->name() + "+mutex";
+  }
+
+  /// The wrapped cache, for policy-specific access. Callers must provide
+  /// their own synchronization when touching it directly.
+  Cache* inner() { return inner_.get(); }
+
+ private:
+  // Keeps the (base-class) stats_ visible through the decorator coherent
+  // with the inner cache's counters. Called under mu_.
+  void MirrorStats() { stats_ = inner_->stats(); }
+
+  mutable std::mutex mu_;
+  std::unique_ptr<Cache> inner_;
+};
+
+}  // namespace cot::cache
+
+#endif  // COT_CACHE_SYNCHRONIZED_CACHE_H_

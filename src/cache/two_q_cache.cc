@@ -1,0 +1,148 @@
+#include "cache/two_q_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cot::cache {
+
+TwoQCache::TwoQCache(size_t capacity, double kin_fraction,
+                     double kout_fraction)
+    : capacity_(capacity) {
+  kin_limit_ = std::max<size_t>(
+      1, static_cast<size_t>(kin_fraction * static_cast<double>(capacity)));
+  kout_limit_ = std::max<size_t>(
+      1, static_cast<size_t>(kout_fraction * static_cast<double>(capacity)));
+  if (capacity_ == 0) {
+    kin_limit_ = 0;
+    kout_limit_ = 0;
+  }
+}
+
+std::list<cache::Key>& TwoQCache::ListFor(Where where) {
+  switch (where) {
+    case Where::kA1in:
+      return a1in_;
+    case Where::kAm:
+      return am_;
+    case Where::kA1out:
+      return a1out_;
+  }
+  return a1in_;  // unreachable
+}
+
+std::optional<cache::Value> TwoQCache::Get(Key key) {
+  auto it = dir_.find(key);
+  if (it == dir_.end() || it->second.where == Where::kA1out) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second.where == Where::kAm) {
+    // Hot hit: refresh LRU position.
+    am_.splice(am_.begin(), am_, it->second.pos);
+    it->second.pos = am_.begin();
+  }
+  // A1in hits keep their FIFO position (2Q rule: correlated references
+  // within A1in carry no promotion signal).
+  ++stats_.hits;
+  return it->second.value;
+}
+
+void TwoQCache::ReclaimOne() {
+  // RECLAIM: while over budget, prefer draining A1in (its tail's key ghosts
+  // into A1out); otherwise evict the LRU of Am outright.
+  if (a1in_.size() >= kin_limit_ && !a1in_.empty()) {
+    Key victim = a1in_.back();
+    a1in_.pop_back();
+    --resident_;
+    ++stats_.evictions;
+    // Ghost the key into A1out.
+    auto it = dir_.find(victim);
+    assert(it != dir_.end());
+    a1out_.push_front(victim);
+    it->second.where = Where::kA1out;
+    it->second.pos = a1out_.begin();
+    while (a1out_.size() > kout_limit_) {
+      Key ghost = a1out_.back();
+      a1out_.pop_back();
+      dir_.erase(ghost);
+    }
+    return;
+  }
+  if (!am_.empty()) {
+    Key victim = am_.back();
+    am_.pop_back();
+    dir_.erase(victim);
+    --resident_;
+    ++stats_.evictions;
+    return;
+  }
+  // Degenerate tiny-capacity case: fall back to draining A1in.
+  if (!a1in_.empty()) {
+    Key victim = a1in_.back();
+    a1in_.pop_back();
+    dir_.erase(victim);
+    --resident_;
+    ++stats_.evictions;
+  }
+}
+
+void TwoQCache::Put(Key key, Value value) {
+  if (capacity_ == 0) return;
+  auto it = dir_.find(key);
+  if (it != dir_.end()) {
+    switch (it->second.where) {
+      case Where::kA1in:
+      case Where::kAm:
+        it->second.value = value;
+        return;
+      case Where::kA1out: {
+        // Re-reference after A1in eviction: promote into Am.
+        a1out_.erase(it->second.pos);
+        if (resident_ >= capacity_) ReclaimOne();
+        am_.push_front(key);
+        // `it` may be invalidated by ReclaimOne's erase of other keys, so
+        // re-find defensively.
+        dir_[key] = Entry{Where::kAm, am_.begin(), value};
+        ++resident_;
+        ++stats_.insertions;
+        return;
+      }
+    }
+  }
+  // Brand new key: enters A1in.
+  if (resident_ >= capacity_) ReclaimOne();
+  a1in_.push_front(key);
+  dir_[key] = Entry{Where::kA1in, a1in_.begin(), value};
+  ++resident_;
+  ++stats_.insertions;
+}
+
+void TwoQCache::Invalidate(Key key) {
+  auto it = dir_.find(key);
+  if (it == dir_.end()) return;
+  if (it->second.where != Where::kA1out) {
+    --resident_;
+    ++stats_.invalidations;
+  }
+  ListFor(it->second.where).erase(it->second.pos);
+  dir_.erase(it);
+}
+
+bool TwoQCache::Contains(Key key) const {
+  auto it = dir_.find(key);
+  return it != dir_.end() && it->second.where != Where::kA1out;
+}
+
+size_t TwoQCache::size() const { return resident_; }
+
+Status TwoQCache::Resize(size_t /*new_capacity*/) {
+  return Status::Unimplemented(
+      "2Q's Kin/Kout tuning is defined for a fixed capacity; see CoT for an "
+      "elastic policy");
+}
+
+TwoQCache::QueueSizes TwoQCache::queue_sizes() const {
+  return QueueSizes{a1in_.size(), am_.size(), a1out_.size()};
+}
+
+}  // namespace cot::cache

@@ -1,0 +1,69 @@
+#ifndef COT_CACHE_TWO_Q_CACHE_H_
+#define COT_CACHE_TWO_Q_CACHE_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/cache.h"
+
+namespace cot::cache {
+
+/// 2Q replacement (Johnson & Shasha, VLDB 1994) — the "full version" with
+/// A1in/A1out/Am. One of the tracking-beyond-the-cache policies the paper
+/// cites (Section 4) as fixed-memory ancestors of CoT's tracker.
+///
+/// New keys enter a small FIFO `A1in`; only keys re-referenced *after*
+/// falling out of A1in (their ghosts live in `A1out`) are promoted into
+/// the main LRU `Am`. A sequential scan therefore flows through A1in
+/// without ever touching the hot working set in Am.
+///
+/// Defaults follow the paper: |A1in| = C/4, |A1out| = C/2 (ghost keys,
+/// metadata only). Resident capacity C is split between A1in and Am.
+class TwoQCache : public Cache {
+ public:
+  /// Creates a 2Q cache of `capacity` resident entries. `kin_fraction` and
+  /// `kout_fraction` size A1in and A1out as fractions of the capacity.
+  explicit TwoQCache(size_t capacity, double kin_fraction = 0.25,
+                     double kout_fraction = 0.5);
+
+  std::optional<Value> Get(Key key) override;
+  void Put(Key key, Value value) override;
+  void Invalidate(Key key) override;
+  bool Contains(Key key) const override;
+  size_t size() const override;
+  size_t capacity() const override { return capacity_; }
+  Status Resize(size_t new_capacity) override;
+  std::string name() const override { return "2q"; }
+
+  /// Queue sizes (test hook): {|A1in|, |Am|, |A1out|}.
+  struct QueueSizes {
+    size_t a1in, am, a1out;
+  };
+  QueueSizes queue_sizes() const;
+
+ private:
+  enum class Where : uint8_t { kA1in, kAm, kA1out };
+
+  struct Entry {
+    Where where;
+    std::list<Key>::iterator pos;
+    Value value;  // valid for resident entries only
+  };
+
+  std::list<Key>& ListFor(Where where);
+  /// Frees one resident slot per the 2Q RECLAIM rule.
+  void ReclaimOne();
+
+  size_t capacity_;
+  size_t kin_limit_;
+  size_t kout_limit_;
+  std::list<Key> a1in_;   // FIFO, front = newest
+  std::list<Key> am_;     // LRU, front = MRU
+  std::list<Key> a1out_;  // ghost FIFO, front = newest
+  std::unordered_map<Key, Entry> dir_;
+  size_t resident_ = 0;
+};
+
+}  // namespace cot::cache
+
+#endif  // COT_CACHE_TWO_Q_CACHE_H_

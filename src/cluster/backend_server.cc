@@ -1,0 +1,71 @@
+#include "cluster/backend_server.h"
+
+namespace cot::cluster {
+
+BackendServer::BackendServer(size_t max_items) : max_items_(max_items) {}
+
+void BackendServer::TouchLru(Key key,
+                             std::unordered_map<Key, Item>::iterator it) {
+  if (max_items_ == 0) return;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  it->second.lru_pos = lru_.begin();
+  (void)key;
+}
+
+std::optional<cache::Value> BackendServer::Get(Key key) {
+  ++lookup_count_;
+  auto it = store_.find(key);
+  if (it == store_.end()) return std::nullopt;
+  ++hit_count_;
+  TouchLru(key, it);
+  return it->second.value;
+}
+
+void BackendServer::Set(Key key, Value value) {
+  ++set_count_;
+  auto it = store_.find(key);
+  if (it != store_.end()) {
+    it->second.value = value;
+    TouchLru(key, it);
+    return;
+  }
+  if (max_items_ != 0 && store_.size() >= max_items_) {
+    // memcached-style LRU eviction under memory pressure.
+    Key victim = lru_.back();
+    lru_.pop_back();
+    store_.erase(victim);
+    ++eviction_count_;
+  }
+  Item item;
+  item.value = value;
+  if (max_items_ != 0) {
+    lru_.push_front(key);
+    item.lru_pos = lru_.begin();
+  }
+  store_[key] = item;
+}
+
+bool BackendServer::Delete(Key key) {
+  auto it = store_.find(key);
+  if (it == store_.end()) return false;
+  if (max_items_ != 0) lru_.erase(it->second.lru_pos);
+  store_.erase(it);
+  ++delete_count_;
+  return true;
+}
+
+void BackendServer::ResetCounters() {
+  lookup_count_ = 0;
+  hit_count_ = 0;
+  set_count_ = 0;
+  delete_count_ = 0;
+  eviction_count_ = 0;
+}
+
+void BackendServer::Clear() {
+  store_.clear();
+  lru_.clear();
+  ResetCounters();
+}
+
+}  // namespace cot::cluster

@@ -1,0 +1,101 @@
+#ifndef COT_CLUSTER_BACKEND_SERVER_H_
+#define COT_CLUSTER_BACKEND_SERVER_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "cache/cache.h"
+
+namespace cot::cluster {
+
+/// One back-end caching shard (a memcached instance in the paper's
+/// deployment). Stateless with respect to clients — requests are
+/// client-driven (Section 2) — and instrumented with the load counters the
+/// evaluation is built on: every `Get` counts toward this server's lookup
+/// load whether it hits or misses.
+///
+/// The shard is an unbounded map by default (the paper provisions 4 GB per
+/// instance, far above the hot set); an optional `max_items` bounds it
+/// with memcached's LRU eviction, which lets tests and ablations exercise
+/// shard-side memory pressure.
+class BackendServer {
+ public:
+  using Key = cache::Key;
+  using Value = cache::Value;
+
+  /// Creates a shard. `max_items` of 0 means unbounded.
+  explicit BackendServer(size_t max_items = 0);
+
+  /// Looks up `key`; counts one lookup of load either way.
+  std::optional<Value> Get(Key key);
+
+  /// Inserts/overwrites `key` (a client fills the shard after a storage
+  /// read, or the shard-side of a write-through).
+  void Set(Key key, Value value);
+
+  /// Invalidation delete (client-driven update path). Returns whether the
+  /// key was resident.
+  bool Delete(Key key);
+
+  /// Number of resident items.
+  size_t size() const { return store_.size(); }
+
+  /// Cumulative lookups served (the "load" of Figures 3 and Table 2).
+  uint64_t lookup_count() const { return lookup_count_; }
+  /// Cumulative lookup hits.
+  uint64_t hit_count() const { return hit_count_; }
+  /// Cumulative sets.
+  uint64_t set_count() const { return set_count_; }
+  /// Cumulative deletes that removed a key.
+  uint64_t delete_count() const { return delete_count_; }
+  /// Cumulative LRU evictions under memory pressure (bounded mode only).
+  uint64_t eviction_count() const { return eviction_count_; }
+
+  /// Zeroes the load counters (content is kept).
+  void ResetCounters();
+
+  /// Drops all content and counters.
+  void Clear();
+
+  /// Erases every resident key for which `pred(key)` is true; returns the
+  /// number erased. Used by control planes that reassign key ranges (a
+  /// Slicer-style rebalance must flush moved slices from their old owner,
+  /// or a later move back would expose stale copies).
+  template <typename Pred>
+  size_t EraseIf(Pred&& pred) {
+    size_t erased = 0;
+    for (auto it = store_.begin(); it != store_.end();) {
+      if (pred(it->first)) {
+        if (max_items_ != 0) lru_.erase(it->second.lru_pos);
+        it = store_.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    return erased;
+  }
+
+ private:
+  struct Item {
+    Value value;
+    std::list<Key>::iterator lru_pos;  // valid only in bounded mode
+  };
+
+  void TouchLru(Key key, std::unordered_map<Key, Item>::iterator it);
+
+  size_t max_items_;
+  std::unordered_map<Key, Item> store_;
+  std::list<Key> lru_;  // front = MRU; maintained only in bounded mode
+  uint64_t lookup_count_ = 0;
+  uint64_t hit_count_ = 0;
+  uint64_t set_count_ = 0;
+  uint64_t delete_count_ = 0;
+  uint64_t eviction_count_ = 0;
+};
+
+}  // namespace cot::cluster
+
+#endif  // COT_CLUSTER_BACKEND_SERVER_H_

@@ -1,0 +1,58 @@
+#include "cluster/cache_cluster.h"
+
+namespace cot::cluster {
+
+CacheCluster::CacheCluster(uint32_t num_servers, uint64_t key_space_size,
+                           uint32_t virtual_nodes)
+    : ring_(num_servers, virtual_nodes),
+      servers_(num_servers),
+      active_(num_servers, true),
+      storage_(key_space_size) {}
+
+std::vector<uint64_t> CacheCluster::PerServerLookups() const {
+  std::vector<uint64_t> loads;
+  loads.reserve(servers_.size());
+  for (const BackendServer& s : servers_) loads.push_back(s.lookup_count());
+  return loads;
+}
+
+void CacheCluster::ResetServerCounters() {
+  for (BackendServer& s : servers_) s.ResetCounters();
+}
+
+void CacheCluster::FlushMisownedKeys() {
+  for (ServerId id = 0; id < servers_.size(); ++id) {
+    if (!active_[id]) continue;
+    servers_[id].EraseIf(
+        [&](uint64_t key) { return ring_.ServerFor(key) != id; });
+  }
+}
+
+ServerId CacheCluster::AddServer() {
+  ring_.AddServer();
+  servers_.emplace_back();
+  active_.push_back(true);
+  // Existing shards relinquish the key ranges the newcomer now owns —
+  // otherwise a copy stranded on the old owner could serve a stale value
+  // if a later topology change handed the range back.
+  FlushMisownedKeys();
+  return static_cast<ServerId>(servers_.size() - 1);
+}
+
+Status CacheCluster::RemoveServer(ServerId id) {
+  if (id >= servers_.size() || !active_[id]) {
+    return Status::NotFound("server not active");
+  }
+  Status s = ring_.RemoveServer(id);
+  if (!s.ok()) return s;
+  active_[id] = false;
+  servers_[id].Clear();  // content is unreachable; drop it
+  FlushMisownedKeys();
+  return Status::OK();
+}
+
+bool CacheCluster::IsActive(ServerId id) const {
+  return id < active_.size() && active_[id];
+}
+
+}  // namespace cot::cluster

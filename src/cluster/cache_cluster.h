@@ -1,0 +1,76 @@
+#ifndef COT_CLUSTER_CACHE_CLUSTER_H_
+#define COT_CLUSTER_CACHE_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/backend_server.h"
+#include "cluster/consistent_hash_ring.h"
+#include "cluster/storage_layer.h"
+
+namespace cot::cluster {
+
+/// The shared back-end of the paper's architecture (Figure 1): a set of
+/// caching shards behind a consistent-hash ring, on top of persistent
+/// storage. Front-end clients (`FrontendClient`) share one `CacheCluster`.
+class CacheCluster {
+ public:
+  /// Creates `num_servers` shards over a `key_space_size` key space.
+  ///
+  /// The virtual-node default is deliberately high (16384 per server): the
+  /// ring's *ownership* spread lower-bounds every achievable load-imbalance,
+  /// and a front-end chasing I_t = 1.1 needs that floor well below the
+  /// target (spread scales as 1/sqrt(virtual_nodes)).
+  CacheCluster(uint32_t num_servers, uint64_t key_space_size,
+               uint32_t virtual_nodes = 16384);
+
+  /// Shard accessors.
+  BackendServer& server(ServerId id) { return servers_[id]; }
+  const BackendServer& server(ServerId id) const { return servers_[id]; }
+  uint32_t server_count() const {
+    return static_cast<uint32_t>(servers_.size());
+  }
+
+  /// The key-to-server map.
+  const ConsistentHashRing& ring() const { return ring_; }
+
+  /// The persistent layer.
+  StorageLayer& storage() { return storage_; }
+  const StorageLayer& storage() const { return storage_; }
+
+  /// Cumulative lookup load per shard, as counted at the shards
+  /// themselves (aggregates all clients).
+  std::vector<uint64_t> PerServerLookups() const;
+
+  /// Zeroes every shard's load counters.
+  void ResetServerCounters();
+
+  /// Adds one caching shard to the tier (the elasticity consistent
+  /// hashing exists for, Section 2): ~1/(n+1) of the key space moves to
+  /// the new shard. Every existing shard is flushed of the keys it no
+  /// longer owns, so no stale copy can resurface after later topology
+  /// changes. Returns the new server's id.
+  ServerId AddServer();
+
+  /// Removes shard `id` from the ring (its content becomes unreachable
+  /// and is dropped); its key range redistributes to ring successors,
+  /// which cold-miss to storage. Ids of other servers are unchanged.
+  /// Fails if `id` is unknown, already removed, or the last server.
+  Status RemoveServer(ServerId id);
+
+  /// True if `id` is still serving (present on the ring).
+  bool IsActive(ServerId id) const;
+
+ private:
+  /// Drops from every shard the keys it no longer owns. O(total items).
+  void FlushMisownedKeys();
+
+  ConsistentHashRing ring_;
+  std::vector<BackendServer> servers_;
+  std::vector<bool> active_;
+  StorageLayer storage_;
+};
+
+}  // namespace cot::cluster
+
+#endif  // COT_CLUSTER_CACHE_CLUSTER_H_

@@ -1,0 +1,83 @@
+#include "cluster/consistent_hash_ring.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/hash.h"
+
+namespace cot::cluster {
+
+ConsistentHashRing::ConsistentHashRing(uint32_t num_servers,
+                                       uint32_t virtual_nodes)
+    : virtual_nodes_(virtual_nodes) {
+  assert(num_servers >= 1);
+  assert(virtual_nodes >= 1);
+  points_.reserve(static_cast<size_t>(num_servers) * virtual_nodes);
+  for (uint32_t i = 0; i < num_servers; ++i) AddServer();
+}
+
+void ConsistentHashRing::InsertPointsFor(ServerId id) {
+  for (uint32_t v = 0; v < virtual_nodes_; ++v) {
+    uint64_t pos = HashPair(static_cast<uint64_t>(id) + 1, v);
+    points_.push_back(Point{pos, id});
+  }
+}
+
+void ConsistentHashRing::AddServer() {
+  InsertPointsFor(server_count_);
+  ++server_count_;
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              if (a.position != b.position) return a.position < b.position;
+              return a.server < b.server;
+            });
+}
+
+Status ConsistentHashRing::RemoveServer(ServerId id) {
+  if (id >= server_count_) {
+    return Status::NotFound("server id not on the ring");
+  }
+  bool present = std::any_of(points_.begin(), points_.end(),
+                             [&](const Point& p) { return p.server == id; });
+  if (!present) {
+    return Status::NotFound("server already removed");
+  }
+  size_t remaining = 0;
+  for (const Point& p : points_) {
+    if (p.server != id) ++remaining;
+  }
+  if (remaining == 0) {
+    return Status::FailedPrecondition("cannot remove the last server");
+  }
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [&](const Point& p) { return p.server == id; }),
+                points_.end());
+  return Status::OK();
+}
+
+ServerId ConsistentHashRing::ServerFor(uint64_t key) const {
+  assert(!points_.empty());
+  uint64_t h = Mix64(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, uint64_t value) { return p.position < value; });
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return it->server;
+}
+
+std::vector<double> ConsistentHashRing::OwnershipFractions() const {
+  std::vector<double> fractions(server_count_, 0.0);
+  if (points_.empty()) return fractions;
+  constexpr double kRing = 18446744073709551616.0;  // 2^64
+  for (size_t i = 0; i < points_.size(); ++i) {
+    // Arc (prev, this] belongs to this point's server.
+    uint64_t curr = points_[i].position;
+    uint64_t prev =
+        (i == 0) ? points_.back().position : points_[i - 1].position;
+    uint64_t arc = curr - prev;  // wraps correctly in uint64 arithmetic
+    fractions[points_[i].server] += static_cast<double>(arc) / kRing;
+  }
+  return fractions;
+}
+
+}  // namespace cot::cluster

@@ -1,0 +1,63 @@
+#ifndef COT_CLUSTER_CONSISTENT_HASH_RING_H_
+#define COT_CLUSTER_CONSISTENT_HASH_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cot::cluster {
+
+/// Identifier of a back-end caching server (dense, 0-based).
+using ServerId = uint32_t;
+
+/// Consistent-hash ring (Karger et al. 1997) with virtual nodes, the key
+/// discovery mechanism of the paper's system model (Section 2): front-end
+/// servers map each key to a caching server without coordination, and
+/// adding/removing a server only churns O(1/n) of the key space.
+///
+/// Each server places `virtual_nodes` points on a 64-bit ring; a key is
+/// owned by the first point clockwise from its hash. Virtual nodes smooth
+/// the *key-count* distribution — but, as the paper stresses, a fair split
+/// of keys is not a fair split of *load* under skew, which is the
+/// load-imbalance problem CoT attacks.
+class ConsistentHashRing {
+ public:
+  /// Creates a ring over `num_servers` servers with `virtual_nodes` points
+  /// each. `num_servers` >= 1, `virtual_nodes` >= 1.
+  ConsistentHashRing(uint32_t num_servers, uint32_t virtual_nodes = 128);
+
+  /// Server owning `key`.
+  ServerId ServerFor(uint64_t key) const;
+
+  /// Number of servers currently on the ring.
+  uint32_t server_count() const { return server_count_; }
+
+  /// Adds one server (id = current server_count). O(V log V).
+  void AddServer();
+
+  /// Removes server `id`'s points from the ring; its keys redistribute to
+  /// ring successors. Ids of other servers are unchanged. Fails if `id` is
+  /// not present or it is the last server.
+  Status RemoveServer(ServerId id);
+
+  /// Fraction of a uniform key space owned by each server (computed from
+  /// ring arc lengths; sums to 1). Diagnostic/test hook.
+  std::vector<double> OwnershipFractions() const;
+
+ private:
+  struct Point {
+    uint64_t position;
+    ServerId server;
+  };
+
+  void InsertPointsFor(ServerId id);
+
+  uint32_t virtual_nodes_;
+  uint32_t server_count_ = 0;
+  std::vector<Point> points_;  // sorted by position
+};
+
+}  // namespace cot::cluster
+
+#endif  // COT_CLUSTER_CONSISTENT_HASH_RING_H_

@@ -1,0 +1,85 @@
+#include "cluster/experiment.h"
+
+#include <algorithm>
+
+#include "cluster/cache_cluster.h"
+#include "metrics/imbalance.h"
+
+namespace cot::cluster {
+
+StatusOr<ExperimentResult> RunExperiment(
+    const ExperimentConfig& config, const CacheFactory& factory,
+    const core::ResizerConfig* resizer_config) {
+  if (config.num_clients == 0) {
+    return Status::InvalidArgument("num_clients must be >= 1");
+  }
+  if (config.phases.empty()) {
+    return Status::InvalidArgument("at least one workload phase is required");
+  }
+
+  // Per-client op budget: split total_ops evenly; a single phase with
+  // num_ops == 0 absorbs the whole per-client budget.
+  uint64_t ops_per_client = config.total_ops / config.num_clients;
+  std::vector<workload::PhaseSpec> phases = config.phases;
+  if (phases.size() == 1 && phases[0].num_ops == 0) {
+    phases[0].num_ops = ops_per_client;
+  }
+
+  CacheCluster cluster(config.num_servers, config.key_space,
+                       config.virtual_nodes);
+  if (config.preload_backend) {
+    for (uint64_t key = 0; key < config.key_space; ++key) {
+      cluster.server(cluster.ring().ServerFor(key))
+          .Set(key, StorageLayer::InitialValue(key));
+    }
+    cluster.ResetServerCounters();
+  }
+
+  std::vector<std::unique_ptr<FrontendClient>> clients;
+  std::vector<workload::OpStream> streams;
+  clients.reserve(config.num_clients);
+  streams.reserve(config.num_clients);
+  for (uint32_t i = 0; i < config.num_clients; ++i) {
+    clients.push_back(std::make_unique<FrontendClient>(
+        &cluster, factory ? factory(i) : nullptr));
+    if (resizer_config != nullptr && clients.back()->local_cache() != nullptr) {
+      Status s = clients.back()->EnableElasticResizing(*resizer_config);
+      if (!s.ok()) return s;
+    }
+    auto stream =
+        workload::OpStream::Create(config.key_space, phases, config.seed + i);
+    if (!stream.ok()) return stream.status();
+    streams.push_back(std::move(stream).value());
+  }
+
+  // Round-robin interleave — the in-process analogue of the paper's
+  // concurrent client threads issuing back-to-back requests.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (uint32_t i = 0; i < config.num_clients; ++i) {
+      if (streams[i].Done()) continue;
+      clients[i]->Apply(streams[i].Next());
+      progressed = true;
+    }
+  }
+
+  ExperimentResult result;
+  result.per_server_lookups = cluster.PerServerLookups();
+  result.imbalance = metrics::LoadImbalance(result.per_server_lookups);
+  result.total_backend_lookups =
+      metrics::TotalLoad(result.per_server_lookups);
+  for (const auto& client : clients) {
+    const FrontendStats& s = client->stats();
+    result.aggregate.reads += s.reads;
+    result.aggregate.updates += s.updates;
+    result.aggregate.local_hits += s.local_hits;
+    result.aggregate.backend_lookups += s.backend_lookups;
+    result.aggregate.backend_hits += s.backend_hits;
+    result.aggregate.storage_reads += s.storage_reads;
+  }
+  result.local_hit_rate = result.aggregate.LocalHitRate();
+  return result;
+}
+
+}  // namespace cot::cluster

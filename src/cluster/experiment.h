@@ -1,0 +1,77 @@
+#ifndef COT_CLUSTER_EXPERIMENT_H_
+#define COT_CLUSTER_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cluster/frontend_client.h"
+#include "core/elastic_resizer.h"
+#include "util/status.h"
+#include "workload/op_stream.h"
+
+namespace cot::cluster {
+
+/// Declarative description of one cluster run, mirroring the paper's
+/// experimental setup (Section 5.1): N memcached shards, M client threads
+/// each with its own front-end cache, a YCSB-style workload split evenly
+/// across clients.
+struct ExperimentConfig {
+  /// Number of back-end shards (paper: 8).
+  uint32_t num_servers = 8;
+  /// Key space size (paper: 1M).
+  uint64_t key_space = 1000000;
+  /// Number of front-end clients (paper: 20 threads).
+  uint32_t num_clients = 20;
+  /// Total operations across all clients (paper: 1M-10M).
+  uint64_t total_ops = 1000000;
+  /// Workload phases; every client runs the same spec with its own RNG
+  /// stream. Phase op budgets are per client and are overridden from
+  /// `total_ops` when left 0 on a single phase.
+  std::vector<workload::PhaseSpec> phases;
+  /// Base RNG seed; client i uses seed + i.
+  uint64_t seed = 42;
+  /// Virtual nodes per server on the ring (see CacheCluster for why the
+  /// default is high).
+  uint32_t virtual_nodes = 16384;
+  /// Load every key into its shard before the run — the YCSB load phase of
+  /// the paper's setup. Without it, cold-miss storage penalties dominate
+  /// the first pass over the key space and distort timing experiments.
+  bool preload_backend = true;
+};
+
+/// Builds each client's local cache; called once per client index. Return
+/// null for a cacheless client.
+using CacheFactory =
+    std::function<std::unique_ptr<cache::Cache>(uint32_t client_index)>;
+
+/// Aggregated outcome of a run.
+struct ExperimentResult {
+  /// Lookup load per shard, counted at the shards.
+  std::vector<uint64_t> per_server_lookups;
+  /// max/min of `per_server_lookups` (the paper's load-imbalance).
+  double imbalance = 1.0;
+  /// Total lookups that reached the back-end.
+  uint64_t total_backend_lookups = 0;
+  /// Reads/updates/hits aggregated over all clients.
+  FrontendStats aggregate;
+  /// Local cache hit-rate over all clients (hits / reads).
+  double local_hit_rate = 0.0;
+};
+
+/// Runs the experiment: builds a fresh `CacheCluster`, `num_clients`
+/// clients via `factory`, interleaves each client's private `OpStream`
+/// round-robin (the in-process analogue of concurrent client threads), and
+/// reports shard loads. If `resizer_config` is non-null it is attached to
+/// every CoT client.
+///
+/// Fails if the workload spec is invalid.
+StatusOr<ExperimentResult> RunExperiment(
+    const ExperimentConfig& config, const CacheFactory& factory,
+    const core::ResizerConfig* resizer_config = nullptr);
+
+}  // namespace cot::cluster
+
+#endif  // COT_CLUSTER_EXPERIMENT_H_

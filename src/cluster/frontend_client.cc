@@ -1,0 +1,159 @@
+#include "cluster/frontend_client.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "metrics/imbalance.h"
+
+namespace cot::cluster {
+
+FrontendClient::FrontendClient(CacheCluster* cluster,
+                               std::unique_ptr<cache::Cache> local_cache)
+    : cluster_(cluster),
+      local_cache_(std::move(local_cache)),
+      epoch_lookups_(cluster->server_count(), 0),
+      cumulative_lookups_(cluster->server_count(), 0) {
+  assert(cluster != nullptr);
+  cot_cache_ = dynamic_cast<core::CotCache*>(local_cache_.get());
+}
+
+Status FrontendClient::EnableElasticResizing(
+    const core::ResizerConfig& config) {
+  if (cot_cache_ == nullptr) {
+    return Status::FailedPrecondition(
+        "elastic resizing requires a CotCache local cache");
+  }
+  resizer_ = std::make_unique<core::ElasticResizer>(cot_cache_, config);
+  return Status::OK();
+}
+
+void FrontendClient::EnsureServerVectors() {
+  size_t n = cluster_->server_count();
+  if (epoch_lookups_.size() < n) {
+    epoch_lookups_.resize(n, 0);
+    cumulative_lookups_.resize(n, 0);
+  }
+}
+
+cache::Value FrontendClient::GetImpl(Key key, OpOutcome* outcome) {
+  EnsureServerVectors();
+  ++stats_.reads;
+  if (local_cache_ != nullptr) {
+    std::optional<Value> local = local_cache_->Get(key);
+    if (local.has_value()) {
+      ++stats_.local_hits;
+      outcome->local_hit = true;
+      OnOperation();
+      return *local;
+    }
+  }
+  ServerId sid = router_ != nullptr ? router_->Route(key)
+                                    : cluster_->ring().ServerFor(key);
+  ++epoch_lookups_[sid];
+  ++cumulative_lookups_[sid];
+  ++stats_.backend_lookups;
+  outcome->backend_contacted = true;
+  outcome->server = sid;
+  if (router_ != nullptr) router_->OnLookup(key, sid);
+  std::optional<Value> value = cluster_->server(sid).Get(key);
+  if (value.has_value()) {
+    ++stats_.backend_hits;
+  } else {
+    // Cold path: authoritative read, then fill the shard (Section 2).
+    ++stats_.storage_reads;
+    outcome->storage_accessed = true;
+    value = cluster_->storage().Get(key);
+    cluster_->server(sid).Set(key, *value);
+  }
+  if (local_cache_ != nullptr) {
+    local_cache_->Put(key, *value);
+  }
+  OnOperation();
+  return *value;
+}
+
+void FrontendClient::SetImpl(Key key, Value value, OpOutcome* outcome) {
+  EnsureServerVectors();
+  ++stats_.updates;
+  cluster_->storage().Set(key, value);
+  outcome->storage_accessed = true;
+  // The update must reach every replica of the key.
+  std::vector<ServerId> targets =
+      router_ != nullptr
+          ? router_->AllReplicas(key)
+          : std::vector<ServerId>{cluster_->ring().ServerFor(key)};
+  if (write_policy_ == WritePolicy::kInvalidate) {
+    // Memcached client-driven protocol (Section 2): invalidate the local
+    // copy and delete the shard copies.
+    if (local_cache_ != nullptr) {
+      local_cache_->Invalidate(key);
+    }
+    for (ServerId sid : targets) {
+      cluster_->server(sid).Delete(key);
+    }
+  } else {
+    // Write-through: refresh copies in place. The local cache still
+    // records the update access for the dual-cost model when it is a
+    // CotCache (Invalidate + Put keeps the hotness accounting and the
+    // fresh value; plain policies just overwrite).
+    if (local_cache_ != nullptr) {
+      if (cot_cache_ != nullptr) {
+        local_cache_->Invalidate(key);
+        local_cache_->Put(key, value);
+      } else if (local_cache_->Contains(key)) {
+        local_cache_->Put(key, value);
+      }
+    }
+    for (ServerId sid : targets) {
+      cluster_->server(sid).Set(key, value);
+    }
+  }
+  outcome->backend_contacted = true;
+  outcome->server = targets.front();
+  OnOperation();
+}
+
+cache::Value FrontendClient::Get(Key key) {
+  OpOutcome outcome;
+  return GetImpl(key, &outcome);
+}
+
+void FrontendClient::Set(Key key, Value value) {
+  OpOutcome outcome;
+  SetImpl(key, value, &outcome);
+}
+
+void FrontendClient::Apply(const workload::Op& op) {
+  ApplyDetailed(op);
+}
+
+FrontendClient::OpOutcome FrontendClient::ApplyDetailed(
+    const workload::Op& op) {
+  OpOutcome outcome;
+  if (op.type == workload::OpType::kRead) {
+    GetImpl(op.key, &outcome);
+  } else {
+    SetImpl(op.key, ++update_version_, &outcome);
+  }
+  return outcome;
+}
+
+double FrontendClient::CurrentEpochImbalance() const {
+  return metrics::LoadImbalance(epoch_lookups_);
+}
+
+void FrontendClient::OnOperation() {
+  if (resizer_ == nullptr) return;
+  resizer_->OnAccess();
+  if (!resizer_->EpochComplete()) return;
+  // Hold the epoch open until it contains enough backend lookups for the
+  // max/min imbalance ratio to be statistically meaningful — with a good
+  // front-end cache, E accesses may translate to very few lookups.
+  uint64_t lookups = 0;
+  for (uint64_t c : epoch_lookups_) lookups += c;
+  if (lookups < resizer_->config().min_epoch_backend_lookups) return;
+  resizer_->EndEpoch(epoch_lookups_);
+  std::fill(epoch_lookups_.begin(), epoch_lookups_.end(), 0);
+}
+
+}  // namespace cot::cluster

@@ -1,0 +1,158 @@
+#ifndef COT_CLUSTER_FRONTEND_CLIENT_H_
+#define COT_CLUSTER_FRONTEND_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cluster/cache_cluster.h"
+#include "cluster/routing.h"
+#include "core/cot_cache.h"
+#include "core/elastic_resizer.h"
+#include "util/status.h"
+#include "workload/types.h"
+
+namespace cot::cluster {
+
+/// Per-client traffic counters.
+struct FrontendStats {
+  uint64_t reads = 0;
+  uint64_t updates = 0;
+  uint64_t local_hits = 0;
+  uint64_t backend_lookups = 0;
+  uint64_t backend_hits = 0;
+  uint64_t storage_reads = 0;
+
+  /// Fraction of reads served by the local front-end cache.
+  double LocalHitRate() const {
+    return reads == 0 ? 0.0
+                      : static_cast<double>(local_hits) /
+                            static_cast<double>(reads);
+  }
+};
+
+/// The paper's modified cache-client library (Section 5.1): a front-end
+/// server's view of the storage stack. It implements the client-driven
+/// protocol of Section 2 —
+///
+///   Get: local cache → caching shard (via consistent hashing) → persistent
+///        storage, filling both cache levels on the way back;
+///   Set: invalidate locally, write storage, send a delete to the shard —
+///
+/// and, like the instrumented Spymemcached, counts the lookups it sends to
+/// each shard per epoch. Those counters feed I_c, the client's locally
+/// observed back-end load-imbalance, which drives CoT's elastic resizer
+/// when one is attached.
+///
+/// `local_cache` may be null: a cacheless client (the paper's "no front-end
+/// cache" baseline).
+class FrontendClient {
+ public:
+  using Key = cache::Key;
+  using Value = cache::Value;
+
+  /// How updates propagate (paper Section 2: the model supports both the
+  /// memcached invalidation protocol and write-through).
+  enum class WritePolicy {
+    /// Memcached client-driven protocol (the paper's default): invalidate
+    /// the local copy, write storage, delete the shard copy.
+    kInvalidate,
+    /// Write-through: refresh the local copy and the shard copy in place
+    /// (still writing storage). Fewer cold misses after updates, at the
+    /// cost of pushing full values instead of small deletes.
+    kWriteThrough,
+  };
+
+  /// Binds a client to `cluster` (borrowed; must outlive the client) with
+  /// an owned local cache (or null for no cache).
+  FrontendClient(CacheCluster* cluster,
+                 std::unique_ptr<cache::Cache> local_cache);
+
+  /// Replaces consistent-hash routing with `router` (borrowed; typically
+  /// shared across clients) — how the server-side balancing comparators
+  /// (SliceMap, HotKeyReplicator) plug in. Pass null to restore the ring.
+  void SetRouter(RoutingPolicy* router) { router_ = router; }
+
+  /// Selects the update-propagation protocol (default: kInvalidate).
+  void SetWritePolicy(WritePolicy policy) { write_policy_ = policy; }
+  WritePolicy write_policy() const { return write_policy_; }
+
+  /// Enables CoT elastic resizing. The local cache must be a `CotCache`;
+  /// fails with kFailedPrecondition otherwise. The resizer observes this
+  /// client's per-epoch per-server lookup counts.
+  Status EnableElasticResizing(const core::ResizerConfig& config);
+
+  /// Where one operation was served from — the timing-relevant skeleton the
+  /// end-to-end simulator (cot::sim) prices with its latency model.
+  struct OpOutcome {
+    /// Read served entirely from the local front-end cache.
+    bool local_hit = false;
+    /// A request (lookup or invalidation delete) travelled to a shard.
+    bool backend_contacted = false;
+    /// The persistent layer was read (back-end miss) or written (update).
+    bool storage_accessed = false;
+    /// The shard contacted, valid iff `backend_contacted`.
+    ServerId server = 0;
+  };
+
+  /// Read path. Returns the value (never fails: storage is authoritative).
+  Value Get(Key key);
+
+  /// Update path (invalidate local + shard, write storage).
+  void Set(Key key, Value value);
+
+  /// Applies one workload operation (updates write a fresh version value).
+  void Apply(const workload::Op& op);
+
+  /// Like `Apply`, reporting where the operation was served from.
+  OpOutcome ApplyDetailed(const workload::Op& op);
+
+  /// The local cache; null for a cacheless client.
+  cache::Cache* local_cache() { return local_cache_.get(); }
+  const cache::Cache* local_cache() const { return local_cache_.get(); }
+
+  /// The resizer, if `EnableElasticResizing` was called.
+  core::ElasticResizer* resizer() { return resizer_.get(); }
+
+  /// Lookups this client sent to each shard in the current epoch.
+  const std::vector<uint64_t>& epoch_lookups() const {
+    return epoch_lookups_;
+  }
+  /// Cumulative per-shard lookups from this client.
+  const std::vector<uint64_t>& cumulative_lookups() const {
+    return cumulative_lookups_;
+  }
+  /// This client's locally observed imbalance over the current epoch.
+  double CurrentEpochImbalance() const;
+
+  /// Traffic counters.
+  const FrontendStats& stats() const { return stats_; }
+  /// Zeroes traffic counters (epoch counters are unaffected).
+  void ResetStats() { stats_ = FrontendStats(); }
+
+ private:
+  /// Post-operation bookkeeping shared by Get/Set: drives the resizer's
+  /// epoch clock.
+  void OnOperation();
+
+  Value GetImpl(Key key, OpOutcome* outcome);
+  void SetImpl(Key key, Value value, OpOutcome* outcome);
+  /// Grows the per-server counter vectors when the cluster adds shards.
+  void EnsureServerVectors();
+
+  CacheCluster* cluster_;
+  RoutingPolicy* router_ = nullptr;  // null = consistent hashing
+  WritePolicy write_policy_ = WritePolicy::kInvalidate;
+  std::unique_ptr<cache::Cache> local_cache_;
+  core::CotCache* cot_cache_ = nullptr;  // set iff local cache is a CotCache
+  std::unique_ptr<core::ElasticResizer> resizer_;
+  std::vector<uint64_t> epoch_lookups_;
+  std::vector<uint64_t> cumulative_lookups_;
+  FrontendStats stats_;
+  uint64_t update_version_ = 1;
+};
+
+}  // namespace cot::cluster
+
+#endif  // COT_CLUSTER_FRONTEND_CLIENT_H_

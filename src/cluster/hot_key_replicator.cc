@@ -1,0 +1,69 @@
+#include "cluster/hot_key_replicator.h"
+
+#include <cassert>
+
+namespace cot::cluster {
+
+HotKeyReplicator::HotKeyReplicator(const ConsistentHashRing* ring,
+                                   double hot_share, uint32_t gamma,
+                                   size_t tracker_size)
+    : ring_(ring),
+      hot_share_(hot_share),
+      gamma_(gamma),
+      tracker_size_(tracker_size) {
+  assert(ring != nullptr);
+  assert(gamma >= 1);
+  uint32_t n = ring->server_count();
+  trackers_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    trackers_.emplace_back(tracker_size_);
+  }
+  epoch_lookups_.assign(n, 0);
+}
+
+ServerId HotKeyReplicator::Route(uint64_t key) {
+  auto it = replicas_.find(key);
+  if (it == replicas_.end()) return ring_->ServerFor(key);
+  // Spread this key's lookups across its replica set.
+  const std::vector<ServerId>& set = it->second;
+  return set[rotation_++ % set.size()];
+}
+
+std::vector<ServerId> HotKeyReplicator::AllReplicas(uint64_t key) {
+  auto it = replicas_.find(key);
+  if (it == replicas_.end()) return {ring_->ServerFor(key)};
+  return it->second;
+}
+
+void HotKeyReplicator::OnLookup(uint64_t key, ServerId server) {
+  trackers_[server].TrackAccess(key, core::AccessType::kRead);
+  ++epoch_lookups_[server];
+}
+
+std::vector<uint64_t> HotKeyReplicator::EndEpoch() {
+  std::vector<uint64_t> broadcast;
+  uint32_t n = ring_->server_count();
+  for (uint32_t s = 0; s < n; ++s) {
+    uint64_t load = epoch_lookups_[s];
+    if (load == 0) continue;
+    double threshold = hot_share_ * static_cast<double>(load);
+    for (const auto& [key, hotness] : trackers_[s].SortedByHotnessDesc()) {
+      if (hotness < threshold) break;  // sorted: rest are colder
+      if (replicas_.count(key) != 0) continue;
+      // Replicate to gamma servers: the home server plus its successors.
+      ServerId home = ring_->ServerFor(key);
+      std::vector<ServerId> set;
+      set.reserve(gamma_);
+      for (uint32_t g = 0; g < gamma_ && g < n; ++g) {
+        set.push_back((home + g) % n);
+      }
+      replicas_[key] = std::move(set);
+      broadcast.push_back(key);
+    }
+    trackers_[s].Clear();
+    epoch_lookups_[s] = 0;
+  }
+  return broadcast;
+}
+
+}  // namespace cot::cluster

@@ -1,0 +1,72 @@
+#ifndef COT_CLUSTER_HOT_KEY_REPLICATOR_H_
+#define COT_CLUSTER_HOT_KEY_REPLICATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/consistent_hash_ring.h"
+#include "cluster/routing.h"
+#include "core/space_saving_tracker.h"
+
+namespace cot::cluster {
+
+/// Server-side hot-key replication (Hong & Thottethodi, the paper's
+/// server-side comparator, Section 7): every caching server tracks its own
+/// hot keys; when a key's share of its server's load crosses a threshold,
+/// the key is replicated to `gamma` servers and the decision is broadcast
+/// to all front-ends, which from then on spread that key's lookups across
+/// the replica set.
+///
+/// Mapped onto this substrate:
+///   - per-server space-saving trackers stand in for the servers' hot-spot
+///     detectors (`OnLookup` feeds them);
+///   - `EndEpoch()` runs the detection/replication decision and returns
+///     the keys newly replicated this epoch (the "broadcast", whose cost a
+///     real deployment pays in fan-out messages);
+///   - `Route` hashes each lookup of a replicated key across its replica
+///     set; `AllReplicas` lets invalidations reach every copy.
+///
+/// The contrast with CoT the paper draws: replication still serves every
+/// lookup from the back-end (no load *reduction*), needs server + client
+/// coordination, and multiplies update costs by gamma.
+class HotKeyReplicator : public RoutingPolicy {
+ public:
+  /// Creates a replicator over `ring` (borrowed). A key is replicated when
+  /// it exceeds `hot_share` of its home server's epoch load; replicas are
+  /// spread over `gamma` servers. Each server tracks `tracker_size` keys.
+  HotKeyReplicator(const ConsistentHashRing* ring, double hot_share = 0.05,
+                   uint32_t gamma = 4, size_t tracker_size = 64);
+
+  ServerId Route(uint64_t key) override;
+  std::vector<ServerId> AllReplicas(uint64_t key) override;
+  void OnLookup(uint64_t key, ServerId server) override;
+
+  /// Runs each server's hot-key detection over the epoch's observations;
+  /// newly hot keys are replicated and returned (the broadcast set).
+  /// Epoch counters reset.
+  std::vector<uint64_t> EndEpoch();
+
+  /// True if `key` currently has a replica set.
+  bool IsReplicated(uint64_t key) const {
+    return replicas_.count(key) != 0;
+  }
+  /// Number of replicated keys.
+  size_t replicated_count() const { return replicas_.size(); }
+  /// Replication factor.
+  uint32_t gamma() const { return gamma_; }
+
+ private:
+  const ConsistentHashRing* ring_;
+  double hot_share_;
+  uint32_t gamma_;
+  size_t tracker_size_;
+  std::vector<core::SpaceSavingTracker> trackers_;  // one per server
+  std::vector<uint64_t> epoch_lookups_;             // per server
+  std::unordered_map<uint64_t, std::vector<ServerId>> replicas_;
+  uint64_t rotation_ = 0;  // spreads lookups across a replica set
+};
+
+}  // namespace cot::cluster
+
+#endif  // COT_CLUSTER_HOT_KEY_REPLICATOR_H_

@@ -1,0 +1,56 @@
+#ifndef COT_CLUSTER_ROUTING_H_
+#define COT_CLUSTER_ROUTING_H_
+
+#include <vector>
+
+#include "cluster/consistent_hash_ring.h"
+
+namespace cot::cluster {
+
+/// Key-to-server routing policy used by `FrontendClient`. The default is
+/// plain consistent hashing (`RingRouter`); the server-side load-balancing
+/// comparators from the paper's related work (Slicer-style slice
+/// reassignment, hot-key replication) plug in here, so they can be
+/// compared against — and composed with — CoT's front-end caching on the
+/// same substrate.
+///
+/// Implementations may be shared by many clients (the simulation is
+/// single-threaded).
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  /// Server to send one lookup of `key` to. Stateful policies may rotate
+  /// among replicas.
+  virtual ServerId Route(uint64_t key) = 0;
+
+  /// Every server holding `key` (invalidations must reach all replicas).
+  /// Defaults to the single routed server.
+  virtual std::vector<ServerId> AllReplicas(uint64_t key) {
+    return {Route(key)};
+  }
+
+  /// Metadata-collection hook: called after a lookup of `key` was sent to
+  /// `server` (this is the access stream a control plane or server-side
+  /// monitor observes).
+  virtual void OnLookup(uint64_t key, ServerId server) {
+    (void)key;
+    (void)server;
+  }
+};
+
+/// Plain consistent hashing — the paper's baseline key-discovery scheme.
+class RingRouter : public RoutingPolicy {
+ public:
+  /// Routes via `ring` (borrowed; must outlive the router).
+  explicit RingRouter(const ConsistentHashRing* ring) : ring_(ring) {}
+
+  ServerId Route(uint64_t key) override { return ring_->ServerFor(key); }
+
+ private:
+  const ConsistentHashRing* ring_;
+};
+
+}  // namespace cot::cluster
+
+#endif  // COT_CLUSTER_ROUTING_H_

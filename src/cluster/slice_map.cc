@@ -1,0 +1,90 @@
+#include "cluster/slice_map.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "util/hash.h"
+
+namespace cot::cluster {
+
+SliceMap::SliceMap(uint32_t num_servers, uint32_t num_slices)
+    : num_servers_(num_servers) {
+  assert(num_servers >= 1);
+  assert(num_slices >= 1 && (num_slices & (num_slices - 1)) == 0);
+  int bits = 0;
+  while ((1u << bits) < num_slices) ++bits;
+  slice_shift_ = 64 - bits;
+  assignment_.resize(num_slices);
+  slice_load_.assign(num_slices, 0);
+  for (uint32_t s = 0; s < num_slices; ++s) {
+    assignment_[s] = s % num_servers_;
+  }
+}
+
+uint32_t SliceMap::SliceOf(uint64_t key) const {
+  if (slice_shift_ >= 64) return 0;
+  return static_cast<uint32_t>(Mix64(key) >> slice_shift_);
+}
+
+ServerId SliceMap::Route(uint64_t key) { return assignment_[SliceOf(key)]; }
+
+void SliceMap::OnLookup(uint64_t key, ServerId /*server*/) {
+  ++slice_load_[SliceOf(key)];
+}
+
+double SliceMap::Rebalance(CacheCluster* cluster) {
+  ++rebalance_count_;
+  uint64_t total =
+      std::accumulate(slice_load_.begin(), slice_load_.end(), uint64_t{0});
+  if (total == 0) return 0.0;
+
+  // LPT greedy: heaviest slices first, each onto the lightest server.
+  std::vector<uint32_t> order(assignment_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (slice_load_[a] != slice_load_[b]) {
+      return slice_load_[a] > slice_load_[b];
+    }
+    return a < b;
+  });
+  std::vector<uint64_t> server_load(num_servers_, 0);
+  std::vector<ServerId> next(assignment_.size());
+  for (uint32_t slice : order) {
+    ServerId lightest = 0;
+    for (ServerId s = 1; s < num_servers_; ++s) {
+      if (server_load[s] < server_load[lightest]) lightest = s;
+    }
+    next[slice] = lightest;
+    server_load[lightest] += slice_load_[slice];
+  }
+
+  uint64_t moved = 0;
+  std::vector<bool> slice_moved(assignment_.size(), false);
+  for (uint32_t s = 0; s < assignment_.size(); ++s) {
+    if (next[s] != assignment_[s]) {
+      moved += slice_load_[s];
+      slice_moved[s] = true;
+    }
+  }
+  if (cluster != nullptr) {
+    // Flush moved slices from their old owners (Slicer's reassignment
+    // invalidation): group moved slices by old owner, one sweep each.
+    for (ServerId owner = 0; owner < num_servers_; ++owner) {
+      bool any = false;
+      for (uint32_t s = 0; s < assignment_.size(); ++s) {
+        if (slice_moved[s] && assignment_[s] == owner) any = true;
+      }
+      if (!any) continue;
+      cluster->server(owner).EraseIf([&](uint64_t key) {
+        uint32_t slice = SliceOf(key);
+        return slice_moved[slice] && assignment_[slice] == owner;
+      });
+    }
+  }
+  assignment_ = std::move(next);
+  std::fill(slice_load_.begin(), slice_load_.end(), 0);
+  return static_cast<double>(moved) / static_cast<double>(total);
+}
+
+}  // namespace cot::cluster

@@ -1,0 +1,68 @@
+#ifndef COT_CLUSTER_SLICE_MAP_H_
+#define COT_CLUSTER_SLICE_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cache_cluster.h"
+#include "cluster/routing.h"
+
+namespace cot::cluster {
+
+/// Slicer-style centralized load balancing (Adya et al., OSDI 2016), the
+/// paper's main server-side comparator: the key space is divided into
+/// fixed hash slices; a control plane collects per-slice load and
+/// periodically *reassigns* whole slices to servers to even the load out.
+///
+/// This models Slicer's core mechanism at the granularity the paper
+/// discusses (coarse slices vs CoT's per-key decisions):
+///   - `Route` maps a key to its slice's current owner;
+///   - `OnLookup` is the control plane's metadata collection;
+///   - `Rebalance()` runs the assignment optimization (LPT greedy: place
+///     heaviest slices first, each onto the currently lightest server) and
+///     reports how much of the observed load changed owners — Slicer's
+///     reconfiguration/key-churn cost, which cold-misses at the new owner.
+///
+/// Limitation the paper calls out: one slice containing a single viral key
+/// can exceed a fair server share on its own; slices cannot be split below
+/// the configured granularity, while CoT acts per key at the front-end.
+class SliceMap : public RoutingPolicy {
+ public:
+  /// Creates a map of `num_slices` slices over `num_servers` servers,
+  /// initially assigned round-robin. `num_slices` must be a power of two.
+  SliceMap(uint32_t num_servers, uint32_t num_slices = 4096);
+
+  ServerId Route(uint64_t key) override;
+  void OnLookup(uint64_t key, ServerId server) override;
+
+  /// Runs the reassignment optimization over the load observed since the
+  /// last call. Returns the fraction of observed load whose slice moved to
+  /// a different server (the reconfiguration cost), and resets the
+  /// per-slice counters.
+  ///
+  /// When `cluster` is provided, moved slices are flushed from their old
+  /// owners — the invalidation a real Slicer performs on reassignment.
+  /// Without it a slice that later moves *back* could expose stale copies
+  /// stranded on the previous owner.
+  double Rebalance(CacheCluster* cluster = nullptr);
+
+  /// Slice index of `key`.
+  uint32_t SliceOf(uint64_t key) const;
+  /// Current owner of `slice`.
+  ServerId OwnerOf(uint32_t slice) const { return assignment_[slice]; }
+  /// Number of slices.
+  uint32_t num_slices() const { return static_cast<uint32_t>(assignment_.size()); }
+  /// Number of reconfigurations performed.
+  uint64_t rebalance_count() const { return rebalance_count_; }
+
+ private:
+  uint32_t num_servers_;
+  int slice_shift_;  // key hash >> shift = slice index
+  std::vector<ServerId> assignment_;
+  std::vector<uint64_t> slice_load_;
+  uint64_t rebalance_count_ = 0;
+};
+
+}  // namespace cot::cluster
+
+#endif  // COT_CLUSTER_SLICE_MAP_H_

@@ -1,0 +1,30 @@
+#include "cluster/storage_layer.h"
+
+#include <cassert>
+
+#include "util/hash.h"
+
+namespace cot::cluster {
+
+StorageLayer::StorageLayer(uint64_t key_space_size)
+    : key_space_size_(key_space_size) {
+  assert(key_space_size >= 1);
+}
+
+cache::Value StorageLayer::InitialValue(Key key) { return Mix64(key); }
+
+cache::Value StorageLayer::Get(Key key) {
+  assert(key < key_space_size_);
+  ++read_count_;
+  auto it = overrides_.find(key);
+  if (it != overrides_.end()) return it->second;
+  return InitialValue(key);
+}
+
+void StorageLayer::Set(Key key, Value value) {
+  assert(key < key_space_size_);
+  ++write_count_;
+  overrides_[key] = value;
+}
+
+}  // namespace cot::cluster

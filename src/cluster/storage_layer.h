@@ -1,0 +1,50 @@
+#ifndef COT_CLUSTER_STORAGE_LAYER_H_
+#define COT_CLUSTER_STORAGE_LAYER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cache/cache.h"
+
+namespace cot::cluster {
+
+/// Authoritative persistent storage beneath the caching layer (paper
+/// Figure 1). Every key in the key space logically exists: an unwritten key
+/// reads as a deterministic synthetic value (`Mix64(key)` with version 0),
+/// standing in for the paper's pre-loaded 1M-row "usertable". Writes bump a
+/// per-key version so tests can verify read-your-writes through the whole
+/// cache hierarchy.
+class StorageLayer {
+ public:
+  using Key = cache::Key;
+  using Value = cache::Value;
+
+  /// Creates storage over `key_space_size` keys.
+  explicit StorageLayer(uint64_t key_space_size);
+
+  /// Reads `key`'s current value. Always succeeds for in-range keys.
+  Value Get(Key key);
+
+  /// Writes `value` for `key`.
+  void Set(Key key, Value value);
+
+  /// The deterministic initial value of `key` before any write.
+  static Value InitialValue(Key key);
+
+  /// Number of keys in the key space.
+  uint64_t key_space_size() const { return key_space_size_; }
+  /// Cumulative read count (load on the persistent layer).
+  uint64_t read_count() const { return read_count_; }
+  /// Cumulative write count.
+  uint64_t write_count() const { return write_count_; }
+
+ private:
+  uint64_t key_space_size_;
+  std::unordered_map<Key, Value> overrides_;
+  uint64_t read_count_ = 0;
+  uint64_t write_count_ = 0;
+};
+
+}  // namespace cot::cluster
+
+#endif  // COT_CLUSTER_STORAGE_LAYER_H_

@@ -1,0 +1,188 @@
+#include "core/cot_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cot::core {
+
+namespace {
+
+size_t EffectiveTrackerCapacity(size_t cache_capacity,
+                                size_t tracker_capacity) {
+  size_t minimum = std::max<size_t>(1, 2 * cache_capacity);
+  return std::max(tracker_capacity, minimum);
+}
+
+}  // namespace
+
+CotCache::CotCache(const CotCacheConfig& config)
+    : cache_capacity_(config.cache_capacity),
+      tracker_(EffectiveTrackerCapacity(config.cache_capacity,
+                                        config.tracker_capacity),
+               config.weights) {}
+
+CotCache::CotCache(size_t cache_capacity, size_t tracker_capacity)
+    : CotCache(CotCacheConfig{cache_capacity, tracker_capacity,
+                              HotnessWeights{}}) {}
+
+std::optional<cache::Value> CotCache::Get(Key key) {
+  ++epoch_.accesses;
+  SpaceSavingTracker::TrackResult tracked =
+      tracker_.TrackAccess(key, AccessType::kRead);
+  // Preserve S_c ⊆ S_k: if the tracker displaced a cached key, drop it.
+  if (tracked.evicted.has_value()) DropFromCache(*tracked.evicted);
+
+  auto it = values_.find(key);
+  if (it != values_.end()) {
+    // Cache hit: refresh the key's hotness in the cache heap.
+    cache_heap_.Update(key, tracked.hotness);
+    ++stats_.hits;
+    ++epoch_.cache_hits;
+    return it->second;
+  }
+  if (tracked.was_tracked) ++epoch_.tracker_only_hits;
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void CotCache::Put(Key key, Value value) {
+  if (cache_capacity_ == 0) return;
+  // Ensure the key is tracked (Get normally guarantees this; a direct Put
+  // records a read access).
+  std::optional<double> hotness = tracker_.HotnessOf(key);
+  if (!hotness.has_value()) {
+    SpaceSavingTracker::TrackResult tracked =
+        tracker_.TrackAccess(key, AccessType::kRead);
+    if (tracked.evicted.has_value()) DropFromCache(*tracked.evicted);
+    hotness = tracked.hotness;
+  }
+  auto it = values_.find(key);
+  if (it != values_.end()) {
+    it->second = value;
+    cache_heap_.Update(key, *hotness);
+    return;
+  }
+  if (values_.size() < cache_capacity_) {
+    AdmitToCache(key, value, *hotness);
+    return;
+  }
+  // Admission filter (Algorithm 2, line 6): only keys hotter than the
+  // coldest cached key displace it.
+  assert(!cache_heap_.empty());
+  if (*hotness > cache_heap_.TopPriority()) {
+    Key victim = cache_heap_.TopKey();
+    DropFromCache(victim);
+    ++stats_.evictions;
+    AdmitToCache(key, value, *hotness);
+  }
+  // Otherwise decline: the cache keeps its hotter resident set.
+}
+
+void CotCache::Invalidate(Key key) {
+  ++epoch_.accesses;
+  // Updates lower hotness under the dual-cost model.
+  SpaceSavingTracker::TrackResult tracked =
+      tracker_.TrackAccess(key, AccessType::kUpdate);
+  if (tracked.evicted.has_value()) DropFromCache(*tracked.evicted);
+  if (values_.count(key) != 0) {
+    DropFromCache(key);
+    ++stats_.invalidations;
+  }
+}
+
+Status CotCache::Resize(size_t new_capacity) {
+  cache_capacity_ = new_capacity;
+  while (values_.size() > cache_capacity_) {
+    Key victim = cache_heap_.TopKey();
+    DropFromCache(victim);
+    ++stats_.evictions;
+  }
+  // Maintain K >= 2C.
+  size_t min_tracker = std::max<size_t>(1, 2 * cache_capacity_);
+  if (tracker_.capacity() < min_tracker) {
+    return tracker_.Resize(min_tracker);
+  }
+  return Status::OK();
+}
+
+Status CotCache::ResizeTracker(size_t new_tracker_capacity) {
+  size_t minimum = std::max<size_t>(1, 2 * cache_capacity_);
+  if (new_tracker_capacity < minimum) {
+    return Status::InvalidArgument(
+        "tracker capacity must be >= max(2 * cache capacity, 1)");
+  }
+  std::vector<Key> evicted;
+  Status s = tracker_.Resize(new_tracker_capacity, &evicted);
+  if (!s.ok()) return s;
+  for (Key key : evicted) DropFromCache(key);
+  return Status::OK();
+}
+
+std::optional<double> CotCache::MinCachedHotness() const {
+  if (cache_heap_.empty()) return std::nullopt;
+  return cache_heap_.TopPriority();
+}
+
+void CotCache::HalveAllHotness() {
+  tracker_.HalveAllHotness();
+  cache_heap_.TransformPrioritiesMonotone([](double h) { return h * 0.5; });
+}
+
+void CotCache::AdmitToCache(Key key, Value value, double hotness) {
+  values_[key] = value;
+  cache_heap_.Push(key, hotness);
+  ++stats_.insertions;
+}
+
+void CotCache::DropFromCache(Key key) {
+  if (values_.erase(key) != 0) {
+    cache_heap_.Erase(key);
+  }
+}
+
+std::vector<CotCache::ExportedKey> CotCache::ExportState() const {
+  std::vector<ExportedKey> out;
+  out.reserve(tracker_.size());
+  for (const auto& [key, hotness] : tracker_.SortedByHotnessDesc()) {
+    ExportedKey exported;
+    exported.key = key;
+    exported.counters = tracker_.CountersOf(key).value();
+    auto it = values_.find(key);
+    if (it != values_.end()) exported.value = it->second;
+    out.push_back(exported);
+  }
+  return out;
+}
+
+void CotCache::ImportState(const std::vector<ExportedKey>& state) {
+  tracker_.Clear();
+  cache_heap_.Clear();
+  values_.clear();
+  // State is hottest-first; fill the tracker up to K and the cache up to
+  // C from the hottest cached entries.
+  for (const ExportedKey& entry : state) {
+    if (tracker_.size() >= tracker_.capacity()) break;
+    tracker_.Seed(entry.key, entry.counters);
+    if (entry.value.has_value() && values_.size() < cache_capacity_) {
+      AdmitToCache(entry.key, *entry.value,
+                   tracker_.HotnessOf(entry.key).value());
+    }
+  }
+}
+
+bool CotCache::CheckInvariants() const {
+  if (values_.size() != cache_heap_.size()) return false;
+  if (values_.size() > cache_capacity_) return false;
+  if (tracker_.capacity() < std::max<size_t>(1, 2 * cache_capacity_)) {
+    return false;
+  }
+  bool ok = true;
+  // S_c ⊆ S_k and cache-heap hotness mirrors the tracker.
+  cache_heap_.ForEach([&](const Key& k, double h) {
+    auto tracked = tracker_.HotnessOf(k);
+    if (!tracked.has_value() || *tracked != h) ok = false;
+  });
+  return ok && cache_heap_.CheckInvariants() && tracker_.CheckInvariants();
+}
+
+}  // namespace cot::core

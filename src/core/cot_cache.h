@@ -1,0 +1,172 @@
+#ifndef COT_CORE_COT_CACHE_H_
+#define COT_CORE_COT_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.h"
+#include "core/hotness.h"
+#include "core/space_saving_tracker.h"
+#include "util/indexed_min_heap.h"
+#include "util/status.h"
+
+namespace cot::core {
+
+/// Configuration of a `CotCache`.
+struct CotCacheConfig {
+  /// Number of cache-lines (C). May be 0: a tracked-but-cacheless front-end
+  /// (the elastic minimum under uniform workloads).
+  size_t cache_capacity = 64;
+  /// Number of tracked keys (K). The paper maintains K >= 2C; the
+  /// constructor enforces K >= max(2*C, 1).
+  size_t tracker_capacity = 128;
+  /// Dual-cost hotness weights (Equation 1).
+  HotnessWeights weights{};
+};
+
+/// Cache-on-Track replacement policy (paper Section 4, Algorithm 2).
+///
+/// A `CotCache` couples a space-saving tracker of K keys with a min-heap
+/// cache of C < K entries, both ordered by dual-cost hotness. Every access
+/// first updates the tracker; a missed key is admitted into the cache only
+/// when its tracked hotness exceeds `h_min`, the hotness at the cache-heap
+/// root. The cache therefore always holds the *exact* top-C keys of the
+/// (approximate) top-K tracked keys — cold and noisy keys from the long
+/// tail cannot displace resident heavy hitters, which is what lets a tiny
+/// front-end cache behave near-perfectly on skewed workloads.
+///
+/// Epoch accounting: the cache counts hits on cached keys (S_c) and on
+/// tracked-but-not-cached keys (S_{k-c}) since the last `ResetEpochStats`,
+/// feeding the resizer's `alpha_c` / `alpha_{k-c}` signals (Algorithm 3).
+///
+/// Invariant: every cached key is tracked (S_c is a subset of S_k). If the
+/// tracker ever evicts a cached key (possible under update-heavy hotness
+/// collapse or tracker shrinking), the key is dropped from the cache too.
+class CotCache : public cache::Cache {
+ public:
+  using Key = cache::Key;
+  using Value = cache::Value;
+
+  /// Creates a CoT cache. `tracker_capacity` is raised to `2 *
+  /// cache_capacity` if configured lower (the paper's K >= 2C rule) and to
+  /// at least 1.
+  explicit CotCache(const CotCacheConfig& config);
+
+  /// Convenience constructor: capacity C with tracker `ratio * C`.
+  CotCache(size_t cache_capacity, size_t tracker_capacity);
+
+  // --- cache::Cache interface -------------------------------------------
+
+  /// Algorithm 2, read path: records a read in the tracker, then serves
+  /// from the local cache when resident (updating the key's position in the
+  /// cache heap). On a miss the caller fetches from the back-end and offers
+  /// the value via `Put`.
+  std::optional<Value> Get(Key key) override;
+
+  /// Algorithm 2, admission path: caches (`key`, `value`) iff the cache has
+  /// a free line or the key's tracked hotness exceeds `h_min` (evicting the
+  /// coldest cached key). Unlike classic policies, `Put` may decline.
+  void Put(Key key, Value value) override;
+
+  /// Update path: records an *update* access in the tracker (decreasing the
+  /// key's hotness per the dual-cost model) and invalidates any resident
+  /// copy.
+  void Invalidate(Key key) override;
+
+  bool Contains(Key key) const override { return values_.count(key) != 0; }
+  size_t size() const override { return values_.size(); }
+  size_t capacity() const override { return cache_capacity_; }
+
+  /// Elastic resize of the cache (C). Shrinking evicts coldest-first.
+  /// Raises the tracker capacity to maintain K >= 2C when needed.
+  Status Resize(size_t new_capacity) override;
+
+  std::string name() const override { return "cot"; }
+
+  // --- CoT-specific surface ----------------------------------------------
+
+  /// Elastic resize of the tracker (K). Rejects K < max(2C, 1). Shrinking
+  /// evicts the tracker's coldest keys; cached keys among them are dropped
+  /// from the cache to preserve S_c ⊆ S_k.
+  Status ResizeTracker(size_t new_tracker_capacity);
+
+  /// Tracker capacity (K).
+  size_t tracker_capacity() const { return tracker_.capacity(); }
+  /// Number of tracked keys.
+  size_t tracker_size() const { return tracker_.size(); }
+  /// Read-only view of the tracker.
+  const SpaceSavingTracker& tracker() const { return tracker_; }
+
+  /// `h_min`: hotness of the coldest cached key; `nullopt` when the cache
+  /// is empty.
+  std::optional<double> MinCachedHotness() const;
+
+  /// Half-life decay of all tracked and cached hotness (resizer Case 2).
+  void HalveAllHotness();
+
+  /// Epoch counters for the resizer: hits on cached keys (S_c) and on
+  /// tracked-but-not-cached keys (S_{k-c}) since the last reset.
+  struct EpochStats {
+    uint64_t cache_hits = 0;
+    uint64_t tracker_only_hits = 0;
+    uint64_t accesses = 0;
+
+    /// Average hits per cache-line, `alpha_c` (0 when C == 0).
+    double AlphaC(size_t cache_capacity) const {
+      if (cache_capacity == 0) return 0.0;
+      return static_cast<double>(cache_hits) /
+             static_cast<double>(cache_capacity);
+    }
+    /// Average hits per tracked-not-cached line, `alpha_{k-c}`.
+    double AlphaKc(size_t tracker_capacity, size_t cache_capacity) const {
+      if (tracker_capacity <= cache_capacity) return 0.0;
+      return static_cast<double>(tracker_only_hits) /
+             static_cast<double>(tracker_capacity - cache_capacity);
+    }
+  };
+  const EpochStats& epoch_stats() const { return epoch_; }
+  void ResetEpochStats() { epoch_ = EpochStats(); }
+
+  /// One tracked key's state, as exported for warm handoff.
+  struct ExportedKey {
+    Key key = 0;
+    KeyCounters counters;
+    /// Present (and meaningful) iff the key was cached.
+    std::optional<Value> value;
+  };
+
+  /// Exports the full tracker+cache state, hottest first. Together with
+  /// `ImportState` this supports the cloud-migration flexibility the paper
+  /// motivates (Section 4): a front-end instance about to be migrated or
+  /// recycled hands its hot-key knowledge to its replacement instead of
+  /// paying the warm-up all over again.
+  std::vector<ExportedKey> ExportState() const;
+
+  /// Rebuilds tracker and cache from an exported state (clearing current
+  /// content first). Entries beyond this instance's capacities are dropped
+  /// coldest-first; cached values beyond C are demoted to tracked-only.
+  /// Counter/epoch statistics are not transferred.
+  void ImportState(const std::vector<ExportedKey>& state);
+
+  /// Verifies all structural invariants (S_c ⊆ S_k, heap orders, size
+  /// bounds); O(n log n). Test hook.
+  bool CheckInvariants() const;
+
+ private:
+  /// Inserts into the cache heap + value map, evicting the root if full.
+  void AdmitToCache(Key key, Value value, double hotness);
+  /// Drops `key` from cache structures if resident.
+  void DropFromCache(Key key);
+
+  size_t cache_capacity_;
+  SpaceSavingTracker tracker_;
+  IndexedMinHeap<Key, double> cache_heap_;  // priority = hotness
+  std::unordered_map<Key, Value> values_;
+  EpochStats epoch_;
+};
+
+}  // namespace cot::core
+
+#endif  // COT_CORE_COT_CACHE_H_

@@ -1,0 +1,319 @@
+#include "core/elastic_resizer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cot::core {
+
+std::string_view ToString(ResizerPhase phase) {
+  switch (phase) {
+    case ResizerPhase::kRatioDiscovery:
+      return "ratio_discovery";
+    case ResizerPhase::kBalance:
+      return "balance";
+    case ResizerPhase::kSteady:
+      return "steady";
+    case ResizerPhase::kShrink:
+      return "shrink";
+  }
+  return "unknown";
+}
+
+std::string_view ToString(ResizeAction action) {
+  switch (action) {
+    case ResizeAction::kNone:
+      return "none";
+    case ResizeAction::kWarmup:
+      return "warmup";
+    case ResizeAction::kDoubleTracker:
+      return "double_tracker";
+    case ResizeAction::kShrinkTrackerBack:
+      return "shrink_tracker_back";
+    case ResizeAction::kDoubleBoth:
+      return "double_both";
+    case ResizeAction::kHalveBoth:
+      return "halve_both";
+    case ResizeAction::kResetTrackerRatio:
+      return "reset_tracker_ratio";
+    case ResizeAction::kDecay:
+      return "decay";
+    case ResizeAction::kTargetAchieved:
+      return "target_achieved";
+    case ResizeAction::kAtLimit:
+      return "at_limit";
+  }
+  return "unknown";
+}
+
+ElasticResizer::ElasticResizer(CotCache* cache, ResizerConfig config)
+    : cache_(cache),
+      config_(config),
+      phase_(config.enable_ratio_discovery ? ResizerPhase::kRatioDiscovery
+                                           : ResizerPhase::kBalance),
+      epoch_size_(config.initial_epoch_size) {
+  assert(cache != nullptr);
+  assert(config.target_imbalance >= 1.0);
+  UpdateEpochSize();
+}
+
+bool ElasticResizer::ImbalanceExceedsTarget(double ic) const {
+  return ic > config_.target_imbalance * (1.0 + config_.achieved_slack);
+}
+
+void ElasticResizer::SetWarmup() { warmup_remaining_ = config_.warmup_epochs; }
+
+void ElasticResizer::UpdateEpochSize() {
+  // Algorithm 3 line 4: E := max(E, K), so an epoch always spans enough
+  // accesses to fill the tracker.
+  epoch_size_ = std::max<uint64_t>(config_.initial_epoch_size,
+                                   cache_->tracker_capacity());
+}
+
+ResizeAction ElasticResizer::DoubleBoth() {
+  size_t c = cache_->capacity();
+  size_t k = cache_->tracker_capacity();
+  size_t new_c = std::max<size_t>(1, c == 0 ? 1 : 2 * c);
+  if (new_c > config_.max_cache_capacity) return ResizeAction::kAtLimit;
+  // Grow the tracker first so K >= 2C never breaks mid-flight.
+  Status s = cache_->ResizeTracker(std::max<size_t>(2 * k, 2 * new_c));
+  assert(s.ok());
+  s = cache_->Resize(new_c);
+  assert(s.ok());
+  (void)s;
+  UpdateEpochSize();
+  SetWarmup();
+  return ResizeAction::kDoubleBoth;
+}
+
+ResizeAction ElasticResizer::HalveBoth() {
+  size_t c = cache_->capacity();
+  size_t k = cache_->tracker_capacity();
+  if (c <= config_.min_cache_capacity) return ResizeAction::kAtLimit;
+  size_t new_c = std::max(config_.min_cache_capacity, c / 2);
+  size_t new_k = std::max<size_t>(2 * new_c, k / 2);
+  Status s = cache_->Resize(new_c);
+  assert(s.ok());
+  s = cache_->ResizeTracker(new_k);
+  assert(s.ok());
+  (void)s;
+  UpdateEpochSize();
+  SetWarmup();
+  return ResizeAction::kHalveBoth;
+}
+
+namespace {
+
+// max/min of a load vector with the same conventions as
+// metrics::LoadImbalance (empty/all-zero -> 1, zero min clamped to 1).
+double VectorImbalance(const std::vector<double>& loads) {
+  if (loads.empty()) return 1.0;
+  double max_load = loads[0], min_load = loads[0];
+  for (double v : loads) {
+    max_load = std::max(max_load, v);
+    min_load = std::min(min_load, v);
+  }
+  if (max_load <= 0.0) return 1.0;
+  if (min_load < 1.0) min_load = 1.0;
+  return max_load / min_load;
+}
+
+}  // namespace
+
+EpochReport ElasticResizer::EndEpoch(
+    const std::vector<uint64_t>& per_server_lookups) {
+  std::vector<double> raw(per_server_lookups.begin(),
+                          per_server_lookups.end());
+  double raw_ic = VectorImbalance(raw);
+  if (smoothed_loads_.size() != raw.size()) {
+    smoothed_loads_ = raw;  // first epoch (or server-count change): adopt
+  } else {
+    double w = config_.imbalance_smoothing;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      smoothed_loads_[i] = w * raw[i] + (1.0 - w) * smoothed_loads_[i];
+    }
+  }
+  double smoothed_ic = VectorImbalance(smoothed_loads_);
+  smoothed_imbalance_ = smoothed_ic;
+  return EndEpochImpl(raw_ic, smoothed_ic);
+}
+
+EpochReport ElasticResizer::EndEpoch(double current_imbalance) {
+  // Scalar form: smooth the value directly.
+  if (smoothed_imbalance_ == 0.0) {
+    smoothed_imbalance_ = current_imbalance;
+  } else {
+    double w = config_.imbalance_smoothing;
+    smoothed_imbalance_ =
+        w * current_imbalance + (1.0 - w) * smoothed_imbalance_;
+  }
+  return EndEpochImpl(current_imbalance, smoothed_imbalance_);
+}
+
+EpochReport ElasticResizer::EndEpochImpl(double current_imbalance,
+                                         double smoothed_imbalance) {
+  const CotCache::EpochStats& stats = cache_->epoch_stats();
+  const size_t c = cache_->capacity();
+  const size_t k = cache_->tracker_capacity();
+  const double ic = smoothed_imbalance;
+
+  EpochReport report;
+  report.epoch = epoch_index_++;
+  report.phase = phase_;
+  report.current_imbalance = current_imbalance;
+  report.smoothed_imbalance = smoothed_imbalance;
+  report.alpha_c = stats.AlphaC(c);
+  report.alpha_kc = stats.AlphaKc(k, c);
+  report.alpha_kc_signal =
+      config_.literal_alpha_kc
+          ? report.alpha_kc
+          : (c == 0 ? 0.0
+                    : static_cast<double>(stats.tracker_only_hits) /
+                          static_cast<double>(c));
+  report.alpha_target = alpha_target_;
+  report.hit_rate = stats.accesses == 0
+                        ? 0.0
+                        : static_cast<double>(stats.cache_hits) /
+                              static_cast<double>(stats.accesses);
+  report.action = ResizeAction::kNone;
+
+  if (warmup_remaining_ > 0) {
+    --warmup_remaining_;
+    report.action = ResizeAction::kWarmup;
+  } else {
+    switch (phase_) {
+      case ResizerPhase::kRatioDiscovery: {
+        // Phase 1: cache fixed, double the tracker until the hit-rate
+        // saturates; then step the tracker back and move on.
+        if (!have_baseline_) {
+          have_baseline_ = true;
+          baseline_hit_rate_ = report.hit_rate;
+          Status s = cache_->ResizeTracker(2 * k);
+          assert(s.ok());
+          (void)s;
+          UpdateEpochSize();
+          SetWarmup();
+          report.action = ResizeAction::kDoubleTracker;
+        } else {
+          double gain = report.hit_rate - baseline_hit_rate_;
+          bool significant =
+              gain > std::max(config_.ratio_gain_absolute,
+                              baseline_hit_rate_ * config_.ratio_gain_relative);
+          if (significant) {
+            baseline_hit_rate_ = report.hit_rate;
+            Status s = cache_->ResizeTracker(2 * k);
+            assert(s.ok());
+            (void)s;
+            UpdateEpochSize();
+            SetWarmup();
+            report.action = ResizeAction::kDoubleTracker;
+          } else {
+            // No benefit from the last doubling: shrink back one step
+            // (the "dip" at epoch 16 of Figure 7) and start balancing.
+            size_t back = std::max<size_t>(std::max<size_t>(1, 2 * c), k / 2);
+            Status s = cache_->ResizeTracker(back);
+            assert(s.ok());
+            (void)s;
+            UpdateEpochSize();
+            SetWarmup();
+            report.action = ResizeAction::kShrinkTrackerBack;
+            // Where next depends on why we were discovering: initially we
+            // still have to reach I_t (kBalance); re-discovery after a
+            // workload change continues into the shrink loop.
+            phase_ = (alpha_target_ == 0.0) ? ResizerPhase::kBalance
+                                            : ResizerPhase::kShrink;
+            have_baseline_ = false;
+          }
+        }
+        break;
+      }
+      case ResizerPhase::kBalance: {
+        if (ImbalanceExceedsTarget(ic)) {
+          report.action = DoubleBoth();
+          // Algorithm 3 line 5: remember the quality of the cached keys.
+          alpha_target_ = report.alpha_c;
+        } else {
+          alpha_target_ = report.alpha_c;
+          phase_ = ResizerPhase::kSteady;
+          report.action = ResizeAction::kTargetAchieved;
+        }
+        break;
+      }
+      case ResizerPhase::kSteady: {
+        double quality_bar = (1.0 - config_.epsilon) * alpha_target_;
+        if (ImbalanceExceedsTarget(ic)) {
+          // Hysteresis: re-grow only on sustained violations.
+          ++consecutive_exceed_;
+          if (consecutive_exceed_ >= config_.exceed_epochs_to_regrow) {
+            consecutive_exceed_ = 0;
+            phase_ = ResizerPhase::kBalance;
+            report.action = DoubleBoth();
+            alpha_target_ = report.alpha_c;
+          }
+          break;
+        }
+        consecutive_exceed_ = 0;
+        if (report.alpha_c < quality_bar && report.alpha_kc_signal < quality_bar) {
+          // Case 1: both S_c and S_{k-c} went cold — the workload lost
+          // skew. Re-discover the right tracker ratio from 2:1, then
+          // shrink (Section 6.4's Figure 8 narrative).
+          if (config_.enable_ratio_discovery) {
+            Status s = cache_->ResizeTracker(std::max<size_t>(1, 2 * c));
+            assert(s.ok());
+            (void)s;
+            UpdateEpochSize();
+            SetWarmup();
+            have_baseline_ = false;
+            phase_ = ResizerPhase::kRatioDiscovery;
+            report.action = ResizeAction::kResetTrackerRatio;
+          } else {
+            phase_ = ResizerPhase::kShrink;
+            report.action = HalveBoth();
+          }
+        } else if (report.alpha_c < quality_bar &&
+                   report.alpha_kc_signal >= quality_bar) {
+          // Case 2: tracked-but-not-cached keys are outperforming the
+          // cache — the hot set is turning over. Decay to forget old
+          // trends.
+          if (config_.enable_decay) cache_->HalveAllHotness();
+          report.action = ResizeAction::kDecay;
+        } else {
+          // Case 3 / both-fine: hold.
+          report.action = ResizeAction::kNone;
+        }
+        break;
+      }
+      case ResizerPhase::kShrink: {
+        double quality_bar = (1.0 - config_.epsilon) * alpha_target_;
+        if (ImbalanceExceedsTarget(ic)) {
+          ++consecutive_exceed_;
+          if (consecutive_exceed_ >= config_.exceed_epochs_to_regrow) {
+            consecutive_exceed_ = 0;
+            phase_ = ResizerPhase::kBalance;
+            report.action = DoubleBoth();
+            alpha_target_ = report.alpha_c;
+          }
+          break;
+        }
+        consecutive_exceed_ = 0;
+        if (report.alpha_c >= quality_bar) {
+          // Quality recovered at this size: hold here.
+          phase_ = ResizerPhase::kSteady;
+          report.action = ResizeAction::kTargetAchieved;
+        } else {
+          report.action = HalveBoth();
+          // kAtLimit leaves us parked at the minimum footprint.
+        }
+        break;
+      }
+    }
+  }
+
+  report.cache_capacity = cache_->capacity();
+  report.tracker_capacity = cache_->tracker_capacity();
+  history_.push_back(report);
+  cache_->ResetEpochStats();
+  accesses_in_epoch_ = 0;
+  return report;
+}
+
+}  // namespace cot::core

@@ -1,0 +1,215 @@
+#ifndef COT_CORE_ELASTIC_RESIZER_H_
+#define COT_CORE_ELASTIC_RESIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cot_cache.h"
+
+namespace cot::core {
+
+/// Tunables of the elastic resizing algorithm. Only `target_imbalance`
+/// (I_t) is semantically an operator input — everything else is either a
+/// constant named in the paper (warm-up of 5 epochs, 2% achieved slack,
+/// epoch >= K) or an internal robustness knob with a conservative default.
+struct ResizerConfig {
+  /// I_t: maximum tolerable ratio between the most- and least-loaded
+  /// back-end server as observed by this front-end. The paper's experiments
+  /// use 1.1 (Figures 7-8, Table 2) and 1.5 (Figure 3).
+  double target_imbalance = 1.1;
+  /// Epsilon of Algorithm 3: alpha comparisons use (1 - epsilon) * alpha_t
+  /// to absorb statistical noise.
+  double epsilon = 0.05;
+  /// I_c within this relative slack of I_t counts as achieved ("CoT does
+  /// not trigger resizing if I_c is within 2% of I_t", Section 6.4).
+  double achieved_slack = 0.02;
+  /// E_0: initial epoch length in accesses. The effective epoch is always
+  /// max(E_0, K) per Algorithm 3 line 4.
+  uint64_t initial_epoch_size = 5000;
+  /// Epochs to wait after every resize before acting on measurements
+  /// (Section 6.4 uses 5).
+  int warmup_epochs = 5;
+  /// Minimum relative hit-rate gain for a tracker doubling to be counted as
+  /// "significant" during ratio discovery (phase 1).
+  double ratio_gain_relative = 0.02;
+  /// ... and the minimum absolute gain (hit-rate points).
+  double ratio_gain_absolute = 0.002;
+  /// Hard bounds on the cache size the resizer will request.
+  size_t min_cache_capacity = 1;
+  size_t max_cache_capacity = size_t{1} << 20;
+  /// When false, phase 1 (tracker-to-cache ratio discovery) is skipped and
+  /// the configured ratio is kept; Algorithm 3 then runs alone.
+  bool enable_ratio_discovery = true;
+  /// EWMA weight of the newest I_c measurement in the smoothed imbalance
+  /// the resizer acts on (1.0 = raw, no smoothing). Per-epoch I_c is a
+  /// max/min ratio of multinomial counts and is noisy exactly when the
+  /// front-end cache works well (few residual backend lookups); smoothing
+  /// keeps the resizer from chasing that noise. An implementation
+  /// refinement over the paper, which does not discuss estimator noise.
+  double imbalance_smoothing = 0.5;
+  /// Minimum number of *backend lookups* an epoch must contain before the
+  /// driver (FrontendClient) closes it, for the same reason: an I_c ratio
+  /// over a handful of lookups per server is meaningless. Enforced by the
+  /// driver, not by `EndEpoch` itself.
+  uint64_t min_epoch_backend_lookups = 8000;
+  /// When false, Case 2 of Algorithm 3 logs but does not decay (the paper
+  /// leaves the decay implementation out of scope; we implement half-life
+  /// decay and enable it by default).
+  bool enable_decay = true;
+  /// Use the paper's literal alpha_{k-c} (tracker-only hits averaged over
+  /// K-C lines) as the Case-2 signal. The literal form is arithmetically
+  /// unreachable in most configurations: with K-C >= C and an epoch of E
+  /// accesses, alpha_kc can never reach alpha_t once alpha_t*(K-C) > E —
+  /// true even for the paper's own Figure-7 endpoint (alpha_t=7.8,
+  /// K-C=1536, E=5000). The default (false) instead asks whether the
+  /// *total* hits landing on S_{k-c} would be enough to feed C cache lines
+  /// at target quality (tracker_only_hits / C vs (1-eps)*alpha_t), which
+  /// preserves the intended semantics — "the tracked-but-not-cached keys
+  /// are collectively out-earning the cache" — and actually fires on hot-
+  /// set turnover.
+  bool literal_alpha_kc = false;
+  /// Hysteresis: once the target has been achieved (steady/shrink phases),
+  /// the smoothed imbalance must exceed the target for this many
+  /// *consecutive* epochs before the resizer re-grows. A single noisy
+  /// excursion re-doubling the cache also resets alpha_t to the current
+  /// (possibly degenerate) quality, which would blind the shrink detector —
+  /// this guard makes that spurious path improbable.
+  int exceed_epochs_to_regrow = 2;
+};
+
+/// Which part of the resizing state machine an epoch was processed in.
+enum class ResizerPhase {
+  /// Phase 1 (Section 6.4 / appendix): cache size fixed, tracker doubled
+  /// until the hit-rate stops improving, then shrunk back one step.
+  kRatioDiscovery,
+  /// Phase 2: double cache+tracker (binary search upward) until I_c <= I_t.
+  kBalance,
+  /// Target met: watch alpha signals for workload change (Algorithm 3's
+  /// else-branch).
+  kSteady,
+  /// Workload-change shrink loop: halve cache+tracker while quality stays
+  /// below target and I_t is not violated.
+  kShrink,
+};
+
+/// What the resizer did at an epoch boundary.
+enum class ResizeAction {
+  kNone,
+  kWarmup,
+  kDoubleTracker,
+  kShrinkTrackerBack,
+  kDoubleBoth,
+  kHalveBoth,
+  kResetTrackerRatio,
+  kDecay,
+  kTargetAchieved,
+  kAtLimit,
+};
+
+/// Human-readable names (for traces and bench output).
+std::string_view ToString(ResizerPhase phase);
+std::string_view ToString(ResizeAction action);
+
+/// One row of the per-epoch resizing trace (the data behind the paper's
+/// Figures 7 and 8).
+struct EpochReport {
+  uint64_t epoch = 0;
+  ResizerPhase phase = ResizerPhase::kBalance;
+  ResizeAction action = ResizeAction::kNone;
+  double current_imbalance = 1.0;   // I_c as measured this epoch (raw)
+  double smoothed_imbalance = 1.0;  // EWMA the decisions are based on
+  double alpha_c = 0.0;
+  double alpha_kc = 0.0;        // the paper's definition (per K-C line)
+  double alpha_kc_signal = 0.0; // the value Case 1/2 decisions used
+  double alpha_target = 0.0;    // alpha_t
+  double hit_rate = 0.0;
+  size_t cache_capacity = 0;   // after any action this epoch
+  size_t tracker_capacity = 0;
+};
+
+/// CoT's elastic resizing algorithm (paper Algorithm 3 plus the phase-1
+/// ratio discovery narrated in Section 6.4): drives a `CotCache`'s cache
+/// and tracker capacities from two per-epoch signals — the front-end's
+/// locally observed back-end load-imbalance I_c and the hits-per-line
+/// qualities alpha_c / alpha_{k-c}.
+///
+/// Usage (one instance per front-end, same thread as its cache):
+///
+///     ElasticResizer resizer(&cache, config);
+///     for each access:
+///       ... serve via cache, count per-server lookups ...
+///       resizer.OnAccess();
+///       if (resizer.EpochComplete()) {
+///         double ic = metrics::LoadImbalance(per_server_lookups);
+///         resizer.EndEpoch(ic);   // may resize the cache
+///         reset per-server lookup counters;
+///       }
+class ElasticResizer {
+ public:
+  /// Binds the resizer to `cache` (borrowed; must outlive the resizer).
+  ElasticResizer(CotCache* cache, ResizerConfig config);
+
+  /// Notes one access; cheap (a counter increment).
+  void OnAccess() { ++accesses_in_epoch_; }
+
+  /// True when the current epoch has reached its length (max(E_0, K)).
+  bool EpochComplete() const { return accesses_in_epoch_ >= epoch_size_; }
+
+  /// Processes an epoch boundary given the per-server lookup counts the
+  /// front-end observed this epoch. The resizer maintains an EWMA of the
+  /// *load vector* (weight `imbalance_smoothing`) and acts on the max/min
+  /// ratio of the smoothed loads — smoothing the ratio itself would not
+  /// remove the upward bias of a max/min over noisy counts. May resize the
+  /// cache/tracker; returns the trace row describing what happened.
+  EpochReport EndEpoch(const std::vector<uint64_t>& per_server_lookups);
+
+  /// Same, but with a pre-computed imbalance value (unit tests, synthetic
+  /// drivers). The value is EWMA-smoothed directly.
+  EpochReport EndEpoch(double current_imbalance);
+
+  /// Effective epoch length in accesses.
+  uint64_t epoch_size() const { return epoch_size_; }
+  /// The configuration in effect (drivers consult
+  /// `min_epoch_backend_lookups`).
+  const ResizerConfig& config() const { return config_; }
+  /// Current phase.
+  ResizerPhase phase() const { return phase_; }
+  /// alpha_t, the target average hit per cache-line (0 until first set).
+  double alpha_target() const { return alpha_target_; }
+  /// Number of completed epochs.
+  uint64_t epochs_completed() const { return epoch_index_; }
+  /// Full trace of every epoch so far.
+  const std::vector<EpochReport>& history() const { return history_; }
+
+ private:
+  EpochReport EndEpochImpl(double raw_imbalance, double smoothed_imbalance);
+  bool ImbalanceExceedsTarget(double ic) const;
+  void SetWarmup();
+  void UpdateEpochSize();
+  /// Doubles cache and tracker together (preserving their ratio), clamped
+  /// to max_cache_capacity. Returns the action actually taken.
+  ResizeAction DoubleBoth();
+  /// Halves cache and tracker together, clamped to min_cache_capacity.
+  ResizeAction HalveBoth();
+
+  CotCache* cache_;
+  ResizerConfig config_;
+  ResizerPhase phase_;
+  uint64_t epoch_size_;
+  uint64_t accesses_in_epoch_ = 0;
+  uint64_t epoch_index_ = 0;
+  int warmup_remaining_ = 0;
+  double alpha_target_ = 0.0;
+  double smoothed_imbalance_ = 0.0;        // 0 = no measurement yet
+  std::vector<double> smoothed_loads_;     // EWMA per-server loads
+  int consecutive_exceed_ = 0;             // hysteresis counter
+  // Ratio-discovery state.
+  bool have_baseline_ = false;
+  double baseline_hit_rate_ = 0.0;
+  std::vector<EpochReport> history_;
+};
+
+}  // namespace cot::core
+
+#endif  // COT_CORE_ELASTIC_RESIZER_H_

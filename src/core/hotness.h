@@ -1,0 +1,58 @@
+#ifndef COT_CORE_HOTNESS_H_
+#define COT_CORE_HOTNESS_H_
+
+#include <cstdint>
+
+namespace cot::core {
+
+/// Access kinds distinguished by the dual-cost hotness model.
+enum class AccessType : uint8_t {
+  kRead = 0,
+  kUpdate = 1,
+};
+
+/// Weights of the dual-cost hotness model (paper Equation 1, after
+/// Dasgupta et al. 2017): reads add `read_weight`, updates subtract
+/// `update_weight`, so frequently updated keys — whose cached copies are
+/// repeatedly invalidated — are pushed out of caching consideration.
+struct HotnessWeights {
+  double read_weight = 1.0;
+  double update_weight = 1.0;
+};
+
+/// Per-key access counters. Stored as doubles so that half-life decay
+/// (multiplying by 0.5) composes exactly with the linear hotness formula.
+struct KeyCounters {
+  double read_count = 0.0;
+  double update_count = 0.0;
+
+  /// Applies one access of the given type.
+  void Record(AccessType type) {
+    if (type == AccessType::kRead) {
+      read_count += 1.0;
+    } else {
+      update_count += 1.0;
+    }
+  }
+
+  /// Scales both counters (half-life decay uses factor 0.5). Because the
+  /// hotness formula is linear, scaling counters scales hotness by the same
+  /// factor, preserving relative order of all keys.
+  void Scale(double factor) {
+    read_count *= factor;
+    update_count *= factor;
+  }
+};
+
+/// Hotness of a key under the dual-cost model:
+/// `h = read_count * r_w - update_count * u_w` (Equation 1). May be
+/// negative for update-dominated keys.
+inline double ComputeHotness(const KeyCounters& counters,
+                             const HotnessWeights& weights) {
+  return counters.read_count * weights.read_weight -
+         counters.update_count * weights.update_weight;
+}
+
+}  // namespace cot::core
+
+#endif  // COT_CORE_HOTNESS_H_

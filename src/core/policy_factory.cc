@@ -1,0 +1,58 @@
+#include "core/policy_factory.h"
+
+#include "cache/arc_cache.h"
+#include "cache/lfu_cache.h"
+#include "cache/lru_cache.h"
+#include "cache/lruk_cache.h"
+#include "cache/mq_cache.h"
+#include "cache/two_q_cache.h"
+#include "core/cot_cache.h"
+
+namespace cot::core {
+
+const std::vector<std::string>& PolicyNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "none", "lru", "lfu", "arc", "lru-2", "2q", "mq", "cot"};
+  return names;
+}
+
+StatusOr<std::unique_ptr<cache::Cache>> MakePolicy(std::string_view name,
+                                                   size_t capacity,
+                                                   size_t tracker_ratio) {
+  if (tracker_ratio == 0) {
+    return Status::InvalidArgument("tracker_ratio must be >= 1");
+  }
+  if (name == "none") return std::unique_ptr<cache::Cache>(nullptr);
+  if (name == "lru") {
+    return std::unique_ptr<cache::Cache>(
+        std::make_unique<cache::LruCache>(capacity));
+  }
+  if (name == "lfu") {
+    return std::unique_ptr<cache::Cache>(
+        std::make_unique<cache::LfuCache>(capacity));
+  }
+  if (name == "arc") {
+    return std::unique_ptr<cache::Cache>(
+        std::make_unique<cache::ArcCache>(capacity));
+  }
+  if (name == "lru-2") {
+    return std::unique_ptr<cache::Cache>(std::make_unique<cache::LrukCache>(
+        capacity, tracker_ratio * capacity, 2));
+  }
+  if (name == "2q") {
+    return std::unique_ptr<cache::Cache>(
+        std::make_unique<cache::TwoQCache>(capacity));
+  }
+  if (name == "mq") {
+    return std::unique_ptr<cache::Cache>(
+        std::make_unique<cache::MqCache>(capacity));
+  }
+  if (name == "cot") {
+    return std::unique_ptr<cache::Cache>(
+        std::make_unique<CotCache>(capacity, tracker_ratio * capacity));
+  }
+  return Status::InvalidArgument("unknown policy '" + std::string(name) +
+                                 "'");
+}
+
+}  // namespace cot::core

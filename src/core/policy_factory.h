@@ -1,0 +1,39 @@
+#ifndef COT_CORE_POLICY_FACTORY_H_
+#define COT_CORE_POLICY_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/cache.h"
+#include "util/status.h"
+
+namespace cot::core {
+
+/// Names every replacement policy this library ships, for tools, benches
+/// and config files. "none" is accepted and yields a null cache (the
+/// cacheless front-end baseline).
+const std::vector<std::string>& PolicyNames();
+
+/// Instantiates a replacement policy by name:
+///
+///   "none"  -> null (no front-end cache)
+///   "lru"   -> LruCache
+///   "lfu"   -> LfuCache
+///   "arc"   -> ArcCache
+///   "lru-2" -> LrukCache with history = tracker_ratio * capacity
+///   "2q"    -> TwoQCache
+///   "mq"    -> MqCache
+///   "cot"   -> CotCache with tracker = tracker_ratio * capacity
+///
+/// `tracker_ratio` only affects the history/tracker-bearing policies; the
+/// paper always configures CoT's tracker and LRU-2's history equally.
+/// Unknown names fail with kInvalidArgument.
+StatusOr<std::unique_ptr<cache::Cache>> MakePolicy(std::string_view name,
+                                                   size_t capacity,
+                                                   size_t tracker_ratio = 4);
+
+}  // namespace cot::core
+
+#endif  // COT_CORE_POLICY_FACTORY_H_

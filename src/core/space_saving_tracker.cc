@@ -1,0 +1,126 @@
+#include "core/space_saving_tracker.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cot::core {
+
+SpaceSavingTracker::SpaceSavingTracker(size_t capacity, HotnessWeights weights)
+    : capacity_(capacity), weights_(weights) {
+  assert(capacity >= 1);
+}
+
+SpaceSavingTracker::TrackResult SpaceSavingTracker::TrackAccess(
+    Key key, AccessType type) {
+  TrackResult result;
+  auto it = counters_.find(key);
+  if (it != counters_.end()) {
+    // Already tracked: update counters and reorder.
+    result.was_tracked = true;
+    it->second.Record(type);
+    double h = ComputeHotness(it->second, weights_);
+    heap_.Update(key, h);
+    result.hotness = h;
+    return result;
+  }
+  // Untracked key.
+  KeyCounters inherited;
+  if (heap_.size() >= capacity_) {
+    // Replace the root (minimum hotness) and inherit its counters —
+    // Algorithm 1 lines 2-4 ("benefit of the doubt").
+    auto [victim, victim_hotness] = heap_.Pop();
+    inherited = counters_[victim];
+    counters_.erase(victim);
+    result.evicted = victim;
+  }
+  inherited.Record(type);
+  double h = ComputeHotness(inherited, weights_);
+  counters_[key] = inherited;
+  heap_.Push(key, h);
+  result.hotness = h;
+  return result;
+}
+
+std::optional<double> SpaceSavingTracker::HotnessOf(Key key) const {
+  if (!heap_.Contains(key)) return std::nullopt;
+  return heap_.PriorityOf(key);
+}
+
+std::optional<KeyCounters> SpaceSavingTracker::CountersOf(Key key) const {
+  auto it = counters_.find(key);
+  if (it == counters_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> SpaceSavingTracker::MinHotness() const {
+  if (heap_.empty()) return std::nullopt;
+  return heap_.TopPriority();
+}
+
+Status SpaceSavingTracker::Resize(size_t new_capacity,
+                                  std::vector<Key>* evicted) {
+  if (new_capacity < 1) {
+    return Status::InvalidArgument("tracker capacity must be >= 1");
+  }
+  capacity_ = new_capacity;
+  while (heap_.size() > capacity_) {
+    auto [victim, hotness] = heap_.Pop();
+    counters_.erase(victim);
+    if (evicted != nullptr) evicted->push_back(victim);
+  }
+  return Status::OK();
+}
+
+void SpaceSavingTracker::HalveAllHotness() {
+  for (auto& [key, counters] : counters_) counters.Scale(0.5);
+  heap_.TransformPrioritiesMonotone([](double h) { return h * 0.5; });
+}
+
+void SpaceSavingTracker::Clear() {
+  heap_.Clear();
+  counters_.clear();
+}
+
+void SpaceSavingTracker::Seed(Key key, const KeyCounters& counters) {
+  double h = ComputeHotness(counters, weights_);
+  auto it = counters_.find(key);
+  if (it != counters_.end()) {
+    it->second = counters;
+    heap_.Update(key, h);
+    return;
+  }
+  if (heap_.size() >= capacity_) {
+    auto [victim, victim_hotness] = heap_.Pop();
+    counters_.erase(victim);
+  }
+  counters_[key] = counters;
+  heap_.Push(key, h);
+}
+
+std::vector<std::pair<SpaceSavingTracker::Key, double>>
+SpaceSavingTracker::SortedByHotnessDesc() const {
+  std::vector<std::pair<Key, double>> out;
+  out.reserve(heap_.size());
+  heap_.ForEach([&](const Key& k, double h) { out.emplace_back(k, h); });
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+bool SpaceSavingTracker::CheckInvariants() const {
+  if (heap_.size() != counters_.size()) return false;
+  if (heap_.size() > capacity_) return false;
+  bool ok = true;
+  heap_.ForEach([&](const Key& k, double h) {
+    auto it = counters_.find(k);
+    if (it == counters_.end() ||
+        ComputeHotness(it->second, weights_) != h) {
+      ok = false;
+    }
+  });
+  return ok && heap_.CheckInvariants();
+}
+
+}  // namespace cot::core

@@ -1,0 +1,117 @@
+#ifndef COT_CORE_SPACE_SAVING_TRACKER_H_
+#define COT_CORE_SPACE_SAVING_TRACKER_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hotness.h"
+#include "util/indexed_min_heap.h"
+#include "util/status.h"
+
+namespace cot::core {
+
+/// Heavy-hitter tracker implementing the space-saving algorithm (Metwally,
+/// Agrawal & El Abbadi, ICDT 2005) extended with the paper's dual-cost
+/// hotness model — Algorithm 1 of the paper.
+///
+/// The tracker maintains at most K keys in a min-heap ordered by hotness
+/// with an O(1) hash index. When an untracked key arrives and the tracker
+/// is full, it *replaces* the minimum-hotness key and inherits that key's
+/// counters ("benefit of the doubt"), the signature move of space-saving:
+/// the reported hotness of any tracked key overestimates its true hotness
+/// by at most the smallest hotness that was ever evicted, and any key whose
+/// true share exceeds 1/K is guaranteed to be tracked in steady state.
+///
+/// The tracker is the metadata backbone of CoT: it costs 16 bytes of
+/// counters per tracked key (plus index overhead), never stores values, and
+/// supports O(n)-amortized elastic resizing and O(n) half-life decay.
+class SpaceSavingTracker {
+ public:
+  using Key = uint64_t;
+
+  /// Creates a tracker for at most `capacity` keys.
+  explicit SpaceSavingTracker(size_t capacity,
+                              HotnessWeights weights = HotnessWeights{});
+
+  /// Result of recording one access.
+  struct TrackResult {
+    /// Hotness of the accessed key after the access.
+    double hotness = 0.0;
+    /// Key evicted from the tracker to make room, if any. The owner (the
+    /// CoT cache) uses this to preserve the invariant that cached keys
+    /// remain tracked.
+    std::optional<Key> evicted;
+    /// True if the key was already tracked before this access.
+    bool was_tracked = false;
+  };
+
+  /// Records one access to `key` — Algorithm 1 (`track_key`). If the key is
+  /// untracked it is admitted, replacing (and inheriting the counters of)
+  /// the minimum-hotness key when full. The access then updates the key's
+  /// counters per the dual-cost model and reorders the heap.
+  TrackResult TrackAccess(Key key, AccessType type);
+
+  /// True if `key` is currently tracked.
+  bool Contains(Key key) const { return heap_.Contains(key); }
+
+  /// Hotness of `key`; `nullopt` when untracked.
+  std::optional<double> HotnessOf(Key key) const;
+
+  /// Counters of `key`; `nullopt` when untracked (test/diagnostic hook).
+  std::optional<KeyCounters> CountersOf(Key key) const;
+
+  /// Minimum hotness among tracked keys; `nullopt` when empty.
+  std::optional<double> MinHotness() const;
+
+  /// Number of tracked keys.
+  size_t size() const { return heap_.size(); }
+  /// Maximum number of tracked keys.
+  size_t capacity() const { return capacity_; }
+  /// The hotness weights in effect.
+  const HotnessWeights& weights() const { return weights_; }
+
+  /// Elastically resizes the tracker. Shrinking evicts the coldest keys
+  /// first and reports them (so the owner can drop dependent state);
+  /// `new_capacity` must be >= 1.
+  Status Resize(size_t new_capacity, std::vector<Key>* evicted = nullptr);
+
+  /// Half-life decay: halves every key's counters (and therefore hotness).
+  /// Order-preserving, O(n), no re-heapification. Used by the resizer's
+  /// Case 2 (hot-set turnover) to retire stale trends.
+  void HalveAllHotness();
+
+  /// Removes every tracked key.
+  void Clear();
+
+  /// Directly installs `key` with the given counters (overwriting if
+  /// already tracked; evicting the minimum-hotness key if full). This is
+  /// NOT part of the space-saving algorithm — it exists for warm handoff
+  /// (CotCache::ImportState) and tests, where counters from a previous
+  /// instance must be restored without replaying the access stream.
+  void Seed(Key key, const KeyCounters& counters);
+
+  /// Returns the tracked keys sorted hottest-first (O(n log n); for tests,
+  /// reports and the perfect-cache oracle construction).
+  std::vector<std::pair<Key, double>> SortedByHotnessDesc() const;
+
+  /// Visits every (key, hotness) pair in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    heap_.ForEach([&](const Key& k, double h) { fn(k, h); });
+  }
+
+  /// Verifies heap/index consistency (O(n); test hook).
+  bool CheckInvariants() const;
+
+ private:
+  size_t capacity_;
+  HotnessWeights weights_;
+  IndexedMinHeap<Key, double> heap_;  // priority = hotness
+  std::unordered_map<Key, KeyCounters> counters_;
+};
+
+}  // namespace cot::core
+
+#endif  // COT_CORE_SPACE_SAVING_TRACKER_H_

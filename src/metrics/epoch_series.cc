@@ -1,0 +1,84 @@
+#include "metrics/epoch_series.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace cot::metrics {
+
+EpochSeries::EpochSeries(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void EpochSeries::Append(const std::vector<double>& values) {
+  assert(values.size() == columns_.size());
+  data_.push_back(values);
+}
+
+double EpochSeries::At(size_t row, size_t col) const {
+  assert(row < data_.size() && col < columns_.size());
+  return data_[row][col];
+}
+
+std::vector<double> EpochSeries::Column(size_t col) const {
+  assert(col < columns_.size());
+  std::vector<double> out;
+  out.reserve(data_.size());
+  for (const auto& row : data_) out.push_back(row[col]);
+  return out;
+}
+
+std::vector<double> EpochSeries::Column(const std::string& name) const {
+  auto it = std::find(columns_.begin(), columns_.end(), name);
+  assert(it != columns_.end());
+  return Column(static_cast<size_t>(it - columns_.begin()));
+}
+
+std::string EpochSeries::ToCsv() const {
+  std::ostringstream os;
+  os << "epoch";
+  for (const auto& c : columns_) os << ',' << c;
+  os << '\n';
+  for (size_t r = 0; r < data_.size(); ++r) {
+    os << r;
+    for (double v : data_[r]) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      os << ',' << buf;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string EpochSeries::ToTable(size_t max_rows) const {
+  std::ostringstream os;
+  char buf[64];
+  os << "epoch";
+  for (const auto& c : columns_) {
+    std::snprintf(buf, sizeof(buf), " %12s", c.c_str());
+    os << buf;
+  }
+  os << '\n';
+  auto emit_row = [&](size_t r) {
+    std::snprintf(buf, sizeof(buf), "%5zu", r);
+    os << buf;
+    for (double v : data_[r]) {
+      std::snprintf(buf, sizeof(buf), " %12.4g", v);
+      os << buf;
+    }
+    os << '\n';
+  };
+  if (max_rows == 0 || data_.size() <= max_rows) {
+    for (size_t r = 0; r < data_.size(); ++r) emit_row(r);
+  } else {
+    size_t head = max_rows / 2;
+    size_t tail = max_rows - head;
+    for (size_t r = 0; r < head; ++r) emit_row(r);
+    os << "  ...\n";
+    for (size_t r = data_.size() - tail; r < data_.size(); ++r) emit_row(r);
+  }
+  return os.str();
+}
+
+}  // namespace cot::metrics

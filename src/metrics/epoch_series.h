@@ -1,0 +1,51 @@
+#ifndef COT_METRICS_EPOCH_SERIES_H_
+#define COT_METRICS_EPOCH_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cot::metrics {
+
+/// Per-epoch time series recorder used by the adaptive-resizing experiments
+/// (paper Figures 7 and 8): a fixed set of named columns, one row appended
+/// per epoch, rendered as a CSV block or an aligned text table.
+class EpochSeries {
+ public:
+  /// Creates a series with the given column names (excluding the implicit
+  /// leading "epoch" column).
+  explicit EpochSeries(std::vector<std::string> columns);
+
+  /// Appends one row. `values.size()` must equal the number of columns.
+  void Append(const std::vector<double>& values);
+
+  /// Number of recorded rows.
+  size_t rows() const { return data_.size(); }
+  /// Number of columns (excluding the epoch index).
+  size_t columns() const { return columns_.size(); }
+  /// Column names.
+  const std::vector<std::string>& column_names() const { return columns_; }
+
+  /// Value at (row, col). Bounds are asserted in debug builds.
+  double At(size_t row, size_t col) const;
+
+  /// Full column as a vector (for assertions in tests/benches).
+  std::vector<double> Column(size_t col) const;
+  /// Column looked up by name; asserts the name exists.
+  std::vector<double> Column(const std::string& name) const;
+
+  /// Renders "epoch,<col...>" CSV text.
+  std::string ToCsv() const;
+
+  /// Renders an aligned, human-readable table; when `max_rows` is nonzero
+  /// and the series is longer, elides the middle rows.
+  std::string ToTable(size_t max_rows = 0) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> data_;
+};
+
+}  // namespace cot::metrics
+
+#endif  // COT_METRICS_EPOCH_SERIES_H_

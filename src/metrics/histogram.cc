@@ -1,0 +1,110 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace cot::metrics {
+
+const std::vector<uint64_t>& Histogram::BucketLimits() {
+  // Geometric-ish bucket upper bounds: 1, 2, 3, 4, 6, 8, 12, 16, ...
+  // (doubling with one midpoint per octave), out to ~1e18.
+  static const std::vector<uint64_t>& limits = *new std::vector<uint64_t>([] {
+    std::vector<uint64_t> v;
+    v.push_back(1);
+    v.push_back(2);
+    uint64_t base = 2;
+    while (base < (1ULL << 62)) {
+      v.push_back(base + base / 2);  // 1.5x midpoint
+      base *= 2;
+      v.push_back(base);
+    }
+    v.push_back(std::numeric_limits<uint64_t>::max());
+    return v;
+  }());
+  return limits;
+}
+
+Histogram::Histogram() : buckets_(BucketLimits().size(), 0) {}
+
+size_t Histogram::BucketIndex(uint64_t value) const {
+  const auto& limits = BucketLimits();
+  auto it = std::lower_bound(limits.begin(), limits.end(), value);
+  return static_cast<size_t>(it - limits.begin());
+}
+
+void Histogram::Add(uint64_t value) {
+  size_t idx = std::min(BucketIndex(value), buckets_.size() - 1);
+  buckets_[idx]++;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+double Histogram::mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  double threshold = static_cast<double>(count_) * (p / 100.0);
+  const auto& limits = BucketLimits();
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    uint64_t next = cumulative + buckets_[i];
+    if (static_cast<double>(next) >= threshold) {
+      // Interpolate within bucket [lower, upper].
+      double lower = (i == 0) ? 0.0 : static_cast<double>(limits[i - 1]);
+      double upper = static_cast<double>(limits[i]);
+      upper = std::min(upper, static_cast<double>(max_));
+      lower = std::max(lower, static_cast<double>(min_));
+      if (upper < lower) upper = lower;
+      double fraction =
+          (threshold - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets_[i]);
+      return lower + fraction * (upper - lower);
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2f min=%llu max=%llu p50=%.1f p95=%.1f "
+                "p99=%.1f",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(max()), Median(), P95(), P99());
+  return buf;
+}
+
+}  // namespace cot::metrics

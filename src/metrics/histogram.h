@@ -1,0 +1,63 @@
+#ifndef COT_METRICS_HISTOGRAM_H_
+#define COT_METRICS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cot::metrics {
+
+/// Log-bucketed histogram for non-negative values (latencies, counts),
+/// modelled after the RocksDB statistics histogram: buckets grow roughly
+/// geometrically, giving ~4% relative resolution across nine decades with a
+/// fixed, allocation-free footprint.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one observation (values are clamped to the covered range).
+  void Add(uint64_t value);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  /// Clears all recorded data.
+  void Reset();
+
+  /// Number of recorded observations.
+  uint64_t count() const { return count_; }
+  /// Sum of recorded observations.
+  uint64_t sum() const { return sum_; }
+  /// Mean observation; 0 when empty.
+  double mean() const;
+  /// Smallest recorded value (bucket-quantised); 0 when empty.
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  /// Largest recorded value; 0 when empty.
+  uint64_t max() const { return count_ == 0 ? 0 : max_; }
+
+  /// Value at percentile `p` in [0, 100], linearly interpolated within the
+  /// containing bucket. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  /// Convenience accessors for common percentiles.
+  double Median() const { return Percentile(50.0); }
+  double P95() const { return Percentile(95.0); }
+  double P99() const { return Percentile(99.0); }
+
+  /// Renders a short single-line summary, e.g. for bench output.
+  std::string ToString() const;
+
+ private:
+  static const std::vector<uint64_t>& BucketLimits();
+  size_t BucketIndex(uint64_t value) const;
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace cot::metrics
+
+#endif  // COT_METRICS_HISTOGRAM_H_

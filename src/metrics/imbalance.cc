@@ -1,0 +1,61 @@
+#include "metrics/imbalance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cot::metrics {
+
+double LoadImbalance(const std::vector<uint64_t>& per_server_load) {
+  if (per_server_load.empty()) return 1.0;
+  uint64_t max_load = *std::max_element(per_server_load.begin(),
+                                        per_server_load.end());
+  uint64_t min_load = *std::min_element(per_server_load.begin(),
+                                        per_server_load.end());
+  if (max_load == 0) return 1.0;
+  if (min_load == 0) min_load = 1;
+  return static_cast<double>(max_load) / static_cast<double>(min_load);
+}
+
+double LoadCoefficientOfVariation(
+    const std::vector<uint64_t>& per_server_load) {
+  if (per_server_load.empty()) return 0.0;
+  double n = static_cast<double>(per_server_load.size());
+  double sum = 0.0;
+  for (uint64_t v : per_server_load) sum += static_cast<double>(v);
+  if (sum == 0.0) return 0.0;
+  double mean = sum / n;
+  double ss = 0.0;
+  for (uint64_t v : per_server_load) {
+    double d = static_cast<double>(v) - mean;
+    ss += d * d;
+  }
+  return std::sqrt(ss / n) / mean;
+}
+
+uint64_t TotalLoad(const std::vector<uint64_t>& per_server_load) {
+  return std::accumulate(per_server_load.begin(), per_server_load.end(),
+                         static_cast<uint64_t>(0));
+}
+
+double RelativeServerLoad(const std::vector<uint64_t>& current,
+                          const std::vector<uint64_t>& baseline) {
+  uint64_t base = TotalLoad(baseline);
+  if (base == 0) return 1.0;
+  return static_cast<double>(TotalLoad(current)) / static_cast<double>(base);
+}
+
+double JainFairnessIndex(const std::vector<uint64_t>& per_server_load) {
+  if (per_server_load.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (uint64_t v : per_server_load) {
+    double x = static_cast<double>(v);
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  double n = static_cast<double>(per_server_load.size());
+  return (sum * sum) / (n * sum_sq);
+}
+
+}  // namespace cot::metrics

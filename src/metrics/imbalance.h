@@ -1,0 +1,41 @@
+#ifndef COT_METRICS_IMBALANCE_H_
+#define COT_METRICS_IMBALANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cot::metrics {
+
+/// Load-imbalance of a set of per-server load counters, defined (as in the
+/// paper, Section 4.1) as the ratio between the most-loaded and least-loaded
+/// server: `I = max(load) / min(load)`.
+///
+/// Edge cases: an empty vector or an all-zero vector has no meaningful
+/// imbalance and returns 1.0 (perfectly balanced by convention). If some but
+/// not all servers saw zero load, the minimum is clamped to 1 so the ratio is
+/// finite; this matches what a per-epoch measurement with integer counters
+/// would report.
+double LoadImbalance(const std::vector<uint64_t>& per_server_load);
+
+/// Coefficient of variation (stddev / mean) of per-server load; a secondary
+/// balance measure reported by some benches. Returns 0 for empty or all-zero
+/// input.
+double LoadCoefficientOfVariation(const std::vector<uint64_t>& per_server_load);
+
+/// Total load across servers.
+uint64_t TotalLoad(const std::vector<uint64_t>& per_server_load);
+
+/// Relative server load of a run versus a baseline run (paper Figure 3):
+/// `total(current) / total(baseline)`. Returns 1.0 when the baseline is zero.
+double RelativeServerLoad(const std::vector<uint64_t>& current,
+                          const std::vector<uint64_t>& baseline);
+
+/// Jain's fairness index of per-server load: `(sum x)^2 / (n * sum x^2)`,
+/// in (0, 1]; 1 = perfectly balanced, 1/n = one server takes everything.
+/// A scale-free complement to the max/min ratio (which only sees the two
+/// extremes). Returns 1.0 for empty or all-zero input.
+double JainFairnessIndex(const std::vector<uint64_t>& per_server_load);
+
+}  // namespace cot::metrics
+
+#endif  // COT_METRICS_IMBALANCE_H_

@@ -1,0 +1,65 @@
+#include "metrics/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cot::metrics {
+
+namespace {
+
+// Two-sided 95% Student t quantiles for df = 1..30.
+constexpr double kT95[30] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+
+double T95(uint64_t df) {
+  if (df == 0) return 0.0;
+  if (df <= 30) return kT95[df - 1];
+  return 1.96;
+}
+
+}  // namespace
+
+void Summary::Add(double x) {
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Summary::Merge(const Summary& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  uint64_t total = count_ + other.count_;
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / static_cast<double>(total);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(total);
+  count_ = total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Summary::Reset() { *this = Summary(); }
+
+double Summary::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::ci95_half_width() const {
+  if (count_ < 2) return 0.0;
+  double sem = stddev() / std::sqrt(static_cast<double>(count_));
+  return T95(count_ - 1) * sem;
+}
+
+}  // namespace cot::metrics

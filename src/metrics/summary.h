@@ -1,0 +1,55 @@
+#ifndef COT_METRICS_SUMMARY_H_
+#define COT_METRICS_SUMMARY_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace cot::metrics {
+
+/// Streaming summary statistics (Welford's online algorithm): count, mean,
+/// sample variance, min, max, and a 95% confidence interval half-width for
+/// the mean. Numerically stable for long streams.
+class Summary {
+ public:
+  Summary() = default;
+
+  /// Incorporates one observation.
+  void Add(double x);
+
+  /// Merges another summary into this one (parallel Welford merge).
+  void Merge(const Summary& other);
+
+  /// Resets to the empty state.
+  void Reset();
+
+  /// Number of observations.
+  uint64_t count() const { return count_; }
+  /// Mean of observations; 0 when empty.
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const;
+  /// Square root of `variance()`.
+  double stddev() const;
+  /// Smallest observation; +inf when empty.
+  double min() const { return min_; }
+  /// Largest observation; -inf when empty.
+  double max() const { return max_; }
+  /// Sum of observations.
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Half-width of the 95% confidence interval for the mean, using
+  /// Student's t quantile for small samples (n <= 30, tabulated) and the
+  /// normal approximation (1.96) otherwise. Returns 0 when n < 2.
+  double ci95_half_width() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace cot::metrics
+
+#endif  // COT_METRICS_SUMMARY_H_

@@ -1,0 +1,167 @@
+#include "sim/end_to_end_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "cluster/cache_cluster.h"
+#include "metrics/imbalance.h"
+
+namespace cot::sim {
+
+namespace {
+
+/// One pending client-issue event.
+struct IssueEvent {
+  double time;
+  uint32_t client;
+};
+
+struct IssueLater {
+  bool operator()(const IssueEvent& a, const IssueEvent& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.client > b.client;  // deterministic tie-break
+  }
+};
+
+/// Per-shard timing state. FIFO is implicit: issue events are processed in
+/// global time order, so arrivals at a shard are seen in arrival order and
+/// `next_free` advances monotonically per shard. `completions` holds the
+/// departure times of requests still in the system, so the backlog a new
+/// arrival sees is a true request count (bounded by the number of clients —
+/// the closed loop cannot diverge).
+struct ServerTiming {
+  double next_free = 0.0;
+  std::deque<double> completions;
+};
+
+}  // namespace
+
+StatusOr<EndToEndResult> RunEndToEnd(
+    const cluster::ExperimentConfig& config,
+    const cluster::CacheFactory& factory, const LatencyModel& model,
+    const core::ResizerConfig* resizer_config) {
+  if (config.num_clients == 0) {
+    return Status::InvalidArgument("num_clients must be >= 1");
+  }
+  if (config.phases.empty()) {
+    return Status::InvalidArgument("at least one workload phase is required");
+  }
+
+  uint64_t ops_per_client = config.total_ops / config.num_clients;
+  std::vector<workload::PhaseSpec> phases = config.phases;
+  if (phases.size() == 1 && phases[0].num_ops == 0) {
+    phases[0].num_ops = ops_per_client;
+  }
+
+  cluster::CacheCluster cluster(config.num_servers, config.key_space,
+                                config.virtual_nodes);
+  if (config.preload_backend) {
+    for (uint64_t key = 0; key < config.key_space; ++key) {
+      cluster.server(cluster.ring().ServerFor(key))
+          .Set(key, cluster::StorageLayer::InitialValue(key));
+    }
+    cluster.ResetServerCounters();
+  }
+  std::vector<std::unique_ptr<cluster::FrontendClient>> clients;
+  std::vector<workload::OpStream> streams;
+  for (uint32_t i = 0; i < config.num_clients; ++i) {
+    clients.push_back(std::make_unique<cluster::FrontendClient>(
+        &cluster, factory ? factory(i) : nullptr));
+    if (resizer_config != nullptr && clients.back()->local_cache() != nullptr) {
+      Status s = clients.back()->EnableElasticResizing(*resizer_config);
+      if (!s.ok()) return s;
+    }
+    auto stream =
+        workload::OpStream::Create(config.key_space, phases, config.seed + i);
+    if (!stream.ok()) return stream.status();
+    streams.push_back(std::move(stream).value());
+  }
+
+  std::priority_queue<IssueEvent, std::vector<IssueEvent>, IssueLater> events;
+  for (uint32_t i = 0; i < config.num_clients; ++i) {
+    events.push(IssueEvent{0.0, i});
+  }
+  std::vector<ServerTiming> servers(config.num_servers);
+  std::vector<uint64_t> per_server_requests(config.num_servers, 0);
+  uint64_t total_backend_requests = 0;
+
+  EndToEndResult result;
+  double makespan = 0.0;
+  double latency_sum = 0.0;
+  uint64_t op_count = 0;
+
+  while (!events.empty()) {
+    IssueEvent ev = events.top();
+    events.pop();
+    if (streams[ev.client].Done()) {
+      makespan = std::max(makespan, ev.time);
+      continue;
+    }
+    workload::Op op = streams[ev.client].Next();
+    cluster::FrontendClient::OpOutcome outcome =
+        clients[ev.client]->ApplyDetailed(op);
+
+    double completion;
+    if (!outcome.backend_contacted) {
+      // Local hit: served inside the front-end.
+      completion = ev.time + model.local_hit_us;
+    } else {
+      ServerTiming& server = servers[outcome.server];
+      double arrival = ev.time + model.rtt_us / 2.0;
+      // Backlog = requests still queued/in service at this shard when the
+      // new one arrives.
+      while (!server.completions.empty() &&
+             server.completions.front() <= arrival) {
+        server.completions.pop_front();
+      }
+      double backlog = static_cast<double>(server.completions.size());
+      result.max_backlog = std::max(result.max_backlog, backlog);
+      // Recent share of backend traffic landing on this shard (fair = 1/n).
+      ++total_backend_requests;
+      ++per_server_requests[outcome.server];
+      double share =
+          total_backend_requests < 64
+              ? 1.0 / static_cast<double>(config.num_servers)
+              : static_cast<double>(per_server_requests[outcome.server]) /
+                    static_cast<double>(total_backend_requests);
+      double service = model.ServiceTime(
+          backlog, share, static_cast<double>(config.num_servers));
+      if (outcome.storage_accessed) service += model.storage_extra_us;
+      double start = std::max(arrival, server.next_free);
+      server.next_free = start + service;
+      server.completions.push_back(server.next_free);
+      completion = server.next_free + model.rtt_us / 2.0;
+    }
+    double latency = completion - ev.time;
+    latency_sum += latency;
+    ++op_count;
+    result.latency_us.Add(static_cast<uint64_t>(latency));
+    makespan = std::max(makespan, completion);
+    events.push(IssueEvent{completion, ev.client});
+  }
+
+  result.makespan_us = makespan;
+  result.mean_latency_us =
+      op_count == 0 ? 0.0 : latency_sum / static_cast<double>(op_count);
+
+  result.logical.per_server_lookups = cluster.PerServerLookups();
+  result.logical.imbalance =
+      metrics::LoadImbalance(result.logical.per_server_lookups);
+  result.logical.total_backend_lookups =
+      metrics::TotalLoad(result.logical.per_server_lookups);
+  for (const auto& client : clients) {
+    const cluster::FrontendStats& s = client->stats();
+    result.logical.aggregate.reads += s.reads;
+    result.logical.aggregate.updates += s.updates;
+    result.logical.aggregate.local_hits += s.local_hits;
+    result.logical.aggregate.backend_lookups += s.backend_lookups;
+    result.logical.aggregate.backend_hits += s.backend_hits;
+    result.logical.aggregate.storage_reads += s.storage_reads;
+  }
+  result.logical.local_hit_rate = result.logical.aggregate.LocalHitRate();
+  return result;
+}
+
+}  // namespace cot::sim

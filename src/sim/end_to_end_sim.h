@@ -1,0 +1,46 @@
+#ifndef COT_SIM_END_TO_END_SIM_H_
+#define COT_SIM_END_TO_END_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/experiment.h"
+#include "metrics/histogram.h"
+#include "sim/latency_model.h"
+#include "util/status.h"
+
+namespace cot::sim {
+
+/// Outcome of an end-to-end timing run.
+struct EndToEndResult {
+  /// Wall-clock of the whole run (time the last client finishes), in
+  /// microseconds — the paper's "overall running time" (Figures 5-6).
+  double makespan_us = 0.0;
+  /// Mean per-operation latency, microseconds.
+  double mean_latency_us = 0.0;
+  /// Latency distribution (microsecond resolution).
+  metrics::Histogram latency_us;
+  /// Peak simulated backlog across shards (thrashing severity diagnostic).
+  double max_backlog = 0.0;
+  /// Logical counters from the underlying cluster run.
+  cluster::ExperimentResult logical;
+};
+
+/// Closed-loop discrete-event simulation of the paper's end-to-end
+/// experiments: every client keeps exactly one request outstanding (YCSB
+/// "back-to-back" issue), local hits complete in `local_hit_us`, and every
+/// back-end request queues FIFO at its shard, whose service time degrades
+/// as its backlog grows (the thrashing the paper identifies as the reason
+/// skew inflates runtime by 8.9x-12.3x with 20 threads).
+///
+/// The cache/shard *state* machine is the real `cot::cluster` stack — the
+/// simulator only prices the requests in time, so hit-rates and imbalance
+/// are identical to `RunExperiment` with the same seed.
+StatusOr<EndToEndResult> RunEndToEnd(
+    const cluster::ExperimentConfig& config,
+    const cluster::CacheFactory& factory, const LatencyModel& model,
+    const core::ResizerConfig* resizer_config = nullptr);
+
+}  // namespace cot::sim
+
+#endif  // COT_SIM_END_TO_END_SIM_H_

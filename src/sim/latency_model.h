@@ -1,0 +1,54 @@
+#ifndef COT_SIM_LATENCY_MODEL_H_
+#define COT_SIM_LATENCY_MODEL_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace cot::sim {
+
+/// Timing parameters of the end-to-end simulator, chosen to match the
+/// paper's testbed (Section 5.3): front-ends and back-ends in the same
+/// cluster with an average RTT of 244 microseconds, and back-end servers
+/// that degrade ("thrash") when too many of the 20 client connections pile
+/// onto the most-loaded shard.
+struct LatencyModel {
+  /// Round-trip time between a front-end and any shard, microseconds.
+  double rtt_us = 244.0;
+  /// Per-request service time at a shard with no queue, microseconds.
+  /// Sized for the paper's 750 KB values: wire + copy time is of the same
+  /// order as the same-rack RTT, which is why one saturated shard can
+  /// dominate the end-to-end runtime.
+  double base_service_us = 150.0;
+  /// Time to serve a request from the local front-end cache.
+  double local_hit_us = 2.0;
+  /// Extra delay when the persistent layer must be read (shard miss).
+  double storage_extra_us = 400.0;
+  /// Queue depth beyond which service degrades (connection thrashing).
+  double thrash_knee = 4.0;
+  /// Fractional service-time growth per queued request beyond the knee.
+  /// 0 disables thrashing (it cannot occur with a single client anyway).
+  double thrash_coeff = 0.15;
+  /// Load-dependent service degradation: a shard receiving more than its
+  /// fair share (1/n) of recent backend requests serves each of them
+  /// slower, by `load_share_penalty` per unit of excess normalized share.
+  /// This models the server-side pressure of hammering one instance with
+  /// 750 KB values (memory-bandwidth and slab churn on the hot shard) and
+  /// is what makes even a *single* closed-loop client slower under skew —
+  /// the paper's Figure 6 observation that runtime tracks the imbalance
+  /// factor. 0 disables.
+  double load_share_penalty = 2.5;
+
+  /// Effective service time with `backlog` requests already queued at a
+  /// shard that has received `share` of all recent backend requests across
+  /// `num_servers` shards.
+  double ServiceTime(double backlog, double share, double num_servers) const {
+    double queue_excess = std::max(0.0, backlog - thrash_knee);
+    double share_excess = std::max(0.0, share * num_servers - 1.0);
+    return base_service_us * (1.0 + thrash_coeff * queue_excess) *
+           (1.0 + load_share_penalty * share_excess);
+  }
+};
+
+}  // namespace cot::sim
+
+#endif  // COT_SIM_LATENCY_MODEL_H_

@@ -1,0 +1,185 @@
+#include "util/flags.h"
+
+#include <cassert>
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+namespace cot {
+
+void FlagParser::AddString(const std::string& name, std::string default_value,
+                           std::string help) {
+  assert(flags_.find(name) == flags_.end());
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = std::move(help);
+  flag.string_value = std::move(default_value);
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddInt64(const std::string& name, int64_t default_value,
+                          std::string help) {
+  assert(flags_.find(name) == flags_.end());
+  Flag flag;
+  flag.type = Type::kInt64;
+  flag.help = std::move(help);
+  flag.int_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           std::string help) {
+  assert(flags_.find(name) == flags_.end());
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = std::move(help);
+  flag.double_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         std::string help) {
+  assert(flags_.find(name) == flags_.end());
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = std::move(help);
+  flag.bool_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+Status FlagParser::SetValue(Flag& flag, const std::string& name,
+                            const std::string& text) {
+  switch (flag.type) {
+    case Type::kString:
+      flag.string_value = text;
+      return Status::OK();
+    case Type::kInt64: {
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return Status::InvalidArgument("--" + name +
+                                       ": expected integer, got '" + text +
+                                       "'");
+      }
+      flag.int_value = v;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size() || text.empty()) {
+        return Status::InvalidArgument("--" + name +
+                                       ": expected number, got '" + text +
+                                       "'");
+      }
+      flag.double_value = v;
+      return Status::OK();
+    }
+    case Type::kBool:
+      if (text == "true" || text == "1") {
+        flag.bool_value = true;
+      } else if (text == "false" || text == "0") {
+        flag.bool_value = false;
+      } else {
+        return Status::InvalidArgument("--" + name +
+                                       ": expected true/false, got '" + text +
+                                       "'");
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return Status::OK();
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name = body;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (!has_value) {
+      if (it->second.type == Type::kBool) {
+        // Bare boolean flag.
+        it->second.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("--" + name + ": missing value");
+      }
+      value = argv[++i];
+    }
+    Status s = SetValue(it->second, name, value);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Help() const {
+  std::ostringstream os;
+  os << "flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    switch (flag.type) {
+      case Type::kString:
+        os << " (string, default \"" << flag.string_value << "\")";
+        break;
+      case Type::kInt64:
+        os << " (int, default " << flag.int_value << ")";
+        break;
+      case Type::kDouble:
+        os << " (number, default " << flag.double_value << ")";
+        break;
+      case Type::kBool:
+        os << " (bool, default " << (flag.bool_value ? "true" : "false")
+           << ")";
+        break;
+    }
+    os << "\n      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  assert(it != flags_.end() && it->second.type == Type::kString);
+  return it->second.string_value;
+}
+
+int64_t FlagParser::GetInt64(const std::string& name) const {
+  auto it = flags_.find(name);
+  assert(it != flags_.end() && it->second.type == Type::kInt64);
+  return it->second.int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  auto it = flags_.find(name);
+  assert(it != flags_.end() && it->second.type == Type::kDouble);
+  return it->second.double_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  auto it = flags_.find(name);
+  assert(it != flags_.end() && it->second.type == Type::kBool);
+  return it->second.bool_value;
+}
+
+}  // namespace cot

@@ -1,0 +1,69 @@
+#ifndef COT_UTIL_FLAGS_H_
+#define COT_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cot {
+
+/// Minimal dependency-free command-line flag parser for the repo's tools
+/// and benches. Flags are declared with defaults and help text, then
+/// parsed from `--name value` or `--name=value` arguments; bools also
+/// accept bare `--name`. `--help` short-circuits (check
+/// `help_requested()`), unknown flags and malformed values fail with a
+/// descriptive status.
+class FlagParser {
+ public:
+  /// Declares flags. Names are given without the leading dashes. Each name
+  /// may be declared once; re-declaration asserts.
+  void AddString(const std::string& name, std::string default_value,
+                 std::string help);
+  void AddInt64(const std::string& name, int64_t default_value,
+                std::string help);
+  void AddDouble(const std::string& name, double default_value,
+                 std::string help);
+  void AddBool(const std::string& name, bool default_value, std::string help);
+
+  /// Parses `argv[1..)`. Returns the first error, or OK.
+  Status Parse(int argc, char** argv);
+
+  /// True when `--help` was seen; `Help()` is the text to print.
+  bool help_requested() const { return help_requested_; }
+  std::string Help() const;
+
+  /// Typed accessors; the flag must have been declared with the matching
+  /// type (asserted).
+  const std::string& GetString(const std::string& name) const;
+  int64_t GetInt64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  enum class Type { kString, kInt64, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string string_value;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+  };
+
+  Status SetValue(Flag& flag, const std::string& name,
+                  const std::string& text);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace cot
+
+#endif  // COT_UTIL_FLAGS_H_

@@ -1,0 +1,32 @@
+#ifndef COT_UTIL_HASH_H_
+#define COT_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cot {
+
+/// 64-bit FNV-1a over a byte string. Stable across platforms and runs; used
+/// wherever a deterministic string hash is required (consistent hashing of
+/// textual keys, test fixtures).
+uint64_t Fnv1a64(std::string_view bytes);
+
+/// The 64-bit finalizer ("fmix64") from MurmurHash3. A fast, high-quality
+/// bijective mixer for integer keys; used to place integer keys and virtual
+/// nodes on the consistent-hash ring and to scramble keys in the
+/// ScrambledZipfian generator (matching YCSB, which uses the same finalizer
+/// via FNV-ish hashing).
+uint64_t Mix64(uint64_t x);
+
+/// Combines a hash value into a running seed (boost-style hash_combine,
+/// 64-bit variant).
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+/// Hashes a (key, tag) pair — convenience for placing the i-th virtual node
+/// of a server on the ring.
+uint64_t HashPair(uint64_t a, uint64_t b);
+
+}  // namespace cot
+
+#endif  // COT_UTIL_HASH_H_

@@ -1,0 +1,204 @@
+#ifndef COT_UTIL_INDEXED_MIN_HEAP_H_
+#define COT_UTIL_INDEXED_MIN_HEAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cot {
+
+/// Binary min-heap with by-key addressing: every key appears at most once
+/// and its priority can be updated or the key erased in O(log n) by key
+/// alone. This is the core structure behind the space-saving tracker, the
+/// CoT cache min-heap, the LFU cache, and the LRU-k eviction queue — all of
+/// which need "find/replace the minimum" *and* "adjust an arbitrary key".
+///
+/// `Compare(a, b)` returning true means `a` has *higher* priority to stay at
+/// the root (default `std::less`: smallest priority at the root).
+///
+/// Priorities may be compound (e.g. `std::pair` for tie-breaking). Keys must
+/// be hashable.
+template <typename K, typename P, typename Compare = std::less<P>>
+class IndexedMinHeap {
+ public:
+  IndexedMinHeap() = default;
+  explicit IndexedMinHeap(Compare cmp) : cmp_(std::move(cmp)) {}
+
+  /// Number of keys in the heap.
+  size_t size() const { return entries_.size(); }
+  /// True when the heap holds no keys.
+  bool empty() const { return entries_.empty(); }
+  /// True if `key` is present.
+  bool Contains(const K& key) const { return index_.count(key) != 0; }
+
+  /// Key at the root (minimum). Heap must be non-empty.
+  const K& TopKey() const {
+    assert(!empty());
+    return entries_[0].key;
+  }
+  /// Priority at the root. Heap must be non-empty.
+  const P& TopPriority() const {
+    assert(!empty());
+    return entries_[0].priority;
+  }
+
+  /// Priority of `key`, which must be present.
+  const P& PriorityOf(const K& key) const {
+    auto it = index_.find(key);
+    assert(it != index_.end());
+    return entries_[it->second].priority;
+  }
+
+  /// Inserts `key` with `priority`. `key` must not already be present.
+  void Push(const K& key, P priority) {
+    assert(!Contains(key));
+    entries_.push_back(Entry{key, std::move(priority)});
+    index_[key] = entries_.size() - 1;
+    SiftUp(entries_.size() - 1);
+  }
+
+  /// Removes and returns the root (key, priority). Heap must be non-empty.
+  std::pair<K, P> Pop() {
+    assert(!empty());
+    std::pair<K, P> out{entries_[0].key, entries_[0].priority};
+    RemoveAt(0);
+    return out;
+  }
+
+  /// Changes the priority of an existing `key` and restores heap order.
+  void Update(const K& key, P priority) {
+    auto it = index_.find(key);
+    assert(it != index_.end());
+    size_t pos = it->second;
+    bool decreased = cmp_(priority, entries_[pos].priority);
+    entries_[pos].priority = std::move(priority);
+    if (decreased) {
+      SiftUp(pos);
+    } else {
+      SiftDown(pos);
+    }
+  }
+
+  /// Removes `key` if present; returns whether it was present.
+  bool Erase(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    RemoveAt(it->second);
+    return true;
+  }
+
+  /// Removes all keys.
+  void Clear() {
+    entries_.clear();
+    index_.clear();
+  }
+
+  /// Visits every (key, priority) pair in unspecified (heap) order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Entry& e : entries_) fn(e.key, e.priority);
+  }
+
+  /// Applies `fn` to every priority in place. `fn` MUST be monotone
+  /// (order-preserving) — e.g. scaling all hotness values by 0.5 during
+  /// half-life decay — so the heap property is preserved without a rebuild.
+  /// O(n), no re-heapification.
+  template <typename Fn>
+  void TransformPrioritiesMonotone(Fn&& fn) {
+    for (Entry& e : entries_) e.priority = fn(e.priority);
+    assert(CheckInvariants());
+  }
+
+  /// Verifies the heap invariant and index consistency; O(n). Intended for
+  /// tests (property checks after random operation sequences).
+  bool CheckInvariants() const {
+    if (index_.size() != entries_.size()) return false;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      auto it = index_.find(entries_[i].key);
+      if (it == index_.end() || it->second != i) return false;
+      size_t left = 2 * i + 1, right = 2 * i + 2;
+      if (left < entries_.size() &&
+          cmp_(entries_[left].priority, entries_[i].priority)) {
+        return false;
+      }
+      if (right < entries_.size() &&
+          cmp_(entries_[right].priority, entries_[i].priority)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct Entry {
+    K key;
+    P priority;
+  };
+
+  void Place(size_t pos, Entry entry) {
+    index_[entry.key] = pos;
+    entries_[pos] = std::move(entry);
+  }
+
+  void SiftUp(size_t pos) {
+    Entry entry = std::move(entries_[pos]);
+    while (pos > 0) {
+      size_t parent = (pos - 1) / 2;
+      if (!cmp_(entry.priority, entries_[parent].priority)) break;
+      Place(pos, std::move(entries_[parent]));
+      pos = parent;
+    }
+    Place(pos, std::move(entry));
+  }
+
+  void SiftDown(size_t pos) {
+    Entry entry = std::move(entries_[pos]);
+    size_t n = entries_.size();
+    while (true) {
+      size_t left = 2 * pos + 1;
+      if (left >= n) break;
+      size_t smallest = left;
+      size_t right = left + 1;
+      if (right < n &&
+          cmp_(entries_[right].priority, entries_[left].priority)) {
+        smallest = right;
+      }
+      if (!cmp_(entries_[smallest].priority, entry.priority)) break;
+      Place(pos, std::move(entries_[smallest]));
+      pos = smallest;
+    }
+    Place(pos, std::move(entry));
+  }
+
+  void RemoveAt(size_t pos) {
+    index_.erase(entries_[pos].key);
+    size_t last = entries_.size() - 1;
+    if (pos != last) {
+      Entry moved = std::move(entries_[last]);
+      entries_.pop_back();
+      // Re-insert the displaced entry at `pos`.
+      entries_[pos] = std::move(moved);
+      index_[entries_[pos].key] = pos;
+      // Restore order in whichever direction is needed.
+      if (pos > 0 &&
+          cmp_(entries_[pos].priority, entries_[(pos - 1) / 2].priority)) {
+        SiftUp(pos);
+      } else {
+        SiftDown(pos);
+      }
+    } else {
+      entries_.pop_back();
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::unordered_map<K, size_t> index_;
+  Compare cmp_;
+};
+
+}  // namespace cot
+
+#endif  // COT_UTIL_INDEXED_MIN_HEAP_H_

@@ -1,0 +1,155 @@
+#ifndef COT_UTIL_STATUS_H_
+#define COT_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cot {
+
+/// Error category carried by a `Status`.
+///
+/// The set mirrors the subset of canonical codes this library actually
+/// produces; keeping the list small makes exhaustive switches practical.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+};
+
+/// Returns the canonical lower-case name of `code` (e.g. "invalid_argument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic error indicator used across the public API instead of
+/// exceptions (the library is exception-free by design, following the
+/// RocksDB/Arrow convention for database code).
+///
+/// A default-constructed `Status` is OK. Error statuses carry a code and a
+/// human-readable message. `Status` is cheap to copy (one string).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Renders "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A union of a `Status` and a value of type `T`: either holds a usable `T`
+/// (when `ok()`) or an error status explaining why no value exists.
+///
+/// Accessing the value of a non-OK `StatusOr` is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `s` must not be OK.
+  StatusOr(Status s) : status_(std::move(s)) {  // NOLINT: implicit by design
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value)  // NOLINT: implicit by design
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The underlying status.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  /// Convenience accessors mirroring std::optional.
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace cot
+
+#endif  // COT_UTIL_STATUS_H_

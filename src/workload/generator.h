@@ -1,0 +1,32 @@
+#ifndef COT_WORKLOAD_GENERATOR_H_
+#define COT_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/random.h"
+#include "workload/types.h"
+
+namespace cot::workload {
+
+/// Interface for key-popularity generators. Each call to `Next` draws one
+/// key id in [0, item_count()). Generators own no randomness: the caller
+/// passes its `Rng`, which keeps sampling deterministic and thread-confined.
+class KeyGenerator {
+ public:
+  virtual ~KeyGenerator() = default;
+
+  /// Draws the next key.
+  virtual Key Next(Rng& rng) = 0;
+
+  /// Size of the key space this generator draws from.
+  virtual uint64_t item_count() const = 0;
+
+  /// Short human-readable name, e.g. "zipfian(0.99)".
+  virtual std::string name() const = 0;
+};
+
+}  // namespace cot::workload
+
+#endif  // COT_WORKLOAD_GENERATOR_H_

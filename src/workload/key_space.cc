@@ -1,0 +1,38 @@
+#include "workload/key_space.h"
+
+#include <cassert>
+#include <charconv>
+
+namespace cot::workload {
+
+KeySpace::KeySpace(uint64_t size, std::string prefix)
+    : size_(size), prefix_(std::move(prefix)) {
+  assert(size >= 1);
+}
+
+std::string KeySpace::Format(Key id) const {
+  assert(id < size_);
+  return prefix_ + std::to_string(id);
+}
+
+StatusOr<Key> KeySpace::Parse(std::string_view text) const {
+  if (text.size() <= prefix_.size() ||
+      text.substr(0, prefix_.size()) != prefix_) {
+    return Status::InvalidArgument("key does not start with prefix '" +
+                                   prefix_ + "'");
+  }
+  std::string_view digits = text.substr(prefix_.size());
+  Key id = 0;
+  auto [ptr, ec] = std::from_chars(digits.data(), digits.data() + digits.size(),
+                                   id);
+  if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+    return Status::InvalidArgument("key suffix is not a decimal integer");
+  }
+  if (id >= size_) {
+    return Status::OutOfRange("key id " + std::to_string(id) +
+                              " >= key space size " + std::to_string(size_));
+  }
+  return id;
+}
+
+}  // namespace cot::workload

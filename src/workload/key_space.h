@@ -1,0 +1,40 @@
+#ifndef COT_WORKLOAD_KEY_SPACE_H_
+#define COT_WORKLOAD_KEY_SPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "workload/types.h"
+
+namespace cot::workload {
+
+/// Maps between dense key ids and the textual key form used by YCSB and the
+/// paper's experiments: a common prefix plus the id, e.g. "usertable:42".
+class KeySpace {
+ public:
+  /// Creates a key space of `size` keys with the given prefix (the paper's
+  /// default is "usertable:").
+  explicit KeySpace(uint64_t size, std::string prefix = "usertable:");
+
+  /// Number of keys.
+  uint64_t size() const { return size_; }
+  /// The shared key prefix.
+  const std::string& prefix() const { return prefix_; }
+
+  /// Renders key `id` as "<prefix><id>". `id` must be < size().
+  std::string Format(Key id) const;
+
+  /// Parses a formatted key back to its id. Fails if the prefix does not
+  /// match, the suffix is not a decimal integer, or the id is out of range.
+  StatusOr<Key> Parse(std::string_view text) const;
+
+ private:
+  uint64_t size_;
+  std::string prefix_;
+};
+
+}  // namespace cot::workload
+
+#endif  // COT_WORKLOAD_KEY_SPACE_H_

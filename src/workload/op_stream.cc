@@ -1,0 +1,124 @@
+#include "workload/op_stream.h"
+
+#include <cassert>
+
+#include "workload/scrambled_zipfian_generator.h"
+#include "workload/simple_generators.h"
+#include "workload/zipfian_generator.h"
+
+namespace cot::workload {
+
+StatusOr<std::unique_ptr<KeyGenerator>> MakeGenerator(const PhaseSpec& spec,
+                                                      uint64_t item_count) {
+  if (item_count == 0) {
+    return Status::InvalidArgument("item_count must be >= 1");
+  }
+  if (spec.read_fraction < 0.0 || spec.read_fraction > 1.0) {
+    return Status::InvalidArgument("read_fraction must be in [0, 1]");
+  }
+  switch (spec.distribution) {
+    case Distribution::kUniform:
+      return std::unique_ptr<KeyGenerator>(
+          std::make_unique<UniformGenerator>(item_count));
+    case Distribution::kZipfian:
+      if (spec.skew <= 0.0 || spec.skew == 1.0) {
+        return Status::InvalidArgument(
+            "zipfian skew must be positive and != 1");
+      }
+      return std::unique_ptr<KeyGenerator>(
+          std::make_unique<ZipfianGenerator>(item_count, spec.skew));
+    case Distribution::kScrambledZipfian:
+      return std::unique_ptr<KeyGenerator>(
+          std::make_unique<ScrambledZipfianGenerator>(item_count, spec.skew));
+    case Distribution::kPermutedZipfian: {
+      if (spec.skew <= 0.0 || spec.skew == 1.0) {
+        return Status::InvalidArgument(
+            "zipfian skew must be positive and != 1");
+      }
+      auto inner = std::make_unique<ZipfianGenerator>(item_count, spec.skew);
+      return std::unique_ptr<KeyGenerator>(std::make_unique<PermutedGenerator>(
+          std::move(inner), spec.permute_seed));
+    }
+    case Distribution::kHotspot:
+      if (spec.hot_set_fraction <= 0.0 || spec.hot_set_fraction > 1.0 ||
+          spec.hot_opn_fraction < 0.0 || spec.hot_opn_fraction > 1.0) {
+        return Status::InvalidArgument("invalid hotspot fractions");
+      }
+      return std::unique_ptr<KeyGenerator>(std::make_unique<HotspotGenerator>(
+          item_count, spec.hot_set_fraction, spec.hot_opn_fraction));
+    case Distribution::kGaussian:
+      if (spec.gaussian_stddev_fraction <= 0.0) {
+        return Status::InvalidArgument("gaussian stddev must be positive");
+      }
+      return std::unique_ptr<KeyGenerator>(std::make_unique<GaussianGenerator>(
+          item_count, spec.gaussian_mean_fraction,
+          spec.gaussian_stddev_fraction));
+    case Distribution::kSequential:
+      return std::unique_ptr<KeyGenerator>(
+          std::make_unique<SequentialGenerator>(item_count));
+    case Distribution::kLatest:
+      if (spec.skew <= 0.0 || spec.skew == 1.0) {
+        return Status::InvalidArgument("latest skew must be positive and != 1");
+      }
+      return std::unique_ptr<KeyGenerator>(
+          std::make_unique<LatestGenerator>(item_count, spec.skew));
+  }
+  return Status::InvalidArgument("unknown distribution");
+}
+
+StatusOr<OpStream> OpStream::Create(uint64_t item_count,
+                                    std::vector<PhaseSpec> phase_specs,
+                                    uint64_t seed) {
+  if (phase_specs.empty()) {
+    return Status::InvalidArgument("at least one phase is required");
+  }
+  std::vector<Phase> phases;
+  phases.reserve(phase_specs.size());
+  for (size_t i = 0; i < phase_specs.size(); ++i) {
+    const PhaseSpec& spec = phase_specs[i];
+    if (spec.num_ops == 0 && i + 1 != phase_specs.size()) {
+      return Status::InvalidArgument(
+          "only the final phase may be unbounded (num_ops == 0)");
+    }
+    auto gen = MakeGenerator(spec, item_count);
+    if (!gen.ok()) return gen.status();
+    phases.push_back(Phase{std::move(gen).value(), spec.read_fraction,
+                           spec.num_ops});
+  }
+  return OpStream(item_count, std::move(phases), seed);
+}
+
+OpStream::OpStream(uint64_t item_count, std::vector<Phase> phases,
+                   uint64_t seed)
+    : item_count_(item_count), phases_(std::move(phases)), rng_(seed) {}
+
+bool OpStream::Done() const {
+  if (phase_index_ >= phases_.size()) return true;
+  const Phase& last = phases_.back();
+  if (last.num_ops == 0) return false;  // unbounded tail phase
+  return phase_index_ == phases_.size() - 1 && last.emitted >= last.num_ops;
+}
+
+Op OpStream::Next() {
+  assert(!Done());
+  Phase* phase = &phases_[phase_index_];
+  while (phase->num_ops != 0 && phase->emitted >= phase->num_ops) {
+    ++phase_index_;
+    assert(phase_index_ < phases_.size());
+    phase = &phases_[phase_index_];
+  }
+  Op op;
+  op.key = phase->generator->Next(rng_);
+  op.type = rng_.Bernoulli(phase->read_fraction) ? OpType::kRead
+                                                 : OpType::kUpdate;
+  ++phase->emitted;
+  ++ops_emitted_;
+  return op;
+}
+
+std::string OpStream::current_name() const {
+  if (phase_index_ >= phases_.size()) return "done";
+  return phases_[phase_index_].generator->name();
+}
+
+}  // namespace cot::workload

@@ -1,0 +1,104 @@
+#ifndef COT_WORKLOAD_OP_STREAM_H_
+#define COT_WORKLOAD_OP_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+#include "workload/generator.h"
+#include "workload/types.h"
+
+namespace cot::workload {
+
+/// Which popularity distribution a phase draws keys from. `MakeGenerator`
+/// instantiates the matching `KeyGenerator`.
+enum class Distribution {
+  kUniform,
+  kZipfian,
+  kScrambledZipfian,       // YCSB-faithful (buggy) scrambling
+  kPermutedZipfian,        // correct scrambling (Feistel permutation)
+  kHotspot,
+  kGaussian,
+  kSequential,
+  kLatest,
+};
+
+/// Declarative description of one workload phase, mirroring how the paper
+/// configures YCSB: a distribution over a key space, a read/update mix
+/// (default Tao's 99.8% reads), and an operation budget.
+struct PhaseSpec {
+  Distribution distribution = Distribution::kZipfian;
+  /// Skew parameter for Zipfian-family distributions.
+  double skew = 0.99;
+  /// Hot-set / hot-operation fractions for `kHotspot`.
+  double hot_set_fraction = 0.01;
+  double hot_opn_fraction = 0.9;
+  /// Mean/stddev fractions for `kGaussian`.
+  double gaussian_mean_fraction = 0.5;
+  double gaussian_stddev_fraction = 0.05;
+  /// Fraction of operations that are reads (rest are updates).
+  double read_fraction = 0.998;
+  /// Number of operations in this phase; 0 means unbounded (only valid for
+  /// the final phase).
+  uint64_t num_ops = 0;
+  /// Permutation seed for `kPermutedZipfian`.
+  uint64_t permute_seed = 0x5EEDULL;
+};
+
+/// Instantiates the generator described by `spec` over `item_count` keys.
+/// Fails on invalid parameters (e.g. zero key space, skew of exactly 1).
+StatusOr<std::unique_ptr<KeyGenerator>> MakeGenerator(const PhaseSpec& spec,
+                                                      uint64_t item_count);
+
+/// A deterministic stream of operations over one or more phases. Phases run
+/// back to back; distribution changes between phases model the workload
+/// shifts of the paper's adaptive-resizing experiments (Figures 7-8).
+class OpStream {
+ public:
+  /// Builds a stream over `item_count` keys from phase specs. At most the
+  /// final phase may have `num_ops == 0` (unbounded). Invalid specs fail.
+  static StatusOr<OpStream> Create(uint64_t item_count,
+                                   std::vector<PhaseSpec> phases,
+                                   uint64_t seed);
+
+  /// True when every bounded phase is exhausted.
+  bool Done() const;
+
+  /// Draws the next operation. Must not be called when `Done()`.
+  Op Next();
+
+  /// Index of the phase the next operation will come from.
+  size_t current_phase() const { return phase_index_; }
+  /// Number of operations emitted so far.
+  uint64_t ops_emitted() const { return ops_emitted_; }
+  /// Key space size.
+  uint64_t item_count() const { return item_count_; }
+  /// Name of the current phase's distribution.
+  std::string current_name() const;
+
+  OpStream(OpStream&&) = default;
+  OpStream& operator=(OpStream&&) = default;
+
+ private:
+  struct Phase {
+    std::unique_ptr<KeyGenerator> generator;
+    double read_fraction;
+    uint64_t num_ops;  // 0 = unbounded
+    uint64_t emitted = 0;
+  };
+
+  OpStream(uint64_t item_count, std::vector<Phase> phases, uint64_t seed);
+
+  uint64_t item_count_;
+  std::vector<Phase> phases_;
+  size_t phase_index_ = 0;
+  uint64_t ops_emitted_ = 0;
+  Rng rng_;
+};
+
+}  // namespace cot::workload
+
+#endif  // COT_WORKLOAD_OP_STREAM_H_

@@ -1,0 +1,64 @@
+#ifndef COT_WORKLOAD_SCRAMBLED_ZIPFIAN_GENERATOR_H_
+#define COT_WORKLOAD_SCRAMBLED_ZIPFIAN_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "workload/generator.h"
+#include "workload/zipfian_generator.h"
+
+namespace cot::workload {
+
+/// Faithful port of YCSB's `ScrambledZipfianGenerator`, including the bug
+/// the paper reports (Section 1, contribution 5): the workload it produces
+/// is *significantly less skewed* than the Zipfian distribution it claims.
+///
+/// YCSB's implementation draws a rank from a Zipfian distribution over a
+/// hard-coded universe of 10,000,000,000 items — with the skew constant
+/// pinned to 0.99 and `zeta(10^10, 0.99) = 26.469...` precomputed — and then
+/// folds the rank into the requested key space with `FNVhash64(rank) %
+/// item_count`. Two consequences:
+///
+///  1. Any skew the user configures is silently ignored (the precomputed
+///     zeta only matches 0.99 over 10^10 items).
+///  2. Even at 0.99, the hottest key's mass is `1/zeta(10^10, 0.99) ≈ 3.8%`
+///     instead of `1/zeta(10^6, 0.99) ≈ 6.8%` for a 1M-key space, because
+///     the tail of the 10-billion-item distribution folds ~uniformly over
+///     the small key space. The result is a hot set riding on a uniform
+///     plateau — much less skewed than a true Zipfian.
+///
+/// Use `PermutedGenerator(ZipfianGenerator, seed)` for a *correct* scrambled
+/// Zipfian. This class exists to reproduce the paper's bug report
+/// (bench `ablation_scrambled_zipfian_bug`) and for YCSB compatibility.
+class ScrambledZipfianGenerator : public KeyGenerator {
+ public:
+  /// YCSB constants (core/src/main/java/site/ycsb/generator/
+  /// ScrambledZipfianGenerator.java).
+  static constexpr double kZetan = 26.46902820178302;
+  static constexpr uint64_t kItemCountUniverse = 10000000000ULL;
+  static constexpr double kUsedZipfianConstant = 0.99;
+
+  /// Creates a generator folding into `item_count` keys. The `requested_skew`
+  /// parameter records what the user *asked for*; exactly as in YCSB it has
+  /// no effect on the output (that is the bug).
+  explicit ScrambledZipfianGenerator(uint64_t item_count,
+                                     double requested_skew = 0.99);
+
+  Key Next(Rng& rng) override;
+  uint64_t item_count() const override { return item_count_; }
+  std::string name() const override;
+
+  /// YCSB's FNVhash64 over the 8 little-endian octets of `value`, with
+  /// Java's `Math.abs` applied to the signed result. Exposed for tests.
+  static uint64_t FnvHash64(uint64_t value);
+
+ private:
+  uint64_t item_count_;
+  double requested_skew_;
+  ZipfianGenerator inner_;
+};
+
+}  // namespace cot::workload
+
+#endif  // COT_WORKLOAD_SCRAMBLED_ZIPFIAN_GENERATOR_H_

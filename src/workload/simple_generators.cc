@@ -1,0 +1,128 @@
+#include "workload/simple_generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "workload/zipfian_generator.h"
+
+namespace cot::workload {
+
+UniformGenerator::UniformGenerator(uint64_t item_count)
+    : item_count_(item_count) {
+  assert(item_count >= 1);
+}
+
+Key UniformGenerator::Next(Rng& rng) { return rng.NextBelow(item_count_); }
+
+std::string UniformGenerator::name() const { return "uniform"; }
+
+HotspotGenerator::HotspotGenerator(uint64_t item_count,
+                                   double hot_set_fraction,
+                                   double hot_opn_fraction)
+    : item_count_(item_count), hot_opn_fraction_(hot_opn_fraction) {
+  assert(item_count >= 1);
+  assert(hot_set_fraction > 0.0 && hot_set_fraction <= 1.0);
+  assert(hot_opn_fraction >= 0.0 && hot_opn_fraction <= 1.0);
+  hot_set_size_ = std::max<uint64_t>(
+      1, static_cast<uint64_t>(hot_set_fraction *
+                               static_cast<double>(item_count)));
+  hot_set_size_ = std::min(hot_set_size_, item_count_);
+}
+
+Key HotspotGenerator::Next(Rng& rng) {
+  if (rng.Bernoulli(hot_opn_fraction_)) {
+    return rng.NextBelow(hot_set_size_);
+  }
+  uint64_t cold = item_count_ - hot_set_size_;
+  if (cold == 0) return rng.NextBelow(item_count_);
+  return hot_set_size_ + rng.NextBelow(cold);
+}
+
+std::string HotspotGenerator::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "hotspot(%llu keys, %.0f%% ops)",
+                static_cast<unsigned long long>(hot_set_size_),
+                hot_opn_fraction_ * 100.0);
+  return buf;
+}
+
+GaussianGenerator::GaussianGenerator(uint64_t item_count,
+                                     double mean_fraction,
+                                     double stddev_fraction)
+    : item_count_(item_count),
+      mean_(mean_fraction * static_cast<double>(item_count)),
+      stddev_(stddev_fraction * static_cast<double>(item_count)) {
+  assert(item_count >= 1);
+}
+
+Key GaussianGenerator::Next(Rng& rng) {
+  double x = mean_ + stddev_ * rng.NextGaussian();
+  if (x < 0.0) x = 0.0;
+  double limit = static_cast<double>(item_count_ - 1);
+  if (x > limit) x = limit;
+  return static_cast<Key>(x);
+}
+
+std::string GaussianGenerator::name() const { return "gaussian"; }
+
+SequentialGenerator::SequentialGenerator(uint64_t item_count)
+    : item_count_(item_count) {
+  assert(item_count >= 1);
+}
+
+Key SequentialGenerator::Next(Rng& /*rng*/) {
+  Key k = next_;
+  next_ = (next_ + 1) % item_count_;
+  return k;
+}
+
+std::string SequentialGenerator::name() const { return "sequential"; }
+
+LatestGenerator::LatestGenerator(uint64_t initial_count, double s)
+    : count_(initial_count), s_(s) {
+  assert(initial_count >= 1);
+  RebuildIfNeeded();
+}
+
+void LatestGenerator::RebuildIfNeeded() {
+  // Recompute the Zipfian constants when the key space has grown by more
+  // than 1% since the last build (zeta changes slowly; this caps rebuild
+  // cost at O(n log n) amortized over the run).
+  if (built_for_ != 0 &&
+      count_ < built_for_ + std::max<uint64_t>(1, built_for_ / 100)) {
+    return;
+  }
+  zetan_ = ZipfianGenerator::Zeta(count_, s_);
+  alpha_ = 1.0 / (1.0 - s_);
+  double n = static_cast<double>(count_);
+  double zeta2 = ZipfianGenerator::Zeta(2, s_);
+  eta_ = (1.0 - std::pow(2.0 / n, 1.0 - s_)) / (1.0 - zeta2 / zetan_);
+  built_for_ = count_;
+}
+
+Key LatestGenerator::Next(Rng& rng) {
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  uint64_t rank;
+  if (uz < 1.0) {
+    rank = 0;
+  } else if (uz < 1.0 + std::pow(0.5, s_)) {
+    rank = 1;
+  } else {
+    rank = static_cast<uint64_t>(static_cast<double>(count_) *
+                                 std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+  if (rank >= count_) rank = count_ - 1;
+  return count_ - 1 - rank;  // rank 0 = newest key
+}
+
+std::string LatestGenerator::name() const { return "latest"; }
+
+void LatestGenerator::Advance() {
+  ++count_;
+  RebuildIfNeeded();
+}
+
+}  // namespace cot::workload

@@ -1,0 +1,115 @@
+#ifndef COT_WORKLOAD_SIMPLE_GENERATORS_H_
+#define COT_WORKLOAD_SIMPLE_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "workload/generator.h"
+
+namespace cot::workload {
+
+/// Uniform popularity: every key equally likely. The paper uses uniform
+/// workloads both to measure front-end cache overhead (Figure 5) and to
+/// drive the shrink phase of the resizing experiment (Figure 8) — a
+/// front-end cache is of no value here and CoT should shrink toward zero.
+class UniformGenerator : public KeyGenerator {
+ public:
+  explicit UniformGenerator(uint64_t item_count);
+
+  Key Next(Rng& rng) override;
+  uint64_t item_count() const override { return item_count_; }
+  std::string name() const override;
+
+ private:
+  uint64_t item_count_;
+};
+
+/// Hot-spot popularity (YCSB `HotspotIntegerGenerator`): a fraction
+/// `hot_opn_fraction` of operations target the first
+/// `hot_set_fraction * item_count` keys uniformly; the rest target the cold
+/// remainder uniformly. A sharp-edged skew useful for testing admission
+/// filtering (the hot/cold boundary is unambiguous).
+class HotspotGenerator : public KeyGenerator {
+ public:
+  HotspotGenerator(uint64_t item_count, double hot_set_fraction,
+                   double hot_opn_fraction);
+
+  Key Next(Rng& rng) override;
+  uint64_t item_count() const override { return item_count_; }
+  std::string name() const override;
+
+  /// Number of keys in the hot set.
+  uint64_t hot_set_size() const { return hot_set_size_; }
+
+ private:
+  uint64_t item_count_;
+  uint64_t hot_set_size_;
+  double hot_opn_fraction_;
+};
+
+/// Gaussian popularity: key ids are drawn from a normal distribution
+/// centred on `mean_fraction * item_count` with standard deviation
+/// `stddev_fraction * item_count`, clamped to the key space. The paper
+/// names Gaussian as an alternative hotness distribution (Section 3).
+class GaussianGenerator : public KeyGenerator {
+ public:
+  GaussianGenerator(uint64_t item_count, double mean_fraction = 0.5,
+                    double stddev_fraction = 0.05);
+
+  Key Next(Rng& rng) override;
+  uint64_t item_count() const override { return item_count_; }
+  std::string name() const override;
+
+ private:
+  uint64_t item_count_;
+  double mean_;
+  double stddev_;
+};
+
+/// Deterministic round-robin over the key space. Useful in tests (every key
+/// exactly once per lap) and as an adversarial recency-only workload (LRU's
+/// worst case from Section 3: a cyclic scan never hits a smaller LRU cache).
+class SequentialGenerator : public KeyGenerator {
+ public:
+  explicit SequentialGenerator(uint64_t item_count);
+
+  Key Next(Rng& rng) override;
+  uint64_t item_count() const override { return item_count_; }
+  std::string name() const override;
+
+ private:
+  uint64_t item_count_;
+  uint64_t next_ = 0;
+};
+
+/// "Latest" popularity (YCSB `SkewedLatestGenerator` shape): a Zipfian over
+/// recency — key `max_key - r` where `r` is a Zipfian-distributed rank — so
+/// the most recently inserted keys are hottest. `Advance()` grows the key
+/// space, modelling inserts; the hot set therefore drifts over time, which
+/// exercises CoT's decay/retirement path.
+class LatestGenerator : public KeyGenerator {
+ public:
+  /// Starts with `initial_count` keys; ranks drawn with skew `s`.
+  LatestGenerator(uint64_t initial_count, double s = 0.99);
+
+  Key Next(Rng& rng) override;
+  uint64_t item_count() const override { return count_; }
+  std::string name() const override;
+
+  /// Appends one newly inserted key (shifts the hot set forward).
+  void Advance();
+
+ private:
+  void RebuildIfNeeded();
+
+  uint64_t count_;
+  double s_;
+  uint64_t built_for_ = 0;
+  double zetan_ = 0.0;
+  double eta_ = 0.0;
+  double alpha_ = 0.0;
+};
+
+}  // namespace cot::workload
+
+#endif  // COT_WORKLOAD_SIMPLE_GENERATORS_H_

@@ -1,0 +1,104 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace cot::workload {
+
+StatusOr<Trace> Trace::Parse(std::string_view text) {
+  std::vector<Op> ops;
+  size_t line_number = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+
+    // Trim trailing CR and surrounding spaces.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.remove_suffix(1);
+    }
+    while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+    if (line.empty() || line.front() == '#') continue;
+
+    std::string_view key_part = line;
+    std::string_view op_part;
+    size_t comma = line.find(',');
+    if (comma != std::string_view::npos) {
+      key_part = line.substr(0, comma);
+      op_part = line.substr(comma + 1);
+    }
+    Op op;
+    auto [ptr, ec] = std::from_chars(
+        key_part.data(), key_part.data() + key_part.size(), op.key);
+    if (ec != std::errc() || ptr != key_part.data() + key_part.size()) {
+      return Status::InvalidArgument("trace line " +
+                                     std::to_string(line_number) +
+                                     ": bad key '" + std::string(key_part) +
+                                     "'");
+    }
+    if (op_part.empty() || op_part == "r") {
+      op.type = OpType::kRead;
+    } else if (op_part == "u") {
+      op.type = OpType::kUpdate;
+    } else {
+      return Status::InvalidArgument(
+          "trace line " + std::to_string(line_number) + ": bad op '" +
+          std::string(op_part) + "' (expected r or u)");
+    }
+    ops.push_back(op);
+  }
+  return Trace(std::move(ops));
+}
+
+StatusOr<Trace> Trace::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open trace file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+std::string Trace::ToText() const {
+  std::ostringstream out;
+  for (const Op& op : ops_) {
+    out << op.key;
+    if (op.type == OpType::kUpdate) out << ",u";
+    out << '\n';
+  }
+  return out.str();
+}
+
+uint64_t Trace::KeySpaceSize() const {
+  uint64_t max_key = 0;
+  bool any = false;
+  for (const Op& op : ops_) {
+    max_key = std::max(max_key, op.key);
+    any = true;
+  }
+  return any ? max_key + 1 : 0;
+}
+
+TraceKeyGenerator::TraceKeyGenerator(const Trace* trace)
+    : trace_(trace), key_space_(trace->KeySpaceSize()) {
+  assert(trace != nullptr && !trace->empty());
+}
+
+Key TraceKeyGenerator::Next(Rng& /*rng*/) {
+  Key k = trace_->ops()[next_].key;
+  ++next_;
+  if (next_ >= trace_->size()) {
+    next_ = 0;
+    ++laps_;
+  }
+  return k;
+}
+
+}  // namespace cot::workload

@@ -1,0 +1,79 @@
+#ifndef COT_WORKLOAD_TRACE_H_
+#define COT_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "workload/generator.h"
+#include "workload/types.h"
+
+namespace cot::workload {
+
+/// A recorded access trace: the bridge between this library's synthetic
+/// generators and real production logs. Downstream users replay their own
+/// key-access traces through any cache policy or through the full cluster
+/// simulation instead of trusting a fitted Zipfian.
+class Trace {
+ public:
+  Trace() = default;
+  /// Takes ownership of pre-built operations.
+  explicit Trace(std::vector<Op> ops) : ops_(std::move(ops)) {}
+
+  /// Parses trace text, one operation per line:
+  ///
+  ///     <key>[,<op>]
+  ///
+  /// where `<key>` is a decimal id and `<op>` is `r` (read, default) or
+  /// `u` (update). Blank lines and lines starting with '#' are skipped.
+  /// Fails with the offending line number on malformed input.
+  static StatusOr<Trace> Parse(std::string_view text);
+
+  /// Reads and parses a trace file.
+  static StatusOr<Trace> Load(const std::string& path);
+
+  /// Serializes back to the text format (round-trips with Parse).
+  std::string ToText() const;
+
+  /// The operations.
+  const std::vector<Op>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  /// Appends one operation.
+  void Append(Op op) { ops_.push_back(op); }
+
+  /// Largest key id + 1 (the key-space size a replay needs); 0 when empty.
+  uint64_t KeySpaceSize() const;
+
+ private:
+  std::vector<Op> ops_;
+};
+
+/// Replays a trace's *keys* through the `KeyGenerator` interface (op types
+/// are ignored; use `Trace::ops()` directly when updates matter). Wraps
+/// around at the end, so it can feed open-ended drivers.
+class TraceKeyGenerator : public KeyGenerator {
+ public:
+  /// Borrows `trace`, which must be non-empty and outlive the generator.
+  explicit TraceKeyGenerator(const Trace* trace);
+
+  Key Next(Rng& rng) override;
+  uint64_t item_count() const override { return key_space_; }
+  std::string name() const override { return "trace"; }
+
+  /// Number of full passes completed over the trace.
+  uint64_t laps() const { return laps_; }
+
+ private:
+  const Trace* trace_;
+  uint64_t key_space_;
+  size_t next_ = 0;
+  uint64_t laps_ = 0;
+};
+
+}  // namespace cot::workload
+
+#endif  // COT_WORKLOAD_TRACE_H_

@@ -1,0 +1,29 @@
+#ifndef COT_WORKLOAD_TYPES_H_
+#define COT_WORKLOAD_TYPES_H_
+
+#include <cstdint>
+
+namespace cot::workload {
+
+/// Keys are dense 64-bit ids in [0, key_space_size). The textual
+/// "usertable:<id>" form used by YCSB is available via `KeySpace` for
+/// examples; all metrics operate on ids.
+using Key = uint64_t;
+
+/// Operation kind in the key/value API of the paper's system model
+/// (Section 2): reads dominate (Tao's 99.8%/0.2% split); updates invalidate
+/// front-end and back-end cache entries.
+enum class OpType : uint8_t {
+  kRead = 0,
+  kUpdate = 1,
+};
+
+/// One workload operation.
+struct Op {
+  Key key = 0;
+  OpType type = OpType::kRead;
+};
+
+}  // namespace cot::workload
+
+#endif  // COT_WORKLOAD_TYPES_H_

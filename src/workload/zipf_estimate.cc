@@ -1,0 +1,74 @@
+#include "workload/zipf_estimate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/zipfian_generator.h"
+
+namespace cot::workload {
+
+StatusOr<double> EstimateZipfSkew(const std::vector<uint64_t>& counts,
+                                  size_t max_ranks) {
+  std::vector<uint64_t> sorted;
+  sorted.reserve(counts.size());
+  for (uint64_t c : counts) {
+    if (c > 0) sorted.push_back(c);
+  }
+  if (sorted.size() < 2) {
+    return Status::InvalidArgument(
+        "need at least two non-zero counts to fit a skew");
+  }
+  std::sort(sorted.rbegin(), sorted.rend());
+  size_t n = std::min(max_ranks, sorted.size());
+  if (sorted[0] == sorted[n - 1]) {
+    return 0.0;  // flat top ranks: effectively uniform
+  }
+  // Least squares of y = log(freq) on x = log(rank); slope = -s.
+  double sum_x = 0, sum_y = 0, sum_xx = 0, sum_xy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double x = std::log(static_cast<double>(i + 1));
+    double y = std::log(static_cast<double>(sorted[i]));
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+  }
+  double dn = static_cast<double>(n);
+  double denom = dn * sum_xx - sum_x * sum_x;
+  if (denom == 0.0) {
+    return Status::Internal("degenerate regression");
+  }
+  double slope = (dn * sum_xy - sum_x * sum_y) / denom;
+  return std::max(0.0, -slope);
+}
+
+StatusOr<uint64_t> EstimateRequiredCacheLines(uint64_t keys, double skew,
+                                              uint32_t num_servers,
+                                              double target_imbalance) {
+  if (keys == 0 || num_servers == 0) {
+    return Status::InvalidArgument("keys and num_servers must be >= 1");
+  }
+  if (target_imbalance < 1.0) {
+    return Status::InvalidArgument("target imbalance must be >= 1");
+  }
+  if (skew <= 0.0) return uint64_t{0};  // uniform: no cache needed
+  if (skew == 1.0) {
+    return Status::InvalidArgument("skew of exactly 1 is not supported");
+  }
+  ZipfianGenerator dist(keys, skew);
+  double n = static_cast<double>(num_servers);
+  // C = 0 means "no front-end cache".
+  auto imbalance_at = [&](uint64_t c) {
+    double residual = 1.0 - dist.TopCMass(c);
+    if (residual <= 0.0) return 1.0;
+    double hottest_uncached = dist.ProbabilityOfRank(c);  // rank c = C+1-th
+    return 1.0 + n * hottest_uncached / residual;
+  };
+  if (imbalance_at(0) <= target_imbalance) return uint64_t{0};
+  for (uint64_t c = 1; c < keys; c *= 2) {
+    if (imbalance_at(c) <= target_imbalance) return c;
+  }
+  return keys;  // even full caching cannot meet the target
+}
+
+}  // namespace cot::workload

@@ -1,0 +1,47 @@
+#ifndef COT_WORKLOAD_ZIPF_ESTIMATE_H_
+#define COT_WORKLOAD_ZIPF_ESTIMATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cot::workload {
+
+/// Estimates the Zipfian skew parameter `s` from observed per-key access
+/// counts (any order; zeros are ignored): least-squares fit of
+/// `log(frequency)` against `log(rank)` over the top ranks, the standard
+/// rank-frequency regression. At least two distinct non-zero counts are
+/// required. A front-end can feed its tracker's counters in to learn what
+/// distribution it is actually serving.
+StatusOr<double> EstimateZipfSkew(const std::vector<uint64_t>& counts,
+                                  size_t max_ranks = 256);
+
+/// Analytic answer to the paper's headline question — *what front-end
+/// cache size achieves back-end load-balance?* — for a Zipfian(s)
+/// workload over `keys` keys and `num_servers` shards.
+///
+/// Model: caching the top C keys leaves residual mass
+/// `R(C) = 1 - CDF(C)` spread nearly evenly over servers, plus the
+/// hottest *uncached* key `p_{C+1}` landing wholly on one server. The
+/// expected imbalance is then approximately
+///
+///     I(C) ~ (R(C)/n + p_{C+1}) / (R(C)/n) = 1 + n * p_{C+1} / R(C)
+///
+/// The function returns the smallest power-of-two C with
+/// `I(C) <= target_imbalance`, or `keys` when even full caching cannot
+/// meet the target (target below the ring/estimator floor).
+///
+/// The estimate is a *lower bound*: it models only the key-popularity
+/// skew, not the consistent-hash ownership spread or per-epoch sampling
+/// noise, each of which typically costs the empirical system one further
+/// doubling. Use it to seed CoT's search (skipping the cold start), not
+/// to replace it; `bench/ext_analytic_sizing` reports analytic vs
+/// simulated side by side.
+StatusOr<uint64_t> EstimateRequiredCacheLines(uint64_t keys, double skew,
+                                              uint32_t num_servers,
+                                              double target_imbalance);
+
+}  // namespace cot::workload
+
+#endif  // COT_WORKLOAD_ZIPF_ESTIMATE_H_

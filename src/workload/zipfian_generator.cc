@@ -1,0 +1,111 @@
+#include "workload/zipfian_generator.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "util/hash.h"
+
+namespace cot::workload {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t item_count, double s)
+    : ZipfianGenerator(item_count, s, Zeta(item_count, s)) {}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t item_count, double s,
+                                   double precomputed_zetan)
+    : item_count_(item_count), theta_(s), zetan_(precomputed_zetan) {
+  assert(item_count >= 1);
+  assert(s >= 0.0 && s != 1.0);
+  zeta2_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  double n = static_cast<double>(item_count_);
+  eta_ = (1.0 - std::pow(2.0 / n, 1.0 - theta_)) / (1.0 - zeta2_ / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+Key ZipfianGenerator::Next(Rng& rng) {
+  // Gray et al. / YCSB nextValue().
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  double n = static_cast<double>(item_count_);
+  uint64_t key = static_cast<uint64_t>(
+      n * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (key >= item_count_) key = item_count_ - 1;  // numeric edge
+  return key;
+}
+
+std::string ZipfianGenerator::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "zipfian(%.2f)", theta_);
+  return buf;
+}
+
+double ZipfianGenerator::ProbabilityOfRank(uint64_t rank) const {
+  if (rank >= item_count_) return 0.0;
+  return 1.0 / (std::pow(static_cast<double>(rank + 1), theta_) * zetan_);
+}
+
+double ZipfianGenerator::TopCMass(uint64_t c) const {
+  if (c >= item_count_) return 1.0;
+  return Zeta(c, theta_) / zetan_;
+}
+
+namespace {
+
+// Round function of the Feistel network: mixes one half with the round key.
+inline uint64_t FeistelRound(uint64_t half, uint64_t round_key,
+                             uint64_t mask) {
+  return cot::Mix64(half ^ round_key) & mask;
+}
+
+}  // namespace
+
+PermutedGenerator::PermutedGenerator(std::unique_ptr<KeyGenerator> inner,
+                                     uint64_t seed)
+    : inner_(std::move(inner)), seed_(seed) {
+  uint64_t n = inner_->item_count();
+  // Smallest power of four (even bit count) covering the domain so the two
+  // Feistel halves have equal width.
+  half_bits_ = 1;
+  while ((1ULL << (2 * half_bits_)) < n) ++half_bits_;
+  half_mask_ = (1ULL << half_bits_) - 1;
+  domain_ = 1ULL << (2 * half_bits_);
+}
+
+Key PermutedGenerator::Permute(Key key) const {
+  // Cycle-walking Feistel permutation: apply the cipher until the output
+  // lands back inside [0, item_count). Terminates because the cipher is a
+  // bijection of [0, domain_).
+  uint64_t n = inner_->item_count();
+  uint64_t x = key;
+  do {
+    uint64_t left = x >> half_bits_;
+    uint64_t right = x & half_mask_;
+    for (int round = 0; round < 4; ++round) {
+      uint64_t rk = HashPair(seed_, static_cast<uint64_t>(round));
+      uint64_t next_left = right;
+      uint64_t next_right = left ^ FeistelRound(right, rk, half_mask_);
+      left = next_left;
+      right = next_right;
+    }
+    x = (left << half_bits_) | right;
+  } while (x >= n);
+  return x;
+}
+
+Key PermutedGenerator::Next(Rng& rng) { return Permute(inner_->Next(rng)); }
+
+std::string PermutedGenerator::name() const {
+  return "permuted(" + inner_->name() + ")";
+}
+
+}  // namespace cot::workload

@@ -1,0 +1,98 @@
+#ifndef COT_WORKLOAD_ZIPFIAN_GENERATOR_H_
+#define COT_WORKLOAD_ZIPFIAN_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/random.h"
+#include "workload/generator.h"
+
+namespace cot::workload {
+
+/// Zipfian key generator — a faithful C++ port of YCSB's
+/// `ZipfianGenerator` (Gray et al., "Quickly Generating Billion-Record
+/// Synthetic Databases", SIGMOD 1994).
+///
+/// Key 0 is the hottest key, key 1 the second hottest, and so on: the
+/// probability of key `i` is proportional to `1 / (i+1)^s` where `s` is the
+/// skew parameter (YCSB's `ZIPFIAN_CONSTANT`, 0.99 by default; the paper
+/// evaluates s = 0.90, 0.99, 1.20, 1.50).
+///
+/// Sampling is O(1) per draw after an O(n) one-time computation of the
+/// generalized harmonic number `zeta(n, s)`. The paper's experiments use
+/// this generator directly (they abandoned YCSB's ScrambledZipfian after
+/// finding it produces far less skew than configured — see
+/// `ScrambledZipfianGenerator`). When rank order should not correlate with
+/// key id, compose with `PermutedGenerator`.
+class ZipfianGenerator : public KeyGenerator {
+ public:
+  /// YCSB's default skew.
+  static constexpr double kDefaultSkew = 0.99;
+
+  /// Creates a generator over `item_count` keys with skew `s`.
+  /// `item_count` must be >= 1 and `s` must be >= 0 and != 1 (the Gray
+  /// transform divides by 1-s, exactly as in YCSB).
+  ZipfianGenerator(uint64_t item_count, double s = kDefaultSkew);
+
+  /// Creates a generator with a precomputed `zeta(item_count, s)` value,
+  /// avoiding the O(item_count) zeta computation. This mirrors the YCSB
+  /// constructor used by `ScrambledZipfianGenerator` for its 10-billion-item
+  /// inner distribution.
+  ZipfianGenerator(uint64_t item_count, double s, double precomputed_zetan);
+
+  Key Next(Rng& rng) override;
+  uint64_t item_count() const override { return item_count_; }
+  std::string name() const override;
+
+  /// The skew parameter `s`.
+  double skew() const { return theta_; }
+
+  /// Probability mass of key `rank` (0 = hottest) under this distribution.
+  double ProbabilityOfRank(uint64_t rank) const;
+
+  /// CDF of the top `c` keys: the theoretical hit-rate of a perfect cache of
+  /// `c` lines (the paper's "TPC" series in Figure 4). `c` is clamped to the
+  /// item count.
+  double TopCMass(uint64_t c) const;
+
+  /// Computes zeta(n, theta) = sum_{i=1..n} 1/i^theta. Exposed for tests and
+  /// for the scrambled variant. O(n).
+  static double Zeta(uint64_t n, double theta);
+
+ private:
+  uint64_t item_count_;
+  double theta_;
+  double zetan_;   // zeta(n, theta)
+  double zeta2_;   // zeta(2, theta)
+  double alpha_;   // 1 / (1 - theta)
+  double eta_;
+};
+
+/// Wraps any generator and applies a deterministic bijective permutation of
+/// the key space (a 4-round Feistel network with cycle-walking), so that the
+/// i-th hottest key is an arbitrary-looking id instead of id i. Unlike
+/// YCSB's hash-mod scrambling this is collision-free, hence it preserves the
+/// exact popularity distribution of the inner generator.
+class PermutedGenerator : public KeyGenerator {
+ public:
+  /// Wraps `inner`, permuting with `seed`.
+  PermutedGenerator(std::unique_ptr<KeyGenerator> inner, uint64_t seed);
+
+  Key Next(Rng& rng) override;
+  uint64_t item_count() const override { return inner_->item_count(); }
+  std::string name() const override;
+
+  /// The permuted id of `key` (exposed for tests: the map is bijective).
+  Key Permute(Key key) const;
+
+ private:
+  std::unique_ptr<KeyGenerator> inner_;
+  uint64_t seed_;
+  int half_bits_;      // bits per Feistel half
+  uint64_t half_mask_;
+  uint64_t domain_;    // smallest even-bit power of two >= item_count
+};
+
+}  // namespace cot::workload
+
+#endif  // COT_WORKLOAD_ZIPFIAN_GENERATOR_H_

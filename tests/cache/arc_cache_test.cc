@@ -1,0 +1,178 @@
+#include "cache/arc_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cot::cache {
+namespace {
+
+// Drives the cache with the standard read-through protocol.
+void Access(ArcCache& cache, Key k) {
+  if (!cache.Get(k).has_value()) cache.Put(k, k * 10);
+}
+
+TEST(ArcCacheTest, PutThenGet) {
+  ArcCache cache(4);
+  cache.Put(1, 11);
+  auto v = cache.Get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 11u);
+}
+
+TEST(ArcCacheTest, NewKeysEnterT1) {
+  ArcCache cache(4);
+  cache.Put(1, 11);
+  auto sizes = cache.list_sizes();
+  EXPECT_EQ(sizes.t1, 1u);
+  EXPECT_EQ(sizes.t2, 0u);
+}
+
+TEST(ArcCacheTest, HitPromotesToT2) {
+  ArcCache cache(4);
+  cache.Put(1, 11);
+  cache.Get(1);
+  auto sizes = cache.list_sizes();
+  EXPECT_EQ(sizes.t1, 0u);
+  EXPECT_EQ(sizes.t2, 1u);
+}
+
+TEST(ArcCacheTest, PureColdMissesDiscardWithoutGhosts) {
+  // Case IV(a) with |T1| = c and B1 empty discards T1's LRU outright (the
+  // ARC paper's exact rule): a pure stream of new keys leaves no ghosts.
+  ArcCache cache(2);
+  Access(cache, 1);
+  Access(cache, 2);
+  Access(cache, 3);
+  auto sizes = cache.list_sizes();
+  EXPECT_EQ(sizes.t1, 2u);
+  EXPECT_EQ(sizes.b1, 0u);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(ArcCacheTest, EvictionFeedsGhostLists) {
+  // With T2 occupied, REPLACE demotes T1's LRU into B1.
+  ArcCache cache(2);
+  Access(cache, 1);
+  Access(cache, 1);  // 1 promoted to T2
+  Access(cache, 2);  // T1 = {2}
+  Access(cache, 3);  // REPLACE evicts 2 into B1
+  auto sizes = cache.list_sizes();
+  EXPECT_EQ(sizes.t1 + sizes.t2, 2u);
+  EXPECT_EQ(sizes.b1, 1u);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(ArcCacheTest, GhostHitAdaptsP) {
+  ArcCache cache(2);
+  Access(cache, 1);
+  Access(cache, 1);  // 1 -> T2
+  Access(cache, 2);
+  Access(cache, 3);  // 2 -> B1
+  double p_before = cache.p();
+  Access(cache, 2);  // B1 ghost hit: p grows
+  EXPECT_GT(cache.p(), p_before);
+  EXPECT_TRUE(cache.Contains(2));  // and the key is resident again, in T2
+  auto sizes = cache.list_sizes();
+  EXPECT_GE(sizes.t2, 1u);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(ArcCacheTest, CapacityNeverExceeded) {
+  ArcCache cache(8);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    Access(cache, rng.NextBelow(100));
+    ASSERT_LE(cache.size(), 8u);
+  }
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(ArcCacheTest, FrequencyWorkloadKeepsHotKeysResident) {
+  // 4 hot keys accessed constantly + scan noise: ARC should learn to hold
+  // the hot keys in T2.
+  ArcCache cache(8);
+  Rng rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    Access(cache, rng.NextBelow(4));           // hot
+    Access(cache, 100 + (i % 1000));           // scan
+  }
+  int resident_hot = 0;
+  for (Key k = 0; k < 4; ++k) resident_hot += cache.Contains(k) ? 1 : 0;
+  EXPECT_EQ(resident_hot, 4);
+}
+
+TEST(ArcCacheTest, InvalidateRemovesResident) {
+  ArcCache cache(4);
+  cache.Put(1, 11);
+  cache.Invalidate(1);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(ArcCacheTest, InvalidateThenGhostPathStaysConsistent) {
+  // Regression guard for the REPLACE-on-empty corner introduced by
+  // Invalidate: fill, evict into ghosts, invalidate all residents, then
+  // re-reference a ghost.
+  ArcCache cache(2);
+  Access(cache, 1);
+  Access(cache, 2);
+  Access(cache, 3);  // ghost created
+  cache.Invalidate(2);
+  cache.Invalidate(3);
+  ASSERT_EQ(cache.size(), 0u);
+  Access(cache, 1);  // ghost hit with empty resident lists
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(ArcCacheTest, ZeroCapacityNeverCaches) {
+  ArcCache cache(0);
+  cache.Put(1, 11);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(1).has_value());
+}
+
+TEST(ArcCacheTest, ResizeIsUnimplemented) {
+  ArcCache cache(4);
+  Status s = cache.Resize(8);
+  EXPECT_EQ(s.code(), StatusCode::kUnimplemented);
+}
+
+TEST(ArcCacheTest, OverwriteUpdatesValue) {
+  ArcCache cache(4);
+  cache.Put(1, 11);
+  cache.Put(1, 99);
+  EXPECT_EQ(*cache.Get(1), 99u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// Property: invariants hold across long random mixed workloads.
+class ArcInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ArcInvariantTest, RandomOpsKeepInvariants) {
+  Rng rng(GetParam());
+  ArcCache cache(1 + rng.NextBelow(16));
+  for (int i = 0; i < 20000; ++i) {
+    Key k = rng.NextBelow(64);
+    switch (rng.NextBelow(8)) {
+      case 0:
+        cache.Invalidate(k);
+        break;
+      default:
+        Access(cache, k);
+        break;
+    }
+    if (i % 500 == 0) {
+      ASSERT_TRUE(cache.CheckInvariants()) << "step " << i;
+    }
+  }
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArcInvariantTest,
+                         ::testing::Values(1, 2, 3, 7, 11, 13));
+
+}  // namespace
+}  // namespace cot::cache

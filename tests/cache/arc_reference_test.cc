@@ -1,0 +1,164 @@
+// Differential test: ArcCache against a literal transcription of the ARC
+// paper's pseudocode (Megiddo & Modha, FAST 2003, Figure 4), implemented
+// with plain lists and O(n) scans. The production implementation must
+// agree on every hit/miss, the adaptation target p, and the final
+// resident set.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "cache/arc_cache.h"
+#include "util/random.h"
+#include "workload/zipfian_generator.h"
+
+namespace cot::cache {
+namespace {
+
+// Literal ARC(c) reference. Lists store keys, MRU at front.
+class ReferenceArc {
+ public:
+  explicit ReferenceArc(size_t c) : c_(c) {}
+
+  bool Access(Key x) {  // REQUEST(x); returns hit/miss
+    if (c_ == 0) return false;
+    if (In(t1_, x)) {  // Case I
+      Remove(t1_, x);
+      t2_.push_front(x);
+      return true;
+    }
+    if (In(t2_, x)) {  // Case I
+      Remove(t2_, x);
+      t2_.push_front(x);
+      return true;
+    }
+    if (In(b1_, x)) {  // Case II
+      double delta = b1_.size() >= b2_.size()
+                         ? 1.0
+                         : static_cast<double>(b2_.size()) / b1_.size();
+      p_ = std::min(static_cast<double>(c_), p_ + delta);
+      Replace(x);
+      Remove(b1_, x);
+      t2_.push_front(x);
+      return false;
+    }
+    if (In(b2_, x)) {  // Case III
+      double delta = b2_.size() >= b1_.size()
+                         ? 1.0
+                         : static_cast<double>(b1_.size()) / b2_.size();
+      p_ = std::max(0.0, p_ - delta);
+      Replace(x);
+      Remove(b2_, x);
+      t2_.push_front(x);
+      return false;
+    }
+    // Case IV.
+    if (t1_.size() + b1_.size() == c_) {
+      if (t1_.size() < c_) {
+        b1_.pop_back();
+        Replace(x);
+      } else {
+        t1_.pop_back();
+      }
+    } else if (t1_.size() + b1_.size() < c_) {
+      size_t total = t1_.size() + t2_.size() + b1_.size() + b2_.size();
+      if (total >= c_) {
+        if (total == 2 * c_) b2_.pop_back();
+        Replace(x);
+      }
+    }
+    t1_.push_front(x);
+    return false;
+  }
+
+  bool Resident(Key x) const { return In(t1_, x) || In(t2_, x); }
+  double p() const { return p_; }
+  size_t t1() const { return t1_.size(); }
+  size_t t2() const { return t2_.size(); }
+  size_t b1() const { return b1_.size(); }
+  size_t b2() const { return b2_.size(); }
+
+ private:
+  static bool In(const std::deque<Key>& list, Key x) {
+    return std::find(list.begin(), list.end(), x) != list.end();
+  }
+  static void Remove(std::deque<Key>& list, Key x) {
+    list.erase(std::find(list.begin(), list.end(), x));
+  }
+
+  void Replace(Key x) {  // REPLACE(x, p)
+    if (!t1_.empty() &&
+        (static_cast<double>(t1_.size()) > p_ ||
+         (In(b2_, x) && static_cast<double>(t1_.size()) == p_))) {
+      Key victim = t1_.back();
+      t1_.pop_back();
+      b1_.push_front(victim);
+    } else {
+      Key victim = t2_.back();
+      t2_.pop_back();
+      b2_.push_front(victim);
+    }
+  }
+
+  size_t c_;
+  double p_ = 0.0;
+  std::deque<Key> t1_, t2_, b1_, b2_;
+};
+
+struct DiffCase {
+  const char* label;
+  size_t capacity;
+  uint64_t key_space;
+  double skew;  // 0 = uniform
+  uint64_t seed;
+};
+
+class ArcDifferentialTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(ArcDifferentialTest, MatchesPaperPseudocodeExactly) {
+  const DiffCase& param = GetParam();
+  ArcCache impl(param.capacity);
+  ReferenceArc model(param.capacity);
+  Rng rng(param.seed);
+  std::unique_ptr<workload::ZipfianGenerator> zipf;
+  if (param.skew > 0.0) {
+    zipf = std::make_unique<workload::ZipfianGenerator>(param.key_space,
+                                                        param.skew);
+  }
+  for (int i = 0; i < 20000; ++i) {
+    Key key = zipf ? zipf->Next(rng) : rng.NextBelow(param.key_space);
+    bool impl_hit = impl.Get(key).has_value();
+    if (!impl_hit) impl.Put(key, key);
+    bool model_hit = model.Access(key);
+    ASSERT_EQ(impl_hit, model_hit)
+        << "divergence at access " << i << " key " << key;
+    if (i % 500 == 0) {
+      ASSERT_DOUBLE_EQ(impl.p(), model.p()) << "p diverged at " << i;
+      auto sizes = impl.list_sizes();
+      ASSERT_EQ(sizes.t1, model.t1()) << i;
+      ASSERT_EQ(sizes.t2, model.t2()) << i;
+      ASSERT_EQ(sizes.b1, model.b1()) << i;
+      ASSERT_EQ(sizes.b2, model.b2()) << i;
+    }
+  }
+  for (Key key = 0; key < param.key_space; ++key) {
+    ASSERT_EQ(impl.Contains(key), model.Resident(key)) << "key " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ArcDifferentialTest,
+    ::testing::Values(DiffCase{"small_zipf", 4, 100, 1.0999, 1},
+                      DiffCase{"zipf099", 16, 1000, 0.99, 2},
+                      DiffCase{"uniform_small", 8, 64, 0.0, 3},
+                      DiffCase{"uniform_large_space", 8, 10000, 0.0, 4},
+                      DiffCase{"tiny", 1, 50, 1.2, 5},
+                      DiffCase{"big_cache", 64, 500, 0.9, 6}),
+    [](const ::testing::TestParamInfo<DiffCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace cot::cache

@@ -1,0 +1,121 @@
+#include "cache/lfu_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace cot::cache {
+namespace {
+
+TEST(LfuCacheTest, PutThenGet) {
+  LfuCache cache(2);
+  cache.Put(1, 11);
+  auto v = cache.Get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 11u);
+}
+
+TEST(LfuCacheTest, EvictsLeastFrequentlyUsed) {
+  LfuCache cache(2);
+  cache.Put(1, 11);
+  cache.Put(2, 22);
+  cache.Get(1);
+  cache.Get(1);
+  cache.Get(2);
+  cache.Put(3, 33);  // 2 has fewer hits -> evicted
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(LfuCacheTest, FrequencyCountsAccesses) {
+  LfuCache cache(4);
+  cache.Put(7, 70);
+  EXPECT_EQ(cache.FrequencyOf(7), 1u);
+  cache.Get(7);
+  cache.Get(7);
+  EXPECT_EQ(cache.FrequencyOf(7), 3u);
+  EXPECT_EQ(cache.FrequencyOf(99), 0u);
+}
+
+TEST(LfuCacheTest, TieBreaksByInsertionOrder) {
+  LfuCache cache(2);
+  cache.Put(1, 11);
+  cache.Put(2, 22);  // both frequency 1
+  cache.Put(3, 33);  // evicts the older: key 1
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(LfuCacheTest, NoHistoryAcrossEviction) {
+  // LFU's Section-3 weakness: counts are forgotten on eviction.
+  LfuCache cache(1);
+  cache.Put(1, 11);
+  for (int i = 0; i < 100; ++i) cache.Get(1);
+  // Capacity 1: Put(2) evicts key 1 — the only, hence minimum, entry —
+  // despite its 100 accumulated hits.
+  cache.Put(2, 22);
+  EXPECT_FALSE(cache.Contains(1));
+  cache.Put(1, 11);
+  EXPECT_EQ(cache.FrequencyOf(1), 1u);  // history was lost
+}
+
+TEST(LfuCacheTest, FrequentOldKeysBlockNewKeys) {
+  // The other Section-3 weakness: (A,A,B,B, C,D,E, C,D,E ...) — once A and
+  // B accumulate hits, the C/D/E working set cannot stay resident.
+  LfuCache cache(3);
+  for (Key k : {0, 0, 0, 1, 1, 1}) {
+    if (!cache.Get(k).has_value()) cache.Put(k, k);
+  }
+  uint64_t misses_before = cache.stats().misses;
+  for (int round = 0; round < 5; ++round) {
+    for (Key k : {2, 3, 4}) {
+      if (!cache.Get(k).has_value()) cache.Put(k, k);
+    }
+  }
+  // C/D/E keep missing: every access in the loop was a miss except possibly
+  // the very first replacement winner.
+  uint64_t loop_misses = cache.stats().misses - misses_before;
+  EXPECT_GE(loop_misses, 13u);
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(LfuCacheTest, InvalidateRemovesAndForgetsCount) {
+  LfuCache cache(2);
+  cache.Put(1, 11);
+  cache.Get(1);
+  cache.Invalidate(1);
+  EXPECT_FALSE(cache.Contains(1));
+  cache.Put(1, 11);
+  EXPECT_EQ(cache.FrequencyOf(1), 1u);
+}
+
+TEST(LfuCacheTest, ZeroCapacityNeverCaches) {
+  LfuCache cache(0);
+  cache.Put(1, 11);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LfuCacheTest, ResizeShrinkEvictsColdest) {
+  LfuCache cache(3);
+  cache.Put(1, 11);
+  cache.Put(2, 22);
+  cache.Put(3, 33);
+  cache.Get(1);
+  cache.Get(1);
+  cache.Get(2);
+  ASSERT_TRUE(cache.Resize(1).ok());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(LfuCacheTest, OverwriteKeepsFrequency) {
+  LfuCache cache(2);
+  cache.Put(1, 11);
+  cache.Get(1);
+  cache.Put(1, 99);
+  EXPECT_EQ(cache.FrequencyOf(1), 2u);
+  EXPECT_EQ(*cache.Get(1), 99u);
+}
+
+}  // namespace
+}  // namespace cot::cache

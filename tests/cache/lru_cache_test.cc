@@ -1,0 +1,107 @@
+#include "cache/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace cot::cache {
+namespace {
+
+TEST(LruCacheTest, MissOnEmpty) {
+  LruCache cache(2);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(LruCacheTest, PutThenGet) {
+  LruCache cache(2);
+  cache.Put(1, 11);
+  auto v = cache.Get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 11u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  cache.Put(1, 11);
+  cache.Put(2, 22);
+  cache.Get(1);      // 1 is now MRU
+  cache.Put(3, 33);  // evicts 2
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruCacheTest, PutRefreshesRecency) {
+  LruCache cache(2);
+  cache.Put(1, 11);
+  cache.Put(2, 22);
+  cache.Put(1, 111);  // overwrite refreshes recency and value
+  cache.Put(3, 33);   // evicts 2, not 1
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_EQ(*cache.Get(1), 111u);
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(LruCacheTest, InvalidateRemoves) {
+  LruCache cache(2);
+  cache.Put(1, 11);
+  cache.Invalidate(1);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  cache.Invalidate(99);  // absent: no-op
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(LruCacheTest, ZeroCapacityNeverCaches) {
+  LruCache cache(0);
+  cache.Put(1, 11);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(1).has_value());
+}
+
+TEST(LruCacheTest, CyclicScanIsWorstCase) {
+  // The paper's Section 3 example: (A,B,C,D, A,B,C,E, A,B,C,F ...) always
+  // misses an LRU cache of size 3.
+  LruCache cache(3);
+  const Key pattern[] = {0, 1, 2, 3, 0, 1, 2, 4, 0, 1, 2, 5};
+  for (Key k : pattern) {
+    if (!cache.Get(k).has_value()) cache.Put(k, k);
+  }
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 12u);
+}
+
+TEST(LruCacheTest, ResizeShrinkEvictsLru) {
+  LruCache cache(4);
+  for (Key k = 1; k <= 4; ++k) cache.Put(k, k);
+  cache.Get(1);
+  ASSERT_TRUE(cache.Resize(2).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Contains(1));  // most recently used survives
+  EXPECT_TRUE(cache.Contains(4));
+  EXPECT_EQ(cache.capacity(), 2u);
+}
+
+TEST(LruCacheTest, ResizeGrowKeepsContent) {
+  LruCache cache(2);
+  cache.Put(1, 11);
+  cache.Put(2, 22);
+  ASSERT_TRUE(cache.Resize(4).ok());
+  cache.Put(3, 33);
+  cache.Put(4, 44);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(LruCacheTest, NameAndStatsReset) {
+  LruCache cache(1);
+  EXPECT_EQ(cache.name(), "lru");
+  cache.Get(5);
+  cache.ResetStats();
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+}  // namespace
+}  // namespace cot::cache

@@ -1,0 +1,143 @@
+#include "cache/lruk_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cot::cache {
+namespace {
+
+void Access(LrukCache& cache, Key k) {
+  if (!cache.Get(k).has_value()) cache.Put(k, k * 10);
+}
+
+TEST(LrukCacheTest, PutThenGet) {
+  LrukCache cache(2, 8);
+  cache.Put(1, 11);
+  auto v = cache.Get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 11u);
+  EXPECT_EQ(cache.name(), "lru-2");
+}
+
+TEST(LrukCacheTest, SingleReferenceKeysEvictedFirst) {
+  LrukCache cache(2, 8);
+  Access(cache, 1);
+  Access(cache, 1);  // key 1 has 2 references
+  Access(cache, 2);  // key 2 has 1 reference (infinite 2-distance)
+  Access(cache, 3);  // must evict 2, not 1
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(LrukCacheTest, EvictsOldestKthReference) {
+  LrukCache cache(2, 8);
+  Access(cache, 1);
+  Access(cache, 1);  // 1: refs at t1,t2 -> 2nd-recent = t1
+  Access(cache, 2);
+  Access(cache, 2);  // 2: refs at t3,t4 -> 2nd-recent = t3
+  Access(cache, 1);  // 1: refs t5,t2 -> 2nd-recent = t2 < t3
+  Access(cache, 3);  // evicts key 1 (oldest 2nd-recent)? No: t2 < t3 so 1 is victim
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(LrukCacheTest, HistoryRestoresReferenceTimes) {
+  LrukCache cache(1, 8);
+  Access(cache, 1);
+  Access(cache, 1);  // 1 is "seen twice"
+  Access(cache, 2);  // evicts 1 into history
+  EXPECT_EQ(cache.history_size(), 1u);
+  Access(cache, 1);  // returns from history with restored times (now 3 refs)
+  // 1 has a finite 2-distance, 2 had only one reference and was evicted to
+  // history when 1 returned.
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  Access(cache, 3);  // 3 has infinite 2-distance; 1 has finite -> evict...
+  // Both candidates: resident is {1}; inserting 3 evicts 1 (the only key).
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(LrukCacheTest, HistoryCapacityBounded) {
+  LrukCache cache(1, 4);
+  for (Key k = 0; k < 100; ++k) Access(cache, k);
+  EXPECT_LE(cache.history_size(), 4u);
+  EXPECT_EQ(cache.history_capacity(), 4u);
+}
+
+TEST(LrukCacheTest, ZeroHistoryWorks) {
+  LrukCache cache(2, 0);
+  Access(cache, 1);
+  Access(cache, 2);
+  Access(cache, 3);
+  EXPECT_EQ(cache.history_size(), 0u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LrukCacheTest, K1DegeneratesToLru) {
+  LrukCache cache(2, 0, /*k=*/1);
+  EXPECT_EQ(cache.name(), "lru-1");
+  Access(cache, 1);
+  Access(cache, 2);
+  Access(cache, 1);  // refresh 1
+  Access(cache, 3);  // evicts 2 (least recent single reference)
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(LrukCacheTest, InvalidateMovesToHistory) {
+  LrukCache cache(2, 4);
+  Access(cache, 1);
+  cache.Invalidate(1);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.history_size(), 1u);
+}
+
+TEST(LrukCacheTest, ZeroCapacityNeverCaches) {
+  LrukCache cache(0, 4);
+  cache.Put(1, 11);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LrukCacheTest, ResizeShrinkEvicts) {
+  LrukCache cache(4, 8);
+  for (Key k = 1; k <= 4; ++k) {
+    Access(cache, k);
+    Access(cache, k);
+  }
+  ASSERT_TRUE(cache.Resize(2).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.capacity(), 2u);
+}
+
+TEST(LrukCacheTest, CapacityNeverExceededUnderRandomOps) {
+  LrukCache cache(8, 32);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    Key k = rng.NextBelow(100);
+    if (rng.NextBelow(10) == 0) {
+      cache.Invalidate(k);
+    } else {
+      Access(cache, k);
+    }
+    ASSERT_LE(cache.size(), 8u);
+    ASSERT_LE(cache.history_size(), 32u);
+  }
+}
+
+TEST(LrukCacheTest, HotKeysSurviveScanNoise) {
+  // LRU-2's selling point vs LRU: a sequential scan of cold keys cannot
+  // displace keys with two recent references.
+  LrukCache cache(4, 64);
+  for (int round = 0; round < 50; ++round) {
+    for (Key hot = 0; hot < 3; ++hot) Access(cache, hot);
+    Access(cache, 1000 + static_cast<Key>(round));  // one-time scan key
+  }
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+}  // namespace
+}  // namespace cot::cache

@@ -1,0 +1,145 @@
+// Differential test: LrukCache against a brute-force reference that
+// follows O'Neil et al.'s eviction rule literally — evict the resident
+// page whose K-th most recent reference is oldest, infinite backward
+// distance (fewer than K references) first, ties by least recent access.
+// The heap-based production implementation must agree exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cache/lruk_cache.h"
+#include "util/random.h"
+#include "workload/zipfian_generator.h"
+
+namespace cot::cache {
+namespace {
+
+// Minimal, obviously-correct LRU-K model (O(n) eviction scan).
+class ReferenceLruK {
+ public:
+  ReferenceLruK(size_t capacity, size_t history_capacity, int k)
+      : capacity_(capacity), history_capacity_(history_capacity), k_(k) {}
+
+  bool Access(Key key) {  // returns hit/miss; read-through semantics
+    ++clock_;
+    auto it = resident_.find(key);
+    if (it != resident_.end()) {
+      Record(it->second);
+      return true;
+    }
+    // Miss: restore history if retained, then insert (evicting if full).
+    std::deque<uint64_t> times;
+    auto hist = history_.find(key);
+    if (hist != history_.end()) {
+      times = hist->second;
+      history_.erase(hist);
+      history_order_.erase(
+          std::find(history_order_.begin(), history_order_.end(), key));
+    }
+    Record(times);
+    if (resident_.size() >= capacity_ && capacity_ > 0) EvictOne();
+    if (capacity_ > 0) resident_[key] = std::move(times);
+    return false;
+  }
+
+  bool Contains(Key key) const { return resident_.count(key) != 0; }
+
+ private:
+  void Record(std::deque<uint64_t>& times) {
+    times.push_front(clock_);
+    while (times.size() > static_cast<size_t>(k_)) times.pop_back();
+  }
+
+  void EvictOne() {
+    Key victim = 0;
+    // Priority: (kth most recent or 0, last access); evict the smallest.
+    std::pair<uint64_t, uint64_t> best{UINT64_MAX, UINT64_MAX};
+    for (const auto& [key, times] : resident_) {
+      uint64_t kth =
+          times.size() >= static_cast<size_t>(k_) ? times[k_ - 1] : 0;
+      uint64_t last = times.empty() ? 0 : times.front();
+      std::pair<uint64_t, uint64_t> priority{kth, last};
+      if (priority < best) {
+        best = priority;
+        victim = key;
+      }
+    }
+    // Retire to bounded history.
+    if (history_capacity_ > 0) {
+      while (history_.size() >= history_capacity_) {
+        Key oldest = history_order_.back();
+        history_order_.pop_back();
+        history_.erase(oldest);
+      }
+      history_order_.push_front(victim);
+      history_[victim] = resident_[victim];
+    }
+    resident_.erase(victim);
+  }
+
+  size_t capacity_;
+  size_t history_capacity_;
+  int k_;
+  uint64_t clock_ = 0;
+  std::map<Key, std::deque<uint64_t>> resident_;
+  std::map<Key, std::deque<uint64_t>> history_;
+  std::deque<Key> history_order_;
+};
+
+struct DiffCase {
+  const char* label;
+  size_t capacity;
+  size_t history;
+  int k;
+  uint64_t key_space;
+  double skew;  // 0 = uniform random keys
+  uint64_t seed;
+};
+
+class LrukDifferentialTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(LrukDifferentialTest, MatchesReferenceModelExactly) {
+  const DiffCase& param = GetParam();
+  LrukCache impl(param.capacity, param.history, param.k);
+  ReferenceLruK model(param.capacity, param.history, param.k);
+  Rng rng(param.seed);
+  std::unique_ptr<workload::ZipfianGenerator> zipf;
+  if (param.skew > 0.0) {
+    zipf = std::make_unique<workload::ZipfianGenerator>(param.key_space,
+                                                        param.skew);
+  }
+  for (int i = 0; i < 20000; ++i) {
+    Key key = zipf ? zipf->Next(rng) : rng.NextBelow(param.key_space);
+    bool impl_hit = impl.Get(key).has_value();
+    if (!impl_hit) impl.Put(key, key);
+    bool model_hit = model.Access(key);
+    ASSERT_EQ(impl_hit, model_hit)
+        << "divergence at access " << i << " key " << key;
+  }
+  // Final resident sets agree.
+  for (Key key = 0; key < param.key_space; ++key) {
+    ASSERT_EQ(impl.Contains(key), model.Contains(key)) << "key " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LrukDifferentialTest,
+    ::testing::Values(
+        DiffCase{"k2_small_zipf", 4, 16, 2, 100, 1.0999, 1},
+        DiffCase{"k2_zipf099", 16, 64, 2, 1000, 0.99, 2},
+        DiffCase{"k2_uniform", 8, 32, 2, 100, 0.0, 3},
+        DiffCase{"k3", 8, 32, 3, 200, 0.99, 4},
+        DiffCase{"k1_pure_lru", 8, 0, 1, 100, 0.99, 5},
+        DiffCase{"no_history", 8, 0, 2, 200, 0.99, 6},
+        DiffCase{"tiny_cache", 1, 4, 2, 50, 1.2, 7}),
+    [](const ::testing::TestParamInfo<DiffCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace cot::cache

@@ -1,0 +1,128 @@
+#include "cache/mq_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cot::cache {
+namespace {
+
+void Access(MqCache& cache, Key k) {
+  if (!cache.Get(k).has_value()) cache.Put(k, k * 10);
+}
+
+TEST(MqCacheTest, PutThenGet) {
+  MqCache cache(8);
+  cache.Put(1, 11);
+  auto v = cache.Get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 11u);
+  EXPECT_EQ(cache.name(), "mq");
+}
+
+TEST(MqCacheTest, FrequencyDrivesQueueIndex) {
+  MqCache cache(8);
+  cache.Put(1, 11);
+  EXPECT_EQ(cache.QueueOf(1), 0);  // frequency 1
+  cache.Get(1);                    // frequency 2
+  EXPECT_EQ(cache.QueueOf(1), 1);
+  cache.Get(1);
+  cache.Get(1);                    // frequency 4
+  EXPECT_EQ(cache.QueueOf(1), 2);
+  EXPECT_EQ(cache.FrequencyOf(1), 4u);
+}
+
+TEST(MqCacheTest, QueueIndexCapped) {
+  MqCache cache(8, /*num_queues=*/3);
+  cache.Put(1, 11);
+  for (int i = 0; i < 100; ++i) cache.Get(1);
+  EXPECT_EQ(cache.QueueOf(1), 2);  // m-1
+}
+
+TEST(MqCacheTest, EvictsFromLowestQueueFirst) {
+  MqCache cache(2);
+  Access(cache, 1);
+  Access(cache, 1);
+  Access(cache, 1);  // key 1 high queue
+  Access(cache, 2);  // key 2 queue 0
+  Access(cache, 3);  // evicts 2 (lowest queue LRU)
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(MqCacheTest, GhostHistoryRestoresFrequency) {
+  MqCache cache(1, 8, /*ghost_capacity=*/8);
+  Access(cache, 1);
+  Access(cache, 1);
+  Access(cache, 1);  // frequency 3
+  Access(cache, 2);  // evicts 1 into ghosts
+  EXPECT_EQ(cache.ghost_size(), 1u);
+  Access(cache, 1);  // returns with frequency 3+1
+  EXPECT_GE(cache.FrequencyOf(1), 4u);
+}
+
+TEST(MqCacheTest, LifetimeDemotesIdleEntries) {
+  // life_time 4: an entry untouched for >4 accesses sinks one queue per
+  // adjust pass.
+  MqCache cache(4, 8, 16, /*life_time=*/4);
+  Access(cache, 1);
+  Access(cache, 1);
+  Access(cache, 1);
+  Access(cache, 1);  // queue 2
+  ASSERT_EQ(cache.QueueOf(1), 2);
+  for (Key k = 50; k < 70; ++k) Access(cache, k);  // time passes
+  EXPECT_LT(cache.QueueOf(1), 2);  // demoted (or evicted: then -1 < 2)
+}
+
+TEST(MqCacheTest, GhostHistoryBounded) {
+  MqCache cache(2, 8, /*ghost_capacity=*/4);
+  for (Key k = 0; k < 100; ++k) Access(cache, k);
+  EXPECT_LE(cache.ghost_size(), 4u);
+}
+
+TEST(MqCacheTest, CapacityNeverExceeded) {
+  MqCache cache(8);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    Access(cache, rng.NextBelow(100));
+    ASSERT_LE(cache.size(), 8u);
+  }
+}
+
+TEST(MqCacheTest, InvalidateMovesToGhosts) {
+  MqCache cache(4);
+  Access(cache, 1);
+  Access(cache, 1);
+  cache.Invalidate(1);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.ghost_size(), 1u);
+}
+
+TEST(MqCacheTest, ZeroCapacityNeverCaches) {
+  MqCache cache(0);
+  cache.Put(1, 11);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(MqCacheTest, ResizeShrinkEvicts) {
+  MqCache cache(8);
+  for (Key k = 0; k < 8; ++k) Access(cache, k);
+  ASSERT_TRUE(cache.Resize(2).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.capacity(), 2u);
+}
+
+TEST(MqCacheTest, HotKeysSurviveScan) {
+  MqCache cache(8);
+  for (int round = 0; round < 50; ++round) {
+    for (Key hot = 0; hot < 3; ++hot) Access(cache, hot);
+    Access(cache, 1000 + static_cast<Key>(round));
+  }
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+}  // namespace
+}  // namespace cot::cache

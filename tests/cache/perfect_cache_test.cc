@@ -1,0 +1,64 @@
+#include "cache/perfect_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "workload/zipfian_generator.h"
+
+namespace cot::cache {
+namespace {
+
+TEST(PerfectCacheTest, HitsOnlyHotSet) {
+  PerfectCache cache({1, 2, 3});
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+  EXPECT_FALSE(cache.Get(4).has_value());
+  EXPECT_EQ(cache.stats().hits, 3u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(PerfectCacheTest, PutAndInvalidateAreNoops) {
+  PerfectCache cache({5});
+  cache.Put(7, 70);
+  EXPECT_FALSE(cache.Contains(7));
+  cache.Invalidate(5);
+  EXPECT_TRUE(cache.Contains(5));  // the oracle's hot set is immutable
+}
+
+TEST(PerfectCacheTest, SizeEqualsHotSetSize) {
+  PerfectCache cache({1, 2, 3, 3});  // duplicate collapses
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.capacity(), 3u);
+}
+
+TEST(PerfectCacheTest, ResizeUnimplemented) {
+  PerfectCache cache({1});
+  EXPECT_EQ(cache.Resize(5).code(), StatusCode::kUnimplemented);
+}
+
+TEST(PerfectCacheTest, EmptyHotSetAlwaysMisses) {
+  PerfectCache cache({});
+  EXPECT_FALSE(cache.Get(0).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PerfectCacheTest, HitRateMatchesTheoreticalTopCMass) {
+  // The TPC series of Figure 4: a perfect cache of the top C keys hits with
+  // probability equal to the Zipfian CDF at C.
+  constexpr uint64_t kN = 10000;
+  constexpr uint64_t kC = 64;
+  workload::ZipfianGenerator gen(kN, 0.99);
+  std::vector<Key> hot;
+  for (Key k = 0; k < kC; ++k) hot.push_back(k);  // ranks = ids here
+  PerfectCache cache(hot);
+  Rng rng(21);
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) cache.Get(gen.Next(rng));
+  // YCSB's Gray-method sampling is itself an approximation of the Zipfian
+  // CDF for moderate n, so allow a few points of slack.
+  EXPECT_NEAR(cache.stats().HitRate(), gen.TopCMass(kC), 0.03);
+}
+
+}  // namespace
+}  // namespace cot::cache

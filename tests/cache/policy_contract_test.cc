@@ -1,0 +1,179 @@
+// Parameterized contract tests: every replacement policy must honour the
+// cache::Cache interface semantics regardless of its internal strategy.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cache/arc_cache.h"
+#include "cache/cache.h"
+#include "cache/lfu_cache.h"
+#include "cache/lru_cache.h"
+#include "cache/lruk_cache.h"
+#include "cache/mq_cache.h"
+#include "cache/two_q_cache.h"
+#include "core/cot_cache.h"
+#include "util/random.h"
+
+namespace cot::cache {
+namespace {
+
+struct PolicyParam {
+  std::string label;
+  std::function<std::unique_ptr<Cache>(size_t capacity)> make;
+};
+
+class PolicyContractTest : public ::testing::TestWithParam<PolicyParam> {
+ protected:
+  std::unique_ptr<Cache> Make(size_t capacity) {
+    return GetParam().make(capacity);
+  }
+};
+
+TEST_P(PolicyContractTest, EmptyCacheMisses) {
+  auto cache = Make(4);
+  EXPECT_FALSE(cache->Get(1).has_value());
+  EXPECT_EQ(cache->stats().misses, 1u);
+  EXPECT_EQ(cache->stats().hits, 0u);
+  EXPECT_EQ(cache->size(), 0u);
+}
+
+TEST_P(PolicyContractTest, PutIntoFreeSpaceThenHit) {
+  auto cache = Make(4);
+  cache->Get(1);  // standard read-through order: miss first
+  cache->Put(1, 111);
+  auto v = cache->Get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 111u);
+  EXPECT_TRUE(cache->Contains(1));
+}
+
+TEST_P(PolicyContractTest, OverwriteReplacesValue) {
+  auto cache = Make(4);
+  cache->Get(1);
+  cache->Put(1, 1);
+  cache->Put(1, 2);
+  EXPECT_EQ(*cache->Get(1), 2u);
+  EXPECT_EQ(cache->size(), 1u);
+}
+
+TEST_P(PolicyContractTest, InvalidateRemovesResidentKey) {
+  auto cache = Make(4);
+  cache->Get(1);
+  cache->Put(1, 1);
+  cache->Invalidate(1);
+  EXPECT_FALSE(cache->Contains(1));
+  EXPECT_FALSE(cache->Get(1).has_value());
+}
+
+TEST_P(PolicyContractTest, InvalidateAbsentKeyIsSafe) {
+  auto cache = Make(4);
+  cache->Invalidate(12345);
+  EXPECT_EQ(cache->size(), 0u);
+}
+
+TEST_P(PolicyContractTest, CapacityIsNeverExceeded) {
+  auto cache = Make(8);
+  Rng rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    Key k = rng.NextBelow(200);
+    if (!cache->Get(k).has_value()) cache->Put(k, k);
+    ASSERT_LE(cache->size(), 8u);
+  }
+}
+
+TEST_P(PolicyContractTest, ZeroCapacityNeverCaches) {
+  auto cache = Make(0);
+  cache->Get(1);
+  cache->Put(1, 1);
+  EXPECT_EQ(cache->size(), 0u);
+  EXPECT_FALSE(cache->Get(1).has_value());
+}
+
+TEST_P(PolicyContractTest, StatsCountersAreConsistent) {
+  auto cache = Make(4);
+  Rng rng(99);
+  uint64_t lookups = 0;
+  for (int i = 0; i < 5000; ++i) {
+    Key k = rng.NextBelow(50);
+    if (!cache->Get(k).has_value()) cache->Put(k, k);
+    ++lookups;
+  }
+  EXPECT_EQ(cache->stats().lookups(), lookups);
+  EXPECT_EQ(cache->stats().hits + cache->stats().misses, lookups);
+  EXPECT_GT(cache->stats().HitRate(), 0.0);
+  EXPECT_LE(cache->stats().HitRate(), 1.0);
+}
+
+TEST_P(PolicyContractTest, ResetStatsZeroesCountersKeepsContent) {
+  auto cache = Make(4);
+  cache->Get(1);
+  cache->Put(1, 1);
+  cache->ResetStats();
+  EXPECT_EQ(cache->stats().lookups(), 0u);
+  EXPECT_TRUE(cache->Contains(1));
+}
+
+TEST_P(PolicyContractTest, ContainsHasNoStatsSideEffects) {
+  auto cache = Make(4);
+  cache->Get(1);
+  cache->Put(1, 1);
+  uint64_t lookups_before = cache->stats().lookups();
+  (void)cache->Contains(1);
+  (void)cache->Contains(2);
+  EXPECT_EQ(cache->stats().lookups(), lookups_before);
+}
+
+TEST_P(PolicyContractTest, NameIsNonEmpty) {
+  auto cache = Make(2);
+  EXPECT_FALSE(cache->name().empty());
+}
+
+TEST_P(PolicyContractTest, RepeatedHotKeyAlwaysHitsAfterAdmission) {
+  auto cache = Make(4);
+  cache->Get(7);
+  cache->Put(7, 70);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cache->Get(7).has_value()) << "iteration " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyContractTest,
+    ::testing::Values(
+        PolicyParam{"lru",
+                    [](size_t c) -> std::unique_ptr<Cache> {
+                      return std::make_unique<LruCache>(c);
+                    }},
+        PolicyParam{"lfu",
+                    [](size_t c) -> std::unique_ptr<Cache> {
+                      return std::make_unique<LfuCache>(c);
+                    }},
+        PolicyParam{"arc",
+                    [](size_t c) -> std::unique_ptr<Cache> {
+                      return std::make_unique<ArcCache>(c);
+                    }},
+        PolicyParam{"lru2",
+                    [](size_t c) -> std::unique_ptr<Cache> {
+                      return std::make_unique<LrukCache>(c, 4 * c, 2);
+                    }},
+        PolicyParam{"twoq",
+                    [](size_t c) -> std::unique_ptr<Cache> {
+                      return std::make_unique<TwoQCache>(c);
+                    }},
+        PolicyParam{"mq",
+                    [](size_t c) -> std::unique_ptr<Cache> {
+                      return std::make_unique<MqCache>(c);
+                    }},
+        PolicyParam{"cot",
+                    [](size_t c) -> std::unique_ptr<Cache> {
+                      return std::make_unique<core::CotCache>(c, 4 * c);
+                    }}),
+    [](const ::testing::TestParamInfo<PolicyParam>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace cot::cache

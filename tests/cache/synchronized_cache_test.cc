@@ -1,0 +1,81 @@
+#include "cache/synchronized_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cache/lru_cache.h"
+#include "core/cot_cache.h"
+#include "util/random.h"
+
+namespace cot::cache {
+namespace {
+
+TEST(SynchronizedCacheTest, DelegatesSemantics) {
+  SynchronizedCache cache(std::make_unique<LruCache>(2));
+  EXPECT_FALSE(cache.Get(1).has_value());
+  cache.Put(1, 11);
+  EXPECT_EQ(*cache.Get(1), 11u);
+  EXPECT_TRUE(cache.Contains(1));
+  cache.Invalidate(1);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.capacity(), 2u);
+  EXPECT_EQ(cache.name(), "lru+mutex");
+  EXPECT_TRUE(cache.Resize(4).ok());
+  EXPECT_EQ(cache.capacity(), 4u);
+}
+
+TEST(SynchronizedCacheTest, StatsMirrorInner) {
+  SynchronizedCache cache(std::make_unique<LruCache>(2));
+  cache.Get(1);
+  cache.Put(1, 1);
+  cache.Get(1);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(SynchronizedCacheTest, InnerExposesWrappedPolicy) {
+  SynchronizedCache cache(std::make_unique<core::CotCache>(4, 16));
+  auto* cot = dynamic_cast<core::CotCache*>(cache.inner());
+  ASSERT_NE(cot, nullptr);
+  EXPECT_EQ(cot->tracker_capacity(), 16u);
+}
+
+TEST(SynchronizedCacheTest, ConcurrentMixedOpsStayConsistent) {
+  SynchronizedCache cache(std::make_unique<core::CotCache>(32, 128));
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 20000;
+  std::atomic<uint64_t> served{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        Key k = rng.NextBelow(500);
+        switch (rng.NextBelow(10)) {
+          case 0:
+            cache.Invalidate(k);
+            break;
+          default:
+            if (!cache.Get(k).has_value()) cache.Put(k, k);
+            served.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(cache.size(), 32u);
+  // The wrapped CoT cache's own invariants survived concurrent use.
+  auto* cot = dynamic_cast<core::CotCache*>(cache.inner());
+  EXPECT_TRUE(cot->CheckInvariants());
+  EXPECT_GT(served.load(), 0u);
+  EXPECT_EQ(cache.stats().lookups(), served.load());
+}
+
+}  // namespace
+}  // namespace cot::cache

@@ -1,0 +1,110 @@
+#include "cache/two_q_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cot::cache {
+namespace {
+
+void Access(TwoQCache& cache, Key k) {
+  if (!cache.Get(k).has_value()) cache.Put(k, k * 10);
+}
+
+TEST(TwoQCacheTest, PutThenGet) {
+  TwoQCache cache(8);
+  cache.Put(1, 11);
+  auto v = cache.Get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 11u);
+  EXPECT_EQ(cache.name(), "2q");
+}
+
+TEST(TwoQCacheTest, NewKeysEnterA1in) {
+  TwoQCache cache(8);
+  cache.Put(1, 11);
+  auto sizes = cache.queue_sizes();
+  EXPECT_EQ(sizes.a1in, 1u);
+  EXPECT_EQ(sizes.am, 0u);
+}
+
+TEST(TwoQCacheTest, PromotionRequiresGhostHit) {
+  // Keys are promoted to Am only when re-referenced after leaving A1in.
+  TwoQCache cache(4, /*kin_fraction=*/0.5, /*kout_fraction=*/1.0);
+  // Fill beyond A1in so key 1 is ghosted.
+  Access(cache, 1);
+  Access(cache, 2);
+  Access(cache, 3);
+  Access(cache, 4);
+  Access(cache, 5);  // reclaim drains A1in; 1 ghosts into A1out
+  EXPECT_FALSE(cache.Contains(1));
+  Access(cache, 1);  // ghost hit -> promoted into Am
+  EXPECT_TRUE(cache.Contains(1));
+  auto sizes = cache.queue_sizes();
+  EXPECT_GE(sizes.am, 1u);
+}
+
+TEST(TwoQCacheTest, ScanResistance) {
+  // A hot working set in Am survives a long one-shot scan (LRU would lose
+  // everything).
+  TwoQCache cache(8, 0.25, 0.5);
+  // Build a hot set: get keys into Am via ghost promotion.
+  for (int round = 0; round < 20; ++round) {
+    for (Key k = 0; k < 2; ++k) Access(cache, k);
+    Access(cache, 100 + static_cast<Key>(round % 10));
+  }
+  ASSERT_TRUE(cache.Contains(0));
+  ASSERT_TRUE(cache.Contains(1));
+  // The scan: 500 one-shot keys.
+  for (Key k = 1000; k < 1500; ++k) Access(cache, k);
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(TwoQCacheTest, CapacityNeverExceeded) {
+  TwoQCache cache(8);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    Access(cache, rng.NextBelow(100));
+    ASSERT_LE(cache.size(), 8u);
+  }
+}
+
+TEST(TwoQCacheTest, GhostListBounded) {
+  TwoQCache cache(8, 0.25, 0.5);  // kout = 4
+  for (Key k = 0; k < 1000; ++k) Access(cache, k);
+  EXPECT_LE(cache.queue_sizes().a1out, 4u);
+}
+
+TEST(TwoQCacheTest, InvalidateResidentAndGhostPaths) {
+  TwoQCache cache(4, 0.5, 1.0);
+  Access(cache, 1);
+  cache.Invalidate(1);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  cache.Invalidate(99);  // absent
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(TwoQCacheTest, ZeroCapacityNeverCaches) {
+  TwoQCache cache(0);
+  cache.Put(1, 11);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(1).has_value());
+}
+
+TEST(TwoQCacheTest, ResizeUnimplemented) {
+  TwoQCache cache(8);
+  EXPECT_EQ(cache.Resize(16).code(), StatusCode::kUnimplemented);
+}
+
+TEST(TwoQCacheTest, OverwriteUpdatesValue) {
+  TwoQCache cache(4);
+  cache.Put(1, 11);
+  cache.Put(1, 99);
+  EXPECT_EQ(*cache.Get(1), 99u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cot::cache

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "cluster/backend_server.h"
+#include "cluster/cache_cluster.h"
+#include "cluster/storage_layer.h"
+
+namespace cot::cluster {
+namespace {
+
+TEST(BackendServerTest, MissThenSetThenHit) {
+  BackendServer server;
+  EXPECT_FALSE(server.Get(1).has_value());
+  server.Set(1, 11);
+  auto v = server.Get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 11u);
+  EXPECT_EQ(server.lookup_count(), 2u);
+  EXPECT_EQ(server.hit_count(), 1u);
+  EXPECT_EQ(server.set_count(), 1u);
+}
+
+TEST(BackendServerTest, EveryLookupCountsAsLoad) {
+  // The paper's load metric counts lookups regardless of hit/miss.
+  BackendServer server;
+  for (int i = 0; i < 10; ++i) server.Get(static_cast<uint64_t>(i));
+  EXPECT_EQ(server.lookup_count(), 10u);
+  EXPECT_EQ(server.hit_count(), 0u);
+}
+
+TEST(BackendServerTest, DeleteInvalidates) {
+  BackendServer server;
+  server.Set(1, 11);
+  EXPECT_TRUE(server.Delete(1));
+  EXPECT_FALSE(server.Get(1).has_value());
+  EXPECT_FALSE(server.Delete(1));
+  EXPECT_EQ(server.delete_count(), 1u);
+}
+
+TEST(BackendServerTest, ResetCountersKeepsContent) {
+  BackendServer server;
+  server.Set(1, 11);
+  server.Get(1);
+  server.ResetCounters();
+  EXPECT_EQ(server.lookup_count(), 0u);
+  EXPECT_EQ(server.size(), 1u);
+}
+
+TEST(BackendServerTest, BoundedModeEvictsUnderPressure) {
+  BackendServer server(/*max_items=*/4);
+  for (uint64_t k = 0; k < 10; ++k) server.Set(k, k);
+  EXPECT_LE(server.size(), 4u);
+  EXPECT_EQ(server.eviction_count(), 6u);
+}
+
+TEST(BackendServerTest, BoundedModeEvictsLeastRecentlyUsed) {
+  BackendServer server(/*max_items=*/3);
+  server.Set(1, 1);
+  server.Set(2, 2);
+  server.Set(3, 3);
+  server.Get(1);      // 1 is MRU
+  server.Set(4, 4);   // evicts 2 (LRU)
+  EXPECT_TRUE(server.Get(1).has_value());
+  EXPECT_FALSE(server.Get(2).has_value());
+  EXPECT_TRUE(server.Get(3).has_value());
+  EXPECT_TRUE(server.Get(4).has_value());
+}
+
+TEST(BackendServerTest, BoundedModeOverwriteDoesNotEvict) {
+  BackendServer server(/*max_items=*/2);
+  server.Set(1, 1);
+  server.Set(2, 2);
+  server.Set(1, 11);  // overwrite
+  EXPECT_EQ(server.size(), 2u);
+  EXPECT_EQ(server.eviction_count(), 0u);
+  EXPECT_EQ(*server.Get(1), 11u);
+}
+
+TEST(BackendServerTest, BoundedModeDeleteFreesSlot) {
+  BackendServer server(/*max_items=*/2);
+  server.Set(1, 1);
+  server.Set(2, 2);
+  EXPECT_TRUE(server.Delete(1));
+  server.Set(3, 3);
+  EXPECT_EQ(server.eviction_count(), 0u);
+  EXPECT_EQ(server.size(), 2u);
+}
+
+TEST(BackendServerTest, ClearDropsEverything) {
+  BackendServer server;
+  server.Set(1, 11);
+  server.Get(1);
+  server.Clear();
+  EXPECT_EQ(server.size(), 0u);
+  EXPECT_EQ(server.lookup_count(), 0u);
+}
+
+TEST(StorageLayerTest, UnwrittenKeysReadDeterministicInitialValue) {
+  StorageLayer storage(100);
+  EXPECT_EQ(storage.Get(5), StorageLayer::InitialValue(5));
+  EXPECT_EQ(storage.Get(5), storage.Get(5));
+  EXPECT_NE(storage.Get(5), storage.Get(6));
+}
+
+TEST(StorageLayerTest, SetOverridesValue) {
+  StorageLayer storage(100);
+  storage.Set(5, 999);
+  EXPECT_EQ(storage.Get(5), 999u);
+}
+
+TEST(StorageLayerTest, CountsReadsAndWrites) {
+  StorageLayer storage(10);
+  storage.Get(1);
+  storage.Get(2);
+  storage.Set(1, 1);
+  EXPECT_EQ(storage.read_count(), 2u);
+  EXPECT_EQ(storage.write_count(), 1u);
+  EXPECT_EQ(storage.key_space_size(), 10u);
+}
+
+TEST(CacheClusterTest, AggregatesPerServerLoads) {
+  CacheCluster cluster(4, 1000);
+  cluster.server(0).Get(1);
+  cluster.server(0).Get(2);
+  cluster.server(3).Get(3);
+  auto loads = cluster.PerServerLookups();
+  EXPECT_EQ(loads, (std::vector<uint64_t>{2, 0, 0, 1}));
+  cluster.ResetServerCounters();
+  EXPECT_EQ(cluster.PerServerLookups(),
+            (std::vector<uint64_t>{0, 0, 0, 0}));
+}
+
+TEST(CacheClusterTest, RingMatchesServerCount) {
+  CacheCluster cluster(8, 1000);
+  EXPECT_EQ(cluster.server_count(), 8u);
+  EXPECT_EQ(cluster.ring().server_count(), 8u);
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_LT(cluster.ring().ServerFor(k), 8u);
+  }
+}
+
+}  // namespace
+}  // namespace cot::cluster

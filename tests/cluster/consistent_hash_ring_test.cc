@@ -1,0 +1,116 @@
+#include "cluster/consistent_hash_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace cot::cluster {
+namespace {
+
+TEST(ConsistentHashRingTest, SingleServerOwnsEverything) {
+  ConsistentHashRing ring(1);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_EQ(ring.ServerFor(k), 0u);
+  }
+}
+
+TEST(ConsistentHashRingTest, LookupIsDeterministic) {
+  ConsistentHashRing r1(8), r2(8);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_EQ(r1.ServerFor(k), r2.ServerFor(k));
+  }
+}
+
+TEST(ConsistentHashRingTest, AllServersReceiveKeys) {
+  ConsistentHashRing ring(8);
+  std::map<ServerId, int> counts;
+  for (uint64_t k = 0; k < 100000; ++k) ++counts[ring.ServerFor(k)];
+  EXPECT_EQ(counts.size(), 8u);
+}
+
+TEST(ConsistentHashRingTest, KeyCountRoughlyBalancedWithVirtualNodes) {
+  ConsistentHashRing ring(8, 128);
+  std::vector<int> counts(8, 0);
+  constexpr int kKeys = 200000;
+  for (uint64_t k = 0; k < kKeys; ++k) ++counts[ring.ServerFor(k)];
+  double expected = kKeys / 8.0;
+  for (int c : counts) {
+    EXPECT_GT(c, expected * 0.75);
+    EXPECT_LT(c, expected * 1.25);
+  }
+}
+
+TEST(ConsistentHashRingTest, FewVirtualNodesBalanceWorse) {
+  // Sanity check on why virtual nodes exist: v=1 spreads key counts much
+  // less evenly than v=128.
+  auto spread = [](uint32_t vnodes) {
+    ConsistentHashRing ring(8, vnodes);
+    std::vector<int> counts(8, 0);
+    for (uint64_t k = 0; k < 100000; ++k) ++counts[ring.ServerFor(k)];
+    int lo = counts[0], hi = counts[0];
+    for (int c : counts) {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    return static_cast<double>(hi) / std::max(1, lo);
+  };
+  EXPECT_GT(spread(1), spread(128));
+}
+
+TEST(ConsistentHashRingTest, AddServerMovesOnlySomeKeys) {
+  ConsistentHashRing ring(8, 128);
+  std::vector<ServerId> before;
+  for (uint64_t k = 0; k < 50000; ++k) before.push_back(ring.ServerFor(k));
+  ring.AddServer();
+  EXPECT_EQ(ring.server_count(), 9u);
+  int moved = 0, moved_elsewhere = 0;
+  for (uint64_t k = 0; k < 50000; ++k) {
+    ServerId now = ring.ServerFor(k);
+    if (now != before[k]) {
+      ++moved;
+      if (now != 8) ++moved_elsewhere;  // must move only to the new server
+    }
+  }
+  // Expected churn ~ 1/9 of keys; allow generous slack.
+  EXPECT_LT(moved, 50000 / 9 * 2);
+  EXPECT_GT(moved, 50000 / 9 / 3);
+  EXPECT_EQ(moved_elsewhere, 0);
+}
+
+TEST(ConsistentHashRingTest, RemoveServerRedistributesItsKeysOnly) {
+  ConsistentHashRing ring(4, 64);
+  std::vector<ServerId> before;
+  for (uint64_t k = 0; k < 20000; ++k) before.push_back(ring.ServerFor(k));
+  ASSERT_TRUE(ring.RemoveServer(2).ok());
+  for (uint64_t k = 0; k < 20000; ++k) {
+    ServerId now = ring.ServerFor(k);
+    EXPECT_NE(now, 2u);
+    if (before[k] != 2) {
+      EXPECT_EQ(now, before[k]) << "key " << k << " moved unnecessarily";
+    }
+  }
+}
+
+TEST(ConsistentHashRingTest, RemoveErrors) {
+  ConsistentHashRing ring(2);
+  EXPECT_EQ(ring.RemoveServer(5).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(ring.RemoveServer(0).ok());
+  EXPECT_EQ(ring.RemoveServer(0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(ring.RemoveServer(1).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ConsistentHashRingTest, OwnershipFractionsSumToOne) {
+  ConsistentHashRing ring(8, 128);
+  auto fractions = ring.OwnershipFractions();
+  ASSERT_EQ(fractions.size(), 8u);
+  double sum = 0;
+  for (double f : fractions) {
+    EXPECT_GT(f, 0.0);
+    sum += f;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cot::cluster

@@ -1,0 +1,111 @@
+#include "cluster/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "cache/lru_cache.h"
+#include "core/cot_cache.h"
+#include "workload/op_stream.h"
+
+namespace cot::cluster {
+namespace {
+
+ExperimentConfig SmallConfig(workload::Distribution dist, double skew) {
+  ExperimentConfig config;
+  config.num_servers = 8;
+  config.key_space = 20000;
+  config.num_clients = 4;
+  config.total_ops = 200000;
+  workload::PhaseSpec phase;
+  phase.distribution = dist;
+  phase.skew = skew;
+  phase.read_fraction = 0.998;
+  config.phases = {phase};
+  return config;
+}
+
+TEST(ExperimentTest, RejectsInvalidConfig) {
+  ExperimentConfig config;
+  config.num_clients = 0;
+  config.phases = {workload::PhaseSpec{}};
+  EXPECT_FALSE(RunExperiment(config, nullptr).ok());
+
+  config = ExperimentConfig{};
+  EXPECT_FALSE(RunExperiment(config, nullptr).ok());  // no phases
+}
+
+TEST(ExperimentTest, CachelessRunCountsEveryRead) {
+  ExperimentConfig config = SmallConfig(workload::Distribution::kUniform, 0);
+  config.total_ops = 40000;
+  auto result = RunExperiment(config, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->aggregate.reads + result->aggregate.updates, 40000u);
+  EXPECT_EQ(result->total_backend_lookups, result->aggregate.backend_lookups);
+  EXPECT_EQ(result->aggregate.local_hits, 0u);
+}
+
+TEST(ExperimentTest, SkewCausesImbalanceWithoutFrontendCache) {
+  auto zipf = RunExperiment(
+      SmallConfig(workload::Distribution::kZipfian, 1.2), nullptr);
+  auto uniform = RunExperiment(
+      SmallConfig(workload::Distribution::kUniform, 0), nullptr);
+  ASSERT_TRUE(zipf.ok() && uniform.ok());
+  EXPECT_GT(zipf->imbalance, 2.0);
+  EXPECT_LT(uniform->imbalance, 1.2);
+}
+
+TEST(ExperimentTest, FrontendCacheReducesImbalanceAndLoad) {
+  ExperimentConfig config = SmallConfig(workload::Distribution::kZipfian, 1.2);
+  auto no_cache = RunExperiment(config, nullptr);
+  auto with_cot = RunExperiment(config, [](uint32_t) {
+    return std::make_unique<core::CotCache>(64, 512);
+  });
+  ASSERT_TRUE(no_cache.ok() && with_cot.ok());
+  EXPECT_LT(with_cot->imbalance, no_cache->imbalance / 2.0);
+  EXPECT_LT(with_cot->total_backend_lookups,
+            no_cache->total_backend_lookups / 2);
+  EXPECT_GT(with_cot->local_hit_rate, 0.4);
+}
+
+TEST(ExperimentTest, DeterministicForFixedSeed) {
+  ExperimentConfig config = SmallConfig(workload::Distribution::kZipfian, 0.99);
+  config.total_ops = 50000;
+  auto factory = [](uint32_t) { return std::make_unique<cache::LruCache>(32); };
+  auto r1 = RunExperiment(config, factory);
+  auto r2 = RunExperiment(config, factory);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->per_server_lookups, r2->per_server_lookups);
+  EXPECT_EQ(r1->aggregate.local_hits, r2->aggregate.local_hits);
+}
+
+TEST(ExperimentTest, ResizerConfigAttachesToCotClients) {
+  ExperimentConfig config = SmallConfig(workload::Distribution::kZipfian, 1.2);
+  config.total_ops = 100000;
+  core::ResizerConfig resizer;
+  resizer.initial_epoch_size = 2000;
+  auto result = RunExperiment(
+      config,
+      [](uint32_t) { return std::make_unique<core::CotCache>(2, 4); },
+      &resizer);
+  ASSERT_TRUE(result.ok());
+  // Elastic growth from 2 lines must have produced real hit rates.
+  EXPECT_GT(result->local_hit_rate, 0.1);
+}
+
+TEST(ExperimentTest, PerClientPhaseBudgetsAreHonoured) {
+  ExperimentConfig config = SmallConfig(workload::Distribution::kUniform, 0);
+  config.num_clients = 4;
+  config.total_ops = 0;  // use explicit per-client phase budgets instead
+  workload::PhaseSpec p1, p2;
+  p1.distribution = workload::Distribution::kZipfian;
+  p1.num_ops = 1000;
+  p2.distribution = workload::Distribution::kUniform;
+  p2.num_ops = 500;
+  config.phases = {p1, p2};
+  auto result = RunExperiment(config, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->aggregate.reads + result->aggregate.updates,
+            4u * 1500u);
+}
+
+}  // namespace
+}  // namespace cot::cluster

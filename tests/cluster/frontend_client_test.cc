@@ -1,0 +1,184 @@
+#include "cluster/frontend_client.h"
+
+#include <gtest/gtest.h>
+
+#include "cache/lru_cache.h"
+#include "cluster/cache_cluster.h"
+#include "core/cot_cache.h"
+
+namespace cot::cluster {
+namespace {
+
+TEST(FrontendClientTest, ReadThroughFillsBothCacheLevels) {
+  CacheCluster cluster(4, 1000);
+  FrontendClient client(&cluster,
+                        std::make_unique<cache::LruCache>(8));
+  cache::Value v = client.Get(42);
+  EXPECT_EQ(v, StorageLayer::InitialValue(42));
+  // First read: local miss, shard miss, storage read, both levels filled.
+  EXPECT_EQ(client.stats().storage_reads, 1u);
+  EXPECT_EQ(client.stats().backend_lookups, 1u);
+  EXPECT_TRUE(client.local_cache()->Contains(42));
+  ServerId sid = cluster.ring().ServerFor(42);
+  EXPECT_EQ(cluster.server(sid).size(), 1u);
+
+  // Second read: local hit, no backend traffic.
+  client.Get(42);
+  EXPECT_EQ(client.stats().local_hits, 1u);
+  EXPECT_EQ(client.stats().backend_lookups, 1u);
+}
+
+TEST(FrontendClientTest, SecondClientHitsShardNotStorage) {
+  CacheCluster cluster(4, 1000);
+  FrontendClient a(&cluster, std::make_unique<cache::LruCache>(8));
+  FrontendClient b(&cluster, std::make_unique<cache::LruCache>(8));
+  a.Get(7);
+  b.Get(7);
+  EXPECT_EQ(b.stats().storage_reads, 0u);  // shard already filled by a
+  EXPECT_EQ(b.stats().backend_hits, 1u);
+}
+
+TEST(FrontendClientTest, UpdateInvalidatesEveryLevel) {
+  CacheCluster cluster(4, 1000);
+  FrontendClient client(&cluster, std::make_unique<cache::LruCache>(8));
+  client.Get(7);
+  ASSERT_TRUE(client.local_cache()->Contains(7));
+  client.Set(7, 777);
+  EXPECT_FALSE(client.local_cache()->Contains(7));
+  ServerId sid = cluster.ring().ServerFor(7);
+  EXPECT_EQ(cluster.server(sid).size(), 0u);
+  EXPECT_EQ(cluster.storage().Get(7), 777u);
+}
+
+TEST(FrontendClientTest, ReadYourWritesThroughTheWholeStack) {
+  CacheCluster cluster(8, 1000);
+  FrontendClient client(&cluster, std::make_unique<cache::LruCache>(8));
+  client.Get(5);          // warm both levels with the initial value
+  client.Set(5, 555);     // invalidate + write storage
+  EXPECT_EQ(client.Get(5), 555u);  // re-fetch sees the new value
+  EXPECT_EQ(client.Get(5), 555u);  // now from the local cache
+}
+
+TEST(FrontendClientTest, CachelessClientAlwaysGoesToBackend) {
+  CacheCluster cluster(4, 1000);
+  FrontendClient client(&cluster, nullptr);
+  for (int i = 0; i < 10; ++i) client.Get(3);
+  EXPECT_EQ(client.stats().backend_lookups, 10u);
+  EXPECT_EQ(client.stats().local_hits, 0u);
+  EXPECT_EQ(client.stats().storage_reads, 1u);  // shard caches after first
+}
+
+TEST(FrontendClientTest, PerServerEpochCountersTrackLookups) {
+  CacheCluster cluster(4, 1000);
+  FrontendClient client(&cluster, nullptr);
+  for (uint64_t k = 0; k < 100; ++k) client.Get(k);
+  uint64_t total = 0;
+  for (uint64_t c : client.epoch_lookups()) total += c;
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(client.epoch_lookups(), client.cumulative_lookups());
+  EXPECT_GE(client.CurrentEpochImbalance(), 1.0);
+}
+
+TEST(FrontendClientTest, ApplyRoutesByOpType) {
+  CacheCluster cluster(4, 1000);
+  FrontendClient client(&cluster, std::make_unique<cache::LruCache>(8));
+  client.Apply(workload::Op{1, workload::OpType::kRead});
+  client.Apply(workload::Op{1, workload::OpType::kUpdate});
+  EXPECT_EQ(client.stats().reads, 1u);
+  EXPECT_EQ(client.stats().updates, 1u);
+}
+
+TEST(FrontendClientTest, ApplyDetailedReportsServicePath) {
+  CacheCluster cluster(4, 1000);
+  FrontendClient client(&cluster, std::make_unique<cache::LruCache>(8));
+  auto miss = client.ApplyDetailed(workload::Op{9, workload::OpType::kRead});
+  EXPECT_FALSE(miss.local_hit);
+  EXPECT_TRUE(miss.backend_contacted);
+  EXPECT_TRUE(miss.storage_accessed);
+  EXPECT_EQ(miss.server, cluster.ring().ServerFor(9));
+
+  auto hit = client.ApplyDetailed(workload::Op{9, workload::OpType::kRead});
+  EXPECT_TRUE(hit.local_hit);
+  EXPECT_FALSE(hit.backend_contacted);
+
+  auto update =
+      client.ApplyDetailed(workload::Op{9, workload::OpType::kUpdate});
+  EXPECT_TRUE(update.backend_contacted);
+  EXPECT_TRUE(update.storage_accessed);
+}
+
+TEST(FrontendClientTest, ElasticResizingRequiresCotCache) {
+  CacheCluster cluster(4, 1000);
+  FrontendClient lru_client(&cluster, std::make_unique<cache::LruCache>(8));
+  core::ResizerConfig config;
+  EXPECT_EQ(lru_client.EnableElasticResizing(config).code(),
+            StatusCode::kFailedPrecondition);
+
+  FrontendClient cot_client(&cluster,
+                            std::make_unique<core::CotCache>(2, 8));
+  EXPECT_TRUE(cot_client.EnableElasticResizing(config).ok());
+  EXPECT_NE(cot_client.resizer(), nullptr);
+}
+
+TEST(FrontendClientTest, ResizerEpochsAdvanceWithTraffic) {
+  CacheCluster cluster(4, 1000);
+  FrontendClient client(&cluster, std::make_unique<core::CotCache>(2, 8));
+  core::ResizerConfig config;
+  config.initial_epoch_size = 50;
+  config.warmup_epochs = 0;
+  config.min_epoch_backend_lookups = 0;
+  ASSERT_TRUE(client.EnableElasticResizing(config).ok());
+  for (uint64_t i = 0; i < 500; ++i) client.Get(i % 100);
+  EXPECT_GE(client.resizer()->epochs_completed(), 5u);
+  // Epoch counters were reset at each boundary.
+  uint64_t epoch_total = 0;
+  for (uint64_t c : client.epoch_lookups()) epoch_total += c;
+  EXPECT_LT(epoch_total, 500u);
+}
+
+TEST(FrontendClientTest, WriteThroughRefreshesInsteadOfDeleting) {
+  CacheCluster cluster(4, 1000);
+  FrontendClient client(&cluster, std::make_unique<cache::LruCache>(8));
+  client.SetWritePolicy(FrontendClient::WritePolicy::kWriteThrough);
+  client.Get(7);  // warm both levels
+  client.Set(7, 777);
+  // Local and shard copies are refreshed, not deleted.
+  EXPECT_TRUE(client.local_cache()->Contains(7));
+  ServerId sid = cluster.ring().ServerFor(7);
+  auto shard_copy = cluster.server(sid).Get(7);
+  ASSERT_TRUE(shard_copy.has_value());
+  EXPECT_EQ(*shard_copy, 777u);
+  // Read-your-writes without re-fetching from storage.
+  uint64_t storage_reads = client.stats().storage_reads;
+  EXPECT_EQ(client.Get(7), 777u);
+  EXPECT_EQ(client.stats().storage_reads, storage_reads);
+}
+
+TEST(FrontendClientTest, WriteThroughDoesNotPolluteLocalCache) {
+  // A write-through of an uncached key must not force it into a plain
+  // policy's cache (writes are not reads).
+  CacheCluster cluster(4, 1000);
+  FrontendClient client(&cluster, std::make_unique<cache::LruCache>(8));
+  client.SetWritePolicy(FrontendClient::WritePolicy::kWriteThrough);
+  client.Set(5, 55);
+  EXPECT_FALSE(client.local_cache()->Contains(5));
+  EXPECT_EQ(client.Get(5), 55u);
+}
+
+TEST(FrontendClientTest, WriteThroughKeepsCotHotnessAccounting) {
+  CacheCluster cluster(4, 1000);
+  FrontendClient client(&cluster, std::make_unique<core::CotCache>(4, 16));
+  client.SetWritePolicy(FrontendClient::WritePolicy::kWriteThrough);
+  auto* cot = dynamic_cast<core::CotCache*>(client.local_cache());
+  client.Get(3);
+  client.Get(3);
+  double before = cot->tracker().HotnessOf(3).value_or(0.0);
+  client.Set(3, 33);
+  // Update recorded in the dual-cost model.
+  EXPECT_LT(cot->tracker().HotnessOf(3).value_or(0.0), before);
+  // And the fresh value is served locally.
+  EXPECT_EQ(client.Get(3), 33u);
+}
+
+}  // namespace
+}  // namespace cot::cluster

@@ -1,0 +1,215 @@
+// Tests for the server-side load-balancing comparators (SliceMap /
+// HotKeyReplicator) and their integration with FrontendClient routing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "cluster/cache_cluster.h"
+#include "cluster/frontend_client.h"
+#include "cluster/hot_key_replicator.h"
+#include "cluster/slice_map.h"
+#include "metrics/imbalance.h"
+#include "util/random.h"
+#include "workload/zipfian_generator.h"
+
+namespace cot::cluster {
+namespace {
+
+TEST(SliceMapTest, InitialAssignmentIsRoundRobin) {
+  SliceMap map(4, 16);
+  EXPECT_EQ(map.num_slices(), 16u);
+  for (uint32_t s = 0; s < 16; ++s) {
+    EXPECT_EQ(map.OwnerOf(s), s % 4);
+  }
+}
+
+TEST(SliceMapTest, RouteIsStableAndInRange) {
+  SliceMap map(8, 4096);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ServerId a = map.Route(k);
+    ServerId b = map.Route(k);
+    EXPECT_EQ(a, b);
+    EXPECT_LT(a, 8u);
+  }
+}
+
+TEST(SliceMapTest, SliceOfMatchesRoutedOwner) {
+  SliceMap map(8, 1024);
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(map.Route(k), map.OwnerOf(map.SliceOf(k)));
+  }
+}
+
+TEST(SliceMapTest, RebalanceEvensOutSkewedSliceLoad) {
+  SliceMap map(4, 256);
+  // Hammer the slices owned by server 0 (per the round-robin init).
+  Rng rng(1);
+  workload::ZipfianGenerator gen(100000, 1.2);
+  std::vector<uint64_t> loads_before(4, 0);
+  for (int i = 0; i < 200000; ++i) {
+    uint64_t key = gen.Next(rng);
+    ServerId s = map.Route(key);
+    map.OnLookup(key, s);
+    ++loads_before[s];
+  }
+  double before = metrics::LoadImbalance(loads_before);
+  double moved = map.Rebalance();
+  EXPECT_GT(moved, 0.0);
+  EXPECT_LE(moved, 1.0);
+  EXPECT_EQ(map.rebalance_count(), 1u);
+  // Replay the same traffic on the new assignment.
+  Rng rng2(1);
+  workload::ZipfianGenerator gen2(100000, 1.2);
+  std::vector<uint64_t> loads_after(4, 0);
+  for (int i = 0; i < 200000; ++i) {
+    ++loads_after[map.Route(gen2.Next(rng2))];
+  }
+  double after = metrics::LoadImbalance(loads_after);
+  EXPECT_LT(after, before);
+}
+
+TEST(SliceMapTest, CannotSplitAViralKey) {
+  // The paper's granularity argument: if one key dominates the workload,
+  // its slice exceeds a fair share no matter how slices are assigned.
+  SliceMap map(8, 256);
+  // One viral key takes ~a third of all traffic — more than any server's
+  // fair share (1/8), so no slice assignment can reach balance.
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t key = (i % 3 == 0) ? 12345u : static_cast<uint64_t>(i);
+    map.OnLookup(key, map.Route(key));
+  }
+  map.Rebalance();
+  // Replay: the viral key's owner still gets all of its traffic.
+  std::vector<uint64_t> loads(8, 0);
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t key = (i % 3 == 0) ? 12345u : static_cast<uint64_t>(i);
+    ++loads[map.Route(key)];
+  }
+  EXPECT_GT(metrics::LoadImbalance(loads), 2.0);
+}
+
+TEST(HotKeyReplicatorTest, ColdKeysRouteViaRing) {
+  ConsistentHashRing ring(8);
+  HotKeyReplicator replicator(&ring);
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(replicator.Route(k), ring.ServerFor(k));
+  }
+  EXPECT_EQ(replicator.replicated_count(), 0u);
+}
+
+TEST(HotKeyReplicatorTest, HotKeyGetsReplicatedAndSpread) {
+  ConsistentHashRing ring(8);
+  HotKeyReplicator replicator(&ring, /*hot_share=*/0.2, /*gamma=*/4);
+  uint64_t hot = 42;
+  ServerId home = ring.ServerFor(hot);
+  // The hot key takes 50% of its server's load this epoch.
+  for (int i = 0; i < 1000; ++i) {
+    replicator.OnLookup(hot, home);
+    replicator.OnLookup(static_cast<uint64_t>(1000 + i), home);
+  }
+  auto broadcast = replicator.EndEpoch();
+  ASSERT_EQ(broadcast.size(), 1u);
+  EXPECT_EQ(broadcast[0], hot);
+  EXPECT_TRUE(replicator.IsReplicated(hot));
+  // Lookups now spread over gamma servers.
+  std::set<ServerId> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(replicator.Route(hot));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(replicator.AllReplicas(hot).size(), 4u);
+}
+
+TEST(HotKeyReplicatorTest, ColdKeysStayUnreplicated) {
+  ConsistentHashRing ring(8);
+  HotKeyReplicator replicator(&ring, 0.2, 4);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t k = rng.NextBelow(10000);
+    replicator.OnLookup(k, ring.ServerFor(k));
+  }
+  EXPECT_TRUE(replicator.EndEpoch().empty());
+}
+
+TEST(HotKeyReplicatorTest, EpochsAreIndependent) {
+  ConsistentHashRing ring(4);
+  HotKeyReplicator replicator(&ring, 0.5, 2);
+  uint64_t hot = 7;
+  ServerId home = ring.ServerFor(hot);
+  for (int i = 0; i < 100; ++i) replicator.OnLookup(hot, home);
+  ASSERT_EQ(replicator.EndEpoch().size(), 1u);
+  // Already replicated: not re-broadcast.
+  for (int i = 0; i < 100; ++i) replicator.OnLookup(hot, home);
+  EXPECT_TRUE(replicator.EndEpoch().empty());
+}
+
+TEST(RoutingIntegrationTest, ClientHonoursRouterAndCollectsMetadata) {
+  CacheCluster cluster(4, 1000);
+  SliceMap map(4, 64);
+  FrontendClient client(&cluster, nullptr);
+  client.SetRouter(&map);
+  client.Get(5);
+  ServerId expected = map.Route(5);
+  EXPECT_EQ(cluster.server(expected).lookup_count(), 1u);
+}
+
+TEST(RoutingIntegrationTest, InvalidationReachesAllReplicas) {
+  CacheCluster cluster(8, 1000);
+  HotKeyReplicator replicator(&cluster.ring(), 0.2, 4);
+  FrontendClient client(&cluster, nullptr);
+  client.SetRouter(&replicator);
+
+  uint64_t hot = 42;
+  // Make it hot and replicated.
+  ServerId home = cluster.ring().ServerFor(hot);
+  for (int i = 0; i < 1000; ++i) replicator.OnLookup(hot, home);
+  replicator.EndEpoch();
+  ASSERT_TRUE(replicator.IsReplicated(hot));
+
+  // Fill several replicas by reading repeatedly (rotation).
+  for (int i = 0; i < 16; ++i) client.Get(hot);
+  size_t resident = 0;
+  for (ServerId s : replicator.AllReplicas(hot)) {
+    if (cluster.server(s).size() > 0) ++resident;
+  }
+  ASSERT_GE(resident, 2u);
+
+  // Update: every replica must drop its copy.
+  client.Set(hot, 999);
+  for (ServerId s : replicator.AllReplicas(hot)) {
+    auto v = cluster.server(s).Get(hot);
+    EXPECT_FALSE(v.has_value()) << "stale replica on server " << s;
+  }
+  // Read-your-writes through a replica.
+  EXPECT_EQ(client.Get(hot), 999u);
+}
+
+TEST(RoutingIntegrationTest, ReplicationReducesImbalanceOnSkew) {
+  CacheCluster cluster(8, 100000);
+  workload::ZipfianGenerator gen(100000, 1.2);
+
+  auto run = [&](RoutingPolicy* router) {
+    CacheCluster fresh(8, 100000);
+    FrontendClient client(&fresh, nullptr);
+    client.SetRouter(router);
+    Rng rng(5);
+    for (int i = 0; i < 200000; ++i) {
+      client.Get(gen.Next(rng));
+      if (i % 10000 == 9999 && router != nullptr) {
+        // epoch boundary for the replicator
+        auto* rep = dynamic_cast<HotKeyReplicator*>(router);
+        if (rep != nullptr) rep->EndEpoch();
+      }
+    }
+    return metrics::LoadImbalance(fresh.PerServerLookups());
+  };
+
+  double baseline = run(nullptr);
+  HotKeyReplicator replicator(&cluster.ring(), /*hot_share=*/0.05,
+                              /*gamma=*/8);
+  double replicated = run(&replicator);
+  EXPECT_LT(replicated, baseline * 0.7);
+}
+
+}  // namespace
+}  // namespace cot::cluster

@@ -1,0 +1,177 @@
+// Property tests of CoT's central claim (Section 4.2): under read-through
+// driving, the cache always holds the exact top-C keys of the tracked set
+// — formally, every tracked-but-not-cached key's hotness is <= h_min, the
+// coldest cached key's hotness.
+//
+// The property is exact for read-only streams (every hotness change flows
+// through Get, whose miss path offers the key for admission). Updates and
+// explicit resizes can transiently open free slots that are refilled by
+// the next accesses, which is why the paper qualifies "exact top C ...
+// with respect to the approximate top-K".
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/cot_cache.h"
+#include "util/hash.h"
+#include "util/random.h"
+#include "workload/simple_generators.h"
+#include "workload/zipfian_generator.h"
+
+namespace cot::core {
+namespace {
+
+// Asserts the top-C property: max hotness over S_{k-c} <= min over S_c.
+::testing::AssertionResult CacheHoldsTopOfTracker(const CotCache& cache) {
+  if (cache.size() == 0) return ::testing::AssertionSuccess();
+  double h_min = cache.MinCachedHotness().value();
+  double worst = -std::numeric_limits<double>::infinity();
+  uint64_t worst_key = 0;
+  cache.tracker().ForEach([&](const uint64_t& key, double hotness) {
+    if (!cache.Contains(key) && hotness > worst) {
+      worst = hotness;
+      worst_key = key;
+    }
+  });
+  if (worst > h_min) {
+    return ::testing::AssertionFailure()
+           << "tracked-not-cached key " << worst_key << " has hotness "
+           << worst << " > h_min " << h_min;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+struct StreamCase {
+  const char* label;
+  double skew;  // 0 = uniform
+  uint64_t keys;
+  size_t cache_lines;
+  size_t tracker_lines;
+};
+
+class AdmissionPropertyTest : public ::testing::TestWithParam<StreamCase> {};
+
+TEST_P(AdmissionPropertyTest, ReadOnlyStreamKeepsTopCProperty) {
+  const StreamCase& param = GetParam();
+  CotCache cache(param.cache_lines, param.tracker_lines);
+  std::unique_ptr<workload::KeyGenerator> gen;
+  if (param.skew == 0.0) {
+    gen = std::make_unique<workload::UniformGenerator>(param.keys);
+  } else {
+    gen = std::make_unique<workload::ZipfianGenerator>(param.keys,
+                                                       param.skew);
+  }
+  Rng rng(Fnv1a64(param.label));
+  for (int i = 0; i < 30000; ++i) {
+    CotCache::Key k = gen->Next(rng);
+    if (!cache.Get(k).has_value()) cache.Put(k, k);
+    if (i % 1000 == 999) {
+      ASSERT_TRUE(CacheHoldsTopOfTracker(cache)) << "at access " << i;
+      ASSERT_TRUE(cache.CheckInvariants());
+    }
+  }
+  ASSERT_TRUE(CacheHoldsTopOfTracker(cache));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, AdmissionPropertyTest,
+    ::testing::Values(StreamCase{"zipf12_tiny", 1.2, 10000, 2, 8},
+                      StreamCase{"zipf12_small", 1.2, 10000, 8, 32},
+                      StreamCase{"zipf099", 0.99, 10000, 16, 128},
+                      StreamCase{"zipf09", 0.9, 50000, 32, 512},
+                      StreamCase{"uniform", 0.0, 5000, 8, 32},
+                      StreamCase{"tracker_equals_2c", 1.2, 10000, 16, 32}),
+    [](const ::testing::TestParamInfo<StreamCase>& info) {
+      return info.param.label;
+    });
+
+TEST(AdmissionPropertyTest, PropertyRestoresAfterDecay) {
+  // Half-life decay scales all hotness uniformly: the top-C property is
+  // preserved by construction.
+  CotCache cache(8, 64);
+  workload::ZipfianGenerator gen(10000, 1.2);
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    CotCache::Key k = gen.Next(rng);
+    if (!cache.Get(k).has_value()) cache.Put(k, k);
+    if (i % 5000 == 4999) cache.HalveAllHotness();
+  }
+  EXPECT_TRUE(CacheHoldsTopOfTracker(cache));
+}
+
+TEST(AdmissionPropertyTest, FullCoverageTrackerCountsExactly) {
+  // Degenerate case K >= |key space|: space-saving never evicts, so every
+  // tracked hotness equals the true access count exactly.
+  constexpr uint64_t kKeys = 256;
+  CotCache cache(16, 2 * kKeys);
+  std::vector<uint64_t> truth(kKeys, 0);
+  workload::ZipfianGenerator gen(kKeys, 0.99);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    CotCache::Key k = gen.Next(rng);
+    ++truth[k];
+    if (!cache.Get(k).has_value()) cache.Put(k, k);
+  }
+  for (CotCache::Key k = 0; k < kKeys; ++k) {
+    if (truth[k] == 0) continue;
+    auto h = cache.tracker().HotnessOf(k);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_DOUBLE_EQ(*h, static_cast<double>(truth[k])) << "key " << k;
+  }
+}
+
+TEST(AdmissionPropertyTest, FullCoverageCacheEqualsTopCByTrueCount) {
+  // With exact counts, CoT's cache must be exactly the top-C keys by true
+  // frequency — the "perfect LFU" the TPC oracle assumes.
+  constexpr uint64_t kKeys = 256;
+  constexpr size_t kC = 16;
+  CotCache cache(kC, 2 * kKeys);
+  std::vector<uint64_t> truth(kKeys, 0);
+  workload::ZipfianGenerator gen(kKeys, 1.2);
+  Rng rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    CotCache::Key k = gen.Next(rng);
+    ++truth[k];
+    if (!cache.Get(k).has_value()) cache.Put(k, k);
+  }
+  // True top-C threshold (count of the C-th hottest key).
+  std::vector<uint64_t> sorted(truth);
+  std::sort(sorted.rbegin(), sorted.rend());
+  uint64_t threshold = sorted[kC - 1];
+  // Every cached key's true count is >= the threshold's tie class, and
+  // every key strictly above the threshold is cached.
+  for (CotCache::Key k = 0; k < kKeys; ++k) {
+    if (truth[k] > threshold) {
+      EXPECT_TRUE(cache.Contains(k))
+          << "key " << k << " (count " << truth[k] << ") missing";
+    }
+    if (cache.Contains(k)) {
+      EXPECT_GE(truth[k], threshold) << "cold key " << k << " cached";
+    }
+  }
+}
+
+TEST(AdmissionPropertyTest, HotspotStreamExactHotSetCaptured) {
+  // With a sharp hot/cold boundary and C >= hot-set size, CoT must end up
+  // caching exactly the hot set.
+  constexpr uint64_t kHotKeys = 16;
+  workload::HotspotGenerator gen(10000, /*hot_set_fraction=*/0.0016,
+                                 /*hot_opn_fraction=*/0.95);
+  ASSERT_EQ(gen.hot_set_size(), kHotKeys);
+  CotCache cache(kHotKeys, 8 * kHotKeys);
+  Rng rng(11);
+  for (int i = 0; i < 100000; ++i) {
+    CotCache::Key k = gen.Next(rng);
+    if (!cache.Get(k).has_value()) cache.Put(k, k);
+  }
+  size_t hot_cached = 0;
+  for (CotCache::Key k = 0; k < kHotKeys; ++k) {
+    if (cache.Contains(k)) ++hot_cached;
+  }
+  EXPECT_GE(hot_cached, kHotKeys - 1);  // allow one boundary straggler
+}
+
+}  // namespace
+}  // namespace cot::core

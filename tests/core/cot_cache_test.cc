@@ -1,0 +1,272 @@
+#include "core/cot_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "workload/zipfian_generator.h"
+
+namespace cot::core {
+namespace {
+
+void Access(CotCache& cache, CotCache::Key k) {
+  if (!cache.Get(k).has_value()) cache.Put(k, k * 10);
+}
+
+TEST(CotCacheTest, ConstructorEnforcesTrackerAtLeastTwiceCache) {
+  CotCache cache(8, 4);  // requested K < 2C
+  EXPECT_EQ(cache.capacity(), 8u);
+  EXPECT_EQ(cache.tracker_capacity(), 16u);
+}
+
+TEST(CotCacheTest, GetMissThenPutAdmitsIntoFreeSpace) {
+  CotCache cache(2, 8);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  cache.Put(1, 11);
+  EXPECT_EQ(*cache.Get(1), 11u);
+}
+
+TEST(CotCacheTest, EveryCachedKeyIsTracked) {
+  CotCache cache(4, 8);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) Access(cache, rng.NextBelow(50));
+  EXPECT_TRUE(cache.CheckInvariants());  // includes S_c ⊆ S_k
+}
+
+TEST(CotCacheTest, ColdKeyCannotDisplaceHotKeys) {
+  // Two keys stay hot while a stream of one-shot cold keys passes by: with
+  // LRU the cold keys would thrash the cache; CoT's admission filter keeps
+  // them out. (The hot keys must keep receiving accesses: space-saving's
+  // counter inheritance deliberately lets sustained new traffic overtake
+  // keys that stop being accessed.)
+  CotCache cache(2, 8);
+  CotCache::Key cold = 100;
+  for (int round = 0; round < 100; ++round) {
+    Access(cache, 1);
+    Access(cache, 2);
+    Access(cache, cold++);
+  }
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(CotCacheTest, HotterKeyDisplacesColdestCachedKey) {
+  CotCache cache(2, 8);
+  Access(cache, 1);  // h=1
+  Access(cache, 2);
+  Access(cache, 2);  // h=2
+  ASSERT_EQ(cache.size(), 2u);
+  // Key 3 becomes hotter than key 1 (h_min = 1).
+  Access(cache, 3);  // h=1: NOT admitted (not > h_min)
+  EXPECT_FALSE(cache.Contains(3));
+  Access(cache, 3);  // h=2 > h_min=1: admitted, displaces key 1
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(CotCacheTest, MinCachedHotnessTracksCacheRoot) {
+  CotCache cache(2, 8);
+  EXPECT_FALSE(cache.MinCachedHotness().has_value());
+  Access(cache, 1);
+  EXPECT_DOUBLE_EQ(*cache.MinCachedHotness(), 1.0);
+  Access(cache, 2);
+  Access(cache, 2);
+  EXPECT_DOUBLE_EQ(*cache.MinCachedHotness(), 1.0);  // key 1 is coldest
+  Access(cache, 1);
+  Access(cache, 1);
+  EXPECT_DOUBLE_EQ(*cache.MinCachedHotness(), 2.0);  // now key 2
+}
+
+TEST(CotCacheTest, GetRefreshesCachedHotness) {
+  CotCache cache(2, 8);
+  Access(cache, 1);
+  for (int i = 0; i < 5; ++i) cache.Get(1);
+  EXPECT_DOUBLE_EQ(*cache.MinCachedHotness(), 6.0);
+}
+
+TEST(CotCacheTest, InvalidateRecordsUpdateAndEvicts) {
+  CotCache cache(2, 8);
+  Access(cache, 1);
+  Access(cache, 1);  // h=2
+  cache.Invalidate(1);
+  EXPECT_FALSE(cache.Contains(1));
+  // Dual-cost model: the update subtracted from the hotness.
+  EXPECT_DOUBLE_EQ(*cache.tracker().HotnessOf(1), 1.0);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(CotCacheTest, FrequentlyUpdatedKeysStayOut) {
+  // A key that is updated as often as read hovers near hotness 0 and never
+  // earns a cache line over read-hot keys.
+  CotCache cache(2, 16);
+  for (int i = 0; i < 20; ++i) {
+    Access(cache, 1);
+    Access(cache, 2);
+  }
+  for (int i = 0; i < 40; ++i) {
+    Access(cache, 3);
+    cache.Invalidate(3);
+  }
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_FALSE(cache.Contains(3));
+}
+
+TEST(CotCacheTest, ZeroCapacityTracksButNeverCaches) {
+  CotCacheConfig config;
+  config.cache_capacity = 0;
+  config.tracker_capacity = 8;
+  CotCache cache(config);
+  Access(cache, 1);
+  Access(cache, 1);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(cache.tracker().Contains(1));
+  EXPECT_DOUBLE_EQ(*cache.tracker().HotnessOf(1), 2.0);
+}
+
+TEST(CotCacheTest, ResizeGrowAllowsMoreResidents) {
+  CotCache cache(1, 8);
+  Access(cache, 1);
+  Access(cache, 2);
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.Resize(4).ok());
+  Access(cache, 2);
+  Access(cache, 3);
+  EXPECT_GE(cache.size(), 2u);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(CotCacheTest, ResizeShrinkEvictsColdestFirst) {
+  CotCache cache(4, 16);
+  for (int reps = 1; reps <= 4; ++reps) {
+    for (int i = 0; i < reps; ++i) {
+      Access(cache, static_cast<CotCache::Key>(reps));
+    }
+  }
+  // keys 1..4 with hotness 1..4.
+  ASSERT_TRUE(cache.Resize(2).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(CotCacheTest, ResizeRaisesTrackerWhenNeeded) {
+  CotCache cache(2, 4);
+  ASSERT_TRUE(cache.Resize(8).ok());
+  EXPECT_GE(cache.tracker_capacity(), 16u);
+}
+
+TEST(CotCacheTest, ResizeTrackerRejectsBelowTwiceCache) {
+  CotCache cache(4, 16);
+  EXPECT_EQ(cache.ResizeTracker(7).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(cache.ResizeTracker(8).ok());
+}
+
+TEST(CotCacheTest, TrackerShrinkDropsDependentCachedKeys) {
+  CotCache cache(2, 8);
+  Access(cache, 1);
+  Access(cache, 2);
+  ASSERT_EQ(cache.size(), 2u);
+  // Shrinking the tracker to 4 may evict tracked keys; cached ones must
+  // follow to preserve S_c ⊆ S_k.
+  for (CotCache::Key k = 10; k < 14; ++k) {
+    Access(cache, k);
+    Access(cache, k);
+    Access(cache, k);
+  }
+  ASSERT_TRUE(cache.ResizeTracker(4).ok());
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(CotCacheTest, HalveAllHotnessKeepsOrderAndInvariants) {
+  CotCache cache(4, 16);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) Access(cache, rng.NextBelow(40));
+  double min_before = *cache.MinCachedHotness();
+  cache.HalveAllHotness();
+  EXPECT_DOUBLE_EQ(*cache.MinCachedHotness(), min_before / 2.0);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(CotCacheTest, EpochStatsSeparateCacheAndTrackerHits) {
+  CotCache cache(1, 4);
+  Access(cache, 1);       // miss (untracked), then admitted
+  cache.Get(1);           // cache hit
+  cache.Get(2);           // miss, now tracked
+  cache.Get(2);           // tracked-but-not-cached hit...
+  const auto& epoch = cache.epoch_stats();
+  EXPECT_EQ(epoch.cache_hits, 1u);
+  EXPECT_GE(epoch.tracker_only_hits, 1u);
+  EXPECT_EQ(epoch.accesses, 4u);
+  cache.ResetEpochStats();
+  EXPECT_EQ(cache.epoch_stats().accesses, 0u);
+}
+
+TEST(CotCacheTest, AlphaComputations) {
+  CotCache::EpochStats stats;
+  stats.cache_hits = 40;
+  stats.tracker_only_hits = 12;
+  EXPECT_DOUBLE_EQ(stats.AlphaC(8), 5.0);
+  EXPECT_DOUBLE_EQ(stats.AlphaC(0), 0.0);
+  EXPECT_DOUBLE_EQ(stats.AlphaKc(16, 8), 1.5);
+  EXPECT_DOUBLE_EQ(stats.AlphaKc(8, 8), 0.0);
+}
+
+TEST(CotCacheTest, NearPerfectHitRateOnSkewedStream) {
+  // The headline behaviour: with K = 8C, CoT's hit-rate on a Zipfian 0.99
+  // stream approaches the perfect-cache (CDF) hit-rate.
+  constexpr size_t kC = 64;
+  CotCache cache(kC, 8 * kC);
+  workload::ZipfianGenerator gen(100000, 0.99);
+  Rng rng(5);
+  // Warm up, then measure.
+  for (int i = 0; i < 100000; ++i) Access(cache, gen.Next(rng));
+  cache.ResetStats();
+  for (int i = 0; i < 200000; ++i) Access(cache, gen.Next(rng));
+  double tpc = gen.TopCMass(kC);
+  EXPECT_GT(cache.stats().HitRate(), 0.90 * tpc);
+}
+
+TEST(CotCacheTest, DirectPutWithoutGetIsTracked) {
+  CotCache cache(2, 8);
+  cache.Put(5, 55);
+  EXPECT_TRUE(cache.tracker().Contains(5));
+  EXPECT_TRUE(cache.Contains(5));
+}
+
+class CotInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CotInvariantTest, RandomOpsKeepInvariants) {
+  Rng rng(GetParam());
+  CotCache cache(1 + rng.NextBelow(8), 4 + rng.NextBelow(32));
+  for (int i = 0; i < 10000; ++i) {
+    CotCache::Key k = rng.NextBelow(64);
+    switch (rng.NextBelow(10)) {
+      case 0:
+        cache.Invalidate(k);
+        break;
+      case 1:
+        if (rng.Bernoulli(0.2)) {
+          ASSERT_TRUE(cache.Resize(1 + rng.NextBelow(8)).ok());
+        }
+        Access(cache, k);
+        break;
+      default:
+        Access(cache, k);
+        break;
+    }
+    if (i % 1000 == 0) {
+      ASSERT_TRUE(cache.CheckInvariants()) << "step " << i;
+    }
+  }
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CotInvariantTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 21));
+
+}  // namespace
+}  // namespace cot::core

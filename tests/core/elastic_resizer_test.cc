@@ -1,0 +1,346 @@
+#include "core/elastic_resizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cot_cache.h"
+
+namespace cot::core {
+namespace {
+
+// Drives `reps` read accesses to `key` through the cache (read-through).
+void Hammer(CotCache& cache, CotCache::Key key, int reps) {
+  for (int i = 0; i < reps; ++i) {
+    if (!cache.Get(key).has_value()) cache.Put(key, key);
+  }
+}
+
+// Touches `key` via Get only (never offers a value), so the key heats up in
+// the tracker without being admitted — a pure S_{k-c} signal.
+void Graze(CotCache& cache, CotCache::Key key, int reps) {
+  for (int i = 0; i < reps; ++i) cache.Get(key);
+}
+
+ResizerConfig FastConfig() {
+  ResizerConfig config;
+  config.target_imbalance = 1.1;
+  config.warmup_epochs = 0;
+  config.initial_epoch_size = 16;
+  config.enable_ratio_discovery = false;
+  // Unit tests feed exact I_c values and want crisp single-epoch reactions.
+  config.imbalance_smoothing = 1.0;
+  config.min_epoch_backend_lookups = 0;
+  config.exceed_epochs_to_regrow = 1;
+  return config;
+}
+
+TEST(ElasticResizerTest, InitialPhaseFollowsConfig) {
+  CotCache cache(2, 4);
+  ResizerConfig with_discovery;
+  with_discovery.enable_ratio_discovery = true;
+  with_discovery.imbalance_smoothing = 1.0;
+  ElasticResizer r1(&cache, with_discovery);
+  EXPECT_EQ(r1.phase(), ResizerPhase::kRatioDiscovery);
+
+  ResizerConfig without = FastConfig();
+  ElasticResizer r2(&cache, without);
+  EXPECT_EQ(r2.phase(), ResizerPhase::kBalance);
+}
+
+TEST(ElasticResizerTest, EpochSizeAtLeastTrackerCapacity) {
+  CotCache cache(64, 1024);
+  ResizerConfig config = FastConfig();
+  config.initial_epoch_size = 100;
+  ElasticResizer resizer(&cache, config);
+  EXPECT_EQ(resizer.epoch_size(), 1024u);  // max(E0, K)
+}
+
+TEST(ElasticResizerTest, OnAccessDrivesEpochCompletion) {
+  CotCache cache(2, 4);
+  ResizerConfig config = FastConfig();
+  config.initial_epoch_size = 10;
+  ElasticResizer resizer(&cache, config);
+  for (int i = 0; i < 9; ++i) {
+    resizer.OnAccess();
+    EXPECT_FALSE(resizer.EpochComplete());
+  }
+  resizer.OnAccess();
+  EXPECT_TRUE(resizer.EpochComplete());
+  resizer.EndEpoch(1.0);
+  EXPECT_FALSE(resizer.EpochComplete());  // counter reset
+}
+
+TEST(ElasticResizerTest, ImbalanceAboveTargetDoublesBoth) {
+  CotCache cache(2, 4);
+  ElasticResizer resizer(&cache, FastConfig());
+  EpochReport report = resizer.EndEpoch(/*current_imbalance=*/5.0);
+  EXPECT_EQ(report.action, ResizeAction::kDoubleBoth);
+  EXPECT_EQ(cache.capacity(), 4u);
+  EXPECT_EQ(cache.tracker_capacity(), 8u);
+}
+
+TEST(ElasticResizerTest, WarmupSuppressesActionsAfterResize) {
+  CotCache cache(2, 4);
+  ResizerConfig config = FastConfig();
+  config.warmup_epochs = 3;
+  ElasticResizer resizer(&cache, config);
+  EXPECT_EQ(resizer.EndEpoch(5.0).action, ResizeAction::kDoubleBoth);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(resizer.EndEpoch(5.0).action, ResizeAction::kWarmup);
+    EXPECT_EQ(cache.capacity(), 4u);  // unchanged during warmup
+  }
+  EXPECT_EQ(resizer.EndEpoch(5.0).action, ResizeAction::kDoubleBoth);
+  EXPECT_EQ(cache.capacity(), 8u);
+}
+
+TEST(ElasticResizerTest, DoublingStopsAtTargetAndRecordsAlpha) {
+  CotCache cache(2, 4);
+  ElasticResizer resizer(&cache, FastConfig());
+  resizer.EndEpoch(3.0);
+  resizer.EndEpoch(2.0);
+  ASSERT_EQ(cache.capacity(), 8u);
+  // Give the cached keys some hits so alpha_t is meaningful.
+  Hammer(cache, 1, 21);
+  Hammer(cache, 2, 21);
+  EpochReport report = resizer.EndEpoch(1.05);
+  EXPECT_EQ(report.action, ResizeAction::kTargetAchieved);
+  EXPECT_EQ(resizer.phase(), ResizerPhase::kSteady);
+  EXPECT_DOUBLE_EQ(resizer.alpha_target(), report.alpha_c);
+  EXPECT_GT(resizer.alpha_target(), 0.0);
+}
+
+TEST(ElasticResizerTest, AchievedSlackToleratesTwoPercent) {
+  CotCache cache(2, 4);
+  ResizerConfig config = FastConfig();
+  config.target_imbalance = 1.1;
+  config.achieved_slack = 0.02;
+  ElasticResizer resizer(&cache, config);
+  // 1.12 < 1.1 * 1.02 = 1.122: counts as achieved.
+  EXPECT_EQ(resizer.EndEpoch(1.12).action, ResizeAction::kTargetAchieved);
+}
+
+TEST(ElasticResizerTest, SteadyViolationResumesDoubling) {
+  CotCache cache(2, 4);
+  ElasticResizer resizer(&cache, FastConfig());
+  resizer.EndEpoch(1.0);  // steady
+  ASSERT_EQ(resizer.phase(), ResizerPhase::kSteady);
+  EpochReport report = resizer.EndEpoch(9.0);
+  EXPECT_EQ(report.action, ResizeAction::kDoubleBoth);
+  EXPECT_EQ(resizer.phase(), ResizerPhase::kBalance);
+}
+
+TEST(ElasticResizerTest, Case2TriggersDecay) {
+  CotCache cache(2, 8);
+  ElasticResizer resizer(&cache, FastConfig());
+  // Epoch 1: two hot cached keys -> steady with alpha_t = 10.
+  Hammer(cache, 1, 11);
+  Hammer(cache, 2, 11);
+  resizer.EndEpoch(1.0);
+  ASSERT_EQ(resizer.phase(), ResizerPhase::kSteady);
+  ASSERT_DOUBLE_EQ(resizer.alpha_target(), 10.0);
+  double hotness_before = *cache.tracker().HotnessOf(1);
+  // Epoch 2: the hot set moved — tracked-but-not-cached keys get all hits.
+  Graze(cache, 10, 40);
+  Graze(cache, 11, 40);
+  Graze(cache, 12, 40);
+  EpochReport report = resizer.EndEpoch(1.0);
+  EXPECT_EQ(report.action, ResizeAction::kDecay);
+  EXPECT_EQ(resizer.phase(), ResizerPhase::kSteady);
+  EXPECT_LT(*cache.tracker().HotnessOf(1), hotness_before);
+}
+
+TEST(ElasticResizerTest, Case2WithDecayDisabledLogsButKeepsHotness) {
+  CotCache cache(2, 8);
+  ResizerConfig config = FastConfig();
+  config.enable_decay = false;
+  ElasticResizer resizer(&cache, config);
+  Hammer(cache, 1, 11);
+  Hammer(cache, 2, 11);
+  resizer.EndEpoch(1.0);
+  double hotness_before = *cache.tracker().HotnessOf(1);
+  Graze(cache, 10, 40);
+  Graze(cache, 11, 40);
+  Graze(cache, 12, 40);
+  EpochReport report = resizer.EndEpoch(1.0);
+  EXPECT_EQ(report.action, ResizeAction::kDecay);
+  EXPECT_DOUBLE_EQ(*cache.tracker().HotnessOf(1), hotness_before);
+}
+
+TEST(ElasticResizerTest, Case1ShrinksWhenBothQualitiesCollapse) {
+  CotCache cache(4, 8);
+  ResizerConfig config = FastConfig();  // discovery disabled -> direct halve
+  ElasticResizer resizer(&cache, config);
+  Hammer(cache, 1, 41);
+  Hammer(cache, 2, 41);
+  Hammer(cache, 3, 41);
+  Hammer(cache, 4, 41);
+  resizer.EndEpoch(1.0);  // steady, alpha_t = 40
+  ASSERT_EQ(resizer.phase(), ResizerPhase::kSteady);
+  // Workload went uniform/cold: nobody achieves alpha_t.
+  EpochReport report = resizer.EndEpoch(1.0);
+  EXPECT_EQ(report.action, ResizeAction::kHalveBoth);
+  EXPECT_EQ(resizer.phase(), ResizerPhase::kShrink);
+  EXPECT_EQ(cache.capacity(), 2u);
+  EXPECT_EQ(cache.tracker_capacity(), 4u);
+}
+
+TEST(ElasticResizerTest, Case1WithDiscoveryResetsTrackerRatio) {
+  CotCache cache(4, 64);
+  ResizerConfig config = FastConfig();
+  config.enable_ratio_discovery = true;
+  config.imbalance_smoothing = 1.0;
+  ElasticResizer resizer(&cache, config);
+  // Skip the initial discovery by feeding epochs until kBalance completes.
+  // Initial phase: discovery — first epoch doubles the tracker.
+  resizer.EndEpoch(1.0);  // baseline + double tracker
+  EpochReport r = resizer.EndEpoch(1.0);  // no gain -> shrink back, balance
+  ASSERT_EQ(r.action, ResizeAction::kShrinkTrackerBack);
+  ASSERT_EQ(resizer.phase(), ResizerPhase::kBalance);
+  Hammer(cache, 1, 41);
+  Hammer(cache, 2, 41);
+  Hammer(cache, 3, 41);
+  Hammer(cache, 4, 41);
+  resizer.EndEpoch(1.0);  // steady with alpha_t = 40
+  ASSERT_EQ(resizer.phase(), ResizerPhase::kSteady);
+  EpochReport report = resizer.EndEpoch(1.0);  // both cold
+  EXPECT_EQ(report.action, ResizeAction::kResetTrackerRatio);
+  EXPECT_EQ(resizer.phase(), ResizerPhase::kRatioDiscovery);
+  EXPECT_EQ(cache.tracker_capacity(), 2 * cache.capacity());
+}
+
+TEST(ElasticResizerTest, ShrinkStopsAtMinimumFootprint) {
+  CotCache cache(2, 4);
+  ResizerConfig config = FastConfig();
+  config.min_cache_capacity = 1;
+  ElasticResizer resizer(&cache, config);
+  Hammer(cache, 1, 21);
+  Hammer(cache, 2, 21);
+  resizer.EndEpoch(1.0);  // steady, alpha_t = 20
+  resizer.EndEpoch(1.0);  // cold -> halve to C=1
+  ASSERT_EQ(cache.capacity(), 1u);
+  EpochReport report = resizer.EndEpoch(1.0);  // cold again, at minimum
+  EXPECT_EQ(report.action, ResizeAction::kAtLimit);
+  EXPECT_EQ(cache.capacity(), 1u);
+}
+
+TEST(ElasticResizerTest, ShrinkRecoveryReturnsToSteady) {
+  CotCache cache(4, 8);
+  ElasticResizer resizer(&cache, FastConfig());
+  Hammer(cache, 1, 41);
+  Hammer(cache, 2, 41);
+  Hammer(cache, 3, 41);
+  Hammer(cache, 4, 41);
+  resizer.EndEpoch(1.0);  // steady, alpha_t = 40
+  resizer.EndEpoch(1.0);  // halve -> shrink phase, C=2
+  ASSERT_EQ(resizer.phase(), ResizerPhase::kShrink);
+  // Quality recovers at the smaller size.
+  Hammer(cache, 1, 40);
+  Hammer(cache, 2, 40);
+  EpochReport report = resizer.EndEpoch(1.0);
+  EXPECT_EQ(report.action, ResizeAction::kTargetAchieved);
+  EXPECT_EQ(resizer.phase(), ResizerPhase::kSteady);
+}
+
+TEST(ElasticResizerTest, ShrinkViolationResumesDoubling) {
+  CotCache cache(4, 8);
+  ElasticResizer resizer(&cache, FastConfig());
+  Hammer(cache, 1, 41);
+  Hammer(cache, 2, 41);
+  Hammer(cache, 3, 41);
+  Hammer(cache, 4, 41);
+  resizer.EndEpoch(1.0);
+  resizer.EndEpoch(1.0);  // shrink to C=2
+  ASSERT_EQ(resizer.phase(), ResizerPhase::kShrink);
+  EpochReport report = resizer.EndEpoch(8.0);  // imbalance shot up
+  EXPECT_EQ(report.action, ResizeAction::kDoubleBoth);
+  EXPECT_EQ(resizer.phase(), ResizerPhase::kBalance);
+}
+
+TEST(ElasticResizerTest, SteadyRegrowRequiresConsecutiveViolations) {
+  CotCache cache(2, 4);
+  ResizerConfig config = FastConfig();
+  config.exceed_epochs_to_regrow = 2;
+  ElasticResizer resizer(&cache, config);
+  resizer.EndEpoch(1.0);  // steady
+  ASSERT_EQ(resizer.phase(), ResizerPhase::kSteady);
+  // One spike: no action (hysteresis).
+  EXPECT_EQ(resizer.EndEpoch(9.0).action, ResizeAction::kNone);
+  EXPECT_EQ(resizer.phase(), ResizerPhase::kSteady);
+  // A calm epoch resets the counter.
+  resizer.EndEpoch(1.0);
+  EXPECT_EQ(resizer.EndEpoch(9.0).action, ResizeAction::kNone);
+  // Two in a row: act.
+  EXPECT_EQ(resizer.EndEpoch(9.0).action, ResizeAction::kDoubleBoth);
+  EXPECT_EQ(resizer.phase(), ResizerPhase::kBalance);
+}
+
+TEST(ElasticResizerTest, MaxCapacityCapsDoubling) {
+  CotCache cache(4, 8);
+  ResizerConfig config = FastConfig();
+  config.max_cache_capacity = 8;
+  ElasticResizer resizer(&cache, config);
+  EXPECT_EQ(resizer.EndEpoch(9.0).action, ResizeAction::kDoubleBoth);
+  EXPECT_EQ(cache.capacity(), 8u);
+  EXPECT_EQ(resizer.EndEpoch(9.0).action, ResizeAction::kAtLimit);
+  EXPECT_EQ(cache.capacity(), 8u);
+}
+
+TEST(ElasticResizerTest, RatioDiscoveryDoublesTrackerWhileHitRateGrows) {
+  CotCache cache(2, 4);
+  ResizerConfig config;
+  config.warmup_epochs = 0;
+  config.initial_epoch_size = 16;
+  config.enable_ratio_discovery = true;
+  config.imbalance_smoothing = 1.0;
+  ElasticResizer resizer(&cache, config);
+  ASSERT_EQ(resizer.phase(), ResizerPhase::kRatioDiscovery);
+  // Epoch 1 sets the baseline and doubles the tracker to probe.
+  Hammer(cache, 1, 10);
+  EpochReport r1 = resizer.EndEpoch(1.0);
+  EXPECT_EQ(r1.action, ResizeAction::kDoubleTracker);
+  EXPECT_EQ(cache.tracker_capacity(), 8u);
+  EXPECT_EQ(cache.capacity(), 2u);  // cache never moves in phase 1
+  // Epoch 2: hit-rate jumped (gain significant) -> keep doubling.
+  Hammer(cache, 1, 99);
+  cache.Get(2);
+  EpochReport r2 = resizer.EndEpoch(1.0);
+  EXPECT_EQ(r2.action, ResizeAction::kDoubleTracker);
+  EXPECT_EQ(cache.tracker_capacity(), 16u);
+  // Epoch 3: same hit-rate -> no gain -> shrink back and move to balance.
+  Hammer(cache, 1, 99);
+  cache.Get(2);
+  EpochReport r3 = resizer.EndEpoch(1.0);
+  EXPECT_EQ(r3.action, ResizeAction::kShrinkTrackerBack);
+  EXPECT_EQ(cache.tracker_capacity(), 8u);
+  EXPECT_EQ(resizer.phase(), ResizerPhase::kBalance);
+}
+
+TEST(ElasticResizerTest, HistoryRecordsEveryEpoch) {
+  CotCache cache(2, 4);
+  ElasticResizer resizer(&cache, FastConfig());
+  for (int i = 0; i < 5; ++i) resizer.EndEpoch(1.0 + i);
+  EXPECT_EQ(resizer.history().size(), 5u);
+  EXPECT_EQ(resizer.epochs_completed(), 5u);
+  EXPECT_DOUBLE_EQ(resizer.history()[3].current_imbalance, 4.0);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(resizer.history()[i].epoch, i);
+  }
+}
+
+TEST(ElasticResizerTest, ToStringCoversAllEnumerators) {
+  for (ResizerPhase p :
+       {ResizerPhase::kRatioDiscovery, ResizerPhase::kBalance,
+        ResizerPhase::kSteady, ResizerPhase::kShrink}) {
+    EXPECT_NE(ToString(p), "unknown");
+  }
+  for (ResizeAction a :
+       {ResizeAction::kNone, ResizeAction::kWarmup,
+        ResizeAction::kDoubleTracker, ResizeAction::kShrinkTrackerBack,
+        ResizeAction::kDoubleBoth, ResizeAction::kHalveBoth,
+        ResizeAction::kResetTrackerRatio, ResizeAction::kDecay,
+        ResizeAction::kTargetAchieved, ResizeAction::kAtLimit}) {
+    EXPECT_NE(ToString(a), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace cot::core

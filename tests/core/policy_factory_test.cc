@@ -1,0 +1,70 @@
+#include "core/policy_factory.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cot_cache.h"
+
+namespace cot::core {
+namespace {
+
+TEST(PolicyFactoryTest, NoneYieldsNullCache) {
+  auto cache = MakePolicy("none", 64);
+  ASSERT_TRUE(cache.ok());
+  EXPECT_EQ(cache->get(), nullptr);
+}
+
+TEST(PolicyFactoryTest, EveryListedPolicyConstructs) {
+  for (const std::string& name : PolicyNames()) {
+    auto cache = MakePolicy(name, 64, 4);
+    ASSERT_TRUE(cache.ok()) << name;
+    if (name == "none") continue;
+    ASSERT_NE(cache->get(), nullptr) << name;
+    EXPECT_EQ((*cache)->capacity(), 64u) << name;
+    EXPECT_FALSE((*cache)->name().empty()) << name;
+  }
+}
+
+TEST(PolicyFactoryTest, FactoryNameMatchesPolicyName) {
+  for (const std::string& name : {"lru", "lfu", "arc", "2q", "mq"}) {
+    auto cache = MakePolicy(name, 8);
+    ASSERT_TRUE(cache.ok());
+    EXPECT_EQ((*cache)->name(), name);
+  }
+  auto lru2 = MakePolicy("lru-2", 8);
+  EXPECT_EQ((*lru2)->name(), "lru-2");
+  auto cot = MakePolicy("cot", 8);
+  EXPECT_EQ((*cot)->name(), "cot");
+}
+
+TEST(PolicyFactoryTest, TrackerRatioAppliesToCotAndLru2) {
+  auto cot = MakePolicy("cot", 16, 8);
+  ASSERT_TRUE(cot.ok());
+  auto* cot_cache = dynamic_cast<CotCache*>(cot->get());
+  ASSERT_NE(cot_cache, nullptr);
+  EXPECT_EQ(cot_cache->tracker_capacity(), 128u);
+}
+
+TEST(PolicyFactoryTest, UnknownNameFails) {
+  auto cache = MakePolicy("fifo", 64);
+  ASSERT_FALSE(cache.ok());
+  EXPECT_EQ(cache.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(cache.status().message().find("fifo"), std::string::npos);
+}
+
+TEST(PolicyFactoryTest, ZeroRatioRejected) {
+  EXPECT_FALSE(MakePolicy("cot", 64, 0).ok());
+}
+
+TEST(PolicyFactoryTest, PolicyNamesIncludesAllShippedPolicies) {
+  const auto& names = PolicyNames();
+  for (const char* expected :
+       {"none", "lru", "lfu", "arc", "lru-2", "2q", "mq", "cot"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+}  // namespace
+}  // namespace cot::core

@@ -1,0 +1,244 @@
+#include "core/space_saving_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/random.h"
+#include "workload/zipfian_generator.h"
+
+namespace cot::core {
+namespace {
+
+TEST(SpaceSavingTrackerTest, TracksUpToCapacity) {
+  SpaceSavingTracker tracker(3);
+  tracker.TrackAccess(1, AccessType::kRead);
+  tracker.TrackAccess(2, AccessType::kRead);
+  tracker.TrackAccess(3, AccessType::kRead);
+  EXPECT_EQ(tracker.size(), 3u);
+  EXPECT_TRUE(tracker.Contains(1));
+  EXPECT_TRUE(tracker.Contains(2));
+  EXPECT_TRUE(tracker.Contains(3));
+}
+
+TEST(SpaceSavingTrackerTest, ReadIncreasesHotness) {
+  SpaceSavingTracker tracker(4);
+  auto r1 = tracker.TrackAccess(1, AccessType::kRead);
+  EXPECT_DOUBLE_EQ(r1.hotness, 1.0);
+  EXPECT_FALSE(r1.was_tracked);
+  auto r2 = tracker.TrackAccess(1, AccessType::kRead);
+  EXPECT_DOUBLE_EQ(r2.hotness, 2.0);
+  EXPECT_TRUE(r2.was_tracked);
+}
+
+TEST(SpaceSavingTrackerTest, UpdateDecreasesHotness) {
+  SpaceSavingTracker tracker(4, HotnessWeights{1.0, 1.0});
+  tracker.TrackAccess(1, AccessType::kRead);
+  tracker.TrackAccess(1, AccessType::kRead);
+  auto r = tracker.TrackAccess(1, AccessType::kUpdate);
+  EXPECT_DOUBLE_EQ(r.hotness, 1.0);  // 2 reads - 1 update
+}
+
+TEST(SpaceSavingTrackerTest, CustomWeights) {
+  SpaceSavingTracker tracker(4, HotnessWeights{2.0, 0.5});
+  tracker.TrackAccess(1, AccessType::kRead);
+  tracker.TrackAccess(1, AccessType::kUpdate);
+  EXPECT_DOUBLE_EQ(*tracker.HotnessOf(1), 2.0 * 1 - 0.5 * 1);
+}
+
+TEST(SpaceSavingTrackerTest, HotnessCanGoNegative) {
+  SpaceSavingTracker tracker(4);
+  tracker.TrackAccess(1, AccessType::kUpdate);
+  tracker.TrackAccess(1, AccessType::kUpdate);
+  EXPECT_DOUBLE_EQ(*tracker.HotnessOf(1), -2.0);
+}
+
+TEST(SpaceSavingTrackerTest, FullTrackerReplacesMinimum) {
+  SpaceSavingTracker tracker(2);
+  tracker.TrackAccess(1, AccessType::kRead);
+  tracker.TrackAccess(1, AccessType::kRead);  // h=2
+  tracker.TrackAccess(2, AccessType::kRead);  // h=1
+  auto r = tracker.TrackAccess(3, AccessType::kRead);
+  ASSERT_TRUE(r.evicted.has_value());
+  EXPECT_EQ(*r.evicted, 2u);  // key 2 was the minimum
+  EXPECT_FALSE(tracker.Contains(2));
+  EXPECT_TRUE(tracker.Contains(3));
+}
+
+TEST(SpaceSavingTrackerTest, NewKeyInheritsVictimCounters) {
+  // The space-saving "benefit of the doubt": the newcomer's hotness is the
+  // victim's hotness plus its own access.
+  SpaceSavingTracker tracker(1);
+  for (int i = 0; i < 5; ++i) tracker.TrackAccess(1, AccessType::kRead);
+  auto r = tracker.TrackAccess(2, AccessType::kRead);
+  EXPECT_DOUBLE_EQ(r.hotness, 6.0);  // inherited 5 + 1 new read
+  auto counters = tracker.CountersOf(2);
+  ASSERT_TRUE(counters.has_value());
+  EXPECT_DOUBLE_EQ(counters->read_count, 6.0);
+}
+
+TEST(SpaceSavingTrackerTest, MinHotness) {
+  SpaceSavingTracker tracker(4);
+  EXPECT_FALSE(tracker.MinHotness().has_value());
+  tracker.TrackAccess(1, AccessType::kRead);
+  tracker.TrackAccess(1, AccessType::kRead);
+  tracker.TrackAccess(2, AccessType::kRead);
+  EXPECT_DOUBLE_EQ(*tracker.MinHotness(), 1.0);
+}
+
+TEST(SpaceSavingTrackerTest, HotnessOfUntracked) {
+  SpaceSavingTracker tracker(2);
+  EXPECT_FALSE(tracker.HotnessOf(9).has_value());
+  EXPECT_FALSE(tracker.CountersOf(9).has_value());
+}
+
+TEST(SpaceSavingTrackerTest, ResizeGrowKeepsAll) {
+  SpaceSavingTracker tracker(2);
+  tracker.TrackAccess(1, AccessType::kRead);
+  tracker.TrackAccess(2, AccessType::kRead);
+  ASSERT_TRUE(tracker.Resize(8).ok());
+  EXPECT_EQ(tracker.capacity(), 8u);
+  EXPECT_EQ(tracker.size(), 2u);
+  EXPECT_TRUE(tracker.Contains(1));
+}
+
+TEST(SpaceSavingTrackerTest, ResizeShrinkEvictsColdestFirst) {
+  SpaceSavingTracker tracker(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      tracker.TrackAccess(static_cast<uint64_t>(i), AccessType::kRead);
+    }
+  }
+  // Hotness: key0=1, key1=2, key2=3, key3=4.
+  std::vector<uint64_t> evicted;
+  ASSERT_TRUE(tracker.Resize(2, &evicted).ok());
+  EXPECT_EQ(evicted, (std::vector<uint64_t>{0, 1}));
+  EXPECT_TRUE(tracker.Contains(2));
+  EXPECT_TRUE(tracker.Contains(3));
+}
+
+TEST(SpaceSavingTrackerTest, ResizeRejectsZero) {
+  SpaceSavingTracker tracker(2);
+  EXPECT_EQ(tracker.Resize(0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpaceSavingTrackerTest, HalveAllHotnessScalesEverything) {
+  SpaceSavingTracker tracker(4);
+  for (int i = 0; i < 8; ++i) tracker.TrackAccess(1, AccessType::kRead);
+  tracker.TrackAccess(2, AccessType::kRead);
+  tracker.TrackAccess(2, AccessType::kUpdate);
+  tracker.HalveAllHotness();
+  EXPECT_DOUBLE_EQ(*tracker.HotnessOf(1), 4.0);
+  EXPECT_DOUBLE_EQ(*tracker.HotnessOf(2), 0.0);
+  EXPECT_TRUE(tracker.CheckInvariants());
+}
+
+TEST(SpaceSavingTrackerTest, ClearEmptiesEverything) {
+  SpaceSavingTracker tracker(4);
+  tracker.TrackAccess(1, AccessType::kRead);
+  tracker.Clear();
+  EXPECT_EQ(tracker.size(), 0u);
+  EXPECT_FALSE(tracker.Contains(1));
+}
+
+TEST(SpaceSavingTrackerTest, SortedByHotnessDesc) {
+  SpaceSavingTracker tracker(4);
+  tracker.TrackAccess(10, AccessType::kRead);
+  tracker.TrackAccess(20, AccessType::kRead);
+  tracker.TrackAccess(20, AccessType::kRead);
+  tracker.TrackAccess(30, AccessType::kRead);
+  tracker.TrackAccess(30, AccessType::kRead);
+  tracker.TrackAccess(30, AccessType::kRead);
+  auto sorted = tracker.SortedByHotnessDesc();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].first, 30u);
+  EXPECT_EQ(sorted[1].first, 20u);
+  EXPECT_EQ(sorted[2].first, 10u);
+}
+
+// --- Space-saving theoretical guarantees (Metwally et al. 2005) ----------
+
+TEST(SpaceSavingPropertyTest, OverestimationBoundedByMinCount) {
+  // For pure counting (reads only, weight 1): the tracked hotness of any
+  // key overestimates its true count by at most the minimum hotness in the
+  // tracker at any time; in particular tracked >= true for tracked keys.
+  constexpr size_t kK = 64;
+  constexpr uint64_t kKeys = 1000;
+  SpaceSavingTracker tracker(kK);
+  workload::ZipfianGenerator gen(kKeys, 0.99);
+  Rng rng(7);
+  std::map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t k = gen.Next(rng);
+    ++truth[k];
+    tracker.TrackAccess(k, AccessType::kRead);
+  }
+  double min_hotness = *tracker.MinHotness();
+  tracker.ForEach([&](const uint64_t& k, double h) {
+    double true_count = static_cast<double>(truth[k]);
+    EXPECT_GE(h + 1e-9, true_count) << "key " << k;
+    EXPECT_LE(h - true_count, min_hotness) << "key " << k;
+  });
+}
+
+TEST(SpaceSavingPropertyTest, HeavyHittersAreAlwaysTracked) {
+  // Any key with true frequency > N/K must be in the tracker.
+  constexpr size_t kK = 32;
+  SpaceSavingTracker tracker(kK);
+  workload::ZipfianGenerator gen(10000, 1.2);
+  Rng rng(11);
+  constexpr int kN = 100000;
+  std::map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < kN; ++i) {
+    uint64_t k = gen.Next(rng);
+    ++truth[k];
+    tracker.TrackAccess(k, AccessType::kRead);
+  }
+  for (const auto& [k, count] : truth) {
+    if (count > kN / kK) {
+      EXPECT_TRUE(tracker.Contains(k)) << "heavy hitter " << k << " lost";
+    }
+  }
+}
+
+TEST(SpaceSavingPropertyTest, TopKeysRankedCorrectlyOnSkewedStream) {
+  // With strong skew, the sorted tracker prefix must equal the true
+  // hottest keys (ids 0..7 for our un-permuted Zipfian).
+  SpaceSavingTracker tracker(128);
+  workload::ZipfianGenerator gen(100000, 1.2);
+  Rng rng(13);
+  for (int i = 0; i < 200000; ++i) {
+    tracker.TrackAccess(gen.Next(rng), AccessType::kRead);
+  }
+  auto sorted = tracker.SortedByHotnessDesc();
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_LT(sorted[i].first, 10u) << "rank " << i;
+  }
+}
+
+class TrackerInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TrackerInvariantTest, RandomOpsKeepInvariants) {
+  Rng rng(GetParam());
+  SpaceSavingTracker tracker(1 + rng.NextBelow(32));
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t k = rng.NextBelow(100);
+    AccessType t =
+        rng.Bernoulli(0.9) ? AccessType::kRead : AccessType::kUpdate;
+    tracker.TrackAccess(k, t);
+    if (i % 1000 == 0) {
+      ASSERT_TRUE(tracker.CheckInvariants());
+      if (rng.Bernoulli(0.5)) {
+        ASSERT_TRUE(tracker.Resize(1 + rng.NextBelow(32)).ok());
+      }
+    }
+  }
+  EXPECT_TRUE(tracker.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrackerInvariantTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace cot::core

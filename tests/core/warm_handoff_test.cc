@@ -1,0 +1,146 @@
+// Warm-handoff tests: exporting a CoT instance's tracker+cache state and
+// importing it into a replacement instance (the cloud-migration
+// flexibility the paper motivates in Section 4).
+
+#include <gtest/gtest.h>
+
+#include "core/cot_cache.h"
+#include "util/random.h"
+#include "workload/zipfian_generator.h"
+
+namespace cot::core {
+namespace {
+
+void Warm(CotCache& cache, uint64_t keys, double skew, int ops,
+          uint64_t seed) {
+  workload::ZipfianGenerator gen(keys, skew);
+  Rng rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    CotCache::Key k = gen.Next(rng);
+    if (!cache.Get(k).has_value()) cache.Put(k, k);
+  }
+}
+
+TEST(WarmHandoffTest, ExportIsHottestFirstAndMarksCachedKeys) {
+  CotCache cache(4, 16);
+  Warm(cache, 1000, 1.2, 5000, 1);
+  auto state = cache.ExportState();
+  ASSERT_EQ(state.size(), cache.tracker_size());
+  double prev = std::numeric_limits<double>::infinity();
+  size_t cached = 0;
+  for (const auto& entry : state) {
+    double h = entry.counters.read_count - entry.counters.update_count;
+    EXPECT_LE(h, prev);
+    prev = h;
+    if (entry.value.has_value()) {
+      ++cached;
+      EXPECT_TRUE(cache.Contains(entry.key));
+    }
+  }
+  EXPECT_EQ(cached, cache.size());
+}
+
+TEST(WarmHandoffTest, ImportReproducesTrackerAndCache) {
+  CotCache original(8, 64);
+  Warm(original, 10000, 1.2, 20000, 2);
+
+  CotCache replacement(8, 64);
+  replacement.ImportState(original.ExportState());
+
+  EXPECT_EQ(replacement.size(), original.size());
+  EXPECT_EQ(replacement.tracker_size(), original.tracker_size());
+  original.tracker().ForEach([&](const uint64_t& key, double hotness) {
+    auto h = replacement.tracker().HotnessOf(key);
+    ASSERT_TRUE(h.has_value()) << "key " << key << " lost in handoff";
+    EXPECT_DOUBLE_EQ(*h, hotness);
+  });
+  for (const auto& entry : original.ExportState()) {
+    if (entry.value.has_value()) {
+      EXPECT_TRUE(replacement.Contains(entry.key));
+    }
+  }
+  EXPECT_TRUE(replacement.CheckInvariants());
+}
+
+TEST(WarmHandoffTest, ImportIntoSmallerInstanceKeepsHottest) {
+  CotCache original(8, 64);
+  Warm(original, 10000, 1.2, 20000, 3);
+  auto state = original.ExportState();
+
+  CotCache smaller(2, 8);
+  smaller.ImportState(state);
+  EXPECT_LE(smaller.size(), 2u);
+  EXPECT_EQ(smaller.tracker_size(), 8u);
+  // The hottest exported keys survive.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(smaller.tracker().Contains(state[i].key));
+  }
+  EXPECT_TRUE(smaller.CheckInvariants());
+}
+
+TEST(WarmHandoffTest, ImportClearsPreviousContent) {
+  CotCache a(4, 16);
+  Warm(a, 1000, 1.2, 5000, 4);
+  CotCache b(4, 16);
+  Warm(b, 1000, 1.2, 5000, 999);  // different stream
+  b.ImportState(a.ExportState());
+  // b now mirrors a, not its old self.
+  EXPECT_EQ(b.tracker_size(), a.tracker_size());
+  a.tracker().ForEach([&](const uint64_t& key, double hotness) {
+    EXPECT_TRUE(b.tracker().Contains(key));
+    (void)hotness;
+  });
+}
+
+TEST(WarmHandoffTest, WarmImportSkipsColdStart) {
+  // The payoff: a warm-started instance hits immediately.
+  CotCache original(64, 512);
+  Warm(original, 100000, 1.2, 200000, 5);
+
+  CotCache cold(64, 512);
+  CotCache warm(64, 512);
+  warm.ImportState(original.ExportState());
+
+  workload::ZipfianGenerator gen(100000, 1.2);
+  Rng rng(6);
+  int cold_hits = 0, warm_hits = 0;
+  for (int i = 0; i < 2000; ++i) {
+    CotCache::Key k = gen.Next(rng);
+    if (cold.Get(k).has_value()) {
+      ++cold_hits;
+    } else {
+      cold.Put(k, k);
+    }
+    if (warm.Get(k).has_value()) {
+      ++warm_hits;
+    } else {
+      warm.Put(k, k);
+    }
+  }
+  EXPECT_GT(warm_hits, cold_hits);
+}
+
+TEST(WarmHandoffTest, SeedOverwritesAndEvicts) {
+  SpaceSavingTracker tracker(2);
+  KeyCounters hot;
+  hot.read_count = 100;
+  tracker.Seed(1, hot);
+  KeyCounters warm;
+  warm.read_count = 50;
+  tracker.Seed(2, warm);
+  KeyCounters hotter;
+  hotter.read_count = 200;
+  tracker.Seed(3, hotter);  // evicts the min (key 2)
+  EXPECT_TRUE(tracker.Contains(1));
+  EXPECT_FALSE(tracker.Contains(2));
+  EXPECT_TRUE(tracker.Contains(3));
+  // Overwrite path.
+  KeyCounters updated;
+  updated.read_count = 1;
+  tracker.Seed(1, updated);
+  EXPECT_DOUBLE_EQ(*tracker.HotnessOf(1), 1.0);
+  EXPECT_TRUE(tracker.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace cot::core

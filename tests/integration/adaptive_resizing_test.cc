@@ -1,0 +1,165 @@
+// Integration tests for CoT's elastic resizing driven end-to-end through
+// the cluster stack — the test-sized analogues of the paper's Figures 7-8.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cache_cluster.h"
+#include "cluster/frontend_client.h"
+#include "core/cot_cache.h"
+#include "core/elastic_resizer.h"
+#include "workload/op_stream.h"
+
+namespace cot {
+namespace {
+
+using cluster::CacheCluster;
+using cluster::FrontendClient;
+using core::CotCache;
+using core::ResizerConfig;
+using core::ResizerPhase;
+
+// Runs `ops` operations from `phase` through a fresh CoT client attached to
+// `cluster` and returns the client.
+std::unique_ptr<FrontendClient> RunElasticClient(
+    CacheCluster* cluster, const workload::PhaseSpec& phase, uint64_t ops,
+    const ResizerConfig& config, uint64_t seed) {
+  auto client = std::make_unique<FrontendClient>(
+      cluster, std::make_unique<CotCache>(2, 4));
+  EXPECT_TRUE(client->EnableElasticResizing(config).ok());
+  workload::PhaseSpec bounded = phase;
+  bounded.num_ops = ops;
+  auto stream = workload::OpStream::Create(cluster->storage().key_space_size(),
+                                           {bounded}, seed);
+  EXPECT_TRUE(stream.ok());
+  while (!stream->Done()) client->Apply(stream->Next());
+  return client;
+}
+
+ResizerConfig TestResizerConfig() {
+  ResizerConfig config;
+  config.target_imbalance = 1.1;
+  config.initial_epoch_size = 2000;
+  config.warmup_epochs = 2;
+  return config;
+}
+
+TEST(AdaptiveResizingIntegrationTest, ExpandsUntilTargetImbalanceOnZipf) {
+  CacheCluster cluster(8, 100000);
+  workload::PhaseSpec zipf;
+  zipf.distribution = workload::Distribution::kZipfian;
+  zipf.skew = 1.2;
+  zipf.read_fraction = 1.0;
+  auto client = RunElasticClient(&cluster, zipf, 2000000, TestResizerConfig(),
+                                 /*seed=*/7);
+
+  core::ElasticResizer* resizer = client->resizer();
+  ASSERT_NE(resizer, nullptr);
+  ASSERT_GT(resizer->epochs_completed(), 10u);
+  // Starting from 2 cache-lines, CoT must have grown substantially ...
+  CotCache* cache = dynamic_cast<CotCache*>(client->local_cache());
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GE(cache->capacity(), 16u);
+  EXPECT_GE(cache->tracker_capacity(), 2 * cache->capacity());
+  // ... and the last epochs must meet the target imbalance (the smoothed
+  // signal the resizer acts on; single-epoch ratios are noisy).
+  const auto& history = resizer->history();
+  double final_ic = history.back().smoothed_imbalance;
+  EXPECT_LE(final_ic, 1.1 * 1.25)
+      << "final imbalance far above target";
+  // Steady state reached at some point.
+  bool reached_steady = false;
+  for (const auto& report : history) {
+    if (report.phase == ResizerPhase::kSteady) reached_steady = true;
+  }
+  EXPECT_TRUE(reached_steady);
+}
+
+TEST(AdaptiveResizingIntegrationTest, CacheSizesOnlyMoveInPowersOfTwo) {
+  CacheCluster cluster(8, 50000);
+  workload::PhaseSpec zipf;
+  zipf.distribution = workload::Distribution::kZipfian;
+  zipf.skew = 1.2;
+  auto client = RunElasticClient(&cluster, zipf, 200000, TestResizerConfig(),
+                                 /*seed=*/11);
+  for (const auto& report : client->resizer()->history()) {
+    size_t c = report.cache_capacity;
+    EXPECT_EQ(c & (c - 1), 0u) << "cache capacity " << c
+                               << " is not a power of two";
+  }
+}
+
+TEST(AdaptiveResizingIntegrationTest, ShrinksWhenWorkloadTurnsUniform) {
+  CacheCluster cluster(8, 100000);
+  auto client = std::make_unique<FrontendClient>(
+      &cluster, std::make_unique<CotCache>(2, 4));
+  ASSERT_TRUE(client->EnableElasticResizing(TestResizerConfig()).ok());
+  CotCache* cache = dynamic_cast<CotCache*>(client->local_cache());
+
+  // Phase 1: skewed — drive until the resizer settles in steady state (the
+  // Figure 7 endpoint), bounded by an op budget.
+  workload::PhaseSpec zipf;
+  zipf.distribution = workload::Distribution::kZipfian;
+  zipf.skew = 1.2;
+  zipf.read_fraction = 1.0;
+  zipf.num_ops = 0;  // unbounded; we stop on state
+  auto zipf_stream = workload::OpStream::Create(100000, {zipf}, /*seed=*/13);
+  ASSERT_TRUE(zipf_stream.ok());
+  uint64_t budget = 5000000;
+  size_t steady_since = 0;
+  bool in_steady_run = false;
+  while (budget-- > 0) {
+    client->Apply(zipf_stream->Next());
+    core::ElasticResizer* rz = client->resizer();
+    if (rz->phase() == ResizerPhase::kSteady) {
+      if (!in_steady_run) {
+        in_steady_run = true;
+        steady_since = rz->history().size();
+      }
+      if (rz->history().size() >= steady_since + 3) break;  // settled
+    } else {
+      in_steady_run = false;
+    }
+  }
+  ASSERT_EQ(client->resizer()->phase(), ResizerPhase::kSteady)
+      << "never reached steady state on the skewed phase";
+  size_t peak_capacity = cache->capacity();
+  ASSERT_GE(peak_capacity, 16u) << "never grew during the skewed phase";
+
+  // Phase 2: uniform — the front-end cache is now worthless; CoT must
+  // shrink (Figure 8) without violating the target imbalance.
+  workload::PhaseSpec uniform;
+  uniform.distribution = workload::Distribution::kUniform;
+  uniform.read_fraction = 1.0;
+  uniform.num_ops = 0;
+  auto uniform_stream =
+      workload::OpStream::Create(100000, {uniform}, /*seed=*/14);
+  ASSERT_TRUE(uniform_stream.ok());
+  for (uint64_t i = 0; i < 3000000; ++i) {
+    client->Apply(uniform_stream->Next());
+    if (cache->capacity() <= peak_capacity / 8) break;
+  }
+  EXPECT_LE(cache->capacity(), peak_capacity / 4)
+      << "did not shrink after the workload went uniform";
+  // Target imbalance still honoured at the end.
+  double final_ic = client->resizer()->history().back().smoothed_imbalance;
+  EXPECT_LE(final_ic, 1.1 * 1.25);
+}
+
+TEST(AdaptiveResizingIntegrationTest, UniformWorkloadStaysAtMinimumFootprint) {
+  CacheCluster cluster(8, 100000);
+  workload::PhaseSpec uniform;
+  uniform.distribution = workload::Distribution::kUniform;
+  uniform.read_fraction = 1.0;
+  auto client = RunElasticClient(&cluster, uniform, 300000,
+                                 TestResizerConfig(), /*seed=*/17);
+  CotCache* cache = dynamic_cast<CotCache*>(client->local_cache());
+  // Uniform traffic over 8 shards is already balanced: the cache must stay
+  // negligible. (A few doublings while the imbalance EWMA converges on the
+  // first noisy epochs are tolerated.)
+  EXPECT_LE(cache->capacity(), 32u);
+}
+
+}  // namespace
+}  // namespace cot

@@ -1,0 +1,118 @@
+// Back-end topology elasticity: caching shards are added and removed
+// mid-run (the scenario consistent hashing exists for, paper Section 2).
+// Keys must churn minimally, reads must never go stale across ownership
+// changes, and CoT front-ends must keep serving through the churn.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+
+#include "cache/lru_cache.h"
+#include "cluster/cache_cluster.h"
+#include "cluster/frontend_client.h"
+#include "core/cot_cache.h"
+#include "util/random.h"
+#include "workload/zipfian_generator.h"
+
+namespace cot::cluster {
+namespace {
+
+TEST(ClusterElasticityTest, AddServerTakesTraffic) {
+  CacheCluster cluster(4, 10000);
+  FrontendClient client(&cluster, nullptr);
+  for (uint64_t k = 0; k < 2000; ++k) client.Get(k % 10000);
+  ServerId fresh = cluster.AddServer();
+  EXPECT_EQ(fresh, 4u);
+  EXPECT_EQ(cluster.server_count(), 5u);
+  EXPECT_TRUE(cluster.IsActive(fresh));
+  uint64_t before = cluster.server(fresh).lookup_count();
+  for (uint64_t k = 0; k < 5000; ++k) client.Get(k % 10000);
+  uint64_t gained = cluster.server(fresh).lookup_count() - before;
+  // ~1/5 of traffic should land on the newcomer.
+  EXPECT_GT(gained, 5000 / 5 / 2);
+  EXPECT_LT(gained, 5000 / 5 * 2);
+}
+
+TEST(ClusterElasticityTest, RemoveServerStopsItsTraffic) {
+  CacheCluster cluster(4, 10000);
+  FrontendClient client(&cluster, nullptr);
+  ASSERT_TRUE(cluster.RemoveServer(2).ok());
+  EXPECT_FALSE(cluster.IsActive(2));
+  uint64_t before = cluster.server(2).lookup_count();
+  for (uint64_t k = 0; k < 5000; ++k) client.Get(k % 10000);
+  EXPECT_EQ(cluster.server(2).lookup_count(), before);
+  // Errors on bad removals.
+  EXPECT_FALSE(cluster.RemoveServer(2).ok());
+  EXPECT_FALSE(cluster.RemoveServer(99).ok());
+}
+
+TEST(ClusterElasticityTest, AddServerFlushesMisownedCopies) {
+  CacheCluster cluster(2, 100000);
+  FrontendClient client(&cluster, nullptr);
+  // Warm every shard with a spread of keys.
+  for (uint64_t k = 0; k < 2000; ++k) client.Get(k);
+  cluster.AddServer();
+  // No shard may hold a key it does not own.
+  for (ServerId id = 0; id < cluster.server_count(); ++id) {
+    if (!cluster.IsActive(id)) continue;
+    size_t misowned = cluster.server(id).EraseIf([&](uint64_t key) {
+      return cluster.ring().ServerFor(key) != id;
+    });
+    EXPECT_EQ(misowned, 0u) << "server " << id;
+  }
+}
+
+TEST(ClusterElasticityTest, ReadsStayFreshAcrossTopologyChurn) {
+  // Model-checked consistency with servers joining and leaving mid-run.
+  CacheCluster cluster(3, 2000);
+  FrontendClient client(&cluster,
+                        std::make_unique<cache::LruCache>(32));
+  std::unordered_map<uint64_t, cache::Value> model;
+  workload::ZipfianGenerator gen(2000, 1.1);
+  Rng rng(5);
+  cache::Value next_value = 50000;
+  for (int i = 0; i < 60000; ++i) {
+    uint64_t key = gen.Next(rng);
+    if (rng.Bernoulli(0.1)) {
+      cache::Value v = ++next_value;
+      client.Set(key, v);
+      model[key] = v;
+    } else {
+      cache::Value expected = model.count(key)
+                                  ? model[key]
+                                  : StorageLayer::InitialValue(key);
+      ASSERT_EQ(client.Get(key), expected) << "op " << i;
+    }
+    if (i == 15000) cluster.AddServer();
+    if (i == 30000) ASSERT_TRUE(cluster.RemoveServer(1).ok());
+    if (i == 45000) cluster.AddServer();
+  }
+}
+
+TEST(ClusterElasticityTest, CotElasticityRidesThroughShardChanges) {
+  // A CoT front-end with an attached resizer keeps balancing while the
+  // back-end scales out underneath it.
+  CacheCluster cluster(4, 50000);
+  FrontendClient client(&cluster, std::make_unique<core::CotCache>(64, 512));
+  core::ResizerConfig config;
+  config.target_imbalance = 1.3;
+  config.warmup_epochs = 1;
+  ASSERT_TRUE(client.EnableElasticResizing(config).ok());
+  workload::ZipfianGenerator gen(50000, 1.2);
+  Rng rng(9);
+  for (int i = 0; i < 400000; ++i) {
+    uint64_t key = gen.Next(rng);
+    client.Get(key);
+    if (i == 100000) cluster.AddServer();
+    if (i == 200000) cluster.AddServer();
+  }
+  EXPECT_EQ(cluster.server_count(), 6u);
+  // The client's counters cover the grown topology and epochs advanced.
+  EXPECT_EQ(client.cumulative_lookups().size(), 6u);
+  EXPECT_GT(client.resizer()->epochs_completed(), 3u);
+  EXPECT_GT(client.stats().LocalHitRate(), 0.3);
+}
+
+}  // namespace
+}  // namespace cot::cluster

@@ -1,0 +1,135 @@
+// Integration tests asserting the paper's headline hit-rate ordering
+// (Figure 4 shape): CoT ~ TPC > LRU-2 ~ ARC > LFU ~ LRU on skewed
+// workloads, at test scale.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "cache/arc_cache.h"
+#include "cache/cache.h"
+#include "cache/lfu_cache.h"
+#include "cache/lru_cache.h"
+#include "cache/lruk_cache.h"
+#include "cache/perfect_cache.h"
+#include "core/cot_cache.h"
+#include "util/random.h"
+#include "workload/zipfian_generator.h"
+
+namespace cot {
+namespace {
+
+// Measures the steady-state hit rate of `cache` on `total` Zipfian(skew)
+// accesses over `keys` keys (first half is warm-up).
+double MeasureHitRate(cache::Cache* cache, double skew, uint64_t keys,
+                      int total, uint64_t seed) {
+  workload::ZipfianGenerator gen(keys, skew);
+  Rng rng(seed);
+  for (int i = 0; i < total / 2; ++i) {
+    cache::Key k = gen.Next(rng);
+    if (!cache->Get(k).has_value()) cache->Put(k, k);
+  }
+  cache->ResetStats();
+  for (int i = total / 2; i < total; ++i) {
+    cache::Key k = gen.Next(rng);
+    if (!cache->Get(k).has_value()) cache->Put(k, k);
+  }
+  return cache->stats().HitRate();
+}
+
+struct RatesAtC {
+  double lru, lfu, arc, lru2, cot, tpc;
+};
+
+RatesAtC MeasureAll(size_t c, double skew, uint64_t keys, int total,
+                    size_t tracker_ratio) {
+  RatesAtC rates;
+  {
+    cache::LruCache cache(c);
+    rates.lru = MeasureHitRate(&cache, skew, keys, total, 1);
+  }
+  {
+    cache::LfuCache cache(c);
+    rates.lfu = MeasureHitRate(&cache, skew, keys, total, 1);
+  }
+  {
+    cache::ArcCache cache(c);
+    rates.arc = MeasureHitRate(&cache, skew, keys, total, 1);
+  }
+  {
+    cache::LrukCache cache(c, tracker_ratio * c, 2);
+    rates.lru2 = MeasureHitRate(&cache, skew, keys, total, 1);
+  }
+  {
+    core::CotCache cache(c, tracker_ratio * c);
+    rates.cot = MeasureHitRate(&cache, skew, keys, total, 1);
+  }
+  rates.tpc = workload::ZipfianGenerator(keys, skew).TopCMass(c);
+  return rates;
+}
+
+TEST(HitRateComparisonTest, CotNearTpcOnZipf099) {
+  RatesAtC rates = MeasureAll(/*c=*/64, /*skew=*/0.99, /*keys=*/50000,
+                              /*total=*/400000, /*tracker_ratio=*/8);
+  EXPECT_GT(rates.cot, 0.92 * rates.tpc);
+}
+
+TEST(HitRateComparisonTest, CotBeatsLruAndLfuOnZipf099) {
+  RatesAtC rates = MeasureAll(64, 0.99, 50000, 400000, 8);
+  EXPECT_GT(rates.cot, rates.lru);
+  EXPECT_GT(rates.cot, rates.lfu);
+}
+
+TEST(HitRateComparisonTest, CotAtLeastMatchesArcAndLru2OnZipf099) {
+  RatesAtC rates = MeasureAll(64, 0.99, 50000, 400000, 8);
+  EXPECT_GE(rates.cot, rates.arc * 0.98);
+  EXPECT_GE(rates.cot, rates.lru2 * 0.98);
+}
+
+TEST(HitRateComparisonTest, OrderingHoldsAtLowSkew) {
+  RatesAtC rates = MeasureAll(64, 0.9, 50000, 400000, 16);
+  EXPECT_GT(rates.cot, rates.lru);
+  EXPECT_GT(rates.cot, rates.lfu);
+  EXPECT_GT(rates.cot, 0.9 * rates.tpc);
+}
+
+TEST(HitRateComparisonTest, OrderingHoldsAtHighSkew) {
+  RatesAtC rates = MeasureAll(64, 1.2, 50000, 400000, 4);
+  EXPECT_GE(rates.cot, rates.lru);
+  EXPECT_GE(rates.cot, rates.lfu * 0.99);
+  EXPECT_GT(rates.cot, 0.92 * rates.tpc);
+}
+
+TEST(HitRateComparisonTest, CotWithFewerLinesBeatsLruWithMore) {
+  // Figure 4's "75% fewer cache-lines" claim, scaled down: CoT at C=64
+  // should beat LRU at C=256 on Zipfian 0.99.
+  core::CotCache cot(64, 512);
+  double cot_rate = MeasureHitRate(&cot, 0.99, 50000, 400000, 2);
+  cache::LruCache lru(256);
+  double lru_rate = MeasureHitRate(&lru, 0.99, 50000, 400000, 2);
+  EXPECT_GT(cot_rate, lru_rate);
+}
+
+TEST(HitRateComparisonTest, TrackerRatioSweepSaturates) {
+  // Appendix Figure 9 shape: growing K at fixed C raises the hit rate,
+  // with diminishing returns beyond K = 16C.
+  double r2 = 0, r16 = 0, r32 = 0;
+  {
+    core::CotCache cache(32, 2 * 32);
+    r2 = MeasureHitRate(&cache, 0.99, 50000, 400000, 3);
+  }
+  {
+    core::CotCache cache(32, 16 * 32);
+    r16 = MeasureHitRate(&cache, 0.99, 50000, 400000, 3);
+  }
+  {
+    core::CotCache cache(32, 32 * 32);
+    r32 = MeasureHitRate(&cache, 0.99, 50000, 400000, 3);
+  }
+  EXPECT_GT(r16, r2);
+  EXPECT_LT(r32 - r16, (r16 - r2) * 0.5);  // saturation
+}
+
+}  // namespace
+}  // namespace cot

@@ -1,0 +1,118 @@
+// Long-run soak tests: once CoT's resizer has converged on a stationary
+// workload, it must *stay* converged — no oscillation between doubling and
+// halving, no decay storms, and a bounded total resize count. Oscillation
+// is the classic failure mode of feedback controllers driven by noisy
+// estimators, which is exactly what the resizer's smoothing/hysteresis
+// machinery (DESIGN.md §5) exists to prevent.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cache_cluster.h"
+#include "cluster/frontend_client.h"
+#include "core/cot_cache.h"
+#include "core/elastic_resizer.h"
+#include "workload/op_stream.h"
+
+namespace cot {
+namespace {
+
+using cluster::CacheCluster;
+using cluster::FrontendClient;
+using core::CotCache;
+using core::ResizeAction;
+using core::ResizerConfig;
+using core::ResizerPhase;
+
+struct SoakOutcome {
+  size_t resize_actions_after_convergence = 0;
+  size_t decay_actions = 0;
+  size_t epochs_after_convergence = 0;
+  size_t converged_at_epoch = 0;
+  bool converged = false;
+  size_t final_capacity = 0;
+};
+
+SoakOutcome Soak(double skew, uint64_t total_ops, uint64_t seed) {
+  CacheCluster cluster(8, 100000);
+  auto client = std::make_unique<FrontendClient>(
+      &cluster, std::make_unique<CotCache>(2, 4));
+  ResizerConfig config;
+  config.target_imbalance = 1.1;
+  config.initial_epoch_size = 2000;
+  config.warmup_epochs = 2;
+  EXPECT_TRUE(client->EnableElasticResizing(config).ok());
+
+  workload::PhaseSpec phase;
+  if (skew == 0.0) {
+    phase.distribution = workload::Distribution::kUniform;
+  } else {
+    phase.distribution = workload::Distribution::kZipfian;
+    phase.skew = skew;
+  }
+  phase.read_fraction = 0.998;
+  phase.num_ops = total_ops;
+  auto stream = workload::OpStream::Create(100000, {phase}, seed);
+  EXPECT_TRUE(stream.ok());
+  while (!stream->Done()) client->Apply(stream->Next());
+
+  SoakOutcome outcome;
+  const auto& history = client->resizer()->history();
+  // Convergence = first epoch in steady state.
+  for (size_t i = 0; i < history.size(); ++i) {
+    if (history[i].phase == ResizerPhase::kSteady) {
+      outcome.converged = true;
+      outcome.converged_at_epoch = i;
+      break;
+    }
+  }
+  if (outcome.converged) {
+    for (size_t i = outcome.converged_at_epoch; i < history.size(); ++i) {
+      ++outcome.epochs_after_convergence;
+      ResizeAction action = history[i].action;
+      if (action == ResizeAction::kDoubleBoth ||
+          action == ResizeAction::kHalveBoth ||
+          action == ResizeAction::kDoubleTracker ||
+          action == ResizeAction::kShrinkTrackerBack ||
+          action == ResizeAction::kResetTrackerRatio) {
+        ++outcome.resize_actions_after_convergence;
+      }
+      if (action == ResizeAction::kDecay) ++outcome.decay_actions;
+    }
+  }
+  auto* cache = dynamic_cast<CotCache*>(client->local_cache());
+  outcome.final_capacity = cache->capacity();
+  return outcome;
+}
+
+TEST(ResizerStabilityTest, StationaryZipfStaysConverged) {
+  SoakOutcome outcome = Soak(1.2, 6000000, 21);
+  ASSERT_TRUE(outcome.converged);
+  ASSERT_GT(outcome.epochs_after_convergence, 20u)
+      << "soak too short to judge stability";
+  // At most a small tail of corrective resizes is tolerated; sustained
+  // oscillation would produce one every few epochs.
+  EXPECT_LE(outcome.resize_actions_after_convergence,
+            outcome.epochs_after_convergence / 10)
+      << "resizer oscillates in steady state";
+  // No decay storms on a stationary workload.
+  EXPECT_LE(outcome.decay_actions, outcome.epochs_after_convergence / 10);
+}
+
+TEST(ResizerStabilityTest, ModerateSkewAlsoStable) {
+  SoakOutcome outcome = Soak(0.99, 6000000, 22);
+  ASSERT_TRUE(outcome.converged);
+  ASSERT_GT(outcome.epochs_after_convergence, 20u);
+  EXPECT_LE(outcome.resize_actions_after_convergence,
+            outcome.epochs_after_convergence / 10);
+}
+
+TEST(ResizerStabilityTest, UniformNeverBlowsUp) {
+  SoakOutcome outcome = Soak(0.0, 3000000, 23);
+  // Uniform converges immediately (already balanced) and must stay tiny.
+  EXPECT_LE(outcome.final_capacity, 32u);
+}
+
+}  // namespace
+}  // namespace cot

@@ -1,0 +1,60 @@
+#include "metrics/epoch_series.h"
+
+#include <gtest/gtest.h>
+
+namespace cot::metrics {
+namespace {
+
+TEST(EpochSeriesTest, StartsEmpty) {
+  EpochSeries s({"a", "b"});
+  EXPECT_EQ(s.rows(), 0u);
+  EXPECT_EQ(s.columns(), 2u);
+  EXPECT_EQ(s.column_names()[0], "a");
+}
+
+TEST(EpochSeriesTest, AppendAndAccess) {
+  EpochSeries s({"cache", "tracker", "ic"});
+  s.Append({2, 4, 5.0});
+  s.Append({4, 8, 2.5});
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(s.At(1, 2), 2.5);
+}
+
+TEST(EpochSeriesTest, ColumnByIndexAndName) {
+  EpochSeries s({"x", "y"});
+  s.Append({1, 10});
+  s.Append({2, 20});
+  s.Append({3, 30});
+  EXPECT_EQ(s.Column(0), (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(s.Column("y"), (std::vector<double>{10, 20, 30}));
+}
+
+TEST(EpochSeriesTest, CsvFormat) {
+  EpochSeries s({"x"});
+  s.Append({1.5});
+  std::string csv = s.ToCsv();
+  EXPECT_EQ(csv, "epoch,x\n0,1.5\n");
+}
+
+TEST(EpochSeriesTest, TableContainsHeaderAndValues) {
+  EpochSeries s({"size"});
+  s.Append({64});
+  std::string table = s.ToTable();
+  EXPECT_NE(table.find("epoch"), std::string::npos);
+  EXPECT_NE(table.find("size"), std::string::npos);
+  EXPECT_NE(table.find("64"), std::string::npos);
+}
+
+TEST(EpochSeriesTest, TableElidesMiddleRows) {
+  EpochSeries s({"v"});
+  for (int i = 0; i < 100; ++i) s.Append({static_cast<double>(i)});
+  std::string table = s.ToTable(10);
+  EXPECT_NE(table.find("..."), std::string::npos);
+  // First and last rows survive.
+  EXPECT_NE(table.find("    0"), std::string::npos);
+  EXPECT_NE(table.find("   99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cot::metrics

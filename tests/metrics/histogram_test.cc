@@ -1,0 +1,113 @@
+#include "metrics/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cot::metrics {
+namespace {
+
+TEST(HistogramTest, EmptyDefaults) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 100u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 100.0);
+}
+
+TEST(HistogramTest, MeanMinMaxExact) {
+  Histogram h;
+  for (uint64_t v : {10ULL, 20ULL, 30ULL, 40ULL}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 40u);
+}
+
+TEST(HistogramTest, PercentilesAreMonotone) {
+  Histogram h;
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.NextBelow(100000));
+  double prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    double v = h.Percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_LE(h.Percentile(100), static_cast<double>(h.max()));
+}
+
+TEST(HistogramTest, MedianOfUniformRoughlyCentred) {
+  Histogram h;
+  Rng rng(11);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.NextBelow(1000));
+  // Log buckets give coarse resolution at this magnitude; allow 25%.
+  EXPECT_NEAR(h.Median(), 500.0, 125.0);
+}
+
+TEST(HistogramTest, ZeroValues) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Add(0);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, VeryLargeValues) {
+  Histogram h;
+  h.Add(1ULL << 60);
+  h.Add((1ULL << 60) + 12345);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.Percentile(100), static_cast<double>(1ULL << 60) * 0.99);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Add(10);
+  for (int i = 0; i < 100; ++i) b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_DOUBLE_EQ(a.mean(), 505.0);
+}
+
+TEST(HistogramTest, MergeWithEmptyIsNoop) {
+  Histogram a, b;
+  a.Add(5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.min(), 5u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(HistogramTest, ToStringMentionsCount) {
+  Histogram h;
+  h.Add(1);
+  h.Add(2);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("count=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cot::metrics

@@ -1,0 +1,80 @@
+#include "metrics/imbalance.h"
+
+#include <gtest/gtest.h>
+
+namespace cot::metrics {
+namespace {
+
+TEST(LoadImbalanceTest, EmptyIsBalanced) {
+  EXPECT_DOUBLE_EQ(LoadImbalance({}), 1.0);
+}
+
+TEST(LoadImbalanceTest, AllZeroIsBalanced) {
+  EXPECT_DOUBLE_EQ(LoadImbalance({0, 0, 0}), 1.0);
+}
+
+TEST(LoadImbalanceTest, UniformLoadIsOne) {
+  EXPECT_DOUBLE_EQ(LoadImbalance({100, 100, 100, 100}), 1.0);
+}
+
+TEST(LoadImbalanceTest, MaxOverMin) {
+  EXPECT_DOUBLE_EQ(LoadImbalance({100, 500}), 5.0);
+  EXPECT_DOUBLE_EQ(LoadImbalance({50, 100, 200}), 4.0);
+}
+
+TEST(LoadImbalanceTest, ZeroMinClampedToOne) {
+  EXPECT_DOUBLE_EQ(LoadImbalance({0, 250}), 250.0);
+}
+
+TEST(LoadImbalanceTest, SingleServer) {
+  EXPECT_DOUBLE_EQ(LoadImbalance({42}), 1.0);
+}
+
+TEST(LoadImbalanceTest, PaperExampleFromNotationSection) {
+  // "a maximum of 5K key lookups ... a minimum of 1K ... then I_c = 5".
+  EXPECT_DOUBLE_EQ(LoadImbalance({5000, 1000, 3000}), 5.0);
+}
+
+TEST(LoadCoefficientOfVariationTest, UniformIsZero) {
+  EXPECT_DOUBLE_EQ(LoadCoefficientOfVariation({7, 7, 7}), 0.0);
+  EXPECT_DOUBLE_EQ(LoadCoefficientOfVariation({}), 0.0);
+  EXPECT_DOUBLE_EQ(LoadCoefficientOfVariation({0, 0}), 0.0);
+}
+
+TEST(LoadCoefficientOfVariationTest, KnownValue) {
+  // loads {1, 3}: mean 2, population stddev 1 -> cv 0.5.
+  EXPECT_DOUBLE_EQ(LoadCoefficientOfVariation({1, 3}), 0.5);
+}
+
+TEST(TotalLoadTest, Sums) {
+  EXPECT_EQ(TotalLoad({1, 2, 3}), 6u);
+  EXPECT_EQ(TotalLoad({}), 0u);
+}
+
+TEST(RelativeServerLoadTest, RatioOfTotals) {
+  EXPECT_DOUBLE_EQ(RelativeServerLoad({50, 50}, {100, 100}), 0.5);
+  EXPECT_DOUBLE_EQ(RelativeServerLoad({100}, {0}), 1.0);
+}
+
+TEST(JainFairnessIndexTest, PerfectBalanceIsOne) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({10, 10, 10, 10}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({0, 0}), 1.0);
+}
+
+TEST(JainFairnessIndexTest, SingleHotServerIsOneOverN) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({100, 0, 0, 0}), 0.25);
+}
+
+TEST(JainFairnessIndexTest, KnownIntermediateValue) {
+  // x = {1, 3}: (4)^2 / (2 * 10) = 0.8.
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({1, 3}), 0.8);
+}
+
+TEST(JainFairnessIndexTest, ScaleInvariant) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({1, 2, 3}),
+                   JainFairnessIndex({100, 200, 300}));
+}
+
+}  // namespace
+}  // namespace cot::metrics

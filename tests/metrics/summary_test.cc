@@ -1,0 +1,104 @@
+#include "metrics/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace cot::metrics {
+namespace {
+
+TEST(SummaryTest, EmptyDefaults) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(SummaryTest, SingleValue) {
+  Summary s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(SummaryTest, KnownSmallSample) {
+  // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population var 4, sample var 32/7.
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryTest, Ci95UsesStudentTForSmallSamples) {
+  Summary s;
+  // n = 2, values 0 and 2: mean 1, sample stddev sqrt(2), sem 1.
+  s.Add(0.0);
+  s.Add(2.0);
+  EXPECT_NEAR(s.ci95_half_width(), 12.706, 1e-9);  // t(df=1) * 1
+}
+
+TEST(SummaryTest, Ci95NormalApproxForLargeSamples) {
+  Summary s;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) s.Add(rng.NextGaussian());
+  double sem = s.stddev() / std::sqrt(10000.0);
+  EXPECT_NEAR(s.ci95_half_width(), 1.96 * sem, 1e-9);
+}
+
+TEST(SummaryTest, MergeMatchesSequential) {
+  Rng rng(9);
+  Summary all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextDouble() * 100;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SummaryTest, MergeWithEmpty) {
+  Summary a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  Summary a_copy = a;
+  a.Merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.Merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SummaryTest, ResetClears) {
+  Summary s;
+  s.Add(4.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(SummaryTest, NumericallyStableForLargeOffsets) {
+  Summary s;
+  // Welford should keep precision with a large common offset.
+  for (int i = 0; i < 1000; ++i) s.Add(1e12 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25025, 1e-3);
+  EXPECT_NEAR(s.mean(), 1e12 + 0.5, 1.0);
+}
+
+}  // namespace
+}  // namespace cot::metrics

@@ -1,0 +1,114 @@
+#include "sim/end_to_end_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "cache/lru_cache.h"
+#include "core/cot_cache.h"
+
+namespace cot::sim {
+namespace {
+
+cluster::ExperimentConfig Config(workload::Distribution dist, double skew,
+                                 uint32_t clients, uint64_t ops) {
+  cluster::ExperimentConfig config;
+  config.num_servers = 8;
+  config.key_space = 20000;
+  config.num_clients = clients;
+  config.total_ops = ops;
+  workload::PhaseSpec phase;
+  phase.distribution = dist;
+  phase.skew = skew;
+  phase.read_fraction = 0.998;
+  config.phases = {phase};
+  return config;
+}
+
+TEST(EndToEndSimTest, RejectsInvalidConfig) {
+  cluster::ExperimentConfig config;
+  config.num_clients = 0;
+  EXPECT_FALSE(RunEndToEnd(config, nullptr, LatencyModel{}).ok());
+}
+
+TEST(EndToEndSimTest, MakespanPositiveAndLatenciesRecorded) {
+  auto result = RunEndToEnd(
+      Config(workload::Distribution::kUniform, 0, 4, 20000), nullptr,
+      LatencyModel{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->makespan_us, 0.0);
+  EXPECT_EQ(result->latency_us.count(), 20000u);
+  EXPECT_GE(result->mean_latency_us, LatencyModel{}.rtt_us);
+}
+
+TEST(EndToEndSimTest, LogicalCountsMatchPlainExperiment) {
+  auto config = Config(workload::Distribution::kZipfian, 0.99, 4, 20000);
+  auto factory = [](uint32_t) { return std::make_unique<cache::LruCache>(64); };
+  auto timed = RunEndToEnd(config, factory, LatencyModel{});
+  auto plain = cluster::RunExperiment(config, factory);
+  ASSERT_TRUE(timed.ok() && plain.ok());
+  // Same state machine underneath: hit counts agree exactly.
+  EXPECT_EQ(timed->logical.aggregate.local_hits,
+            plain->aggregate.local_hits);
+  EXPECT_EQ(timed->logical.per_server_lookups, plain->per_server_lookups);
+}
+
+TEST(EndToEndSimTest, SkewInflatesRuntimeUnderThrashing) {
+  // The Figure 5 effect: with 20 concurrent clients and no front-end cache,
+  // a skewed workload takes multiples of the uniform runtime because the
+  // hottest shard queues and thrashes.
+  LatencyModel model;
+  auto uniform = RunEndToEnd(
+      Config(workload::Distribution::kUniform, 0, 20, 40000), nullptr, model);
+  auto zipf = RunEndToEnd(
+      Config(workload::Distribution::kZipfian, 1.2, 20, 40000), nullptr,
+      model);
+  ASSERT_TRUE(uniform.ok() && zipf.ok());
+  EXPECT_GT(zipf->makespan_us, 1.5 * uniform->makespan_us);
+  EXPECT_GT(zipf->max_backlog, uniform->max_backlog);
+}
+
+TEST(EndToEndSimTest, FrontendCacheCutsSkewedRuntime) {
+  LatencyModel model;
+  auto config = Config(workload::Distribution::kZipfian, 1.2, 20, 40000);
+  auto no_cache = RunEndToEnd(config, nullptr, model);
+  auto cot = RunEndToEnd(
+      config,
+      [](uint32_t) { return std::make_unique<core::CotCache>(512, 2048); },
+      model);
+  ASSERT_TRUE(no_cache.ok() && cot.ok());
+  EXPECT_LT(cot->makespan_us, 0.6 * no_cache->makespan_us);
+}
+
+TEST(EndToEndSimTest, SingleClientSeesNoThrashing) {
+  // Figure 6's setting: one client cannot queue against itself beyond one
+  // request, so the backlog stays ~0.
+  LatencyModel model;
+  auto result = RunEndToEnd(
+      Config(workload::Distribution::kZipfian, 1.2, 1, 5000), nullptr, model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->max_backlog, 1.0);
+}
+
+TEST(EndToEndSimTest, UniformCacheOverheadIsNegligible) {
+  // Figure 5's uniform columns: with or without a front-end cache the
+  // runtime is statistically the same (the cache just never hits).
+  LatencyModel model;
+  auto config = Config(workload::Distribution::kUniform, 0, 20, 40000);
+  auto no_cache = RunEndToEnd(config, nullptr, model);
+  auto lru = RunEndToEnd(
+      config,
+      [](uint32_t) { return std::make_unique<cache::LruCache>(512); },
+      model);
+  ASSERT_TRUE(no_cache.ok() && lru.ok());
+  EXPECT_NEAR(lru->makespan_us / no_cache->makespan_us, 1.0, 0.1);
+}
+
+TEST(EndToEndSimTest, DeterministicForFixedSeed) {
+  auto config = Config(workload::Distribution::kZipfian, 0.99, 8, 20000);
+  auto r1 = RunEndToEnd(config, nullptr, LatencyModel{});
+  auto r2 = RunEndToEnd(config, nullptr, LatencyModel{});
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_DOUBLE_EQ(r1->makespan_us, r2->makespan_us);
+}
+
+}  // namespace
+}  // namespace cot::sim

@@ -1,0 +1,63 @@
+#include "sim/latency_model.h"
+
+#include <gtest/gtest.h>
+
+namespace cot::sim {
+namespace {
+
+TEST(LatencyModelTest, BaseServiceWithNoPressure) {
+  LatencyModel model;
+  // Fair share, empty queue: exactly the base service time.
+  EXPECT_DOUBLE_EQ(model.ServiceTime(/*backlog=*/0.0, /*share=*/0.125,
+                                     /*num_servers=*/8.0),
+                   model.base_service_us);
+}
+
+TEST(LatencyModelTest, BacklogBelowKneeIsFree) {
+  LatencyModel model;
+  EXPECT_DOUBLE_EQ(model.ServiceTime(model.thrash_knee, 0.125, 8.0),
+                   model.base_service_us);
+}
+
+TEST(LatencyModelTest, ThrashGrowsLinearlyBeyondKnee) {
+  LatencyModel model;
+  double at_knee = model.ServiceTime(model.thrash_knee, 0.125, 8.0);
+  double plus2 = model.ServiceTime(model.thrash_knee + 2.0, 0.125, 8.0);
+  double plus4 = model.ServiceTime(model.thrash_knee + 4.0, 0.125, 8.0);
+  EXPECT_GT(plus2, at_knee);
+  EXPECT_NEAR(plus4 - plus2, plus2 - at_knee, 1e-9);  // linear
+}
+
+TEST(LatencyModelTest, FairShareCarriesNoPenalty) {
+  LatencyModel model;
+  // Anything at or below 1/n is penalty-free.
+  EXPECT_DOUBLE_EQ(model.ServiceTime(0.0, 0.05, 8.0),
+                   model.base_service_us);
+}
+
+TEST(LatencyModelTest, ExcessShareInflatesService) {
+  LatencyModel model;
+  double fair = model.ServiceTime(0.0, 0.125, 8.0);
+  double hot = model.ServiceTime(0.0, 0.375, 8.0);  // 3x fair share
+  EXPECT_DOUBLE_EQ(hot,
+                   fair * (1.0 + model.load_share_penalty * 2.0));
+}
+
+TEST(LatencyModelTest, EffectsCompose) {
+  LatencyModel model;
+  double both = model.ServiceTime(model.thrash_knee + 10.0, 0.375, 8.0);
+  double thrash_only = model.ServiceTime(model.thrash_knee + 10.0, 0.125, 8.0);
+  double share_only = model.ServiceTime(0.0, 0.375, 8.0);
+  EXPECT_NEAR(both * model.base_service_us, thrash_only * share_only, 1e-6);
+}
+
+TEST(LatencyModelTest, DisablingKnobsRestoresBase) {
+  LatencyModel model;
+  model.thrash_coeff = 0.0;
+  model.load_share_penalty = 0.0;
+  EXPECT_DOUBLE_EQ(model.ServiceTime(100.0, 1.0, 8.0),
+                   model.base_service_us);
+}
+
+}  // namespace
+}  // namespace cot::sim

@@ -1,0 +1,131 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cot {
+namespace {
+
+// Builds an argv from string literals.
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    pointers_.push_back(const_cast<char*>("prog"));
+    for (auto& s : storage_) pointers_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+FlagParser MakeParser() {
+  FlagParser flags;
+  flags.AddString("name", "default", "a string");
+  flags.AddInt64("count", 7, "an int");
+  flags.AddDouble("ratio", 0.5, "a double");
+  flags.AddBool("verbose", false, "a bool");
+  return flags;
+}
+
+TEST(FlagParserTest, DefaultsWithoutArgs) {
+  FlagParser flags = MakeParser();
+  ArgvBuilder args({});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetString("name"), "default");
+  EXPECT_EQ(flags.GetInt64("count"), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), 0.5);
+  EXPECT_FALSE(flags.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, SpaceSeparatedValues) {
+  FlagParser flags = MakeParser();
+  ArgvBuilder args({"--name", "hello", "--count", "42", "--ratio", "1.25"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetString("name"), "hello");
+  EXPECT_EQ(flags.GetInt64("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), 1.25);
+}
+
+TEST(FlagParserTest, EqualsSeparatedValues) {
+  FlagParser flags = MakeParser();
+  ArgvBuilder args({"--name=world", "--count=-3", "--verbose=true"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetString("name"), "world");
+  EXPECT_EQ(flags.GetInt64("count"), -3);
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, BareBooleanFlag) {
+  FlagParser flags = MakeParser();
+  ArgvBuilder args({"--verbose"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, PositionalArgumentsCollected) {
+  FlagParser flags = MakeParser();
+  ArgvBuilder args({"input.txt", "--count", "1", "more"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.txt", "more"}));
+}
+
+TEST(FlagParserTest, UnknownFlagFails) {
+  FlagParser flags = MakeParser();
+  ArgvBuilder args({"--nope", "1"});
+  Status s = flags.Parse(args.argc(), args.argv());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("nope"), std::string::npos);
+}
+
+TEST(FlagParserTest, MalformedValuesFail) {
+  {
+    FlagParser flags = MakeParser();
+    ArgvBuilder args({"--count", "abc"});
+    EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+  }
+  {
+    FlagParser flags = MakeParser();
+    ArgvBuilder args({"--ratio", "xyz"});
+    EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+  }
+  {
+    // Booleans only bind values via '='; a following token is positional.
+    FlagParser flags = MakeParser();
+    ArgvBuilder args({"--verbose=maybe"});
+    EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+  }
+  {
+    FlagParser flags = MakeParser();
+    ArgvBuilder args({"--verbose", "maybe"});
+    ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+    EXPECT_TRUE(flags.GetBool("verbose"));
+    EXPECT_EQ(flags.positional(), (std::vector<std::string>{"maybe"}));
+  }
+}
+
+TEST(FlagParserTest, MissingValueFails) {
+  FlagParser flags = MakeParser();
+  ArgvBuilder args({"--count"});
+  Status s = flags.Parse(args.argc(), args.argv());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("missing value"), std::string::npos);
+}
+
+TEST(FlagParserTest, HelpShortCircuits) {
+  FlagParser flags = MakeParser();
+  ArgvBuilder args({"--help", "--garbage"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(flags.help_requested());
+  std::string help = flags.Help();
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("an int"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cot

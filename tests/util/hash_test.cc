@@ -1,0 +1,64 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace cot {
+namespace {
+
+TEST(Fnv1a64Test, KnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171F73967E8ULL);
+}
+
+TEST(Fnv1a64Test, SensitiveToEveryByte) {
+  EXPECT_NE(Fnv1a64("usertable:1"), Fnv1a64("usertable:2"));
+  EXPECT_NE(Fnv1a64("ab"), Fnv1a64("ba"));
+}
+
+TEST(Mix64Test, ZeroMapsToZero) {
+  // fmix64 is a bijection fixing 0 (all-zero input stays zero).
+  EXPECT_EQ(Mix64(0), 0u);
+}
+
+TEST(Mix64Test, IsDeterministicAndSpreads) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 1; i <= 1000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 1000u);  // injective on this sample
+  EXPECT_EQ(Mix64(42), Mix64(42));
+}
+
+TEST(Mix64Test, AvalancheFlipsRoughlyHalfTheBits) {
+  int total_flips = 0;
+  constexpr int kTrials = 1000;
+  for (uint64_t i = 1; i <= kTrials; ++i) {
+    uint64_t diff = Mix64(i) ^ Mix64(i ^ 1);  // flip the lowest input bit
+    total_flips += __builtin_popcountll(diff);
+  }
+  double avg = static_cast<double>(total_flips) / kTrials;
+  EXPECT_GT(avg, 28.0);
+  EXPECT_LT(avg, 36.0);
+}
+
+TEST(HashCombineTest, OrderMatters) {
+  uint64_t ab = HashCombine(HashCombine(0, 1), 2);
+  uint64_t ba = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(HashPairTest, DistinctPairsDistinctHashes) {
+  std::set<uint64_t> outputs;
+  for (uint64_t a = 0; a < 50; ++a) {
+    for (uint64_t b = 0; b < 50; ++b) {
+      outputs.insert(HashPair(a, b));
+    }
+  }
+  EXPECT_EQ(outputs.size(), 2500u);
+}
+
+}  // namespace
+}  // namespace cot

@@ -1,0 +1,196 @@
+#include "util/indexed_min_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace cot {
+namespace {
+
+TEST(IndexedMinHeapTest, StartsEmpty) {
+  IndexedMinHeap<int, int> heap;
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_FALSE(heap.Contains(1));
+}
+
+TEST(IndexedMinHeapTest, PushPopSingle) {
+  IndexedMinHeap<int, int> heap;
+  heap.Push(7, 42);
+  EXPECT_EQ(heap.size(), 1u);
+  EXPECT_TRUE(heap.Contains(7));
+  EXPECT_EQ(heap.TopKey(), 7);
+  EXPECT_EQ(heap.TopPriority(), 42);
+  auto [k, p] = heap.Pop();
+  EXPECT_EQ(k, 7);
+  EXPECT_EQ(p, 42);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IndexedMinHeapTest, PopsInPriorityOrder) {
+  IndexedMinHeap<int, int> heap;
+  const std::vector<int> priorities = {5, 3, 9, 1, 7, 2, 8, 4, 6, 0};
+  for (size_t i = 0; i < priorities.size(); ++i) {
+    heap.Push(static_cast<int>(i), priorities[i]);
+  }
+  int prev = -1;
+  while (!heap.empty()) {
+    auto [k, p] = heap.Pop();
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(IndexedMinHeapTest, UpdateRestoresOrder) {
+  IndexedMinHeap<int, int> heap;
+  for (int i = 0; i < 10; ++i) heap.Push(i, i * 10);
+  heap.Update(9, -1);  // decrease key 9 below everything
+  EXPECT_EQ(heap.TopKey(), 9);
+  heap.Update(9, 1000);  // and back above everything
+  EXPECT_EQ(heap.TopKey(), 0);
+  EXPECT_TRUE(heap.CheckInvariants());
+}
+
+TEST(IndexedMinHeapTest, EraseRemovesKey) {
+  IndexedMinHeap<int, int> heap;
+  for (int i = 0; i < 10; ++i) heap.Push(i, i);
+  EXPECT_TRUE(heap.Erase(5));
+  EXPECT_FALSE(heap.Contains(5));
+  EXPECT_FALSE(heap.Erase(5));
+  EXPECT_EQ(heap.size(), 9u);
+  EXPECT_TRUE(heap.CheckInvariants());
+}
+
+TEST(IndexedMinHeapTest, EraseRoot) {
+  IndexedMinHeap<int, int> heap;
+  for (int i = 0; i < 10; ++i) heap.Push(i, i);
+  EXPECT_TRUE(heap.Erase(0));
+  EXPECT_EQ(heap.TopKey(), 1);
+  EXPECT_TRUE(heap.CheckInvariants());
+}
+
+TEST(IndexedMinHeapTest, PriorityOf) {
+  IndexedMinHeap<int, int> heap;
+  heap.Push(3, 33);
+  heap.Push(4, 44);
+  EXPECT_EQ(heap.PriorityOf(3), 33);
+  EXPECT_EQ(heap.PriorityOf(4), 44);
+}
+
+TEST(IndexedMinHeapTest, ClearEmptiesEverything) {
+  IndexedMinHeap<int, int> heap;
+  for (int i = 0; i < 5; ++i) heap.Push(i, i);
+  heap.Clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_FALSE(heap.Contains(0));
+  heap.Push(0, 0);  // usable after clear
+  EXPECT_EQ(heap.size(), 1u);
+}
+
+TEST(IndexedMinHeapTest, ForEachVisitsAll) {
+  IndexedMinHeap<int, int> heap;
+  for (int i = 0; i < 8; ++i) heap.Push(i, 100 - i);
+  int count = 0, prio_sum = 0;
+  heap.ForEach([&](const int& k, const int& p) {
+    ++count;
+    prio_sum += p;
+    EXPECT_EQ(p, 100 - k);
+  });
+  EXPECT_EQ(count, 8);
+  EXPECT_EQ(prio_sum, 100 * 8 - 28);
+}
+
+TEST(IndexedMinHeapTest, TransformPrioritiesMonotonePreservesOrder) {
+  IndexedMinHeap<int, double> heap;
+  for (int i = 0; i < 16; ++i) heap.Push(i, static_cast<double>(i) - 8.0);
+  heap.TransformPrioritiesMonotone([](double p) { return p * 0.5; });
+  EXPECT_TRUE(heap.CheckInvariants());
+  EXPECT_EQ(heap.TopKey(), 0);
+  EXPECT_DOUBLE_EQ(heap.TopPriority(), -4.0);
+}
+
+TEST(IndexedMinHeapTest, CompoundPriorityTieBreaks) {
+  using P = std::pair<int, int>;
+  IndexedMinHeap<int, P> heap;
+  heap.Push(1, P{5, 2});
+  heap.Push(2, P{5, 1});
+  heap.Push(3, P{4, 9});
+  EXPECT_EQ(heap.TopKey(), 3);
+  heap.Pop();
+  EXPECT_EQ(heap.TopKey(), 2);  // (5,1) < (5,2)
+}
+
+TEST(IndexedMinHeapTest, DuplicatePrioritiesAllowed) {
+  IndexedMinHeap<int, int> heap;
+  for (int i = 0; i < 20; ++i) heap.Push(i, 7);
+  EXPECT_EQ(heap.size(), 20u);
+  int popped = 0;
+  while (!heap.empty()) {
+    EXPECT_EQ(heap.Pop().second, 7);
+    ++popped;
+  }
+  EXPECT_EQ(popped, 20);
+}
+
+// Property test: a long random sequence of push/pop/update/erase stays
+// consistent with a reference model and preserves the heap invariant.
+class IndexedMinHeapPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexedMinHeapPropertyTest, RandomOpsMatchReferenceModel) {
+  Rng rng(GetParam());
+  IndexedMinHeap<int, int> heap;
+  std::map<int, int> model;  // key -> priority
+
+  for (int step = 0; step < 5000; ++step) {
+    int action = static_cast<int>(rng.NextBelow(4));
+    int key = static_cast<int>(rng.NextBelow(200));
+    int priority = static_cast<int>(rng.NextBelow(1000));
+    switch (action) {
+      case 0:  // push (if absent)
+        if (!model.count(key)) {
+          heap.Push(key, priority);
+          model[key] = priority;
+        }
+        break;
+      case 1:  // update (if present)
+        if (model.count(key)) {
+          heap.Update(key, priority);
+          model[key] = priority;
+        }
+        break;
+      case 2:  // erase
+        EXPECT_EQ(heap.Erase(key), model.erase(key) != 0);
+        break;
+      case 3:  // pop
+        if (!model.empty()) {
+          auto [k, p] = heap.Pop();
+          // Must be a minimum-priority key of the model.
+          int min_priority = model.begin()->second;
+          for (const auto& [mk, mp] : model) {
+            min_priority = std::min(min_priority, mp);
+          }
+          EXPECT_EQ(p, min_priority);
+          ASSERT_TRUE(model.count(k));
+          EXPECT_EQ(model[k], p);
+          model.erase(k);
+        }
+        break;
+    }
+    ASSERT_EQ(heap.size(), model.size());
+  }
+  EXPECT_TRUE(heap.CheckInvariants());
+  for (const auto& [k, p] : model) {
+    ASSERT_TRUE(heap.Contains(k));
+    EXPECT_EQ(heap.PriorityOf(k), p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexedMinHeapPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 1234, 99999));
+
+}  // namespace
+}  // namespace cot

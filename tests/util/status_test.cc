@@ -1,0 +1,85 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cot {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode expected_code;
+    std::string expected_name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("bad"), StatusCode::kInvalidArgument,
+       "invalid_argument"},
+      {Status::NotFound("missing"), StatusCode::kNotFound, "not_found"},
+      {Status::AlreadyExists("dup"), StatusCode::kAlreadyExists,
+       "already_exists"},
+      {Status::OutOfRange("oob"), StatusCode::kOutOfRange, "out_of_range"},
+      {Status::FailedPrecondition("pre"), StatusCode::kFailedPrecondition,
+       "failed_precondition"},
+      {Status::Unimplemented("todo"), StatusCode::kUnimplemented,
+       "unimplemented"},
+      {Status::Internal("boom"), StatusCode::kInternal, "internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.expected_code);
+    EXPECT_EQ(StatusCodeToString(c.status.code()), c.expected_name);
+    EXPECT_NE(c.status.ToString().find(c.expected_name), std::string::npos);
+    EXPECT_NE(c.status.ToString().find(c.status.message()), std::string::npos);
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(-1), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("nope"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v(std::string("hello"));
+  EXPECT_EQ(v->size(), 5u);
+}
+
+}  // namespace
+}  // namespace cot

@@ -1,0 +1,59 @@
+#include "workload/key_space.h"
+
+#include <gtest/gtest.h>
+
+namespace cot::workload {
+namespace {
+
+TEST(KeySpaceTest, FormatsWithDefaultPrefix) {
+  KeySpace ks(1000);
+  EXPECT_EQ(ks.Format(0), "usertable:0");
+  EXPECT_EQ(ks.Format(42), "usertable:42");
+  EXPECT_EQ(ks.Format(999), "usertable:999");
+  EXPECT_EQ(ks.size(), 1000u);
+  EXPECT_EQ(ks.prefix(), "usertable:");
+}
+
+TEST(KeySpaceTest, CustomPrefix) {
+  KeySpace ks(10, "user:");
+  EXPECT_EQ(ks.Format(3), "user:3");
+}
+
+TEST(KeySpaceTest, RoundTrips) {
+  KeySpace ks(100000);
+  for (Key id : {0ULL, 1ULL, 99999ULL, 31337ULL}) {
+    auto parsed = ks.Parse(ks.Format(id));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, id);
+  }
+}
+
+TEST(KeySpaceTest, ParseRejectsWrongPrefix) {
+  KeySpace ks(100);
+  EXPECT_EQ(ks.Parse("other:5").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ks.Parse("usertable").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ks.Parse("").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KeySpaceTest, ParseRejectsNonNumericSuffix) {
+  KeySpace ks(100);
+  EXPECT_EQ(ks.Parse("usertable:abc").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ks.Parse("usertable:12x").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ks.Parse("usertable:").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(KeySpaceTest, ParseRejectsOutOfRange) {
+  KeySpace ks(100);
+  EXPECT_EQ(ks.Parse("usertable:100").status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ks.Parse("usertable:18446744073709551616").status().code(),
+            StatusCode::kInvalidArgument);  // overflows uint64
+}
+
+}  // namespace
+}  // namespace cot::workload

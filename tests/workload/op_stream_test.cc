@@ -1,0 +1,155 @@
+#include "workload/op_stream.h"
+
+#include <gtest/gtest.h>
+
+namespace cot::workload {
+namespace {
+
+PhaseSpec ZipfPhase(uint64_t ops, double skew = 0.99) {
+  PhaseSpec spec;
+  spec.distribution = Distribution::kZipfian;
+  spec.skew = skew;
+  spec.num_ops = ops;
+  return spec;
+}
+
+TEST(MakeGeneratorTest, AllDistributionsConstruct) {
+  for (Distribution d :
+       {Distribution::kUniform, Distribution::kZipfian,
+        Distribution::kScrambledZipfian, Distribution::kPermutedZipfian,
+        Distribution::kHotspot, Distribution::kGaussian,
+        Distribution::kSequential, Distribution::kLatest}) {
+    PhaseSpec spec;
+    spec.distribution = d;
+    auto gen = MakeGenerator(spec, 1000);
+    ASSERT_TRUE(gen.ok()) << static_cast<int>(d);
+    EXPECT_EQ((*gen)->item_count(), 1000u);
+  }
+}
+
+TEST(MakeGeneratorTest, RejectsBadParameters) {
+  PhaseSpec spec;
+  EXPECT_FALSE(MakeGenerator(spec, 0).ok());
+
+  spec.distribution = Distribution::kZipfian;
+  spec.skew = 1.0;
+  EXPECT_FALSE(MakeGenerator(spec, 10).ok());
+  spec.skew = -0.5;
+  EXPECT_FALSE(MakeGenerator(spec, 10).ok());
+
+  spec = PhaseSpec{};
+  spec.read_fraction = 1.5;
+  EXPECT_FALSE(MakeGenerator(spec, 10).ok());
+
+  spec = PhaseSpec{};
+  spec.distribution = Distribution::kHotspot;
+  spec.hot_set_fraction = 0.0;
+  EXPECT_FALSE(MakeGenerator(spec, 10).ok());
+
+  spec = PhaseSpec{};
+  spec.distribution = Distribution::kGaussian;
+  spec.gaussian_stddev_fraction = 0.0;
+  EXPECT_FALSE(MakeGenerator(spec, 10).ok());
+}
+
+TEST(OpStreamTest, EmitsExactlyBudgetedOps) {
+  auto stream = OpStream::Create(100, {ZipfPhase(500)}, 1);
+  ASSERT_TRUE(stream.ok());
+  uint64_t n = 0;
+  while (!stream->Done()) {
+    Op op = stream->Next();
+    EXPECT_LT(op.key, 100u);
+    ++n;
+  }
+  EXPECT_EQ(n, 500u);
+  EXPECT_EQ(stream->ops_emitted(), 500u);
+}
+
+TEST(OpStreamTest, ReadWriteMixApproximatesSpec) {
+  PhaseSpec spec = ZipfPhase(100000);
+  spec.read_fraction = 0.998;  // Tao's mix
+  auto stream = OpStream::Create(1000, {spec}, 2);
+  ASSERT_TRUE(stream.ok());
+  uint64_t updates = 0;
+  while (!stream->Done()) {
+    if (stream->Next().type == OpType::kUpdate) ++updates;
+  }
+  EXPECT_NEAR(static_cast<double>(updates) / 100000.0, 0.002, 0.001);
+}
+
+TEST(OpStreamTest, AllReadsWhenFractionIsOne) {
+  PhaseSpec spec = ZipfPhase(1000);
+  spec.read_fraction = 1.0;
+  auto stream = OpStream::Create(100, {spec}, 3);
+  ASSERT_TRUE(stream.ok());
+  while (!stream->Done()) {
+    EXPECT_EQ(stream->Next().type, OpType::kRead);
+  }
+}
+
+TEST(OpStreamTest, PhasesRunInOrder) {
+  PhaseSpec uniform;
+  uniform.distribution = Distribution::kUniform;
+  uniform.num_ops = 100;
+  auto stream = OpStream::Create(50, {ZipfPhase(100), uniform}, 4);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->current_phase(), 0u);
+  for (int i = 0; i < 100; ++i) stream->Next();
+  // Next op comes from phase 1.
+  stream->Next();
+  EXPECT_EQ(stream->current_phase(), 1u);
+  EXPECT_EQ(stream->current_name(), "uniform");
+  for (int i = 0; i < 99; ++i) stream->Next();
+  EXPECT_TRUE(stream->Done());
+}
+
+TEST(OpStreamTest, UnboundedFinalPhaseNeverDone) {
+  PhaseSpec tail;
+  tail.distribution = Distribution::kUniform;
+  tail.num_ops = 0;  // unbounded
+  auto stream = OpStream::Create(10, {ZipfPhase(10), tail}, 5);
+  ASSERT_TRUE(stream.ok());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_FALSE(stream->Done());
+    stream->Next();
+  }
+}
+
+TEST(OpStreamTest, UnboundedNonFinalPhaseRejected) {
+  PhaseSpec unbounded;
+  unbounded.num_ops = 0;
+  auto stream = OpStream::Create(10, {unbounded, ZipfPhase(10)}, 6);
+  EXPECT_FALSE(stream.ok());
+  EXPECT_EQ(stream.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OpStreamTest, NoPhasesRejected) {
+  auto stream = OpStream::Create(10, {}, 7);
+  EXPECT_FALSE(stream.ok());
+}
+
+TEST(OpStreamTest, DeterministicAcrossRuns) {
+  auto s1 = OpStream::Create(1000, {ZipfPhase(200)}, 42);
+  auto s2 = OpStream::Create(1000, {ZipfPhase(200)}, 42);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  while (!s1->Done()) {
+    Op a = s1->Next();
+    Op b = s2->Next();
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_EQ(a.type, b.type);
+  }
+}
+
+TEST(OpStreamTest, DifferentSeedsDiffer) {
+  auto s1 = OpStream::Create(1000, {ZipfPhase(200)}, 1);
+  auto s2 = OpStream::Create(1000, {ZipfPhase(200)}, 2);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  int same = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (s1->Next().key == s2->Next().key) ++same;
+  }
+  EXPECT_LT(same, 150);  // zipf repeats hot keys, but streams must differ
+}
+
+}  // namespace
+}  // namespace cot::workload

@@ -1,0 +1,135 @@
+#include "workload/scrambled_zipfian_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/random.h"
+#include "workload/zipfian_generator.h"
+
+namespace cot::workload {
+namespace {
+
+TEST(FnvHash64Test, DeterministicAndNonNegative) {
+  for (uint64_t v : {0ULL, 1ULL, 42ULL, 1234567890123ULL}) {
+    uint64_t h1 = ScrambledZipfianGenerator::FnvHash64(v);
+    uint64_t h2 = ScrambledZipfianGenerator::FnvHash64(v);
+    EXPECT_EQ(h1, h2);
+    // Java Math.abs result: representable as non-negative int64.
+    EXPECT_EQ(static_cast<uint64_t>(std::abs(static_cast<int64_t>(h1))), h1);
+  }
+}
+
+TEST(FnvHash64Test, SpreadsSmallInputs) {
+  std::map<uint64_t, int> buckets;
+  for (uint64_t v = 0; v < 10000; ++v) {
+    ++buckets[ScrambledZipfianGenerator::FnvHash64(v) % 10];
+  }
+  for (const auto& [b, c] : buckets) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(ScrambledZipfianTest, StaysInRange) {
+  ScrambledZipfianGenerator gen(5000);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(gen.Next(rng), 5000u);
+  }
+}
+
+TEST(ScrambledZipfianTest, NameReportsRequestedSkew) {
+  ScrambledZipfianGenerator gen(100, 1.2);
+  EXPECT_EQ(gen.name(), "scrambled_zipfian(requested=1.20)");
+}
+
+// --- The YCSB bug the paper reports (Section 1, contribution 5) ---------
+
+TEST(ScrambledZipfianBugTest, HottestKeyMassFarBelowTrueZipfian) {
+  // A true Zipfian(0.99) over 10K keys gives its hottest key mass
+  // 1/zeta(10^4, 0.99) ~ 10.2%. YCSB's scrambled variant folds a
+  // 10-billion-key distribution into the space, capping the hottest key
+  // near 1/zeta(10^10, 0.99) ~ 3.8%.
+  constexpr uint64_t kN = 10000;
+  constexpr int kSamples = 400000;
+
+  ZipfianGenerator truth(kN, 0.99);
+  double true_top_mass = truth.ProbabilityOfRank(0);
+
+  ScrambledZipfianGenerator scrambled(kN, 0.99);
+  Rng rng(7);
+  std::map<Key, int> counts;
+  for (int i = 0; i < kSamples; ++i) ++counts[scrambled.Next(rng)];
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  double measured_top_mass = static_cast<double>(max_count) / kSamples;
+
+  EXPECT_LT(measured_top_mass, 0.6 * true_top_mass);
+  // And it is close to the 10^10-universe hottest-key mass.
+  EXPECT_NEAR(measured_top_mass, 1.0 / ScrambledZipfianGenerator::kZetan,
+              0.01);
+}
+
+TEST(ScrambledZipfianBugTest, RequestedSkewIsIgnored) {
+  // Exactly as in YCSB: asking for skew 1.4 changes nothing — the inner
+  // distribution is pinned to (10^10, 0.99, precomputed zeta).
+  constexpr uint64_t kN = 10000;
+  constexpr int kSamples = 200000;
+  auto max_mass = [&](double requested_skew, uint64_t seed) {
+    ScrambledZipfianGenerator gen(kN, requested_skew);
+    Rng rng(seed);
+    std::map<Key, int> counts;
+    for (int i = 0; i < kSamples; ++i) ++counts[gen.Next(rng)];
+    int max_count = 0;
+    for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+    return static_cast<double>(max_count) / kSamples;
+  };
+  double at_099 = max_mass(0.99, 5);
+  double at_140 = max_mass(1.40, 5);  // same seed -> identical stream
+  EXPECT_DOUBLE_EQ(at_099, at_140);
+}
+
+TEST(ScrambledZipfianBugTest, Top64MassWellBelowTrueZipfianCdf) {
+  // The aggregate effect that broke the paper's first experiments: the
+  // whole hot set carries much less mass than the configured skew implies.
+  constexpr uint64_t kN = 10000;
+  constexpr int kSamples = 300000;
+
+  ZipfianGenerator truth(kN, 0.99);
+  ScrambledZipfianGenerator scrambled(kN, 0.99);
+  Rng rng(9);
+  std::map<Key, int> counts;
+  for (int i = 0; i < kSamples; ++i) ++counts[scrambled.Next(rng)];
+  std::vector<int> sorted;
+  sorted.reserve(counts.size());
+  for (const auto& [k, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  double top64 = 0;
+  for (size_t i = 0; i < 64 && i < sorted.size(); ++i) top64 += sorted[i];
+  double measured = top64 / kSamples;
+  EXPECT_LT(measured, 0.75 * truth.TopCMass(64));
+}
+
+TEST(ScrambledZipfianBugTest, CorrectedGeneratorDoesNotLoseSkew) {
+  // The fix shipped in this library: a Zipfian over exactly kN keys with a
+  // bijective Feistel scramble. Its top-1 mass matches the true CDF.
+  constexpr uint64_t kN = 10000;
+  constexpr int kSamples = 300000;
+  ZipfianGenerator truth(kN, 0.99);
+  auto inner = std::make_unique<ZipfianGenerator>(kN, 0.99);
+  PermutedGenerator fixed(std::move(inner), 42);
+  Rng rng(13);
+  std::map<Key, int> counts;
+  for (int i = 0; i < kSamples; ++i) ++counts[fixed.Next(rng)];
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  double measured = static_cast<double>(max_count) / kSamples;
+  EXPECT_NEAR(measured, truth.ProbabilityOfRank(0),
+              truth.ProbabilityOfRank(0) * 0.10);
+}
+
+}  // namespace
+}  // namespace cot::workload

@@ -1,0 +1,143 @@
+#include "workload/simple_generators.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace cot::workload {
+namespace {
+
+TEST(UniformGeneratorTest, StaysInRangeAndIsUniform) {
+  UniformGenerator gen(100);
+  Rng rng(1);
+  std::vector<int> counts(100, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    Key k = gen.Next(rng);
+    ASSERT_LT(k, 100u);
+    ++counts[k];
+  }
+  double expected = kSamples / 100.0;
+  for (int c : counts) {
+    EXPECT_GT(c, expected * 0.8);
+    EXPECT_LT(c, expected * 1.2);
+  }
+  EXPECT_EQ(gen.name(), "uniform");
+}
+
+TEST(HotspotGeneratorTest, HotSetReceivesConfiguredFraction) {
+  // 1% of keys get 90% of operations.
+  HotspotGenerator gen(10000, 0.01, 0.9);
+  EXPECT_EQ(gen.hot_set_size(), 100u);
+  Rng rng(3);
+  constexpr int kSamples = 200000;
+  int hot_ops = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    Key k = gen.Next(rng);
+    ASSERT_LT(k, 10000u);
+    if (k < 100) ++hot_ops;
+  }
+  EXPECT_NEAR(static_cast<double>(hot_ops) / kSamples, 0.9, 0.01);
+}
+
+TEST(HotspotGeneratorTest, ZeroHotFractionMeansAllCold) {
+  HotspotGenerator gen(1000, 0.1, 0.0);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(gen.Next(rng), gen.hot_set_size());
+  }
+}
+
+TEST(HotspotGeneratorTest, FullHotSetDegeneratesToUniform) {
+  HotspotGenerator gen(100, 1.0, 0.9);
+  EXPECT_EQ(gen.hot_set_size(), 100u);
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(gen.Next(rng), 100u);
+  }
+}
+
+TEST(GaussianGeneratorTest, CentredOnConfiguredMean) {
+  GaussianGenerator gen(10000, 0.5, 0.05);
+  Rng rng(9);
+  double sum = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    Key k = gen.Next(rng);
+    ASSERT_LT(k, 10000u);
+    sum += static_cast<double>(k);
+  }
+  EXPECT_NEAR(sum / kSamples, 5000.0, 50.0);
+}
+
+TEST(GaussianGeneratorTest, ClampsToKeySpace) {
+  // Mean at the edge: half the mass clamps to 0.
+  GaussianGenerator gen(1000, 0.0, 0.1);
+  Rng rng(11);
+  int zeros = 0;
+  for (int i = 0; i < 10000; ++i) {
+    Key k = gen.Next(rng);
+    ASSERT_LT(k, 1000u);
+    if (k == 0) ++zeros;
+  }
+  EXPECT_GT(zeros, 4000);
+}
+
+TEST(SequentialGeneratorTest, RoundRobinCoversEveryKey) {
+  SequentialGenerator gen(5);
+  Rng rng(1);
+  std::vector<Key> seen;
+  for (int i = 0; i < 12; ++i) seen.push_back(gen.Next(rng));
+  EXPECT_EQ(seen, (std::vector<Key>{0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1}));
+}
+
+TEST(LatestGeneratorTest, NewestKeysAreHottest) {
+  LatestGenerator gen(1000, 0.99);
+  Rng rng(13);
+  std::map<Key, int> counts;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[gen.Next(rng)];
+  // The newest key (id 999) must be the hottest.
+  int max_count = 0;
+  Key max_key = 0;
+  for (const auto& [k, c] : counts) {
+    if (c > max_count) {
+      max_count = c;
+      max_key = k;
+    }
+  }
+  EXPECT_EQ(max_key, 999u);
+}
+
+TEST(LatestGeneratorTest, AdvanceShiftsTheHotSpot) {
+  LatestGenerator gen(1000, 0.99);
+  for (int i = 0; i < 500; ++i) gen.Advance();
+  EXPECT_EQ(gen.item_count(), 1500u);
+  Rng rng(17);
+  std::map<Key, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[gen.Next(rng)];
+  int max_count = 0;
+  Key max_key = 0;
+  for (const auto& [k, c] : counts) {
+    if (c > max_count) {
+      max_count = c;
+      max_key = k;
+    }
+  }
+  EXPECT_EQ(max_key, 1499u);
+}
+
+TEST(LatestGeneratorTest, StaysInRangeWhileGrowing) {
+  LatestGenerator gen(10, 0.9);
+  Rng rng(19);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_LT(gen.Next(rng), gen.item_count());
+    if (i % 10 == 0) gen.Advance();
+  }
+}
+
+}  // namespace
+}  // namespace cot::workload

@@ -1,0 +1,104 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/random.h"
+
+namespace cot::workload {
+namespace {
+
+TEST(TraceParseTest, ParsesKeysAndOps) {
+  auto trace = Trace::Parse("1\n2,r\n3,u\n");
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace->size(), 3u);
+  EXPECT_EQ(trace->ops()[0].key, 1u);
+  EXPECT_EQ(trace->ops()[0].type, OpType::kRead);
+  EXPECT_EQ(trace->ops()[1].type, OpType::kRead);
+  EXPECT_EQ(trace->ops()[2].key, 3u);
+  EXPECT_EQ(trace->ops()[2].type, OpType::kUpdate);
+}
+
+TEST(TraceParseTest, SkipsCommentsBlanksAndCrLf) {
+  auto trace = Trace::Parse("# header\n\n  5  \r\n# tail\n7,u\r\n");
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace->size(), 2u);
+  EXPECT_EQ(trace->ops()[0].key, 5u);
+  EXPECT_EQ(trace->ops()[1].key, 7u);
+}
+
+TEST(TraceParseTest, EmptyTextIsEmptyTrace) {
+  auto trace = Trace::Parse("");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(trace->empty());
+  EXPECT_EQ(trace->KeySpaceSize(), 0u);
+}
+
+TEST(TraceParseTest, ReportsBadKeyWithLineNumber) {
+  auto trace = Trace::Parse("1\nabc\n");
+  ASSERT_FALSE(trace.ok());
+  EXPECT_EQ(trace.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(trace.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TraceParseTest, ReportsBadOp) {
+  auto trace = Trace::Parse("1,x\n");
+  ASSERT_FALSE(trace.ok());
+  EXPECT_NE(trace.status().message().find("expected r or u"),
+            std::string::npos);
+}
+
+TEST(TraceParseTest, RoundTripsThroughToText) {
+  auto original = Trace::Parse("1\n42,u\n7,r\n");
+  ASSERT_TRUE(original.ok());
+  auto reparsed = Trace::Parse(original->ToText());
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->size(), original->size());
+  for (size_t i = 0; i < original->size(); ++i) {
+    EXPECT_EQ(reparsed->ops()[i].key, original->ops()[i].key);
+    EXPECT_EQ(reparsed->ops()[i].type, original->ops()[i].type);
+  }
+}
+
+TEST(TraceLoadTest, LoadsFromFileAndRejectsMissing) {
+  std::string path = ::testing::TempDir() + "/cot_trace_test.txt";
+  {
+    std::ofstream out(path);
+    out << "10\n20,u\n";
+  }
+  auto trace = Trace::Load(path);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->size(), 2u);
+  EXPECT_EQ(trace->KeySpaceSize(), 21u);
+  std::remove(path.c_str());
+
+  auto missing = Trace::Load(path + ".does-not-exist");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TraceTest, AppendBuildsTrace) {
+  Trace trace;
+  trace.Append(Op{3, OpType::kRead});
+  trace.Append(Op{9, OpType::kUpdate});
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.KeySpaceSize(), 10u);
+}
+
+TEST(TraceKeyGeneratorTest, ReplaysInOrderAndWraps) {
+  auto trace = Trace::Parse("1\n2\n3\n");
+  ASSERT_TRUE(trace.ok());
+  TraceKeyGenerator gen(&*trace);
+  Rng rng(1);
+  EXPECT_EQ(gen.Next(rng), 1u);
+  EXPECT_EQ(gen.Next(rng), 2u);
+  EXPECT_EQ(gen.Next(rng), 3u);
+  EXPECT_EQ(gen.laps(), 1u);
+  EXPECT_EQ(gen.Next(rng), 1u);  // wrapped
+  EXPECT_EQ(gen.item_count(), 4u);
+  EXPECT_EQ(gen.name(), "trace");
+}
+
+}  // namespace
+}  // namespace cot::workload

@@ -1,0 +1,108 @@
+#include "workload/zipf_estimate.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+#include "workload/zipfian_generator.h"
+
+namespace cot::workload {
+namespace {
+
+std::vector<uint64_t> SampleCounts(uint64_t keys, double skew,
+                                   int samples, uint64_t seed) {
+  ZipfianGenerator gen(keys, skew);
+  Rng rng(seed);
+  std::vector<uint64_t> counts(keys, 0);
+  for (int i = 0; i < samples; ++i) ++counts[gen.Next(rng)];
+  return counts;
+}
+
+TEST(EstimateZipfSkewTest, RecoversKnownSkews) {
+  for (double s : {0.7, 0.9, 0.99, 1.2}) {
+    auto counts = SampleCounts(100000, s, 500000, 42);
+    auto estimate = EstimateZipfSkew(counts);
+    ASSERT_TRUE(estimate.ok());
+    EXPECT_NEAR(*estimate, s, 0.12) << "true s = " << s;
+  }
+}
+
+TEST(EstimateZipfSkewTest, UniformCountsReadAsNoSkew) {
+  std::vector<uint64_t> counts(1000, 50);
+  auto estimate = EstimateZipfSkew(counts);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(*estimate, 0.0);
+}
+
+TEST(EstimateZipfSkewTest, SampledUniformReadsAsNearZero) {
+  Rng rng(7);
+  std::vector<uint64_t> counts(1000, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[rng.NextBelow(1000)];
+  auto estimate = EstimateZipfSkew(counts);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_LT(*estimate, 0.15);
+}
+
+TEST(EstimateZipfSkewTest, ZerosAreIgnored) {
+  std::vector<uint64_t> counts = {0, 100, 0, 50, 0, 25, 0};
+  auto estimate = EstimateZipfSkew(counts);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_GT(*estimate, 0.5);
+}
+
+TEST(EstimateZipfSkewTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(EstimateZipfSkew({}).ok());
+  EXPECT_FALSE(EstimateZipfSkew({5}).ok());
+  EXPECT_FALSE(EstimateZipfSkew({0, 0, 7}).ok());
+}
+
+TEST(EstimateRequiredCacheLinesTest, ValidatesArguments) {
+  EXPECT_FALSE(EstimateRequiredCacheLines(0, 0.99, 8, 1.1).ok());
+  EXPECT_FALSE(EstimateRequiredCacheLines(1000, 0.99, 0, 1.1).ok());
+  EXPECT_FALSE(EstimateRequiredCacheLines(1000, 0.99, 8, 0.9).ok());
+  EXPECT_FALSE(EstimateRequiredCacheLines(1000, 1.0, 8, 1.1).ok());
+}
+
+TEST(EstimateRequiredCacheLinesTest, UniformNeedsNoCache) {
+  auto lines = EstimateRequiredCacheLines(1000000, 0.0, 8, 1.1);
+  ASSERT_TRUE(lines.ok());
+  EXPECT_EQ(*lines, 0u);
+}
+
+TEST(EstimateRequiredCacheLinesTest, MoreSkewNeedsMoreLines) {
+  auto mild = EstimateRequiredCacheLines(100000, 0.9, 8, 1.1);
+  auto heavy = EstimateRequiredCacheLines(100000, 1.2, 8, 1.1);
+  ASSERT_TRUE(mild.ok() && heavy.ok());
+  EXPECT_GT(*heavy, *mild);
+  EXPECT_GT(*mild, 0u);
+}
+
+TEST(EstimateRequiredCacheLinesTest, LooserTargetNeedsFewerLines) {
+  auto tight = EstimateRequiredCacheLines(100000, 1.2, 8, 1.1);
+  auto loose = EstimateRequiredCacheLines(100000, 1.2, 8, 1.5);
+  ASSERT_TRUE(tight.ok() && loose.ok());
+  EXPECT_LT(*loose, *tight);
+}
+
+TEST(EstimateRequiredCacheLinesTest, MoreServersNeedMoreLines) {
+  // More shards -> the hottest uncached key is a larger multiple of the
+  // fair share -> more caching needed (Fan et al.'s O(n log n) intuition).
+  auto few = EstimateRequiredCacheLines(100000, 1.2, 4, 1.1);
+  auto many = EstimateRequiredCacheLines(100000, 1.2, 32, 1.1);
+  ASSERT_TRUE(few.ok() && many.ok());
+  EXPECT_GE(*many, *few);
+}
+
+TEST(EstimateRequiredCacheLinesTest, MatchesFig3Ballpark) {
+  // Figure 3's setting: Zipf 1.5, 1M keys, 8 servers, target 1.5. The
+  // paper measures ~64 lines; the analytic lower bound must land within a
+  // few doublings below that.
+  auto lines = EstimateRequiredCacheLines(1000000, 1.5, 8, 1.5);
+  ASSERT_TRUE(lines.ok());
+  EXPECT_GE(*lines, 4u);
+  EXPECT_LE(*lines, 256u);
+}
+
+}  // namespace
+}  // namespace cot::workload

@@ -1,0 +1,210 @@
+#include "workload/zipfian_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace cot::workload {
+namespace {
+
+TEST(ZipfianZetaTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(ZipfianGenerator::Zeta(1, 0.99), 1.0);
+  EXPECT_NEAR(ZipfianGenerator::Zeta(2, 0.5), 1.0 + 1.0 / std::sqrt(2.0),
+              1e-12);
+  // zeta(3, 2) = 1 + 1/4 + 1/9.
+  EXPECT_NEAR(ZipfianGenerator::Zeta(3, 2.0), 1.0 + 0.25 + 1.0 / 9.0, 1e-12);
+}
+
+TEST(ZipfianZetaTest, MatchesYcsbScrambledConstant) {
+  // The YCSB constant 26.469... is zeta(10^10, 0.99); checking a smaller
+  // prefix is feasible: zeta is increasing in n.
+  double z6 = ZipfianGenerator::Zeta(1000000, 0.99);
+  EXPECT_GT(z6, 14.5);
+  EXPECT_LT(z6, 16.0);
+}
+
+TEST(ZipfianGeneratorTest, StaysInRange) {
+  ZipfianGenerator gen(1000, 0.99);
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(gen.Next(rng), 1000u);
+  }
+}
+
+TEST(ZipfianGeneratorTest, DeterministicGivenSeed) {
+  ZipfianGenerator g1(1000, 0.99), g2(1000, 0.99);
+  Rng r1(7), r2(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(g1.Next(r1), g2.Next(r2));
+  }
+}
+
+TEST(ZipfianGeneratorTest, KeyZeroIsHottest) {
+  ZipfianGenerator gen(10000, 0.99);
+  Rng rng(3);
+  std::map<Key, int> counts;
+  for (int i = 0; i < 200000; ++i) ++counts[gen.Next(rng)];
+  int max_count = 0;
+  Key max_key = 0;
+  for (const auto& [k, c] : counts) {
+    if (c > max_count) {
+      max_count = c;
+      max_key = k;
+    }
+  }
+  EXPECT_EQ(max_key, 0u);
+}
+
+TEST(ZipfianGeneratorTest, TopKeyFrequencyMatchesTheory) {
+  constexpr uint64_t kN = 10000;
+  constexpr double kS = 0.99;
+  ZipfianGenerator gen(kN, kS);
+  Rng rng(11);
+  constexpr int kSamples = 500000;
+  int zero_count = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (gen.Next(rng) == 0) ++zero_count;
+  }
+  double measured = static_cast<double>(zero_count) / kSamples;
+  double theory = gen.ProbabilityOfRank(0);
+  EXPECT_NEAR(measured, theory, theory * 0.05);
+}
+
+TEST(ZipfianGeneratorTest, EmpiricalCdfTracksTopCMass) {
+  constexpr uint64_t kN = 100000;
+  ZipfianGenerator gen(kN, 1.2);
+  Rng rng(13);
+  constexpr int kSamples = 300000;
+  int in_top64 = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (gen.Next(rng) < 64) ++in_top64;
+  }
+  double measured = static_cast<double>(in_top64) / kSamples;
+  double theory = gen.TopCMass(64);
+  EXPECT_NEAR(measured, theory, 0.02);
+}
+
+TEST(ZipfianGeneratorTest, TopCMassProperties) {
+  ZipfianGenerator gen(1000, 0.9);
+  EXPECT_DOUBLE_EQ(gen.TopCMass(1000), 1.0);
+  EXPECT_DOUBLE_EQ(gen.TopCMass(5000), 1.0);  // clamped
+  double prev = 0.0;
+  for (uint64_t c : {1ULL, 2ULL, 4ULL, 64ULL, 512ULL}) {
+    double mass = gen.TopCMass(c);
+    EXPECT_GT(mass, prev);
+    EXPECT_LE(mass, 1.0);
+    prev = mass;
+  }
+  EXPECT_NEAR(gen.TopCMass(1), gen.ProbabilityOfRank(0), 1e-12);
+}
+
+TEST(ZipfianGeneratorTest, HigherSkewConcentratesMoreMass) {
+  ZipfianGenerator mild(100000, 0.9);
+  ZipfianGenerator heavy(100000, 1.5);
+  EXPECT_LT(mild.TopCMass(64), heavy.TopCMass(64));
+}
+
+TEST(ZipfianGeneratorTest, ProbabilityOfRankSumsToOne) {
+  ZipfianGenerator gen(500, 0.99);
+  double sum = 0.0;
+  for (uint64_t r = 0; r < 500; ++r) sum += gen.ProbabilityOfRank(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(gen.ProbabilityOfRank(500), 0.0);
+}
+
+TEST(ZipfianGeneratorTest, SingleItemAlwaysZero) {
+  ZipfianGenerator gen(1, 0.99);
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.Next(rng), 0u);
+}
+
+TEST(ZipfianGeneratorTest, NameIncludesSkew) {
+  ZipfianGenerator gen(10, 1.2);
+  EXPECT_EQ(gen.name(), "zipfian(1.20)");
+  EXPECT_DOUBLE_EQ(gen.skew(), 1.2);
+  EXPECT_EQ(gen.item_count(), 10u);
+}
+
+TEST(PermutedGeneratorTest, PermutationIsBijective) {
+  constexpr uint64_t kN = 1000;
+  auto inner = std::make_unique<ZipfianGenerator>(kN, 0.99);
+  PermutedGenerator gen(std::move(inner), /*seed=*/77);
+  std::set<Key> images;
+  for (Key k = 0; k < kN; ++k) {
+    Key img = gen.Permute(k);
+    EXPECT_LT(img, kN);
+    images.insert(img);
+  }
+  EXPECT_EQ(images.size(), kN);  // injective on the full domain
+}
+
+TEST(PermutedGeneratorTest, PermutationActuallyScrambles) {
+  auto inner = std::make_unique<ZipfianGenerator>(4096, 0.99);
+  PermutedGenerator gen(std::move(inner), 123);
+  int fixed_points = 0;
+  for (Key k = 0; k < 4096; ++k) {
+    if (gen.Permute(k) == k) ++fixed_points;
+  }
+  EXPECT_LT(fixed_points, 16);  // a random permutation expects ~1
+}
+
+TEST(PermutedGeneratorTest, PreservesTopKeyMassExactly) {
+  // Unlike YCSB's hash-mod scrambling, the Feistel permutation is
+  // collision-free: the hottest key's mass is unchanged, only its id moves.
+  constexpr uint64_t kN = 10000;
+  ZipfianGenerator reference(kN, 0.99);
+  auto inner = std::make_unique<ZipfianGenerator>(kN, 0.99);
+  PermutedGenerator gen(std::move(inner), 99);
+  Key hot_image = gen.Permute(0);
+
+  Rng rng(19);
+  constexpr int kSamples = 400000;
+  int hot_count = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (gen.Next(rng) == hot_image) ++hot_count;
+  }
+  double measured = static_cast<double>(hot_count) / kSamples;
+  double theory = reference.ProbabilityOfRank(0);
+  EXPECT_NEAR(measured, theory, theory * 0.05);
+}
+
+TEST(PermutedGeneratorTest, DifferentSeedsDifferentPermutations) {
+  auto i1 = std::make_unique<ZipfianGenerator>(1000, 0.99);
+  auto i2 = std::make_unique<ZipfianGenerator>(1000, 0.99);
+  PermutedGenerator g1(std::move(i1), 1);
+  PermutedGenerator g2(std::move(i2), 2);
+  int same = 0;
+  for (Key k = 0; k < 1000; ++k) {
+    if (g1.Permute(k) == g2.Permute(k)) ++same;
+  }
+  EXPECT_LT(same, 20);
+}
+
+// Parameterized sweep over the paper's skew values: the sampled
+// distribution's top-64 mass must track the analytic CDF.
+class ZipfianSkewSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfianSkewSweep, SampledTop64MassMatchesCdf) {
+  double skew = GetParam();
+  constexpr uint64_t kN = 100000;
+  ZipfianGenerator gen(kN, skew);
+  Rng rng(29);
+  constexpr int kSamples = 200000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (gen.Next(rng) < 64) ++hits;
+  }
+  double measured = static_cast<double>(hits) / kSamples;
+  EXPECT_NEAR(measured, gen.TopCMass(64), 0.02) << "skew=" << skew;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSkews, ZipfianSkewSweep,
+                         ::testing::Values(0.5, 0.9, 0.99, 1.2, 1.5));
+
+}  // namespace
+}  // namespace cot::workload

@@ -1,0 +1,212 @@
+// cot_run: command-line driver for the CoT cluster simulation.
+//
+// Runs any combination of workload x policy x cluster shape and reports
+// back-end balance, hit rates, and (with --timed) simulated end-to-end
+// latency — the same machinery behind the paper-reproduction benches, as
+// a single configurable tool.
+//
+// Examples:
+//   cot_run --policy cot --cache-lines 512 --skew 1.2
+//   cot_run --policy cot --elastic --target-imbalance 1.1 --ops 5000000
+//   cot_run --policy lru --distribution uniform --timed
+//   cot_run --trace my_accesses.txt --policy cot --cache-lines 64
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cluster/experiment.h"
+#include "metrics/imbalance.h"
+#include "sim/end_to_end_sim.h"
+#include "util/flags.h"
+#include "workload/trace.h"
+
+#include "core/policy_factory.h"
+
+namespace {
+
+using namespace cot;
+
+int RunTool(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("policy", "cot",
+                  "replacement policy: none|lru|lfu|arc|lru-2|2q|mq|cot");
+  flags.AddInt64("cache-lines", 512, "front-end cache lines per client");
+  flags.AddInt64("tracker-ratio", 0,
+                 "CoT tracker / LRU-2 history ratio (0 = pick by skew)");
+  flags.AddString("distribution", "zipfian",
+                  "workload: zipfian|uniform|hotspot|scrambled|permuted");
+  flags.AddDouble("skew", 0.99, "Zipfian skew parameter");
+  flags.AddDouble("read-fraction", 0.998, "fraction of ops that are reads");
+  flags.AddInt64("servers", 8, "back-end caching shards");
+  flags.AddInt64("clients", 20, "front-end clients");
+  flags.AddInt64("keys", 1000000, "key-space size");
+  flags.AddInt64("ops", 1000000, "total operations");
+  flags.AddInt64("seed", 42, "base RNG seed");
+  flags.AddBool("elastic", false,
+                "enable CoT elastic resizing (policy must be cot)");
+  flags.AddDouble("target-imbalance", 1.1, "elastic resizing target I_t");
+  flags.AddBool("timed", false,
+                "run the end-to-end latency simulation instead of the "
+                "logical experiment");
+  flags.AddString("trace", "",
+                  "replay a trace file (key[,r|u] per line) instead of a "
+                  "synthetic workload");
+  flags.AddBool("write-through", false,
+                "use write-through instead of invalidation on updates");
+
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.Help().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("cot_run — CoT cluster simulation driver\n%s",
+                flags.Help().c_str());
+    return 0;
+  }
+
+  cluster::ExperimentConfig config;
+  config.num_servers = static_cast<uint32_t>(flags.GetInt64("servers"));
+  config.num_clients = static_cast<uint32_t>(flags.GetInt64("clients"));
+  config.key_space = static_cast<uint64_t>(flags.GetInt64("keys"));
+  config.total_ops = static_cast<uint64_t>(flags.GetInt64("ops"));
+  config.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+
+  workload::PhaseSpec phase;
+  phase.skew = flags.GetDouble("skew");
+  phase.read_fraction = flags.GetDouble("read-fraction");
+  const std::string& dist = flags.GetString("distribution");
+  if (dist == "zipfian") {
+    phase.distribution = workload::Distribution::kZipfian;
+  } else if (dist == "uniform") {
+    phase.distribution = workload::Distribution::kUniform;
+  } else if (dist == "hotspot") {
+    phase.distribution = workload::Distribution::kHotspot;
+  } else if (dist == "scrambled") {
+    phase.distribution = workload::Distribution::kScrambledZipfian;
+  } else if (dist == "permuted") {
+    phase.distribution = workload::Distribution::kPermutedZipfian;
+  } else {
+    std::fprintf(stderr, "unknown --distribution '%s'\n", dist.c_str());
+    return 2;
+  }
+  config.phases = {phase};
+
+  // Trace replay: run the trace's ops through one client per the usual
+  // protocol instead of a synthetic stream.
+  const std::string& trace_path = flags.GetString("trace");
+  std::unique_ptr<workload::Trace> trace;
+  if (!trace_path.empty()) {
+    auto loaded = workload::Trace::Load(trace_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    trace = std::make_unique<workload::Trace>(std::move(loaded).value());
+    config.key_space = std::max<uint64_t>(1, trace->KeySpaceSize());
+    std::printf("trace: %zu ops over %llu keys\n", trace->size(),
+                static_cast<unsigned long long>(config.key_space));
+  }
+
+  const std::string& policy = flags.GetString("policy");
+  size_t lines = static_cast<size_t>(flags.GetInt64("cache-lines"));
+  size_t ratio = static_cast<size_t>(flags.GetInt64("tracker-ratio"));
+  if (ratio == 0) {
+    // The paper's skew-dependent defaults (Section 5.2).
+    ratio = phase.skew < 0.95 ? 16 : (phase.skew < 1.1 ? 8 : 4);
+  }
+  bool elastic = flags.GetBool("elastic");
+  if (elastic && policy != "cot") {
+    std::fprintf(stderr, "--elastic requires --policy cot\n");
+    return 2;
+  }
+  {
+    // Validate the policy name up front for a friendly error.
+    auto probe = core::MakePolicy(policy, 1, ratio);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "%s\n", probe.status().ToString().c_str());
+      return 2;
+    }
+  }
+  auto factory = [&](uint32_t) {
+    return std::move(core::MakePolicy(policy, elastic ? 2 : lines, ratio))
+        .value();
+  };
+  core::ResizerConfig resizer;
+  resizer.target_imbalance = flags.GetDouble("target-imbalance");
+
+  if (trace != nullptr) {
+    // Trace mode: one client, explicit drive.
+    cluster::CacheCluster cluster(config.num_servers, config.key_space);
+    cluster::FrontendClient client(&cluster, factory(0));
+    if (flags.GetBool("write-through")) {
+      client.SetWritePolicy(
+          cluster::FrontendClient::WritePolicy::kWriteThrough);
+    }
+    if (elastic) {
+      Status es = client.EnableElasticResizing(resizer);
+      if (!es.ok()) {
+        std::fprintf(stderr, "%s\n", es.ToString().c_str());
+        return 1;
+      }
+    }
+    for (const workload::Op& op : trace->ops()) client.Apply(op);
+    auto loads = cluster.PerServerLookups();
+    std::printf("local hit rate:     %.2f%%\n",
+                client.stats().LocalHitRate() * 100.0);
+    std::printf("backend lookups:    %llu\n",
+                static_cast<unsigned long long>(metrics::TotalLoad(loads)));
+    std::printf("imbalance (max/min): %.3f   jain: %.4f\n",
+                metrics::LoadImbalance(loads),
+                metrics::JainFairnessIndex(loads));
+    return 0;
+  }
+
+  if (flags.GetBool("timed")) {
+    auto result = sim::RunEndToEnd(config, factory, sim::LatencyModel{},
+                                   elastic ? &resizer : nullptr);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("makespan:           %.2f ms\n",
+                result->makespan_us / 1000.0);
+    std::printf("mean latency:       %.1f us   p95: %.1f us   p99: %.1f "
+                "us\n",
+                result->mean_latency_us, result->latency_us.P95(),
+                result->latency_us.P99());
+    std::printf("max shard backlog:  %.1f requests\n", result->max_backlog);
+    std::printf("local hit rate:     %.2f%%\n",
+                result->logical.local_hit_rate * 100.0);
+    std::printf("imbalance (max/min): %.3f   jain: %.4f\n",
+                result->logical.imbalance,
+                metrics::JainFairnessIndex(
+                    result->logical.per_server_lookups));
+    return 0;
+  }
+
+  auto result =
+      cluster::RunExperiment(config, factory, elastic ? &resizer : nullptr);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("local hit rate:     %.2f%%\n", result->local_hit_rate * 100.0);
+  std::printf("backend lookups:    %llu (of %llu ops)\n",
+              static_cast<unsigned long long>(result->total_backend_lookups),
+              static_cast<unsigned long long>(config.total_ops));
+  std::printf("imbalance (max/min): %.3f   jain: %.4f\n", result->imbalance,
+              metrics::JainFairnessIndex(result->per_server_lookups));
+  std::printf("per-server load:   ");
+  for (uint64_t load : result->per_server_lookups) {
+    std::printf(" %llu", static_cast<unsigned long long>(load));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return RunTool(argc, argv); }
