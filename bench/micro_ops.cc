@@ -8,10 +8,13 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "bench_util.h"
 #include "cluster/consistent_hash_ring.h"
 #include "core/space_saving_tracker.h"
+#include "util/flat_hash_map.h"
 #include "util/random.h"
 #include "workload/zipfian_generator.h"
 
@@ -73,6 +76,54 @@ void BM_ZipfianNext(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+// The Tao-style 95/5 read/update mix through the CoT policy: updates
+// invalidate, so the steady state mixes hits, misses, and re-admissions.
+void BM_CotMixedReadUpdate(benchmark::State& state) {
+  auto cache =
+      bench::MakePolicy("cot", kLines, bench::TrackerRatioForSkew(0.99));
+  workload::ZipfianGenerator gen(kKeys, 0.99);
+  Rng rng(42);
+  for (auto _ : state) {
+    cache::Key k = gen.Next(rng);
+    if (rng.NextBelow(100) < 95) {
+      auto v = cache->Get(k);
+      if (!v.has_value()) cache->Put(k, k);
+      benchmark::DoNotOptimize(v);
+    } else {
+      cache->Invalidate(k);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Head-to-head find-hit cost of the robin-hood flat map against
+// std::unordered_map on the same pre-sized key set and access pattern —
+// the swap every policy directory made this PR.
+template <typename Map>
+void MapFindHitLoop(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Map map(n);
+  std::vector<uint64_t> keys(n);
+  Rng fill(7);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = fill.NextUint64();
+    map[keys[i]] = i;
+  }
+  Rng rng(42);
+  for (auto _ : state) {
+    auto it = map.find(keys[rng.NextBelow(n)]);
+    benchmark::DoNotOptimize(it);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_FlatMapVsUnorderedMap_Flat(benchmark::State& state) {
+  MapFindHitLoop<FlatHashMap<uint64_t, size_t>>(state);
+}
+void BM_FlatMapVsUnorderedMap_Std(benchmark::State& state) {
+  MapFindHitLoop<std::unordered_map<uint64_t, size_t>>(state);
+}
+
 BENCHMARK(BM_LruAccess);
 BENCHMARK(BM_LfuAccess);
 BENCHMARK(BM_ArcAccess);
@@ -81,6 +132,9 @@ BENCHMARK(BM_CotAccess);
 BENCHMARK(BM_TrackerTrackAccess)->Arg(512)->Arg(4096)->Arg(32768);
 BENCHMARK(BM_RingLookup)->Arg(128)->Arg(16384);
 BENCHMARK(BM_ZipfianNext);
+BENCHMARK(BM_CotMixedReadUpdate);
+BENCHMARK(BM_FlatMapVsUnorderedMap_Flat)->Arg(512)->Arg(32768);
+BENCHMARK(BM_FlatMapVsUnorderedMap_Std)->Arg(512)->Arg(32768);
 
 }  // namespace
 

@@ -1,0 +1,57 @@
+// Microbenchmark (google-benchmark) for the parallel experiment engine:
+// the Figure-5 cluster shape (8 shards, 20 CoT clients, Zipfian 0.99,
+// 95/5 read/update) driven by 1/4/8/16 OS threads. Items/sec counts
+// workload operations, so the thread sweep reads directly as end-to-end
+// throughput scaling. On a single-core host the sweep degenerates to
+// measuring the threading overhead itself, which is the other number
+// worth knowing: the parallel path must not tax the serial case.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "cluster/experiment.h"
+
+namespace {
+
+using namespace cot;
+
+void BM_ParallelExperiment(benchmark::State& state) {
+  cluster::ExperimentConfig config;
+  config.num_servers = 8;
+  config.key_space = 100000;
+  config.num_clients = 20;
+  config.total_ops = 200000;
+  config.num_threads = static_cast<uint32_t>(state.range(0));
+  workload::PhaseSpec phase;
+  phase.distribution = workload::Distribution::kZipfian;
+  phase.skew = 0.99;
+  phase.read_fraction = 0.95;
+  config.phases = {phase};
+  cluster::CacheFactory factory = [](uint32_t) {
+    return bench::MakePolicy("cot", 512, bench::TrackerRatioForSkew(0.99));
+  };
+  for (auto _ : state) {
+    auto result = cluster::RunExperiment(config, factory);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->total_backend_lookups);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(config.total_ops));
+}
+
+BENCHMARK(BM_ParallelExperiment)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,10 +1,45 @@
 #!/bin/sh
-# Runs every paper-reproduction bench at the given scale.
+# Runs every paper-reproduction bench at the given scale, then the
+# google-benchmark microbenches with JSON output for regression tracking.
 # Usage: scripts/run_all_benches.sh [--full]
+# Paper benches get the flags verbatim; microbench results land in
+# BENCH_micro.json at the repo root.
 set -e
 cd "$(dirname "$0")/.."
+
+# google-benchmark binaries reject the paper benches' flags, so they run
+# separately below.
+MICRO_BENCHES="micro_ops parallel_experiment"
+
+is_micro() {
+  for m in $MICRO_BENCHES; do
+    [ "$1" = "build/bench/$m" ] && return 0
+  done
+  return 1
+}
+
 for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  if is_micro "$b"; then continue; fi
   echo "================================================================"
   echo "$b $*"
   "$b" "$@"
 done
+
+echo "================================================================"
+echo "microbenches -> BENCH_micro.json"
+: > BENCH_micro.json
+first=1
+printf '[\n' > BENCH_micro.json
+for m in $MICRO_BENCHES; do
+  b="build/bench/$m"
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  out="BENCH_micro.$m.json"
+  "$b" --benchmark_format=json --benchmark_out="$out" \
+       --benchmark_out_format=json > /dev/null
+  if [ "$first" = 1 ]; then first=0; else printf ',\n' >> BENCH_micro.json; fi
+  cat "$out" >> BENCH_micro.json
+  rm -f "$out"
+done
+printf '\n]\n' >> BENCH_micro.json
+echo "wrote BENCH_micro.json"

@@ -5,7 +5,9 @@
 
 namespace cot::cache {
 
-ArcCache::ArcCache(size_t capacity) : capacity_(capacity) {}
+// The directory indexes resident and ghost entries: up to 2c keys.
+ArcCache::ArcCache(size_t capacity)
+    : capacity_(capacity), dir_(2 * capacity) {}
 
 std::list<Key>& ArcCache::ListFor(ListId id) {
   switch (id) {
@@ -43,7 +45,7 @@ void ArcCache::Remove(Key key) {
     --resident_;
   }
   ListFor(it->second.list).erase(it->second.pos);
-  dir_.erase(it);
+  dir_.erase(key);
 }
 
 void ArcCache::Replace(bool key_was_in_b2) {

@@ -2,9 +2,9 @@
 #define COT_CACHE_ARC_CACHE_H_
 
 #include <list>
-#include <unordered_map>
 
 #include "cache/cache.h"
+#include "util/flat_hash_map.h"
 
 namespace cot::cache {
 
@@ -78,7 +78,7 @@ class ArcCache : public Cache {
   size_t capacity_;
   double p_ = 0.0;
   std::list<Key> t1_, t2_, b1_, b2_;  // front = MRU
-  std::unordered_map<Key, Entry> dir_;
+  FlatHashMap<Key, Entry> dir_;
   size_t resident_ = 0;
 };
 

@@ -2,7 +2,8 @@
 
 namespace cot::cache {
 
-LfuCache::LfuCache(size_t capacity) : capacity_(capacity) {}
+LfuCache::LfuCache(size_t capacity)
+    : capacity_(capacity), heap_(capacity), values_(capacity) {}
 
 std::optional<Value> LfuCache::Get(Key key) {
   auto it = values_.find(key);
@@ -39,6 +40,8 @@ bool LfuCache::Contains(Key key) const { return values_.count(key) != 0; }
 
 Status LfuCache::Resize(size_t new_capacity) {
   capacity_ = new_capacity;
+  heap_.Reserve(capacity_);
+  values_.reserve(capacity_);
   while (values_.size() > capacity_) EvictOne();
   return Status::OK();
 }

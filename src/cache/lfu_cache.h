@@ -2,10 +2,10 @@
 #define COT_CACHE_LFU_CACHE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 
 #include "cache/cache.h"
+#include "util/flat_hash_map.h"
 #include "util/indexed_min_heap.h"
 
 namespace cot::cache {
@@ -43,7 +43,7 @@ class LfuCache : public Cache {
   size_t capacity_;
   uint64_t next_seq_ = 0;
   IndexedMinHeap<Key, Priority> heap_;
-  std::unordered_map<Key, Value> values_;
+  FlatHashMap<Key, Value> values_;
 };
 
 }  // namespace cot::cache

@@ -2,7 +2,7 @@
 
 namespace cot::cache {
 
-LruCache::LruCache(size_t capacity) : capacity_(capacity) {}
+LruCache::LruCache(size_t capacity) : capacity_(capacity), map_(capacity) {}
 
 std::optional<Value> LruCache::Get(Key key) {
   auto it = map_.find(key);
@@ -33,7 +33,7 @@ void LruCache::Invalidate(Key key) {
   auto it = map_.find(key);
   if (it == map_.end()) return;
   recency_.erase(it->second);
-  map_.erase(it);
+  map_.erase(key);
   ++stats_.invalidations;
 }
 
@@ -41,6 +41,7 @@ bool LruCache::Contains(Key key) const { return map_.count(key) != 0; }
 
 Status LruCache::Resize(size_t new_capacity) {
   capacity_ = new_capacity;
+  map_.reserve(capacity_);
   while (map_.size() > capacity_) EvictOne();
   return Status::OK();
 }

@@ -2,9 +2,9 @@
 #define COT_CACHE_LRU_CACHE_H_
 
 #include <list>
-#include <unordered_map>
 
 #include "cache/cache.h"
+#include "util/flat_hash_map.h"
 
 namespace cot::cache {
 
@@ -38,7 +38,7 @@ class LruCache : public Cache {
 
   size_t capacity_;
   List recency_;  // front = most recent
-  std::unordered_map<Key, List::iterator> map_;
+  FlatHashMap<Key, List::iterator> map_;
 };
 
 }  // namespace cot::cache

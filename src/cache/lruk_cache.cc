@@ -7,7 +7,12 @@
 namespace cot::cache {
 
 LrukCache::LrukCache(size_t capacity, size_t history_capacity, int k)
-    : capacity_(capacity), history_capacity_(history_capacity), k_(k) {
+    : capacity_(capacity),
+      history_capacity_(history_capacity),
+      k_(k),
+      resident_(capacity),
+      evict_heap_(capacity),
+      history_(history_capacity) {
   assert(k >= 1);
 }
 
@@ -54,7 +59,7 @@ void LrukCache::Put(Key key, Value value) {
   if (hist_it != history_.end()) {
     times = std::move(hist_it->second.times);
     history_lru_.erase(hist_it->second.lru_pos);
-    history_.erase(hist_it);
+    history_.erase(key);
   }
   RecordReference(times);
   if (resident_.size() >= capacity_) EvictOne();
@@ -67,7 +72,7 @@ void LrukCache::Invalidate(Key key) {
   auto it = resident_.find(key);
   if (it == resident_.end()) return;
   RetireToHistory(key, std::move(it->second.times));
-  resident_.erase(it);
+  resident_.erase(key);
   evict_heap_.Erase(key);
   ++stats_.invalidations;
 }
@@ -76,6 +81,8 @@ bool LrukCache::Contains(Key key) const { return resident_.count(key) != 0; }
 
 Status LrukCache::Resize(size_t new_capacity) {
   capacity_ = new_capacity;
+  resident_.reserve(capacity_);
+  evict_heap_.Reserve(capacity_);
   while (resident_.size() > capacity_) EvictOne();
   return Status::OK();
 }
@@ -91,7 +98,7 @@ void LrukCache::EvictOne() {
   auto it = resident_.find(victim);
   assert(it != resident_.end());
   RetireToHistory(victim, std::move(it->second.times));
-  resident_.erase(it);
+  resident_.erase(victim);
   ++stats_.evictions;
 }
 

@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <list>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "cache/cache.h"
+#include "util/flat_hash_map.h"
 #include "util/indexed_min_heap.h"
 
 namespace cot::cache {
@@ -72,10 +72,10 @@ class LrukCache : public Cache {
   int k_;
   uint64_t clock_ = 0;
 
-  std::unordered_map<Key, Resident> resident_;
+  FlatHashMap<Key, Resident> resident_;
   IndexedMinHeap<Key, Priority> evict_heap_;
 
-  std::unordered_map<Key, Ghost> history_;
+  FlatHashMap<Key, Ghost> history_;
   std::list<Key> history_lru_;  // front = most recently retired/refreshed
 };
 

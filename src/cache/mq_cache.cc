@@ -13,6 +13,8 @@ MqCache::MqCache(size_t capacity, int num_queues, size_t ghost_capacity,
       queues_(static_cast<size_t>(num_queues)) {
   assert(num_queues >= 1);
   if (life_time_ == 0) life_time_ = 1;  // capacity 0 edge
+  resident_.reserve(capacity_);
+  ghosts_.reserve(ghost_capacity_);
 }
 
 int MqCache::QueueForFrequency(uint64_t frequency) const {

@@ -16,6 +16,8 @@ TwoQCache::TwoQCache(size_t capacity, double kin_fraction,
     kin_limit_ = 0;
     kout_limit_ = 0;
   }
+  // Directory holds residents plus A1out ghosts.
+  dir_.reserve(capacity_ + kout_limit_);
 }
 
 std::list<cache::Key>& TwoQCache::ListFor(Where where) {

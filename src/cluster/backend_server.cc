@@ -4,6 +4,11 @@ namespace cot::cluster {
 
 BackendServer::BackendServer(size_t max_items) : max_items_(max_items) {}
 
+void BackendServer::Reserve(size_t expected_items) {
+  std::lock_guard<std::mutex> lock(mu_);
+  store_.reserve(expected_items);
+}
+
 void BackendServer::TouchLru(Key key,
                              std::unordered_map<Key, Item>::iterator it) {
   if (max_items_ == 0) return;
@@ -13,16 +18,18 @@ void BackendServer::TouchLru(Key key,
 }
 
 std::optional<cache::Value> BackendServer::Get(Key key) {
-  ++lookup_count_;
+  lookup_count_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = store_.find(key);
   if (it == store_.end()) return std::nullopt;
-  ++hit_count_;
+  hit_count_.fetch_add(1, std::memory_order_relaxed);
   TouchLru(key, it);
   return it->second.value;
 }
 
 void BackendServer::Set(Key key, Value value) {
-  ++set_count_;
+  set_count_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = store_.find(key);
   if (it != store_.end()) {
     it->second.value = value;
@@ -34,7 +41,7 @@ void BackendServer::Set(Key key, Value value) {
     Key victim = lru_.back();
     lru_.pop_back();
     store_.erase(victim);
-    ++eviction_count_;
+    eviction_count_.fetch_add(1, std::memory_order_relaxed);
   }
   Item item;
   item.value = value;
@@ -46,25 +53,29 @@ void BackendServer::Set(Key key, Value value) {
 }
 
 bool BackendServer::Delete(Key key) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = store_.find(key);
   if (it == store_.end()) return false;
   if (max_items_ != 0) lru_.erase(it->second.lru_pos);
   store_.erase(it);
-  ++delete_count_;
+  delete_count_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 void BackendServer::ResetCounters() {
-  lookup_count_ = 0;
-  hit_count_ = 0;
-  set_count_ = 0;
-  delete_count_ = 0;
-  eviction_count_ = 0;
+  lookup_count_.store(0, std::memory_order_relaxed);
+  hit_count_.store(0, std::memory_order_relaxed);
+  set_count_.store(0, std::memory_order_relaxed);
+  delete_count_.store(0, std::memory_order_relaxed);
+  eviction_count_.store(0, std::memory_order_relaxed);
 }
 
 void BackendServer::Clear() {
-  store_.clear();
-  lru_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    store_.clear();
+    lru_.clear();
+  }
   ResetCounters();
 }
 

@@ -1,8 +1,10 @@
 #ifndef COT_CLUSTER_BACKEND_SERVER_H_
 #define COT_CLUSTER_BACKEND_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -20,6 +22,17 @@ namespace cot::cluster {
 /// instance, far above the hot set); an optional `max_items` bounds it
 /// with memcached's LRU eviction, which lets tests and ablations exercise
 /// shard-side memory pressure.
+///
+/// Thread safety: like a real memcached instance, one shard serves many
+/// concurrent front-end clients. Content (`store_`/`lru_`) is guarded by a
+/// per-shard mutex — sharding already spreads clients across shards, so
+/// per-shard granularity is the natural stripe width — and the load
+/// counters are relaxed atomics, so reading a shard's load never contends
+/// with serving traffic. Counter totals are exact (atomic increments);
+/// only cross-counter snapshots are unordered, which the experiment
+/// drivers avoid by reading counters after joining their worker threads.
+/// Holding a mutex makes the shard immovable; `CacheCluster` stores shards
+/// behind `unique_ptr` for exactly this reason.
 class BackendServer {
  public:
   using Key = cache::Key;
@@ -27,6 +40,13 @@ class BackendServer {
 
   /// Creates a shard. `max_items` of 0 means unbounded.
   explicit BackendServer(size_t max_items = 0);
+
+  BackendServer(const BackendServer&) = delete;
+  BackendServer& operator=(const BackendServer&) = delete;
+
+  /// Pre-sizes the store for `expected_items` keys, so a full preload of
+  /// this shard's key range never rehashes.
+  void Reserve(size_t expected_items);
 
   /// Looks up `key`; counts one lookup of load either way.
   std::optional<Value> Get(Key key);
@@ -40,18 +60,31 @@ class BackendServer {
   bool Delete(Key key);
 
   /// Number of resident items.
-  size_t size() const { return store_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_.size();
+  }
 
   /// Cumulative lookups served (the "load" of Figures 3 and Table 2).
-  uint64_t lookup_count() const { return lookup_count_; }
+  uint64_t lookup_count() const {
+    return lookup_count_.load(std::memory_order_relaxed);
+  }
   /// Cumulative lookup hits.
-  uint64_t hit_count() const { return hit_count_; }
+  uint64_t hit_count() const {
+    return hit_count_.load(std::memory_order_relaxed);
+  }
   /// Cumulative sets.
-  uint64_t set_count() const { return set_count_; }
+  uint64_t set_count() const {
+    return set_count_.load(std::memory_order_relaxed);
+  }
   /// Cumulative deletes that removed a key.
-  uint64_t delete_count() const { return delete_count_; }
+  uint64_t delete_count() const {
+    return delete_count_.load(std::memory_order_relaxed);
+  }
   /// Cumulative LRU evictions under memory pressure (bounded mode only).
-  uint64_t eviction_count() const { return eviction_count_; }
+  uint64_t eviction_count() const {
+    return eviction_count_.load(std::memory_order_relaxed);
+  }
 
   /// Zeroes the load counters (content is kept).
   void ResetCounters();
@@ -62,9 +95,11 @@ class BackendServer {
   /// Erases every resident key for which `pred(key)` is true; returns the
   /// number erased. Used by control planes that reassign key ranges (a
   /// Slicer-style rebalance must flush moved slices from their old owner,
-  /// or a later move back would expose stale copies).
+  /// or a later move back would expose stale copies). Holds the shard lock
+  /// for the whole sweep; `pred` must not call back into this shard.
   template <typename Pred>
   size_t EraseIf(Pred&& pred) {
+    std::lock_guard<std::mutex> lock(mu_);
     size_t erased = 0;
     for (auto it = store_.begin(); it != store_.end();) {
       if (pred(it->first)) {
@@ -84,16 +119,18 @@ class BackendServer {
     std::list<Key>::iterator lru_pos;  // valid only in bounded mode
   };
 
+  /// Moves `key` to the MRU position. Caller holds `mu_`.
   void TouchLru(Key key, std::unordered_map<Key, Item>::iterator it);
 
   size_t max_items_;
+  mutable std::mutex mu_;  // guards store_ and lru_
   std::unordered_map<Key, Item> store_;
   std::list<Key> lru_;  // front = MRU; maintained only in bounded mode
-  uint64_t lookup_count_ = 0;
-  uint64_t hit_count_ = 0;
-  uint64_t set_count_ = 0;
-  uint64_t delete_count_ = 0;
-  uint64_t eviction_count_ = 0;
+  std::atomic<uint64_t> lookup_count_{0};
+  std::atomic<uint64_t> hit_count_{0};
+  std::atomic<uint64_t> set_count_{0};
+  std::atomic<uint64_t> delete_count_{0};
+  std::atomic<uint64_t> eviction_count_{0};
 };
 
 }  // namespace cot::cluster

@@ -2,35 +2,55 @@
 
 namespace cot::cluster {
 
+namespace {
+
+/// Expected resident items per shard after a full preload: an even split of
+/// the key space plus consistent-hashing slack (ownership spread), so the
+/// preload never rehashes a shard's store.
+size_t PerShardReserve(uint64_t key_space_size, uint32_t num_servers) {
+  return static_cast<size_t>(key_space_size / num_servers +
+                             key_space_size / (num_servers * 4) + 16);
+}
+
+}  // namespace
+
 CacheCluster::CacheCluster(uint32_t num_servers, uint64_t key_space_size,
                            uint32_t virtual_nodes)
     : ring_(num_servers, virtual_nodes),
-      servers_(num_servers),
       active_(num_servers, true),
-      storage_(key_space_size) {}
+      storage_(key_space_size) {
+  servers_.reserve(num_servers);
+  size_t reserve = PerShardReserve(key_space_size, num_servers);
+  for (uint32_t i = 0; i < num_servers; ++i) {
+    servers_.push_back(std::make_unique<BackendServer>());
+    servers_.back()->Reserve(reserve);
+  }
+}
 
 std::vector<uint64_t> CacheCluster::PerServerLookups() const {
   std::vector<uint64_t> loads;
   loads.reserve(servers_.size());
-  for (const BackendServer& s : servers_) loads.push_back(s.lookup_count());
+  for (const auto& s : servers_) loads.push_back(s->lookup_count());
   return loads;
 }
 
 void CacheCluster::ResetServerCounters() {
-  for (BackendServer& s : servers_) s.ResetCounters();
+  for (auto& s : servers_) s->ResetCounters();
 }
 
 void CacheCluster::FlushMisownedKeys() {
   for (ServerId id = 0; id < servers_.size(); ++id) {
     if (!active_[id]) continue;
-    servers_[id].EraseIf(
+    servers_[id]->EraseIf(
         [&](uint64_t key) { return ring_.ServerFor(key) != id; });
   }
 }
 
 ServerId CacheCluster::AddServer() {
   ring_.AddServer();
-  servers_.emplace_back();
+  servers_.push_back(std::make_unique<BackendServer>());
+  servers_.back()->Reserve(
+      PerShardReserve(storage_.key_space_size(), ring_.server_count()));
   active_.push_back(true);
   // Existing shards relinquish the key ranges the newcomer now owns —
   // otherwise a copy stranded on the old owner could serve a stale value
@@ -46,7 +66,7 @@ Status CacheCluster::RemoveServer(ServerId id) {
   Status s = ring_.RemoveServer(id);
   if (!s.ok()) return s;
   active_[id] = false;
-  servers_[id].Clear();  // content is unreachable; drop it
+  servers_[id]->Clear();  // content is unreachable; drop it
   FlushMisownedKeys();
   return Status::OK();
 }

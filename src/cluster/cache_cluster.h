@@ -2,6 +2,7 @@
 #define COT_CLUSTER_CACHE_CLUSTER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cluster/backend_server.h"
@@ -25,8 +26,8 @@ class CacheCluster {
                uint32_t virtual_nodes = 16384);
 
   /// Shard accessors.
-  BackendServer& server(ServerId id) { return servers_[id]; }
-  const BackendServer& server(ServerId id) const { return servers_[id]; }
+  BackendServer& server(ServerId id) { return *servers_[id]; }
+  const BackendServer& server(ServerId id) const { return *servers_[id]; }
   uint32_t server_count() const {
     return static_cast<uint32_t>(servers_.size());
   }
@@ -65,8 +66,10 @@ class CacheCluster {
   /// Drops from every shard the keys it no longer owns. O(total items).
   void FlushMisownedKeys();
 
+  // Shards hold a mutex and atomics (immovable), so they live behind
+  // unique_ptr to keep the vector growable on AddServer.
   ConsistentHashRing ring_;
-  std::vector<BackendServer> servers_;
+  std::vector<std::unique_ptr<BackendServer>> servers_;
   std::vector<bool> active_;
   StorageLayer storage_;
 };

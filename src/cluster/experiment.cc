@@ -1,11 +1,60 @@
 #include "cluster/experiment.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "cluster/cache_cluster.h"
 #include "metrics/imbalance.h"
 
 namespace cot::cluster {
+
+namespace {
+
+/// YCSB-style load phase: install every key on its owning shard. With T > 1
+/// the key range splits into T contiguous chunks — shard `Set` is
+/// thread-safe, and the end state is identical regardless of interleaving
+/// because each key is written exactly once.
+void PreloadBackend(CacheCluster& cluster, uint64_t key_space,
+                    uint32_t num_threads) {
+  auto load_range = [&cluster](uint64_t begin, uint64_t end) {
+    for (uint64_t key = begin; key < end; ++key) {
+      cluster.server(cluster.ring().ServerFor(key))
+          .Set(key, StorageLayer::InitialValue(key));
+    }
+  };
+  if (num_threads <= 1 || key_space < 2 * num_threads) {
+    load_range(0, key_space);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    uint64_t chunk = key_space / num_threads;
+    for (uint32_t t = 0; t < num_threads; ++t) {
+      uint64_t begin = t * chunk;
+      uint64_t end = (t + 1 == num_threads) ? key_space : begin + chunk;
+      workers.emplace_back(load_range, begin, end);
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  cluster.ResetServerCounters();
+}
+
+/// Drives clients `owned` to completion, interleaving them round-robin so a
+/// thread with several clients still mimics concurrent request streams.
+void DriveClients(const std::vector<uint32_t>& owned,
+                  std::vector<std::unique_ptr<FrontendClient>>& clients,
+                  std::vector<workload::OpStream>& streams) {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (uint32_t i : owned) {
+      if (streams[i].Done()) continue;
+      clients[i]->Apply(streams[i].Next());
+      progressed = true;
+    }
+  }
+}
+
+}  // namespace
 
 StatusOr<ExperimentResult> RunExperiment(
     const ExperimentConfig& config, const CacheFactory& factory,
@@ -15,6 +64,9 @@ StatusOr<ExperimentResult> RunExperiment(
   }
   if (config.phases.empty()) {
     return Status::InvalidArgument("at least one workload phase is required");
+  }
+  if (config.num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be >= 1");
   }
 
   // Per-client op budget: split total_ops evenly; a single phase with
@@ -28,11 +80,7 @@ StatusOr<ExperimentResult> RunExperiment(
   CacheCluster cluster(config.num_servers, config.key_space,
                        config.virtual_nodes);
   if (config.preload_backend) {
-    for (uint64_t key = 0; key < config.key_space; ++key) {
-      cluster.server(cluster.ring().ServerFor(key))
-          .Set(key, StorageLayer::InitialValue(key));
-    }
-    cluster.ResetServerCounters();
+    PreloadBackend(cluster, config.key_space, config.num_threads);
   }
 
   std::vector<std::unique_ptr<FrontendClient>> clients;
@@ -52,16 +100,28 @@ StatusOr<ExperimentResult> RunExperiment(
     streams.push_back(std::move(stream).value());
   }
 
-  // Round-robin interleave — the in-process analogue of the paper's
-  // concurrent client threads issuing back-to-back requests.
-  bool progressed = true;
-  while (progressed) {
-    progressed = false;
+  uint32_t num_threads = std::min(config.num_threads, config.num_clients);
+  if (num_threads <= 1) {
+    // Round-robin interleave — the in-process analogue of the paper's
+    // concurrent client threads issuing back-to-back requests.
+    std::vector<uint32_t> all(config.num_clients);
+    for (uint32_t i = 0; i < config.num_clients; ++i) all[i] = i;
+    DriveClients(all, clients, streams);
+  } else {
+    // Client i runs on thread i % T. Each client's cache, stream, and stats
+    // are private to its thread; only the shared back-end (thread-safe) is
+    // touched concurrently.
+    std::vector<std::vector<uint32_t>> owned(num_threads);
     for (uint32_t i = 0; i < config.num_clients; ++i) {
-      if (streams[i].Done()) continue;
-      clients[i]->Apply(streams[i].Next());
-      progressed = true;
+      owned[i % num_threads].push_back(i);
     }
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (uint32_t t = 0; t < num_threads; ++t) {
+      workers.emplace_back(DriveClients, std::cref(owned[t]),
+                           std::ref(clients), std::ref(streams));
+    }
+    for (std::thread& w : workers) w.join();
   }
 
   ExperimentResult result;
@@ -69,8 +129,10 @@ StatusOr<ExperimentResult> RunExperiment(
   result.imbalance = metrics::LoadImbalance(result.per_server_lookups);
   result.total_backend_lookups =
       metrics::TotalLoad(result.per_server_lookups);
+  result.per_client.reserve(clients.size());
   for (const auto& client : clients) {
     const FrontendStats& s = client->stats();
+    result.per_client.push_back(s);
     result.aggregate.reads += s.reads;
     result.aggregate.updates += s.updates;
     result.aggregate.local_hits += s.local_hits;

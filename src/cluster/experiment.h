@@ -40,6 +40,12 @@ struct ExperimentConfig {
   /// the paper's setup. Without it, cold-miss storage penalties dominate
   /// the first pass over the key space and distort timing experiments.
   bool preload_backend = true;
+  /// OS threads driving the clients (and the preload). 1 = the serial
+  /// round-robin interleave; T > 1 runs client i on thread i % T, making
+  /// the run genuinely concurrent like the paper's client threads. Each
+  /// client still owns a private cache, OpStream, and RNG seed (seed + i),
+  /// so per-client logical stats are independent of the thread count.
+  uint32_t num_threads = 1;
 };
 
 /// Builds each client's local cache; called once per client index. Return
@@ -57,15 +63,19 @@ struct ExperimentResult {
   uint64_t total_backend_lookups = 0;
   /// Reads/updates/hits aggregated over all clients.
   FrontendStats aggregate;
+  /// Per-client stats, indexed by client id. Reads, updates, local hits
+  /// and backend lookups depend only on the client's own stream and cache,
+  /// so they match the serial run bit-for-bit at any thread count.
+  std::vector<FrontendStats> per_client;
   /// Local cache hit-rate over all clients (hits / reads).
   double local_hit_rate = 0.0;
 };
 
 /// Runs the experiment: builds a fresh `CacheCluster`, `num_clients`
-/// clients via `factory`, interleaves each client's private `OpStream`
-/// round-robin (the in-process analogue of concurrent client threads), and
-/// reports shard loads. If `resizer_config` is non-null it is attached to
-/// every CoT client.
+/// clients via `factory`, drives each client's private `OpStream` — either
+/// round-robin on the calling thread (num_threads == 1) or on
+/// `num_threads` OS threads — and reports shard loads. If `resizer_config`
+/// is non-null it is attached to every CoT client.
 ///
 /// Fails if the workload spec is invalid.
 StatusOr<ExperimentResult> RunExperiment(

@@ -19,6 +19,8 @@ HotKeyReplicator::HotKeyReplicator(const ConsistentHashRing* ring,
     trackers_.emplace_back(tracker_size_);
   }
   epoch_lookups_.assign(n, 0);
+  // At most tracker_size keys per server can be promoted to hot.
+  replicas_.reserve(static_cast<size_t>(n) * tracker_size_);
 }
 
 ServerId HotKeyReplicator::Route(uint64_t key) {

@@ -1,7 +1,10 @@
 #ifndef COT_CLUSTER_STORAGE_LAYER_H_
 #define COT_CLUSTER_STORAGE_LAYER_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "cache/cache.h"
@@ -14,6 +17,12 @@ namespace cot::cluster {
 /// standing in for the paper's pre-loaded 1M-row "usertable". Writes bump a
 /// per-key version so tests can verify read-your-writes through the whole
 /// cache hierarchy.
+///
+/// Thread safety: the override table is striped — each stripe is its own
+/// map behind its own mutex, keys assigned by hash — so concurrent clients
+/// writing different keys almost never contend (a real storage tier shards
+/// the same way). The access counters are relaxed atomics: totals are
+/// exact, cross-counter snapshots are unordered.
 class StorageLayer {
  public:
   using Key = cache::Key;
@@ -21,6 +30,9 @@ class StorageLayer {
 
   /// Creates storage over `key_space_size` keys.
   explicit StorageLayer(uint64_t key_space_size);
+
+  StorageLayer(const StorageLayer&) = delete;
+  StorageLayer& operator=(const StorageLayer&) = delete;
 
   /// Reads `key`'s current value. Always succeeds for in-range keys.
   Value Get(Key key);
@@ -34,15 +46,30 @@ class StorageLayer {
   /// Number of keys in the key space.
   uint64_t key_space_size() const { return key_space_size_; }
   /// Cumulative read count (load on the persistent layer).
-  uint64_t read_count() const { return read_count_; }
+  uint64_t read_count() const {
+    return read_count_.load(std::memory_order_relaxed);
+  }
   /// Cumulative write count.
-  uint64_t write_count() const { return write_count_; }
+  uint64_t write_count() const {
+    return write_count_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Number of lock stripes. Power of two; comfortably above any realistic
+  /// client-thread count, so two threads rarely collide on a stripe.
+  static constexpr size_t kStripes = 64;
+
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_map<Key, Value> overrides;
+  };
+
+  Stripe& StripeFor(Key key);
+
   uint64_t key_space_size_;
-  std::unordered_map<Key, Value> overrides_;
-  uint64_t read_count_ = 0;
-  uint64_t write_count_ = 0;
+  std::array<Stripe, kStripes> stripes_;
+  std::atomic<uint64_t> read_count_{0};
+  std::atomic<uint64_t> write_count_{0};
 };
 
 }  // namespace cot::cluster

@@ -19,7 +19,9 @@ CotCache::CotCache(const CotCacheConfig& config)
     : cache_capacity_(config.cache_capacity),
       tracker_(EffectiveTrackerCapacity(config.cache_capacity,
                                         config.tracker_capacity),
-               config.weights) {}
+               config.weights),
+      cache_heap_(config.cache_capacity),
+      values_(config.cache_capacity) {}
 
 CotCache::CotCache(size_t cache_capacity, size_t tracker_capacity)
     : CotCache(CotCacheConfig{cache_capacity, tracker_capacity,
@@ -92,6 +94,8 @@ void CotCache::Invalidate(Key key) {
 
 Status CotCache::Resize(size_t new_capacity) {
   cache_capacity_ = new_capacity;
+  cache_heap_.Reserve(cache_capacity_);
+  values_.reserve(cache_capacity_);
   while (values_.size() > cache_capacity_) {
     Key victim = cache_heap_.TopKey();
     DropFromCache(victim);

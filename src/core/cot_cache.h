@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache.h"
 #include "core/hotness.h"
 #include "core/space_saving_tracker.h"
+#include "util/flat_hash_map.h"
 #include "util/indexed_min_heap.h"
 #include "util/status.h"
 
@@ -163,7 +163,7 @@ class CotCache : public cache::Cache {
   size_t cache_capacity_;
   SpaceSavingTracker tracker_;
   IndexedMinHeap<Key, double> cache_heap_;  // priority = hotness
-  std::unordered_map<Key, Value> values_;
+  FlatHashMap<Key, Value> values_;
   EpochStats epoch_;
 };
 

@@ -6,7 +6,10 @@
 namespace cot::core {
 
 SpaceSavingTracker::SpaceSavingTracker(size_t capacity, HotnessWeights weights)
-    : capacity_(capacity), weights_(weights) {
+    : capacity_(capacity),
+      weights_(weights),
+      heap_(capacity),
+      counters_(capacity) {
   assert(capacity >= 1);
 }
 
@@ -68,6 +71,10 @@ Status SpaceSavingTracker::Resize(size_t new_capacity,
     counters_.erase(victim);
     if (evicted != nullptr) evicted->push_back(victim);
   }
+  // Growing: pre-size for the new steady state so the expansion itself is
+  // the only rehash (elastic expansion happens on the serving path).
+  heap_.Reserve(capacity_);
+  counters_.reserve(capacity_);
   return Status::OK();
 }
 

@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/hotness.h"
+#include "util/flat_hash_map.h"
 #include "util/indexed_min_heap.h"
 #include "util/status.h"
 
@@ -109,7 +109,7 @@ class SpaceSavingTracker {
   size_t capacity_;
   HotnessWeights weights_;
   IndexedMinHeap<Key, double> heap_;  // priority = hotness
-  std::unordered_map<Key, KeyCounters> counters_;
+  FlatHashMap<Key, KeyCounters> counters_;
 };
 
 }  // namespace cot::core

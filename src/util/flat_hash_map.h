@@ -1,0 +1,295 @@
+#ifndef COT_UTIL_FLAT_HASH_MAP_H_
+#define COT_UTIL_FLAT_HASH_MAP_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace cot {
+
+/// Open-addressing hash map for integer keys — the hot-path replacement for
+/// `std::unordered_map` in the tracker, the indexed heaps, and the
+/// replacement policies.
+///
+/// Node-based `std::unordered_map` costs one allocation plus at least one
+/// dependent pointer chase per lookup; microbenchmarks show those chases
+/// dominate per-access cost for every policy. This map stores entries
+/// inline in one flat array (robin-hood linear probing, power-of-two
+/// capacity, Mix64 hashing), so a lookup is a masked index plus a short
+/// contiguous scan. Erase uses backward-shift deletion, so there are no
+/// tombstones and probe sequences never degrade over time.
+///
+/// Semantics match the `unordered_map` subset the codebase uses — `find`,
+/// `operator[]`, `erase(key)`, `count`, `clear`, `reserve`, `size`,
+/// range-for over `std::pair<K, V>` — with two deliberate deviations:
+///   - iterators and references are invalidated by *any* insert or erase
+///     (entries move during probing); never hold one across a mutation;
+///   - iteration order is unspecified and changes as the table grows.
+///
+/// Keys must be integers (they are hashed through Mix64); values need only
+/// be movable. A default-constructed map owns no storage; `reserve` (or the
+/// sizing constructor) pre-allocates so a capacity-bounded owner never
+/// rehashes in steady state.
+template <typename K, typename V>
+class FlatHashMap {
+  static_assert(std::is_integral_v<K> || std::is_enum_v<K>,
+                "FlatHashMap keys must be integers (hashed via Mix64)");
+
+ public:
+  using value_type = std::pair<K, V>;
+
+  FlatHashMap() = default;
+
+  /// Pre-sizes the table for `expected_size` entries without rehashing.
+  explicit FlatHashMap(size_t expected_size) { reserve(expected_size); }
+
+  FlatHashMap(const FlatHashMap&) = default;
+  FlatHashMap(FlatHashMap&&) noexcept = default;
+  FlatHashMap& operator=(const FlatHashMap&) = default;
+  FlatHashMap& operator=(FlatHashMap&&) noexcept = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Slots allocated (diagnostic; >= size() / kMaxLoadNum * kMaxLoadDen).
+  size_t bucket_count() const { return slots_.size(); }
+
+ private:
+  template <bool kConst>
+  class Iter {
+    using MapPtr =
+        std::conditional_t<kConst, const FlatHashMap*, FlatHashMap*>;
+    using Ref = std::conditional_t<kConst, const value_type&, value_type&>;
+    using Ptr = std::conditional_t<kConst, const value_type*, value_type*>;
+
+   public:
+    Iter() = default;
+    Iter(MapPtr map, size_t idx) : map_(map), idx_(idx) {}
+    /// const_iterator from iterator.
+    template <bool C = kConst, typename = std::enable_if_t<C>>
+    Iter(const Iter<false>& other) : map_(other.map_), idx_(other.idx_) {}
+
+    Ref operator*() const { return map_->slots_[idx_]; }
+    Ptr operator->() const { return &map_->slots_[idx_]; }
+    Iter& operator++() {
+      ++idx_;
+      SkipEmpty();
+      return *this;
+    }
+    Iter operator++(int) {
+      Iter out = *this;
+      ++*this;
+      return out;
+    }
+    friend bool operator==(const Iter& a, const Iter& b) {
+      return a.idx_ == b.idx_;
+    }
+    friend bool operator!=(const Iter& a, const Iter& b) {
+      return a.idx_ != b.idx_;
+    }
+
+   private:
+    friend class FlatHashMap;
+    void SkipEmpty() {
+      while (idx_ < map_->slots_.size() && map_->dist_[idx_] == 0) ++idx_;
+    }
+    MapPtr map_ = nullptr;
+    size_t idx_ = 0;
+  };
+
+ public:
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  iterator begin() {
+    iterator it(this, 0);
+    it.SkipEmpty();
+    return it;
+  }
+  iterator end() { return iterator(this, slots_.size()); }
+  const_iterator begin() const {
+    const_iterator it(this, 0);
+    it.SkipEmpty();
+    return it;
+  }
+  const_iterator end() const { return const_iterator(this, slots_.size()); }
+
+  iterator find(const K& key) {
+    return iterator(this, FindIndexOrEnd(key));
+  }
+  const_iterator find(const K& key) const {
+    return const_iterator(this, FindIndexOrEnd(key));
+  }
+  size_t count(const K& key) const {
+    return FindIndex(key) == kNotFound ? 0 : 1;
+  }
+  bool contains(const K& key) const { return FindIndex(key) != kNotFound; }
+
+  /// Value for `key`, default-constructing it on first access.
+  V& operator[](const K& key) {
+    size_t idx = FindIndex(key);
+    if (idx != kNotFound) return slots_[idx].second;
+    ReserveForOneMore();
+    return slots_[InsertFresh(key)].second;
+  }
+
+  /// Inserts or overwrites. Returns true if a new entry was created.
+  bool insert_or_assign(const K& key, V value) {
+    size_t idx = FindIndex(key);
+    if (idx != kNotFound) {
+      slots_[idx].second = std::move(value);
+      return false;
+    }
+    ReserveForOneMore();
+    slots_[InsertFresh(key)].second = std::move(value);
+    return true;
+  }
+
+  /// Removes `key`; returns the number of entries removed (0 or 1).
+  size_t erase(const K& key) {
+    size_t idx = FindIndex(key);
+    if (idx == kNotFound) return 0;
+    // Backward-shift deletion: pull every displaced successor one slot
+    // toward its home bucket; no tombstones are left behind.
+    size_t mask = slots_.size() - 1;
+    size_t next = (idx + 1) & mask;
+    while (dist_[next] > 1) {
+      slots_[idx] = std::move(slots_[next]);
+      dist_[idx] = static_cast<uint8_t>(dist_[next] - 1);
+      idx = next;
+      next = (next + 1) & mask;
+    }
+    dist_[idx] = 0;
+    slots_[idx] = value_type{};  // release resources held by the value
+    --size_;
+    return 1;
+  }
+
+  /// Removes every entry; keeps the allocated table.
+  void clear() {
+    std::fill(dist_.begin(), dist_.end(), uint8_t{0});
+    for (value_type& slot : slots_) slot = value_type{};
+    size_ = 0;
+  }
+
+  /// Grows the table so `expected_size` entries fit without rehashing.
+  void reserve(size_t expected_size) {
+    size_t needed = SlotsFor(expected_size);
+    if (needed > slots_.size()) Rehash(needed);
+  }
+
+ private:
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+  static constexpr size_t kMinSlots = 8;
+  // Max load factor 7/8: high enough that the table stays compact, low
+  // enough that robin-hood probe lengths stay short.
+  static constexpr size_t kMaxLoadNum = 7;
+  static constexpr size_t kMaxLoadDen = 8;
+
+  static size_t Hash(const K& key) {
+    return static_cast<size_t>(Mix64(static_cast<uint64_t>(key)));
+  }
+
+  /// Smallest power-of-two slot count that holds `n` entries within the max
+  /// load factor.
+  static size_t SlotsFor(size_t n) {
+    size_t slots = kMinSlots;
+    while (slots * kMaxLoadNum < n * kMaxLoadDen) slots <<= 1;
+    return slots;
+  }
+
+  size_t FindIndex(const K& key) const {
+    if (slots_.empty()) return kNotFound;
+    size_t mask = slots_.size() - 1;
+    size_t idx = Hash(key) & mask;
+    uint8_t d = 1;
+    while (true) {
+      // Robin-hood invariant: if the resident entry is closer to its home
+      // than we would be, the key cannot be further along the probe chain.
+      if (dist_[idx] < d) return kNotFound;
+      if (slots_[idx].first == key) return idx;
+      idx = (idx + 1) & mask;
+      ++d;
+    }
+  }
+
+  size_t FindIndexOrEnd(const K& key) const {
+    size_t idx = FindIndex(key);
+    return idx == kNotFound ? slots_.size() : idx;
+  }
+
+  void ReserveForOneMore() {
+    if (slots_.empty() ||
+        (size_ + 1) * kMaxLoadDen > slots_.size() * kMaxLoadNum) {
+      Rehash(slots_.empty() ? kMinSlots : slots_.size() * 2);
+    }
+  }
+
+  /// Robin-hood insertion of a key known to be absent, with room
+  /// guaranteed. Returns the slot where `key` landed.
+  size_t InsertFresh(K key) {
+    value_type carry{key, V{}};
+    size_t mask = slots_.size() - 1;
+    size_t idx = Hash(key) & mask;
+    uint8_t d = 1;
+    size_t key_slot = kNotFound;
+    while (true) {
+      if (dist_[idx] == 0) {
+        slots_[idx] = std::move(carry);
+        dist_[idx] = d;
+        ++size_;
+        return key_slot == kNotFound ? idx : key_slot;
+      }
+      if (dist_[idx] < d) {
+        // Steal from the rich: the resident is closer to home, so it yields
+        // its slot and gets carried forward instead.
+        std::swap(carry, slots_[idx]);
+        std::swap(d, dist_[idx]);
+        if (key_slot == kNotFound) key_slot = idx;
+      }
+      idx = (idx + 1) & mask;
+      ++d;
+      if (d == UINT8_MAX) {
+        // Probe chain about to overflow the distance byte (pathological
+        // clustering). Grow the table — which re-places everything already
+        // resident, including `key` if a swap placed it — then insert the
+        // still-carried entry into the bigger table.
+        bool key_was_placed = key_slot != kNotFound;
+        Rehash(slots_.size() * 2);
+        size_t carried_slot = InsertFresh(carry.first);
+        slots_[carried_slot].second = std::move(carry.second);
+        if (!key_was_placed) return carried_slot;  // carry was `key` itself
+        key_slot = FindIndex(key);
+        assert(key_slot != kNotFound);
+        return key_slot;
+      }
+    }
+  }
+
+  void Rehash(size_t new_slots) {
+    assert((new_slots & (new_slots - 1)) == 0);
+    std::vector<value_type> old_slots = std::move(slots_);
+    std::vector<uint8_t> old_dist = std::move(dist_);
+    slots_.assign(new_slots, value_type{});
+    dist_.assign(new_slots, 0);
+    size_ = 0;
+    for (size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_dist[i] == 0) continue;
+      size_t slot = InsertFresh(old_slots[i].first);
+      slots_[slot].second = std::move(old_slots[i].second);
+    }
+  }
+
+  std::vector<value_type> slots_;
+  std::vector<uint8_t> dist_;  // 0 = empty; d >= 1 = 1-based probe distance
+  size_t size_ = 0;
+};
+
+}  // namespace cot
+
+#endif  // COT_UTIL_FLAT_HASH_MAP_H_

@@ -11,22 +11,4 @@ uint64_t Fnv1a64(std::string_view bytes) {
   return hash;
 }
 
-uint64_t Mix64(uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xFF51AFD7ED558CCDULL;
-  x ^= x >> 33;
-  x *= 0xC4CEB9FE1A85EC53ULL;
-  x ^= x >> 33;
-  return x;
-}
-
-uint64_t HashCombine(uint64_t seed, uint64_t value) {
-  seed ^= Mix64(value) + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2);
-  return seed;
-}
-
-uint64_t HashPair(uint64_t a, uint64_t b) {
-  return Mix64(HashCombine(Mix64(a), b));
-}
-
 }  // namespace cot

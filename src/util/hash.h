@@ -14,18 +14,31 @@ uint64_t Fnv1a64(std::string_view bytes);
 
 /// The 64-bit finalizer ("fmix64") from MurmurHash3. A fast, high-quality
 /// bijective mixer for integer keys; used to place integer keys and virtual
-/// nodes on the consistent-hash ring and to scramble keys in the
+/// nodes on the consistent-hash ring, to scramble keys in the
 /// ScrambledZipfian generator (matching YCSB, which uses the same finalizer
-/// via FNV-ish hashing).
-uint64_t Mix64(uint64_t x);
+/// via FNV-ish hashing), and as the hash of `FlatHashMap`. Inline: the
+/// flat-map and ring hot paths must not pay a cross-TU call per lookup.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
 
 /// Combines a hash value into a running seed (boost-style hash_combine,
 /// 64-bit variant).
-uint64_t HashCombine(uint64_t seed, uint64_t value);
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  seed ^= Mix64(value) + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2);
+  return seed;
+}
 
 /// Hashes a (key, tag) pair — convenience for placing the i-th virtual node
 /// of a server on the ring.
-uint64_t HashPair(uint64_t a, uint64_t b);
+inline uint64_t HashPair(uint64_t a, uint64_t b) {
+  return Mix64(HashCombine(Mix64(a), b));
+}
 
 }  // namespace cot
 

@@ -4,9 +4,10 @@
 #include <cassert>
 #include <cstddef>
 #include <functional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/flat_hash_map.h"
 
 namespace cot {
 
@@ -20,12 +21,26 @@ namespace cot {
 /// the root (default `std::less`: smallest priority at the root).
 ///
 /// Priorities may be compound (e.g. `std::pair` for tie-breaking). Keys must
-/// be hashable.
+/// be integers: the by-key index is a `FlatHashMap`, which keeps the
+/// sift-path index updates (one per level) on cache-friendly flat storage.
+/// Owners that know their capacity should pass it to the sizing constructor
+/// (or call `Reserve`) so the index never rehashes in steady state.
 template <typename K, typename P, typename Compare = std::less<P>>
 class IndexedMinHeap {
  public:
   IndexedMinHeap() = default;
   explicit IndexedMinHeap(Compare cmp) : cmp_(std::move(cmp)) {}
+  /// Pre-sizes heap storage and index for `expected_capacity` keys.
+  explicit IndexedMinHeap(size_t expected_capacity, Compare cmp = Compare())
+      : cmp_(std::move(cmp)) {
+    Reserve(expected_capacity);
+  }
+
+  /// Pre-allocates for `expected_capacity` keys without changing content.
+  void Reserve(size_t expected_capacity) {
+    entries_.reserve(expected_capacity);
+    index_.reserve(expected_capacity);
+  }
 
   /// Number of keys in the heap.
   size_t size() const { return entries_.size(); }
@@ -195,7 +210,7 @@ class IndexedMinHeap {
   }
 
   std::vector<Entry> entries_;
-  std::unordered_map<K, size_t> index_;
+  FlatHashMap<K, size_t> index_;
   Compare cmp_;
 };
 

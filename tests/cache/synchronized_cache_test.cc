@@ -77,5 +77,39 @@ TEST(SynchronizedCacheTest, ConcurrentMixedOpsStayConsistent) {
   EXPECT_EQ(cache.stats().lookups(), served.load());
 }
 
+TEST(SynchronizedCacheTest, ConcurrentResizeKeepsCapacityBounds) {
+  SynchronizedCache cache(std::make_unique<LruCache>(64));
+  constexpr int kWorkers = 3;
+  constexpr int kOpsPerThread = 15000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers + 1);
+  for (int t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 7);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        Key k = rng.NextBelow(400);
+        if (!cache.Get(k).has_value()) cache.Put(k, k);
+      }
+    });
+  }
+  // A resizer thread shrinks and grows while workers hammer the cache —
+  // the elastic-resizing pattern the wrapper exists to make safe.
+  threads.emplace_back([&] {
+    Rng rng(1234);
+    while (!stop.load(std::memory_order_acquire)) {
+      size_t capacity = 8 + rng.NextBelow(120);
+      ASSERT_TRUE(cache.Resize(capacity).ok());
+      EXPECT_LE(cache.size(), capacity);
+    }
+  });
+  for (int t = 0; t < kWorkers; ++t) threads[t].join();
+  stop.store(true, std::memory_order_release);
+  threads.back().join();
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_EQ(cache.stats().lookups(),
+            static_cast<uint64_t>(kWorkers) * kOpsPerThread);
+}
+
 }  // namespace
 }  // namespace cot::cache

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cluster/backend_server.h"
+#include "cluster/experiment.h"
+#include "cluster/storage_layer.h"
+#include "core/cot_cache.h"
+#include "util/random.h"
+
+namespace cot::cluster {
+namespace {
+
+ExperimentConfig ParallelConfig(double read_fraction) {
+  ExperimentConfig config;
+  config.num_servers = 8;
+  config.key_space = 20000;
+  config.num_clients = 8;
+  config.total_ops = 160000;
+  workload::PhaseSpec phase;
+  phase.distribution = workload::Distribution::kZipfian;
+  phase.skew = 0.99;
+  phase.read_fraction = read_fraction;
+  config.phases = {phase};
+  return config;
+}
+
+CacheFactory CotFactory() {
+  return [](uint32_t) { return std::make_unique<core::CotCache>(64, 512); };
+}
+
+/// Pure-read workloads are fully deterministic: no invalidation races, so
+/// every stat — including backend hits and storage reads — must match the
+/// serial run exactly, per client and per shard.
+TEST(ParallelExperimentTest, PureReadRunMatchesSerialExactly) {
+  ExperimentConfig config = ParallelConfig(1.0);
+  auto serial = RunExperiment(config, CotFactory());
+  ASSERT_TRUE(serial.ok());
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    config.num_threads = threads;
+    auto parallel = RunExperiment(config, CotFactory());
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel->per_server_lookups, serial->per_server_lookups)
+        << "threads=" << threads;
+    ASSERT_EQ(parallel->per_client.size(), serial->per_client.size());
+    for (size_t i = 0; i < serial->per_client.size(); ++i) {
+      const FrontendStats& a = serial->per_client[i];
+      const FrontendStats& b = parallel->per_client[i];
+      EXPECT_EQ(a.reads, b.reads) << "client " << i;
+      EXPECT_EQ(a.updates, b.updates) << "client " << i;
+      EXPECT_EQ(a.local_hits, b.local_hits) << "client " << i;
+      EXPECT_EQ(a.backend_lookups, b.backend_lookups) << "client " << i;
+      EXPECT_EQ(a.backend_hits, b.backend_hits) << "client " << i;
+      EXPECT_EQ(a.storage_reads, b.storage_reads) << "client " << i;
+    }
+    EXPECT_EQ(parallel->aggregate.local_hits, serial->aggregate.local_hits);
+    EXPECT_DOUBLE_EQ(parallel->local_hit_rate, serial->local_hit_rate);
+  }
+}
+
+/// With updates in the mix, a client's local cache (and so its lookup
+/// sequence) still depends only on its own stream: updates invalidate the
+/// updater's local copy and the shard copy, never another client's local
+/// cache. Reads, updates, local hits, backend lookups, and per-shard
+/// lookup totals are therefore interleaving-independent; only backend
+/// hit/storage-read splits may shift (invalidate-then-refill races).
+TEST(ParallelExperimentTest, UpdateRunKeepsLogicalStatsDeterministic) {
+  ExperimentConfig config = ParallelConfig(0.95);
+  auto serial = RunExperiment(config, CotFactory());
+  ASSERT_TRUE(serial.ok());
+  config.num_threads = 4;
+  auto parallel = RunExperiment(config, CotFactory());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->per_server_lookups, serial->per_server_lookups);
+  EXPECT_EQ(parallel->imbalance, serial->imbalance);
+  ASSERT_EQ(parallel->per_client.size(), serial->per_client.size());
+  for (size_t i = 0; i < serial->per_client.size(); ++i) {
+    const FrontendStats& a = serial->per_client[i];
+    const FrontendStats& b = parallel->per_client[i];
+    EXPECT_EQ(a.reads, b.reads) << "client " << i;
+    EXPECT_EQ(a.updates, b.updates) << "client " << i;
+    EXPECT_EQ(a.local_hits, b.local_hits) << "client " << i;
+    EXPECT_EQ(a.backend_lookups, b.backend_lookups) << "client " << i;
+  }
+  // Every backend lookup still resolves to a hit or a storage read.
+  EXPECT_EQ(parallel->aggregate.backend_hits + parallel->aggregate.storage_reads,
+            parallel->aggregate.backend_lookups);
+}
+
+/// The parallel preload must produce the same end state as the serial one
+/// (each key written exactly once to its owning shard).
+TEST(ParallelExperimentTest, ParallelPreloadMatchesSerialPreload) {
+  ExperimentConfig config = ParallelConfig(1.0);
+  config.total_ops = 40000;
+  auto serial = RunExperiment(config, CotFactory());
+  config.num_threads = 4;
+  auto parallel = RunExperiment(config, CotFactory());
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  // A preloaded backend absorbs every miss: zero storage reads either way.
+  EXPECT_EQ(serial->aggregate.storage_reads, 0u);
+  EXPECT_EQ(parallel->aggregate.storage_reads, 0u);
+  EXPECT_EQ(parallel->per_server_lookups, serial->per_server_lookups);
+}
+
+TEST(ParallelExperimentTest, MoreThreadsThanClientsIsClamped) {
+  ExperimentConfig config = ParallelConfig(1.0);
+  config.num_clients = 2;
+  config.total_ops = 20000;
+  config.num_threads = 16;
+  auto result = RunExperiment(config, CotFactory());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->aggregate.reads, 20000u);
+}
+
+TEST(ParallelExperimentTest, ZeroThreadsIsRejected) {
+  ExperimentConfig config = ParallelConfig(1.0);
+  config.num_threads = 0;
+  EXPECT_FALSE(RunExperiment(config, CotFactory()).ok());
+}
+
+/// Relaxed atomic shard counters must be exact in total under concurrent
+/// mixed traffic, and the shard's content must stay internally consistent.
+TEST(ParallelExperimentTest, BackendShardCountersExactUnderConcurrency) {
+  BackendServer server;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 25000;
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> sets{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 17);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        uint64_t key = rng.NextBelow(1000);
+        switch (rng.NextBelow(8)) {
+          case 0:
+            server.Delete(key);
+            break;
+          case 1:
+            server.Set(key, key + 1);
+            sets.fetch_add(1, std::memory_order_relaxed);
+            break;
+          default:
+            server.Get(key);
+            gets.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(server.lookup_count(), gets.load());
+  EXPECT_EQ(server.set_count(), sets.load());
+  EXPECT_LE(server.hit_count(), server.lookup_count());
+  EXPECT_LE(server.size(), 1000u);
+  // Every surviving value is one a writer actually stored.
+  for (uint64_t key = 0; key < 1000; ++key) {
+    auto value = server.Get(key);
+    if (value.has_value()) EXPECT_EQ(*value, key + 1);
+  }
+}
+
+/// Striped storage: concurrent writers on overlapping keys never lose the
+/// per-key last-write, and the global read/write counters stay exact.
+TEST(ParallelExperimentTest, StorageLayerCountsExactUnderConcurrency) {
+  StorageLayer storage(4096);
+  constexpr int kThreads = 4;
+  constexpr int kWritesPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 99);
+      for (int i = 0; i < kWritesPerThread; ++i) {
+        uint64_t key = rng.NextBelow(4096);
+        storage.Set(key, key * 2 + 1);
+        storage.Get(key);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(storage.write_count(),
+            static_cast<uint64_t>(kThreads) * kWritesPerThread);
+  EXPECT_EQ(storage.read_count(),
+            static_cast<uint64_t>(kThreads) * kWritesPerThread);
+  for (uint64_t key = 0; key < 4096; ++key) {
+    cache::Value value = storage.Get(key);
+    EXPECT_TRUE(value == StorageLayer::InitialValue(key) ||
+                value == key * 2 + 1)
+        << "key " << key;
+  }
+}
+
+}  // namespace
+}  // namespace cot::cluster

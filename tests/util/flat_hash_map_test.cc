@@ -1,0 +1,207 @@
+#include "util/flat_hash_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace cot {
+namespace {
+
+TEST(FlatHashMapTest, StartsEmpty) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.count(0), 0u);
+  EXPECT_EQ(map.find(42), map.end());
+  EXPECT_EQ(map.erase(42), 0u);
+  EXPECT_EQ(map.begin(), map.end());
+}
+
+TEST(FlatHashMapTest, InsertFindEraseBasics) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  map[1] = 10;
+  map[2] = 20;
+  map[3] = 30;
+  EXPECT_EQ(map.size(), 3u);
+  ASSERT_NE(map.find(2), map.end());
+  EXPECT_EQ(map.find(2)->second, 20u);
+  EXPECT_EQ(map.count(3), 1u);
+  EXPECT_EQ(map.count(4), 0u);
+
+  EXPECT_EQ(map.erase(2), 1u);
+  EXPECT_EQ(map.erase(2), 0u);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.find(2), map.end());
+  EXPECT_EQ(map.find(1)->second, 10u);
+  EXPECT_EQ(map.find(3)->second, 30u);
+}
+
+TEST(FlatHashMapTest, OperatorBracketDefaultConstructsAndOverwrites) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  EXPECT_EQ(map[7], 0u);  // default-constructed on first access
+  map[7] = 99;
+  EXPECT_EQ(map[7], 99u);
+  map[7] = 100;
+  EXPECT_EQ(map[7], 100u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMapTest, InsertOrAssign) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  EXPECT_TRUE(map.insert_or_assign(5, 50));
+  EXPECT_FALSE(map.insert_or_assign(5, 51));
+  EXPECT_EQ(map.find(5)->second, 51u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMapTest, ZeroKeyIsAnOrdinaryKey) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  map[0] = 123;
+  EXPECT_EQ(map.count(0), 1u);
+  EXPECT_EQ(map.find(0)->second, 123u);
+  EXPECT_EQ(map.erase(0), 1u);
+  EXPECT_EQ(map.count(0), 0u);
+}
+
+TEST(FlatHashMapTest, ReserveAvoidsGrowthAndKeepsEntries) {
+  FlatHashMap<uint64_t, uint64_t> map(1000);
+  size_t buckets = map.bucket_count();
+  for (uint64_t k = 0; k < 1000; ++k) map[k] = k * k;
+  EXPECT_EQ(map.bucket_count(), buckets);  // no rehash while within reserve
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_EQ(map.count(k), 1u) << k;
+    EXPECT_EQ(map.find(k)->second, k * k);
+  }
+}
+
+TEST(FlatHashMapTest, GrowthPreservesEntries) {
+  FlatHashMap<uint64_t, uint64_t> map;  // starts unallocated, grows often
+  for (uint64_t k = 0; k < 5000; ++k) map[k * 7919] = k;
+  EXPECT_EQ(map.size(), 5000u);
+  for (uint64_t k = 0; k < 5000; ++k) {
+    ASSERT_EQ(map.count(k * 7919), 1u) << k;
+    EXPECT_EQ(map.find(k * 7919)->second, k);
+  }
+}
+
+TEST(FlatHashMapTest, ClearKeepsAllocationAndEmptiesMap) {
+  FlatHashMap<uint64_t, uint64_t> map(100);
+  for (uint64_t k = 0; k < 100; ++k) map[k] = k;
+  size_t buckets = map.bucket_count();
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.bucket_count(), buckets);
+  EXPECT_EQ(map.count(50), 0u);
+  map[50] = 1;
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMapTest, IterationVisitsEveryEntryOnce) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> reference;
+  for (uint64_t k = 1; k <= 257; ++k) {
+    map[k] = k + 1;
+    reference[k] = k + 1;
+  }
+  std::unordered_map<uint64_t, uint64_t> seen;
+  for (const auto& [key, value] : map) {
+    EXPECT_EQ(seen.count(key), 0u) << "duplicate key " << key;
+    seen[key] = value;
+  }
+  EXPECT_EQ(seen, reference);
+}
+
+TEST(FlatHashMapTest, MutationThroughIterator) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  for (uint64_t k = 0; k < 64; ++k) map[k] = 0;
+  for (auto& [key, value] : map) value = key * 2;
+  for (uint64_t k = 0; k < 64; ++k) EXPECT_EQ(map.find(k)->second, k * 2);
+}
+
+TEST(FlatHashMapTest, NonTrivialValueTypeReleasedOnErase) {
+  FlatHashMap<uint64_t, std::vector<int>> map;
+  map[1] = {1, 2, 3};
+  map[2] = {4, 5};
+  EXPECT_EQ(map.find(1)->second.size(), 3u);
+  map.erase(1);
+  EXPECT_EQ(map.count(1), 0u);
+  EXPECT_EQ(map.find(2)->second.size(), 2u);
+}
+
+TEST(FlatHashMapTest, SignedKeysWork) {
+  FlatHashMap<int, int> map;
+  map[-5] = 1;
+  map[5] = 2;
+  map[0] = 3;
+  EXPECT_EQ(map.find(-5)->second, 1);
+  EXPECT_EQ(map.find(5)->second, 2);
+  EXPECT_EQ(map.find(0)->second, 3);
+  EXPECT_EQ(map.erase(-5), 1u);
+  EXPECT_EQ(map.count(-5), 0u);
+}
+
+// Differential fuzz: a long random mixed workload must behave exactly like
+// std::unordered_map. This exercises robin-hood displacement chains and
+// backward-shift deletion across many load factors.
+TEST(FlatHashMapTest, RandomOpsMatchUnorderedMap) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> reference;
+  Rng rng(20240806);
+  // Narrow key range forces frequent hits, overwrites, and erases.
+  constexpr uint64_t kKeyRange = 1500;
+  for (int i = 0; i < 200000; ++i) {
+    uint64_t key = rng.NextUint64() % kKeyRange;
+    switch (rng.NextUint64() % 4) {
+      case 0:
+      case 1: {  // insert/overwrite
+        uint64_t value = rng.NextUint64();
+        map[key] = value;
+        reference[key] = value;
+        break;
+      }
+      case 2: {  // erase
+        EXPECT_EQ(map.erase(key), reference.erase(key));
+        break;
+      }
+      case 3: {  // lookup
+        auto it = map.find(key);
+        auto ref_it = reference.find(key);
+        ASSERT_EQ(it == map.end(), ref_it == reference.end()) << key;
+        if (ref_it != reference.end()) {
+          EXPECT_EQ(it->second, ref_it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), reference.size());
+  }
+  // Full final comparison, both directions.
+  std::unordered_map<uint64_t, uint64_t> contents;
+  for (const auto& [key, value] : map) contents[key] = value;
+  EXPECT_EQ(contents, reference);
+}
+
+TEST(FlatHashMapTest, AdversarialCollidingKeysStillCorrect) {
+  // Keys chosen in one aligned stride; Mix64 should spread them, but even
+  // under clustering the map must stay correct.
+  FlatHashMap<uint64_t, uint64_t> map;
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 4096; ++k) keys.push_back(k << 20);
+  for (uint64_t k : keys) map[k] = k + 1;
+  for (size_t i = 0; i < keys.size(); i += 2) map.erase(keys[i]);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(map.count(keys[i]), 0u);
+    } else {
+      ASSERT_EQ(map.count(keys[i]), 1u);
+      EXPECT_EQ(map.find(keys[i])->second, keys[i] + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cot

@@ -43,6 +43,8 @@ int RunTool(int argc, char** argv) {
   flags.AddInt64("keys", 1000000, "key-space size");
   flags.AddInt64("ops", 1000000, "total operations");
   flags.AddInt64("seed", 42, "base RNG seed");
+  flags.AddInt64("num-threads", 1,
+                 "OS threads driving the clients (1 = serial interleave)");
   flags.AddBool("elastic", false,
                 "enable CoT elastic resizing (policy must be cot)");
   flags.AddDouble("target-imbalance", 1.1, "elastic resizing target I_t");
@@ -73,6 +75,7 @@ int RunTool(int argc, char** argv) {
   config.key_space = static_cast<uint64_t>(flags.GetInt64("keys"));
   config.total_ops = static_cast<uint64_t>(flags.GetInt64("ops"));
   config.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  config.num_threads = static_cast<uint32_t>(flags.GetInt64("num-threads"));
 
   workload::PhaseSpec phase;
   phase.skew = flags.GetDouble("skew");
