@@ -9,8 +9,7 @@ void BackendServer::Reserve(size_t expected_items) {
   store_.reserve(expected_items);
 }
 
-void BackendServer::TouchLru(Key key,
-                             std::unordered_map<Key, Item>::iterator it) {
+void BackendServer::TouchLru(Key key, FlatHashMap<Key, Item>::iterator it) {
   if (max_items_ == 0) return;
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
   it->second.lru_pos = lru_.begin();
@@ -57,9 +56,29 @@ bool BackendServer::Delete(Key key) {
   auto it = store_.find(key);
   if (it == store_.end()) return false;
   if (max_items_ != 0) lru_.erase(it->second.lru_pos);
-  store_.erase(it);
+  store_.erase(key);
   delete_count_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+void BackendServer::ClearContentLocked() {
+  store_.clear();
+  lru_.clear();
+}
+
+bool BackendServer::AdvanceGeneration(uint64_t target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (target <= generation_) return false;
+  generation_ = target;
+  ClearContentLocked();
+  return true;
+}
+
+uint64_t BackendServer::ForceRestart() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++generation_;
+  ClearContentLocked();
+  return generation_;
 }
 
 void BackendServer::ResetCounters() {
@@ -73,8 +92,7 @@ void BackendServer::ResetCounters() {
 void BackendServer::Clear() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    store_.clear();
-    lru_.clear();
+    ClearContentLocked();
   }
   ResetCounters();
 }

@@ -6,9 +6,10 @@
 #include <list>
 #include <mutex>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "cache/cache.h"
+#include "util/flat_hash_map.h"
 
 namespace cot::cluster {
 
@@ -21,7 +22,9 @@ namespace cot::cluster {
 /// The shard is an unbounded map by default (the paper provisions 4 GB per
 /// instance, far above the hot set); an optional `max_items` bounds it
 /// with memcached's LRU eviction, which lets tests and ablations exercise
-/// shard-side memory pressure.
+/// shard-side memory pressure. The store is a `FlatHashMap` (robin-hood,
+/// inline storage) — the same container the front-end policies moved to —
+/// so a shard lookup is a masked probe, not a node chase.
 ///
 /// Thread safety: like a real memcached instance, one shard serves many
 /// concurrent front-end clients. Content (`store_`/`lru_`) is guarded by a
@@ -33,6 +36,13 @@ namespace cot::cluster {
 /// drivers avoid by reading counters after joining their worker threads.
 /// Holding a mutex makes the shard immovable; `CacheCluster` stores shards
 /// behind `unique_ptr` for exactly this reason.
+///
+/// Failure semantics: a shard that crashes and restarts has lost the
+/// invalidation deletes sent while it was down, so it must come back
+/// *cold* or it could serve stale copies. The `generation_` counter fences
+/// this: `AdvanceGeneration`/`ForceRestart` drop all content and advance
+/// the generation, and are idempotent per target generation, so many
+/// clients observing the same recovery bump the shard exactly once.
 class BackendServer {
  public:
   using Key = cache::Key;
@@ -86,6 +96,24 @@ class BackendServer {
     return eviction_count_.load(std::memory_order_relaxed);
   }
 
+  /// Cold-restart generation this shard is serving in (0 = never
+  /// restarted).
+  uint64_t generation() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return generation_;
+  }
+
+  /// Fences a cold restart: if `target` is ahead of the current
+  /// generation, drops all content (counters are kept — load history
+  /// survives a process restart conceptually) and adopts `target`.
+  /// Returns true if the shard was cleared, false if it was already at or
+  /// past `target` (idempotent under concurrent observers).
+  bool AdvanceGeneration(uint64_t target);
+
+  /// Unconditional cold restart: content dropped, generation + 1.
+  /// Returns the new generation.
+  uint64_t ForceRestart();
+
   /// Zeroes the load counters (content is kept).
   void ResetCounters();
 
@@ -100,17 +128,20 @@ class BackendServer {
   template <typename Pred>
   size_t EraseIf(Pred&& pred) {
     std::lock_guard<std::mutex> lock(mu_);
-    size_t erased = 0;
-    for (auto it = store_.begin(); it != store_.end();) {
-      if (pred(it->first)) {
-        if (max_items_ != 0) lru_.erase(it->second.lru_pos);
-        it = store_.erase(it);
-        ++erased;
-      } else {
-        ++it;
-      }
+    // FlatHashMap moves entries on erase (backward-shift deletion), so
+    // collect doomed keys first, then erase by key.
+    doomed_.clear();
+    for (const auto& entry : store_) {
+      if (pred(entry.first)) doomed_.push_back(entry.first);
     }
-    return erased;
+    for (Key key : doomed_) {
+      if (max_items_ != 0) {
+        auto it = store_.find(key);
+        lru_.erase(it->second.lru_pos);
+      }
+      store_.erase(key);
+    }
+    return doomed_.size();
   }
 
  private:
@@ -120,12 +151,17 @@ class BackendServer {
   };
 
   /// Moves `key` to the MRU position. Caller holds `mu_`.
-  void TouchLru(Key key, std::unordered_map<Key, Item>::iterator it);
+  void TouchLru(Key key, FlatHashMap<Key, Item>::iterator it);
+
+  /// Drops content (not counters). Caller holds `mu_`.
+  void ClearContentLocked();
 
   size_t max_items_;
-  mutable std::mutex mu_;  // guards store_ and lru_
-  std::unordered_map<Key, Item> store_;
+  mutable std::mutex mu_;  // guards store_, lru_, generation_, doomed_
+  FlatHashMap<Key, Item> store_;
   std::list<Key> lru_;  // front = MRU; maintained only in bounded mode
+  std::vector<Key> doomed_;  // scratch for EraseIf (avoids per-call alloc)
+  uint64_t generation_ = 0;
   std::atomic<uint64_t> lookup_count_{0};
   std::atomic<uint64_t> hit_count_{0};
   std::atomic<uint64_t> set_count_{0};

@@ -1,5 +1,7 @@
 #include "cluster/cache_cluster.h"
 
+#include <mutex>
+
 namespace cot::cluster {
 
 namespace {
@@ -27,7 +29,28 @@ CacheCluster::CacheCluster(uint32_t num_servers, uint64_t key_space_size,
   }
 }
 
+BackendServer& CacheCluster::server(ServerId id) {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
+  return *servers_[id];
+}
+
+const BackendServer& CacheCluster::server(ServerId id) const {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
+  return *servers_[id];
+}
+
+uint32_t CacheCluster::server_count() const {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
+  return static_cast<uint32_t>(servers_.size());
+}
+
+ServerId CacheCluster::OwnerOf(uint64_t key) const {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
+  return ring_.ServerFor(key);
+}
+
 std::vector<uint64_t> CacheCluster::PerServerLookups() const {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
   std::vector<uint64_t> loads;
   loads.reserve(servers_.size());
   for (const auto& s : servers_) loads.push_back(s->lookup_count());
@@ -35,6 +58,7 @@ std::vector<uint64_t> CacheCluster::PerServerLookups() const {
 }
 
 void CacheCluster::ResetServerCounters() {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
   for (auto& s : servers_) s->ResetCounters();
 }
 
@@ -47,6 +71,7 @@ void CacheCluster::FlushMisownedKeys() {
 }
 
 ServerId CacheCluster::AddServer() {
+  std::unique_lock<std::shared_mutex> lock(topology_mu_);
   ring_.AddServer();
   servers_.push_back(std::make_unique<BackendServer>());
   servers_.back()->Reserve(
@@ -60,6 +85,7 @@ ServerId CacheCluster::AddServer() {
 }
 
 Status CacheCluster::RemoveServer(ServerId id) {
+  std::unique_lock<std::shared_mutex> lock(topology_mu_);
   if (id >= servers_.size() || !active_[id]) {
     return Status::NotFound("server not active");
   }
@@ -72,7 +98,23 @@ Status CacheCluster::RemoveServer(ServerId id) {
 }
 
 bool CacheCluster::IsActive(ServerId id) const {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
   return id < active_.size() && active_[id];
+}
+
+uint64_t CacheCluster::server_generation(ServerId id) const {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
+  return servers_[id]->generation();
+}
+
+bool CacheCluster::AdvanceServerGeneration(ServerId id, uint64_t target) {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
+  return servers_[id]->AdvanceGeneration(target);
+}
+
+uint64_t CacheCluster::ForceColdRestart(ServerId id) {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
+  return servers_[id]->ForceRestart();
 }
 
 }  // namespace cot::cluster

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "cluster/backend_server.h"
@@ -14,6 +15,17 @@ namespace cot::cluster {
 /// The shared back-end of the paper's architecture (Figure 1): a set of
 /// caching shards behind a consistent-hash ring, on top of persistent
 /// storage. Front-end clients (`FrontendClient`) share one `CacheCluster`.
+///
+/// Thread safety: shard content and counters are protected inside
+/// `BackendServer`; the *topology* (ring, shard vector, active flags,
+/// generations) is guarded by a reader-writer lock so membership changes
+/// (`AddServer`/`RemoveServer`) are safe against in-flight client traffic.
+/// Clients route and fetch shard references through `OwnerOf`/`server`
+/// (shared lock); topology mutations take the lock exclusively. Shard
+/// objects live behind `unique_ptr`, so a reference obtained under the
+/// shared lock stays valid across concurrent `AddServer` vector growth.
+/// The bare `ring()` accessor remains for serial phases (preload, tests)
+/// and must not race a topology change.
 class CacheCluster {
  public:
   /// Creates `num_servers` shards over a `key_space_size` key space.
@@ -25,14 +37,16 @@ class CacheCluster {
   CacheCluster(uint32_t num_servers, uint64_t key_space_size,
                uint32_t virtual_nodes = 16384);
 
-  /// Shard accessors.
-  BackendServer& server(ServerId id) { return *servers_[id]; }
-  const BackendServer& server(ServerId id) const { return *servers_[id]; }
-  uint32_t server_count() const {
-    return static_cast<uint32_t>(servers_.size());
-  }
+  /// Shard accessors. The returned reference is stable across topology
+  /// changes (shards are never destroyed, only deactivated).
+  BackendServer& server(ServerId id);
+  const BackendServer& server(ServerId id) const;
+  uint32_t server_count() const;
 
-  /// The key-to-server map.
+  /// The shard currently owning `key` on the ring (topology-safe routing).
+  ServerId OwnerOf(uint64_t key) const;
+
+  /// The key-to-server map. Serial use only — see the class comment.
   const ConsistentHashRing& ring() const { return ring_; }
 
   /// The persistent layer.
@@ -62,13 +76,33 @@ class CacheCluster {
   /// True if `id` is still serving (present on the ring).
   bool IsActive(ServerId id) const;
 
+  /// Cold-restart generation of shard `id` (0 = never restarted). Part of
+  /// the failure-recovery protocol: a shard that was unreachable has lost
+  /// invalidation deletes, so it must restart cold before serving again.
+  uint64_t server_generation(ServerId id) const;
+
+  /// Bumps shard `id` to generation `target` (dropping its content) if it
+  /// is behind. Idempotent: concurrent clients observing the same
+  /// recovery clear the shard exactly once. Returns true if it cleared.
+  bool AdvanceServerGeneration(ServerId id, uint64_t target);
+
+  /// Unconditional fenced cold restart of shard `id` (content dropped,
+  /// generation bumped). The escalation path for an invalidation delete
+  /// that could not be delivered to a reachable shard: dropping the
+  /// shard's content is the only way to honor the no-stale-read contract
+  /// without a server-side invalidation log. Returns the new generation.
+  uint64_t ForceColdRestart(ServerId id);
+
  private:
   /// Drops from every shard the keys it no longer owns. O(total items).
+  /// Caller holds `topology_mu_` exclusively.
   void FlushMisownedKeys();
 
+  // Guards ring_, servers_ (the vector, not shard content), active_.
+  mutable std::shared_mutex topology_mu_;
+  ConsistentHashRing ring_;
   // Shards hold a mutex and atomics (immovable), so they live behind
   // unique_ptr to keep the vector growable on AddServer.
-  ConsistentHashRing ring_;
   std::vector<std::unique_ptr<BackendServer>> servers_;
   std::vector<bool> active_;
   StorageLayer storage_;

@@ -77,6 +77,13 @@ StatusOr<ExperimentResult> RunExperiment(
     phases[0].num_ops = ops_per_client;
   }
 
+  std::unique_ptr<FaultInjector> injector;
+  if (!config.faults.empty()) {
+    Status s = config.faults.Validate(config.num_servers);
+    if (!s.ok()) return s;
+    injector = std::make_unique<FaultInjector>(config.faults);
+  }
+
   CacheCluster cluster(config.num_servers, config.key_space,
                        config.virtual_nodes);
   if (config.preload_backend) {
@@ -90,6 +97,10 @@ StatusOr<ExperimentResult> RunExperiment(
   for (uint32_t i = 0; i < config.num_clients; ++i) {
     clients.push_back(std::make_unique<FrontendClient>(
         &cluster, factory ? factory(i) : nullptr));
+    if (injector != nullptr) {
+      clients.back()->SetFaultInjector(injector.get(), i,
+                                       config.failure_policy);
+    }
     if (resizer_config != nullptr && clients.back()->local_cache() != nullptr) {
       Status s = clients.back()->EnableElasticResizing(*resizer_config);
       if (!s.ok()) return s;
@@ -130,15 +141,17 @@ StatusOr<ExperimentResult> RunExperiment(
   result.total_backend_lookups =
       metrics::TotalLoad(result.per_server_lookups);
   result.per_client.reserve(clients.size());
+  result.unavailable_ops_per_server.assign(cluster.server_count(), 0);
   for (const auto& client : clients) {
     const FrontendStats& s = client->stats();
     result.per_client.push_back(s);
-    result.aggregate.reads += s.reads;
-    result.aggregate.updates += s.updates;
-    result.aggregate.local_hits += s.local_hits;
-    result.aggregate.backend_lookups += s.backend_lookups;
-    result.aggregate.backend_hits += s.backend_hits;
-    result.aggregate.storage_reads += s.storage_reads;
+    result.aggregate.Add(s);
+    const std::vector<uint64_t>& failed = client->failed_ops_per_server();
+    for (size_t i = 0;
+         i < failed.size() && i < result.unavailable_ops_per_server.size();
+         ++i) {
+      result.unavailable_ops_per_server[i] += failed[i];
+    }
   }
   result.local_hit_rate = result.aggregate.LocalHitRate();
   return result;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cache/cache.h"
+#include "cluster/fault_injector.h"
 #include "cluster/frontend_client.h"
 #include "core/elastic_resizer.h"
 #include "util/status.h"
@@ -46,6 +47,15 @@ struct ExperimentConfig {
   /// client still owns a private cache, OpStream, and RNG seed (seed + i),
   /// so per-client logical stats are independent of the thread count.
   uint32_t num_threads = 1;
+  /// Fault plan for the run (empty = the classic never-fails tier). Fault
+  /// windows are keyed on each client's logical operation clock, so a
+  /// faulty run is exactly as deterministic as a healthy one: client i
+  /// experiences every fault at the same point of its own stream at any
+  /// thread count.
+  FaultSchedule faults;
+  /// Client-side failure handling (retries, circuit breaker, cold
+  /// recovery). Only consulted when `faults` is non-empty.
+  FailurePolicy failure_policy;
 };
 
 /// Builds each client's local cache; called once per client index. Return
@@ -63,10 +73,14 @@ struct ExperimentResult {
   uint64_t total_backend_lookups = 0;
   /// Reads/updates/hits aggregated over all clients.
   FrontendStats aggregate;
-  /// Per-client stats, indexed by client id. Reads, updates, local hits
-  /// and backend lookups depend only on the client's own stream and cache,
-  /// so they match the serial run bit-for-bit at any thread count.
+  /// Per-client stats, indexed by client id. Reads, updates, local hits,
+  /// backend lookups, and every robustness counter depend only on the
+  /// client's own stream, cache, and fault clock, so they match the
+  /// serial run bit-for-bit at any thread count.
   std::vector<FrontendStats> per_client;
+  /// Failed/skipped requests per shard, aggregated over clients — the
+  /// availability profile of the run (all zero without faults).
+  std::vector<uint64_t> unavailable_ops_per_server;
   /// Local cache hit-rate over all clients (hits / reads).
   double local_hit_rate = 0.0;
 };

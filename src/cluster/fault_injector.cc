@@ -1,0 +1,214 @@
+#include "cluster/fault_injector.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+
+#include "util/hash.h"
+
+namespace cot::cluster {
+
+std::string_view ToString(FaultType type) {
+  switch (type) {
+    case FaultType::kCrash:
+      return "crash";
+    case FaultType::kTransient:
+      return "transient";
+    case FaultType::kSlow:
+      return "slow";
+  }
+  return "unknown";
+}
+
+Status FaultSchedule::Validate(uint32_t num_servers) const {
+  for (const FaultEvent& e : events) {
+    if (e.server >= num_servers) {
+      return Status::InvalidArgument("fault event references unknown server " +
+                                     std::to_string(e.server));
+    }
+    if (e.start_op >= e.end_op) {
+      return Status::InvalidArgument("fault window must satisfy start < end");
+    }
+    if (e.type == FaultType::kTransient &&
+        (e.probability <= 0.0 || e.probability > 1.0)) {
+      return Status::InvalidArgument(
+          "transient fault probability must be in (0, 1]");
+    }
+    if (e.type == FaultType::kSlow && e.slow_factor < 1.0) {
+      return Status::InvalidArgument("slow factor must be >= 1");
+    }
+  }
+  return Status::OK();
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule)
+    : schedule_(std::move(schedule)) {
+  ServerId max_server = 0;
+  for (const FaultEvent& e : schedule_.events) {
+    max_server = std::max(max_server, e.server);
+  }
+  by_server_.resize(schedule_.events.empty() ? 0 : max_server + 1);
+  for (const FaultEvent& e : schedule_.events) {
+    by_server_[e.server].push_back(e);
+  }
+}
+
+namespace {
+
+/// Uniform draw in [0, 1) from a stateless hash of the decision tuple.
+double UniformDraw(uint64_t seed, uint32_t client_id, uint64_t op_clock,
+                   ServerId server, uint32_t attempt) {
+  uint64_t h = HashCombine(seed, client_id);
+  h = HashCombine(h, op_clock);
+  h = HashCombine(h, server);
+  h = HashCombine(h, attempt);
+  return static_cast<double>(Mix64(h) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::Decision FaultInjector::Evaluate(uint32_t client_id,
+                                                uint64_t op_clock,
+                                                ServerId server,
+                                                uint32_t attempt) const {
+  Decision d;
+  if (server >= by_server_.size()) return d;
+  for (const FaultEvent& e : by_server_[server]) {
+    if (op_clock < e.start_op || op_clock >= e.end_op) continue;
+    switch (e.type) {
+      case FaultType::kCrash:
+        d.fail = true;
+        d.crashed = true;
+        break;
+      case FaultType::kTransient:
+        if (UniformDraw(schedule_.seed, client_id, op_clock, server,
+                        attempt) < e.probability) {
+          d.fail = true;
+        }
+        break;
+      case FaultType::kSlow:
+        d.slow_factor = std::max(d.slow_factor, e.slow_factor);
+        break;
+    }
+  }
+  return d;
+}
+
+bool FaultInjector::InCrashWindow(uint64_t op_clock, ServerId server) const {
+  if (server >= by_server_.size()) return false;
+  for (const FaultEvent& e : by_server_[server]) {
+    if (e.type == FaultType::kCrash && op_clock >= e.start_op &&
+        op_clock < e.end_op) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t FaultInjector::CrashGeneration(uint64_t op_clock,
+                                        ServerId server) const {
+  if (server >= by_server_.size()) return 0;
+  uint64_t generation = 0;
+  for (const FaultEvent& e : by_server_[server]) {
+    if (e.type == FaultType::kCrash && e.end_op <= op_clock) ++generation;
+  }
+  return generation;
+}
+
+namespace {
+
+/// Splits `spec` on commas, then each entry on colons, expecting exactly
+/// `fields` numeric fields; appends one event per entry via `build`.
+Status ParseEntries(const std::string& spec, size_t fields,
+                    const std::string& what,
+                    const std::function<FaultEvent(const std::vector<double>&)>&
+                        build,
+                    std::vector<FaultEvent>* out) {
+  if (spec.empty()) return Status::OK();
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string entry = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (entry.empty()) {
+      return Status::InvalidArgument("empty " + what + " fault entry");
+    }
+    std::vector<double> values;
+    size_t field_pos = 0;
+    while (field_pos <= entry.size()) {
+      size_t colon = entry.find(':', field_pos);
+      std::string field = entry.substr(
+          field_pos,
+          colon == std::string::npos ? std::string::npos : colon - field_pos);
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (field.empty() || end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad " + what + " fault field '" +
+                                       field + "' in '" + entry + "'");
+      }
+      values.push_back(v);
+      if (colon == std::string::npos) break;
+      field_pos = colon + 1;
+    }
+    if (values.size() != fields) {
+      return Status::InvalidArgument(
+          what + " fault entry '" + entry + "' needs " +
+          std::to_string(fields) + " colon-separated fields");
+    }
+    out->push_back(build(values));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<FaultSchedule> ParseFaultSchedule(const std::string& crash_spec,
+                                           const std::string& transient_spec,
+                                           const std::string& slow_spec,
+                                           uint64_t seed) {
+  FaultSchedule schedule;
+  schedule.seed = seed;
+  Status s = ParseEntries(
+      crash_spec, 3, "crash",
+      [](const std::vector<double>& v) {
+        FaultEvent e;
+        e.type = FaultType::kCrash;
+        e.server = static_cast<ServerId>(v[0]);
+        e.start_op = static_cast<uint64_t>(v[1]);
+        e.end_op = static_cast<uint64_t>(v[2]);
+        return e;
+      },
+      &schedule.events);
+  if (!s.ok()) return s;
+  s = ParseEntries(
+      transient_spec, 4, "transient",
+      [](const std::vector<double>& v) {
+        FaultEvent e;
+        e.type = FaultType::kTransient;
+        e.server = static_cast<ServerId>(v[0]);
+        e.start_op = static_cast<uint64_t>(v[1]);
+        e.end_op = static_cast<uint64_t>(v[2]);
+        e.probability = v[3];
+        return e;
+      },
+      &schedule.events);
+  if (!s.ok()) return s;
+  s = ParseEntries(
+      slow_spec, 4, "slow",
+      [](const std::vector<double>& v) {
+        FaultEvent e;
+        e.type = FaultType::kSlow;
+        e.server = static_cast<ServerId>(v[0]);
+        e.start_op = static_cast<uint64_t>(v[1]);
+        e.end_op = static_cast<uint64_t>(v[2]);
+        e.slow_factor = v[3];
+        return e;
+      },
+      &schedule.events);
+  if (!s.ok()) return s;
+  return schedule;
+}
+
+}  // namespace cot::cluster

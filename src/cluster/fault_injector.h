@@ -1,0 +1,125 @@
+#ifndef COT_CLUSTER_FAULT_INJECTOR_H_
+#define COT_CLUSTER_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/consistent_hash_ring.h"
+#include "util/status.h"
+
+namespace cot::cluster {
+
+/// Kinds of shard misbehaviour the injector can schedule.
+enum class FaultType {
+  /// The shard is unreachable for the whole window: every request fails
+  /// and there is no point retrying. Invalidation deletes sent during the
+  /// window are lost, which is why recovery must come back cold (see
+  /// `FailurePolicy::recover_cold`).
+  kCrash,
+  /// Each request inside the window fails independently with
+  /// `probability` (a flaky NIC / overloaded proxy). Retries re-draw.
+  kTransient,
+  /// The shard serves correctly but `slow_factor` times slower — priced
+  /// by the end-to-end simulator, invisible to logical results.
+  kSlow,
+};
+
+std::string_view ToString(FaultType type);
+
+/// One scheduled fault window on one shard. Windows are half-open
+/// intervals `[start_op, end_op)` over the *observing client's* logical
+/// operation clock (its count of applied operations), not wall time —
+/// that is what keeps fault runs byte-identical at any thread count: each
+/// client experiences every fault at the same point of its own
+/// deterministic stream, regardless of how the OS interleaves threads.
+struct FaultEvent {
+  ServerId server = 0;
+  FaultType type = FaultType::kCrash;
+  uint64_t start_op = 0;
+  uint64_t end_op = 0;
+  /// Per-request failure probability; meaningful for kTransient only.
+  double probability = 1.0;
+  /// Service-time multiplier (>= 1); meaningful for kSlow only.
+  double slow_factor = 1.0;
+};
+
+/// A full per-run fault plan: a set of windows plus the seed that drives
+/// the per-request transient coin flips. An empty schedule means the
+/// classic never-fails cluster.
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+  /// Seed for transient-failure draws. Decisions are a pure hash of
+  /// (seed, client, op clock, server, attempt) — stateless, so they are
+  /// thread-safe and identical across runs and thread counts.
+  uint64_t seed = 0x5eedf001;
+
+  bool empty() const { return events.empty(); }
+
+  /// Checks every event references a valid shard, has a non-empty window,
+  /// and sane probability/slow-factor values.
+  Status Validate(uint32_t num_servers) const;
+};
+
+/// Deterministic fault oracle shared (read-only) by every client of a run.
+///
+/// The injector never touches shard state itself: it only answers "does
+/// this request, at this point of this client's logical clock, succeed?".
+/// The failure-aware `FrontendClient` turns those answers into retries,
+/// circuit-breaker trips, failovers, and cold-restart generation bumps.
+class FaultInjector {
+ public:
+  /// What happens to one request attempt.
+  struct Decision {
+    /// The attempt fails (crash window, or transient draw came up bad).
+    bool fail = false;
+    /// The failure is a crash: the shard is down for the whole window, so
+    /// retrying at the same logical instant cannot help.
+    bool crashed = false;
+    /// Service-time multiplier for a *successful* attempt (>= 1).
+    double slow_factor = 1.0;
+  };
+
+  explicit FaultInjector(FaultSchedule schedule);
+
+  /// Evaluates one request attempt by client `client_id` at its logical
+  /// clock `op_clock` against shard `server`. `attempt` is the 0-based
+  /// retry index; transient draws differ per attempt so bounded retries
+  /// can succeed. Pure function of its arguments and the schedule seed.
+  Decision Evaluate(uint32_t client_id, uint64_t op_clock, ServerId server,
+                    uint32_t attempt) const;
+
+  /// True if `op_clock` falls inside a crash window of `server`.
+  bool InCrashWindow(uint64_t op_clock, ServerId server) const;
+
+  /// Number of crash windows of `server` that have fully ended by
+  /// `op_clock` — the generation the shard must have restarted into, as
+  /// expected by a client at that point of its logical stream. A client
+  /// observing `CrashGeneration > CacheCluster generation` must bump (and
+  /// thereby clear) the shard before reading it, or deletes lost during
+  /// the window could surface as stale reads.
+  uint64_t CrashGeneration(uint64_t op_clock, ServerId server) const;
+
+  const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  FaultSchedule schedule_;
+  /// Events bucketed by shard for the per-request scan.
+  std::vector<std::vector<FaultEvent>> by_server_;
+};
+
+/// Parses the `cot_run --fault-*` flag syntax into a schedule:
+///   crash_spec:      "server:start:end[,server:start:end...]"
+///   transient_spec:  "server:start:end:prob[,...]"
+///   slow_spec:       "server:start:end:factor[,...]"
+/// Empty strings contribute no events. Fails with a descriptive status on
+/// malformed entries.
+StatusOr<FaultSchedule> ParseFaultSchedule(const std::string& crash_spec,
+                                           const std::string& transient_spec,
+                                           const std::string& slow_spec,
+                                           uint64_t seed);
+
+}  // namespace cot::cluster
+
+#endif  // COT_CLUSTER_FAULT_INJECTOR_H_

@@ -7,14 +7,45 @@
 
 namespace cot::cluster {
 
+void FrontendStats::Add(const FrontendStats& other) {
+  reads += other.reads;
+  updates += other.updates;
+  local_hits += other.local_hits;
+  backend_lookups += other.backend_lookups;
+  backend_hits += other.backend_hits;
+  storage_reads += other.storage_reads;
+  failed_requests += other.failed_requests;
+  retries += other.retries;
+  failovers += other.failovers;
+  degraded_ops += other.degraded_ops;
+  invalidations += other.invalidations;
+  lost_invalidations += other.lost_invalidations;
+  forced_restarts += other.forced_restarts;
+  cold_restarts += other.cold_restarts;
+  breaker_trips += other.breaker_trips;
+  slow_ops += other.slow_ops;
+  unavailable_shard_epochs += other.unavailable_shard_epochs;
+}
+
 FrontendClient::FrontendClient(CacheCluster* cluster,
                                std::unique_ptr<cache::Cache> local_cache)
     : cluster_(cluster),
       local_cache_(std::move(local_cache)),
       epoch_lookups_(cluster->server_count(), 0),
-      cumulative_lookups_(cluster->server_count(), 0) {
+      cumulative_lookups_(cluster->server_count(), 0),
+      failed_ops_per_server_(cluster->server_count(), 0),
+      epoch_shard_unavailable_(cluster->server_count(), 0),
+      breakers_(cluster->server_count()) {
   assert(cluster != nullptr);
   cot_cache_ = dynamic_cast<core::CotCache*>(local_cache_.get());
+}
+
+void FrontendClient::SetFaultInjector(const FaultInjector* injector,
+                                      uint32_t client_id,
+                                      const FailurePolicy& policy) {
+  fault_injector_ = injector;
+  fault_client_id_ = client_id;
+  failure_policy_ = policy;
 }
 
 Status FrontendClient::EnableElasticResizing(
@@ -32,10 +63,112 @@ void FrontendClient::EnsureServerVectors() {
   if (epoch_lookups_.size() < n) {
     epoch_lookups_.resize(n, 0);
     cumulative_lookups_.resize(n, 0);
+    failed_ops_per_server_.resize(n, 0);
+    epoch_shard_unavailable_.resize(n, 0);
+    breakers_.resize(n);
+  }
+}
+
+bool FrontendClient::BreakerBlocks(ServerId sid, uint64_t now) const {
+  const Breaker& b = breakers_[sid];
+  // Once the cooldown elapses the breaker is half-open: the next request
+  // goes through as a probe.
+  return b.open && now < b.open_until;
+}
+
+void FrontendClient::RecordFailure(ServerId sid, uint64_t now) {
+  Breaker& b = breakers_[sid];
+  ++b.consecutive_failures;
+  ++failed_ops_per_server_[sid];
+  epoch_shard_unavailable_[sid] = 1;
+  if (b.open) {
+    // Failed half-open probe: stay open for another cooldown.
+    b.open_until = now + failure_policy_.breaker_cooldown_ops;
+  } else if (b.consecutive_failures >=
+             failure_policy_.breaker_failure_threshold) {
+    b.open = true;
+    b.open_until = now + failure_policy_.breaker_cooldown_ops;
+    ++stats_.breaker_trips;
+  }
+}
+
+void FrontendClient::RecordSuccess(ServerId sid) {
+  Breaker& b = breakers_[sid];
+  b.open = false;
+  b.consecutive_failures = 0;
+}
+
+void FrontendClient::MaybeRecoverShard(ServerId sid, uint64_t now) {
+  if (fault_injector_ == nullptr || !failure_policy_.recover_cold) return;
+  uint64_t expected = fault_injector_->CrashGeneration(now, sid);
+  if (expected == 0) return;
+  // Idempotent across clients: whoever contacts the shard first after the
+  // window clears it; everyone else sees the generation already current.
+  if (cluster_->AdvanceServerGeneration(sid, expected)) {
+    ++stats_.cold_restarts;
+  }
+}
+
+bool FrontendClient::TryDeliver(ServerId sid, uint64_t now,
+                                OpOutcome* outcome) {
+  if (fault_injector_ == nullptr) return true;
+  uint32_t attempt = 0;
+  for (;;) {
+    FaultInjector::Decision d =
+        fault_injector_->Evaluate(fault_client_id_, now, sid, attempt);
+    if (!d.fail) {
+      if (d.slow_factor > 1.0) ++stats_.slow_ops;
+      outcome->slow_factor = std::max(outcome->slow_factor, d.slow_factor);
+      RecordSuccess(sid);
+      return true;
+    }
+    ++stats_.failed_requests;
+    ++outcome->failed_attempts;
+    RecordFailure(sid, now);
+    // A crashed shard is down for the whole window — the retry clock is
+    // logical, so re-asking at the same instant cannot succeed.
+    if (d.crashed || attempt >= failure_policy_.max_retries) return false;
+    ++attempt;
+    ++stats_.retries;
+  }
+}
+
+void FrontendClient::DeliverInvalidation(ServerId sid, Key key,
+                                         const std::optional<Value>& value,
+                                         uint64_t now, OpOutcome* outcome) {
+  if (fault_injector_ != nullptr) {
+    // Invalidations bypass the circuit breaker: reads have a safe
+    // fallback (storage is authoritative), but a swallowed delete is a
+    // future stale read, so delivery is always attempted.
+    if (!TryDeliver(sid, now, outcome)) {
+      ++stats_.lost_invalidations;
+      if (!fault_injector_->InCrashWindow(now, sid)) {
+        // The shard is reachable but the message was lost after bounded
+        // retries. Without a server-side invalidation log, the only way
+        // to keep the no-stale-read contract is to fence the shard cold.
+        cluster_->ForceColdRestart(sid);
+        ++stats_.forced_restarts;
+      }
+      // Crash-window loss: the shard cannot serve anyone this window (it
+      // is down), and the recovery rule (`FailurePolicy::recover_cold`)
+      // restarts it cold — generation-bumped and cleared — before its
+      // first post-recovery request.
+      return;
+    }
+    MaybeRecoverShard(sid, now);
+  }
+  ++stats_.invalidations;
+  outcome->backend_contacted = true;
+  outcome->server = sid;
+  if (value.has_value()) {
+    cluster_->server(sid).Set(key, *value);
+  } else {
+    cluster_->server(sid).Delete(key);
   }
 }
 
 cache::Value FrontendClient::GetImpl(Key key, OpOutcome* outcome) {
+  const uint64_t now = op_clock_++;
   EnsureServerVectors();
   ++stats_.reads;
   if (local_cache_ != nullptr) {
@@ -48,7 +181,38 @@ cache::Value FrontendClient::GetImpl(Key key, OpOutcome* outcome) {
     }
   }
   ServerId sid = router_ != nullptr ? router_->Route(key)
-                                    : cluster_->ring().ServerFor(key);
+                                    : cluster_->OwnerOf(key);
+  if (fault_injector_ != nullptr) {
+    if (BreakerBlocks(sid, now)) {
+      // Degraded mode: the breaker is open, so the shard is skipped
+      // entirely and storage serves the read. The shard is not filled
+      // (we never confirmed it is reachable).
+      ++stats_.degraded_ops;
+      ++failed_ops_per_server_[sid];
+      epoch_shard_unavailable_[sid] = 1;
+      ++stats_.storage_reads;
+      outcome->degraded = true;
+      outcome->storage_accessed = true;
+      Value value = cluster_->storage().Get(key);
+      if (local_cache_ != nullptr) local_cache_->Put(key, value);
+      OnOperation();
+      return value;
+    }
+    if (!TryDeliver(sid, now, outcome)) {
+      // Failover: retries exhausted (or crash diagnosed) — graceful
+      // degradation to the authoritative layer. `Get` never fails.
+      ++stats_.failovers;
+      ++stats_.storage_reads;
+      outcome->storage_accessed = true;
+      Value value = cluster_->storage().Get(key);
+      if (local_cache_ != nullptr) local_cache_->Put(key, value);
+      OnOperation();
+      return value;
+    }
+    // Delivered: enforce the recovery rule before reading content the
+    // shard may have carried across a crash.
+    MaybeRecoverShard(sid, now);
+  }
   ++epoch_lookups_[sid];
   ++cumulative_lookups_[sid];
   ++stats_.backend_lookups;
@@ -73,6 +237,7 @@ cache::Value FrontendClient::GetImpl(Key key, OpOutcome* outcome) {
 }
 
 void FrontendClient::SetImpl(Key key, Value value, OpOutcome* outcome) {
+  const uint64_t now = op_clock_++;
   EnsureServerVectors();
   ++stats_.updates;
   cluster_->storage().Set(key, value);
@@ -81,7 +246,7 @@ void FrontendClient::SetImpl(Key key, Value value, OpOutcome* outcome) {
   std::vector<ServerId> targets =
       router_ != nullptr
           ? router_->AllReplicas(key)
-          : std::vector<ServerId>{cluster_->ring().ServerFor(key)};
+          : std::vector<ServerId>{cluster_->OwnerOf(key)};
   if (write_policy_ == WritePolicy::kInvalidate) {
     // Memcached client-driven protocol (Section 2): invalidate the local
     // copy and delete the shard copies.
@@ -89,7 +254,7 @@ void FrontendClient::SetImpl(Key key, Value value, OpOutcome* outcome) {
       local_cache_->Invalidate(key);
     }
     for (ServerId sid : targets) {
-      cluster_->server(sid).Delete(key);
+      DeliverInvalidation(sid, key, std::nullopt, now, outcome);
     }
   } else {
     // Write-through: refresh copies in place. The local cache still
@@ -105,11 +270,10 @@ void FrontendClient::SetImpl(Key key, Value value, OpOutcome* outcome) {
       }
     }
     for (ServerId sid : targets) {
-      cluster_->server(sid).Set(key, value);
+      DeliverInvalidation(sid, key, std::optional<Value>(value), now,
+                          outcome);
     }
   }
-  outcome->backend_contacted = true;
-  outcome->server = targets.front();
   OnOperation();
 }
 
@@ -139,7 +303,29 @@ FrontendClient::OpOutcome FrontendClient::ApplyDetailed(
 }
 
 double FrontendClient::CurrentEpochImbalance() const {
-  return metrics::LoadImbalance(epoch_lookups_);
+  if (epoch_lookups_.empty()) return 1.0;
+  // A shard that failed this epoch (or left the ring) contributes an
+  // absence of signal, not a zero load — excluding it keeps the max/min
+  // ratio finite and meaningful when traffic failed over.
+  std::vector<uint64_t> available;
+  available.reserve(epoch_lookups_.size());
+  for (size_t i = 0; i < epoch_lookups_.size(); ++i) {
+    if (i < epoch_shard_unavailable_.size() && epoch_shard_unavailable_[i]) {
+      continue;
+    }
+    if (!cluster_->IsActive(static_cast<ServerId>(i))) continue;
+    available.push_back(epoch_lookups_[i]);
+  }
+  if (available.size() < 2) return 1.0;
+  return metrics::LoadImbalance(available);
+}
+
+void FrontendClient::CloseEpochAvailability() {
+  uint64_t unavailable = 0;
+  for (uint8_t flag : epoch_shard_unavailable_) unavailable += flag;
+  stats_.unavailable_shard_epochs += unavailable;
+  std::fill(epoch_shard_unavailable_.begin(), epoch_shard_unavailable_.end(),
+            static_cast<uint8_t>(0));
 }
 
 void FrontendClient::OnOperation() {
@@ -148,11 +334,26 @@ void FrontendClient::OnOperation() {
   if (!resizer_->EpochComplete()) return;
   // Hold the epoch open until it contains enough backend lookups for the
   // max/min imbalance ratio to be statistically meaningful — with a good
-  // front-end cache, E accesses may translate to very few lookups.
+  // front-end cache, E accesses may translate to very few lookups. Faults
+  // can starve lookups indefinitely (everything failing over), so a
+  // stalled epoch is eventually closed and handled as no-signal.
+  constexpr uint64_t kEpochStallFactor = 8;
   uint64_t lookups = 0;
   for (uint64_t c : epoch_lookups_) lookups += c;
-  if (lookups < resizer_->config().min_epoch_backend_lookups) return;
-  resizer_->EndEpoch(epoch_lookups_);
+  bool stalled = resizer_->accesses_in_epoch() >=
+                 kEpochStallFactor * resizer_->epoch_size();
+  if (lookups < resizer_->config().min_epoch_backend_lookups && !stalled) {
+    return;
+  }
+  // Shards that failed this epoch or left the ring are masked out of the
+  // imbalance measurement (the resizer treats an epoch with fewer than
+  // two usable shards as no-signal).
+  std::vector<uint8_t> mask = epoch_shard_unavailable_;
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (!cluster_->IsActive(static_cast<ServerId>(i))) mask[i] = 1;
+  }
+  resizer_->EndEpoch(epoch_lookups_, &mask);
+  CloseEpochAvailability();
   std::fill(epoch_lookups_.begin(), epoch_lookups_.end(), 0);
 }
 

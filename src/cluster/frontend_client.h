@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "cache/cache.h"
 #include "cluster/cache_cluster.h"
+#include "cluster/fault_injector.h"
 #include "cluster/routing.h"
 #include "core/cot_cache.h"
 #include "core/elastic_resizer.h"
@@ -24,12 +26,69 @@ struct FrontendStats {
   uint64_t backend_hits = 0;
   uint64_t storage_reads = 0;
 
+  // Availability / robustness counters (all zero in fault-free runs).
+  /// Backend request attempts that failed (timeouts, crash windows).
+  uint64_t failed_requests = 0;
+  /// Re-attempts made after a transient failure.
+  uint64_t retries = 0;
+  /// Reads that contacted a shard, exhausted retries, and fell back to
+  /// authoritative storage.
+  uint64_t failovers = 0;
+  /// Reads served directly from storage without contacting the shard
+  /// because its circuit breaker was open (degraded mode).
+  uint64_t degraded_ops = 0;
+  /// Invalidation messages (deletes / write-through refreshes) delivered
+  /// to a shard.
+  uint64_t invalidations = 0;
+  /// Invalidation messages that could not be delivered. Every loss is
+  /// fenced: a crash-window loss is covered by the recovery generation
+  /// bump, a transient loss escalates to `forced_restarts`.
+  uint64_t lost_invalidations = 0;
+  /// Fenced cold restarts this client forced after an undeliverable
+  /// invalidation to a reachable shard.
+  uint64_t forced_restarts = 0;
+  /// Recovery cold restarts this client triggered (it was first to
+  /// contact a shard after a crash window and bumped its generation).
+  uint64_t cold_restarts = 0;
+  /// Circuit-breaker transitions into the open state.
+  uint64_t breaker_trips = 0;
+  /// Requests served by a shard in a slow-degradation window.
+  uint64_t slow_ops = 0;
+  /// Sum over completed epochs of the number of shards that were
+  /// unavailable (had at least one failed request) in that epoch.
+  uint64_t unavailable_shard_epochs = 0;
+
   /// Fraction of reads served by the local front-end cache.
   double LocalHitRate() const {
     return reads == 0 ? 0.0
                       : static_cast<double>(local_hits) /
                             static_cast<double>(reads);
   }
+
+  /// Field-wise accumulation (experiment drivers aggregate clients).
+  void Add(const FrontendStats& other);
+};
+
+/// Client-side failure handling knobs. Cooldowns are measured on the
+/// client's logical operation clock (the same clock fault schedules use),
+/// so behaviour is deterministic at any thread count.
+struct FailurePolicy {
+  /// Re-attempts after a failed backend request (total attempts =
+  /// 1 + max_retries). Retries back off exponentially in simulated time
+  /// (`LatencyModel::backoff_base_us`); logically they re-draw the
+  /// transient-failure coin.
+  uint32_t max_retries = 2;
+  /// Consecutive failures on a shard before its circuit breaker opens.
+  uint32_t breaker_failure_threshold = 3;
+  /// Client ops an open breaker waits before letting one probe request
+  /// through (half-open state).
+  uint64_t breaker_cooldown_ops = 64;
+  /// Recovery/generation rule: when true (default), the first contact
+  /// with a shard after a crash window bumps its generation via
+  /// `CacheCluster::AdvanceServerGeneration`, clearing it — the shard
+  /// comes back cold, so deletes lost during the window can never surface
+  /// as stale reads. False reproduces the stale-read hazard (tests only).
+  bool recover_cold = true;
 };
 
 /// The paper's modified cache-client library (Section 5.1): a front-end
@@ -44,6 +103,15 @@ struct FrontendStats {
 /// each shard per epoch. Those counters feed I_c, the client's locally
 /// observed back-end load-imbalance, which drives CoT's elastic resizer
 /// when one is attached.
+///
+/// Failure awareness: with a `FaultInjector` attached, shard requests can
+/// fail. Reads retry (bounded, exponential backoff in simulated time),
+/// trip a per-shard circuit breaker after consecutive failures, and
+/// degrade to the authoritative storage layer — so `Get` still always
+/// returns a value. Invalidations bypass the breaker (they are
+/// safety-critical); an undeliverable invalidation is fenced by a cold
+/// restart so no stale read is ever served. See `FailurePolicy` and
+/// DESIGN.md "Fault model and failure semantics".
 ///
 /// `local_cache` may be null: a cacheless client (the paper's "no front-end
 /// cache" baseline).
@@ -78,6 +146,14 @@ class FrontendClient {
   void SetWritePolicy(WritePolicy policy) { write_policy_ = policy; }
   WritePolicy write_policy() const { return write_policy_; }
 
+  /// Attaches a fault oracle (borrowed; shared read-only across clients).
+  /// `client_id` keys this client's transient-failure draws. Pass null to
+  /// restore the never-fails cluster.
+  void SetFaultInjector(const FaultInjector* injector, uint32_t client_id,
+                        const FailurePolicy& policy = FailurePolicy());
+
+  const FailurePolicy& failure_policy() const { return failure_policy_; }
+
   /// Enables CoT elastic resizing. The local cache must be a `CotCache`;
   /// fails with kFailedPrecondition otherwise. The resizer observes this
   /// client's per-epoch per-server lookup counts.
@@ -88,15 +164,27 @@ class FrontendClient {
   struct OpOutcome {
     /// Read served entirely from the local front-end cache.
     bool local_hit = false;
-    /// A request (lookup or invalidation delete) travelled to a shard.
+    /// A request (lookup or invalidation delete) was *delivered* to a
+    /// shard.
     bool backend_contacted = false;
-    /// The persistent layer was read (back-end miss) or written (update).
+    /// The persistent layer was read (back-end miss, failover, degraded
+    /// read) or written (update).
     bool storage_accessed = false;
+    /// The operation skipped its shard entirely (open circuit breaker)
+    /// and was served from storage.
+    bool degraded = false;
+    /// Backend attempts that failed before the op completed (each costs a
+    /// timeout plus backoff in the end-to-end simulator).
+    uint32_t failed_attempts = 0;
+    /// Service-time multiplier of the contacted shard (>= 1; slow-shard
+    /// degradation windows).
+    double slow_factor = 1.0;
     /// The shard contacted, valid iff `backend_contacted`.
     ServerId server = 0;
   };
 
-  /// Read path. Returns the value (never fails: storage is authoritative).
+  /// Read path. Always returns a value: storage is authoritative, and a
+  /// shard failure degrades to a storage read rather than failing the op.
   Value Get(Key key);
 
   /// Update path (invalidate local + shard, write storage).
@@ -123,8 +211,25 @@ class FrontendClient {
   const std::vector<uint64_t>& cumulative_lookups() const {
     return cumulative_lookups_;
   }
-  /// This client's locally observed imbalance over the current epoch.
+  /// Cumulative failed/skipped requests per shard from this client.
+  const std::vector<uint64_t>& failed_ops_per_server() const {
+    return failed_ops_per_server_;
+  }
+  /// Shards this client saw fail at least once in the current epoch.
+  /// Excluded from the epoch's imbalance measurement: a dead shard's zero
+  /// lookups are absence of signal, not balance information.
+  const std::vector<uint8_t>& epoch_shard_unavailable() const {
+    return epoch_shard_unavailable_;
+  }
+  /// This client's locally observed imbalance over the current epoch,
+  /// computed over shards that were available all epoch. Returns 1.0 when
+  /// fewer than two shards produced usable signal (e.g. all traffic
+  /// failed over) — never NaN or a division by zero.
   double CurrentEpochImbalance() const;
+
+  /// This client's logical operation clock (operations applied so far) —
+  /// the clock fault schedules are keyed on.
+  uint64_t op_clock() const { return op_clock_; }
 
   /// Traffic counters.
   const FrontendStats& stats() const { return stats_; }
@@ -132,6 +237,13 @@ class FrontendClient {
   void ResetStats() { stats_ = FrontendStats(); }
 
  private:
+  /// Per-shard circuit breaker (client-local, logical-clock cooldowns).
+  struct Breaker {
+    uint32_t consecutive_failures = 0;
+    bool open = false;
+    uint64_t open_until = 0;  // op clock when a half-open probe is allowed
+  };
+
   /// Post-operation bookkeeping shared by Get/Set: drives the resizer's
   /// epoch clock.
   void OnOperation();
@@ -141,14 +253,45 @@ class FrontendClient {
   /// Grows the per-server counter vectors when the cluster adds shards.
   void EnsureServerVectors();
 
+  /// True if the breaker currently blocks requests to `sid` (open and not
+  /// yet due for a half-open probe).
+  bool BreakerBlocks(ServerId sid, uint64_t now) const;
+  /// Failure bookkeeping: trips/re-opens the breaker, marks the shard
+  /// unavailable this epoch.
+  void RecordFailure(ServerId sid, uint64_t now);
+  void RecordSuccess(ServerId sid);
+  /// Recovery/generation rule: before touching a shard, make sure it has
+  /// restarted cold for every crash window this client knows has ended.
+  void MaybeRecoverShard(ServerId sid, uint64_t now);
+  /// Attempts delivery of one backend request at logical time `now`
+  /// (bounded retries, no retry once a crash is diagnosed). Returns true
+  /// if delivered; updates failure counters and `outcome` either way.
+  /// Callers check the breaker first where skipping is allowed (reads);
+  /// invalidations call this unconditionally.
+  bool TryDeliver(ServerId sid, uint64_t now, OpOutcome* outcome);
+  /// Delivers an invalidation (delete, or write-through refresh when
+  /// `value` is set) with loss fencing.
+  void DeliverInvalidation(ServerId sid, Key key,
+                           const std::optional<Value>& value, uint64_t now,
+                           OpOutcome* outcome);
+  /// Closes the current epoch's availability accounting.
+  void CloseEpochAvailability();
+
   CacheCluster* cluster_;
   RoutingPolicy* router_ = nullptr;  // null = consistent hashing
   WritePolicy write_policy_ = WritePolicy::kInvalidate;
   std::unique_ptr<cache::Cache> local_cache_;
   core::CotCache* cot_cache_ = nullptr;  // set iff local cache is a CotCache
   std::unique_ptr<core::ElasticResizer> resizer_;
+  const FaultInjector* fault_injector_ = nullptr;
+  uint32_t fault_client_id_ = 0;
+  FailurePolicy failure_policy_;
+  uint64_t op_clock_ = 0;
   std::vector<uint64_t> epoch_lookups_;
   std::vector<uint64_t> cumulative_lookups_;
+  std::vector<uint64_t> failed_ops_per_server_;
+  std::vector<uint8_t> epoch_shard_unavailable_;
+  std::vector<Breaker> breakers_;
   FrontendStats stats_;
   uint64_t update_version_ = 1;
 };

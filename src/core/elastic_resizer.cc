@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace cot::core {
 
@@ -23,6 +24,8 @@ std::string_view ToString(ResizeAction action) {
   switch (action) {
     case ResizeAction::kNone:
       return "none";
+    case ResizeAction::kNoSignal:
+      return "no_signal";
     case ResizeAction::kWarmup:
       return "warmup";
     case ResizeAction::kDoubleTracker:
@@ -105,14 +108,22 @@ namespace {
 
 // max/min of a load vector with the same conventions as
 // metrics::LoadImbalance (empty/all-zero -> 1, zero min clamped to 1).
+// Non-finite entries are skipped defensively — a NaN would otherwise
+// poison every later EWMA epoch.
 double VectorImbalance(const std::vector<double>& loads) {
-  if (loads.empty()) return 1.0;
-  double max_load = loads[0], min_load = loads[0];
+  bool any = false;
+  double max_load = 0.0, min_load = 0.0;
   for (double v : loads) {
+    if (!std::isfinite(v)) continue;
+    if (!any) {
+      max_load = min_load = v;
+      any = true;
+      continue;
+    }
     max_load = std::max(max_load, v);
     min_load = std::min(min_load, v);
   }
-  if (max_load <= 0.0) return 1.0;
+  if (!any || max_load <= 0.0) return 1.0;
   if (min_load < 1.0) min_load = 1.0;
   return max_load / min_load;
 }
@@ -120,21 +131,79 @@ double VectorImbalance(const std::vector<double>& loads) {
 }  // namespace
 
 EpochReport ElasticResizer::EndEpoch(
-    const std::vector<uint64_t>& per_server_lookups) {
-  std::vector<double> raw(per_server_lookups.begin(),
-                          per_server_lookups.end());
-  double raw_ic = VectorImbalance(raw);
-  if (smoothed_loads_.size() != raw.size()) {
-    smoothed_loads_ = raw;  // first epoch (or server-count change): adopt
+    const std::vector<uint64_t>& per_server_lookups,
+    const std::vector<uint8_t>* unavailable) {
+  const size_t n = per_server_lookups.size();
+  auto available = [&](size_t i) {
+    return unavailable == nullptr || i >= unavailable->size() ||
+           (*unavailable)[i] == 0;
+  };
+  size_t available_servers = 0;
+  uint64_t available_lookups = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!available(i)) continue;
+    ++available_servers;
+    available_lookups += per_server_lookups[i];
+  }
+  // An imbalance ratio needs at least two live measurements; an all-zero
+  // epoch (every request failed over) measures the outage, not the load
+  // split. Either way there is nothing to act on.
+  if (available_servers < 2 || available_lookups == 0) {
+    return SkipEpoch();
+  }
+  if (smoothed_loads_.size() != n) {
+    // First epoch (or server-count change): adopt the raw vector. Masked
+    // entries adopt their raw count too — it is the only estimate we
+    // have, and they stay excluded from the ratio below.
+    smoothed_loads_.assign(per_server_lookups.begin(),
+                           per_server_lookups.end());
   } else {
+    // EWMA update only where there is signal: a dead shard's zero is an
+    // absence of measurement, and folding it in would drag its smoothed
+    // load toward zero and fabricate imbalance after it recovers.
     double w = config_.imbalance_smoothing;
-    for (size_t i = 0; i < raw.size(); ++i) {
-      smoothed_loads_[i] = w * raw[i] + (1.0 - w) * smoothed_loads_[i];
+    for (size_t i = 0; i < n; ++i) {
+      if (!available(i)) continue;
+      smoothed_loads_[i] = w * static_cast<double>(per_server_lookups[i]) +
+                           (1.0 - w) * smoothed_loads_[i];
     }
   }
-  double smoothed_ic = VectorImbalance(smoothed_loads_);
+  std::vector<double> raw_avail, smoothed_avail;
+  raw_avail.reserve(available_servers);
+  smoothed_avail.reserve(available_servers);
+  for (size_t i = 0; i < n; ++i) {
+    if (!available(i)) continue;
+    raw_avail.push_back(static_cast<double>(per_server_lookups[i]));
+    smoothed_avail.push_back(smoothed_loads_[i]);
+  }
+  double raw_ic = VectorImbalance(raw_avail);
+  double smoothed_ic = VectorImbalance(smoothed_avail);
   smoothed_imbalance_ = smoothed_ic;
   return EndEpochImpl(raw_ic, smoothed_ic);
+}
+
+EpochReport ElasticResizer::SkipEpoch() {
+  const CotCache::EpochStats& stats = cache_->epoch_stats();
+  EpochReport report;
+  report.epoch = epoch_index_++;
+  report.phase = phase_;
+  report.action = ResizeAction::kNoSignal;
+  // Carry the prior smoothed value (1.0 before any measurement) so trace
+  // consumers see a continuous series rather than a fabricated spike.
+  double prior = smoothed_imbalance_ == 0.0 ? 1.0 : smoothed_imbalance_;
+  report.current_imbalance = prior;
+  report.smoothed_imbalance = prior;
+  report.alpha_target = alpha_target_;
+  report.hit_rate = stats.accesses == 0
+                        ? 0.0
+                        : static_cast<double>(stats.cache_hits) /
+                              static_cast<double>(stats.accesses);
+  report.cache_capacity = cache_->capacity();
+  report.tracker_capacity = cache_->tracker_capacity();
+  history_.push_back(report);
+  cache_->ResetEpochStats();
+  accesses_in_epoch_ = 0;
+  return report;
 }
 
 EpochReport ElasticResizer::EndEpoch(double current_imbalance) {

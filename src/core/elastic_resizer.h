@@ -96,6 +96,11 @@ enum class ResizerPhase {
 /// What the resizer did at an epoch boundary.
 enum class ResizeAction {
   kNone,
+  /// The epoch carried no usable load measurement (fewer than two
+  /// available servers, or zero lookups — e.g. every request failed over
+  /// to storage during an outage). The resizer holds all state: no
+  /// resize, no EWMA update, no warmup consumption.
+  kNoSignal,
   kWarmup,
   kDoubleTracker,
   kShrinkTrackerBack,
@@ -162,7 +167,16 @@ class ElasticResizer {
   /// ratio of the smoothed loads — smoothing the ratio itself would not
   /// remove the upward bias of a max/min over noisy counts. May resize the
   /// cache/tracker; returns the trace row describing what happened.
-  EpochReport EndEpoch(const std::vector<uint64_t>& per_server_lookups);
+  ///
+  /// `unavailable` (optional, parallel to the load vector) marks servers
+  /// whose count is an absence of signal rather than a load: shards that
+  /// failed or left the ring this epoch. Masked entries are excluded from
+  /// the imbalance (their zero would otherwise read as extreme imbalance)
+  /// and their EWMA state is frozen. An epoch with fewer than two
+  /// available servers or zero available lookups is processed as
+  /// `kNoSignal`: state holds, no resize decision is made.
+  EpochReport EndEpoch(const std::vector<uint64_t>& per_server_lookups,
+                       const std::vector<uint8_t>* unavailable = nullptr);
 
   /// Same, but with a pre-computed imbalance value (unit tests, synthetic
   /// drivers). The value is EWMA-smoothed directly.
@@ -170,6 +184,9 @@ class ElasticResizer {
 
   /// Effective epoch length in accesses.
   uint64_t epoch_size() const { return epoch_size_; }
+  /// Accesses recorded in the epoch currently open (drivers use this to
+  /// detect a stalled epoch that faults starved of backend lookups).
+  uint64_t accesses_in_epoch() const { return accesses_in_epoch_; }
   /// The configuration in effect (drivers consult
   /// `min_epoch_backend_lookups`).
   const ResizerConfig& config() const { return config_; }
@@ -184,6 +201,10 @@ class ElasticResizer {
 
  private:
   EpochReport EndEpochImpl(double raw_imbalance, double smoothed_imbalance);
+  /// Closes an epoch that carried no usable measurement: records a
+  /// `kNoSignal` trace row and resets epoch counters without touching
+  /// sizes, EWMA state, warmup, or alpha_t.
+  EpochReport SkipEpoch();
   bool ImbalanceExceedsTarget(double ic) const;
   void SetWarmup();
   void UpdateEpochSize();

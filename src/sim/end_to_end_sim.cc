@@ -64,11 +64,21 @@ StatusOr<EndToEndResult> RunEndToEnd(
     }
     cluster.ResetServerCounters();
   }
+  std::unique_ptr<cluster::FaultInjector> injector;
+  if (!config.faults.empty()) {
+    Status s = config.faults.Validate(config.num_servers);
+    if (!s.ok()) return s;
+    injector = std::make_unique<cluster::FaultInjector>(config.faults);
+  }
   std::vector<std::unique_ptr<cluster::FrontendClient>> clients;
   std::vector<workload::OpStream> streams;
   for (uint32_t i = 0; i < config.num_clients; ++i) {
     clients.push_back(std::make_unique<cluster::FrontendClient>(
         &cluster, factory ? factory(i) : nullptr));
+    if (injector != nullptr) {
+      clients.back()->SetFaultInjector(injector.get(), i,
+                                       config.failure_policy);
+    }
     if (resizer_config != nullptr && clients.back()->local_cache() != nullptr) {
       Status s = clients.back()->EnableElasticResizing(*resizer_config);
       if (!s.ok()) return s;
@@ -103,13 +113,25 @@ StatusOr<EndToEndResult> RunEndToEnd(
     cluster::FrontendClient::OpOutcome outcome =
         clients[ev.client]->ApplyDetailed(op);
 
+    // Time lost to failed backend attempts (timeouts + backoff) before the
+    // operation's outcome was known. Zero on healthy runs.
+    double penalty =
+        outcome.failed_attempts == 0
+            ? 0.0
+            : model.FaultPenalty(outcome.failed_attempts,
+                                 outcome.backend_contacted);
     double completion;
-    if (!outcome.backend_contacted) {
+    if (outcome.local_hit) {
       // Local hit: served inside the front-end.
       completion = ev.time + model.local_hit_us;
+    } else if (!outcome.backend_contacted) {
+      // No shard delivery: a degraded or failed-over read served by the
+      // storage tier, or an update whose invalidations were all lost. The
+      // storage path bypasses the shard queues.
+      completion = ev.time + penalty + model.rtt_us + model.storage_extra_us;
     } else {
       ServerTiming& server = servers[outcome.server];
-      double arrival = ev.time + model.rtt_us / 2.0;
+      double arrival = ev.time + penalty + model.rtt_us / 2.0;
       // Backlog = requests still queued/in service at this shard when the
       // new one arrives.
       while (!server.completions.empty() &&
@@ -127,7 +149,9 @@ StatusOr<EndToEndResult> RunEndToEnd(
               : static_cast<double>(per_server_requests[outcome.server]) /
                     static_cast<double>(total_backend_requests);
       double service = model.ServiceTime(
-          backlog, share, static_cast<double>(config.num_servers));
+                           backlog, share,
+                           static_cast<double>(config.num_servers)) *
+                       outcome.slow_factor;
       if (outcome.storage_accessed) service += model.storage_extra_us;
       double start = std::max(arrival, server.next_free);
       server.next_free = start + service;
@@ -151,14 +175,17 @@ StatusOr<EndToEndResult> RunEndToEnd(
       metrics::LoadImbalance(result.logical.per_server_lookups);
   result.logical.total_backend_lookups =
       metrics::TotalLoad(result.logical.per_server_lookups);
+  result.logical.unavailable_ops_per_server.assign(cluster.server_count(), 0);
   for (const auto& client : clients) {
     const cluster::FrontendStats& s = client->stats();
-    result.logical.aggregate.reads += s.reads;
-    result.logical.aggregate.updates += s.updates;
-    result.logical.aggregate.local_hits += s.local_hits;
-    result.logical.aggregate.backend_lookups += s.backend_lookups;
-    result.logical.aggregate.backend_hits += s.backend_hits;
-    result.logical.aggregate.storage_reads += s.storage_reads;
+    result.logical.per_client.push_back(s);
+    result.logical.aggregate.Add(s);
+    const std::vector<uint64_t>& failed = client->failed_ops_per_server();
+    for (size_t i = 0; i < failed.size() &&
+                       i < result.logical.unavailable_ops_per_server.size();
+         ++i) {
+      result.logical.unavailable_ops_per_server[i] += failed[i];
+    }
   }
   result.logical.local_hit_rate = result.logical.aggregate.LocalHitRate();
   return result;

@@ -38,6 +38,14 @@ struct LatencyModel {
   /// factor. 0 disables.
   double load_share_penalty = 2.5;
 
+  /// Client-side timeout charged for each failed backend attempt: the
+  /// client waits this long before declaring the request lost and moving
+  /// on (retry, failover, or giving up on an invalidation).
+  double timeout_us = 1000.0;
+  /// Backoff before the first retry; doubles on each further retry
+  /// (exponential backoff, matching FrontendClient's bounded-retry loop).
+  double backoff_base_us = 100.0;
+
   /// Effective service time with `backlog` requests already queued at a
   /// shard that has received `share` of all recent backend requests across
   /// `num_servers` shards.
@@ -46,6 +54,27 @@ struct LatencyModel {
     double share_excess = std::max(0.0, share * num_servers - 1.0);
     return base_service_us * (1.0 + thrash_coeff * queue_excess) *
            (1.0 + load_share_penalty * share_excess);
+  }
+
+  /// Total stall an operation suffered from `failed_attempts` failed
+  /// backend attempts before its outcome was known: every failure costs a
+  /// timeout, and every attempt after a failure is preceded by an
+  /// exponentially growing backoff. When the op was eventually delivered
+  /// the last failure was followed by a (successful) retry, so it pays
+  /// its backoff too; when it failed over, the last failure ended the
+  /// attempt loop.
+  double FaultPenalty(uint32_t failed_attempts,
+                      bool eventually_delivered) const {
+    double penalty = 0.0;
+    double backoff = backoff_base_us;
+    for (uint32_t i = 0; i < failed_attempts; ++i) {
+      penalty += timeout_us;
+      if (eventually_delivered || i + 1 < failed_attempts) {
+        penalty += backoff;
+        backoff *= 2.0;
+      }
+    }
+    return penalty;
   }
 };
 

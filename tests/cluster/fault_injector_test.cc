@@ -1,0 +1,189 @@
+#include "cluster/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace cot::cluster {
+namespace {
+
+FaultSchedule OneEvent(FaultEvent e, uint64_t seed = 123) {
+  FaultSchedule schedule;
+  schedule.events.push_back(e);
+  schedule.seed = seed;
+  return schedule;
+}
+
+TEST(FaultInjectorTest, CrashWindowFailsEveryAttempt) {
+  FaultEvent e;
+  e.server = 1;
+  e.type = FaultType::kCrash;
+  e.start_op = 10;
+  e.end_op = 20;
+  FaultInjector injector(OneEvent(e));
+
+  for (uint32_t attempt = 0; attempt < 4; ++attempt) {
+    auto d = injector.Evaluate(/*client_id=*/0, /*op_clock=*/15, 1, attempt);
+    EXPECT_TRUE(d.fail);
+    EXPECT_TRUE(d.crashed);
+  }
+  // Half-open window: start inclusive, end exclusive.
+  EXPECT_TRUE(injector.Evaluate(0, 10, 1, 0).fail);
+  EXPECT_FALSE(injector.Evaluate(0, 9, 1, 0).fail);
+  EXPECT_FALSE(injector.Evaluate(0, 20, 1, 0).fail);
+  // Other shards are untouched.
+  EXPECT_FALSE(injector.Evaluate(0, 15, 0, 0).fail);
+  EXPECT_FALSE(injector.Evaluate(0, 15, 7, 0).fail);
+}
+
+TEST(FaultInjectorTest, InCrashWindowMatchesEvaluate) {
+  FaultEvent e;
+  e.server = 0;
+  e.type = FaultType::kCrash;
+  e.start_op = 5;
+  e.end_op = 8;
+  FaultInjector injector(OneEvent(e));
+  EXPECT_FALSE(injector.InCrashWindow(4, 0));
+  EXPECT_TRUE(injector.InCrashWindow(5, 0));
+  EXPECT_TRUE(injector.InCrashWindow(7, 0));
+  EXPECT_FALSE(injector.InCrashWindow(8, 0));
+  EXPECT_FALSE(injector.InCrashWindow(6, 1));
+}
+
+TEST(FaultInjectorTest, CrashGenerationCountsEndedWindows) {
+  FaultSchedule schedule;
+  FaultEvent a;
+  a.server = 2;
+  a.type = FaultType::kCrash;
+  a.start_op = 10;
+  a.end_op = 20;
+  FaultEvent b = a;
+  b.start_op = 50;
+  b.end_op = 60;
+  schedule.events = {a, b};
+  FaultInjector injector(schedule);
+
+  EXPECT_EQ(injector.CrashGeneration(0, 2), 0u);
+  EXPECT_EQ(injector.CrashGeneration(19, 2), 0u);  // still inside
+  EXPECT_EQ(injector.CrashGeneration(20, 2), 1u);  // window just ended
+  EXPECT_EQ(injector.CrashGeneration(59, 2), 1u);
+  EXPECT_EQ(injector.CrashGeneration(60, 2), 2u);
+  EXPECT_EQ(injector.CrashGeneration(100, 1), 0u);  // other shard
+}
+
+TEST(FaultInjectorTest, TransientCertainFailureAlwaysFails) {
+  FaultEvent e;
+  e.server = 0;
+  e.type = FaultType::kTransient;
+  e.start_op = 0;
+  e.end_op = 100;
+  e.probability = 1.0;
+  FaultInjector injector(OneEvent(e));
+  for (uint64_t clock = 0; clock < 100; ++clock) {
+    auto d = injector.Evaluate(3, clock, 0, 0);
+    EXPECT_TRUE(d.fail);
+    EXPECT_FALSE(d.crashed);  // transient failures are retryable
+  }
+}
+
+TEST(FaultInjectorTest, TransientDrawsAreDeterministicAndVaried) {
+  FaultEvent e;
+  e.server = 0;
+  e.type = FaultType::kTransient;
+  e.start_op = 0;
+  e.end_op = 10000;
+  e.probability = 0.5;
+  FaultInjector a(OneEvent(e, 99));
+  FaultInjector b(OneEvent(e, 99));
+
+  uint64_t failures = 0;
+  bool attempt_outcomes_differ = false;
+  for (uint64_t clock = 0; clock < 10000; ++clock) {
+    auto d0 = a.Evaluate(1, clock, 0, 0);
+    // Same tuple, same seed -> same decision (stateless oracle).
+    EXPECT_EQ(d0.fail, b.Evaluate(1, clock, 0, 0).fail);
+    if (d0.fail) ++failures;
+    if (d0.fail != a.Evaluate(1, clock, 0, 1).fail) {
+      attempt_outcomes_differ = true;
+    }
+  }
+  // Roughly half fail at p = 0.5 (generous tolerance, fixed seed).
+  EXPECT_GT(failures, 4000u);
+  EXPECT_LT(failures, 6000u);
+  // Retries re-draw: the attempt index must change some outcomes,
+  // otherwise bounded retries could never succeed inside a window.
+  EXPECT_TRUE(attempt_outcomes_differ);
+}
+
+TEST(FaultInjectorTest, SlowWindowDegradesWithoutFailing) {
+  FaultEvent e;
+  e.server = 3;
+  e.type = FaultType::kSlow;
+  e.start_op = 0;
+  e.end_op = 50;
+  e.slow_factor = 4.0;
+  FaultInjector injector(OneEvent(e));
+  auto d = injector.Evaluate(0, 25, 3, 0);
+  EXPECT_FALSE(d.fail);
+  EXPECT_DOUBLE_EQ(d.slow_factor, 4.0);
+  EXPECT_DOUBLE_EQ(injector.Evaluate(0, 50, 3, 0).slow_factor, 1.0);
+}
+
+TEST(FaultInjectorTest, ValidateRejectsMalformedEvents) {
+  FaultEvent e;
+  e.server = 8;
+  e.type = FaultType::kCrash;
+  e.start_op = 0;
+  e.end_op = 10;
+  EXPECT_FALSE(OneEvent(e).Validate(/*num_servers=*/8).ok());
+  e.server = 0;
+  EXPECT_TRUE(OneEvent(e).Validate(8).ok());
+
+  e.end_op = 0;  // empty window
+  EXPECT_FALSE(OneEvent(e).Validate(8).ok());
+
+  FaultEvent t;
+  t.type = FaultType::kTransient;
+  t.start_op = 0;
+  t.end_op = 10;
+  t.probability = 1.5;
+  EXPECT_FALSE(OneEvent(t).Validate(8).ok());
+  t.probability = 0.0;
+  EXPECT_FALSE(OneEvent(t).Validate(8).ok());
+
+  FaultEvent s;
+  s.type = FaultType::kSlow;
+  s.start_op = 0;
+  s.end_op = 10;
+  s.slow_factor = 0.5;
+  EXPECT_FALSE(OneEvent(s).Validate(8).ok());
+}
+
+TEST(FaultInjectorTest, ParseFaultScheduleRoundTrips) {
+  auto parsed = ParseFaultSchedule("1:100:200,2:300:400", "0:0:1000:0.25",
+                                   "3:50:60:8", /*seed=*/7);
+  ASSERT_TRUE(parsed.ok());
+  const FaultSchedule& s = parsed.value();
+  EXPECT_EQ(s.seed, 7u);
+  ASSERT_EQ(s.events.size(), 4u);
+  EXPECT_EQ(s.events[0].type, FaultType::kCrash);
+  EXPECT_EQ(s.events[0].server, 1u);
+  EXPECT_EQ(s.events[0].start_op, 100u);
+  EXPECT_EQ(s.events[0].end_op, 200u);
+  EXPECT_EQ(s.events[1].server, 2u);
+  EXPECT_EQ(s.events[2].type, FaultType::kTransient);
+  EXPECT_DOUBLE_EQ(s.events[2].probability, 0.25);
+  EXPECT_EQ(s.events[3].type, FaultType::kSlow);
+  EXPECT_DOUBLE_EQ(s.events[3].slow_factor, 8.0);
+  EXPECT_TRUE(s.Validate(4).ok());
+}
+
+TEST(FaultInjectorTest, ParseFaultScheduleRejectsGarbage) {
+  EXPECT_FALSE(ParseFaultSchedule("1:100", "", "", 0).ok());       // fields
+  EXPECT_FALSE(ParseFaultSchedule("a:1:2", "", "", 0).ok());       // non-num
+  EXPECT_FALSE(ParseFaultSchedule("", "0:0:10", "", 0).ok());      // fields
+  EXPECT_FALSE(ParseFaultSchedule("1:1:2,", "", "", 0).ok());      // empty
+  EXPECT_TRUE(ParseFaultSchedule("", "", "", 0).ok());             // empty ok
+  EXPECT_TRUE(ParseFaultSchedule("", "", "", 0).value().empty());
+}
+
+}  // namespace
+}  // namespace cot::cluster

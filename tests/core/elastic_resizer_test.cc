@@ -326,6 +326,67 @@ TEST(ElasticResizerTest, HistoryRecordsEveryEpoch) {
   }
 }
 
+TEST(ElasticResizerTest, DeadShardsAreMaskedOutOfImbalance) {
+  CotCache cache(2, 4);
+  ElasticResizer resizer(&cache, FastConfig());
+  // Shard 3 failed this epoch: its zero lookups would read as a 500x
+  // imbalance if taken literally. Masked, the remaining shards are even.
+  std::vector<uint64_t> loads = {500, 510, 505, 0};
+  std::vector<uint8_t> unavailable = {0, 0, 0, 1};
+  EpochReport report = resizer.EndEpoch(loads, &unavailable);
+  EXPECT_NE(report.action, ResizeAction::kNoSignal);
+  EXPECT_LT(report.smoothed_imbalance, 1.1);
+  // Unmasked, the same vector demands growth.
+  CotCache cache2(2, 4);
+  ElasticResizer resizer2(&cache2, FastConfig());
+  EpochReport raw = resizer2.EndEpoch(loads);
+  EXPECT_GT(raw.smoothed_imbalance, 100.0);
+}
+
+TEST(ElasticResizerTest, NoSignalEpochHoldsAllState) {
+  CotCache cache(2, 4);
+  ElasticResizer resizer(&cache, FastConfig());
+  size_t capacity = cache.capacity();
+  size_t tracker = cache.tracker_capacity();
+
+  // Zero available lookups (all traffic failed over to storage).
+  EpochReport zeros = resizer.EndEpoch(std::vector<uint64_t>{0, 0, 0, 0});
+  EXPECT_EQ(zeros.action, ResizeAction::kNoSignal);
+
+  // Fewer than two available shards: a ratio needs two measurements.
+  std::vector<uint64_t> loads = {800, 900, 1000};
+  std::vector<uint8_t> two_down = {1, 1, 0};
+  EpochReport starved = resizer.EndEpoch(loads, &two_down);
+  EXPECT_EQ(starved.action, ResizeAction::kNoSignal);
+
+  EXPECT_EQ(cache.capacity(), capacity);
+  EXPECT_EQ(cache.tracker_capacity(), tracker);
+  // The trace still records the skipped epochs.
+  EXPECT_EQ(resizer.epochs_completed(), 2u);
+  ASSERT_EQ(resizer.history().size(), 2u);
+  // Neither epoch fabricated an imbalance measurement.
+  EXPECT_DOUBLE_EQ(resizer.history()[0].smoothed_imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(resizer.history()[1].smoothed_imbalance, 1.0);
+}
+
+TEST(ElasticResizerTest, EwmaIsFrozenForMaskedShards) {
+  CotCache cache(2, 4);
+  ResizerConfig config = FastConfig();
+  config.imbalance_smoothing = 0.5;
+  ElasticResizer resizer(&cache, config);
+  // Epoch 1: all healthy and even.
+  resizer.EndEpoch(std::vector<uint64_t>{1000, 1000});
+  // Epoch 2: shard 1 dies; its zero must not drag its EWMA load down.
+  std::vector<uint64_t> loads = {1000, 0};
+  std::vector<uint8_t> down = {0, 1};
+  resizer.EndEpoch(loads, &down);
+  // Epoch 3: shard 1 recovers with even load — a dragged-down EWMA would
+  // report imbalance here; frozen state reports balance.
+  EpochReport recovered =
+      resizer.EndEpoch(std::vector<uint64_t>{1000, 1000});
+  EXPECT_LT(recovered.smoothed_imbalance, 1.1);
+}
+
 TEST(ElasticResizerTest, ToStringCoversAllEnumerators) {
   for (ResizerPhase p :
        {ResizerPhase::kRatioDiscovery, ResizerPhase::kBalance,
@@ -333,7 +394,7 @@ TEST(ElasticResizerTest, ToStringCoversAllEnumerators) {
     EXPECT_NE(ToString(p), "unknown");
   }
   for (ResizeAction a :
-       {ResizeAction::kNone, ResizeAction::kWarmup,
+       {ResizeAction::kNone, ResizeAction::kNoSignal, ResizeAction::kWarmup,
         ResizeAction::kDoubleTracker, ResizeAction::kShrinkTrackerBack,
         ResizeAction::kDoubleBoth, ResizeAction::kHalveBoth,
         ResizeAction::kResetTrackerRatio, ResizeAction::kDecay,

@@ -1,0 +1,374 @@
+// End-to-end tests of the fault-injection framework and the failure-aware
+// client protocol: the stale-read regression the recovery/generation rule
+// exists for, availability accounting, determinism of faulty runs across
+// thread counts, and fault pricing in the end-to-end simulator.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cache/lru_cache.h"
+#include "cluster/cache_cluster.h"
+#include "cluster/experiment.h"
+#include "cluster/fault_injector.h"
+#include "cluster/frontend_client.h"
+#include "sim/end_to_end_sim.h"
+#include "util/random.h"
+
+namespace cot::cluster {
+namespace {
+
+FaultEvent CrashEvent(ServerId server, uint64_t start, uint64_t end) {
+  FaultEvent e;
+  e.server = server;
+  e.type = FaultType::kCrash;
+  e.start_op = start;
+  e.end_op = end;
+  return e;
+}
+
+FaultEvent TransientEvent(ServerId server, uint64_t start, uint64_t end,
+                          double probability) {
+  FaultEvent e;
+  e.server = server;
+  e.type = FaultType::kTransient;
+  e.start_op = start;
+  e.end_op = end;
+  e.probability = probability;
+  return e;
+}
+
+FaultEvent SlowEvent(ServerId server, uint64_t start, uint64_t end,
+                     double factor) {
+  FaultEvent e;
+  e.server = server;
+  e.type = FaultType::kSlow;
+  e.start_op = start;
+  e.end_op = end;
+  e.slow_factor = factor;
+  return e;
+}
+
+// The regression the recovery/generation rule exists for. A shard crashes,
+// missing an invalidation delete, and recovers. Without the generation
+// bump its pre-crash copy survives recovery and is served — a stale read.
+// With the bump (the default) the shard comes back cold and re-fetches the
+// authoritative value.
+TEST(FaultToleranceTest, StaleReadHazardWithoutColdRecovery) {
+  CacheCluster cluster(2, 100);
+  const cache::Key key = 17;
+  ServerId owner = cluster.OwnerOf(key);
+
+  // The shard is down exactly while the update's delete is sent (client
+  // clock 1) and back up at clock 3.
+  FaultSchedule schedule;
+  schedule.events.push_back(CrashEvent(owner, 1, 3));
+  FaultInjector injector(schedule);
+
+  FailurePolicy unsafe;
+  unsafe.recover_cold = false;  // disable the generation bump
+  unsafe.breaker_failure_threshold = 100;
+  FrontendClient client(&cluster, /*local_cache=*/nullptr);
+  client.SetFaultInjector(&injector, /*client_id=*/0, unsafe);
+
+  EXPECT_EQ(client.Get(key), StorageLayer::InitialValue(key));  // clock 0
+  client.Set(key, 4242);                    // clock 1: delete lost (crash)
+  EXPECT_EQ(client.stats().lost_invalidations, 1u);
+  EXPECT_EQ(client.Get(key), 4242u);        // clock 2: crash -> failover
+  EXPECT_EQ(client.stats().failovers, 1u);
+
+  // Clock 3: shard recovered, still holding the pre-crash copy. Without
+  // the generation bump the client reads it — stale.
+  cache::Value read = client.Get(key);
+  EXPECT_EQ(read, StorageLayer::InitialValue(key));
+  EXPECT_NE(read, 4242u) << "expected to demonstrate the stale-read hazard";
+}
+
+TEST(FaultToleranceTest, ColdRecoveryPreventsTheStaleRead) {
+  CacheCluster cluster(2, 100);
+  const cache::Key key = 17;
+  ServerId owner = cluster.OwnerOf(key);
+
+  FaultSchedule schedule;
+  schedule.events.push_back(CrashEvent(owner, 1, 3));
+  FaultInjector injector(schedule);
+
+  FailurePolicy safe;  // recover_cold = true by default
+  safe.breaker_failure_threshold = 100;
+  FrontendClient client(&cluster, nullptr);
+  client.SetFaultInjector(&injector, 0, safe);
+
+  EXPECT_EQ(client.Get(key), StorageLayer::InitialValue(key));  // clock 0
+  client.Set(key, 4242);                                        // clock 1
+  EXPECT_EQ(client.Get(key), 4242u);                            // clock 2
+
+  // Clock 3: first contact after the crash window bumps the generation,
+  // the shard restarts cold, and the read re-fetches from storage.
+  EXPECT_EQ(client.Get(key), 4242u);
+  EXPECT_EQ(client.stats().cold_restarts, 1u);
+  EXPECT_EQ(cluster.server_generation(owner), 1u);
+  // The fill after the cold miss re-populated the shard with fresh data.
+  auto shard_copy = cluster.server(owner).Get(key);
+  ASSERT_TRUE(shard_copy.has_value());
+  EXPECT_EQ(*shard_copy, 4242u);
+}
+
+// A reachable shard that swallows an invalidation after bounded retries is
+// fenced with a forced cold restart — the stale copy cannot survive.
+TEST(FaultToleranceTest, LostInvalidationToReachableShardForcesColdRestart) {
+  CacheCluster cluster(2, 100);
+  const cache::Key key = 23;
+  ServerId owner = cluster.OwnerOf(key);
+
+  FaultSchedule schedule;
+  // Certain transient failure: every attempt of ops 1..2 fails, but the
+  // shard is not crashed, so the loss cannot rely on crash recovery.
+  schedule.events.push_back(TransientEvent(owner, 1, 2, 1.0));
+  FaultInjector injector(schedule);
+
+  FrontendClient client(&cluster, nullptr);
+  client.SetFaultInjector(&injector, 0, FailurePolicy());
+
+  EXPECT_EQ(client.Get(key), StorageLayer::InitialValue(key));  // clock 0
+  client.Set(key, 99);  // clock 1: delete undeliverable -> fence
+  EXPECT_EQ(client.stats().lost_invalidations, 1u);
+  EXPECT_EQ(client.stats().forced_restarts, 1u);
+  // The pre-update copy was dropped with the fence.
+  EXPECT_FALSE(cluster.server(owner).Get(key).has_value());
+  EXPECT_EQ(client.Get(key), 99u);  // clock 2: cold miss -> fresh
+}
+
+// Zero-stale-read soak: a client without a local cache races updates and
+// reads against crash, transient, and slow windows. Storage is
+// authoritative, so every read must observe the latest write no matter
+// which path (shard, failover, degraded) served it.
+TEST(FaultToleranceTest, NoStaleReadsUnderMixedFaultSchedule) {
+  const uint32_t kServers = 4;
+  CacheCluster cluster(kServers, 64);
+  FaultSchedule schedule;
+  schedule.events.push_back(CrashEvent(0, 100, 400));
+  schedule.events.push_back(CrashEvent(1, 600, 900));
+  schedule.events.push_back(CrashEvent(0, 1200, 1300));  // second crash
+  schedule.events.push_back(TransientEvent(2, 0, 2000, 0.4));
+  schedule.events.push_back(SlowEvent(3, 0, 2000, 5.0));
+  ASSERT_TRUE(schedule.Validate(kServers).ok());
+  FaultInjector injector(schedule);
+
+  FrontendClient client(&cluster, nullptr);
+  client.SetFaultInjector(&injector, 0, FailurePolicy());
+
+  std::map<cache::Key, cache::Value> expected;
+  Rng rng(2024);
+  for (uint64_t op = 0; op < 2000; ++op) {
+    cache::Key key = rng.NextBelow(64);
+    if (rng.NextBelow(10) == 0) {
+      cache::Value value = 1000 + op;
+      client.Set(key, value);
+      expected[key] = value;
+    } else {
+      cache::Value want = expected.count(key)
+                              ? expected[key]
+                              : StorageLayer::InitialValue(key);
+      ASSERT_EQ(client.Get(key), want) << "stale read at op " << op;
+    }
+  }
+  // The schedule actually exercised every failure path.
+  const FrontendStats& s = client.stats();
+  EXPECT_GT(s.failed_requests, 0u);
+  EXPECT_GT(s.retries, 0u);
+  EXPECT_GT(s.failovers, 0u);
+  EXPECT_GT(s.breaker_trips, 0u);
+  EXPECT_GT(s.degraded_ops, 0u);
+  EXPECT_GT(s.slow_ops, 0u);
+  EXPECT_GT(s.cold_restarts, 0u);
+}
+
+// The acceptance identity: every read is served exactly once — locally, by
+// a delivered shard lookup, by a degraded (breaker) storage read, or by a
+// failover storage read. Every update invalidation is either delivered or
+// counted lost.
+TEST(FaultToleranceTest, AvailabilityCountersAccountForEveryOperation) {
+  ExperimentConfig config;
+  config.num_servers = 4;
+  config.key_space = 5000;
+  config.num_clients = 4;
+  config.total_ops = 40000;
+  config.seed = 7;
+  workload::PhaseSpec phase;
+  phase.read_fraction = 0.9;
+  config.phases = {phase};
+  config.faults.events.push_back(CrashEvent(0, 1000, 4000));
+  config.faults.events.push_back(TransientEvent(1, 2000, 8000, 0.5));
+
+  auto result = RunExperiment(
+      config, [](uint32_t) { return std::make_unique<cache::LruCache>(64); });
+  ASSERT_TRUE(result.ok());
+  const FrontendStats& a = result->aggregate;
+
+  EXPECT_EQ(a.reads,
+            a.local_hits + a.backend_lookups + a.degraded_ops + a.failovers);
+  // Single-replica routing: one invalidation target per update.
+  EXPECT_EQ(a.updates, a.invalidations + a.lost_invalidations);
+  // Delivered lookups resolve at the shard or at storage; degraded and
+  // failover reads hit storage too; invalidation losses never read.
+  EXPECT_EQ(a.backend_lookups + a.degraded_ops + a.failovers,
+            a.backend_hits + a.storage_reads);
+  EXPECT_GE(a.failed_requests, a.retries);
+  EXPECT_GT(a.failovers + a.degraded_ops, 0u);
+  EXPECT_GT(a.lost_invalidations, 0u);
+
+  // The availability profile blames the shards the schedule actually hit.
+  ASSERT_EQ(result->unavailable_ops_per_server.size(), 4u);
+  EXPECT_GT(result->unavailable_ops_per_server[0], 0u);
+  EXPECT_GT(result->unavailable_ops_per_server[1], 0u);
+  EXPECT_EQ(result->unavailable_ops_per_server[2], 0u);
+  EXPECT_EQ(result->unavailable_ops_per_server[3], 0u);
+}
+
+// Fault windows are keyed on each client's logical op clock, so a faulty
+// run is exactly as deterministic as a healthy one: per-client logical
+// stats are byte-identical at any thread count. (backend_hits and
+// storage_reads are excluded: under concurrent updates, whether a shard
+// miss hits storage before another client's fill is a real race, same as
+// in the fault-free parallel experiment contract. cold_restarts is also
+// excluded: which client wins the idempotent generation bump is timing.)
+TEST(FaultToleranceTest, FaultyRunsAreDeterministicAcrossThreadCounts) {
+  ExperimentConfig config;
+  config.num_servers = 4;
+  config.key_space = 2000;
+  config.num_clients = 8;
+  config.total_ops = 64000;
+  config.seed = 11;
+  workload::PhaseSpec phase;
+  phase.read_fraction = 0.95;
+  config.phases = {phase};
+  config.faults.events.push_back(CrashEvent(0, 500, 2500));
+  config.faults.events.push_back(TransientEvent(1, 1000, 5000, 0.3));
+  config.faults.events.push_back(SlowEvent(2, 0, 8000, 3.0));
+
+  auto factory = [](uint32_t) {
+    return std::make_unique<cache::LruCache>(128);
+  };
+
+  std::vector<std::vector<FrontendStats>> runs;
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    config.num_threads = threads;
+    auto result = RunExperiment(config, factory);
+    ASSERT_TRUE(result.ok());
+    runs.push_back(result->per_client);
+  }
+  for (size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), runs[0].size());
+    for (size_t i = 0; i < runs[0].size(); ++i) {
+      const FrontendStats& a = runs[0][i];
+      const FrontendStats& b = runs[run][i];
+      EXPECT_EQ(a.reads, b.reads) << "client " << i;
+      EXPECT_EQ(a.updates, b.updates) << "client " << i;
+      EXPECT_EQ(a.local_hits, b.local_hits) << "client " << i;
+      EXPECT_EQ(a.backend_lookups, b.backend_lookups) << "client " << i;
+      EXPECT_EQ(a.failed_requests, b.failed_requests) << "client " << i;
+      EXPECT_EQ(a.retries, b.retries) << "client " << i;
+      EXPECT_EQ(a.failovers, b.failovers) << "client " << i;
+      EXPECT_EQ(a.degraded_ops, b.degraded_ops) << "client " << i;
+      EXPECT_EQ(a.invalidations, b.invalidations) << "client " << i;
+      EXPECT_EQ(a.lost_invalidations, b.lost_invalidations)
+          << "client " << i;
+      EXPECT_EQ(a.forced_restarts, b.forced_restarts) << "client " << i;
+      EXPECT_EQ(a.breaker_trips, b.breaker_trips) << "client " << i;
+      EXPECT_EQ(a.slow_ops, b.slow_ops) << "client " << i;
+    }
+  }
+  // The schedule fired (this is not a vacuous comparison).
+  uint64_t failed = 0;
+  for (const FrontendStats& s : runs[0]) failed += s.failed_requests;
+  EXPECT_GT(failed, 0u);
+}
+
+// The client's locally observed imbalance stays finite when faults starve
+// shards of traffic (satellite: zero-lookup / zero-shard epoch guards).
+TEST(FaultToleranceTest, EpochImbalanceIsFiniteWhenAllTrafficFailsOver) {
+  CacheCluster cluster(2, 100);
+  FaultSchedule schedule;
+  schedule.events.push_back(CrashEvent(0, 0, 1000));
+  schedule.events.push_back(CrashEvent(1, 0, 1000));
+  FaultInjector injector(schedule);
+  FrontendClient client(&cluster, nullptr);
+  FailurePolicy policy;
+  policy.breaker_failure_threshold = 1000000;  // keep attempting
+  client.SetFaultInjector(&injector, 0, policy);
+
+  for (uint64_t k = 0; k < 200; ++k) {
+    EXPECT_EQ(client.Get(k % 100), StorageLayer::InitialValue(k % 100));
+  }
+  EXPECT_EQ(client.stats().failovers, 200u);
+  double imbalance = client.CurrentEpochImbalance();
+  EXPECT_EQ(imbalance, 1.0);  // no usable signal -> neutral, never NaN
+}
+
+// The end-to-end simulator prices the degraded paths: the same workload
+// costs strictly more wall-clock with failures in it, and delivered slow
+// windows stretch service times.
+TEST(FaultToleranceTest, SimulatorPricesFaultsIntoTheMakespan) {
+  ExperimentConfig config;
+  config.num_servers = 4;
+  config.key_space = 2000;
+  config.num_clients = 4;
+  config.total_ops = 20000;
+  config.seed = 5;
+  workload::PhaseSpec phase;
+  phase.read_fraction = 0.95;
+  config.phases = {phase};
+
+  auto factory = [](uint32_t) {
+    return std::make_unique<cache::LruCache>(64);
+  };
+  sim::LatencyModel model;
+
+  auto healthy = sim::RunEndToEnd(config, factory, model);
+  ASSERT_TRUE(healthy.ok());
+
+  config.faults.events.push_back(CrashEvent(0, 100, 2000));
+  config.faults.events.push_back(SlowEvent(1, 0, 5000, 6.0));
+  auto faulty = sim::RunEndToEnd(config, factory, model);
+  ASSERT_TRUE(faulty.ok());
+
+  EXPECT_GT(faulty->makespan_us, healthy->makespan_us);
+  EXPECT_GT(faulty->mean_latency_us, healthy->mean_latency_us);
+  EXPECT_GT(faulty->logical.aggregate.failed_requests, 0u);
+  EXPECT_GT(faulty->logical.aggregate.slow_ops, 0u);
+}
+
+TEST(FaultToleranceTest, FaultPenaltyMatchesTimeoutAndBackoffLadder) {
+  sim::LatencyModel model;
+  model.timeout_us = 1000.0;
+  model.backoff_base_us = 100.0;
+  EXPECT_DOUBLE_EQ(model.FaultPenalty(0, true), 0.0);
+  EXPECT_DOUBLE_EQ(model.FaultPenalty(0, false), 0.0);
+  // One failure then success: timeout + the backoff before the retry.
+  EXPECT_DOUBLE_EQ(model.FaultPenalty(1, true), 1100.0);
+  // One failure then failover: just the timeout.
+  EXPECT_DOUBLE_EQ(model.FaultPenalty(1, false), 1000.0);
+  // Three failures then failover: 3 timeouts + 100 + 200 of backoff.
+  EXPECT_DOUBLE_EQ(model.FaultPenalty(3, false), 3300.0);
+  // Three failures then success: backoff before every re-attempt.
+  EXPECT_DOUBLE_EQ(model.FaultPenalty(3, true), 3700.0);
+}
+
+// An invalid schedule is rejected before any work happens.
+TEST(FaultToleranceTest, ExperimentRejectsInvalidSchedule) {
+  ExperimentConfig config;
+  config.num_servers = 2;
+  config.num_clients = 1;
+  config.total_ops = 10;
+  workload::PhaseSpec phase;
+  config.phases = {phase};
+  config.faults.events.push_back(CrashEvent(5, 0, 10));  // unknown shard
+  auto result = RunExperiment(config, nullptr);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace cot::cluster

@@ -56,6 +56,25 @@ int RunTool(int argc, char** argv) {
                   "synthetic workload");
   flags.AddBool("write-through", false,
                 "use write-through instead of invalidation on updates");
+  flags.AddString("fault-crash", "",
+                  "crash windows 'server:start:end[,...]' on each client's "
+                  "logical op clock");
+  flags.AddString("fault-transient", "",
+                  "transient-failure windows 'server:start:end:prob[,...]'");
+  flags.AddString("fault-slow", "",
+                  "slow-shard windows 'server:start:end:factor[,...]'");
+  flags.AddInt64("fault-seed", 0x5eedf001,
+                 "seed for transient fault draws");
+  flags.AddInt64("fault-retries", 2,
+                 "max retries after a failed backend request");
+  flags.AddInt64("fault-breaker-threshold", 3,
+                 "consecutive failures before a shard's circuit breaker "
+                 "opens");
+  flags.AddInt64("fault-breaker-cooldown", 64,
+                 "client ops an open breaker waits before a half-open probe");
+  flags.AddBool("fault-no-cold-recovery", false,
+                "disable the recovery generation bump (demonstrates the "
+                "stale-read hazard; unsafe)");
 
   Status s = flags.Parse(argc, argv);
   if (!s.ok()) {
@@ -76,6 +95,25 @@ int RunTool(int argc, char** argv) {
   config.total_ops = static_cast<uint64_t>(flags.GetInt64("ops"));
   config.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
   config.num_threads = static_cast<uint32_t>(flags.GetInt64("num-threads"));
+
+  {
+    auto faults = cluster::ParseFaultSchedule(
+        flags.GetString("fault-crash"), flags.GetString("fault-transient"),
+        flags.GetString("fault-slow"),
+        static_cast<uint64_t>(flags.GetInt64("fault-seed")));
+    if (!faults.ok()) {
+      std::fprintf(stderr, "%s\n", faults.status().ToString().c_str());
+      return 2;
+    }
+    config.faults = std::move(faults).value();
+  }
+  config.failure_policy.max_retries =
+      static_cast<uint32_t>(flags.GetInt64("fault-retries"));
+  config.failure_policy.breaker_failure_threshold =
+      static_cast<uint32_t>(flags.GetInt64("fault-breaker-threshold"));
+  config.failure_policy.breaker_cooldown_ops =
+      static_cast<uint64_t>(flags.GetInt64("fault-breaker-cooldown"));
+  config.failure_policy.recover_cold = !flags.GetBool("fault-no-cold-recovery");
 
   workload::PhaseSpec phase;
   phase.skew = flags.GetDouble("skew");
@@ -140,6 +178,29 @@ int RunTool(int argc, char** argv) {
   core::ResizerConfig resizer;
   resizer.target_imbalance = flags.GetDouble("target-imbalance");
 
+  auto print_fault_summary = [&](const cluster::FrontendStats& a) {
+    if (config.faults.empty()) return;
+    std::printf(
+        "faults: failed %llu  retries %llu  failovers %llu  degraded %llu\n",
+        static_cast<unsigned long long>(a.failed_requests),
+        static_cast<unsigned long long>(a.retries),
+        static_cast<unsigned long long>(a.failovers),
+        static_cast<unsigned long long>(a.degraded_ops));
+    std::printf(
+        "        lost invalidations %llu  forced restarts %llu  cold "
+        "restarts %llu\n",
+        static_cast<unsigned long long>(a.lost_invalidations),
+        static_cast<unsigned long long>(a.forced_restarts),
+        static_cast<unsigned long long>(a.cold_restarts));
+    std::printf(
+        "        breaker trips %llu  slow ops %llu  unavailable "
+        "shard-epochs %llu\n",
+        static_cast<unsigned long long>(a.breaker_trips),
+        static_cast<unsigned long long>(a.slow_ops),
+        static_cast<unsigned long long>(a.unavailable_shard_epochs));
+  };
+
+  std::unique_ptr<cluster::FaultInjector> trace_injector;
   if (trace != nullptr) {
     // Trace mode: one client, explicit drive.
     cluster::CacheCluster cluster(config.num_servers, config.key_space);
@@ -147,6 +208,17 @@ int RunTool(int argc, char** argv) {
     if (flags.GetBool("write-through")) {
       client.SetWritePolicy(
           cluster::FrontendClient::WritePolicy::kWriteThrough);
+    }
+    if (!config.faults.empty()) {
+      Status fs = config.faults.Validate(config.num_servers);
+      if (!fs.ok()) {
+        std::fprintf(stderr, "%s\n", fs.ToString().c_str());
+        return 2;
+      }
+      trace_injector =
+          std::make_unique<cluster::FaultInjector>(config.faults);
+      client.SetFaultInjector(trace_injector.get(), 0,
+                              config.failure_policy);
     }
     if (elastic) {
       Status es = client.EnableElasticResizing(resizer);
@@ -164,6 +236,7 @@ int RunTool(int argc, char** argv) {
     std::printf("imbalance (max/min): %.3f   jain: %.4f\n",
                 metrics::LoadImbalance(loads),
                 metrics::JainFairnessIndex(loads));
+    print_fault_summary(client.stats());
     return 0;
   }
 
@@ -187,6 +260,7 @@ int RunTool(int argc, char** argv) {
                 result->logical.imbalance,
                 metrics::JainFairnessIndex(
                     result->logical.per_server_lookups));
+    print_fault_summary(result->logical.aggregate);
     return 0;
   }
 
@@ -207,6 +281,14 @@ int RunTool(int argc, char** argv) {
     std::printf(" %llu", static_cast<unsigned long long>(load));
   }
   std::printf("\n");
+  print_fault_summary(result->aggregate);
+  if (!config.faults.empty()) {
+    std::printf("unavailable ops:   ");
+    for (uint64_t n : result->unavailable_ops_per_server) {
+      std::printf(" %llu", static_cast<unsigned long long>(n));
+    }
+    std::printf("\n");
+  }
   return 0;
 }
 
