@@ -12,8 +12,12 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "cluster/cache_cluster.h"
 #include "cluster/consistent_hash_ring.h"
+#include "cluster/frontend_client.h"
+#include "core/cot_cache.h"
 #include "core/space_saving_tracker.h"
+#include "metrics/event_tracer.h"
 #include "util/flat_hash_map.h"
 #include "util/random.h"
 #include "workload/zipfian_generator.h"
@@ -124,6 +128,39 @@ void BM_FlatMapVsUnorderedMap_Std(benchmark::State& state) {
   MapFindHitLoop<std::unordered_map<uint64_t, size_t>>(state);
 }
 
+// Cost of the observability hooks on the client read path: the same
+// elastic CoT client with no tracer attached (hooks compile in, one
+// predicted null check on cold paths) versus a live tracer recording epoch
+// boundaries and resizer decisions. BM_CotAccess above is the no-hook
+// baseline (bare policy, no client library at all). The disabled case must
+// stay within ~2% of it per the observability design note in DESIGN.md.
+void TracedClientLoop(benchmark::State& state, bool attach_tracer) {
+  cluster::CacheCluster cluster(8, kKeys);
+  cluster::FrontendClient client(
+      &cluster, std::make_unique<core::CotCache>(kLines, 4 * kLines));
+  metrics::EventTracer tracer(1 << 16, /*client=*/0);
+  if (attach_tracer) client.SetTracer(&tracer);
+  core::ResizerConfig config;
+  Status enabled = client.EnableElasticResizing(config);
+  if (!enabled.ok()) {
+    state.SkipWithError("EnableElasticResizing failed");
+    return;
+  }
+  workload::ZipfianGenerator gen(kKeys, 0.99);
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Get(gen.Next(rng)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_TracerOverhead_Disabled(benchmark::State& state) {
+  TracedClientLoop(state, false);
+}
+void BM_TracerOverhead_Enabled(benchmark::State& state) {
+  TracedClientLoop(state, true);
+}
+
 BENCHMARK(BM_LruAccess);
 BENCHMARK(BM_LfuAccess);
 BENCHMARK(BM_ArcAccess);
@@ -135,6 +172,8 @@ BENCHMARK(BM_ZipfianNext);
 BENCHMARK(BM_CotMixedReadUpdate);
 BENCHMARK(BM_FlatMapVsUnorderedMap_Flat)->Arg(512)->Arg(32768);
 BENCHMARK(BM_FlatMapVsUnorderedMap_Std)->Arg(512)->Arg(32768);
+BENCHMARK(BM_TracerOverhead_Disabled);
+BENCHMARK(BM_TracerOverhead_Enabled);
 
 }  // namespace
 

@@ -1,6 +1,7 @@
 #include "cluster/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <thread>
 
 #include "cluster/cache_cluster.h"
@@ -56,6 +57,48 @@ void DriveClients(const std::vector<uint32_t>& owned,
 
 }  // namespace
 
+void ExportMetrics(ExperimentResult* result) {
+  metrics::MetricsRegistry& reg = result->metrics;
+  const FrontendStats& a = result->aggregate;
+  reg.SetCounter("client/reads", a.reads);
+  reg.SetCounter("client/updates", a.updates);
+  reg.SetCounter("client/local_hits", a.local_hits);
+  reg.SetCounter("client/backend_lookups", a.backend_lookups);
+  reg.SetCounter("client/backend_hits", a.backend_hits);
+  reg.SetCounter("client/storage_reads", a.storage_reads);
+  reg.SetCounter("client/invalidations", a.invalidations);
+  reg.SetCounter("faults/failed_requests", a.failed_requests);
+  reg.SetCounter("faults/retries", a.retries);
+  reg.SetCounter("faults/failovers", a.failovers);
+  reg.SetCounter("faults/degraded_ops", a.degraded_ops);
+  reg.SetCounter("faults/lost_invalidations", a.lost_invalidations);
+  reg.SetCounter("faults/forced_restarts", a.forced_restarts);
+  reg.SetCounter("faults/cold_restarts", a.cold_restarts);
+  reg.SetCounter("faults/breaker_trips", a.breaker_trips);
+  reg.SetCounter("faults/slow_ops", a.slow_ops);
+  reg.SetCounter("faults/unavailable_shard_epochs",
+                 a.unavailable_shard_epochs);
+  char name[64];
+  for (size_t i = 0; i < result->per_server_lookups.size(); ++i) {
+    std::snprintf(name, sizeof(name), "shard/%zu/lookups", i);
+    reg.SetCounter(name, result->per_server_lookups[i]);
+  }
+  for (size_t i = 0; i < result->unavailable_ops_per_server.size(); ++i) {
+    if (result->unavailable_ops_per_server[i] == 0) continue;
+    std::snprintf(name, sizeof(name), "shard/%zu/unavailable_ops", i);
+    reg.SetCounter(name, result->unavailable_ops_per_server[i]);
+  }
+  reg.SetGauge("imbalance", result->imbalance);
+  reg.SetGauge("local_hit_rate", result->local_hit_rate);
+  reg.SetCounter("trace/dropped", result->trace_dropped);
+  for (const metrics::TraceEvent& event : result->trace) {
+    std::snprintf(name, sizeof(name), "trace/events/%.*s",
+                  static_cast<int>(ToString(event.type).size()),
+                  ToString(event.type).data());
+    reg.IncrementCounter(name);
+  }
+}
+
 StatusOr<ExperimentResult> RunExperiment(
     const ExperimentConfig& config, const CacheFactory& factory,
     const core::ResizerConfig* resizer_config) {
@@ -92,6 +135,7 @@ StatusOr<ExperimentResult> RunExperiment(
 
   std::vector<std::unique_ptr<FrontendClient>> clients;
   std::vector<workload::OpStream> streams;
+  std::vector<std::unique_ptr<metrics::EventTracer>> tracers;
   clients.reserve(config.num_clients);
   streams.reserve(config.num_clients);
   for (uint32_t i = 0; i < config.num_clients; ++i) {
@@ -100,6 +144,13 @@ StatusOr<ExperimentResult> RunExperiment(
     if (injector != nullptr) {
       clients.back()->SetFaultInjector(injector.get(), i,
                                        config.failure_policy);
+    }
+    if (config.trace_capacity > 0) {
+      // One private tracer per client, written only by the thread that
+      // drives the client — merged after the join below.
+      tracers.push_back(std::make_unique<metrics::EventTracer>(
+          config.trace_capacity, i));
+      clients.back()->SetTracer(tracers.back().get());
     }
     if (resizer_config != nullptr && clients.back()->local_cache() != nullptr) {
       Status s = clients.back()->EnableElasticResizing(*resizer_config);
@@ -154,6 +205,16 @@ StatusOr<ExperimentResult> RunExperiment(
     }
   }
   result.local_hit_rate = result.aggregate.LocalHitRate();
+  if (!tracers.empty()) {
+    std::vector<const metrics::EventTracer*> views;
+    views.reserve(tracers.size());
+    for (const auto& t : tracers) {
+      views.push_back(t.get());
+      result.trace_dropped += t->dropped();
+    }
+    result.trace = metrics::EventTracer::Merge(views);
+  }
+  ExportMetrics(&result);
   return result;
 }
 

@@ -10,6 +10,8 @@
 #include "cluster/fault_injector.h"
 #include "cluster/frontend_client.h"
 #include "core/elastic_resizer.h"
+#include "metrics/event_tracer.h"
+#include "metrics/metrics_registry.h"
 #include "util/status.h"
 #include "workload/op_stream.h"
 
@@ -56,6 +58,15 @@ struct ExperimentConfig {
   /// Client-side failure handling (retries, circuit breaker, cold
   /// recovery). Only consulted when `faults` is non-empty.
   FailurePolicy failure_policy;
+  /// Structured event tracing: ring-buffer slots retained *per client*
+  /// (resizer decisions, epoch boundaries, breaker transitions, fault
+  /// activations, retry episodes). 0 — the default — disables tracing
+  /// entirely: no tracer objects exist and every instrumentation site is a
+  /// null-pointer test on a cold path. Each client gets a private tracer
+  /// (written only by its driving thread), merged deterministically into
+  /// `ExperimentResult::trace` after the run, so traces are byte-identical
+  /// at any thread count.
+  size_t trace_capacity = 0;
 };
 
 /// Builds each client's local cache; called once per client index. Return
@@ -83,7 +94,22 @@ struct ExperimentResult {
   std::vector<uint64_t> unavailable_ops_per_server;
   /// Local cache hit-rate over all clients (hits / reads).
   double local_hit_rate = 0.0;
+  /// Merged structured event trace, ordered by `(client, seq)` — the order
+  /// is a pure function of each client's own stream, so it is identical at
+  /// any thread count. Empty unless `ExperimentConfig::trace_capacity > 0`.
+  std::vector<metrics::TraceEvent> trace;
+  /// Events dropped across all clients because a ring buffer was full.
+  uint64_t trace_dropped = 0;
+  /// Run-level counters/gauges (always populated; see ExportMetrics).
+  metrics::MetricsRegistry metrics;
 };
+
+/// Fills `result->metrics` from the result's own counters: every
+/// `FrontendStats` field as a counter, per-shard lookup/failure counts,
+/// imbalance and hit-rate gauges, and per-event-type trace counters. Called
+/// by the experiment engines; exposed so custom drivers (benches, the
+/// end-to-end simulator) can reuse the exact same export.
+void ExportMetrics(ExperimentResult* result);
 
 /// Runs the experiment: builds a fresh `CacheCluster`, `num_clients`
 /// clients via `factory`, drives each client's private `OpStream` — either

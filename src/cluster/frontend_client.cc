@@ -48,6 +48,11 @@ void FrontendClient::SetFaultInjector(const FaultInjector* injector,
   failure_policy_ = policy;
 }
 
+void FrontendClient::SetTracer(metrics::EventTracer* tracer) {
+  tracer_ = tracer;
+  if (resizer_ != nullptr) resizer_->SetTracer(tracer);
+}
+
 Status FrontendClient::EnableElasticResizing(
     const core::ResizerConfig& config) {
   if (cot_cache_ == nullptr) {
@@ -55,6 +60,7 @@ Status FrontendClient::EnableElasticResizing(
         "elastic resizing requires a CotCache local cache");
   }
   resizer_ = std::make_unique<core::ElasticResizer>(cot_cache_, config);
+  resizer_->SetTracer(tracer_);
   return Status::OK();
 }
 
@@ -84,16 +90,32 @@ void FrontendClient::RecordFailure(ServerId sid, uint64_t now) {
   if (b.open) {
     // Failed half-open probe: stay open for another cooldown.
     b.open_until = now + failure_policy_.breaker_cooldown_ops;
+    if (tracer_ != nullptr) {
+      tracer_->Record(now, metrics::BreakerTransitionPayload{
+                               static_cast<uint32_t>(sid), "half_open", "open",
+                               b.consecutive_failures});
+    }
   } else if (b.consecutive_failures >=
              failure_policy_.breaker_failure_threshold) {
     b.open = true;
     b.open_until = now + failure_policy_.breaker_cooldown_ops;
     ++stats_.breaker_trips;
+    if (tracer_ != nullptr) {
+      tracer_->Record(now, metrics::BreakerTransitionPayload{
+                               static_cast<uint32_t>(sid), "closed", "open",
+                               b.consecutive_failures});
+    }
   }
 }
 
 void FrontendClient::RecordSuccess(ServerId sid) {
   Breaker& b = breakers_[sid];
+  if (b.open && tracer_ != nullptr) {
+    // A success on an open breaker is by construction the half-open probe.
+    tracer_->Record(op_clock_, metrics::BreakerTransitionPayload{
+                                   static_cast<uint32_t>(sid), "half_open",
+                                   "closed", b.consecutive_failures});
+  }
   b.open = false;
   b.consecutive_failures = 0;
 }
@@ -120,14 +142,30 @@ bool FrontendClient::TryDeliver(ServerId sid, uint64_t now,
       if (d.slow_factor > 1.0) ++stats_.slow_ops;
       outcome->slow_factor = std::max(outcome->slow_factor, d.slow_factor);
       RecordSuccess(sid);
+      if (attempt > 0 && tracer_ != nullptr) {
+        tracer_->Record(now, metrics::RetryEpisodePayload{
+                                 static_cast<uint32_t>(sid), attempt, true});
+      }
       return true;
     }
     ++stats_.failed_requests;
     ++outcome->failed_attempts;
     RecordFailure(sid, now);
+    if (tracer_ != nullptr) {
+      tracer_->Record(now, metrics::FaultActivationPayload{
+                               static_cast<uint32_t>(sid),
+                               d.crashed ? "crash" : "transient", attempt});
+    }
     // A crashed shard is down for the whole window — the retry clock is
     // logical, so re-asking at the same instant cannot succeed.
-    if (d.crashed || attempt >= failure_policy_.max_retries) return false;
+    if (d.crashed || attempt >= failure_policy_.max_retries) {
+      if (tracer_ != nullptr) {
+        tracer_->Record(now,
+                        metrics::RetryEpisodePayload{
+                            static_cast<uint32_t>(sid), attempt + 1, false});
+      }
+      return false;
+    }
     ++attempt;
     ++stats_.retries;
   }
@@ -351,6 +389,13 @@ void FrontendClient::OnOperation() {
   std::vector<uint8_t> mask = epoch_shard_unavailable_;
   for (size_t i = 0; i < mask.size(); ++i) {
     if (!cluster_->IsActive(static_cast<ServerId>(i))) mask[i] = 1;
+  }
+  if (tracer_ != nullptr) {
+    // The boundary precedes its decision in the stream: same epoch index,
+    // recorded before EndEpoch appends the kResizerDecision event.
+    tracer_->Record(op_clock_, metrics::EpochBoundaryPayload{
+                                   resizer_->epochs_completed(),
+                                   resizer_->accesses_in_epoch(), lookups});
   }
   resizer_->EndEpoch(epoch_lookups_, &mask);
   CloseEpochAvailability();

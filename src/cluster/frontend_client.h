@@ -12,6 +12,7 @@
 #include "cluster/routing.h"
 #include "core/cot_cache.h"
 #include "core/elastic_resizer.h"
+#include "metrics/event_tracer.h"
 #include "util/status.h"
 #include "workload/types.h"
 
@@ -152,6 +153,16 @@ class FrontendClient {
   void SetFaultInjector(const FaultInjector* injector, uint32_t client_id,
                         const FailurePolicy& policy = FailurePolicy());
 
+  /// Attaches a structured event sink (borrowed; null disables — the
+  /// default, with zero cost beyond one predicted branch on cold paths).
+  /// The client records breaker transitions, fault activations, retry
+  /// episodes, and resizer epoch boundaries into it, all stamped with the
+  /// client's logical op clock; the tracer is forwarded to the elastic
+  /// resizer when one is (or becomes) attached. The tracer must be private
+  /// to this client's driving thread (see metrics::EventTracer).
+  void SetTracer(metrics::EventTracer* tracer);
+  metrics::EventTracer* tracer() const { return tracer_; }
+
   const FailurePolicy& failure_policy() const { return failure_policy_; }
 
   /// Enables CoT elastic resizing. The local cache must be a `CotCache`;
@@ -278,6 +289,7 @@ class FrontendClient {
   void CloseEpochAvailability();
 
   CacheCluster* cluster_;
+  metrics::EventTracer* tracer_ = nullptr;
   RoutingPolicy* router_ = nullptr;  // null = consistent hashing
   WritePolicy write_policy_ = WritePolicy::kInvalidate;
   std::unique_ptr<cache::Cache> local_cache_;

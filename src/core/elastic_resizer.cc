@@ -202,7 +202,9 @@ EpochReport ElasticResizer::SkipEpoch() {
   report.tracker_capacity = cache_->tracker_capacity();
   history_.push_back(report);
   cache_->ResetEpochStats();
+  lifetime_accesses_ += accesses_in_epoch_;
   accesses_in_epoch_ = 0;
+  TraceDecision(report);
   return report;
 }
 
@@ -381,8 +383,29 @@ EpochReport ElasticResizer::EndEpochImpl(double current_imbalance,
   report.tracker_capacity = cache_->tracker_capacity();
   history_.push_back(report);
   cache_->ResetEpochStats();
+  lifetime_accesses_ += accesses_in_epoch_;
   accesses_in_epoch_ = 0;
+  TraceDecision(report);
   return report;
+}
+
+void ElasticResizer::TraceDecision(const EpochReport& report) {
+  if (tracer_ == nullptr) return;
+  metrics::ResizerDecisionPayload payload;
+  payload.epoch = report.epoch;
+  payload.phase = ToString(report.phase);
+  payload.action = ToString(report.action);
+  payload.current_imbalance = report.current_imbalance;
+  payload.smoothed_imbalance = report.smoothed_imbalance;
+  payload.target_imbalance = config_.target_imbalance;
+  payload.alpha_c = report.alpha_c;
+  payload.alpha_kc = report.alpha_kc;
+  payload.alpha_kc_signal = report.alpha_kc_signal;
+  payload.alpha_target = report.alpha_target;
+  payload.hit_rate = report.hit_rate;
+  payload.cache_capacity = report.cache_capacity;
+  payload.tracker_capacity = report.tracker_capacity;
+  tracer_->Record(lifetime_accesses_, payload);
 }
 
 }  // namespace cot::core

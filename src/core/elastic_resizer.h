@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/cot_cache.h"
+#include "metrics/event_tracer.h"
 
 namespace cot::core {
 
@@ -199,6 +200,15 @@ class ElasticResizer {
   /// Full trace of every epoch so far.
   const std::vector<EpochReport>& history() const { return history_; }
 
+  /// Attaches a structured event sink (borrowed; null disables). Every
+  /// `EndEpoch` then records one `kResizerDecision` event carrying the full
+  /// Algorithm-3 inputs and the chosen action, stamped with the resizer's
+  /// cumulative access count as the logical clock. The sink must be
+  /// written only by the thread driving this resizer (one tracer per
+  /// client — see metrics::EventTracer).
+  void SetTracer(metrics::EventTracer* tracer) { tracer_ = tracer; }
+  metrics::EventTracer* tracer() const { return tracer_; }
+
  private:
   EpochReport EndEpochImpl(double raw_imbalance, double smoothed_imbalance);
   /// Closes an epoch that carried no usable measurement: records a
@@ -214,11 +224,16 @@ class ElasticResizer {
   /// Halves cache and tracker together, clamped to min_cache_capacity.
   ResizeAction HalveBoth();
 
+  /// Emits `report` to the attached tracer (no-op when detached).
+  void TraceDecision(const EpochReport& report);
+
   CotCache* cache_;
+  metrics::EventTracer* tracer_ = nullptr;
   ResizerConfig config_;
   ResizerPhase phase_;
   uint64_t epoch_size_;
   uint64_t accesses_in_epoch_ = 0;
+  uint64_t lifetime_accesses_ = 0;  // trace timestamp: accesses ever closed
   uint64_t epoch_index_ = 0;
   int warmup_remaining_ = 0;
   double alpha_target_ = 0.0;

@@ -1,0 +1,166 @@
+#include "metrics/event_tracer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cot::metrics {
+
+std::string_view ToString(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kEpochBoundary:
+      return "epoch_boundary";
+    case TraceEventType::kResizerDecision:
+      return "resizer_decision";
+    case TraceEventType::kBreakerTransition:
+      return "breaker_transition";
+    case TraceEventType::kFaultActivation:
+      return "fault_activation";
+    case TraceEventType::kRetryEpisode:
+      return "retry_episode";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void AppendU64(std::string* out, std::string_view key, uint64_t value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%.*s\":%llu",
+                static_cast<int>(key.size()), key.data(),
+                static_cast<unsigned long long>(value));
+  if (out->back() != '{') out->push_back(',');
+  out->append(buf);
+}
+
+void AppendDouble(std::string* out, std::string_view key, double value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%.*s\":%.6g",
+                static_cast<int>(key.size()), key.data(), value);
+  if (out->back() != '{') out->push_back(',');
+  out->append(buf);
+}
+
+void AppendStr(std::string* out, std::string_view key, std::string_view value) {
+  if (out->back() != '{') out->push_back(',');
+  out->push_back('"');
+  out->append(key);
+  out->append("\":\"");
+  out->append(value);
+  out->push_back('"');
+}
+
+void AppendBool(std::string* out, std::string_view key, bool value) {
+  if (out->back() != '{') out->push_back(',');
+  out->push_back('"');
+  out->append(key);
+  out->append("\":");
+  out->append(value ? "true" : "false");
+}
+
+struct PayloadWriter {
+  std::string* out;
+
+  void operator()(const EpochBoundaryPayload& p) const {
+    AppendU64(out, "epoch", p.epoch);
+    AppendU64(out, "accesses", p.accesses);
+    AppendU64(out, "backend_lookups", p.backend_lookups);
+  }
+  void operator()(const ResizerDecisionPayload& p) const {
+    AppendU64(out, "epoch", p.epoch);
+    AppendStr(out, "phase", p.phase);
+    AppendStr(out, "action", p.action);
+    AppendDouble(out, "ic", p.current_imbalance);
+    AppendDouble(out, "ic_smoothed", p.smoothed_imbalance);
+    AppendDouble(out, "i_t", p.target_imbalance);
+    AppendDouble(out, "alpha_c", p.alpha_c);
+    AppendDouble(out, "alpha_kc", p.alpha_kc);
+    AppendDouble(out, "alpha_kc_signal", p.alpha_kc_signal);
+    AppendDouble(out, "alpha_t", p.alpha_target);
+    AppendDouble(out, "hit_rate", p.hit_rate);
+    AppendU64(out, "cache", p.cache_capacity);
+    AppendU64(out, "tracker", p.tracker_capacity);
+  }
+  void operator()(const BreakerTransitionPayload& p) const {
+    AppendU64(out, "server", p.server);
+    AppendStr(out, "from", p.from);
+    AppendStr(out, "to", p.to);
+    AppendU64(out, "consecutive_failures", p.consecutive_failures);
+  }
+  void operator()(const FaultActivationPayload& p) const {
+    AppendU64(out, "server", p.server);
+    AppendStr(out, "kind", p.kind);
+    AppendU64(out, "attempt", p.attempt);
+  }
+  void operator()(const RetryEpisodePayload& p) const {
+    AppendU64(out, "server", p.server);
+    AppendU64(out, "failed_attempts", p.failed_attempts);
+    AppendBool(out, "delivered", p.delivered);
+  }
+};
+
+}  // namespace
+
+std::string ToJson(const TraceEvent& event) {
+  std::string out;
+  out.reserve(256);
+  out.push_back('{');
+  AppendStr(&out, "type", ToString(event.type));
+  AppendU64(&out, "client", event.client);
+  AppendU64(&out, "seq", event.seq);
+  AppendU64(&out, "op_clock", event.op_clock);
+  std::visit(PayloadWriter{&out}, event.payload);
+  out.push_back('}');
+  return out;
+}
+
+EventTracer::EventTracer(size_t capacity, uint32_t client)
+    : capacity_(capacity), client_(client) {
+  ring_.reserve(std::min<size_t>(capacity, 1024));
+}
+
+std::vector<TraceEvent> EventTracer::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once wrapped, `head_` is the oldest retained event.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string EventTracer::ToJsonl() const {
+  std::string out;
+  for (const TraceEvent& event : Events()) {
+    out += ToJson(event);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void EventTracer::Clear() {
+  ring_.clear();
+  head_ = 0;
+}
+
+std::vector<TraceEvent> EventTracer::Merge(
+    const std::vector<const EventTracer*>& tracers) {
+  std::vector<TraceEvent> merged;
+  size_t total = 0;
+  for (const EventTracer* t : tracers) {
+    if (t != nullptr) total += t->size();
+  }
+  merged.reserve(total);
+  for (const EventTracer* t : tracers) {
+    if (t == nullptr) continue;
+    std::vector<TraceEvent> events = t->Events();
+    merged.insert(merged.end(), events.begin(), events.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.client != b.client) return a.client < b.client;
+                     return a.seq < b.seq;
+                   });
+  return merged;
+}
+
+}  // namespace cot::metrics

@@ -1,0 +1,180 @@
+#ifndef COT_METRICS_EVENT_TRACER_H_
+#define COT_METRICS_EVENT_TRACER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace cot::metrics {
+
+/// Kinds of structured runtime events the tracer records. Every event the
+/// system emits is one of these — printf archaeology replaced by a typed,
+/// replayable stream.
+enum class TraceEventType : uint8_t {
+  /// A resizer epoch closed (recorded by the driving client, which knows
+  /// its logical clock and how many backend lookups the epoch carried).
+  kEpochBoundary,
+  /// One Algorithm-3 decision with its full inputs (I_c raw/smoothed, I_t,
+  /// alpha_c, alpha_{k-c}, the signal variant actually used, alpha_t) and
+  /// the chosen action — the data behind the paper's Figures 7-8.
+  kResizerDecision,
+  /// A per-shard circuit breaker changed state (closed/open/half_open).
+  kBreakerTransition,
+  /// One injected fault observed by a client: a request attempt that
+  /// failed (crash window or transient draw).
+  kFaultActivation,
+  /// A delivery that needed retries: how many attempts failed before the
+  /// request was delivered or abandoned.
+  kRetryEpisode,
+};
+
+std::string_view ToString(TraceEventType type);
+
+/// Payloads. String fields hold `string_view`s of *static* storage (the
+/// enum `ToString` helpers) — events never allocate on the record path.
+struct EpochBoundaryPayload {
+  uint64_t epoch = 0;
+  uint64_t accesses = 0;         // accesses the epoch spanned
+  uint64_t backend_lookups = 0;  // lookups the epoch's I_c was computed over
+};
+
+struct ResizerDecisionPayload {
+  uint64_t epoch = 0;
+  std::string_view phase;   // core::ToString(ResizerPhase)
+  std::string_view action;  // core::ToString(ResizeAction)
+  double current_imbalance = 1.0;   // I_c, raw this epoch
+  double smoothed_imbalance = 1.0;  // I_c EWMA the decision used
+  double target_imbalance = 0.0;    // I_t
+  double alpha_c = 0.0;
+  double alpha_kc = 0.0;         // the paper's literal per-(K-C)-line form
+  double alpha_kc_signal = 0.0;  // the value Case 1/2 actually compared
+  double alpha_target = 0.0;     // alpha_t
+  double hit_rate = 0.0;
+  uint64_t cache_capacity = 0;    // after the action
+  uint64_t tracker_capacity = 0;  // after the action
+};
+
+struct BreakerTransitionPayload {
+  uint32_t server = 0;
+  std::string_view from;  // "closed" | "open" | "half_open"
+  std::string_view to;
+  uint32_t consecutive_failures = 0;
+};
+
+struct FaultActivationPayload {
+  uint32_t server = 0;
+  std::string_view kind;  // "crash" | "transient"
+  uint32_t attempt = 0;   // 0-based retry index of the failed attempt
+};
+
+struct RetryEpisodePayload {
+  uint32_t server = 0;
+  uint32_t failed_attempts = 0;  // attempts that failed before the outcome
+  bool delivered = false;        // true if a retry eventually succeeded
+};
+
+/// One recorded event. `(client, seq)` is the deterministic order key:
+/// `seq` increments per tracer, and a tracer is only ever written by the
+/// one thread driving its client, so merged traces are byte-identical at
+/// any thread count.
+struct TraceEvent {
+  TraceEventType type = TraceEventType::kEpochBoundary;
+  uint32_t client = 0;
+  uint64_t seq = 0;
+  uint64_t op_clock = 0;  // recorder's logical operation clock
+  std::variant<EpochBoundaryPayload, ResizerDecisionPayload,
+               BreakerTransitionPayload, FaultActivationPayload,
+               RetryEpisodePayload>
+      payload;
+};
+
+/// Renders one event as a single-line JSON object (no trailing newline).
+std::string ToJson(const TraceEvent& event);
+
+/// Bounded ring buffer of typed runtime events with JSONL export.
+///
+/// Concurrency model: one tracer per client, written only by the thread
+/// driving that client (the same confinement that makes per-client stats
+/// deterministic); buffers are merged after the run with `Merge`, keyed on
+/// `(client, seq)`. Disabled tracing is a null sink pointer at every
+/// instrumentation site — the record call inlines to a single predictable
+/// branch, and the sites live on cold paths (epoch boundaries and failure
+/// handling), never the per-access hot path.
+class EventTracer {
+ public:
+  /// `capacity` bounds retained events (oldest dropped first); `client`
+  /// tags every recorded event.
+  explicit EventTracer(size_t capacity = 65536, uint32_t client = 0);
+
+  uint32_t client() const { return client_; }
+  size_t capacity() const { return capacity_; }
+  /// Events currently retained.
+  size_t size() const { return ring_.size(); }
+  /// Events overwritten because the ring was full.
+  uint64_t dropped() const { return dropped_; }
+  /// Total events ever recorded (retained + dropped).
+  uint64_t recorded() const { return next_seq_; }
+
+  void Record(uint64_t op_clock, EpochBoundaryPayload payload) {
+    Push(TraceEventType::kEpochBoundary, op_clock, payload);
+  }
+  void Record(uint64_t op_clock, ResizerDecisionPayload payload) {
+    Push(TraceEventType::kResizerDecision, op_clock, payload);
+  }
+  void Record(uint64_t op_clock, BreakerTransitionPayload payload) {
+    Push(TraceEventType::kBreakerTransition, op_clock, payload);
+  }
+  void Record(uint64_t op_clock, FaultActivationPayload payload) {
+    Push(TraceEventType::kFaultActivation, op_clock, payload);
+  }
+  void Record(uint64_t op_clock, RetryEpisodePayload payload) {
+    Push(TraceEventType::kRetryEpisode, op_clock, payload);
+  }
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  /// Retained events as JSONL (one event per line).
+  std::string ToJsonl() const;
+
+  /// Drops all retained events (sequence numbers keep counting).
+  void Clear();
+
+  /// Merges per-client tracers into one deterministic stream ordered by
+  /// `(client, seq)`. Null entries are skipped.
+  static std::vector<TraceEvent> Merge(
+      const std::vector<const EventTracer*>& tracers);
+
+ private:
+  template <typename Payload>
+  void Push(TraceEventType type, uint64_t op_clock, Payload payload) {
+    TraceEvent event;
+    event.type = type;
+    event.client = client_;
+    event.seq = next_seq_++;
+    event.op_clock = op_clock;
+    event.payload = std::move(payload);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(event));
+    } else if (capacity_ > 0) {
+      ring_[head_] = std::move(event);
+      head_ = (head_ + 1) % capacity_;
+      ++dropped_;
+    } else {
+      ++dropped_;
+    }
+  }
+
+  size_t capacity_;
+  uint32_t client_;
+  std::vector<TraceEvent> ring_;
+  size_t head_ = 0;  // index of the oldest event once the ring is full
+  uint64_t next_seq_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace cot::metrics
+
+#endif  // COT_METRICS_EVENT_TRACER_H_

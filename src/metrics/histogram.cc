@@ -107,4 +107,13 @@ std::string Histogram::ToString() const {
   return buf;
 }
 
+std::vector<std::pair<uint64_t, uint64_t>> Histogram::NonZeroBuckets() const {
+  const auto& limits = BucketLimits();
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) out.emplace_back(limits[i], buckets_[i]);
+  }
+  return out;
+}
+
 }  // namespace cot::metrics

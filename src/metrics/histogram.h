@@ -3,14 +3,18 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cot::metrics {
 
 /// Log-bucketed histogram for non-negative values (latencies, counts),
-/// modelled after the RocksDB statistics histogram: buckets grow roughly
-/// geometrically, giving ~4% relative resolution across nine decades with a
-/// fixed, allocation-free footprint.
+/// modelled after the RocksDB statistics histogram: bucket bounds grow
+/// geometrically (x1.5 / x1.33 alternating, i.e. two buckets per octave),
+/// so the raw bucket resolution is ~33-50% relative across nine decades
+/// with a fixed, allocation-free footprint; linear interpolation inside
+/// the containing bucket (clamped to the observed min/max) tightens
+/// reported percentiles well below that bound in practice.
 class Histogram {
  public:
   Histogram();
@@ -46,6 +50,10 @@ class Histogram {
 
   /// Renders a short single-line summary, e.g. for bench output.
   std::string ToString() const;
+
+  /// Occupied buckets as (upper_bound, count) pairs, ascending — the raw
+  /// distribution behind a JSON export.
+  std::vector<std::pair<uint64_t, uint64_t>> NonZeroBuckets() const;
 
  private:
   static const std::vector<uint64_t>& BucketLimits();

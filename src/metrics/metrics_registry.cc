@@ -1,0 +1,155 @@
+#include "metrics/metrics_registry.h"
+
+#include <cstdio>
+
+namespace cot::metrics {
+
+namespace {
+
+template <typename Map, typename Key>
+auto* FindOrNull(Map& map, const Key& key) {
+  auto it = map.find(key);
+  return it == map.end() ? nullptr : &it->second;
+}
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void MetricsRegistry::IncrementCounter(std::string_view name, uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::SetCounter(std::string_view name, uint64_t value) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const uint64_t* v = FindOrNull(counters_, name);
+  return v == nullptr ? 0 : *v;
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const double* v = FindOrNull(gauges_, name);
+  return v == nullptr ? 0.0 : *v;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram()).first;
+  }
+  return it->second;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  return FindOrNull(histograms_, name);
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    IncrementCounter(name, value);
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    SetGauge(name, value);
+  }
+  for (const auto& [name, hist] : other.histograms_) {
+    histogram(name).Merge(hist);
+  }
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out;
+  out.reserve(1024);
+  char buf[96];
+  out += "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(&out, name);
+    std::snprintf(buf, sizeof(buf), ": %llu",
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(&out, name);
+    std::snprintf(buf, sizeof(buf), ": %.6g", value);
+    out += buf;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(&out, name);
+    std::snprintf(
+        buf, sizeof(buf), ": {\"count\": %llu, \"sum\": %llu, ",
+        static_cast<unsigned long long>(hist.count()),
+        static_cast<unsigned long long>(hist.sum()));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"min\": %llu, \"max\": %llu, \"mean\": %.6g, ",
+                  static_cast<unsigned long long>(hist.min()),
+                  static_cast<unsigned long long>(hist.max()), hist.mean());
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"p50\": %.6g, \"p95\": %.6g, \"p99\": %.6g, ",
+                  hist.Median(), hist.P95(), hist.P99());
+    out += buf;
+    out += "\"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [upper, count] : hist.NonZeroBuckets()) {
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      std::snprintf(buf, sizeof(buf), "[%llu, %llu]",
+                    static_cast<unsigned long long>(upper),
+                    static_cast<unsigned long long>(count));
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace cot::metrics

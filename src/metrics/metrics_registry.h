@@ -1,0 +1,78 @@
+#ifndef COT_METRICS_METRICS_REGISTRY_H_
+#define COT_METRICS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "metrics/histogram.h"
+
+namespace cot::metrics {
+
+/// Named counters, gauges, and log-bucketed latency histograms — the
+/// run-level metrics surface behind `cot_run --metrics-out` and the
+/// experiment engines.
+///
+/// Names are hierarchical by convention ("latency_us/local_hit",
+/// "shard/3/lookups"). Storage is ordered (`std::map`), so every export is
+/// deterministic: same run, same JSON bytes.
+///
+/// Concurrency model matches the tracer's: one registry per writer thread
+/// (or one per run filled after threads join), merged with `Merge`. The
+/// registry itself takes no locks.
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to a counter, creating it at zero first.
+  void IncrementCounter(std::string_view name, uint64_t delta = 1);
+  /// Sets a counter outright (absolute counts imported from other layers).
+  void SetCounter(std::string_view name, uint64_t value);
+  /// Current counter value; 0 when the counter does not exist.
+  uint64_t counter(std::string_view name) const;
+
+  /// Sets a gauge (last-write-wins instantaneous value).
+  void SetGauge(std::string_view name, double value);
+  /// Current gauge value; 0 when the gauge does not exist.
+  double gauge(std::string_view name) const;
+
+  /// Histogram by name, created empty on first use.
+  Histogram& histogram(std::string_view name);
+  /// Read-only lookup; null when the histogram does not exist.
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  /// Folds `other` in: counters add, histograms merge, gauges from `other`
+  /// overwrite same-named gauges here.
+  void Merge(const MetricsRegistry& other);
+
+  /// Resets to empty.
+  void Clear();
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  const std::map<std::string, uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  /// Renders the whole registry as pretty-printed JSON with sorted keys:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} where each
+  /// histogram carries count/sum/min/max/mean/p50/p95/p99 plus its
+  /// non-zero buckets as [upper_bound, count] pairs.
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace cot::metrics
+
+#endif  // COT_METRICS_METRICS_REGISTRY_H_

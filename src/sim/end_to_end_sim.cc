@@ -72,12 +72,18 @@ StatusOr<EndToEndResult> RunEndToEnd(
   }
   std::vector<std::unique_ptr<cluster::FrontendClient>> clients;
   std::vector<workload::OpStream> streams;
+  std::vector<std::unique_ptr<metrics::EventTracer>> tracers;
   for (uint32_t i = 0; i < config.num_clients; ++i) {
     clients.push_back(std::make_unique<cluster::FrontendClient>(
         &cluster, factory ? factory(i) : nullptr));
     if (injector != nullptr) {
       clients.back()->SetFaultInjector(injector.get(), i,
                                        config.failure_policy);
+    }
+    if (config.trace_capacity > 0) {
+      tracers.push_back(std::make_unique<metrics::EventTracer>(
+          config.trace_capacity, i));
+      clients.back()->SetTracer(tracers.back().get());
     }
     if (resizer_config != nullptr && clients.back()->local_cache() != nullptr) {
       Status s = clients.back()->EnableElasticResizing(*resizer_config);
@@ -101,6 +107,13 @@ StatusOr<EndToEndResult> RunEndToEnd(
   double makespan = 0.0;
   double latency_sum = 0.0;
   uint64_t op_count = 0;
+  // Per-path latency histograms live in the logical result's registry so
+  // cot_run's --metrics-out gets them for free.
+  metrics::MetricsRegistry& reg = result.logical.metrics;
+  metrics::Histogram& hist_local = reg.histogram("latency_us/local_hit");
+  metrics::Histogram& hist_backend = reg.histogram("latency_us/backend");
+  metrics::Histogram& hist_storage = reg.histogram("latency_us/storage");
+  metrics::Histogram& hist_degraded = reg.histogram("latency_us/degraded");
 
   while (!events.empty()) {
     IssueEvent ev = events.top();
@@ -121,14 +134,17 @@ StatusOr<EndToEndResult> RunEndToEnd(
             : model.FaultPenalty(outcome.failed_attempts,
                                  outcome.backend_contacted);
     double completion;
+    metrics::Histogram* path_hist;
     if (outcome.local_hit) {
       // Local hit: served inside the front-end.
       completion = ev.time + model.local_hit_us;
+      path_hist = &hist_local;
     } else if (!outcome.backend_contacted) {
       // No shard delivery: a degraded or failed-over read served by the
       // storage tier, or an update whose invalidations were all lost. The
       // storage path bypasses the shard queues.
       completion = ev.time + penalty + model.rtt_us + model.storage_extra_us;
+      path_hist = outcome.failed_attempts > 0 ? &hist_degraded : &hist_storage;
     } else {
       ServerTiming& server = servers[outcome.server];
       double arrival = ev.time + penalty + model.rtt_us / 2.0;
@@ -157,11 +173,13 @@ StatusOr<EndToEndResult> RunEndToEnd(
       server.next_free = start + service;
       server.completions.push_back(server.next_free);
       completion = server.next_free + model.rtt_us / 2.0;
+      path_hist = outcome.storage_accessed ? &hist_storage : &hist_backend;
     }
     double latency = completion - ev.time;
     latency_sum += latency;
     ++op_count;
     result.latency_us.Add(static_cast<uint64_t>(latency));
+    path_hist->Add(static_cast<uint64_t>(latency));
     makespan = std::max(makespan, completion);
     events.push(IssueEvent{completion, ev.client});
   }
@@ -188,6 +206,19 @@ StatusOr<EndToEndResult> RunEndToEnd(
     }
   }
   result.logical.local_hit_rate = result.logical.aggregate.LocalHitRate();
+  if (!tracers.empty()) {
+    std::vector<const metrics::EventTracer*> views;
+    views.reserve(tracers.size());
+    for (const auto& t : tracers) {
+      views.push_back(t.get());
+      result.logical.trace_dropped += t->dropped();
+    }
+    result.logical.trace = metrics::EventTracer::Merge(views);
+  }
+  reg.SetGauge("sim/makespan_us", result.makespan_us);
+  reg.SetGauge("sim/mean_latency_us", result.mean_latency_us);
+  reg.SetGauge("sim/max_backlog", result.max_backlog);
+  cluster::ExportMetrics(&result.logical);
   return result;
 }
 

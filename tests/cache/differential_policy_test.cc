@@ -1,0 +1,183 @@
+// Differential tests: every policy behind a SynchronizedCache decorator must
+// behave bit-for-bit like the bare policy under the same op sequence, and
+// CoT's admission filter must stay deterministic. Op sequences are seeded
+// random interleavings of the full protocol (Get + miss-fill Put,
+// Invalidate, Resize), so the comparison covers the paths real clients
+// exercise, not hand-picked scenarios.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cache/synchronized_cache.h"
+#include "core/cot_cache.h"
+#include "core/policy_factory.h"
+#include "util/random.h"
+
+namespace cot {
+namespace {
+
+std::unique_ptr<cache::Cache> MakeBare(const std::string& policy,
+                                       size_t lines) {
+  auto made = core::MakePolicy(policy, lines, /*tracker_ratio=*/4);
+  EXPECT_TRUE(made.ok()) << policy;
+  return std::move(made).value();
+}
+
+/// Drives `a` and `b` through the same seeded op interleaving, asserting
+/// equality after every step: Get results, sizes, resize statuses, and the
+/// full stats block.
+void RunDifferential(cache::Cache* a, cache::Cache* b, uint64_t seed,
+                     uint64_t ops, uint64_t key_space, bool try_resize) {
+  Rng rng(seed);
+  size_t base_capacity = a->capacity();
+  ASSERT_EQ(base_capacity, b->capacity());
+  for (uint64_t i = 0; i < ops; ++i) {
+    uint64_t key = rng.NextBelow(key_space);
+    double roll = rng.NextDouble();
+    if (roll < 0.80) {
+      std::optional<cache::Value> va = a->Get(key);
+      std::optional<cache::Value> vb = b->Get(key);
+      ASSERT_EQ(va.has_value(), vb.has_value()) << "op " << i;
+      if (va.has_value()) {
+        ASSERT_EQ(*va, *vb) << "op " << i;
+      } else {
+        // Miss-fill, the protocol's admission offer.
+        cache::Value value = key * 2 + 1;
+        a->Put(key, value);
+        b->Put(key, value);
+      }
+    } else if (roll < 0.95) {
+      a->Invalidate(key);
+      b->Invalidate(key);
+    } else if (try_resize) {
+      // Grow/shrink within 2x of the base capacity; policies that cannot
+      // resize (ARC) must at least refuse identically.
+      size_t target = 1 + rng.NextBelow(2 * base_capacity);
+      Status sa = a->Resize(target);
+      Status sb = b->Resize(target);
+      ASSERT_EQ(sa.code(), sb.code()) << "op " << i;
+    }
+    ASSERT_EQ(a->size(), b->size()) << "op " << i;
+    ASSERT_EQ(a->Contains(key), b->Contains(key)) << "op " << i;
+  }
+  const cache::CacheStats& sa = a->stats();
+  const cache::CacheStats& sb = b->stats();
+  EXPECT_EQ(sa.hits, sb.hits);
+  EXPECT_EQ(sa.misses, sb.misses);
+  EXPECT_EQ(sa.insertions, sb.insertions);
+  EXPECT_EQ(sa.evictions, sb.evictions);
+  EXPECT_EQ(sa.invalidations, sb.invalidations);
+  EXPECT_GT(sa.lookups(), 0u);
+}
+
+class DifferentialPolicyTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(DifferentialPolicyTest, SynchronizedDecoratorMatchesBarePolicy) {
+  const std::string policy = GetParam();
+  for (uint64_t seed : {1u, 77u, 4242u}) {
+    std::unique_ptr<cache::Cache> bare = MakeBare(policy, 64);
+    cache::SynchronizedCache wrapped(MakeBare(policy, 64));
+    RunDifferential(&wrapped, bare.get(), seed, /*ops=*/20000,
+                    /*key_space=*/512, /*try_resize=*/true);
+  }
+}
+
+TEST_P(DifferentialPolicyTest, SameSeedSameTrajectory) {
+  const std::string policy = GetParam();
+  std::unique_ptr<cache::Cache> a = MakeBare(policy, 32);
+  std::unique_ptr<cache::Cache> b = MakeBare(policy, 32);
+  RunDifferential(a.get(), b.get(), /*seed=*/99, /*ops=*/20000,
+                  /*key_space=*/200, /*try_resize=*/false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, DifferentialPolicyTest,
+                         testing::Values("lru", "lfu", "arc", "lru-2", "cot"),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(DifferentialCotTest, AdmissionDecisionsDeterministicWithInvariants) {
+  core::CotCache a(8, 32);
+  core::CotCache b(8, 32);
+  Rng rng(0xc07);
+  for (uint64_t i = 0; i < 50000; ++i) {
+    uint64_t key = rng.NextBelow(300);
+    double roll = rng.NextDouble();
+    if (roll < 0.9) {
+      std::optional<cache::Value> va = a.Get(key);
+      std::optional<cache::Value> vb = b.Get(key);
+      ASSERT_EQ(va, vb) << "op " << i;
+      if (!va.has_value()) {
+        a.Put(key, key + 1);
+        b.Put(key, key + 1);
+      }
+    } else {
+      a.Invalidate(key);
+      b.Invalidate(key);
+    }
+    if (i % 4096 == 0) {
+      ASSERT_TRUE(a.CheckInvariants()) << "op " << i;
+      ASSERT_EQ(a.size(), b.size()) << "op " << i;
+    }
+  }
+  ASSERT_TRUE(a.CheckInvariants());
+  ASSERT_TRUE(b.CheckInvariants());
+  EXPECT_EQ(a.stats().hits, b.stats().hits);
+  EXPECT_EQ(a.stats().insertions, b.stats().insertions);
+}
+
+TEST(DifferentialConcurrencyTest, SharedSynchronizedCacheConservesStats) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kOpsPerThread = 25000;
+  cache::SynchronizedCache shared(MakeBare("lru", 128));
+
+  std::atomic<uint64_t> total_gets{0};
+  std::atomic<uint64_t> total_invalidations{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&shared, &total_gets, &total_invalidations, t] {
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      uint64_t gets = 0;
+      uint64_t invalidations = 0;
+      for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+        uint64_t key = rng.NextBelow(1024);
+        if (rng.NextDouble() < 0.9) {
+          ++gets;
+          if (!shared.Get(key).has_value()) shared.Put(key, key);
+        } else {
+          ++invalidations;
+          shared.Invalidate(key);
+        }
+      }
+      total_gets += gets;
+      total_invalidations += invalidations;
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const cache::CacheStats& s = shared.stats();
+  // Conservation: every Get was either a hit or a miss; residency accounting
+  // must balance under any interleaving.
+  EXPECT_EQ(s.hits + s.misses, total_gets.load());
+  EXPECT_LE(shared.size(), shared.capacity());
+  // Residency accounting balances under any interleaving: LRU counts an
+  // insertion per new resident entry, an eviction/invalidation per removal.
+  EXPECT_EQ(s.insertions - s.evictions - s.invalidations,
+            static_cast<uint64_t>(shared.size()))
+      << "insertions " << s.insertions << " evictions " << s.evictions
+      << " invalidations " << s.invalidations;
+}
+
+}  // namespace
+}  // namespace cot

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -88,6 +89,74 @@ TEST(ParallelExperimentTest, UpdateRunKeepsLogicalStatsDeterministic) {
   // Every backend lookup still resolves to a hit or a storage read.
   EXPECT_EQ(parallel->aggregate.backend_hits + parallel->aggregate.storage_reads,
             parallel->aggregate.backend_lookups);
+}
+
+/// Tracing on, elastic resizing on: the merged event trace is a pure
+/// function of each client's own stream, so its serialized form must be
+/// byte-identical at any thread count — the tracer must not perturb (or be
+/// perturbed by) the interleaving.
+TEST(ParallelExperimentTest, TraceAndStatsByteIdenticalAcrossThreadCounts) {
+  ExperimentConfig config = ParallelConfig(1.0);
+  config.trace_capacity = 4096;
+  core::ResizerConfig resizer;
+  resizer.target_imbalance = 1.1;
+  resizer.initial_epoch_size = 1000;
+  resizer.min_epoch_backend_lookups = 500;
+  resizer.warmup_epochs = 2;
+  auto elastic_factory = [](uint32_t) {
+    return std::make_unique<core::CotCache>(2, 4);
+  };
+
+  auto serialize = [](const std::vector<metrics::TraceEvent>& trace) {
+    std::string jsonl;
+    for (const auto& event : trace) {
+      jsonl += metrics::ToJson(event);
+      jsonl += '\n';
+    }
+    return jsonl;
+  };
+
+  auto serial = RunExperiment(config, elastic_factory, &resizer);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_FALSE(serial->trace.empty()) << "tracing produced no events";
+  std::string serial_jsonl = serialize(serial->trace);
+  // The run actually traced resizer activity, not just boundaries.
+  EXPECT_GT(serial->metrics.counter("trace/events/resizer_decision"), 0u);
+  EXPECT_GT(serial->metrics.counter("trace/events/epoch_boundary"), 0u);
+
+  for (uint32_t threads : {2u, 4u}) {
+    config.num_threads = threads;
+    auto parallel = RunExperiment(config, elastic_factory, &resizer);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(serialize(parallel->trace), serial_jsonl)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->trace_dropped, serial->trace_dropped);
+    ASSERT_EQ(parallel->per_client.size(), serial->per_client.size());
+    for (size_t i = 0; i < serial->per_client.size(); ++i) {
+      EXPECT_EQ(serial->per_client[i].local_hits,
+                parallel->per_client[i].local_hits)
+          << "client " << i;
+      EXPECT_EQ(serial->per_client[i].backend_lookups,
+                parallel->per_client[i].backend_lookups)
+          << "client " << i;
+    }
+  }
+}
+
+/// Tracing off (the default) leaves the result's trace empty but still
+/// exports run metrics.
+TEST(ParallelExperimentTest, TracingDisabledByDefault) {
+  ExperimentConfig config = ParallelConfig(1.0);
+  config.total_ops = 40000;
+  auto result = RunExperiment(config, CotFactory());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->trace.empty());
+  EXPECT_EQ(result->trace_dropped, 0u);
+  EXPECT_EQ(result->metrics.counter("client/reads"),
+            result->aggregate.reads);
+  EXPECT_EQ(result->metrics.counter("client/local_hits"),
+            result->aggregate.local_hits);
+  EXPECT_EQ(result->metrics.gauge("imbalance"), result->imbalance);
 }
 
 /// The parallel preload must produce the same end state as the serial one

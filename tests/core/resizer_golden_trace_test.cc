@@ -1,0 +1,351 @@
+// Golden-trace tests for the elastic resizer's decision stream: synthetic
+// drivers pin the *exact* Algorithm-3 action sequences (expand, shrink,
+// decay), and end-to-end cluster runs replay the paper's Figure 7 / Figure 8
+// scenarios asserting the decision pattern recorded by the EventTracer.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cache_cluster.h"
+#include "cluster/frontend_client.h"
+#include "core/cot_cache.h"
+#include "core/elastic_resizer.h"
+#include "metrics/event_tracer.h"
+#include "workload/op_stream.h"
+
+namespace cot {
+namespace {
+
+using core::CotCache;
+using core::ElasticResizer;
+using core::ResizerConfig;
+using metrics::EventTracer;
+using metrics::ResizerDecisionPayload;
+using metrics::TraceEvent;
+using metrics::TraceEventType;
+
+std::vector<std::string> DecisionActions(const EventTracer& tracer) {
+  std::vector<std::string> actions;
+  for (const TraceEvent& e : tracer.Events()) {
+    if (e.type != TraceEventType::kResizerDecision) continue;
+    actions.emplace_back(std::get<ResizerDecisionPayload>(e.payload).action);
+  }
+  return actions;
+}
+
+std::vector<const ResizerDecisionPayload*> Decisions(
+    const std::vector<TraceEvent>& events) {
+  std::vector<const ResizerDecisionPayload*> out;
+  for (const TraceEvent& e : events) {
+    if (e.type == TraceEventType::kResizerDecision) {
+      out.push_back(&std::get<ResizerDecisionPayload>(e.payload));
+    }
+  }
+  return out;
+}
+
+ResizerConfig SyntheticConfig() {
+  ResizerConfig config;
+  config.target_imbalance = 1.1;
+  config.warmup_epochs = 0;
+  config.imbalance_smoothing = 1.0;  // act on the raw signal
+  config.enable_ratio_discovery = false;
+  return config;
+}
+
+// Accesses `key` once through the full protocol (Get, miss-fill Put).
+void Touch(CotCache* cache, uint64_t key) {
+  if (!cache->Get(key).has_value()) cache->Put(key, key);
+}
+
+TEST(ResizerGoldenTraceTest, ExpandSequenceIsExact) {
+  CotCache cache(2, 8);
+  ElasticResizer resizer(&cache, SyntheticConfig());
+  EventTracer tracer(256);
+  resizer.SetTracer(&tracer);
+
+  // Figure-7 shape, synthetic: imbalance stays above target -> binary
+  // search upward; the first epoch at target stops the search.
+  resizer.EndEpoch(2.0);
+  resizer.EndEpoch(2.0);
+  resizer.EndEpoch(2.0);
+  resizer.EndEpoch(1.05);
+  resizer.EndEpoch(1.05);
+
+  EXPECT_EQ(DecisionActions(tracer),
+            (std::vector<std::string>{"double_both", "double_both",
+                                      "double_both", "target_achieved",
+                                      "none"}));
+  auto decisions = Decisions(tracer.Events());
+  ASSERT_EQ(decisions.size(), 5u);
+  EXPECT_EQ(decisions[0]->cache_capacity, 4u);
+  EXPECT_EQ(decisions[1]->cache_capacity, 8u);
+  EXPECT_EQ(decisions[2]->cache_capacity, 16u);
+  EXPECT_EQ(decisions[3]->cache_capacity, 16u);
+  for (const auto* d : decisions) {
+    EXPECT_EQ(d->target_imbalance, 1.1);
+    EXPECT_GE(d->tracker_capacity, 2 * d->cache_capacity);
+  }
+  EXPECT_EQ(std::string(decisions[2]->phase), "balance");
+  EXPECT_EQ(std::string(decisions[4]->phase), "steady");
+  // Epoch indices are recorded 0-based in decision order.
+  for (size_t i = 0; i < decisions.size(); ++i) {
+    EXPECT_EQ(decisions[i]->epoch, i);
+  }
+}
+
+TEST(ResizerGoldenTraceTest, WarmupEpochsAreConsumedAndTraced) {
+  CotCache cache(2, 8);
+  ResizerConfig config = SyntheticConfig();
+  config.warmup_epochs = 2;
+  ElasticResizer resizer(&cache, config);
+  EventTracer tracer(256);
+  resizer.SetTracer(&tracer);
+
+  resizer.EndEpoch(2.0);  // double_both, arms 2 warmup epochs
+  resizer.EndEpoch(2.0);
+  resizer.EndEpoch(2.0);
+  resizer.EndEpoch(2.0);  // warmup over: acts again
+
+  EXPECT_EQ(DecisionActions(tracer),
+            (std::vector<std::string>{"double_both", "warmup", "warmup",
+                                      "double_both"}));
+}
+
+TEST(ResizerGoldenTraceTest, ShrinkSequenceIsExact) {
+  CotCache cache(4, 16);
+  ElasticResizer resizer(&cache, SyntheticConfig());
+  EventTracer tracer(256);
+  resizer.SetTracer(&tracer);
+
+  // Epoch 0: a hot working set exactly the cache's size establishes a high
+  // alpha_t, and the target imbalance is already met.
+  for (int round = 0; round < 200; ++round) {
+    for (uint64_t key = 0; key < 4; ++key) Touch(&cache, key);
+  }
+  resizer.EndEpoch(1.05);  // target_achieved, alpha_t ~ 199
+
+  // Epochs 1-3: the workload evaporates (no accesses at all): quality is
+  // gone on both S_c and S_{k-c}, so the resizer halves down to the floor.
+  resizer.EndEpoch(1.0);
+  resizer.EndEpoch(1.0);
+  resizer.EndEpoch(1.0);
+
+  // Epoch 4: a single hot key at the minimum footprint restores quality.
+  for (int i = 0; i < 400; ++i) Touch(&cache, 0);
+  resizer.EndEpoch(1.0);
+
+  EXPECT_EQ(DecisionActions(tracer),
+            (std::vector<std::string>{"target_achieved", "halve_both",
+                                      "halve_both", "at_limit",
+                                      "target_achieved"}));
+  auto decisions = Decisions(tracer.Events());
+  ASSERT_EQ(decisions.size(), 5u);
+  EXPECT_GT(decisions[0]->alpha_c, 100.0);
+  EXPECT_EQ(decisions[1]->cache_capacity, 2u);
+  EXPECT_EQ(decisions[2]->cache_capacity, 1u);
+  EXPECT_EQ(decisions[3]->cache_capacity, 1u);
+  EXPECT_EQ(std::string(decisions[3]->phase), "shrink");
+  EXPECT_EQ(std::string(decisions[4]->phase), "shrink");
+  EXPECT_GT(decisions[4]->alpha_c, decisions[4]->alpha_target * 0.95);
+}
+
+TEST(ResizerGoldenTraceTest, HotSetTurnoverTriggersDecay) {
+  CotCache cache(2, 4096);
+  ElasticResizer resizer(&cache, SyntheticConfig());
+  EventTracer tracer(256);
+  resizer.SetTracer(&tracer);
+
+  // Epoch 0: two scorching keys set a high alpha_t.
+  for (int round = 0; round < 400; ++round) {
+    Touch(&cache, 0);
+    Touch(&cache, 1);
+  }
+  resizer.EndEpoch(1.0);  // target_achieved
+
+  // Epochs 1-2: the hot set turns over — thousands of *new* keys each seen
+  // twice. They earn tracker hits but are too cold to displace the (stale)
+  // residents, so S_{k-c} out-earns S_c: Algorithm 3 Case 2, decay.
+  uint64_t next_key = 1000;
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    for (int i = 0; i < 2000; ++i, ++next_key) {
+      Touch(&cache, next_key);
+      Touch(&cache, next_key);
+    }
+    resizer.EndEpoch(1.0);
+  }
+
+  EXPECT_EQ(DecisionActions(tracer),
+            (std::vector<std::string>{"target_achieved", "decay", "decay"}));
+  auto decisions = Decisions(tracer.Events());
+  ASSERT_EQ(decisions.size(), 3u);
+  EXPECT_LT(decisions[1]->alpha_c, decisions[1]->alpha_target * 0.95);
+  EXPECT_GE(decisions[1]->alpha_kc_signal,
+            decisions[1]->alpha_target * 0.95);
+  // Capacity held: decay forgets trends without resizing.
+  EXPECT_EQ(decisions[2]->cache_capacity, 2u);
+}
+
+ResizerConfig ScenarioConfig() {
+  ResizerConfig config;
+  config.target_imbalance = 1.1;
+  config.initial_epoch_size = 2000;
+  config.warmup_epochs = 2;
+  return config;
+}
+
+size_t IndexOf(const std::vector<std::string>& actions,
+               const std::string& needle, size_t from = 0) {
+  for (size_t i = from; i < actions.size(); ++i) {
+    if (actions[i] == needle) return i;
+  }
+  return actions.size();
+}
+
+TEST(ResizerGoldenTraceTest, Figure7ScenarioDecisionPattern) {
+  // The paper's adaptive-expand experiment (Figure 7) at test scale: start
+  // from 2 cache lines under heavy skew and let the resizer work.
+  cluster::CacheCluster cluster(8, 100000);
+  cluster::FrontendClient client(&cluster, std::make_unique<CotCache>(2, 4));
+  EventTracer tracer(65536);
+  client.SetTracer(&tracer);
+  ASSERT_TRUE(client.EnableElasticResizing(ScenarioConfig()).ok());
+
+  workload::PhaseSpec zipf;
+  zipf.distribution = workload::Distribution::kZipfian;
+  zipf.skew = 1.2;
+  zipf.read_fraction = 1.0;
+  zipf.num_ops = 2000000;
+  auto stream = workload::OpStream::Create(100000, {zipf}, /*seed=*/7);
+  ASSERT_TRUE(stream.ok());
+  while (!stream->Done()) client.Apply(stream->Next());
+
+  std::vector<std::string> actions;
+  for (const auto* d : Decisions(tracer.Events())) {
+    actions.emplace_back(d->action);
+  }
+  ASSERT_GT(actions.size(), 10u);
+
+  // Phase 1 first: the tracker ratio is discovered (>= 1 doubling, closed
+  // by the step-back) before any cache growth.
+  size_t first_double_tracker = IndexOf(actions, "double_tracker");
+  size_t shrink_back = IndexOf(actions, "shrink_tracker_back");
+  size_t first_double_both = IndexOf(actions, "double_both");
+  ASSERT_LT(first_double_tracker, actions.size());
+  ASSERT_LT(shrink_back, actions.size());
+  ASSERT_LT(first_double_both, actions.size());
+  EXPECT_LT(first_double_tracker, shrink_back);
+  EXPECT_LT(shrink_back, first_double_both);
+
+  // Phase 2: binary search upward needs several doublings from 2 lines.
+  size_t doublings = 0;
+  for (const std::string& a : actions) doublings += (a == "double_both");
+  EXPECT_GE(doublings, 2u);
+
+  // The search terminates at the target.
+  size_t achieved = IndexOf(actions, "target_achieved", first_double_both);
+  ASSERT_LT(achieved, actions.size());
+
+  // The trace is exactly the resizer's own history, decision for decision.
+  const auto& history = client.resizer()->history();
+  auto decisions = Decisions(tracer.Events());
+  ASSERT_EQ(decisions.size(), history.size());
+  for (size_t i = 0; i < history.size(); ++i) {
+    EXPECT_EQ(decisions[i]->action, core::ToString(history[i].action)) << i;
+    EXPECT_EQ(decisions[i]->epoch, history[i].epoch) << i;
+    EXPECT_EQ(decisions[i]->cache_capacity, history[i].cache_capacity) << i;
+  }
+
+  // Every decision is preceded by its epoch-boundary event.
+  std::vector<TraceEvent> events = tracer.Events();
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type != TraceEventType::kResizerDecision) continue;
+    ASSERT_GT(i, 0u);
+    EXPECT_EQ(events[i - 1].type, TraceEventType::kEpochBoundary);
+    EXPECT_EQ(std::get<metrics::EpochBoundaryPayload>(events[i - 1].payload)
+                  .epoch,
+              std::get<ResizerDecisionPayload>(events[i].payload).epoch);
+  }
+
+  // Endpoint: the smoothed imbalance meets the target (with EWMA slack).
+  EXPECT_LE(decisions.back()->smoothed_imbalance, 1.1 * 1.25);
+}
+
+TEST(ResizerGoldenTraceTest, Figure8ScenarioDecisionPattern) {
+  // The paper's adaptive-shrink experiment (Figure 8): reach steady state
+  // under skew, then turn the workload uniform and watch the traced
+  // decisions walk the shrink path.
+  cluster::CacheCluster cluster(8, 100000);
+  cluster::FrontendClient client(&cluster, std::make_unique<CotCache>(2, 4));
+  EventTracer tracer(65536);
+  client.SetTracer(&tracer);
+  ASSERT_TRUE(client.EnableElasticResizing(ScenarioConfig()).ok());
+  auto* cache = dynamic_cast<CotCache*>(client.local_cache());
+  ASSERT_NE(cache, nullptr);
+
+  workload::PhaseSpec zipf;
+  zipf.distribution = workload::Distribution::kZipfian;
+  zipf.skew = 1.2;
+  zipf.read_fraction = 1.0;
+  zipf.num_ops = 0;
+  auto zipf_stream = workload::OpStream::Create(100000, {zipf}, /*seed=*/13);
+  ASSERT_TRUE(zipf_stream.ok());
+  uint64_t budget = 5000000;
+  size_t steady_since = 0;
+  bool in_steady_run = false;
+  while (budget-- > 0) {
+    client.Apply(zipf_stream->Next());
+    ElasticResizer* rz = client.resizer();
+    if (rz->phase() == core::ResizerPhase::kSteady) {
+      if (!in_steady_run) {
+        in_steady_run = true;
+        steady_since = rz->history().size();
+      }
+      if (rz->history().size() >= steady_since + 3) break;
+    } else {
+      in_steady_run = false;
+    }
+  }
+  ASSERT_EQ(client.resizer()->phase(), core::ResizerPhase::kSteady);
+  size_t peak_capacity = cache->capacity();
+  ASSERT_GE(peak_capacity, 16u);
+  size_t decisions_at_switch = Decisions(tracer.Events()).size();
+
+  workload::PhaseSpec uniform;
+  uniform.distribution = workload::Distribution::kUniform;
+  uniform.read_fraction = 1.0;
+  uniform.num_ops = 0;
+  auto uniform_stream =
+      workload::OpStream::Create(100000, {uniform}, /*seed=*/14);
+  ASSERT_TRUE(uniform_stream.ok());
+  for (uint64_t i = 0; i < 3000000; ++i) {
+    client.Apply(uniform_stream->Next());
+    if (cache->capacity() <= peak_capacity / 8) break;
+  }
+  EXPECT_LE(cache->capacity(), peak_capacity / 4);
+
+  std::vector<std::string> actions;
+  for (const auto* d : Decisions(tracer.Events())) {
+    actions.emplace_back(d->action);
+  }
+  // The uniform phase begins with the Case-1 response: re-discover the
+  // tracker ratio, then halve down.
+  size_t reset = IndexOf(actions, "reset_tracker_ratio", decisions_at_switch);
+  ASSERT_LT(reset, actions.size()) << "Case 1 never fired";
+  size_t rediscover = IndexOf(actions, "double_tracker", reset);
+  size_t first_halve = IndexOf(actions, "halve_both", reset);
+  ASSERT_LT(first_halve, actions.size()) << "never shrank after Case 1";
+  EXPECT_LT(rediscover, first_halve)
+      << "ratio re-discovery should precede the shrink loop";
+  size_t halvings = 0;
+  for (size_t i = reset; i < actions.size(); ++i) {
+    halvings += (actions[i] == "halve_both");
+  }
+  EXPECT_GE(halvings, 2u);
+}
+
+}  // namespace
+}  // namespace cot

@@ -1,0 +1,178 @@
+#include "metrics/event_tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cot::metrics {
+namespace {
+
+EpochBoundaryPayload Epoch(uint64_t epoch) {
+  EpochBoundaryPayload p;
+  p.epoch = epoch;
+  p.accesses = 100 * (epoch + 1);
+  p.backend_lookups = 10 * (epoch + 1);
+  return p;
+}
+
+TEST(EventTracerTest, StartsEmpty) {
+  EventTracer tracer(8, 3);
+  EXPECT_EQ(tracer.client(), 3u);
+  EXPECT_EQ(tracer.capacity(), 8u);
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.Events().empty());
+  EXPECT_TRUE(tracer.ToJsonl().empty());
+}
+
+TEST(EventTracerTest, RecordsInOrderWithSequenceNumbers) {
+  EventTracer tracer(8, 7);
+  tracer.Record(11, Epoch(0));
+  RetryEpisodePayload retry;
+  retry.server = 2;
+  retry.failed_attempts = 1;
+  retry.delivered = true;
+  tracer.Record(12, retry);
+
+  std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, TraceEventType::kEpochBoundary);
+  EXPECT_EQ(events[0].client, 7u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].op_clock, 11u);
+  EXPECT_EQ(events[1].type, TraceEventType::kRetryEpisode);
+  EXPECT_EQ(events[1].seq, 1u);
+  const auto& p = std::get<RetryEpisodePayload>(events[1].payload);
+  EXPECT_EQ(p.server, 2u);
+  EXPECT_TRUE(p.delivered);
+}
+
+TEST(EventTracerTest, RingDropsOldestWhenFull) {
+  EventTracer tracer(4);
+  for (uint64_t i = 0; i < 10; ++i) tracer.Record(i, Epoch(i));
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(tracer.recorded(), 10u);
+
+  std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // The four newest survive, oldest-first.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 6 + i) << i;
+    EXPECT_EQ(std::get<EpochBoundaryPayload>(events[i].payload).epoch, 6 + i);
+  }
+}
+
+TEST(EventTracerTest, ZeroCapacityDropsEverything) {
+  EventTracer tracer(0);
+  tracer.Record(1, Epoch(0));
+  tracer.Record(2, Epoch(1));
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  EXPECT_EQ(tracer.recorded(), 2u);
+}
+
+TEST(EventTracerTest, ClearKeepsSequenceCounting) {
+  EventTracer tracer(8);
+  tracer.Record(1, Epoch(0));
+  tracer.Record(2, Epoch(1));
+  tracer.Clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  tracer.Record(3, Epoch(2));
+  ASSERT_EQ(tracer.Events().size(), 1u);
+  EXPECT_EQ(tracer.Events()[0].seq, 2u);
+}
+
+TEST(EventTracerTest, MergeOrdersByClientThenSeq) {
+  EventTracer a(8, 1);
+  EventTracer b(8, 0);
+  a.Record(5, Epoch(0));
+  a.Record(6, Epoch(1));
+  b.Record(7, Epoch(2));
+
+  std::vector<TraceEvent> merged = EventTracer::Merge({&a, nullptr, &b});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].client, 0u);
+  EXPECT_EQ(merged[1].client, 1u);
+  EXPECT_EQ(merged[1].seq, 0u);
+  EXPECT_EQ(merged[2].client, 1u);
+  EXPECT_EQ(merged[2].seq, 1u);
+}
+
+TEST(EventTracerTest, JsonCarriesTypeTagAndPayloadFields) {
+  EventTracer tracer(8, 4);
+  BreakerTransitionPayload p;
+  p.server = 3;
+  p.from = "closed";
+  p.to = "open";
+  p.consecutive_failures = 5;
+  tracer.Record(42, p);
+
+  std::string line = ToJson(tracer.Events()[0]);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\"type\":\"breaker_transition\""), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"client\":4"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"op_clock\":42"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"from\":\"closed\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"to\":\"open\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"consecutive_failures\":5"), std::string::npos)
+      << line;
+}
+
+TEST(EventTracerTest, ResizerDecisionJsonCarriesAlgorithmInputs) {
+  EventTracer tracer(8);
+  ResizerDecisionPayload p;
+  p.epoch = 9;
+  p.phase = "balance";
+  p.action = "double_both";
+  p.current_imbalance = 1.5;
+  p.smoothed_imbalance = 1.25;
+  p.target_imbalance = 1.1;
+  p.alpha_c = 12.5;
+  p.alpha_kc = 3.25;
+  p.alpha_kc_signal = 4.5;
+  p.alpha_target = 2.75;
+  p.hit_rate = 0.5;
+  p.cache_capacity = 64;
+  p.tracker_capacity = 256;
+  tracer.Record(1000, p);
+
+  std::string line = ToJson(tracer.Events()[0]);
+  for (const char* needle :
+       {"\"phase\":\"balance\"", "\"action\":\"double_both\"", "\"ic\":1.5",
+        "\"ic_smoothed\":1.25", "\"i_t\":1.1", "\"alpha_c\":12.5",
+        "\"alpha_kc\":3.25", "\"alpha_kc_signal\":4.5", "\"alpha_t\":2.75",
+        "\"hit_rate\":0.5", "\"cache\":64", "\"tracker\":256"}) {
+    EXPECT_NE(line.find(needle), std::string::npos) << needle << " missing in "
+                                                    << line;
+  }
+}
+
+TEST(EventTracerTest, ToJsonlEmitsOneLinePerEvent) {
+  EventTracer tracer(8);
+  tracer.Record(1, Epoch(0));
+  tracer.Record(2, Epoch(1));
+  std::string jsonl = tracer.ToJsonl();
+  ASSERT_FALSE(jsonl.empty());
+  EXPECT_EQ(jsonl.back(), '\n');
+  size_t lines = 0;
+  for (char c : jsonl) lines += (c == '\n');
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(EventTracerTest, TypeNamesAreStable) {
+  EXPECT_EQ(ToString(TraceEventType::kEpochBoundary), "epoch_boundary");
+  EXPECT_EQ(ToString(TraceEventType::kResizerDecision), "resizer_decision");
+  EXPECT_EQ(ToString(TraceEventType::kBreakerTransition),
+            "breaker_transition");
+  EXPECT_EQ(ToString(TraceEventType::kFaultActivation), "fault_activation");
+  EXPECT_EQ(ToString(TraceEventType::kRetryEpisode), "retry_episode");
+}
+
+}  // namespace
+}  // namespace cot::metrics

@@ -1,0 +1,160 @@
+// Boundary regressions for Histogram::Percentile — the cases audited in the
+// observability PR: empty histograms, single samples, exact p0/p100, values
+// sitting exactly on bucket limits, and merged histograms whose min/max
+// clamps come from different sources.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/histogram.h"
+
+namespace cot::metrics {
+namespace {
+
+TEST(HistogramBoundaryTest, EmptyHistogramReportsZeroEverywhere) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_EQ(h.Percentile(100.0), 0.0);
+  EXPECT_TRUE(h.NonZeroBuckets().empty());
+}
+
+TEST(HistogramBoundaryTest, SingleSampleEveryPercentileIsTheSample) {
+  Histogram h;
+  h.Add(137);
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.Percentile(p), 137.0) << "p=" << p;
+  }
+  EXPECT_EQ(h.min(), 137u);
+  EXPECT_EQ(h.max(), 137u);
+  EXPECT_EQ(h.mean(), 137.0);
+}
+
+TEST(HistogramBoundaryTest, P0IsMinAndP100IsMax) {
+  Histogram h;
+  for (uint64_t v : {3u, 10u, 100u, 5000u}) h.Add(v);
+  EXPECT_EQ(h.Percentile(0.0), static_cast<double>(h.min()));
+  EXPECT_EQ(h.Percentile(100.0), static_cast<double>(h.max()));
+}
+
+TEST(HistogramBoundaryTest, PercentilesClampedToObservedRange) {
+  Histogram h;
+  // Two values deep inside the same wide bucket: interpolation must never
+  // report below the observed min or above the observed max.
+  h.Add(1000);
+  h.Add(1001);
+  for (double p = 0.0; p <= 100.0; p += 2.5) {
+    double v = h.Percentile(p);
+    EXPECT_GE(v, 1000.0) << "p=" << p;
+    EXPECT_LE(v, 1001.0) << "p=" << p;
+  }
+}
+
+TEST(HistogramBoundaryTest, PercentileIsMonotoneInP) {
+  Histogram h;
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 1000; ++i) {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    h.Add((seed >> 33) % 100000);
+  }
+  double prev = h.Percentile(0.0);
+  for (double p = 1.0; p <= 100.0; p += 1.0) {
+    double cur = h.Percentile(p);
+    EXPECT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+TEST(HistogramBoundaryTest, ValueOnExactBucketLimitStaysInRange) {
+  // 1 and 2 are exact bucket limits of the RocksDB-style table; make sure
+  // landing exactly on a limit doesn't leak into the neighbouring bucket's
+  // interpolation range.
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Add(2);
+  EXPECT_EQ(h.min(), 2u);
+  EXPECT_EQ(h.max(), 2u);
+  for (double p : {0.0, 50.0, 100.0}) {
+    EXPECT_EQ(h.Percentile(p), 2.0) << "p=" << p;
+  }
+}
+
+TEST(HistogramBoundaryTest, MedianOfUniformRampIsNearCenter) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Add(v);
+  // Bucketed median can't be exact, but must land within the bucket
+  // resolution (~50% relative) of the true median 500.
+  EXPECT_GT(h.Median(), 250.0);
+  EXPECT_LT(h.Median(), 800.0);
+  EXPECT_EQ(h.Percentile(100.0), 1000.0);
+  EXPECT_EQ(h.Percentile(0.0), 1.0);
+}
+
+TEST(HistogramBoundaryTest, MergedHistogramClampsToCombinedMinMax) {
+  Histogram low;
+  low.Add(5);
+  low.Add(7);
+  Histogram high;
+  high.Add(90000);
+
+  Histogram merged = low;
+  merged.Merge(high);
+  EXPECT_EQ(merged.count(), 3u);
+  EXPECT_EQ(merged.min(), 5u);
+  EXPECT_EQ(merged.max(), 90000u);
+  EXPECT_EQ(merged.Percentile(0.0), 5.0);
+  EXPECT_EQ(merged.Percentile(100.0), 90000.0);
+  // Merging into an empty histogram adopts the source's extrema.
+  Histogram empty;
+  empty.Merge(merged);
+  EXPECT_EQ(empty.min(), 5u);
+  EXPECT_EQ(empty.max(), 90000u);
+}
+
+TEST(HistogramBoundaryTest, MergeWithEmptyIsIdentity) {
+  Histogram h;
+  h.Add(42);
+  Histogram empty;
+  h.Merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_EQ(h.Median(), 42.0);
+}
+
+TEST(HistogramBoundaryTest, NonZeroBucketsAscendingAndCountsMatch) {
+  Histogram h;
+  for (uint64_t v : {1u, 1u, 10u, 100u, 100u, 100u}) h.Add(v);
+  auto buckets = h.NonZeroBuckets();
+  ASSERT_FALSE(buckets.empty());
+  uint64_t total = 0;
+  uint64_t prev_upper = 0;
+  for (const auto& [upper, count] : buckets) {
+    EXPECT_GT(upper, prev_upper);
+    EXPECT_GT(count, 0u);
+    prev_upper = upper;
+    total += count;
+  }
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(HistogramBoundaryTest, ResetForgetsExtrema) {
+  Histogram h;
+  h.Add(1);
+  h.Add(1000000);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  h.Add(7);
+  EXPECT_EQ(h.min(), 7u);
+  EXPECT_EQ(h.max(), 7u);
+  EXPECT_EQ(h.Median(), 7.0);
+}
+
+}  // namespace
+}  // namespace cot::metrics

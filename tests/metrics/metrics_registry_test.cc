@@ -1,0 +1,118 @@
+#include "metrics/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cot::metrics {
+namespace {
+
+TEST(MetricsRegistryTest, CountersIncrementAndSet) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.counter("missing"), 0u);
+
+  reg.IncrementCounter("ops");
+  reg.IncrementCounter("ops", 4);
+  EXPECT_EQ(reg.counter("ops"), 5u);
+
+  reg.SetCounter("ops", 2);
+  EXPECT_EQ(reg.counter("ops"), 2u);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(MetricsRegistryTest, GaugesLastWriteWins) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.gauge("missing"), 0.0);
+  reg.SetGauge("imbalance", 1.5);
+  reg.SetGauge("imbalance", 1.2);
+  EXPECT_EQ(reg.gauge("imbalance"), 1.2);
+}
+
+TEST(MetricsRegistryTest, HistogramCreatedOnFirstUse) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.FindHistogram("lat"), nullptr);
+  reg.histogram("lat").Add(10);
+  reg.histogram("lat").Add(20);
+  const Histogram* h = reg.FindHistogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+}
+
+TEST(MetricsRegistryTest, MergeAddsCountersOverwritesGaugesMergesHistograms) {
+  MetricsRegistry a;
+  a.SetCounter("ops", 10);
+  a.SetCounter("only_a", 1);
+  a.SetGauge("g", 1.0);
+  a.histogram("lat").Add(5);
+
+  MetricsRegistry b;
+  b.SetCounter("ops", 7);
+  b.SetCounter("only_b", 2);
+  b.SetGauge("g", 3.0);
+  b.histogram("lat").Add(50);
+  b.histogram("extra").Add(1);
+
+  a.Merge(b);
+  EXPECT_EQ(a.counter("ops"), 17u);
+  EXPECT_EQ(a.counter("only_a"), 1u);
+  EXPECT_EQ(a.counter("only_b"), 2u);
+  EXPECT_EQ(a.gauge("g"), 3.0);
+  EXPECT_EQ(a.FindHistogram("lat")->count(), 2u);
+  EXPECT_EQ(a.FindHistogram("extra")->count(), 1u);
+}
+
+TEST(MetricsRegistryTest, ClearResets) {
+  MetricsRegistry reg;
+  reg.SetCounter("c", 1);
+  reg.SetGauge("g", 1.0);
+  reg.histogram("h").Add(1);
+  reg.Clear();
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.counter("c"), 0u);
+}
+
+TEST(MetricsRegistryTest, JsonIsDeterministicAndSorted) {
+  MetricsRegistry a;
+  // Insert in reverse-sorted order; the map re-sorts.
+  a.SetCounter("z", 26);
+  a.SetCounter("a", 1);
+  a.SetGauge("ratio", 0.25);
+  a.histogram("lat").Add(10);
+
+  MetricsRegistry b;
+  b.histogram("lat").Add(10);
+  b.SetGauge("ratio", 0.25);
+  b.SetCounter("a", 1);
+  b.SetCounter("z", 26);
+
+  std::string ja = a.ToJson();
+  EXPECT_EQ(ja, b.ToJson());
+  EXPECT_LT(ja.find("\"a\""), ja.find("\"z\""));
+  EXPECT_NE(ja.find("\"counters\""), std::string::npos);
+  EXPECT_NE(ja.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(ja.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonHistogramCarriesSummaryAndBuckets) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  for (uint64_t v = 1; v <= 100; ++v) h.Add(v);
+  std::string json = reg.ToJson();
+  for (const char* needle : {"\"count\": 100", "\"min\": 1", "\"max\": 100",
+                             "\"p50\":", "\"p95\":", "\"p99\":",
+                             "\"buckets\":"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n" << json;
+  }
+}
+
+TEST(MetricsRegistryTest, EmptyRegistryStillValidJsonShape) {
+  MetricsRegistry reg;
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+}
+
+}  // namespace
+}  // namespace cot::metrics

@@ -1,0 +1,184 @@
+// Property/fuzz tests for util's FlatHashMap: seeded random interleavings of
+// insert / overwrite / erase / clear / reserve, checked against
+// std::unordered_map as the model after every operation batch. Small tables
+// keep the key space dense relative to the slot count so backward-shift
+// deletion constantly crosses the wrap boundary of the circular probe array.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_hash_map.h"
+#include "util/random.h"
+
+namespace cot {
+namespace {
+
+template <typename V>
+void ExpectMatchesModel(const FlatHashMap<uint64_t, V>& map,
+                        const std::unordered_map<uint64_t, V>& model,
+                        uint64_t key_space) {
+  ASSERT_EQ(map.size(), model.size());
+  // Model -> map: every modelled entry present with the right value.
+  for (const auto& [key, value] : model) {
+    auto it = map.find(key);
+    ASSERT_NE(it, map.end()) << "key " << key << " missing";
+    EXPECT_EQ(it->second, value) << "key " << key;
+    EXPECT_EQ(map.count(key), 1u);
+    EXPECT_TRUE(map.contains(key));
+  }
+  // Map -> model via iteration: no phantom entries, no duplicates.
+  size_t iterated = 0;
+  for (const auto& [key, value] : map) {
+    ++iterated;
+    auto it = model.find(key);
+    ASSERT_NE(it, model.end()) << "phantom key " << key;
+    EXPECT_EQ(it->second, value);
+  }
+  EXPECT_EQ(iterated, map.size());
+  // Probe a band of absent keys.
+  for (uint64_t key = 0; key < key_space; key += 7) {
+    EXPECT_EQ(map.contains(key), model.count(key) != 0) << "key " << key;
+  }
+}
+
+/// One fuzz campaign: `ops` random operations over a `key_space`-dense key
+/// range, cross-checked against the model every `check_every` steps.
+void RunCampaign(uint64_t seed, uint64_t ops, uint64_t key_space,
+                 uint64_t check_every) {
+  Rng rng(seed);
+  FlatHashMap<uint64_t, uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> model;
+  for (uint64_t i = 0; i < ops; ++i) {
+    uint64_t key = rng.NextBelow(key_space);
+    double roll = rng.NextDouble();
+    if (roll < 0.45) {
+      uint64_t value = rng.NextUint64();
+      bool fresh = map.insert_or_assign(key, value);
+      bool model_fresh = model.insert_or_assign(key, value).second;
+      ASSERT_EQ(fresh, model_fresh) << "op " << i << " key " << key;
+    } else if (roll < 0.60) {
+      // operator[] path: default-construct then mutate in place.
+      map[key] += key + 1;
+      model[key] += key + 1;
+    } else if (roll < 0.92) {
+      ASSERT_EQ(map.erase(key), model.erase(key)) << "op " << i << " key "
+                                                  << key;
+    } else if (roll < 0.96) {
+      size_t extra = rng.NextBelow(64);
+      map.reserve(map.size() + extra);  // mid-stream rehash
+    } else {
+      map.clear();
+      model.clear();
+    }
+    ASSERT_EQ(map.size(), model.size()) << "op " << i;
+    ASSERT_EQ(map.empty(), model.empty()) << "op " << i;
+    if (i % check_every == check_every - 1) {
+      ExpectMatchesModel(map, model, key_space);
+    }
+  }
+  ExpectMatchesModel(map, model, key_space);
+}
+
+TEST(FlatHashMapPropertyTest, RandomOpsMatchUnorderedMapSmallTable) {
+  // Dense small table: constant erase traffic around the wrap boundary.
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    RunCampaign(seed, /*ops=*/20000, /*key_space=*/24, /*check_every=*/512);
+  }
+}
+
+TEST(FlatHashMapPropertyTest, RandomOpsMatchUnorderedMapMediumTable) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    RunCampaign(seed, /*ops=*/30000, /*key_space=*/2048,
+                /*check_every=*/2048);
+  }
+}
+
+TEST(FlatHashMapPropertyTest, GrowShrinkChurnAcrossRehashes) {
+  // Ramp far past the initial table, then erase back down, repeatedly —
+  // every growth rehash moves all entries, every erase backward-shifts.
+  Rng rng(99);
+  FlatHashMap<uint64_t, uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> model;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    for (uint64_t i = 0; i < 3000; ++i) {
+      uint64_t key = rng.NextUint64();
+      map.insert_or_assign(key, key ^ 0xabcd);
+      model.insert_or_assign(key, key ^ 0xabcd);
+    }
+    ExpectMatchesModel(map, model, 64);
+    // Erase roughly half, in model iteration order (arbitrary but valid).
+    std::vector<uint64_t> doomed;
+    bool take = false;
+    for (const auto& [key, value] : model) {
+      if ((take = !take)) doomed.push_back(key);
+    }
+    for (uint64_t key : doomed) {
+      ASSERT_EQ(map.erase(key), 1u);
+      model.erase(key);
+    }
+    ExpectMatchesModel(map, model, 64);
+  }
+}
+
+TEST(FlatHashMapPropertyTest, NonTrivialValuesSurviveShiftsAndRehashes) {
+  // std::string values: backward-shift deletion and rehashing must move the
+  // payloads without slicing, leaking, or duplicating them.
+  Rng rng(7);
+  FlatHashMap<uint64_t, std::string> map;
+  std::unordered_map<uint64_t, std::string> model;
+  for (uint64_t i = 0; i < 8000; ++i) {
+    uint64_t key = rng.NextBelow(96);
+    if (rng.NextDouble() < 0.6) {
+      std::string value(1 + key % 40, static_cast<char>('a' + key % 26));
+      map.insert_or_assign(key, value);
+      model.insert_or_assign(key, value);
+    } else {
+      ASSERT_EQ(map.erase(key), model.erase(key)) << "op " << i;
+    }
+  }
+  ExpectMatchesModel(map, model, 96);
+}
+
+TEST(FlatHashMapPropertyTest, EraseDuringFullWrapOccupancy) {
+  // Fill to exactly the max load factor of the minimum 8-slot table (7
+  // entries), so probe chains wrap; then erase in every possible order of a
+  // rotating window. Catches backward-shift bugs at the index-0 boundary.
+  for (uint64_t base = 0; base < 64; ++base) {
+    FlatHashMap<uint64_t, uint64_t> map;
+    std::unordered_map<uint64_t, uint64_t> model;
+    for (uint64_t i = 0; i < 7; ++i) {
+      map.insert_or_assign(base + i * 97, i);
+      model.insert_or_assign(base + i * 97, i);
+    }
+    ASSERT_EQ(map.bucket_count(), 8u) << "test premise: minimum table";
+    for (uint64_t i = 0; i < 7; ++i) {
+      uint64_t key = base + ((i + base) % 7) * 97;
+      ASSERT_EQ(map.erase(key), model.erase(key)) << "base " << base;
+      ExpectMatchesModel(map, model, 0);
+    }
+    EXPECT_TRUE(map.empty());
+  }
+}
+
+TEST(FlatHashMapPropertyTest, ClearKeepsTableReusable) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  for (uint64_t i = 0; i < 1000; ++i) map.insert_or_assign(i, i);
+  size_t buckets = map.bucket_count();
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.bucket_count(), buckets) << "clear must keep the allocation";
+  for (uint64_t i = 0; i < 1000; ++i) EXPECT_FALSE(map.contains(i));
+  for (uint64_t i = 0; i < 1000; ++i) map.insert_or_assign(i * 3, i);
+  EXPECT_EQ(map.size(), 1000u);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(map.contains(i * 3));
+    EXPECT_EQ(map.find(i * 3)->second, i);
+  }
+}
+
+}  // namespace
+}  // namespace cot

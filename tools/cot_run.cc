@@ -12,10 +12,13 @@
 //   cot_run --trace my_accesses.txt --policy cot --cache-lines 64
 
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/experiment.h"
+#include "metrics/event_tracer.h"
 #include "metrics/imbalance.h"
 #include "sim/end_to_end_sim.h"
 #include "util/flags.h"
@@ -26,6 +29,86 @@
 namespace {
 
 using namespace cot;
+
+bool WriteFileOrWarn(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    return false;
+  }
+  bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+            content.size();
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) std::fprintf(stderr, "short write to '%s'\n", path.c_str());
+  return ok;
+}
+
+/// Human-readable digest of the structured trace: per-type event counts and
+/// the resizer's decision sequence with runs compressed ("double_tracker x3").
+void PrintTraceSummary(const std::vector<metrics::TraceEvent>& trace,
+                       uint64_t dropped) {
+  if (trace.empty() && dropped == 0) return;
+  std::map<std::string, uint64_t> counts;
+  for (const auto& e : trace) counts[std::string(ToString(e.type))]++;
+  std::printf("trace events:      ");
+  for (const auto& [type, n] : counts) {
+    std::printf(" %s=%llu", type.c_str(),
+                static_cast<unsigned long long>(n));
+  }
+  if (dropped > 0) {
+    std::printf("  (dropped %llu)", static_cast<unsigned long long>(dropped));
+  }
+  std::printf("\n");
+  // Decision sequence for client 0 only — every client sees its own stream,
+  // and one sequence is what a human wants to eyeball.
+  std::string seq;
+  std::string last;
+  uint64_t run = 0;
+  auto flush = [&] {
+    if (run == 0) return;
+    if (!seq.empty()) seq += " ";
+    seq += last;
+    if (run > 1) seq += " x" + std::to_string(run);
+  };
+  for (const auto& e : trace) {
+    if (e.type != metrics::TraceEventType::kResizerDecision ||
+        e.client != 0) {
+      continue;
+    }
+    const auto& p = std::get<metrics::ResizerDecisionPayload>(e.payload);
+    std::string action(p.action);
+    if (action == last) {
+      ++run;
+    } else {
+      flush();
+      last = action;
+      run = 1;
+    }
+  }
+  flush();
+  if (!seq.empty()) std::printf("resizer decisions:  %s\n", seq.c_str());
+}
+
+/// Writes --metrics-out / --trace-out if requested and prints the trace
+/// digest. Returns false on any file-write failure.
+bool EmitObservability(const std::string& metrics_path,
+                       const std::string& trace_path,
+                       const cluster::ExperimentResult& result) {
+  bool ok = true;
+  if (!metrics_path.empty()) {
+    ok = WriteFileOrWarn(metrics_path, result.metrics.ToJson()) && ok;
+  }
+  if (!trace_path.empty()) {
+    std::string jsonl;
+    for (const auto& e : result.trace) {
+      jsonl += metrics::ToJson(e);
+      jsonl += '\n';
+    }
+    ok = WriteFileOrWarn(trace_path, jsonl) && ok;
+  }
+  PrintTraceSummary(result.trace, result.trace_dropped);
+  return ok;
+}
 
 int RunTool(int argc, char** argv) {
   FlagParser flags;
@@ -75,6 +158,15 @@ int RunTool(int argc, char** argv) {
   flags.AddBool("fault-no-cold-recovery", false,
                 "disable the recovery generation bump (demonstrates the "
                 "stale-read hazard; unsafe)");
+  flags.AddString("metrics-out", "",
+                  "write run counters/gauges/latency histograms as JSON to "
+                  "this file");
+  flags.AddString("trace-out", "",
+                  "record structured events (resizer decisions, breaker "
+                  "transitions, fault activations, ...) and write them as "
+                  "JSONL to this file");
+  flags.AddInt64("trace-capacity", 65536,
+                 "per-client event ring-buffer slots (with --trace-out)");
 
   Status s = flags.Parse(argc, argv);
   if (!s.ok()) {
@@ -114,6 +206,13 @@ int RunTool(int argc, char** argv) {
   config.failure_policy.breaker_cooldown_ops =
       static_cast<uint64_t>(flags.GetInt64("fault-breaker-cooldown"));
   config.failure_policy.recover_cold = !flags.GetBool("fault-no-cold-recovery");
+
+  const std::string& metrics_out = flags.GetString("metrics-out");
+  const std::string& trace_out = flags.GetString("trace-out");
+  if (!trace_out.empty()) {
+    config.trace_capacity =
+        static_cast<size_t>(flags.GetInt64("trace-capacity"));
+  }
 
   workload::PhaseSpec phase;
   phase.skew = flags.GetDouble("skew");
@@ -220,6 +319,12 @@ int RunTool(int argc, char** argv) {
       client.SetFaultInjector(trace_injector.get(), 0,
                               config.failure_policy);
     }
+    std::unique_ptr<metrics::EventTracer> tracer;
+    if (config.trace_capacity > 0) {
+      tracer = std::make_unique<metrics::EventTracer>(config.trace_capacity,
+                                                      /*client=*/0);
+      client.SetTracer(tracer.get());
+    }
     if (elastic) {
       Status es = client.EnableElasticResizing(resizer);
       if (!es.ok()) {
@@ -237,6 +342,21 @@ int RunTool(int argc, char** argv) {
                 metrics::LoadImbalance(loads),
                 metrics::JainFairnessIndex(loads));
     print_fault_summary(client.stats());
+    // Fold the single-client run into an ExperimentResult so the export
+    // format matches the experiment/sim paths exactly.
+    cluster::ExperimentResult replay;
+    replay.per_server_lookups = loads;
+    replay.imbalance = metrics::LoadImbalance(loads);
+    replay.total_backend_lookups = metrics::TotalLoad(loads);
+    replay.per_client.push_back(client.stats());
+    replay.aggregate.Add(client.stats());
+    replay.local_hit_rate = client.stats().LocalHitRate();
+    if (tracer != nullptr) {
+      replay.trace = metrics::EventTracer::Merge({tracer.get()});
+      replay.trace_dropped = tracer->dropped();
+    }
+    cluster::ExportMetrics(&replay);
+    if (!EmitObservability(metrics_out, trace_out, replay)) return 1;
     return 0;
   }
 
@@ -261,6 +381,7 @@ int RunTool(int argc, char** argv) {
                 metrics::JainFairnessIndex(
                     result->logical.per_server_lookups));
     print_fault_summary(result->logical.aggregate);
+    if (!EmitObservability(metrics_out, trace_out, result->logical)) return 1;
     return 0;
   }
 
@@ -289,6 +410,7 @@ int RunTool(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  if (!EmitObservability(metrics_out, trace_out, *result)) return 1;
   return 0;
 }
 
