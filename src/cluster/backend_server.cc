@@ -26,9 +26,7 @@ std::optional<cache::Value> BackendServer::Get(Key key) {
   return it->second.value;
 }
 
-void BackendServer::Set(Key key, Value value) {
-  set_count_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+void BackendServer::SetLocked(Key key, Value value) {
   auto it = store_.find(key);
   if (it != store_.end()) {
     it->second.value = value;
@@ -51,6 +49,18 @@ void BackendServer::Set(Key key, Value value) {
   store_[key] = item;
 }
 
+void BackendServer::Set(Key key, Value value) {
+  set_count_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  SetLocked(key, value);
+}
+
+void BackendServer::Adopt(Key key, Value value) {
+  adopted_count_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  SetLocked(key, value);
+}
+
 bool BackendServer::Delete(Key key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = store_.find(key);
@@ -59,6 +69,57 @@ bool BackendServer::Delete(Key key) {
   store_.erase(key);
   delete_count_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+BackendServer::FencedValue BackendServer::Get(Key key, uint64_t client_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (client_epoch != routing_epoch_) {
+    epoch_mismatch_count_.fetch_add(1, std::memory_order_relaxed);
+    return FencedValue{ShardStatus::kEpochMismatch, routing_epoch_,
+                       std::nullopt};
+  }
+  lookup_count_.fetch_add(1, std::memory_order_relaxed);
+  auto it = store_.find(key);
+  if (it == store_.end()) {
+    return FencedValue{ShardStatus::kOk, routing_epoch_, std::nullopt};
+  }
+  hit_count_.fetch_add(1, std::memory_order_relaxed);
+  TouchLru(key, it);
+  return FencedValue{ShardStatus::kOk, routing_epoch_, it->second.value};
+}
+
+BackendServer::FencedAck BackendServer::Set(Key key, Value value,
+                                            uint64_t client_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (client_epoch != routing_epoch_) {
+    epoch_mismatch_count_.fetch_add(1, std::memory_order_relaxed);
+    return FencedAck{ShardStatus::kEpochMismatch, routing_epoch_, false};
+  }
+  set_count_.fetch_add(1, std::memory_order_relaxed);
+  SetLocked(key, value);
+  return FencedAck{ShardStatus::kOk, routing_epoch_, false};
+}
+
+BackendServer::FencedAck BackendServer::Delete(Key key,
+                                               uint64_t client_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (client_epoch != routing_epoch_) {
+    epoch_mismatch_count_.fetch_add(1, std::memory_order_relaxed);
+    return FencedAck{ShardStatus::kEpochMismatch, routing_epoch_, false};
+  }
+  auto it = store_.find(key);
+  if (it == store_.end()) {
+    return FencedAck{ShardStatus::kOk, routing_epoch_, false};
+  }
+  if (max_items_ != 0) lru_.erase(it->second.lru_pos);
+  store_.erase(key);
+  delete_count_.fetch_add(1, std::memory_order_relaxed);
+  return FencedAck{ShardStatus::kOk, routing_epoch_, true};
+}
+
+void BackendServer::SetRoutingEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  routing_epoch_ = epoch;
 }
 
 void BackendServer::ClearContentLocked() {

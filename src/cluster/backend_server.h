@@ -43,10 +43,44 @@ namespace cot::cluster {
 /// this: `AdvanceGeneration`/`ForceRestart` drop all content and advance
 /// the generation, and are idempotent per target generation, so many
 /// clients observing the same recovery bump the shard exactly once.
+///
+/// Routing-epoch fencing: clients route with a cached view of the ring.
+/// When the topology changes, `CacheCluster` stamps every shard with the
+/// new routing epoch; the fenced `Get`/`Set`/`Delete` overloads compare
+/// the caller's epoch against the shard's *inside* the content critical
+/// section and reject mismatches without touching content or load
+/// counters. A client holding a stale route view therefore cannot read a
+/// shard that no longer owns the key, nor strand a fill on it — it gets
+/// `kEpochMismatch`, refreshes its view, and retries.
 class BackendServer {
  public:
   using Key = cache::Key;
   using Value = cache::Value;
+
+  /// Outcome of a routing-epoch-fenced request.
+  enum class ShardStatus : uint8_t {
+    kOk,
+    /// The caller's routing epoch is stale (or ahead — any disagreement is
+    /// a misroute); the request was rejected untouched.
+    kEpochMismatch,
+  };
+
+  /// Fenced lookup result. `value` is meaningful only when `status` is
+  /// `kOk`; `shard_epoch` is the shard's current routing epoch either way
+  /// (what the rejected client reports in its trace).
+  struct FencedValue {
+    ShardStatus status = ShardStatus::kOk;
+    uint64_t shard_epoch = 0;
+    std::optional<Value> value;
+  };
+
+  /// Fenced write/delete acknowledgement.
+  struct FencedAck {
+    ShardStatus status = ShardStatus::kOk;
+    uint64_t shard_epoch = 0;
+    /// For Delete: whether the key was resident. For Set: unused.
+    bool existed = false;
+  };
 
   /// Creates a shard. `max_items` of 0 means unbounded.
   explicit BackendServer(size_t max_items = 0);
@@ -68,6 +102,29 @@ class BackendServer {
   /// Invalidation delete (client-driven update path). Returns whether the
   /// key was resident.
   bool Delete(Key key);
+
+  /// Epoch-fenced variants: the request carries the client's routing
+  /// epoch; on disagreement with the shard's epoch the request is rejected
+  /// — no lookup/set/delete is counted and content is untouched. The check
+  /// and the content operation are atomic under the shard mutex, so a
+  /// fenced op serialized after a topology change can never act on a view
+  /// the change invalidated.
+  FencedValue Get(Key key, uint64_t client_epoch);
+  FencedAck Set(Key key, Value value, uint64_t client_epoch);
+  FencedAck Delete(Key key, uint64_t client_epoch);
+
+  /// Stamps the shard with the cluster's routing epoch (topology mutations
+  /// only; serialized by the cluster's exclusive topology lock).
+  void SetRoutingEpoch(uint64_t epoch);
+  /// The routing epoch this shard currently serves in.
+  uint64_t routing_epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return routing_epoch_;
+  }
+  /// Fenced requests rejected for carrying a stale epoch.
+  uint64_t epoch_mismatch_count() const {
+    return epoch_mismatch_count_.load(std::memory_order_relaxed);
+  }
 
   /// Number of resident items.
   size_t size() const {
@@ -144,6 +201,46 @@ class BackendServer {
     return doomed_.size();
   }
 
+  /// Like `EraseIf`, but returns the erased keys — the extraction half of
+  /// a live migration (the cluster re-reads each key's authoritative value
+  /// from storage and `Adopt`s it on the new owner, so a copy whose
+  /// invalidation was lost in a crash window can never migrate stale).
+  template <typename Pred>
+  std::vector<Key> ExtractIf(Pred&& pred) {
+    std::lock_guard<std::mutex> lock(mu_);
+    doomed_.clear();
+    for (const auto& entry : store_) {
+      if (pred(entry.first)) doomed_.push_back(entry.first);
+    }
+    for (Key key : doomed_) {
+      if (max_items_ != 0) {
+        auto it = store_.find(key);
+        lru_.erase(it->second.lru_pos);
+      }
+      store_.erase(key);
+    }
+    return doomed_;
+  }
+
+  /// Migration insert: installs `key` like `Set` (same LRU/eviction
+  /// behaviour) but counts toward `adopted_count` instead of `set_count`,
+  /// so client-traffic accounting is undisturbed by handoffs.
+  void Adopt(Key key, Value value);
+
+  /// Keys installed by live migration (`Adopt`).
+  uint64_t adopted_count() const {
+    return adopted_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Visits every resident (key, value) pair under the shard lock (safety
+  /// sweeps in tests and invariant checks). `fn` must not call back into
+  /// this shard.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : store_) fn(entry.first, entry.second.value);
+  }
+
  private:
   struct Item {
     Value value;
@@ -156,17 +253,24 @@ class BackendServer {
   /// Drops content (not counters). Caller holds `mu_`.
   void ClearContentLocked();
 
+  /// Installs/overwrites `key`. Caller holds `mu_`.
+  void SetLocked(Key key, Value value);
+
   size_t max_items_;
-  mutable std::mutex mu_;  // guards store_, lru_, generation_, doomed_
+  // Guards store_, lru_, generation_, routing_epoch_, doomed_.
+  mutable std::mutex mu_;
   FlatHashMap<Key, Item> store_;
   std::list<Key> lru_;  // front = MRU; maintained only in bounded mode
   std::vector<Key> doomed_;  // scratch for EraseIf (avoids per-call alloc)
   uint64_t generation_ = 0;
+  uint64_t routing_epoch_ = 0;
   std::atomic<uint64_t> lookup_count_{0};
   std::atomic<uint64_t> hit_count_{0};
   std::atomic<uint64_t> set_count_{0};
   std::atomic<uint64_t> delete_count_{0};
   std::atomic<uint64_t> eviction_count_{0};
+  std::atomic<uint64_t> epoch_mismatch_count_{0};
+  std::atomic<uint64_t> adopted_count_{0};
 };
 
 }  // namespace cot::cluster

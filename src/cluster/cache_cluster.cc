@@ -1,6 +1,7 @@
 #include "cluster/cache_cluster.h"
 
 #include <mutex>
+#include <utility>
 
 namespace cot::cluster {
 
@@ -26,7 +27,10 @@ CacheCluster::CacheCluster(uint32_t num_servers, uint64_t key_space_size,
   for (uint32_t i = 0; i < num_servers; ++i) {
     servers_.push_back(std::make_unique<BackendServer>());
     servers_.back()->Reserve(reserve);
+    servers_.back()->SetRoutingEpoch(routing_epoch_);
   }
+  snapshot_ = std::make_shared<RingSnapshot>(RingSnapshot{routing_epoch_,
+                                                          ring_});
 }
 
 BackendServer& CacheCluster::server(ServerId id) {
@@ -44,9 +48,37 @@ uint32_t CacheCluster::server_count() const {
   return static_cast<uint32_t>(servers_.size());
 }
 
+uint32_t CacheCluster::active_server_count() const {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
+  return ring_.active_server_count();
+}
+
 ServerId CacheCluster::OwnerOf(uint64_t key) const {
   std::shared_lock<std::shared_mutex> lock(topology_mu_);
   return ring_.ServerFor(key);
+}
+
+std::shared_ptr<const CacheCluster::RingSnapshot> CacheCluster::ring_snapshot()
+    const {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
+  return snapshot_;
+}
+
+uint64_t CacheCluster::routing_epoch() const {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
+  return routing_epoch_;
+}
+
+CacheCluster::TopologyStats CacheCluster::topology_stats() const {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
+  TopologyStats stats;
+  stats.routing_epoch = routing_epoch_;
+  stats.topology_changes = topology_changes_;
+  stats.keys_migrated = keys_migrated_;
+  for (const auto& s : servers_) {
+    stats.epoch_rejects += s->epoch_mismatch_count();
+  }
+  return stats;
 }
 
 std::vector<uint64_t> CacheCluster::PerServerLookups() const {
@@ -62,38 +94,95 @@ void CacheCluster::ResetServerCounters() {
   for (auto& s : servers_) s->ResetCounters();
 }
 
-void CacheCluster::FlushMisownedKeys() {
+void CacheCluster::MigrateMisownedKeysLocked() {
   for (ServerId id = 0; id < servers_.size(); ++id) {
-    if (!active_[id]) continue;
-    servers_[id]->EraseIf(
+    // Inactive shards own nothing, so the predicate drains them entirely
+    // (the scale-down handoff). ExtractIf and Adopt each take one shard
+    // lock at a time — never nested — so migration cannot deadlock with
+    // in-flight traffic.
+    std::vector<uint64_t> moved = servers_[id]->ExtractIf(
         [&](uint64_t key) { return ring_.ServerFor(key) != id; });
+    for (uint64_t key : moved) {
+      // The adopted value is re-read from authoritative storage, not
+      // copied from the old shard: a copy whose invalidation delete was
+      // lost (crash window) is stale, and migrating it would smuggle the
+      // staleness past the generation fence onto a healthy shard.
+      servers_[ring_.ServerFor(key)]->Adopt(key, storage_.Get(key));
+    }
+    keys_migrated_ += moved.size();
   }
+}
+
+template <typename Mutate>
+void CacheCluster::ApplyTopologyChangeLocked(Mutate&& mutate) {
+  mutation_in_flight_.store(true, std::memory_order_relaxed);
+  // 1. Fence: stamp every shard (active or not) with the new epoch under
+  //    its content mutex. From this point, any request carrying the old
+  //    epoch is rejected, so no stale-view client can act on content while
+  //    ownership moves underneath it.
+  ++routing_epoch_;
+  for (auto& s : servers_) s->SetRoutingEpoch(routing_epoch_);
+  // 2. Mutate the ring / membership.
+  mutate();
+  // 3. Migrate: every key moves (warm) to its new owner before any client
+  //    can see the new epoch.
+  MigrateMisownedKeysLocked();
+  // 4. Publish: clients refreshing their route view from here on get the
+  //    new epoch and a ring whose owners already hold their keys.
+  snapshot_ = std::make_shared<RingSnapshot>(RingSnapshot{routing_epoch_,
+                                                          ring_});
+  ++topology_changes_;
+  mutation_in_flight_.store(false, std::memory_order_relaxed);
 }
 
 ServerId CacheCluster::AddServer() {
   std::unique_lock<std::shared_mutex> lock(topology_mu_);
-  ring_.AddServer();
-  servers_.push_back(std::make_unique<BackendServer>());
-  servers_.back()->Reserve(
-      PerShardReserve(storage_.key_space_size(), ring_.server_count()));
-  active_.push_back(true);
-  // Existing shards relinquish the key ranges the newcomer now owns —
-  // otherwise a copy stranded on the old owner could serve a stale value
-  // if a later topology change handed the range back.
-  FlushMisownedKeys();
-  return static_cast<ServerId>(servers_.size() - 1);
+  ServerId id = 0;
+  ApplyTopologyChangeLocked([&] {
+    id = ring_.AddServer();
+    servers_.push_back(std::make_unique<BackendServer>());
+    servers_.back()->Reserve(
+        PerShardReserve(storage_.key_space_size(),
+                        ring_.active_server_count()));
+    servers_.back()->SetRoutingEpoch(routing_epoch_);
+    active_.push_back(true);
+  });
+  return id;
 }
 
 Status CacheCluster::RemoveServer(ServerId id) {
   std::unique_lock<std::shared_mutex> lock(topology_mu_);
+  // Preconditions are checked before the fence/migrate/publish sequence
+  // starts, so a rejected call leaves the epoch untouched.
   if (id >= servers_.size() || !active_[id]) {
     return Status::NotFound("server not active");
   }
-  Status s = ring_.RemoveServer(id);
-  if (!s.ok()) return s;
-  active_[id] = false;
-  servers_[id]->Clear();  // content is unreachable; drop it
-  FlushMisownedKeys();
+  if (ring_.active_server_count() <= 1) {
+    return Status::FailedPrecondition("cannot remove the last server");
+  }
+  ApplyTopologyChangeLocked([&] {
+    Status s = ring_.RemoveServer(id);
+    assert(s.ok());
+    (void)s;
+    active_[id] = false;
+  });
+  return Status::OK();
+}
+
+Status CacheCluster::RejoinServer(ServerId id) {
+  std::unique_lock<std::shared_mutex> lock(topology_mu_);
+  if (id >= servers_.size()) {
+    return Status::NotFound("server id unknown");
+  }
+  if (active_[id]) {
+    return Status::FailedPrecondition("server is already active");
+  }
+  ApplyTopologyChangeLocked([&] {
+    Status s = ring_.AddServerWithId(id);
+    assert(s.ok());
+    (void)s;
+    active_[id] = true;
+  });
   return Status::OK();
 }
 

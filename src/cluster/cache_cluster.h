@@ -1,6 +1,8 @@
 #ifndef COT_CLUSTER_CACHE_CLUSTER_H_
 #define COT_CLUSTER_CACHE_CLUSTER_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
@@ -19,15 +21,48 @@ namespace cot::cluster {
 /// Thread safety: shard content and counters are protected inside
 /// `BackendServer`; the *topology* (ring, shard vector, active flags,
 /// generations) is guarded by a reader-writer lock so membership changes
-/// (`AddServer`/`RemoveServer`) are safe against in-flight client traffic.
-/// Clients route and fetch shard references through `OwnerOf`/`server`
-/// (shared lock); topology mutations take the lock exclusively. Shard
-/// objects live behind `unique_ptr`, so a reference obtained under the
-/// shared lock stays valid across concurrent `AddServer` vector growth.
-/// The bare `ring()` accessor remains for serial phases (preload, tests)
-/// and must not race a topology change.
+/// (`AddServer`/`RemoveServer`/`RejoinServer`) are safe against in-flight
+/// client traffic. Clients route and fetch shard references through
+/// `OwnerOf`/`server` (shared lock); topology mutations take the lock
+/// exclusively. Shard objects live behind `unique_ptr`, so a reference
+/// obtained under the shared lock stays valid across concurrent
+/// `AddServer` vector growth. The bare `ring()` accessor remains for
+/// serial phases (preload, tests) and must not race a topology change —
+/// enforced by a debug assertion.
+///
+/// Routing epochs: every topology mutation advances `routing epoch` and,
+/// *before* touching the ring, stamps every shard with the new epoch. A
+/// client routes with an immutable `RingSnapshot` (lock-free reads of a
+/// shared_ptr it refreshes on demand); its requests carry the snapshot's
+/// epoch, and a shard rejects any request whose epoch disagrees with its
+/// own (`BackendServer::ShardStatus::kEpochMismatch`). Because the stamp
+/// happens under each shard's content mutex before the ring mutates, a
+/// stale-view request serialized after the change can neither read a
+/// shard that lost the key's range nor strand a fill on it. Snapshots are
+/// published only after migration completes, so a fresh-epoch view never
+/// exists before the new owners hold their keys.
 class CacheCluster {
  public:
+  /// An immutable, shareable view of the routing state: the epoch and the
+  /// ring as of that epoch. Clients cache one and route against it without
+  /// taking the topology lock per operation.
+  struct RingSnapshot {
+    uint64_t epoch = 0;
+    ConsistentHashRing ring;
+  };
+
+  /// Handoff/identity counters (see `topology_stats()`).
+  struct TopologyStats {
+    /// Current routing epoch (starts at 1; +1 per mutation).
+    uint64_t routing_epoch = 1;
+    /// Topology mutations applied (add + remove + rejoin).
+    uint64_t topology_changes = 0;
+    /// Keys moved to their new owner by live migration, cumulative.
+    uint64_t keys_migrated = 0;
+    /// Fenced requests rejected with kEpochMismatch, summed over shards.
+    uint64_t epoch_rejects = 0;
+  };
+
   /// Creates `num_servers` shards over a `key_space_size` key space.
   ///
   /// The virtual-node default is deliberately high (16384 per server): the
@@ -42,12 +77,31 @@ class CacheCluster {
   BackendServer& server(ServerId id);
   const BackendServer& server(ServerId id) const;
   uint32_t server_count() const;
+  /// Shards currently on the ring.
+  uint32_t active_server_count() const;
 
   /// The shard currently owning `key` on the ring (topology-safe routing).
   ServerId OwnerOf(uint64_t key) const;
 
-  /// The key-to-server map. Serial use only — see the class comment.
-  const ConsistentHashRing& ring() const { return ring_; }
+  /// The current routing view. Cheap to call (shared lock + shared_ptr
+  /// copy); blocks only while a topology mutation is in flight, which is
+  /// exactly when a refreshing client must wait for the new owners to be
+  /// warm.
+  std::shared_ptr<const RingSnapshot> ring_snapshot() const;
+
+  /// Current routing epoch.
+  uint64_t routing_epoch() const;
+
+  /// Handoff counters (epoch, changes, keys migrated, fenced rejects).
+  TopologyStats topology_stats() const;
+
+  /// The key-to-server map. Serial use only — see the class comment. The
+  /// debug assertion enforces that no topology mutation is in flight.
+  const ConsistentHashRing& ring() const {
+    assert(!mutation_in_flight_.load(std::memory_order_relaxed) &&
+           "CacheCluster::ring() raced a topology mutation");
+    return ring_;
+  }
 
   /// The persistent layer.
   StorageLayer& storage() { return storage_; }
@@ -62,16 +116,25 @@ class CacheCluster {
 
   /// Adds one caching shard to the tier (the elasticity consistent
   /// hashing exists for, Section 2): ~1/(n+1) of the key space moves to
-  /// the new shard. Every existing shard is flushed of the keys it no
-  /// longer owns, so no stale copy can resurface after later topology
-  /// changes. Returns the new server's id.
+  /// the new shard. The moved range is *migrated live*: each key the
+  /// newcomer now owns is re-read from authoritative storage and adopted
+  /// warm, so post-change traffic sees backend hits instead of a cold-miss
+  /// storm, and no stale copy can ride along (storage is authoritative by
+  /// definition). Old owners are flushed of the range. Returns the new
+  /// server's id.
   ServerId AddServer();
 
-  /// Removes shard `id` from the ring (its content becomes unreachable
-  /// and is dropped); its key range redistributes to ring successors,
-  /// which cold-miss to storage. Ids of other servers are unchanged.
-  /// Fails if `id` is unknown, already removed, or the last server.
+  /// Removes shard `id` from the ring. Its content *drains* to the ring
+  /// successors (same storage-backed migration as AddServer) — the warm
+  /// handoff that makes scale-down routine rather than a hit-rate cliff.
+  /// Ids of other servers are unchanged and never reused. Fails if `id`
+  /// is unknown, already removed, or the last active server.
   Status RemoveServer(ServerId id);
+
+  /// Returns a previously removed shard to the ring under its old id. It
+  /// reclaims its ring ranges, receiving the resident keys via the same
+  /// warm migration. Fails if `id` is unknown or currently active.
+  Status RejoinServer(ServerId id);
 
   /// True if `id` is still serving (present on the ring).
   bool IsActive(ServerId id) const;
@@ -94,17 +157,30 @@ class CacheCluster {
   uint64_t ForceColdRestart(ServerId id);
 
  private:
-  /// Drops from every shard the keys it no longer owns. O(total items).
+  /// Fences, migrates, and publishes around a ring mutation `mutate`.
   /// Caller holds `topology_mu_` exclusively.
-  void FlushMisownedKeys();
+  template <typename Mutate>
+  void ApplyTopologyChangeLocked(Mutate&& mutate);
 
-  // Guards ring_, servers_ (the vector, not shard content), active_.
+  /// Moves every resident key to its current ring owner: misowned keys are
+  /// extracted from their old shard, re-read from storage, and adopted by
+  /// the owner. O(total items). Caller holds `topology_mu_` exclusively.
+  void MigrateMisownedKeysLocked();
+
+  // Guards ring_, servers_ (the vector, not shard content), active_,
+  // routing_epoch_, snapshot_.
   mutable std::shared_mutex topology_mu_;
   ConsistentHashRing ring_;
   // Shards hold a mutex and atomics (immovable), so they live behind
   // unique_ptr to keep the vector growable on AddServer.
   std::vector<std::unique_ptr<BackendServer>> servers_;
   std::vector<bool> active_;
+  uint64_t routing_epoch_ = 1;
+  uint64_t topology_changes_ = 0;
+  uint64_t keys_migrated_ = 0;
+  std::shared_ptr<const RingSnapshot> snapshot_;
+  // True only inside a topology mutation; backs the ring() debug assert.
+  std::atomic<bool> mutation_in_flight_{false};
   StorageLayer storage_;
 };
 

@@ -1,0 +1,301 @@
+#include "cluster/churn_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "util/random.h"
+
+namespace cot::cluster {
+
+std::string_view ToString(ChurnAction action) {
+  switch (action) {
+    case ChurnAction::kAddServer:
+      return "add_server";
+    case ChurnAction::kRemoveServer:
+      return "remove_server";
+    case ChurnAction::kRejoinServer:
+      return "rejoin_server";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Replays the schedule against a simulated tier, calling `on_event` with
+/// the membership state before each event. Shared by Validate and the
+/// count helpers so they cannot drift.
+struct TierSim {
+  std::vector<bool> active;
+
+  explicit TierSim(uint32_t initial_servers)
+      : active(initial_servers, true) {}
+
+  uint32_t ActiveCount() const {
+    uint32_t n = 0;
+    for (bool a : active) n += a ? 1 : 0;
+    return n;
+  }
+};
+
+}  // namespace
+
+Status ChurnSchedule::Validate(uint32_t initial_servers) const {
+  if (initial_servers == 0) {
+    return Status::InvalidArgument("churn needs at least one initial server");
+  }
+  TierSim sim(initial_servers);
+  uint64_t last_at = 0;
+  for (const ChurnEvent& e : events) {
+    if (e.at_op < last_at) {
+      return Status::InvalidArgument(
+          "churn events must be ordered by at_op (event at " +
+          std::to_string(e.at_op) + " after " + std::to_string(last_at) + ")");
+    }
+    last_at = e.at_op;
+    switch (e.action) {
+      case ChurnAction::kAddServer:
+        sim.active.push_back(true);
+        break;
+      case ChurnAction::kRemoveServer:
+        if (e.server >= sim.active.size() || !sim.active[e.server]) {
+          return Status::InvalidArgument(
+              "churn remove targets inactive server " +
+              std::to_string(e.server));
+        }
+        if (sim.ActiveCount() <= 1) {
+          return Status::InvalidArgument(
+              "churn cannot remove the last active server");
+        }
+        sim.active[e.server] = false;
+        break;
+      case ChurnAction::kRejoinServer:
+        if (e.server >= sim.active.size() || sim.active[e.server]) {
+          return Status::InvalidArgument(
+              "churn rejoin targets a server that is not removed: " +
+              std::to_string(e.server));
+        }
+        sim.active[e.server] = true;
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+uint32_t ChurnSchedule::MaxServerCount(uint32_t initial_servers) const {
+  uint32_t count = initial_servers;
+  for (const ChurnEvent& e : events) {
+    if (e.action == ChurnAction::kAddServer) ++count;
+  }
+  return count;
+}
+
+uint32_t ChurnSchedule::FinalActiveCount(uint32_t initial_servers) const {
+  TierSim sim(initial_servers);
+  for (const ChurnEvent& e : events) {
+    switch (e.action) {
+      case ChurnAction::kAddServer:
+        sim.active.push_back(true);
+        break;
+      case ChurnAction::kRemoveServer:
+        if (e.server < sim.active.size()) sim.active[e.server] = false;
+        break;
+      case ChurnAction::kRejoinServer:
+        if (e.server < sim.active.size()) sim.active[e.server] = true;
+        break;
+    }
+  }
+  return sim.ActiveCount();
+}
+
+StatusOr<ChurnSchedule> ParseChurnSchedule(const std::string& spec) {
+  ChurnSchedule schedule;
+  if (spec.empty()) return schedule;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string entry = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (entry.empty()) {
+      return Status::InvalidArgument("empty churn entry");
+    }
+    // Keyword, then colon-separated numeric fields.
+    size_t colon = entry.find(':');
+    std::string keyword = entry.substr(0, colon);
+    std::vector<uint64_t> values;
+    size_t field_pos = colon == std::string::npos ? entry.size() + 1
+                                                  : colon + 1;
+    while (field_pos <= entry.size()) {
+      size_t next = entry.find(':', field_pos);
+      std::string field = entry.substr(
+          field_pos,
+          next == std::string::npos ? std::string::npos : next - field_pos);
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (field.empty() || end == field.c_str() || *end != '\0' || v < 0.0) {
+        return Status::InvalidArgument("bad churn field '" + field +
+                                       "' in '" + entry + "'");
+      }
+      values.push_back(static_cast<uint64_t>(v));
+      if (next == std::string::npos) break;
+      field_pos = next + 1;
+    }
+    ChurnEvent event;
+    if (keyword == "add" && values.size() == 1) {
+      event.action = ChurnAction::kAddServer;
+      event.at_op = values[0];
+    } else if (keyword == "remove" && values.size() == 2) {
+      event.action = ChurnAction::kRemoveServer;
+      event.server = static_cast<ServerId>(values[0]);
+      event.at_op = values[1];
+    } else if (keyword == "rejoin" && values.size() == 2) {
+      event.action = ChurnAction::kRejoinServer;
+      event.server = static_cast<ServerId>(values[0]);
+      event.at_op = values[1];
+    } else {
+      return Status::InvalidArgument(
+          "churn entry '" + entry +
+          "' must be add:AT, remove:SERVER:AT, or rejoin:SERVER:AT");
+    }
+    schedule.events.push_back(event);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  std::stable_sort(schedule.events.begin(), schedule.events.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.at_op < b.at_op;
+                   });
+  return schedule;
+}
+
+ChaosPlan MakeChaosPlan(const ChaosOptions& options) {
+  ChaosPlan plan;
+  plan.faults.seed = options.seed * 0x9E3779B97F4A7C15ULL + 0x5eedf001;
+  if (options.initial_servers == 0 ||
+      options.horizon_ops <= options.warmup_ops) {
+    return plan;
+  }
+  Rng rng(options.seed);
+  const uint64_t window = options.horizon_ops - options.warmup_ops;
+
+  // Churn: draw sorted event times, then pick a valid action for each
+  // against the simulated tier.
+  std::vector<uint64_t> times;
+  times.reserve(options.churn_events);
+  for (uint32_t i = 0; i < options.churn_events; ++i) {
+    times.push_back(options.warmup_ops + rng.NextBelow(window));
+  }
+  std::sort(times.begin(), times.end());
+  TierSim sim(options.initial_servers);
+  std::vector<ServerId> removed;
+  for (uint64_t at : times) {
+    ChurnEvent event;
+    event.at_op = at;
+    // Weighted mix: grow 40%, shrink 40%, rejoin 20% — degraded to a
+    // legal action when the draw is infeasible (tier of one cannot
+    // shrink; nothing removed cannot rejoin).
+    uint64_t draw = rng.NextBelow(10);
+    bool can_remove = sim.ActiveCount() > 1;
+    bool can_rejoin = !removed.empty();
+    if (draw < 4 || (!can_remove && !can_rejoin)) {
+      event.action = ChurnAction::kAddServer;
+      sim.active.push_back(true);
+    } else if (draw < 8 && can_remove) {
+      event.action = ChurnAction::kRemoveServer;
+      // Pick among active shards.
+      uint32_t pick = static_cast<uint32_t>(
+          rng.NextBelow(sim.ActiveCount()));
+      for (ServerId id = 0; id < sim.active.size(); ++id) {
+        if (!sim.active[id]) continue;
+        if (pick == 0) {
+          event.server = id;
+          break;
+        }
+        --pick;
+      }
+      sim.active[event.server] = false;
+      removed.push_back(event.server);
+    } else if (can_rejoin) {
+      size_t pick = static_cast<size_t>(rng.NextBelow(removed.size()));
+      event.action = ChurnAction::kRejoinServer;
+      event.server = removed[pick];
+      removed.erase(removed.begin() + static_cast<std::ptrdiff_t>(pick));
+      sim.active[event.server] = true;
+    } else {
+      event.action = ChurnAction::kAddServer;
+      sim.active.push_back(true);
+    }
+    plan.churn.events.push_back(event);
+  }
+
+  // Faults: windows over any shard that exists by the end of the run
+  // (including churn-created ones); a fault on a currently removed shard
+  // is legal and simply never observed.
+  const uint32_t max_servers =
+      plan.churn.MaxServerCount(options.initial_servers);
+  for (uint32_t i = 0; i < options.fault_events; ++i) {
+    FaultEvent event;
+    event.server = static_cast<ServerId>(rng.NextBelow(max_servers));
+    uint64_t start = options.warmup_ops + rng.NextBelow(window);
+    uint64_t max_len = std::max<uint64_t>(1, window / 8);
+    uint64_t len = 1 + rng.NextBelow(max_len);
+    event.start_op = start;
+    event.end_op = std::min(options.horizon_ops, start + len);
+    if (event.end_op <= event.start_op) event.end_op = event.start_op + 1;
+    uint64_t kind = rng.NextBelow(10);
+    if (kind < 4) {
+      event.type = FaultType::kCrash;
+    } else if (kind < 8) {
+      event.type = FaultType::kTransient;
+      event.probability = 0.3 + 0.6 * rng.NextDouble();
+    } else {
+      event.type = FaultType::kSlow;
+      event.slow_factor = 2.0 + 6.0 * rng.NextDouble();
+    }
+    plan.faults.events.push_back(event);
+  }
+  return plan;
+}
+
+Status VerifyClusterInvariants(CacheCluster& cluster) {
+  const uint32_t n = cluster.server_count();
+  for (ServerId id = 0; id < n; ++id) {
+    const bool is_active = cluster.IsActive(id);
+    // Collect first (ForEach holds the shard lock; OwnerOf/storage reads
+    // must not run under it).
+    std::vector<std::pair<uint64_t, cache::Value>> resident;
+    cluster.server(id).ForEach([&](uint64_t key, cache::Value value) {
+      resident.emplace_back(key, value);
+    });
+    if (!is_active && !resident.empty()) {
+      return Status::Internal("removed shard " + std::to_string(id) +
+                              " still holds " +
+                              std::to_string(resident.size()) + " keys");
+    }
+    for (const auto& [key, value] : resident) {
+      if (cluster.OwnerOf(key) != id) {
+        return Status::Internal(
+            "shard " + std::to_string(id) + " holds key " +
+            std::to_string(key) + " owned by shard " +
+            std::to_string(cluster.OwnerOf(key)));
+      }
+      cache::Value authoritative = cluster.storage().Get(key);
+      if (value != authoritative) {
+        return Status::Internal(
+            "stale copy: shard " + std::to_string(id) + " key " +
+            std::to_string(key) + " holds " + std::to_string(value) +
+            " but storage holds " + std::to_string(authoritative));
+      }
+    }
+  }
+  double total = 0.0;
+  for (double f : cluster.ring().OwnershipFractions()) total += f;
+  if (std::abs(total - 1.0) > 1e-9) {
+    return Status::Internal("ring ownership fractions sum to " +
+                            std::to_string(total));
+  }
+  return Status::OK();
+}
+
+}  // namespace cot::cluster

@@ -1,0 +1,115 @@
+#ifndef COT_CLUSTER_CHURN_SCHEDULE_H_
+#define COT_CLUSTER_CHURN_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cache_cluster.h"
+#include "cluster/fault_injector.h"
+#include "util/status.h"
+
+namespace cot::cluster {
+
+/// Kinds of topology mutation a churn schedule can apply mid-run.
+enum class ChurnAction : uint8_t {
+  /// `CacheCluster::AddServer`: the tier grows by one fresh shard.
+  kAddServer,
+  /// `CacheCluster::RemoveServer`: the shard drains warm to successors.
+  kRemoveServer,
+  /// `CacheCluster::RejoinServer`: a removed shard returns under its id.
+  kRejoinServer,
+};
+
+std::string_view ToString(ChurnAction action);
+
+/// One scheduled topology mutation. `at_op` is a barrier on every client's
+/// logical operation clock: the event applies when each client has
+/// completed exactly `at_op` operations — the same per-client-clock
+/// convention fault windows use, and what keeps churn runs byte-identical
+/// at any thread count (no client can race past the mutation, and every
+/// client observes it at the same point of its own stream).
+struct ChurnEvent {
+  uint64_t at_op = 0;
+  ChurnAction action = ChurnAction::kAddServer;
+  /// Target shard for remove/rejoin; ignored for add (the cluster
+  /// allocates the id, which `Validate`/`MakeChaosPlan` simulate).
+  ServerId server = 0;
+};
+
+/// A full per-run churn plan. Events apply in order; `at_op` must be
+/// non-decreasing. An empty schedule means a static tier.
+struct ChurnSchedule {
+  std::vector<ChurnEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Simulates the schedule against a tier of `initial_servers` shards:
+  /// events must be time-ordered, removes must target an active shard and
+  /// never leave the tier empty, and rejoins must target a previously
+  /// removed shard (`server` is ignored for adds — the cluster allocates
+  /// fresh ids densely, which the simulation mirrors).
+  Status Validate(uint32_t initial_servers) const;
+
+  /// Largest id space the schedule ever reaches (initial + adds) — what
+  /// fault schedules must validate against, since a fault may target a
+  /// shard that only exists after mid-run growth.
+  uint32_t MaxServerCount(uint32_t initial_servers) const;
+
+  /// Active shard count after every event applied.
+  uint32_t FinalActiveCount(uint32_t initial_servers) const;
+};
+
+/// Parses the `cot_run --churn` flag syntax into a schedule:
+///   "add:AT | remove:SERVER:AT | rejoin:SERVER:AT", comma-separated, e.g.
+///   "add:2000,remove:1:5000,rejoin:1:8000".
+/// Fails with a descriptive status on malformed entries (ordering and
+/// target validity are `Validate`'s job, since they need the tier size).
+StatusOr<ChurnSchedule> ParseChurnSchedule(const std::string& spec);
+
+/// Knobs for the seeded chaos-plan generator.
+struct ChaosOptions {
+  /// Seed for the plan (and, derived, for transient-fault draws).
+  uint64_t seed = 1;
+  /// Shards the cluster starts with.
+  uint32_t initial_servers = 8;
+  /// Per-client operation horizon; every event lands in
+  /// [warmup_ops, horizon_ops).
+  uint64_t horizon_ops = 10000;
+  /// No events before this op count (lets caches warm first).
+  uint64_t warmup_ops = 0;
+  /// Topology mutations to schedule (add/remove/rejoin mix drawn from the
+  /// seed, constrained to stay valid).
+  uint32_t churn_events = 4;
+  /// Fault windows to schedule (crash/transient/slow mix from the seed).
+  uint32_t fault_events = 4;
+};
+
+/// A composed churn + fault plan for one chaos run.
+struct ChaosPlan {
+  ChurnSchedule churn;
+  FaultSchedule faults;
+};
+
+/// Deterministically generates a valid chaos plan from `options`: seeded
+/// event times (sorted), action mix constrained by the simulated tier
+/// state (never removes the last shard, only rejoins removed ids), and
+/// fault windows that may target shards the churn creates mid-run. Same
+/// options, same plan — the chaos harness's schedules are reproducible CI
+/// artifacts, not flaky randomness.
+ChaosPlan MakeChaosPlan(const ChaosOptions& options);
+
+/// Machine-verified safety sweep over a (quiescent) cluster:
+///   - every key resident on an active shard is owned by that shard;
+///   - every resident value equals the authoritative storage value (no
+///     stale copy survived the churn);
+///   - removed shards hold no content;
+///   - the ring's ownership fractions sum to 1.
+/// Returns the first violation found, OK otherwise. Serial use only (it
+/// walks shard content; storage reads count toward its load counters).
+Status VerifyClusterInvariants(CacheCluster& cluster);
+
+}  // namespace cot::cluster
+
+#endif  // COT_CLUSTER_CHURN_SCHEDULE_H_

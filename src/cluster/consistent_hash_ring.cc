@@ -23,9 +23,7 @@ void ConsistentHashRing::InsertPointsFor(ServerId id) {
   }
 }
 
-void ConsistentHashRing::AddServer() {
-  InsertPointsFor(server_count_);
-  ++server_count_;
+void ConsistentHashRing::SortPoints() {
   std::sort(points_.begin(), points_.end(),
             [](const Point& a, const Point& b) {
               if (a.position != b.position) return a.position < b.position;
@@ -33,25 +31,42 @@ void ConsistentHashRing::AddServer() {
             });
 }
 
+bool ConsistentHashRing::Contains(ServerId id) const {
+  return std::any_of(points_.begin(), points_.end(),
+                     [&](const Point& p) { return p.server == id; });
+}
+
+ServerId ConsistentHashRing::AddServer() {
+  ServerId id = server_count_;
+  InsertPointsFor(id);
+  ++server_count_;
+  ++active_count_;
+  SortPoints();
+  return id;
+}
+
+Status ConsistentHashRing::AddServerWithId(ServerId id) {
+  if (Contains(id)) {
+    return Status::FailedPrecondition("server id already on the ring");
+  }
+  InsertPointsFor(id);
+  if (id >= server_count_) server_count_ = id + 1;
+  ++active_count_;
+  SortPoints();
+  return Status::OK();
+}
+
 Status ConsistentHashRing::RemoveServer(ServerId id) {
-  if (id >= server_count_) {
+  if (id >= server_count_ || !Contains(id)) {
     return Status::NotFound("server id not on the ring");
   }
-  bool present = std::any_of(points_.begin(), points_.end(),
-                             [&](const Point& p) { return p.server == id; });
-  if (!present) {
-    return Status::NotFound("server already removed");
-  }
-  size_t remaining = 0;
-  for (const Point& p : points_) {
-    if (p.server != id) ++remaining;
-  }
-  if (remaining == 0) {
+  if (active_count_ <= 1) {
     return Status::FailedPrecondition("cannot remove the last server");
   }
   points_.erase(std::remove_if(points_.begin(), points_.end(),
                                [&](const Point& p) { return p.server == id; }),
                 points_.end());
+  --active_count_;
   return Status::OK();
 }
 

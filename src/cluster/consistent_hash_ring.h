@@ -30,19 +30,39 @@ class ConsistentHashRing {
   /// Server owning `key`.
   ServerId ServerFor(uint64_t key) const;
 
-  /// Number of servers currently on the ring.
+  /// Size of the id space: one past the largest id ever allocated. Removed
+  /// ids stay burned (per-id vectors indexed by ServerId never shrink or
+  /// re-key), so this is an upper bound on every valid id, not the number
+  /// of servers serving traffic — that is `active_server_count()`.
   uint32_t server_count() const { return server_count_; }
 
-  /// Adds one server (id = current server_count). O(V log V).
-  void AddServer();
+  /// Servers currently placed on the ring (eligible to own keys).
+  uint32_t active_server_count() const { return active_count_; }
+
+  /// True if `id` currently has points on the ring.
+  bool Contains(ServerId id) const;
+
+  /// Adds one server under a fresh id and returns it. Ids are never
+  /// reused: after RemoveServer(1) on a 3-server ring, the next AddServer
+  /// yields id 3, not a second server 1 — re-adding a removed id is the
+  /// explicit `AddServerWithId` below. O(V log V).
+  ServerId AddServer();
+
+  /// Re-adds a previously removed server under its old id (a shard
+  /// rejoining the tier). Fails if `id` is already on the ring. Ids at or
+  /// beyond `server_count()` are also accepted and extend the id space.
+  Status AddServerWithId(ServerId id);
 
   /// Removes server `id`'s points from the ring; its keys redistribute to
-  /// ring successors. Ids of other servers are unchanged. Fails if `id` is
-  /// not present or it is the last server.
+  /// ring successors. Ids of other servers are unchanged and `id` is not
+  /// recycled by later `AddServer` calls. Fails if `id` is not present or
+  /// it is the last server.
   Status RemoveServer(ServerId id);
 
-  /// Fraction of a uniform key space owned by each server (computed from
-  /// ring arc lengths; sums to 1). Diagnostic/test hook.
+  /// Fraction of a uniform key space owned by each server, indexed by id
+  /// over the full id space (removed ids own 0). Computed from ring arc
+  /// lengths; sums to 1 across any add/remove/rejoin sequence.
+  /// Diagnostic/test hook.
   std::vector<double> OwnershipFractions() const;
 
  private:
@@ -52,9 +72,11 @@ class ConsistentHashRing {
   };
 
   void InsertPointsFor(ServerId id);
+  void SortPoints();
 
   uint32_t virtual_nodes_;
-  uint32_t server_count_ = 0;
+  uint32_t server_count_ = 0;  // id space (never shrinks)
+  uint32_t active_count_ = 0;  // servers with points on the ring
   std::vector<Point> points_;  // sorted by position
 };
 

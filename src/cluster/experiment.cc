@@ -1,7 +1,10 @@
 #include "cluster/experiment.h"
 
 #include <algorithm>
+#include <cassert>
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
 #include <thread>
 
 #include "cluster/cache_cluster.h"
@@ -39,21 +42,110 @@ void PreloadBackend(CacheCluster& cluster, uint64_t key_space,
   cluster.ResetServerCounters();
 }
 
-/// Drives clients `owned` to completion, interleaving them round-robin so a
-/// thread with several clients still mimics concurrent request streams.
-void DriveClients(const std::vector<uint32_t>& owned,
-                  std::vector<std::unique_ptr<FrontendClient>>& clients,
-                  std::vector<workload::OpStream>& streams) {
+/// Drives clients `owned` round-robin until each has either exhausted its
+/// stream or completed exactly `limit` operations. `limit` is the churn
+/// barrier: pausing every client at the same point of its own logical
+/// clock is what makes mid-run topology mutations deterministic at any
+/// thread count.
+void DriveClientsUntil(const std::vector<uint32_t>& owned,
+                       std::vector<std::unique_ptr<FrontendClient>>& clients,
+                       std::vector<workload::OpStream>& streams,
+                       uint64_t limit) {
   bool progressed = true;
   while (progressed) {
     progressed = false;
     for (uint32_t i : owned) {
-      if (streams[i].Done()) continue;
+      if (streams[i].Done() || clients[i]->op_clock() >= limit) continue;
       clients[i]->Apply(streams[i].Next());
       progressed = true;
     }
   }
 }
+
+/// Churn events sharing one `at_op` barrier.
+struct ChurnEventGroup {
+  uint64_t at_op = 0;
+  std::vector<ChurnEvent> events;
+};
+
+std::vector<ChurnEventGroup> GroupChurnEvents(const ChurnSchedule& churn) {
+  std::vector<ChurnEventGroup> groups;
+  for (const ChurnEvent& e : churn.events) {
+    if (groups.empty() || groups.back().at_op != e.at_op) {
+      groups.push_back({e.at_op, {}});
+    }
+    groups.back().events.push_back(e);
+  }
+  return groups;
+}
+
+/// Applies one barrier group against the live cluster, recording a
+/// topology-change trace event per mutation on the controller tracer (the
+/// synthetic client with id == num_clients). The schedule was validated up
+/// front, so individual mutations cannot fail.
+void ApplyChurnGroup(const ChurnEventGroup& group, CacheCluster& cluster,
+                     metrics::EventTracer* tracer) {
+  for (const ChurnEvent& e : group.events) {
+    uint64_t migrated_before = cluster.topology_stats().keys_migrated;
+    ServerId target = e.server;
+    switch (e.action) {
+      case ChurnAction::kAddServer:
+        target = cluster.AddServer();
+        break;
+      case ChurnAction::kRemoveServer: {
+        Status s = cluster.RemoveServer(e.server);
+        assert(s.ok() && "validated churn remove failed");
+        (void)s;
+        break;
+      }
+      case ChurnAction::kRejoinServer: {
+        Status s = cluster.RejoinServer(e.server);
+        assert(s.ok() && "validated churn rejoin failed");
+        (void)s;
+        break;
+      }
+    }
+    if (tracer != nullptr) {
+      CacheCluster::TopologyStats after = cluster.topology_stats();
+      tracer->Record(group.at_op,
+                     metrics::TopologyChangePayload{
+                         after.routing_epoch, ToString(e.action), target,
+                         after.keys_migrated - migrated_before,
+                         cluster.active_server_count()});
+    }
+  }
+}
+
+/// Reusable rendezvous for the threaded churn engine: all `parties`
+/// threads drive their clients to the barrier op, arrive, and the *last*
+/// arriver applies the topology mutation while everyone else waits — so
+/// the mutation never races client traffic and every client observes it
+/// at the same point of its own stream.
+class ChurnBarrier {
+ public:
+  explicit ChurnBarrier(uint32_t parties) : parties_(parties) {}
+
+  template <typename Apply>
+  void ArriveAndWait(Apply&& apply) {
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t generation = generation_;
+    if (++arrived_ == parties_) {
+      apply();
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != generation; });
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const uint32_t parties_;
+  uint32_t arrived_ = 0;
+  uint64_t generation_ = 0;
+};
 
 }  // namespace
 
@@ -67,6 +159,8 @@ void ExportMetrics(ExperimentResult* result) {
   reg.SetCounter("client/backend_hits", a.backend_hits);
   reg.SetCounter("client/storage_reads", a.storage_reads);
   reg.SetCounter("client/invalidations", a.invalidations);
+  reg.SetCounter("client/epoch_mismatches", a.epoch_mismatches);
+  reg.SetCounter("client/route_refreshes", a.route_refreshes);
   reg.SetCounter("faults/failed_requests", a.failed_requests);
   reg.SetCounter("faults/retries", a.retries);
   reg.SetCounter("faults/failovers", a.failovers);
@@ -88,6 +182,13 @@ void ExportMetrics(ExperimentResult* result) {
     std::snprintf(name, sizeof(name), "shard/%zu/unavailable_ops", i);
     reg.SetCounter(name, result->unavailable_ops_per_server[i]);
   }
+  reg.SetCounter("churn/topology_changes", result->topology_changes);
+  reg.SetCounter("churn/keys_migrated", result->keys_migrated);
+  reg.SetCounter("churn/epoch_rejects", result->epoch_rejects);
+  reg.SetGauge("churn/routing_epoch",
+               static_cast<double>(result->routing_epoch));
+  reg.SetGauge("churn/final_active_servers",
+               static_cast<double>(result->final_active_servers));
   reg.SetGauge("imbalance", result->imbalance);
   reg.SetGauge("local_hit_rate", result->local_hit_rate);
   reg.SetCounter("trace/dropped", result->trace_dropped);
@@ -120,9 +221,17 @@ StatusOr<ExperimentResult> RunExperiment(
     phases[0].num_ops = ops_per_client;
   }
 
+  if (!config.churn.empty()) {
+    Status s = config.churn.Validate(config.num_servers);
+    if (!s.ok()) return s;
+  }
+
   std::unique_ptr<FaultInjector> injector;
   if (!config.faults.empty()) {
-    Status s = config.faults.Validate(config.num_servers);
+    // Validate against the *largest* tier the run reaches: a fault window
+    // may legitimately target a shard that churn only creates mid-run.
+    Status s = config.faults.Validate(
+        config.churn.MaxServerCount(config.num_servers));
     if (!s.ok()) return s;
     injector = std::make_unique<FaultInjector>(config.faults);
   }
@@ -162,26 +271,52 @@ StatusOr<ExperimentResult> RunExperiment(
     streams.push_back(std::move(stream).value());
   }
 
+  // Topology mutations trace to a synthetic "controller" client with id
+  // num_clients — its (client, seq) keys merge deterministically after
+  // every real client's events.
+  std::unique_ptr<metrics::EventTracer> controller_tracer;
+  if (config.trace_capacity > 0 && !config.churn.empty()) {
+    controller_tracer = std::make_unique<metrics::EventTracer>(
+        config.trace_capacity, config.num_clients);
+  }
+  const std::vector<ChurnEventGroup> groups = GroupChurnEvents(config.churn);
+
   uint32_t num_threads = std::min(config.num_threads, config.num_clients);
   if (num_threads <= 1) {
     // Round-robin interleave — the in-process analogue of the paper's
-    // concurrent client threads issuing back-to-back requests.
+    // concurrent client threads issuing back-to-back requests. Churn
+    // groups partition the run: drive everyone to the barrier op, mutate,
+    // resume.
     std::vector<uint32_t> all(config.num_clients);
     for (uint32_t i = 0; i < config.num_clients; ++i) all[i] = i;
-    DriveClients(all, clients, streams);
+    for (const ChurnEventGroup& group : groups) {
+      DriveClientsUntil(all, clients, streams, group.at_op);
+      ApplyChurnGroup(group, cluster, controller_tracer.get());
+    }
+    DriveClientsUntil(all, clients, streams, UINT64_MAX);
   } else {
     // Client i runs on thread i % T. Each client's cache, stream, and stats
     // are private to its thread; only the shared back-end (thread-safe) is
-    // touched concurrently.
+    // touched concurrently. Every thread walks the same churn-group
+    // sequence, so barrier arrivals pair up across threads in order.
     std::vector<std::vector<uint32_t>> owned(num_threads);
     for (uint32_t i = 0; i < config.num_clients; ++i) {
       owned[i % num_threads].push_back(i);
     }
+    ChurnBarrier barrier(num_threads);
+    auto drive = [&](const std::vector<uint32_t>& mine) {
+      for (const ChurnEventGroup& group : groups) {
+        DriveClientsUntil(mine, clients, streams, group.at_op);
+        barrier.ArriveAndWait([&] {
+          ApplyChurnGroup(group, cluster, controller_tracer.get());
+        });
+      }
+      DriveClientsUntil(mine, clients, streams, UINT64_MAX);
+    };
     std::vector<std::thread> workers;
     workers.reserve(num_threads);
     for (uint32_t t = 0; t < num_threads; ++t) {
-      workers.emplace_back(DriveClients, std::cref(owned[t]),
-                           std::ref(clients), std::ref(streams));
+      workers.emplace_back(drive, std::cref(owned[t]));
     }
     for (std::thread& w : workers) w.join();
   }
@@ -205,12 +340,22 @@ StatusOr<ExperimentResult> RunExperiment(
     }
   }
   result.local_hit_rate = result.aggregate.LocalHitRate();
-  if (!tracers.empty()) {
+  CacheCluster::TopologyStats tstats = cluster.topology_stats();
+  result.topology_changes = tstats.topology_changes;
+  result.keys_migrated = tstats.keys_migrated;
+  result.routing_epoch = tstats.routing_epoch;
+  result.epoch_rejects = tstats.epoch_rejects;
+  result.final_active_servers = cluster.active_server_count();
+  if (!tracers.empty() || controller_tracer != nullptr) {
     std::vector<const metrics::EventTracer*> views;
-    views.reserve(tracers.size());
+    views.reserve(tracers.size() + 1);
     for (const auto& t : tracers) {
       views.push_back(t.get());
       result.trace_dropped += t->dropped();
+    }
+    if (controller_tracer != nullptr) {
+      views.push_back(controller_tracer.get());
+      result.trace_dropped += controller_tracer->dropped();
     }
     result.trace = metrics::EventTracer::Merge(views);
   }

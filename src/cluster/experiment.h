@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cache/cache.h"
+#include "cluster/churn_schedule.h"
 #include "cluster/fault_injector.h"
 #include "cluster/frontend_client.h"
 #include "core/elastic_resizer.h"
@@ -58,6 +59,14 @@ struct ExperimentConfig {
   /// Client-side failure handling (retries, circuit breaker, cold
   /// recovery). Only consulted when `faults` is non-empty.
   FailurePolicy failure_policy;
+  /// Topology mutations applied mid-run (empty = static tier). Each
+  /// event's `at_op` is a *barrier* on every client's logical op clock:
+  /// the engine drives every client to exactly `at_op` completed
+  /// operations, applies the event, then resumes — so churn runs are as
+  /// deterministic as static ones at any thread count. Fault schedules
+  /// are validated against `churn.MaxServerCount(num_servers)`, letting
+  /// faults target shards that only exist after mid-run growth.
+  ChurnSchedule churn;
   /// Structured event tracing: ring-buffer slots retained *per client*
   /// (resizer decisions, epoch boundaries, breaker transitions, fault
   /// activations, retry episodes). 0 — the default — disables tracing
@@ -100,6 +109,16 @@ struct ExperimentResult {
   std::vector<metrics::TraceEvent> trace;
   /// Events dropped across all clients because a ring buffer was full.
   uint64_t trace_dropped = 0;
+  /// Topology mutations applied during the run (== churn events).
+  uint64_t topology_changes = 0;
+  /// Keys handed warm to new owners by live migration, cumulative.
+  uint64_t keys_migrated = 0;
+  /// Routing epoch at the end of the run (1 + topology_changes).
+  uint64_t routing_epoch = 1;
+  /// Fenced requests rejected with kEpochMismatch, summed over shards.
+  uint64_t epoch_rejects = 0;
+  /// Shards on the ring after the last churn event.
+  uint32_t final_active_servers = 0;
   /// Run-level counters/gauges (always populated; see ExportMetrics).
   metrics::MetricsRegistry metrics;
 };

@@ -25,11 +25,14 @@ void FrontendStats::Add(const FrontendStats& other) {
   breaker_trips += other.breaker_trips;
   slow_ops += other.slow_ops;
   unavailable_shard_epochs += other.unavailable_shard_epochs;
+  epoch_mismatches += other.epoch_mismatches;
+  route_refreshes += other.route_refreshes;
 }
 
 FrontendClient::FrontendClient(CacheCluster* cluster,
                                std::unique_ptr<cache::Cache> local_cache)
     : cluster_(cluster),
+      snapshot_(cluster->ring_snapshot()),
       local_cache_(std::move(local_cache)),
       epoch_lookups_(cluster->server_count(), 0),
       cumulative_lookups_(cluster->server_count(), 0),
@@ -38,6 +41,23 @@ FrontendClient::FrontendClient(CacheCluster* cluster,
       breakers_(cluster->server_count()) {
   assert(cluster != nullptr);
   cot_cache_ = dynamic_cast<core::CotCache*>(local_cache_.get());
+}
+
+void FrontendClient::RefreshRouteView() {
+  snapshot_ = cluster_->ring_snapshot();
+  EnsureServerVectors();
+}
+
+void FrontendClient::NoteEpochMismatch(ServerId sid, uint64_t client_epoch,
+                                       uint64_t shard_epoch, uint64_t now,
+                                       OpOutcome* outcome) {
+  ++stats_.epoch_mismatches;
+  ++outcome->epoch_mismatches;
+  if (tracer_ != nullptr) {
+    tracer_->Record(now, metrics::EpochMismatchPayload{
+                             static_cast<uint32_t>(sid), client_epoch,
+                             shard_epoch});
+  }
 }
 
 void FrontendClient::SetFaultInjector(const FaultInjector* injector,
@@ -205,6 +225,59 @@ void FrontendClient::DeliverInvalidation(ServerId sid, Key key,
   }
 }
 
+void FrontendClient::DeliverInvalidationFenced(
+    Key key, const std::optional<Value>& value, uint64_t now,
+    OpOutcome* outcome) {
+  uint32_t refreshes = 0;
+  for (;;) {
+    const ServerId sid = snapshot_->ring.ServerFor(key);
+    const uint64_t epoch = snapshot_->epoch;
+    if (fault_injector_ != nullptr) {
+      // Invalidations bypass the circuit breaker: reads have a safe
+      // fallback (storage is authoritative), but a swallowed delete is a
+      // future stale read, so delivery is always attempted.
+      if (!TryDeliver(sid, now, outcome)) {
+        ++stats_.lost_invalidations;
+        if (!fault_injector_->InCrashWindow(now, sid)) {
+          // Reachable shard, message lost after bounded retries: fence it
+          // cold (see DeliverInvalidation). A crash-window loss is covered
+          // by the recovery generation bump — and if the shard's range
+          // moves before the window ends, migration re-reads storage, so
+          // the stale copy is dropped rather than handed to a new owner.
+          cluster_->ForceColdRestart(sid);
+          ++stats_.forced_restarts;
+        }
+        return;
+      }
+      MaybeRecoverShard(sid, now);
+    }
+    BackendServer::FencedAck ack =
+        value.has_value() ? cluster_->server(sid).Set(key, *value, epoch)
+                          : cluster_->server(sid).Delete(key, epoch);
+    if (ack.status == BackendServer::ShardStatus::kEpochMismatch) {
+      NoteEpochMismatch(sid, epoch, ack.shard_epoch, now, outcome);
+      if (refreshes >= failure_policy_.max_route_refreshes) {
+        // The delete never landed on a stable owner (churn storm). Same
+        // contract as a transient loss: fence the key's current owner
+        // cold so the undelivered invalidation cannot become a stale
+        // read.
+        ++stats_.lost_invalidations;
+        cluster_->ForceColdRestart(cluster_->OwnerOf(key));
+        ++stats_.forced_restarts;
+        return;
+      }
+      ++refreshes;
+      ++stats_.route_refreshes;
+      RefreshRouteView();
+      continue;
+    }
+    ++stats_.invalidations;
+    outcome->backend_contacted = true;
+    outcome->server = sid;
+    return;
+  }
+}
+
 cache::Value FrontendClient::GetImpl(Key key, OpOutcome* outcome) {
   const uint64_t now = op_clock_++;
   EnsureServerVectors();
@@ -218,60 +291,136 @@ cache::Value FrontendClient::GetImpl(Key key, OpOutcome* outcome) {
       return *local;
     }
   }
-  ServerId sid = router_ != nullptr ? router_->Route(key)
-                                    : cluster_->OwnerOf(key);
-  if (fault_injector_ != nullptr) {
-    if (BreakerBlocks(sid, now)) {
-      // Degraded mode: the breaker is open, so the shard is skipped
-      // entirely and storage serves the read. The shard is not filled
-      // (we never confirmed it is reachable).
-      ++stats_.degraded_ops;
-      ++failed_ops_per_server_[sid];
-      epoch_shard_unavailable_[sid] = 1;
-      ++stats_.storage_reads;
-      outcome->degraded = true;
-      outcome->storage_accessed = true;
-      Value value = cluster_->storage().Get(key);
-      if (local_cache_ != nullptr) local_cache_->Put(key, value);
-      OnOperation();
-      return value;
+  if (router_ != nullptr) {
+    // Router path (server-side balancing comparators): replica placement
+    // is the router's business, not the ring's, so requests use the
+    // legacy unfenced shard ops.
+    ServerId sid = router_->Route(key);
+    if (fault_injector_ != nullptr) {
+      if (BreakerBlocks(sid, now)) {
+        // Degraded mode: the breaker is open, so the shard is skipped
+        // entirely and storage serves the read. The shard is not filled
+        // (we never confirmed it is reachable).
+        ++stats_.degraded_ops;
+        ++failed_ops_per_server_[sid];
+        epoch_shard_unavailable_[sid] = 1;
+        ++stats_.storage_reads;
+        outcome->degraded = true;
+        outcome->storage_accessed = true;
+        Value value = cluster_->storage().Get(key);
+        if (local_cache_ != nullptr) local_cache_->Put(key, value);
+        OnOperation();
+        return value;
+      }
+      if (!TryDeliver(sid, now, outcome)) {
+        // Failover: retries exhausted (or crash diagnosed) — graceful
+        // degradation to the authoritative layer. `Get` never fails.
+        ++stats_.failovers;
+        ++stats_.storage_reads;
+        outcome->storage_accessed = true;
+        Value value = cluster_->storage().Get(key);
+        if (local_cache_ != nullptr) local_cache_->Put(key, value);
+        OnOperation();
+        return value;
+      }
+      // Delivered: enforce the recovery rule before reading content the
+      // shard may have carried across a crash.
+      MaybeRecoverShard(sid, now);
     }
-    if (!TryDeliver(sid, now, outcome)) {
-      // Failover: retries exhausted (or crash diagnosed) — graceful
-      // degradation to the authoritative layer. `Get` never fails.
-      ++stats_.failovers;
+    ++epoch_lookups_[sid];
+    ++cumulative_lookups_[sid];
+    ++stats_.backend_lookups;
+    outcome->backend_contacted = true;
+    outcome->server = sid;
+    router_->OnLookup(key, sid);
+    std::optional<Value> value = cluster_->server(sid).Get(key);
+    if (value.has_value()) {
+      ++stats_.backend_hits;
+    } else {
+      // Cold path: authoritative read, then fill the shard (Section 2).
       ++stats_.storage_reads;
       outcome->storage_accessed = true;
-      Value value = cluster_->storage().Get(key);
-      if (local_cache_ != nullptr) local_cache_->Put(key, value);
-      OnOperation();
-      return value;
+      value = cluster_->storage().Get(key);
+      cluster_->server(sid).Set(key, *value);
     }
-    // Delivered: enforce the recovery rule before reading content the
-    // shard may have carried across a crash.
-    MaybeRecoverShard(sid, now);
+    if (local_cache_ != nullptr) {
+      local_cache_->Put(key, *value);
+    }
+    OnOperation();
+    return *value;
   }
-  ++epoch_lookups_[sid];
-  ++cumulative_lookups_[sid];
-  ++stats_.backend_lookups;
-  outcome->backend_contacted = true;
-  outcome->server = sid;
-  if (router_ != nullptr) router_->OnLookup(key, sid);
-  std::optional<Value> value = cluster_->server(sid).Get(key);
-  if (value.has_value()) {
-    ++stats_.backend_hits;
-  } else {
-    // Cold path: authoritative read, then fill the shard (Section 2).
-    ++stats_.storage_reads;
-    outcome->storage_accessed = true;
-    value = cluster_->storage().Get(key);
-    cluster_->server(sid).Set(key, *value);
+  // Ring path: route with the cached snapshot, stamp the request with its
+  // epoch, and on a fenced rejection refresh-and-reroute (bounded).
+  uint32_t refreshes = 0;
+  for (;;) {
+    const ServerId sid = snapshot_->ring.ServerFor(key);
+    const uint64_t epoch = snapshot_->epoch;
+    if (fault_injector_ != nullptr) {
+      if (BreakerBlocks(sid, now)) {
+        ++stats_.degraded_ops;
+        ++failed_ops_per_server_[sid];
+        epoch_shard_unavailable_[sid] = 1;
+        ++stats_.storage_reads;
+        outcome->degraded = true;
+        outcome->storage_accessed = true;
+        Value value = cluster_->storage().Get(key);
+        if (local_cache_ != nullptr) local_cache_->Put(key, value);
+        OnOperation();
+        return value;
+      }
+      if (!TryDeliver(sid, now, outcome)) {
+        ++stats_.failovers;
+        ++stats_.storage_reads;
+        outcome->storage_accessed = true;
+        Value value = cluster_->storage().Get(key);
+        if (local_cache_ != nullptr) local_cache_->Put(key, value);
+        OnOperation();
+        return value;
+      }
+      MaybeRecoverShard(sid, now);
+    }
+    BackendServer::FencedValue reply = cluster_->server(sid).Get(key, epoch);
+    if (reply.status == BackendServer::ShardStatus::kEpochMismatch) {
+      NoteEpochMismatch(sid, epoch, reply.shard_epoch, now, outcome);
+      if (refreshes >= failure_policy_.max_route_refreshes) {
+        // Refresh budget exhausted (churn storm): storage is
+        // authoritative, so fall back rather than chase the ring.
+        ++stats_.failovers;
+        ++stats_.storage_reads;
+        outcome->storage_accessed = true;
+        Value value = cluster_->storage().Get(key);
+        if (local_cache_ != nullptr) local_cache_->Put(key, value);
+        OnOperation();
+        return value;
+      }
+      ++refreshes;
+      ++stats_.route_refreshes;
+      RefreshRouteView();
+      continue;
+    }
+    ++epoch_lookups_[sid];
+    ++cumulative_lookups_[sid];
+    ++stats_.backend_lookups;
+    outcome->backend_contacted = true;
+    outcome->server = sid;
+    std::optional<Value> value = reply.value;
+    if (value.has_value()) {
+      ++stats_.backend_hits;
+    } else {
+      // Cold path: authoritative read, then fill the shard (Section 2).
+      // The fill is fenced too: if the topology moved since the lookup,
+      // skipping the fill beats stranding a copy on a non-owner.
+      ++stats_.storage_reads;
+      outcome->storage_accessed = true;
+      value = cluster_->storage().Get(key);
+      cluster_->server(sid).Set(key, *value, epoch);
+    }
+    if (local_cache_ != nullptr) {
+      local_cache_->Put(key, *value);
+    }
+    OnOperation();
+    return *value;
   }
-  if (local_cache_ != nullptr) {
-    local_cache_->Put(key, *value);
-  }
-  OnOperation();
-  return *value;
 }
 
 void FrontendClient::SetImpl(Key key, Value value, OpOutcome* outcome) {
@@ -280,19 +429,15 @@ void FrontendClient::SetImpl(Key key, Value value, OpOutcome* outcome) {
   ++stats_.updates;
   cluster_->storage().Set(key, value);
   outcome->storage_accessed = true;
-  // The update must reach every replica of the key.
-  std::vector<ServerId> targets =
-      router_ != nullptr
-          ? router_->AllReplicas(key)
-          : std::vector<ServerId>{cluster_->OwnerOf(key)};
+  std::optional<Value> shard_value =
+      write_policy_ == WritePolicy::kWriteThrough
+          ? std::optional<Value>(value)
+          : std::nullopt;
   if (write_policy_ == WritePolicy::kInvalidate) {
     // Memcached client-driven protocol (Section 2): invalidate the local
     // copy and delete the shard copies.
     if (local_cache_ != nullptr) {
       local_cache_->Invalidate(key);
-    }
-    for (ServerId sid : targets) {
-      DeliverInvalidation(sid, key, std::nullopt, now, outcome);
     }
   } else {
     // Write-through: refresh copies in place. The local cache still
@@ -307,10 +452,15 @@ void FrontendClient::SetImpl(Key key, Value value, OpOutcome* outcome) {
         local_cache_->Put(key, value);
       }
     }
-    for (ServerId sid : targets) {
-      DeliverInvalidation(sid, key, std::optional<Value>(value), now,
-                          outcome);
+  }
+  if (router_ != nullptr) {
+    // The update must reach every replica of the key (the router owns
+    // replica placement, so targets come from it, unfenced).
+    for (ServerId sid : router_->AllReplicas(key)) {
+      DeliverInvalidation(sid, key, shard_value, now, outcome);
     }
+  } else {
+    DeliverInvalidationFenced(key, shard_value, now, outcome);
   }
   OnOperation();
 }

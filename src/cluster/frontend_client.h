@@ -58,6 +58,12 @@ struct FrontendStats {
   /// Sum over completed epochs of the number of shards that were
   /// unavailable (had at least one failed request) in that epoch.
   uint64_t unavailable_shard_epochs = 0;
+  /// Fenced shard requests rejected because this client's routing epoch
+  /// was stale (each is followed by a route-view refresh and a retry, or
+  /// by the bounded-refresh escalation below).
+  uint64_t epoch_mismatches = 0;
+  /// Route-view refreshes performed after an epoch mismatch.
+  uint64_t route_refreshes = 0;
 
   /// Fraction of reads served by the local front-end cache.
   double LocalHitRate() const {
@@ -90,6 +96,13 @@ struct FailurePolicy {
   /// comes back cold, so deletes lost during the window can never surface
   /// as stale reads. False reproduces the stale-read hazard (tests only).
   bool recover_cold = true;
+  /// Route-view refreshes allowed per operation after epoch-mismatch
+  /// rejections. One refresh suffices per topology change (the refreshed
+  /// view is current the instant it is taken), so this bound only guards
+  /// against a pathological churn storm; on exhaustion a read falls back
+  /// to authoritative storage (counted as a failover) and an invalidation
+  /// escalates to a fenced cold restart of the key's owner.
+  uint32_t max_route_refreshes = 4;
 };
 
 /// The paper's modified cache-client library (Section 5.1): a front-end
@@ -113,6 +126,14 @@ struct FailurePolicy {
 /// safety-critical); an undeliverable invalidation is fenced by a cold
 /// restart so no stale read is ever served. See `FailurePolicy` and
 /// DESIGN.md "Fault model and failure semantics".
+///
+/// Topology churn: the client routes against a cached `RingSnapshot` and
+/// stamps every shard request with the snapshot's routing epoch. When the
+/// tier grows or shrinks mid-run, the shard rejects the stale-epoch
+/// request (`kEpochMismatch`); the client refreshes its route view,
+/// re-routes, and retries — bounded by
+/// `FailurePolicy::max_route_refreshes` and priced by the end-to-end
+/// simulator. See DESIGN.md "Topology churn and routing epochs".
 ///
 /// `local_cache` may be null: a cacheless client (the paper's "no front-end
 /// cache" baseline).
@@ -187,6 +208,9 @@ class FrontendClient {
     /// Backend attempts that failed before the op completed (each costs a
     /// timeout plus backoff in the end-to-end simulator).
     uint32_t failed_attempts = 0;
+    /// Epoch-mismatch rejections the op absorbed (each costs a wasted
+    /// round trip plus a route-view refresh in the end-to-end simulator).
+    uint32_t epoch_mismatches = 0;
     /// Service-time multiplier of the contacted shard (>= 1; slow-shard
     /// degradation windows).
     double slow_factor = 1.0;
@@ -242,6 +266,19 @@ class FrontendClient {
   /// the clock fault schedules are keyed on.
   uint64_t op_clock() const { return op_clock_; }
 
+  /// Routing epoch of the client's cached route view. Requests carry this
+  /// epoch; a topology change makes it stale until the first fenced
+  /// rejection triggers `RefreshRouteView`.
+  uint64_t route_view_epoch() const {
+    return snapshot_ != nullptr ? snapshot_->epoch : 0;
+  }
+
+  /// Re-reads the cluster's routing snapshot (blocks while a topology
+  /// mutation is in flight, i.e. until the new owners are warm) and grows
+  /// the per-shard counter vectors if the tier grew. Called automatically
+  /// on epoch mismatch; exposed for tests.
+  void RefreshRouteView();
+
   /// Traffic counters.
   const FrontendStats& stats() const { return stats_; }
   /// Zeroes traffic counters (epoch counters are unaffected).
@@ -281,16 +318,34 @@ class FrontendClient {
   /// invalidations call this unconditionally.
   bool TryDeliver(ServerId sid, uint64_t now, OpOutcome* outcome);
   /// Delivers an invalidation (delete, or write-through refresh when
-  /// `value` is set) with loss fencing.
+  /// `value` is set) to the explicit target `sid` with loss fencing, using
+  /// the legacy unfenced shard ops. The router path (`SetRouter`): replica
+  /// sets are the router's business, not the ring's, so epoch fencing does
+  /// not apply.
   void DeliverInvalidation(ServerId sid, Key key,
                            const std::optional<Value>& value, uint64_t now,
                            OpOutcome* outcome);
+  /// Ring-routed invalidation with epoch fencing: routes via the cached
+  /// snapshot, refreshes-and-reroutes on mismatch (bounded), and escalates
+  /// an exhausted refresh budget to a fenced cold restart of the key's
+  /// current owner — an undelivered delete must never become a stale read.
+  void DeliverInvalidationFenced(Key key, const std::optional<Value>& value,
+                                 uint64_t now, OpOutcome* outcome);
+  /// Records one epoch-mismatch rejection (stats + trace).
+  void NoteEpochMismatch(ServerId sid, uint64_t client_epoch,
+                         uint64_t shard_epoch, uint64_t now,
+                         OpOutcome* outcome);
   /// Closes the current epoch's availability accounting.
   void CloseEpochAvailability();
 
   CacheCluster* cluster_;
   metrics::EventTracer* tracer_ = nullptr;
   RoutingPolicy* router_ = nullptr;  // null = consistent hashing
+  // The cached route view: immutable snapshot of (epoch, ring). Routing
+  // reads it lock-free; it is replaced only by RefreshRouteView after a
+  // fenced rejection, so a client's view — and thus its entire logical
+  // behaviour — is a pure function of its own request stream.
+  std::shared_ptr<const CacheCluster::RingSnapshot> snapshot_;
   WritePolicy write_policy_ = WritePolicy::kInvalidate;
   std::unique_ptr<cache::Cache> local_cache_;
   core::CotCache* cot_cache_ = nullptr;  // set iff local cache is a CotCache

@@ -17,6 +17,10 @@ std::string_view ToString(TraceEventType type) {
       return "fault_activation";
     case TraceEventType::kRetryEpisode:
       return "retry_episode";
+    case TraceEventType::kTopologyChange:
+      return "topology_change";
+    case TraceEventType::kEpochMismatch:
+      return "epoch_mismatch";
   }
   return "unknown";
 }
@@ -95,6 +99,18 @@ struct PayloadWriter {
     AppendU64(out, "server", p.server);
     AppendU64(out, "failed_attempts", p.failed_attempts);
     AppendBool(out, "delivered", p.delivered);
+  }
+  void operator()(const TopologyChangePayload& p) const {
+    AppendU64(out, "epoch", p.epoch);
+    AppendStr(out, "action", p.action);
+    AppendU64(out, "server", p.server);
+    AppendU64(out, "keys_migrated", p.keys_migrated);
+    AppendU64(out, "active_servers", p.active_servers);
+  }
+  void operator()(const EpochMismatchPayload& p) const {
+    AppendU64(out, "server", p.server);
+    AppendU64(out, "client_epoch", p.client_epoch);
+    AppendU64(out, "shard_epoch", p.shard_epoch);
   }
 };
 

@@ -28,6 +28,12 @@ enum class TraceEventType : uint8_t {
   /// A delivery that needed retries: how many attempts failed before the
   /// request was delivered or abandoned.
   kRetryEpisode,
+  /// A topology mutation (add/remove/rejoin) was applied: the new routing
+  /// epoch, the shard affected, and how many keys migrated warm.
+  kTopologyChange,
+  /// A fenced shard request was rejected for carrying a stale routing
+  /// epoch; the client refreshed its route view and retried.
+  kEpochMismatch,
 };
 
 std::string_view ToString(TraceEventType type);
@@ -75,6 +81,20 @@ struct RetryEpisodePayload {
   bool delivered = false;        // true if a retry eventually succeeded
 };
 
+struct TopologyChangePayload {
+  uint64_t epoch = 0;       // routing epoch after the mutation
+  std::string_view action;  // "add_server" | "remove_server" | "rejoin_server"
+  uint32_t server = 0;      // shard added/removed/rejoined
+  uint64_t keys_migrated = 0;   // keys handed warm to new owners
+  uint32_t active_servers = 0;  // serving shards after the mutation
+};
+
+struct EpochMismatchPayload {
+  uint32_t server = 0;        // shard that rejected the request
+  uint64_t client_epoch = 0;  // the stale epoch the request carried
+  uint64_t shard_epoch = 0;   // the epoch the shard is serving in
+};
+
 /// One recorded event. `(client, seq)` is the deterministic order key:
 /// `seq` increments per tracer, and a tracer is only ever written by the
 /// one thread driving its client, so merged traces are byte-identical at
@@ -86,7 +106,8 @@ struct TraceEvent {
   uint64_t op_clock = 0;  // recorder's logical operation clock
   std::variant<EpochBoundaryPayload, ResizerDecisionPayload,
                BreakerTransitionPayload, FaultActivationPayload,
-               RetryEpisodePayload>
+               RetryEpisodePayload, TopologyChangePayload,
+               EpochMismatchPayload>
       payload;
 };
 
@@ -131,6 +152,12 @@ class EventTracer {
   }
   void Record(uint64_t op_clock, RetryEpisodePayload payload) {
     Push(TraceEventType::kRetryEpisode, op_clock, payload);
+  }
+  void Record(uint64_t op_clock, TopologyChangePayload payload) {
+    Push(TraceEventType::kTopologyChange, op_clock, payload);
+  }
+  void Record(uint64_t op_clock, EpochMismatchPayload payload) {
+    Push(TraceEventType::kEpochMismatch, op_clock, payload);
   }
 
   /// Retained events, oldest first.

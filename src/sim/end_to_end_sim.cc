@@ -64,9 +64,14 @@ StatusOr<EndToEndResult> RunEndToEnd(
     }
     cluster.ResetServerCounters();
   }
+  if (!config.churn.empty()) {
+    Status s = config.churn.Validate(config.num_servers);
+    if (!s.ok()) return s;
+  }
   std::unique_ptr<cluster::FaultInjector> injector;
   if (!config.faults.empty()) {
-    Status s = config.faults.Validate(config.num_servers);
+    Status s = config.faults.Validate(
+        config.churn.MaxServerCount(config.num_servers));
     if (!s.ok()) return s;
     injector = std::make_unique<cluster::FaultInjector>(config.faults);
   }
@@ -95,12 +100,37 @@ StatusOr<EndToEndResult> RunEndToEnd(
     streams.push_back(std::move(stream).value());
   }
 
+  // Topology mutations trace to a synthetic controller client (id ==
+  // num_clients), matching the logical engine's convention.
+  std::unique_ptr<metrics::EventTracer> controller_tracer;
+  if (config.trace_capacity > 0 && !config.churn.empty()) {
+    controller_tracer = std::make_unique<metrics::EventTracer>(
+        config.trace_capacity, config.num_clients);
+  }
+  // Churn events sharing one at_op barrier, in order.
+  struct ChurnGroup {
+    uint64_t at_op;
+    std::vector<cluster::ChurnEvent> events;
+  };
+  std::vector<ChurnGroup> churn_groups;
+  for (const cluster::ChurnEvent& e : config.churn.events) {
+    if (churn_groups.empty() || churn_groups.back().at_op != e.at_op) {
+      churn_groups.push_back({e.at_op, {}});
+    }
+    churn_groups.back().events.push_back(e);
+  }
+  size_t next_group = 0;
+  // Clients whose issue events are held at the current churn barrier.
+  std::vector<IssueEvent> parked;
+
   std::priority_queue<IssueEvent, std::vector<IssueEvent>, IssueLater> events;
   for (uint32_t i = 0; i < config.num_clients; ++i) {
     events.push(IssueEvent{0.0, i});
   }
-  std::vector<ServerTiming> servers(config.num_servers);
-  std::vector<uint64_t> per_server_requests(config.num_servers, 0);
+  const uint32_t max_servers =
+      config.churn.MaxServerCount(config.num_servers);
+  std::vector<ServerTiming> servers(max_servers);
+  std::vector<uint64_t> per_server_requests(max_servers, 0);
   uint64_t total_backend_requests = 0;
 
   EndToEndResult result;
@@ -115,11 +145,67 @@ StatusOr<EndToEndResult> RunEndToEnd(
   metrics::Histogram& hist_storage = reg.histogram("latency_us/storage");
   metrics::Histogram& hist_degraded = reg.histogram("latency_us/degraded");
 
-  while (!events.empty()) {
+  while (!events.empty() || !parked.empty()) {
+    if (events.empty()) {
+      // Every still-running client is parked at the churn barrier: apply
+      // the mutation group, price it, and release everyone at once. The
+      // release time is the latest arrival plus the control-plane pause
+      // plus the per-key migration cost — churn stalls the whole tier, the
+      // paper's motivation for making scale events rare and warm.
+      const ChurnGroup& group = churn_groups[next_group];
+      uint64_t migrated_before = cluster.topology_stats().keys_migrated;
+      for (const cluster::ChurnEvent& e : group.events) {
+        cluster::ServerId target = e.server;
+        switch (e.action) {
+          case cluster::ChurnAction::kAddServer:
+            target = cluster.AddServer();
+            break;
+          case cluster::ChurnAction::kRemoveServer:
+            (void)cluster.RemoveServer(e.server);
+            break;
+          case cluster::ChurnAction::kRejoinServer:
+            (void)cluster.RejoinServer(e.server);
+            break;
+        }
+        if (controller_tracer != nullptr) {
+          cluster::CacheCluster::TopologyStats after =
+              cluster.topology_stats();
+          controller_tracer->Record(
+              group.at_op,
+              metrics::TopologyChangePayload{
+                  after.routing_epoch, cluster::ToString(e.action), target,
+                  after.keys_migrated - migrated_before,
+                  cluster.active_server_count()});
+        }
+      }
+      uint64_t moved =
+          cluster.topology_stats().keys_migrated - migrated_before;
+      double barrier_time = 0.0;
+      for (const IssueEvent& p : parked) {
+        barrier_time = std::max(barrier_time, p.time);
+      }
+      double release = barrier_time + model.ChurnPenalty(moved);
+      for (const IssueEvent& p : parked) {
+        events.push(IssueEvent{release, p.client});
+      }
+      parked.clear();
+      ++next_group;
+      makespan = std::max(makespan, release);
+      continue;
+    }
     IssueEvent ev = events.top();
     events.pop();
     if (streams[ev.client].Done()) {
       makespan = std::max(makespan, ev.time);
+      continue;
+    }
+    if (next_group < churn_groups.size() &&
+        clients[ev.client]->op_clock() >= churn_groups[next_group].at_op) {
+      // This client reached the barrier op; hold its next issue until the
+      // mutation applies. (If some client finishes its stream before the
+      // barrier it simply drains above — the barrier fires when the event
+      // queue holds only parked clients.)
+      parked.push_back(ev);
       continue;
     }
     workload::Op op = streams[ev.client].Next();
@@ -133,6 +219,9 @@ StatusOr<EndToEndResult> RunEndToEnd(
             ? 0.0
             : model.FaultPenalty(outcome.failed_attempts,
                                  outcome.backend_contacted);
+    // Stale-route rejections each cost a wasted round trip plus a route
+    // refresh before the retry reached the current owner.
+    penalty += model.EpochMismatchPenalty(outcome.epoch_mismatches);
     double completion;
     metrics::Histogram* path_hist;
     if (outcome.local_hit) {
@@ -159,15 +248,14 @@ StatusOr<EndToEndResult> RunEndToEnd(
       // Recent share of backend traffic landing on this shard (fair = 1/n).
       ++total_backend_requests;
       ++per_server_requests[outcome.server];
+      double active = static_cast<double>(cluster.active_server_count());
       double share =
           total_backend_requests < 64
-              ? 1.0 / static_cast<double>(config.num_servers)
+              ? 1.0 / active
               : static_cast<double>(per_server_requests[outcome.server]) /
                     static_cast<double>(total_backend_requests);
-      double service = model.ServiceTime(
-                           backlog, share,
-                           static_cast<double>(config.num_servers)) *
-                       outcome.slow_factor;
+      double service =
+          model.ServiceTime(backlog, share, active) * outcome.slow_factor;
       if (outcome.storage_accessed) service += model.storage_extra_us;
       double start = std::max(arrival, server.next_free);
       server.next_free = start + service;
@@ -206,12 +294,22 @@ StatusOr<EndToEndResult> RunEndToEnd(
     }
   }
   result.logical.local_hit_rate = result.logical.aggregate.LocalHitRate();
-  if (!tracers.empty()) {
+  cluster::CacheCluster::TopologyStats tstats = cluster.topology_stats();
+  result.logical.topology_changes = tstats.topology_changes;
+  result.logical.keys_migrated = tstats.keys_migrated;
+  result.logical.routing_epoch = tstats.routing_epoch;
+  result.logical.epoch_rejects = tstats.epoch_rejects;
+  result.logical.final_active_servers = cluster.active_server_count();
+  if (!tracers.empty() || controller_tracer != nullptr) {
     std::vector<const metrics::EventTracer*> views;
-    views.reserve(tracers.size());
+    views.reserve(tracers.size() + 1);
     for (const auto& t : tracers) {
       views.push_back(t.get());
       result.logical.trace_dropped += t->dropped();
+    }
+    if (controller_tracer != nullptr) {
+      views.push_back(controller_tracer.get());
+      result.logical.trace_dropped += controller_tracer->dropped();
     }
     result.logical.trace = metrics::EventTracer::Merge(views);
   }

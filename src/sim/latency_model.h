@@ -46,6 +46,31 @@ struct LatencyModel {
   /// (exponential backoff, matching FrontendClient's bounded-retry loop).
   double backoff_base_us = 100.0;
 
+  /// Cost of one routing-epoch mismatch: the wasted half-round-trip to the
+  /// stale owner is charged separately (via rtt), this is the route-view
+  /// refresh against the topology service before the retry.
+  double route_refresh_us = 200.0;
+  /// Control-plane pause while a topology mutation applies (membership
+  /// propagation; the data-plane cost is per-key below).
+  double churn_pause_us = 5000.0;
+  /// Per-key cost of the warm handoff a mutation triggers: the new owner
+  /// re-reads the key from storage and adopts it.
+  double migrate_per_key_us = 2.0;
+
+  /// Wall-clock stall of one topology mutation that moved `keys_moved`
+  /// keys; every in-flight client resumes after it.
+  double ChurnPenalty(uint64_t keys_moved) const {
+    return churn_pause_us +
+           migrate_per_key_us * static_cast<double>(keys_moved);
+  }
+
+  /// Stall a single operation suffered from `mismatches` stale-route
+  /// rejections before reaching the current owner: each costs the full
+  /// round trip that got rejected plus a route refresh.
+  double EpochMismatchPenalty(uint32_t mismatches) const {
+    return static_cast<double>(mismatches) * (rtt_us + route_refresh_us);
+  }
+
   /// Effective service time with `backlog` requests already queued at a
   /// shard that has received `share` of all recent backend requests across
   /// `num_servers` shards.

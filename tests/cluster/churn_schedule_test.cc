@@ -1,0 +1,163 @@
+// Unit tests for the churn-schedule parser, validator, and the seeded
+// chaos-plan generator.
+
+#include "cluster/churn_schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace cot::cluster {
+namespace {
+
+TEST(ChurnScheduleTest, ParsesMixedSpec) {
+  auto parsed = ParseChurnSchedule("add:2000,remove:1:5000,rejoin:1:8000");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const ChurnSchedule& s = *parsed;
+  ASSERT_EQ(s.events.size(), 3u);
+  EXPECT_EQ(s.events[0].action, ChurnAction::kAddServer);
+  EXPECT_EQ(s.events[0].at_op, 2000u);
+  EXPECT_EQ(s.events[1].action, ChurnAction::kRemoveServer);
+  EXPECT_EQ(s.events[1].server, 1u);
+  EXPECT_EQ(s.events[1].at_op, 5000u);
+  EXPECT_EQ(s.events[2].action, ChurnAction::kRejoinServer);
+  EXPECT_EQ(s.events[2].server, 1u);
+  EXPECT_EQ(s.events[2].at_op, 8000u);
+}
+
+TEST(ChurnScheduleTest, ParseSortsByOpClock) {
+  auto parsed = ParseChurnSchedule("remove:2:9000,add:100");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->events[0].action, ChurnAction::kAddServer);
+  EXPECT_EQ(parsed->events[1].action, ChurnAction::kRemoveServer);
+}
+
+TEST(ChurnScheduleTest, ParseEmptySpecIsEmptySchedule) {
+  auto parsed = ParseChurnSchedule("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(ChurnScheduleTest, ParseRejectsMalformedEntries) {
+  EXPECT_FALSE(ParseChurnSchedule("add").ok());
+  EXPECT_FALSE(ParseChurnSchedule("add:1:2").ok());
+  EXPECT_FALSE(ParseChurnSchedule("remove:1").ok());
+  EXPECT_FALSE(ParseChurnSchedule("remove:1:x").ok());
+  EXPECT_FALSE(ParseChurnSchedule("shrink:1:5").ok());
+  EXPECT_FALSE(ParseChurnSchedule("add:5,,remove:1:9").ok());
+  EXPECT_FALSE(ParseChurnSchedule("add:-3").ok());
+}
+
+TEST(ChurnScheduleTest, ValidateAcceptsLegalSequence) {
+  auto s = ParseChurnSchedule("add:100,remove:0:200,rejoin:0:300");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->Validate(2).ok());
+}
+
+TEST(ChurnScheduleTest, ValidateRejectsRemovingUnknownOrRemovedServer) {
+  auto unknown = ParseChurnSchedule("remove:7:100");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_FALSE(unknown->Validate(4).ok());
+
+  auto twice = ParseChurnSchedule("remove:1:100,remove:1:200");
+  ASSERT_TRUE(twice.ok());
+  EXPECT_FALSE(twice->Validate(4).ok());
+}
+
+TEST(ChurnScheduleTest, ValidateRejectsEmptyingTheTier) {
+  auto s = ParseChurnSchedule("remove:0:100,remove:1:200");
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(s->Validate(2).ok());
+}
+
+TEST(ChurnScheduleTest, ValidateRejectsRejoiningActiveServer) {
+  auto s = ParseChurnSchedule("rejoin:0:100");
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(s->Validate(2).ok());
+}
+
+TEST(ChurnScheduleTest, ValidateAcceptsRemovingChurnCreatedServer) {
+  // The add at op 100 creates shard 4 (ids allocate densely); removing it
+  // later is legal.
+  auto s = ParseChurnSchedule("add:100,remove:4:200");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->Validate(4).ok());
+}
+
+TEST(ChurnScheduleTest, CountHelpersTrackSimulatedTier) {
+  auto s = ParseChurnSchedule("add:100,add:200,remove:1:300,remove:4:400");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->MaxServerCount(4), 6u);
+  EXPECT_EQ(s->FinalActiveCount(4), 4u);
+
+  ChurnSchedule empty;
+  EXPECT_EQ(empty.MaxServerCount(8), 8u);
+  EXPECT_EQ(empty.FinalActiveCount(8), 8u);
+}
+
+TEST(ChurnScheduleTest, ChaosPlanIsValidAndDeterministic) {
+  for (uint64_t seed : {1ull, 7ull, 42ull, 1234ull}) {
+    ChaosOptions options;
+    options.seed = seed;
+    options.initial_servers = 4;
+    options.horizon_ops = 10000;
+    options.warmup_ops = 1000;
+    options.churn_events = 6;
+    options.fault_events = 5;
+    ChaosPlan a = MakeChaosPlan(options);
+    ChaosPlan b = MakeChaosPlan(options);
+
+    // Determinism: same options, same plan.
+    ASSERT_EQ(a.churn.events.size(), b.churn.events.size());
+    for (size_t i = 0; i < a.churn.events.size(); ++i) {
+      EXPECT_EQ(a.churn.events[i].at_op, b.churn.events[i].at_op);
+      EXPECT_EQ(a.churn.events[i].action, b.churn.events[i].action);
+      EXPECT_EQ(a.churn.events[i].server, b.churn.events[i].server);
+    }
+    ASSERT_EQ(a.faults.events.size(), b.faults.events.size());
+    EXPECT_EQ(a.faults.seed, b.faults.seed);
+
+    // Validity: the generated plan always passes its own validators.
+    EXPECT_EQ(a.churn.events.size(), 6u);
+    EXPECT_TRUE(a.churn.Validate(options.initial_servers).ok())
+        << a.churn.Validate(options.initial_servers);
+    EXPECT_EQ(a.faults.events.size(), 5u);
+    EXPECT_TRUE(
+        a.faults.Validate(a.churn.MaxServerCount(options.initial_servers))
+            .ok());
+
+    // Every event lands inside [warmup, horizon).
+    for (const ChurnEvent& e : a.churn.events) {
+      EXPECT_GE(e.at_op, options.warmup_ops);
+      EXPECT_LT(e.at_op, options.horizon_ops);
+    }
+    for (const FaultEvent& f : a.faults.events) {
+      EXPECT_GE(f.start_op, options.warmup_ops);
+      EXPECT_LT(f.start_op, f.end_op);
+      EXPECT_LE(f.end_op, options.horizon_ops);
+    }
+  }
+}
+
+TEST(ChurnScheduleTest, DifferentSeedsGiveDifferentPlans) {
+  ChaosOptions options;
+  options.initial_servers = 4;
+  options.churn_events = 8;
+  options.seed = 1;
+  ChaosPlan a = MakeChaosPlan(options);
+  options.seed = 2;
+  ChaosPlan b = MakeChaosPlan(options);
+  bool differs = a.churn.events.size() != b.churn.events.size();
+  for (size_t i = 0; !differs && i < a.churn.events.size(); ++i) {
+    differs = a.churn.events[i].at_op != b.churn.events[i].at_op ||
+              a.churn.events[i].action != b.churn.events[i].action;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ChurnScheduleTest, ToStringCoversAllActions) {
+  EXPECT_EQ(ToString(ChurnAction::kAddServer), "add_server");
+  EXPECT_EQ(ToString(ChurnAction::kRemoveServer), "remove_server");
+  EXPECT_EQ(ToString(ChurnAction::kRejoinServer), "rejoin_server");
+}
+
+}  // namespace
+}  // namespace cot::cluster

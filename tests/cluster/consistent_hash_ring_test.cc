@@ -5,6 +5,8 @@
 #include <map>
 #include <vector>
 
+#include "util/random.h"
+
 namespace cot::cluster {
 namespace {
 
@@ -110,6 +112,94 @@ TEST(ConsistentHashRingTest, OwnershipFractionsSumToOne) {
     sum += f;
   }
   EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// Regression for the id-allocation bug: AddServer after a removal must
+// mint a fresh id, never recycle the removed one (a recycled id would let
+// stale routing epochs alias two different physical servers).
+TEST(ConsistentHashRingTest, RemovedIdsAreNeverReused) {
+  ConsistentHashRing ring(3, 128);
+  ASSERT_TRUE(ring.RemoveServer(1).ok());
+  EXPECT_FALSE(ring.Contains(1));
+  EXPECT_EQ(ring.AddServer(), 3u) << "id 1 must not be recycled";
+  EXPECT_EQ(ring.server_count(), 4u);
+  EXPECT_EQ(ring.active_server_count(), 3u);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_NE(ring.ServerFor(key), 1u);
+  }
+}
+
+TEST(ConsistentHashRingTest, ExplicitRejoinRestoresExactRanges) {
+  ConsistentHashRing ring(4, 256);
+  std::vector<ServerId> before(2000);
+  for (uint64_t key = 0; key < before.size(); ++key) {
+    before[key] = ring.ServerFor(key);
+  }
+  ASSERT_TRUE(ring.RemoveServer(2).ok());
+  EXPECT_FALSE(ring.Contains(2));
+  // Rejoining under the same id restores the identical vnode positions:
+  // ownership is exactly what it was before the departure.
+  ASSERT_TRUE(ring.AddServerWithId(2).ok());
+  EXPECT_TRUE(ring.Contains(2));
+  for (uint64_t key = 0; key < before.size(); ++key) {
+    EXPECT_EQ(ring.ServerFor(key), before[key]);
+  }
+  // Double-join of a live id is an error, as is joining while present.
+  EXPECT_FALSE(ring.AddServerWithId(2).ok());
+}
+
+TEST(ConsistentHashRingTest, AddServerWithIdExtendsIdSpace) {
+  ConsistentHashRing ring(2, 64);
+  ASSERT_TRUE(ring.AddServerWithId(7).ok());
+  EXPECT_TRUE(ring.Contains(7));
+  EXPECT_GE(ring.server_count(), 8u);
+  EXPECT_EQ(ring.active_server_count(), 3u);
+  ServerId fresh = ring.AddServer();
+  EXPECT_EQ(fresh, ring.server_count() - 1)
+      << "fresh ids continue past the extended space";
+  EXPECT_GE(fresh, 8u);
+}
+
+// Property test: across random add/remove/rejoin sequences the ownership
+// fractions of the *active* set always sum to 1 and removed servers own
+// nothing.
+TEST(ConsistentHashRingTest, OwnershipFractionsSumToOneUnderChurn) {
+  Rng rng(0x5EED5EEDULL);
+  ConsistentHashRing ring(4, 128);
+  std::vector<bool> active(4, true);
+  for (int step = 0; step < 60; ++step) {
+    uint64_t roll = rng.NextBelow(3);
+    if (roll == 0) {
+      ServerId id = ring.AddServer();
+      if (id >= active.size()) active.resize(id + 1, false);
+      active[id] = true;
+    } else if (roll == 1 && ring.active_server_count() > 1) {
+      ServerId id = static_cast<ServerId>(rng.NextBelow(ring.server_count()));
+      if (active[id]) {
+        ASSERT_TRUE(ring.RemoveServer(id).ok());
+        active[id] = false;
+      }
+    } else {
+      ServerId id = static_cast<ServerId>(rng.NextBelow(ring.server_count()));
+      if (!active[id]) {
+        ASSERT_TRUE(ring.AddServerWithId(id).ok());
+        active[id] = true;
+      }
+    }
+
+    auto fractions = ring.OwnershipFractions();
+    ASSERT_EQ(fractions.size(), ring.server_count());
+    double sum = 0.0;
+    for (ServerId id = 0; id < fractions.size(); ++id) {
+      EXPECT_GE(fractions[id], 0.0);
+      if (!active[id]) {
+        EXPECT_EQ(fractions[id], 0.0)
+            << "removed server " << id << " must own nothing";
+      }
+      sum += fractions[id];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "after step " << step;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,229 @@
+// Tests for the epoch-versioned routing protocol: fenced shard requests,
+// the cluster's epoch lifecycle, and the client's refresh-and-retry loop —
+// including the regression guarantee that a live RemoveServer under
+// concurrent traffic produces observable EpochMismatch events.
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "cluster/backend_server.h"
+#include "cluster/cache_cluster.h"
+#include "cluster/frontend_client.h"
+#include "metrics/event_tracer.h"
+#include "workload/types.h"
+
+namespace cot::cluster {
+namespace {
+
+TEST(EpochRoutingTest, FencedOpsRejectDisagreeingEpochWithoutSideEffects) {
+  BackendServer shard;
+  shard.SetRoutingEpoch(5);
+  shard.Set(7, 70);
+
+  // Matching epoch: behaves like the unfenced ops and counts load.
+  BackendServer::FencedValue hit = shard.Get(7, 5);
+  EXPECT_EQ(hit.status, BackendServer::ShardStatus::kOk);
+  ASSERT_TRUE(hit.value.has_value());
+  EXPECT_EQ(*hit.value, 70);
+  EXPECT_EQ(shard.lookup_count(), 1u);
+
+  // Stale epoch: rejected, nothing counted, content untouched.
+  BackendServer::FencedValue stale = shard.Get(7, 4);
+  EXPECT_EQ(stale.status, BackendServer::ShardStatus::kEpochMismatch);
+  EXPECT_EQ(stale.shard_epoch, 5u);
+  EXPECT_FALSE(stale.value.has_value());
+  EXPECT_EQ(shard.lookup_count(), 1u);
+  EXPECT_EQ(shard.epoch_mismatch_count(), 1u);
+
+  BackendServer::FencedAck set = shard.Set(9, 90, 4);
+  EXPECT_EQ(set.status, BackendServer::ShardStatus::kEpochMismatch);
+  EXPECT_EQ(shard.size(), 1u) << "stale fill must not strand a copy";
+  EXPECT_EQ(shard.set_count(), 1u);
+
+  BackendServer::FencedAck del = shard.Delete(7, 6);
+  EXPECT_EQ(del.status, BackendServer::ShardStatus::kEpochMismatch)
+      << "an epoch from the future is a misroute too";
+  EXPECT_EQ(shard.size(), 1u);
+  EXPECT_EQ(shard.epoch_mismatch_count(), 3u);
+
+  // Current epoch still works.
+  BackendServer::FencedAck ok_del = shard.Delete(7, 5);
+  EXPECT_EQ(ok_del.status, BackendServer::ShardStatus::kOk);
+  EXPECT_TRUE(ok_del.existed);
+  EXPECT_EQ(shard.size(), 0u);
+}
+
+TEST(EpochRoutingTest, TopologyMutationsAdvanceEpochAndStampAllShards) {
+  CacheCluster cluster(3, 1000);
+  EXPECT_EQ(cluster.routing_epoch(), 1u);
+  for (ServerId id = 0; id < 3; ++id) {
+    EXPECT_EQ(cluster.server(id).routing_epoch(), 1u);
+  }
+
+  ServerId added = cluster.AddServer();
+  EXPECT_EQ(added, 3u);
+  EXPECT_EQ(cluster.routing_epoch(), 2u);
+  for (ServerId id = 0; id < 4; ++id) {
+    EXPECT_EQ(cluster.server(id).routing_epoch(), 2u);
+  }
+
+  ASSERT_TRUE(cluster.RemoveServer(1).ok());
+  EXPECT_EQ(cluster.routing_epoch(), 3u);
+  // Removed shards are stamped too: a stale client must get a mismatch
+  // (and re-route), not a silent miss on a shard that left the ring.
+  EXPECT_EQ(cluster.server(1).routing_epoch(), 3u);
+
+  ASSERT_TRUE(cluster.RejoinServer(1).ok());
+  EXPECT_EQ(cluster.routing_epoch(), 4u);
+
+  CacheCluster::TopologyStats stats = cluster.topology_stats();
+  EXPECT_EQ(stats.routing_epoch, 4u);
+  EXPECT_EQ(stats.topology_changes, 3u);
+}
+
+TEST(EpochRoutingTest, FailedMutationsDoNotAdvanceTheEpoch) {
+  CacheCluster cluster(2, 1000);
+  ASSERT_TRUE(cluster.RemoveServer(0).ok());
+  EXPECT_EQ(cluster.routing_epoch(), 2u);
+
+  EXPECT_FALSE(cluster.RemoveServer(0).ok()) << "already removed";
+  EXPECT_FALSE(cluster.RemoveServer(1).ok()) << "last active server";
+  EXPECT_FALSE(cluster.RemoveServer(9).ok()) << "unknown id";
+  EXPECT_FALSE(cluster.RejoinServer(1).ok()) << "still active";
+  EXPECT_FALSE(cluster.RejoinServer(9).ok()) << "unknown id";
+  EXPECT_EQ(cluster.routing_epoch(), 2u);
+  EXPECT_EQ(cluster.topology_stats().topology_changes, 1u);
+}
+
+TEST(EpochRoutingTest, ClientRecoversFromStaleViewWithOneRefresh) {
+  CacheCluster cluster(2, 500);
+  FrontendClient client(&cluster, nullptr);  // cacheless: every read fenced
+  EXPECT_EQ(client.route_view_epoch(), 1u);
+
+  // Warm the protocol once, then mutate the topology behind the client's
+  // back.
+  client.Get(3);
+  cluster.AddServer();
+  ASSERT_EQ(cluster.routing_epoch(), 2u);
+  EXPECT_EQ(client.route_view_epoch(), 1u) << "view refreshes lazily";
+
+  workload::Op read{17, workload::OpType::kRead};
+  FrontendClient::OpOutcome outcome = client.ApplyDetailed(read);
+  EXPECT_EQ(outcome.epoch_mismatches, 1u)
+      << "first fenced request after the change must be rejected";
+  EXPECT_EQ(client.route_view_epoch(), 2u);
+  EXPECT_EQ(client.stats().epoch_mismatches, 1u);
+  EXPECT_EQ(client.stats().route_refreshes, 1u);
+  EXPECT_EQ(client.Get(17), StorageLayer::InitialValue(17))
+      << "reads stay correct across the refresh";
+
+  // Subsequent ops carry the fresh epoch: no further mismatches.
+  FrontendClient::OpOutcome again = client.ApplyDetailed(read);
+  EXPECT_EQ(again.epoch_mismatches, 0u);
+}
+
+TEST(EpochRoutingTest, ExhaustedRefreshBudgetFailsOverToStorage) {
+  CacheCluster cluster(2, 500);
+  FrontendClient client(&cluster, nullptr);
+  FailurePolicy policy;
+  policy.max_route_refreshes = 0;  // pathological: never allowed to refresh
+  client.SetFaultInjector(nullptr, 0, policy);
+
+  client.Get(3);
+  cluster.AddServer();
+
+  uint64_t storage_reads_before = client.stats().storage_reads;
+  workload::Op read{17, workload::OpType::kRead};
+  FrontendClient::OpOutcome outcome = client.ApplyDetailed(read);
+  EXPECT_EQ(outcome.epoch_mismatches, 1u);
+  EXPECT_FALSE(outcome.backend_contacted);
+  EXPECT_TRUE(outcome.storage_accessed);
+  EXPECT_EQ(client.stats().failovers, 1u)
+      << "a read that cannot re-route degrades to authoritative storage";
+  EXPECT_EQ(client.stats().storage_reads, storage_reads_before + 1);
+  EXPECT_EQ(client.stats().route_refreshes, 0u);
+}
+
+TEST(EpochRoutingTest, ExhaustedInvalidationEscalatesToColdRestart) {
+  CacheCluster cluster(2, 500);
+  FrontendClient client(&cluster, nullptr);
+  FailurePolicy policy;
+  policy.max_route_refreshes = 0;
+  client.SetFaultInjector(nullptr, 0, policy);
+
+  client.Get(3);
+  cluster.AddServer();
+
+  // The update's invalidation cannot be delivered under a stale view and
+  // may not be dropped silently — the owner is cold-restarted so the
+  // no-stale-read contract survives.
+  ServerId owner = cluster.OwnerOf(17);
+  uint64_t generation_before = cluster.server_generation(owner);
+  client.Set(17, 999);
+  EXPECT_EQ(client.stats().lost_invalidations, 1u);
+  EXPECT_EQ(client.stats().forced_restarts, 1u);
+  EXPECT_EQ(cluster.server_generation(owner), generation_before + 1);
+  EXPECT_EQ(client.Get(17), 999) << "no stale read after the escalation";
+}
+
+TEST(EpochRoutingTest, SerialRingAccessStaysValidAcrossMutations) {
+  // The ring() accessor is debug-asserted against *concurrent* mutations;
+  // serial use between mutations is the supported contract.
+  CacheCluster cluster(3, 1000);
+  cluster.AddServer();
+  ASSERT_TRUE(cluster.RemoveServer(0).ok());
+  const ConsistentHashRing& ring = cluster.ring();
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_NE(ring.ServerFor(key), 0u);
+    EXPECT_EQ(ring.ServerFor(key), cluster.OwnerOf(key));
+  }
+}
+
+// Regression for the acceptance criterion: a live RemoveServer under
+// concurrent traffic must surface as nonzero EpochMismatch trace events —
+// proof the fencing actually fires in the wild, not just in unit setups.
+TEST(EpochRoutingTest, LiveRemoveServerUnderTrafficYieldsEpochMismatches) {
+  CacheCluster cluster(4, 2000);
+  FrontendClient client(&cluster, nullptr);
+  metrics::EventTracer tracer(4096, /*client=*/0);
+  client.SetTracer(&tracer);
+
+  std::atomic<bool> removed{false};
+  std::thread driver([&] {
+    for (uint64_t op = 0; op < 50000; ++op) {
+      client.Get(op % 2000);
+      // Park until the main thread has removed the shard, so some traffic
+      // is guaranteed to run against the mutated topology.
+      while (op == 1000 && !removed.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  ASSERT_TRUE(cluster.RemoveServer(2).ok());
+  removed.store(true, std::memory_order_release);
+  driver.join();
+
+  EXPECT_GT(client.stats().epoch_mismatches, 0u);
+  EXPECT_GT(client.stats().route_refreshes, 0u);
+  EXPECT_GT(cluster.topology_stats().epoch_rejects, 0u);
+
+  uint64_t mismatch_events = 0;
+  for (const metrics::TraceEvent& event : tracer.Events()) {
+    if (event.type == metrics::TraceEventType::kEpochMismatch) {
+      ++mismatch_events;
+    }
+  }
+  EXPECT_GT(mismatch_events, 0u)
+      << "epoch mismatches must be observable in the structured trace";
+
+  // And the handoff kept reads correct throughout: spot-check ownership.
+  for (uint64_t key = 0; key < 2000; key += 97) {
+    EXPECT_NE(cluster.OwnerOf(key), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace cot::cluster

@@ -1,0 +1,130 @@
+// Satellite coverage for hot-key replication under topology churn: an
+// update must reach *every* replica of a hot key (HotKeyReplicator's
+// AllReplicas set), including while a topology mutation drains misowned
+// copies, and an undeliverable replica invalidation must escalate to the
+// PR-2 loss fencing (forced cold restart) rather than leaving a stale
+// copy behind.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cache_cluster.h"
+#include "cluster/fault_injector.h"
+#include "cluster/frontend_client.h"
+#include "cluster/hot_key_replicator.h"
+
+namespace cot::cluster {
+namespace {
+
+constexpr uint64_t kKeys = 500;
+constexpr uint64_t kHotKey = 17;
+
+/// Makes `key` hot enough for the replicator to build a replica set.
+void ReplicateKey(HotKeyReplicator& replicator, const CacheCluster& cluster,
+                  uint64_t key) {
+  ServerId home = cluster.OwnerOf(key);
+  for (int i = 0; i < 1000; ++i) replicator.OnLookup(key, home);
+  replicator.EndEpoch();
+  ASSERT_TRUE(replicator.IsReplicated(key));
+}
+
+TEST(HotKeyHandoffTest, UpdateInvalidatesEveryReplica) {
+  CacheCluster cluster(4, kKeys);
+  HotKeyReplicator replicator(&cluster.ring(), /*hot_share=*/0.05,
+                              /*gamma=*/3);
+  ReplicateKey(replicator, cluster, kHotKey);
+
+  FrontendClient client(&cluster, nullptr);
+  client.SetRouter(&replicator);
+
+  // Spread lookups across the replica set so several shards hold a copy.
+  std::vector<ServerId> replicas = replicator.AllReplicas(kHotKey);
+  ASSERT_GE(replicas.size(), 2u);
+  for (size_t i = 0; i < 2 * replicas.size(); ++i) client.Get(kHotKey);
+
+  client.Set(kHotKey, 777);
+  for (ServerId sid : replicas) {
+    EXPECT_FALSE(cluster.server(sid).Get(kHotKey).has_value())
+        << "replica " << sid << " kept a stale copy past the update";
+  }
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    EXPECT_EQ(client.Get(kHotKey), 777u)
+        << "every replica routing choice must see the new value";
+  }
+}
+
+TEST(HotKeyHandoffTest, HandoffDrainsReplicaCopiesWithoutStaleReads) {
+  CacheCluster cluster(4, kKeys);
+  HotKeyReplicator replicator(&cluster.ring(), 0.05, /*gamma=*/3);
+  ReplicateKey(replicator, cluster, kHotKey);
+
+  FrontendClient client(&cluster, nullptr);
+  client.SetRouter(&replicator);
+  std::vector<ServerId> replicas = replicator.AllReplicas(kHotKey);
+  for (size_t i = 0; i < 2 * replicas.size(); ++i) client.Get(kHotKey);
+
+  // Grow the tier mid-stream. Migration flushes misowned copies (the
+  // FlushMisownedKeys semantics): replica copies off the ring owner drain
+  // to the owner, with values re-read from authoritative storage.
+  cluster.AddServer();
+  ServerId ring_owner = cluster.OwnerOf(kHotKey);
+  for (ServerId id = 0; id < cluster.server_count(); ++id) {
+    if (id == ring_owner) continue;
+    EXPECT_FALSE(cluster.server(id).Get(kHotKey).has_value())
+        << "migration must not leave replica copies on non-owners";
+  }
+
+  // The update/read protocol keeps working through the replica set: the
+  // update deletes on every replica, and subsequent reads (whichever
+  // replica they hash to) serve the fresh value.
+  client.Set(kHotKey, 4242);
+  for (size_t i = 0; i < 2 * replicas.size(); ++i) {
+    EXPECT_EQ(client.Get(kHotKey), 4242u)
+        << "no stale read through any replica during the handoff window";
+  }
+}
+
+TEST(HotKeyHandoffTest, UndeliverableReplicaInvalidationEscalates) {
+  CacheCluster cluster(4, kKeys);
+  HotKeyReplicator replicator(&cluster.ring(), 0.05, /*gamma=*/3);
+  ReplicateKey(replicator, cluster, kHotKey);
+
+  FrontendClient client(&cluster, nullptr);
+  client.SetRouter(&replicator);
+  std::vector<ServerId> replicas = replicator.AllReplicas(kHotKey);
+  ASSERT_GE(replicas.size(), 2u);
+  for (size_t i = 0; i < 2 * replicas.size(); ++i) client.Get(kHotKey);
+  uint64_t warm_clock = client.op_clock();
+
+  // One replica rejects every request in a transient window covering the
+  // update — reachable but failing, the PR-2 escalation case.
+  ServerId flaky = replicas.back();
+  FaultSchedule schedule;
+  FaultEvent transient;
+  transient.server = flaky;
+  transient.type = FaultType::kTransient;
+  transient.start_op = warm_clock;
+  transient.end_op = warm_clock + 1;
+  transient.probability = 1.0;
+  schedule.events.push_back(transient);
+  FaultInjector injector(schedule);
+  client.SetFaultInjector(&injector, /*client_id=*/0, FailurePolicy());
+
+  uint64_t generation_before = cluster.server_generation(flaky);
+  client.Set(kHotKey, 999);  // this op runs at warm_clock
+  EXPECT_GE(client.stats().lost_invalidations, 1u);
+  EXPECT_GE(client.stats().forced_restarts, 1u);
+  EXPECT_GT(cluster.server_generation(flaky), generation_before)
+      << "the unreachable replica must be cold-restarted";
+  EXPECT_FALSE(cluster.server(flaky).Get(kHotKey).has_value())
+      << "the stale copy must not survive the escalation";
+
+  for (size_t i = 0; i < 2 * replicas.size(); ++i) {
+    EXPECT_EQ(client.Get(kHotKey), 999u)
+        << "no stale read after the loss escalation";
+  }
+}
+
+}  // namespace
+}  // namespace cot::cluster

@@ -1,0 +1,142 @@
+// Tests for the live migration / warm handoff path: topology mutations
+// drain misowned keys to their new owners instead of dropping them cold,
+// and the storage-backed adopt step guarantees no stale copy can ride
+// along.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cache_cluster.h"
+#include "cluster/churn_schedule.h"
+#include "cluster/frontend_client.h"
+
+namespace cot::cluster {
+namespace {
+
+constexpr uint64_t kKeys = 2000;
+
+void Preload(CacheCluster& cluster) {
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    cluster.server(cluster.OwnerOf(key))
+        .Set(key, StorageLayer::InitialValue(key));
+  }
+  cluster.ResetServerCounters();
+}
+
+uint64_t TotalResident(const CacheCluster& cluster) {
+  uint64_t total = 0;
+  for (ServerId id = 0; id < cluster.server_count(); ++id) {
+    total += cluster.server(id).size();
+  }
+  return total;
+}
+
+TEST(LiveMigrationTest, AddServerHandsItsRangeOverWarm) {
+  CacheCluster cluster(2, kKeys);
+  Preload(cluster);
+
+  ServerId added = cluster.AddServer();
+  EXPECT_GT(cluster.server(added).size(), 0u)
+      << "the newcomer must receive its range, not start cold";
+  EXPECT_GT(cluster.server(added).adopted_count(), 0u);
+  EXPECT_EQ(cluster.server(added).set_count(), 0u)
+      << "migration inserts count as adoptions, not client sets";
+  EXPECT_EQ(TotalResident(cluster), kKeys)
+      << "handoff moves keys, it neither drops nor duplicates them";
+  EXPECT_EQ(cluster.topology_stats().keys_migrated,
+            cluster.server(added).size());
+
+  // Every key now reads warm through a client: backend hits only.
+  FrontendClient client(&cluster, nullptr);
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    EXPECT_EQ(client.Get(key), StorageLayer::InitialValue(key));
+  }
+  EXPECT_EQ(client.stats().backend_hits, kKeys);
+  EXPECT_EQ(client.stats().storage_reads, 0u)
+      << "a warm handoff must not cause a cold-miss storm";
+}
+
+TEST(LiveMigrationTest, RemoveServerDrainsContentToSuccessors) {
+  CacheCluster cluster(3, kKeys);
+  Preload(cluster);
+  uint64_t doomed_resident = cluster.server(1).size();
+  ASSERT_GT(doomed_resident, 0u);
+
+  ASSERT_TRUE(cluster.RemoveServer(1).ok());
+  EXPECT_EQ(cluster.server(1).size(), 0u);
+  EXPECT_EQ(TotalResident(cluster), kKeys)
+      << "scale-down drains the shard; nothing is lost";
+  EXPECT_GE(cluster.topology_stats().keys_migrated, doomed_resident);
+
+  FrontendClient client(&cluster, nullptr);
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    EXPECT_EQ(client.Get(key), StorageLayer::InitialValue(key));
+  }
+  EXPECT_EQ(client.stats().backend_hits, kKeys);
+  EXPECT_EQ(client.stats().storage_reads, 0u)
+      << "scale-down must be a warm handoff, not a hit-rate cliff";
+  EXPECT_TRUE(VerifyClusterInvariants(cluster).ok());
+}
+
+TEST(LiveMigrationTest, RejoinReclaimsRangesWarm) {
+  CacheCluster cluster(3, kKeys);
+  Preload(cluster);
+  ASSERT_TRUE(cluster.RemoveServer(2).ok());
+  ASSERT_TRUE(cluster.RejoinServer(2).ok());
+
+  EXPECT_GT(cluster.server(2).size(), 0u)
+      << "a rejoined shard reclaims its ranges with content";
+  EXPECT_EQ(TotalResident(cluster), kKeys);
+
+  FrontendClient client(&cluster, nullptr);
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    EXPECT_EQ(client.Get(key), StorageLayer::InitialValue(key));
+  }
+  EXPECT_EQ(client.stats().storage_reads, 0u);
+  EXPECT_TRUE(VerifyClusterInvariants(cluster).ok());
+}
+
+// Regression for the stale-copy-migration hazard: a shard holding a copy
+// whose invalidation was lost (e.g. in a crash window) must not hand that
+// copy to a new owner. Migration re-reads every key from authoritative
+// storage, so the hazard is impossible by construction.
+TEST(LiveMigrationTest, StaleCopyCannotSurviveMigration) {
+  CacheCluster cluster(3, kKeys);
+  Preload(cluster);
+
+  // Forge the hazard: key 42's shard copy is stale relative to storage
+  // (as if an invalidation delete never arrived).
+  ServerId owner = cluster.OwnerOf(42);
+  cluster.server(owner).Set(42, /*stale value=*/111);
+  cluster.storage().Set(42, /*fresh value=*/222);
+
+  // Scale the stale shard away: its content drains to successors.
+  ASSERT_TRUE(cluster.RemoveServer(owner).ok());
+  ServerId new_owner = cluster.OwnerOf(42);
+  ASSERT_NE(new_owner, owner);
+  std::optional<uint64_t> adopted = cluster.server(new_owner).Get(42);
+  ASSERT_TRUE(adopted.has_value());
+  EXPECT_EQ(*adopted, 222u)
+      << "the adopted copy must come from authoritative storage";
+
+  FrontendClient client(&cluster, nullptr);
+  EXPECT_EQ(client.Get(42), 222) << "no stale read after the handoff";
+  EXPECT_TRUE(VerifyClusterInvariants(cluster).ok());
+}
+
+TEST(LiveMigrationTest, MigrationPreservesLoadCounters) {
+  // RemoveServer used to clear the doomed shard, zeroing its history.
+  // Live migration drains content but keeps counters: load accounting
+  // must survive scale events or imbalance series get holes.
+  CacheCluster cluster(2, kKeys);
+  Preload(cluster);
+  FrontendClient client(&cluster, nullptr);
+  for (uint64_t key = 0; key < 100; ++key) client.Get(key);
+  uint64_t lookups_before = cluster.server(1).lookup_count();
+
+  cluster.AddServer();
+  ASSERT_TRUE(cluster.RemoveServer(1).ok());
+  EXPECT_EQ(cluster.server(1).lookup_count(), lookups_before);
+}
+
+}  // namespace
+}  // namespace cot::cluster

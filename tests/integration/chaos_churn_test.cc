@@ -1,0 +1,338 @@
+// The chaos harness: seeded churn + fault schedules driven against the
+// real cluster stack, with machine-checked safety invariants after every
+// run. Three legs:
+//
+//   1. A lockstep shadow-map run (the strongest no-stale-read oracle):
+//      every read is compared against an authoritative shadow value while
+//      servers are added/removed/rejoined and crash/transient/slow faults
+//      fire, for several distinct seeds.
+//   2. RunExperiment chaos runs whose aggregate stats must satisfy the
+//      stats-conservation identities exactly.
+//   3. Determinism: churn runs produce byte-identical merged traces across
+//      1/2/4 threads (read-only chaos), and per-client logical stats stay
+//      bit-for-bit identical even with updates and faults in the mix.
+//
+// Plus a timed-sim check that churn is actually priced (migration pauses
+// and epoch-mismatch round-trips cost wall-clock).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cache_cluster.h"
+#include "cluster/churn_schedule.h"
+#include "cluster/experiment.h"
+#include "cluster/fault_injector.h"
+#include "cluster/frontend_client.h"
+#include "core/cot_cache.h"
+#include "metrics/event_tracer.h"
+#include "sim/end_to_end_sim.h"
+#include "util/random.h"
+#include "workload/op_stream.h"
+
+namespace cot::cluster {
+namespace {
+
+CacheFactory CotFactory() {
+  return [](uint32_t) { return std::make_unique<core::CotCache>(64, 512); };
+}
+
+ExperimentConfig ChaosConfig(double read_fraction) {
+  ExperimentConfig config;
+  config.num_servers = 4;
+  config.key_space = 5000;
+  config.num_clients = 4;
+  config.total_ops = 16000;  // 4000 per client
+  workload::PhaseSpec phase;
+  phase.distribution = workload::Distribution::kZipfian;
+  phase.skew = 0.99;
+  phase.read_fraction = read_fraction;
+  config.phases = {phase};
+  return config;
+}
+
+/// The stats-conservation identities every run must satisfy, faults and
+/// churn included. A violated identity means an op was double-counted or
+/// silently dropped somewhere in the routing/failover/escalation paths.
+void ExpectConservation(const FrontendStats& s, const std::string& label) {
+  EXPECT_EQ(s.reads,
+            s.local_hits + s.backend_lookups + s.degraded_ops + s.failovers)
+      << label << ": every read is a hit, a backend lookup, or a fallback";
+  EXPECT_EQ(s.updates, s.invalidations + s.lost_invalidations)
+      << label << ": every update's invalidation is delivered or escalated";
+  EXPECT_EQ(s.backend_hits + s.storage_reads,
+            s.backend_lookups + s.degraded_ops + s.failovers)
+      << label << ": every non-local read is served exactly once";
+}
+
+/// Leg 1 — the no-stale-read oracle. A single cacheless client (every read
+/// goes to the tier, so staleness cannot hide behind a local copy) runs
+/// lockstep against a shadow map of authoritative values while a seeded
+/// chaos plan mutates the topology and injects faults on the same op
+/// clock. Any read that does not match the shadow is a safety violation.
+TEST(ChaosChurnTest, LockstepShadowMapSeesNoStaleReads) {
+  constexpr uint64_t kKeys = 2000;
+  constexpr uint64_t kHorizon = 4000;
+
+  for (uint64_t seed : {11ull, 23ull, 47ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ChaosOptions options;
+    options.seed = seed;
+    options.initial_servers = 4;
+    options.horizon_ops = kHorizon;
+    options.warmup_ops = 200;
+    options.churn_events = 5;
+    options.fault_events = 4;
+    ChaosPlan plan = MakeChaosPlan(options);
+    ASSERT_TRUE(plan.churn.Validate(options.initial_servers).ok());
+
+    CacheCluster cluster(options.initial_servers, kKeys);
+    FrontendClient client(&cluster, nullptr);
+    FaultInjector injector(plan.faults);
+    client.SetFaultInjector(&injector, /*client_id=*/0, FailurePolicy());
+
+    std::unordered_map<uint64_t, uint64_t> shadow;  // overrides only
+    auto expected = [&shadow](uint64_t key) {
+      auto it = shadow.find(key);
+      return it == shadow.end() ? StorageLayer::InitialValue(key)
+                                : it->second;
+    };
+
+    Rng rng(seed ^ 0xC0FFEEULL);
+    size_t next_event = 0;
+    for (uint64_t op = 0; op < kHorizon; ++op) {
+      // Barrier semantics: an event at `at_op` applies once the client has
+      // completed exactly `at_op` operations.
+      while (next_event < plan.churn.events.size() &&
+             plan.churn.events[next_event].at_op == client.op_clock()) {
+        const ChurnEvent& e = plan.churn.events[next_event++];
+        switch (e.action) {
+          case ChurnAction::kAddServer:
+            cluster.AddServer();
+            break;
+          case ChurnAction::kRemoveServer:
+            ASSERT_TRUE(cluster.RemoveServer(e.server).ok());
+            break;
+          case ChurnAction::kRejoinServer:
+            ASSERT_TRUE(cluster.RejoinServer(e.server).ok());
+            break;
+        }
+      }
+      uint64_t key = rng.NextBelow(kKeys);
+      if (rng.NextDouble() < 0.9) {
+        EXPECT_EQ(client.Get(key), expected(key))
+            << "stale read of key " << key << " at op " << op;
+      } else {
+        uint64_t value = 1000000 + op;
+        client.Set(key, value);
+        shadow[key] = value;
+      }
+    }
+    EXPECT_EQ(next_event, plan.churn.events.size())
+        << "every scheduled churn event must fire inside the horizon";
+    EXPECT_GE(client.stats().epoch_mismatches, 1u)
+        << "a cacheless client must observe the fencing after churn";
+    ExpectConservation(client.stats(), "lockstep");
+
+    // Quiesce sweep: read every key once. This (a) re-checks the whole key
+    // space against the shadow and (b) makes every active shard serve a
+    // request, so any shard that ended the run inside a crash window gets
+    // its recovery fence (generation bump) applied before the invariant
+    // sweep below.
+    for (uint64_t key = 0; key < kKeys; ++key) {
+      EXPECT_EQ(client.Get(key), expected(key)) << "sweep, key " << key;
+    }
+    Status invariants = VerifyClusterInvariants(cluster);
+    EXPECT_TRUE(invariants.ok()) << invariants;
+  }
+}
+
+/// Leg 2 — full engine runs over three distinct seeded churn+fault
+/// schedules: zero invariant violations, exact conservation identities,
+/// and exact epoch/topology accounting.
+TEST(ChaosChurnTest, SeededEngineRunsSatisfyConservationIdentities) {
+  for (uint64_t seed : {3ull, 9ull, 27ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ChaosOptions options;
+    options.seed = seed;
+    options.initial_servers = 4;
+    options.horizon_ops = 4000;  // per-client ops below
+    options.warmup_ops = 500;
+    options.churn_events = 4;
+    options.fault_events = 3;
+    ChaosPlan plan = MakeChaosPlan(options);
+
+    ExperimentConfig config = ChaosConfig(/*read_fraction=*/0.9);
+    config.seed = seed;
+    config.churn = plan.churn;
+    config.faults = plan.faults;
+
+    auto result = RunExperiment(config, CotFactory());
+    ASSERT_TRUE(result.ok()) << result.status();
+
+    EXPECT_EQ(result->topology_changes, plan.churn.events.size());
+    EXPECT_EQ(result->routing_epoch, 1 + plan.churn.events.size());
+    EXPECT_EQ(result->final_active_servers,
+              plan.churn.FinalActiveCount(options.initial_servers));
+    EXPECT_GT(result->keys_migrated, 0u)
+        << "chaos churn on a warm tier must migrate keys";
+    EXPECT_EQ(result->aggregate.epoch_mismatches, result->epoch_rejects)
+        << "every shard-side reject must be accounted by exactly one "
+           "client-side mismatch";
+    EXPECT_EQ(result->aggregate.epoch_mismatches,
+              result->aggregate.route_refreshes)
+        << "with the default refresh budget every mismatch refreshes once";
+
+    ExpectConservation(result->aggregate, "aggregate");
+    for (uint32_t c = 0; c < config.num_clients; ++c) {
+      ExpectConservation(result->per_client[c],
+                         "client " + std::to_string(c));
+    }
+  }
+}
+
+/// Leg 3a — determinism, strong form: a read-only chaos run (churn plus
+/// transient/slow faults, preloaded tier) must produce a byte-identical
+/// merged trace and identical per-client stats at any thread count.
+TEST(ChaosChurnTest, ReadOnlyChaosTraceByteIdenticalAcrossThreads) {
+  auto spec = ParseChurnSchedule("add:500,remove:1:1000,rejoin:1:2000,add:3000");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+
+  ExperimentConfig config = ChaosConfig(/*read_fraction=*/1.0);
+  config.churn = *spec;
+  config.trace_capacity = 4096;
+  FaultEvent transient;
+  transient.server = 2;
+  transient.type = FaultType::kTransient;
+  transient.start_op = 600;
+  transient.end_op = 900;
+  transient.probability = 0.5;
+  FaultEvent slow;
+  slow.server = 0;
+  slow.type = FaultType::kSlow;
+  slow.start_op = 1500;
+  slow.end_op = 2500;
+  slow.slow_factor = 4.0;
+  config.faults.events = {transient, slow};
+
+  auto serialize = [](const ExperimentResult& result) {
+    std::string out;
+    for (const metrics::TraceEvent& event : result.trace) {
+      out += metrics::ToJson(event);
+      out += '\n';
+    }
+    return out;
+  };
+
+  config.num_threads = 1;
+  auto serial = RunExperiment(config, CotFactory());
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  EXPECT_EQ(serial->topology_changes, 4u);
+  EXPECT_GT(serial->aggregate.epoch_mismatches, 0u);
+  const std::string golden = serialize(*serial);
+  ASSERT_FALSE(golden.empty());
+
+  for (uint32_t threads : {2u, 4u}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    config.num_threads = threads;
+    auto parallel = RunExperiment(config, CotFactory());
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(serialize(*parallel), golden)
+        << "chaos traces must be byte-identical across thread counts";
+    for (uint32_t c = 0; c < config.num_clients; ++c) {
+      SCOPED_TRACE("client " + std::to_string(c));
+      const FrontendStats& a = serial->per_client[c];
+      const FrontendStats& b = parallel->per_client[c];
+      EXPECT_EQ(a.reads, b.reads);
+      EXPECT_EQ(a.local_hits, b.local_hits);
+      EXPECT_EQ(a.backend_lookups, b.backend_lookups);
+      EXPECT_EQ(a.backend_hits, b.backend_hits)
+          << "read-only preloaded chaos keeps even shard hits exact";
+      EXPECT_EQ(a.epoch_mismatches, b.epoch_mismatches);
+      EXPECT_EQ(a.route_refreshes, b.route_refreshes);
+      EXPECT_EQ(a.failovers, b.failovers);
+      EXPECT_EQ(a.retries, b.retries);
+      EXPECT_EQ(a.slow_ops, b.slow_ops);
+    }
+  }
+}
+
+/// Leg 3b — determinism, mixed form: with updates and a full chaos plan
+/// (crash windows included), the per-client logical counters that depend
+/// only on the client's own stream stay bit-for-bit identical across
+/// thread counts. Shard-content-dependent counters (backend hits, storage
+/// reads) legitimately vary with interleaving and are excluded.
+TEST(ChaosChurnTest, MixedChaosKeepsPerClientLogicalStatsDeterministic) {
+  ChaosOptions options;
+  options.seed = 5;
+  options.initial_servers = 4;
+  options.horizon_ops = 4000;
+  options.warmup_ops = 500;
+  options.churn_events = 4;
+  options.fault_events = 3;
+  ChaosPlan plan = MakeChaosPlan(options);
+
+  ExperimentConfig config = ChaosConfig(/*read_fraction=*/0.9);
+  config.churn = plan.churn;
+  config.faults = plan.faults;
+
+  config.num_threads = 1;
+  auto serial = RunExperiment(config, CotFactory());
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  for (uint32_t threads : {2u, 4u}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    config.num_threads = threads;
+    auto parallel = RunExperiment(config, CotFactory());
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(parallel->topology_changes, serial->topology_changes);
+    EXPECT_EQ(parallel->routing_epoch, serial->routing_epoch);
+    for (uint32_t c = 0; c < config.num_clients; ++c) {
+      SCOPED_TRACE("client " + std::to_string(c));
+      const FrontendStats& a = serial->per_client[c];
+      const FrontendStats& b = parallel->per_client[c];
+      EXPECT_EQ(a.reads, b.reads);
+      EXPECT_EQ(a.updates, b.updates);
+      EXPECT_EQ(a.local_hits, b.local_hits);
+      EXPECT_EQ(a.backend_lookups, b.backend_lookups);
+      EXPECT_EQ(a.epoch_mismatches, b.epoch_mismatches);
+      EXPECT_EQ(a.route_refreshes, b.route_refreshes);
+      EXPECT_EQ(a.invalidations, b.invalidations);
+      EXPECT_EQ(a.lost_invalidations, b.lost_invalidations);
+      EXPECT_EQ(a.failovers, b.failovers);
+      EXPECT_EQ(a.degraded_ops, b.degraded_ops);
+      ExpectConservation(b, "client " + std::to_string(c));
+    }
+  }
+}
+
+/// Churn costs wall-clock in the timed simulator: migration pauses and
+/// epoch-mismatch re-routes are priced, so a churned run's makespan must
+/// exceed the identical static run's.
+TEST(ChaosChurnTest, TimedSimPricesChurn) {
+  ExperimentConfig config = ChaosConfig(/*read_fraction=*/1.0);
+  config.total_ops = 8000;  // 2000 per client
+  sim::LatencyModel model;
+
+  auto still = sim::RunEndToEnd(config, CotFactory(), model);
+  ASSERT_TRUE(still.ok()) << still.status();
+
+  auto spec = ParseChurnSchedule("add:500,remove:1:1000");
+  ASSERT_TRUE(spec.ok());
+  config.churn = *spec;
+  auto churned = sim::RunEndToEnd(config, CotFactory(), model);
+  ASSERT_TRUE(churned.ok()) << churned.status();
+
+  EXPECT_EQ(churned->logical.topology_changes, 2u);
+  EXPECT_EQ(churned->logical.routing_epoch, 3u);
+  EXPECT_GT(churned->logical.keys_migrated, 0u);
+  EXPECT_GT(churned->makespan_us, still->makespan_us)
+      << "migration pauses and mismatch round-trips must cost time";
+}
+
+}  // namespace
+}  // namespace cot::cluster

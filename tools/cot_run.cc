@@ -11,6 +11,7 @@
 //   cot_run --policy lru --distribution uniform --timed
 //   cot_run --trace my_accesses.txt --policy cot --cache-lines 64
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -158,6 +159,18 @@ int RunTool(int argc, char** argv) {
   flags.AddBool("fault-no-cold-recovery", false,
                 "disable the recovery generation bump (demonstrates the "
                 "stale-read hazard; unsafe)");
+  flags.AddString("churn", "",
+                  "topology mutations 'add:AT | remove:SERVER:AT | "
+                  "rejoin:SERVER:AT' (comma-separated) applied when every "
+                  "client reaches AT ops");
+  flags.AddInt64("churn-chaos", 0,
+                 "generate a seeded chaos plan with this many topology "
+                 "mutations (mutually exclusive with --churn)");
+  flags.AddInt64("churn-faults", 4,
+                 "fault windows in the generated chaos plan");
+  flags.AddInt64("churn-seed", 1, "seed for the chaos plan generator");
+  flags.AddInt64("churn-warmup", 0,
+                 "no chaos events before this per-client op count");
   flags.AddString("metrics-out", "",
                   "write run counters/gauges/latency histograms as JSON to "
                   "this file");
@@ -206,6 +219,51 @@ int RunTool(int argc, char** argv) {
   config.failure_policy.breaker_cooldown_ops =
       static_cast<uint64_t>(flags.GetInt64("fault-breaker-cooldown"));
   config.failure_policy.recover_cold = !flags.GetBool("fault-no-cold-recovery");
+
+  const std::string& churn_spec = flags.GetString("churn");
+  int64_t chaos_events = flags.GetInt64("churn-chaos");
+  if (!churn_spec.empty() && chaos_events > 0) {
+    std::fprintf(stderr,
+                 "--churn and --churn-chaos are mutually exclusive\n");
+    return 2;
+  }
+  if (!churn_spec.empty()) {
+    auto churn = cluster::ParseChurnSchedule(churn_spec);
+    if (!churn.ok()) {
+      std::fprintf(stderr, "%s\n", churn.status().ToString().c_str());
+      return 2;
+    }
+    config.churn = std::move(churn).value();
+  } else if (chaos_events > 0) {
+    cluster::ChaosOptions chaos;
+    chaos.seed = static_cast<uint64_t>(flags.GetInt64("churn-seed"));
+    chaos.initial_servers = config.num_servers;
+    chaos.horizon_ops =
+        config.total_ops /
+        std::max<uint64_t>(1, static_cast<uint64_t>(config.num_clients));
+    chaos.warmup_ops = static_cast<uint64_t>(flags.GetInt64("churn-warmup"));
+    chaos.churn_events = static_cast<uint32_t>(chaos_events);
+    chaos.fault_events =
+        static_cast<uint32_t>(flags.GetInt64("churn-faults"));
+    cluster::ChaosPlan plan = cluster::MakeChaosPlan(chaos);
+    config.churn = std::move(plan.churn);
+    // Compose with any explicit fault windows; an untouched --fault-seed
+    // defers to the plan's derived seed so one --churn-seed pins the run.
+    if (config.faults.empty()) {
+      config.faults = std::move(plan.faults);
+    } else {
+      config.faults.events.insert(config.faults.events.end(),
+                                  plan.faults.events.begin(),
+                                  plan.faults.events.end());
+    }
+  }
+  if (!config.churn.empty()) {
+    Status cs = config.churn.Validate(config.num_servers);
+    if (!cs.ok()) {
+      std::fprintf(stderr, "%s\n", cs.ToString().c_str());
+      return 2;
+    }
+  }
 
   const std::string& metrics_out = flags.GetString("metrics-out");
   const std::string& trace_out = flags.GetString("trace-out");
@@ -299,8 +357,29 @@ int RunTool(int argc, char** argv) {
         static_cast<unsigned long long>(a.unavailable_shard_epochs));
   };
 
+  auto print_churn_summary = [&](const cluster::ExperimentResult& r) {
+    if (config.churn.empty()) return;
+    std::printf(
+        "churn: changes %llu  keys migrated %llu  epoch %llu  active "
+        "servers %u\n",
+        static_cast<unsigned long long>(r.topology_changes),
+        static_cast<unsigned long long>(r.keys_migrated),
+        static_cast<unsigned long long>(r.routing_epoch),
+        r.final_active_servers);
+    std::printf(
+        "       epoch mismatches %llu  route refreshes %llu  shard rejects "
+        "%llu\n",
+        static_cast<unsigned long long>(r.aggregate.epoch_mismatches),
+        static_cast<unsigned long long>(r.aggregate.route_refreshes),
+        static_cast<unsigned long long>(r.epoch_rejects));
+  };
+
   std::unique_ptr<cluster::FaultInjector> trace_injector;
   if (trace != nullptr) {
+    if (!config.churn.empty()) {
+      std::fprintf(stderr, "--churn* is not supported in --trace mode\n");
+      return 2;
+    }
     // Trace mode: one client, explicit drive.
     cluster::CacheCluster cluster(config.num_servers, config.key_space);
     cluster::FrontendClient client(&cluster, factory(0));
@@ -381,6 +460,7 @@ int RunTool(int argc, char** argv) {
                 metrics::JainFairnessIndex(
                     result->logical.per_server_lookups));
     print_fault_summary(result->logical.aggregate);
+    print_churn_summary(result->logical);
     if (!EmitObservability(metrics_out, trace_out, result->logical)) return 1;
     return 0;
   }
@@ -403,6 +483,7 @@ int RunTool(int argc, char** argv) {
   }
   std::printf("\n");
   print_fault_summary(result->aggregate);
+  print_churn_summary(*result);
   if (!config.faults.empty()) {
     std::printf("unavailable ops:   ");
     for (uint64_t n : result->unavailable_ops_per_server) {
