@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -161,6 +162,49 @@ void BM_TracerOverhead_Enabled(benchmark::State& state) {
   TracedClientLoop(state, true);
 }
 
+// Amortized per-key cost of the batched read path. Keys are pregenerated
+// (zipfian, same skew as the access benches) so the timed region is pure
+// MultiGet: local probe + shard-grouped fan-out + fills, one lock and one
+// route per shard per batch. Each benchmark iteration consumes ONE key —
+// the batch flushes every `batch` iterations — so the reported time is
+// directly the ns/key a batching driver pays. Arg(1) is the degenerate
+// single-key batch (per-key transport plus batch bookkeeping); the spread
+// to Arg(16)/Arg(64) is the amortization itself.
+void MultiGetLoop(benchmark::State& state, std::unique_ptr<cache::Cache> lc) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  cluster::CacheCluster cluster(8, kKeys);
+  cluster::FrontendClient client(&cluster, std::move(lc));
+  workload::ZipfianGenerator gen(kKeys, 0.99);
+  Rng rng(42);
+  constexpr size_t kPregen = 1 << 20;  // divisible by every batch arg
+  std::vector<cache::Key> keys(kPregen);
+  for (auto& k : keys) k = gen.Next(rng);
+  size_t pos = 0;
+  size_t n = 0;
+  for (auto _ : state) {
+    if (++n == batch) {
+      n = 0;
+      benchmark::DoNotOptimize(
+          client.MultiGet(std::span<const cache::Key>(&keys[pos], batch)));
+      pos = (pos + batch) & (kPregen - 1);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// The full client: a CoT front-end cache absorbs the hot tail and only
+// misses fan out.
+void BM_MultiGetBatch(benchmark::State& state) {
+  MultiGetLoop(state,
+               std::make_unique<core::CotCache>(kLines, 4 * kLines));
+}
+
+// Transport only (no local cache): every key pays routing + the
+// shard-grouped backend visit, so this isolates what batching amortizes.
+void BM_MultiGetTransport(benchmark::State& state) {
+  MultiGetLoop(state, nullptr);
+}
+
 BENCHMARK(BM_LruAccess);
 BENCHMARK(BM_LfuAccess);
 BENCHMARK(BM_ArcAccess);
@@ -174,6 +218,8 @@ BENCHMARK(BM_FlatMapVsUnorderedMap_Flat)->Arg(512)->Arg(32768);
 BENCHMARK(BM_FlatMapVsUnorderedMap_Std)->Arg(512)->Arg(32768);
 BENCHMARK(BM_TracerOverhead_Disabled);
 BENCHMARK(BM_TracerOverhead_Enabled);
+BENCHMARK(BM_MultiGetBatch)->Arg(1)->Arg(16)->Arg(64);
+BENCHMARK(BM_MultiGetTransport)->Arg(1)->Arg(16)->Arg(64);
 
 }  // namespace
 

@@ -1,11 +1,49 @@
 #!/bin/sh
 # Runs every paper-reproduction bench at the given scale, then the
 # google-benchmark microbenches with JSON output for regression tracking.
-# Usage: scripts/run_all_benches.sh [--full]
-# Paper benches get the flags verbatim; microbench results land in
-# BENCH_micro.json at the repo root.
+#
+# Usage: scripts/run_all_benches.sh [--micro-only] [--accept] [bench flags...]
+#   --micro-only  skip the paper benches; record/check microbenches only
+#   --accept      overwrite BENCH_micro.json even if the regression check
+#                 fails (intentional trade-offs; say why in the commit)
+#
+# Everything runs from build-release/ (-O2 -DNDEBUG), configured and built
+# here when missing. Timings from unoptimized builds are meaningless as a
+# trajectory, so the harness refuses to record them: the attestation below
+# reads the repo's own CMAKE_BUILD_TYPE. (The `library_build_type` field
+# google-benchmark emits describes the *benchmark library* — Debian's
+# prebuilt package always reports "debug" — so after recording, that field
+# is re-stamped with the attested build type of the code actually under
+# test.)
 set -e
 cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-release
+MICRO_ONLY=0
+ACCEPT=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --micro-only) MICRO_ONLY=1; shift ;;
+    --accept) ACCEPT=1; shift ;;
+    *) break ;;
+  esac
+done
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  echo "configuring $BUILD_DIR (Release)"
+  cmake -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release > /dev/null
+fi
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")
+case "$BUILD_TYPE" in
+  Release|RelWithDebInfo) ;;
+  *)
+    echo "error: $BUILD_DIR is configured as '${BUILD_TYPE:-<empty>}'," >&2
+    echo "not Release; refusing to record BENCH_micro.json from an" >&2
+    echo "unoptimized build. Reconfigure with -DCMAKE_BUILD_TYPE=Release." >&2
+    exit 1
+    ;;
+esac
+cmake --build "$BUILD_DIR" -j"$(nproc 2>/dev/null || echo 4)" > /dev/null
 
 # google-benchmark binaries reject the paper benches' flags, so they run
 # separately below.
@@ -13,33 +51,62 @@ MICRO_BENCHES="micro_ops parallel_experiment"
 
 is_micro() {
   for m in $MICRO_BENCHES; do
-    [ "$1" = "build/bench/$m" ] && return 0
+    [ "$1" = "$BUILD_DIR/bench/$m" ] && return 0
   done
   return 1
 }
 
-for b in build/bench/*; do
-  [ -f "$b" ] && [ -x "$b" ] || continue
-  if is_micro "$b"; then continue; fi
-  echo "================================================================"
-  echo "$b $*"
-  "$b" "$@"
-done
+if [ "$MICRO_ONLY" = 0 ]; then
+  for b in "$BUILD_DIR"/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    if is_micro "$b"; then continue; fi
+    echo "================================================================"
+    echo "$b $*"
+    "$b" "$@"
+  done
+fi
 
 echo "================================================================"
-echo "microbenches -> BENCH_micro.json"
-: > BENCH_micro.json
+echo "microbenches -> BENCH_micro.new.json"
+NEW=BENCH_micro.new.json
+printf '[\n' > "$NEW"
 first=1
-printf '[\n' > BENCH_micro.json
 for m in $MICRO_BENCHES; do
-  b="build/bench/$m"
+  b="$BUILD_DIR/bench/$m"
   [ -f "$b" ] && [ -x "$b" ] || continue
   out="BENCH_micro.$m.json"
   "$b" --benchmark_format=json --benchmark_out="$out" \
-       --benchmark_out_format=json > /dev/null
-  if [ "$first" = 1 ]; then first=0; else printf ',\n' >> BENCH_micro.json; fi
-  cat "$out" >> BENCH_micro.json
+       --benchmark_out_format=json \
+       --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+       > /dev/null
+  if [ "$first" = 1 ]; then first=0; else printf ',\n' >> "$NEW"; fi
+  cat "$out" >> "$NEW"
   rm -f "$out"
 done
-printf '\n]\n' >> BENCH_micro.json
+printf '\n]\n' >> "$NEW"
+
+# Re-stamp library_build_type with the attested repo build type (see the
+# header comment) so the trajectory records what was actually measured.
+python3 - "$NEW" "$(echo "$BUILD_TYPE" | tr '[:upper:]' '[:lower:]')" <<'EOF'
+import json, sys
+path, build_type = sys.argv[1], sys.argv[2]
+runs = json.load(open(path))
+for run in runs:
+    run["context"]["library_build_type"] = build_type
+json.dump(runs, open(path, "w"), indent=1)
+EOF
+
+if [ -f BENCH_micro.json ]; then
+  echo "regression check vs committed BENCH_micro.json"
+  if python3 tools/check_bench_regression.py BENCH_micro.json "$NEW"; then
+    :
+  elif [ "$ACCEPT" = 1 ]; then
+    echo "regression check failed but --accept given; recording anyway"
+  else
+    echo "error: regression check failed; fresh results left in $NEW" >&2
+    echo "(re-run with --accept to record them anyway)" >&2
+    exit 1
+  fi
+fi
+mv "$NEW" BENCH_micro.json
 echo "wrote BENCH_micro.json"

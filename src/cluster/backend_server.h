@@ -6,6 +6,7 @@
 #include <list>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "cache/cache.h"
@@ -82,6 +83,15 @@ class BackendServer {
     bool existed = false;
   };
 
+  /// Acknowledgement of a fenced batched lookup. Per-key results land in
+  /// the caller's output array; this carries the request-level outcome.
+  struct FencedBatch {
+    ShardStatus status = ShardStatus::kOk;
+    uint64_t shard_epoch = 0;
+    /// Keys served from resident content (the rest were fetched + filled).
+    uint32_t hits = 0;
+  };
+
   /// Creates a shard. `max_items` of 0 means unbounded.
   explicit BackendServer(size_t max_items = 0);
 
@@ -112,6 +122,48 @@ class BackendServer {
   FencedValue Get(Key key, uint64_t client_epoch);
   FencedAck Set(Key key, Value value, uint64_t client_epoch);
   FencedAck Delete(Key key, uint64_t client_epoch);
+
+  /// Fenced batched lookup: one epoch check and ONE acquisition of the
+  /// shard mutex serve the whole sub-batch — the batching of the
+  /// multi-key memcached `get` that amortizes per-request overhead.
+  /// Accounting is identical to `keys.size()` fenced Gets plus a fill Set
+  /// per miss: each key counts one lookup, a resident key counts a hit
+  /// (and an LRU touch), and a miss calls `fetch(key)` — the caller's
+  /// authoritative read — whose value is installed like a client fill
+  /// (counting a set) and returned. `out[i]` receives `keys[i]`'s value.
+  /// On epoch mismatch the batch is rejected atomically: content and
+  /// per-key counters untouched, one mismatch counted (it is one
+  /// request). `fetch` must not call back into this shard.
+  template <typename Fetch>
+  FencedBatch MultiGet(std::span<const Key> keys, uint64_t client_epoch,
+                       Fetch&& fetch, Value* out) {
+    uint64_t hits = 0;
+    uint64_t fills = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (client_epoch != routing_epoch_) {
+        epoch_mismatch_count_.fetch_add(1, std::memory_order_relaxed);
+        return FencedBatch{ShardStatus::kEpochMismatch, routing_epoch_, 0};
+      }
+      for (size_t i = 0; i < keys.size(); ++i) {
+        auto it = store_.find(keys[i]);
+        if (it != store_.end()) {
+          ++hits;
+          TouchLru(keys[i], it);
+          out[i] = it->second.value;
+        } else {
+          ++fills;
+          out[i] = fetch(keys[i]);
+          SetLocked(keys[i], out[i]);
+        }
+      }
+    }
+    lookup_count_.fetch_add(keys.size(), std::memory_order_relaxed);
+    hit_count_.fetch_add(hits, std::memory_order_relaxed);
+    set_count_.fetch_add(fills, std::memory_order_relaxed);
+    return FencedBatch{ShardStatus::kOk, client_epoch,
+                       static_cast<uint32_t>(hits)};
+  }
 
   /// Stamps the shard with the cluster's routing epoch (topology mutations
   /// only; serialized by the cluster's exclusive topology lock).

@@ -29,8 +29,16 @@ CacheCluster::CacheCluster(uint32_t num_servers, uint64_t key_space_size,
     servers_.back()->Reserve(reserve);
     servers_.back()->SetRoutingEpoch(routing_epoch_);
   }
-  snapshot_ = std::make_shared<RingSnapshot>(RingSnapshot{routing_epoch_,
-                                                          ring_});
+  snapshot_.store(MakeSnapshotLocked(), std::memory_order_release);
+}
+
+std::shared_ptr<const CacheCluster::RingSnapshot>
+CacheCluster::MakeSnapshotLocked() const {
+  std::vector<BackendServer*> shards;
+  shards.reserve(servers_.size());
+  for (const auto& s : servers_) shards.push_back(s.get());
+  return std::make_shared<RingSnapshot>(
+      RingSnapshot{routing_epoch_, ring_, std::move(shards)});
 }
 
 BackendServer& CacheCluster::server(ServerId id) {
@@ -60,8 +68,16 @@ ServerId CacheCluster::OwnerOf(uint64_t key) const {
 
 std::shared_ptr<const CacheCluster::RingSnapshot> CacheCluster::ring_snapshot()
     const {
+  // Lock-free: the publication slot is replaced atomically, so a reader
+  // racing a topology mutation gets the complete pre-mutation view (whose
+  // requests the epoch fence rejects), never a torn one.
+  return snapshot_.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<const CacheCluster::RingSnapshot>
+CacheCluster::ring_snapshot_synced() const {
   std::shared_lock<std::shared_mutex> lock(topology_mu_);
-  return snapshot_;
+  return snapshot_.load(std::memory_order_acquire);
 }
 
 uint64_t CacheCluster::routing_epoch() const {
@@ -128,9 +144,9 @@ void CacheCluster::ApplyTopologyChangeLocked(Mutate&& mutate) {
   //    can see the new epoch.
   MigrateMisownedKeysLocked();
   // 4. Publish: clients refreshing their route view from here on get the
-  //    new epoch and a ring whose owners already hold their keys.
-  snapshot_ = std::make_shared<RingSnapshot>(RingSnapshot{routing_epoch_,
-                                                          ring_});
+  //    new epoch and a ring whose owners already hold their keys. Release
+  //    ordering pairs with the acquire load in ring_snapshot().
+  snapshot_.store(MakeSnapshotLocked(), std::memory_order_release);
   ++topology_changes_;
   mutation_in_flight_.store(false, std::memory_order_relaxed);
 }

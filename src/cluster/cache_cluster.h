@@ -22,10 +22,12 @@ namespace cot::cluster {
 /// `BackendServer`; the *topology* (ring, shard vector, active flags,
 /// generations) is guarded by a reader-writer lock so membership changes
 /// (`AddServer`/`RemoveServer`/`RejoinServer`) are safe against in-flight
-/// client traffic. Clients route and fetch shard references through
-/// `OwnerOf`/`server` (shared lock); topology mutations take the lock
-/// exclusively. Shard objects live behind `unique_ptr`, so a reference
-/// obtained under the shared lock stays valid across concurrent
+/// client traffic. Clients never touch that lock on the serving path: they
+/// route and dereference shards through an immutable `RingSnapshot` read
+/// lock-free from an atomic publication slot; the lock is reserved for
+/// topology mutations (exclusive) and cold administrative reads (shared).
+/// Shard objects live behind `unique_ptr` and are never destroyed, so a
+/// `BackendServer*` captured in any snapshot stays valid across concurrent
 /// `AddServer` vector growth. The bare `ring()` accessor remains for
 /// serial phases (preload, tests) and must not race a topology change —
 /// enforced by a debug assertion.
@@ -43,12 +45,17 @@ namespace cot::cluster {
 /// exists before the new owners hold their keys.
 class CacheCluster {
  public:
-  /// An immutable, shareable view of the routing state: the epoch and the
-  /// ring as of that epoch. Clients cache one and route against it without
-  /// taking the topology lock per operation.
+  /// An immutable, shareable view of the routing state: the epoch, the
+  /// ring as of that epoch, and direct shard pointers. Clients cache one
+  /// and route against it without taking the topology lock per operation —
+  /// including the shard dereference itself: shards are never destroyed
+  /// (only deactivated), so the pointers stay valid for the cluster's
+  /// lifetime, and any `ServerId` produced by `ring` indexes `servers`.
   struct RingSnapshot {
     uint64_t epoch = 0;
     ConsistentHashRing ring;
+    /// Every shard ever created (active or not), indexed by ServerId.
+    std::vector<BackendServer*> servers;
   };
 
   /// Handoff/identity counters (see `topology_stats()`).
@@ -83,11 +90,17 @@ class CacheCluster {
   /// The shard currently owning `key` on the ring (topology-safe routing).
   ServerId OwnerOf(uint64_t key) const;
 
-  /// The current routing view. Cheap to call (shared lock + shared_ptr
-  /// copy); blocks only while a topology mutation is in flight, which is
-  /// exactly when a refreshing client must wait for the new owners to be
-  /// warm.
+  /// The current routing view, read lock-free from the atomic publication
+  /// slot (wait-free on the reader side; never blocks, even while a
+  /// topology mutation is in flight — a concurrent reader simply gets the
+  /// pre-mutation view, whose requests the epoch fence will reject).
   std::shared_ptr<const RingSnapshot> ring_snapshot() const;
+
+  /// The current routing view, synchronized with topology mutations: blocks
+  /// while one is in flight, which is exactly when a client refreshing
+  /// after a fenced rejection must wait for the new owners to be warm.
+  /// Cold path only (refresh-after-mismatch, construction).
+  std::shared_ptr<const RingSnapshot> ring_snapshot_synced() const;
 
   /// Current routing epoch.
   uint64_t routing_epoch() const;
@@ -162,6 +175,10 @@ class CacheCluster {
   template <typename Mutate>
   void ApplyTopologyChangeLocked(Mutate&& mutate);
 
+  /// Builds an immutable snapshot of the current routing state. Caller
+  /// holds `topology_mu_` (shared suffices; exclusive during mutations).
+  std::shared_ptr<const RingSnapshot> MakeSnapshotLocked() const;
+
   /// Moves every resident key to its current ring owner: misowned keys are
   /// extracted from their old shard, re-read from storage, and adopted by
   /// the owner. O(total items). Caller holds `topology_mu_` exclusively.
@@ -178,7 +195,10 @@ class CacheCluster {
   uint64_t routing_epoch_ = 1;
   uint64_t topology_changes_ = 0;
   uint64_t keys_migrated_ = 0;
-  std::shared_ptr<const RingSnapshot> snapshot_;
+  // Atomic publication slot: writers replace it under topology_mu_
+  // (exclusive) with release ordering after migration completes; readers
+  // load it lock-free with acquire ordering (ring_snapshot()).
+  std::atomic<std::shared_ptr<const RingSnapshot>> snapshot_;
   // True only inside a topology mutation; backs the ring() debug assert.
   std::atomic<bool> mutation_in_flight_{false};
   StorageLayer storage_;

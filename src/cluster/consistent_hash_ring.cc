@@ -29,6 +29,28 @@ void ConsistentHashRing::SortPoints() {
               if (a.position != b.position) return a.position < b.position;
               return a.server < b.server;
             });
+  RebuildIndex();
+}
+
+void ConsistentHashRing::RebuildIndex() {
+  // One bucket per point (rounded up to a power of two, capped at 2^20)
+  // keeps the expected scan in ServerFor at a single point while the
+  // index stays a small multiple of the point array.
+  uint32_t pow = 1;
+  while ((size_t{1} << pow) < points_.size() && pow < 20) ++pow;
+  shift_ = 64 - pow;
+  const size_t buckets = size_t{1} << pow;
+  bucket_start_.assign(buckets + 1, static_cast<uint32_t>(points_.size()));
+  for (size_t i = points_.size(); i-- > 0;) {
+    bucket_start_[points_[i].position >> shift_] = static_cast<uint32_t>(i);
+  }
+  // bucket_start_[b] = first index whose bucket is >= b (empty buckets
+  // borrow their successor's start).
+  for (size_t b = buckets; b-- > 0;) {
+    if (bucket_start_[b] > bucket_start_[b + 1]) {
+      bucket_start_[b] = bucket_start_[b + 1];
+    }
+  }
 }
 
 bool ConsistentHashRing::Contains(ServerId id) const {
@@ -67,17 +89,20 @@ Status ConsistentHashRing::RemoveServer(ServerId id) {
                                [&](const Point& p) { return p.server == id; }),
                 points_.end());
   --active_count_;
+  RebuildIndex();
   return Status::OK();
 }
 
 ServerId ConsistentHashRing::ServerFor(uint64_t key) const {
   assert(!points_.empty());
   uint64_t h = Mix64(key);
-  auto it = std::lower_bound(
-      points_.begin(), points_.end(), h,
-      [](const Point& p, uint64_t value) { return p.position < value; });
-  if (it == points_.end()) it = points_.begin();  // wrap around
-  return it->server;
+  // Jump to h's bucket, then walk to the first point clockwise of h. No
+  // point is skipped: everything before bucket_start_[b] lies in an
+  // earlier bucket, i.e. strictly below h's bucket start.
+  size_t i = bucket_start_[h >> shift_];
+  while (i < points_.size() && points_[i].position < h) ++i;
+  if (i == points_.size()) i = 0;  // wrap around
+  return points_[i].server;
 }
 
 std::vector<double> ConsistentHashRing::OwnershipFractions() const {

@@ -73,11 +73,22 @@ class ConsistentHashRing {
 
   void InsertPointsFor(ServerId id);
   void SortPoints();
+  /// Rebuilds the bucket index below after any point mutation.
+  void RebuildIndex();
 
   uint32_t virtual_nodes_;
   uint32_t server_count_ = 0;  // id space (never shrinks)
   uint32_t active_count_ = 0;  // servers with points on the ring
   std::vector<Point> points_;  // sorted by position
+  // Lookup accelerator: the hash space is cut into ~|points_| equal
+  // buckets (a power of two; `shift_` maps a hash to its bucket) and
+  // `bucket_start_[b]` holds the index of the first point at or past
+  // bucket b's start. ServerFor then scans forward an expected O(1)
+  // points instead of binary-searching the whole ring — the difference
+  // between ~17 cache-missing probes and ~2 loads at the default
+  // 16384 virtual nodes per server.
+  std::vector<uint32_t> bucket_start_;
+  uint32_t shift_ = 63;
 };
 
 }  // namespace cot::cluster

@@ -46,17 +46,39 @@ void PreloadBackend(CacheCluster& cluster, uint64_t key_space,
 /// stream or completed exactly `limit` operations. `limit` is the churn
 /// barrier: pausing every client at the same point of its own logical
 /// clock is what makes mid-run topology mutations deterministic at any
-/// thread count.
+/// thread count. With `batch_size` > 1, each client turn issues a run of
+/// up to `batch_size` consecutive reads as one MultiGet (never crossing
+/// `limit` — a batch counts one op per key on the clock); an update is
+/// applied singly, flushing any shorter read run before it.
 void DriveClientsUntil(const std::vector<uint32_t>& owned,
                        std::vector<std::unique_ptr<FrontendClient>>& clients,
                        std::vector<workload::OpStream>& streams,
-                       uint64_t limit) {
+                       uint64_t limit, uint32_t batch_size) {
+  std::vector<cache::Key> batch;
+  if (batch_size > 1) batch.reserve(batch_size);
   bool progressed = true;
   while (progressed) {
     progressed = false;
     for (uint32_t i : owned) {
       if (streams[i].Done() || clients[i]->op_clock() >= limit) continue;
-      clients[i]->Apply(streams[i].Next());
+      if (batch_size > 1) {
+        batch.clear();
+        uint64_t room = limit - clients[i]->op_clock();
+        while (batch.size() < batch_size && batch.size() < room &&
+               !streams[i].Done() &&
+               streams[i].Peek().type == workload::OpType::kRead) {
+          batch.push_back(streams[i].Next().key);
+        }
+        if (!batch.empty()) {
+          clients[i]->MultiGet(batch);
+        } else {
+          // The next op is an update (or the stream just ended at the
+          // peek): apply it singly.
+          clients[i]->Apply(streams[i].Next());
+        }
+      } else {
+        clients[i]->Apply(streams[i].Next());
+      }
       progressed = true;
     }
   }
@@ -290,10 +312,11 @@ StatusOr<ExperimentResult> RunExperiment(
     std::vector<uint32_t> all(config.num_clients);
     for (uint32_t i = 0; i < config.num_clients; ++i) all[i] = i;
     for (const ChurnEventGroup& group : groups) {
-      DriveClientsUntil(all, clients, streams, group.at_op);
+      DriveClientsUntil(all, clients, streams, group.at_op,
+                        config.batch_size);
       ApplyChurnGroup(group, cluster, controller_tracer.get());
     }
-    DriveClientsUntil(all, clients, streams, UINT64_MAX);
+    DriveClientsUntil(all, clients, streams, UINT64_MAX, config.batch_size);
   } else {
     // Client i runs on thread i % T. Each client's cache, stream, and stats
     // are private to its thread; only the shared back-end (thread-safe) is
@@ -306,12 +329,14 @@ StatusOr<ExperimentResult> RunExperiment(
     ChurnBarrier barrier(num_threads);
     auto drive = [&](const std::vector<uint32_t>& mine) {
       for (const ChurnEventGroup& group : groups) {
-        DriveClientsUntil(mine, clients, streams, group.at_op);
+        DriveClientsUntil(mine, clients, streams, group.at_op,
+                          config.batch_size);
         barrier.ArriveAndWait([&] {
           ApplyChurnGroup(group, cluster, controller_tracer.get());
         });
       }
-      DriveClientsUntil(mine, clients, streams, UINT64_MAX);
+      DriveClientsUntil(mine, clients, streams, UINT64_MAX,
+                        config.batch_size);
     };
     std::vector<std::thread> workers;
     workers.reserve(num_threads);

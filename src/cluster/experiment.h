@@ -67,6 +67,14 @@ struct ExperimentConfig {
   /// are validated against `churn.MaxServerCount(num_servers)`, letting
   /// faults target shards that only exist after mid-run growth.
   ChurnSchedule churn;
+  /// Batched reads: runs of up to `batch_size` consecutive read ops from
+  /// a client's stream are issued as one `FrontendClient::MultiGet`
+  /// (grouped by owning shard, one shard request per sub-batch); an
+  /// update flushes the pending run first. 1 (or 0) = the classic
+  /// per-op path. The logical results are unchanged — batching amortizes
+  /// transport (locks, fault draws, epoch checks), it does not reorder
+  /// the stream.
+  uint32_t batch_size = 1;
   /// Structured event tracing: ring-buffer slots retained *per client*
   /// (resizer decisions, epoch boundaries, breaker transitions, fault
   /// activations, retry episodes). 0 — the default — disables tracing

@@ -32,19 +32,22 @@ void FrontendStats::Add(const FrontendStats& other) {
 FrontendClient::FrontendClient(CacheCluster* cluster,
                                std::unique_ptr<cache::Cache> local_cache)
     : cluster_(cluster),
-      snapshot_(cluster->ring_snapshot()),
+      snapshot_(cluster->ring_snapshot_synced()),
       local_cache_(std::move(local_cache)),
-      epoch_lookups_(cluster->server_count(), 0),
-      cumulative_lookups_(cluster->server_count(), 0),
-      failed_ops_per_server_(cluster->server_count(), 0),
-      epoch_shard_unavailable_(cluster->server_count(), 0),
-      breakers_(cluster->server_count()) {
+      epoch_lookups_(snapshot_->servers.size(), 0),
+      cumulative_lookups_(snapshot_->servers.size(), 0),
+      failed_ops_per_server_(snapshot_->servers.size(), 0),
+      epoch_shard_unavailable_(snapshot_->servers.size(), 0),
+      breakers_(snapshot_->servers.size()) {
   assert(cluster != nullptr);
   cot_cache_ = dynamic_cast<core::CotCache*>(local_cache_.get());
 }
 
 void FrontendClient::RefreshRouteView() {
-  snapshot_ = cluster_->ring_snapshot();
+  // Synced variant: a refresh happens because a fenced rejection proved the
+  // view stale, so block until the in-flight mutation (if any) has finished
+  // migrating — the refreshed view's owners are then warm.
+  snapshot_ = cluster_->ring_snapshot_synced();
   EnsureServerVectors();
 }
 
@@ -85,7 +88,11 @@ Status FrontendClient::EnableElasticResizing(
 }
 
 void FrontendClient::EnsureServerVectors() {
-  size_t n = cluster_->server_count();
+  // Sized from the cached snapshot (lock-free): every ServerId the ring
+  // path can produce comes from that snapshot, so its server count bounds
+  // them all. Only the router path can hand out ids beyond it — covered by
+  // EnsureServerCapacity.
+  size_t n = snapshot_->servers.size();
   if (epoch_lookups_.size() < n) {
     epoch_lookups_.resize(n, 0);
     cumulative_lookups_.resize(n, 0);
@@ -93,6 +100,16 @@ void FrontendClient::EnsureServerVectors() {
     epoch_shard_unavailable_.resize(n, 0);
     breakers_.resize(n);
   }
+}
+
+void FrontendClient::EnsureServerCapacity(ServerId sid) {
+  if (sid < epoch_lookups_.size()) return;
+  size_t n = std::max<size_t>(sid + 1, cluster_->server_count());
+  epoch_lookups_.resize(n, 0);
+  cumulative_lookups_.resize(n, 0);
+  failed_ops_per_server_.resize(n, 0);
+  epoch_shard_unavailable_.resize(n, 0);
+  breakers_.resize(n);
 }
 
 bool FrontendClient::BreakerBlocks(ServerId sid, uint64_t now) const {
@@ -251,9 +268,10 @@ void FrontendClient::DeliverInvalidationFenced(
       }
       MaybeRecoverShard(sid, now);
     }
-    BackendServer::FencedAck ack =
-        value.has_value() ? cluster_->server(sid).Set(key, *value, epoch)
-                          : cluster_->server(sid).Delete(key, epoch);
+    BackendServer& shard = *snapshot_->servers[sid];
+    BackendServer::FencedAck ack = value.has_value()
+                                       ? shard.Set(key, *value, epoch)
+                                       : shard.Delete(key, epoch);
     if (ack.status == BackendServer::ShardStatus::kEpochMismatch) {
       NoteEpochMismatch(sid, epoch, ack.shard_epoch, now, outcome);
       if (refreshes >= failure_policy_.max_route_refreshes) {
@@ -280,7 +298,6 @@ void FrontendClient::DeliverInvalidationFenced(
 
 cache::Value FrontendClient::GetImpl(Key key, OpOutcome* outcome) {
   const uint64_t now = op_clock_++;
-  EnsureServerVectors();
   ++stats_.reads;
   if (local_cache_ != nullptr) {
     std::optional<Value> local = local_cache_->Get(key);
@@ -296,6 +313,7 @@ cache::Value FrontendClient::GetImpl(Key key, OpOutcome* outcome) {
     // is the router's business, not the ring's, so requests use the
     // legacy unfenced shard ops.
     ServerId sid = router_->Route(key);
+    EnsureServerCapacity(sid);
     if (fault_injector_ != nullptr) {
       if (BreakerBlocks(sid, now)) {
         // Degraded mode: the breaker is open, so the shard is skipped
@@ -351,35 +369,42 @@ cache::Value FrontendClient::GetImpl(Key key, OpOutcome* outcome) {
   }
   // Ring path: route with the cached snapshot, stamp the request with its
   // epoch, and on a fenced rejection refresh-and-reroute (bounded).
+  Value value = RingFetch(key, now, outcome);
+  if (local_cache_ != nullptr) local_cache_->Put(key, value);
+  OnOperation();
+  return value;
+}
+
+cache::Value FrontendClient::RingFetch(Key key, uint64_t now,
+                                       OpOutcome* outcome) {
   uint32_t refreshes = 0;
   for (;;) {
     const ServerId sid = snapshot_->ring.ServerFor(key);
     const uint64_t epoch = snapshot_->epoch;
     if (fault_injector_ != nullptr) {
       if (BreakerBlocks(sid, now)) {
+        // Degraded mode: the breaker is open, so the shard is skipped
+        // entirely and storage serves the read. The shard is not filled
+        // (we never confirmed it is reachable).
         ++stats_.degraded_ops;
         ++failed_ops_per_server_[sid];
         epoch_shard_unavailable_[sid] = 1;
         ++stats_.storage_reads;
         outcome->degraded = true;
         outcome->storage_accessed = true;
-        Value value = cluster_->storage().Get(key);
-        if (local_cache_ != nullptr) local_cache_->Put(key, value);
-        OnOperation();
-        return value;
+        return cluster_->storage().Get(key);
       }
       if (!TryDeliver(sid, now, outcome)) {
         ++stats_.failovers;
         ++stats_.storage_reads;
         outcome->storage_accessed = true;
-        Value value = cluster_->storage().Get(key);
-        if (local_cache_ != nullptr) local_cache_->Put(key, value);
-        OnOperation();
-        return value;
+        return cluster_->storage().Get(key);
       }
       MaybeRecoverShard(sid, now);
     }
-    BackendServer::FencedValue reply = cluster_->server(sid).Get(key, epoch);
+    // The snapshot's shard pointer: no topology lock on the serving path.
+    BackendServer& shard = *snapshot_->servers[sid];
+    BackendServer::FencedValue reply = shard.Get(key, epoch);
     if (reply.status == BackendServer::ShardStatus::kEpochMismatch) {
       NoteEpochMismatch(sid, epoch, reply.shard_epoch, now, outcome);
       if (refreshes >= failure_policy_.max_route_refreshes) {
@@ -388,10 +413,7 @@ cache::Value FrontendClient::GetImpl(Key key, OpOutcome* outcome) {
         ++stats_.failovers;
         ++stats_.storage_reads;
         outcome->storage_accessed = true;
-        Value value = cluster_->storage().Get(key);
-        if (local_cache_ != nullptr) local_cache_->Put(key, value);
-        OnOperation();
-        return value;
+        return cluster_->storage().Get(key);
       }
       ++refreshes;
       ++stats_.route_refreshes;
@@ -413,19 +435,204 @@ cache::Value FrontendClient::GetImpl(Key key, OpOutcome* outcome) {
       ++stats_.storage_reads;
       outcome->storage_accessed = true;
       value = cluster_->storage().Get(key);
-      cluster_->server(sid).Set(key, *value, epoch);
+      shard.Set(key, *value, epoch);
     }
-    if (local_cache_ != nullptr) {
-      local_cache_->Put(key, *value);
-    }
-    OnOperation();
     return *value;
   }
 }
 
+std::vector<cache::Value> FrontendClient::MultiGet(std::span<const Key> keys) {
+  std::vector<Value> out(keys.size());
+  if (keys.empty()) return out;
+  if (router_ != nullptr) {
+    // Custom routers own replica placement; the batch transport is a
+    // ring-path optimization, so router clients fall back to per-key Gets.
+    for (size_t i = 0; i < keys.size(); ++i) out[i] = Get(keys[i]);
+    return out;
+  }
+  // Transport-level events (fault draws, breaker cooldowns, traces) key
+  // off the batch-entry clock; logically the batch is still one op per
+  // key, so the clock advances by the batch size.
+  const uint64_t now = op_clock_;
+  op_clock_ += keys.size();
+  stats_.reads += keys.size();
+  OpOutcome outcome;  // transport bookkeeping sink (TryDeliver/mismatch)
+
+  // 1. Local probes, all keys, in key order. A duplicate of a key that
+  // already missed in this batch is *deferred*, not probed: sequentially
+  // its probe would run after the first occurrence's fill, so it re-probes
+  // in phase 3 once that fill has been applied. (Cacheless clients skip
+  // the dedup — each duplicate costs a backend lookup sequentially too,
+  // and the shard processes a sub-batch in key order, so sending both
+  // occurrences reproduces that exactly.)
+  std::vector<BatchPending>& pending = batch_pending_;
+  std::vector<uint32_t>& miss_slots = batch_miss_slots_;
+  std::vector<uint32_t>& deferred_slots = batch_deferred_slots_;
+  pending.clear();
+  miss_slots.clear();
+  deferred_slots.clear();
+  batch_missed_.clear();  // key -> first miss slot
+  uint32_t local_hits = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (local_cache_ != nullptr) {
+      if (batch_missed_.contains(keys[i])) {
+        deferred_slots.push_back(static_cast<uint32_t>(i));
+        continue;
+      }
+      std::optional<Value> local = local_cache_->Get(keys[i]);
+      if (local.has_value()) {
+        out[i] = *local;
+        ++local_hits;
+        continue;
+      }
+      batch_missed_.find_or_insert(keys[i]).first->second =
+          static_cast<uint32_t>(i);
+    }
+    pending.push_back(BatchPending{keys[i], static_cast<uint32_t>(i), 0});
+    miss_slots.push_back(static_cast<uint32_t>(i));
+  }
+  stats_.local_hits += local_hits;
+
+  // 2. Fan out the misses: sub-batches by owning shard, ascending
+  // ServerId, key order preserved within each shard.
+  uint32_t sub_batches = 0;
+  uint32_t backend_keys = 0;
+  uint32_t refreshes = 0;
+  std::vector<Key>& group_keys = batch_group_keys_;
+  std::vector<Value>& group_values = batch_group_values_;
+  std::vector<BatchPending>& rejected = batch_rejected_;
+  while (!pending.empty()) {
+    const uint64_t epoch = snapshot_->epoch;
+    for (BatchPending& p : pending) p.sid = snapshot_->ring.ServerFor(p.key);
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const BatchPending& a, const BatchPending& b) {
+                       return a.sid < b.sid;
+                     });
+    rejected.clear();
+    size_t i = 0;
+    while (i < pending.size()) {
+      size_t j = i;
+      while (j < pending.size() && pending[j].sid == pending[i].sid) ++j;
+      const ServerId sid = pending[i].sid;
+      const size_t count = j - i;
+      ++sub_batches;
+      bool to_storage = false;
+      if (fault_injector_ != nullptr) {
+        if (BreakerBlocks(sid, now)) {
+          // Degraded mode: the whole sub-batch skips the shard; every
+          // read it carried is served from storage.
+          stats_.degraded_ops += count;
+          ++failed_ops_per_server_[sid];
+          epoch_shard_unavailable_[sid] = 1;
+          to_storage = true;
+        } else if (!TryDeliver(sid, now, &outcome)) {
+          // One fault draw per sub-batch: the batch is one request on the
+          // wire, so it fails (and retries) as a unit.
+          stats_.failovers += count;
+          to_storage = true;
+        } else {
+          MaybeRecoverShard(sid, now);
+        }
+      }
+      if (to_storage) {
+        for (size_t k = i; k < j; ++k) {
+          ++stats_.storage_reads;
+          out[pending[k].slot] = cluster_->storage().Get(pending[k].key);
+        }
+        i = j;
+        continue;
+      }
+      group_keys.clear();
+      for (size_t k = i; k < j; ++k) group_keys.push_back(pending[k].key);
+      group_values.resize(count);
+      BackendServer::FencedBatch ack = snapshot_->servers[sid]->MultiGet(
+          std::span<const Key>(group_keys.data(), group_keys.size()), epoch,
+          [&](Key key) {
+            // Authoritative fetch-on-miss; the shard installs the value
+            // like a client fill.
+            ++stats_.storage_reads;
+            return cluster_->storage().Get(key);
+          },
+          group_values.data());
+      if (ack.status == BackendServer::ShardStatus::kEpochMismatch) {
+        NoteEpochMismatch(sid, epoch, ack.shard_epoch, now, &outcome);
+        for (size_t k = i; k < j; ++k) rejected.push_back(pending[k]);
+        i = j;
+        continue;
+      }
+      epoch_lookups_[sid] += count;
+      cumulative_lookups_[sid] += count;
+      stats_.backend_lookups += count;
+      stats_.backend_hits += ack.hits;
+      backend_keys += static_cast<uint32_t>(count);
+      for (size_t k = i; k < j; ++k) {
+        out[pending[k].slot] = group_values[k - i];
+      }
+      i = j;
+    }
+    if (rejected.empty()) break;
+    if (refreshes >= failure_policy_.max_route_refreshes) {
+      // Refresh budget exhausted (churn storm): storage is authoritative,
+      // so the still-rejected keys fail over rather than chase the ring.
+      for (const BatchPending& p : rejected) {
+        ++stats_.failovers;
+        ++stats_.storage_reads;
+        out[p.slot] = cluster_->storage().Get(p.key);
+      }
+      break;
+    }
+    ++refreshes;
+    ++stats_.route_refreshes;
+    RefreshRouteView();
+    // Regroup in key order so the retry fan-out is deterministic too.
+    std::sort(rejected.begin(), rejected.end(),
+              [](const BatchPending& a, const BatchPending& b) {
+                return a.slot < b.slot;
+              });
+    pending.swap(rejected);
+  }
+
+  // 3. Offer every fetched value to the local cache — the same fills N
+  // sequential Gets would have made, just after the fan-out. Deferred
+  // duplicate slots interleave in key order: each re-probes the cache
+  // exactly where its sequential Get would have (after the first
+  // occurrence's fill, before later fills), and on a re-probe miss — the
+  // fill was declined or already evicted — pays the same per-key backend
+  // fetch the sequential Get would pay.
+  if (local_cache_ != nullptr) {
+    size_t mi = 0;
+    size_t di = 0;
+    while (mi < miss_slots.size() || di < deferred_slots.size()) {
+      if (di >= deferred_slots.size() ||
+          (mi < miss_slots.size() && miss_slots[mi] < deferred_slots[di])) {
+        const uint32_t slot = miss_slots[mi++];
+        local_cache_->Put(keys[slot], out[slot]);
+      } else {
+        const uint32_t slot = deferred_slots[di++];
+        std::optional<Value> local = local_cache_->Get(keys[slot]);
+        if (local.has_value()) {
+          out[slot] = *local;
+          ++stats_.local_hits;
+          ++local_hits;
+        } else {
+          out[slot] = RingFetch(keys[slot], now, &outcome);
+          local_cache_->Put(keys[slot], out[slot]);
+          ++backend_keys;
+        }
+      }
+    }
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(now, metrics::BatchLookupPayload{
+                             static_cast<uint32_t>(keys.size()), local_hits,
+                             sub_batches, backend_keys});
+  }
+  for (size_t i = 0; i < keys.size(); ++i) OnOperation();
+  return out;
+}
+
 void FrontendClient::SetImpl(Key key, Value value, OpOutcome* outcome) {
   const uint64_t now = op_clock_++;
-  EnsureServerVectors();
   ++stats_.updates;
   cluster_->storage().Set(key, value);
   outcome->storage_accessed = true;
@@ -457,6 +664,7 @@ void FrontendClient::SetImpl(Key key, Value value, OpOutcome* outcome) {
     // The update must reach every replica of the key (the router owns
     // replica placement, so targets come from it, unfenced).
     for (ServerId sid : router_->AllReplicas(key)) {
+      EnsureServerCapacity(sid);
       DeliverInvalidation(sid, key, shard_value, now, outcome);
     }
   } else {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "cache/cache.h"
@@ -13,6 +14,7 @@
 #include "core/cot_cache.h"
 #include "core/elastic_resizer.h"
 #include "metrics/event_tracer.h"
+#include "util/flat_hash_map.h"
 #include "util/status.h"
 #include "workload/types.h"
 
@@ -222,6 +224,22 @@ class FrontendClient {
   /// shard failure degrades to a storage read rather than failing the op.
   Value Get(Key key);
 
+  /// Batched read path — the multi-key `get` of the memcached protocol.
+  /// Logically equivalent to `keys.size()` sequential `Get`s (same local
+  /// probes and fills, same per-key shard/load accounting, op clock +1
+  /// per key, every key always served), but the transport is amortized:
+  /// local-cache misses are grouped by owning shard and each group is
+  /// delivered as ONE fenced shard request — one mutex acquisition, one
+  /// fault draw, one epoch check per sub-batch instead of per key.
+  /// Local probes run for all keys at batch entry in key order;
+  /// sub-batches are issued in ascending ServerId; local-cache fills
+  /// happen after the fan-out, again in key order — so the client's
+  /// logical behaviour stays a pure function of its own request stream.
+  /// Fenced rejections refresh-and-regroup the affected keys (bounded by
+  /// `FailurePolicy::max_route_refreshes`, then storage failover).
+  /// Returns the values in key order.
+  std::vector<Value> MultiGet(std::span<const Key> keys);
+
   /// Update path (invalidate local + shard, write storage).
   void Set(Key key, Value value);
 
@@ -298,8 +316,19 @@ class FrontendClient {
 
   Value GetImpl(Key key, OpOutcome* outcome);
   void SetImpl(Key key, Value value, OpOutcome* outcome);
-  /// Grows the per-server counter vectors when the cluster adds shards.
+  /// Ring-path backend transport for one read at logical time `now`:
+  /// fault draws, fenced lookup, bounded refresh-and-reroute, storage
+  /// failover. Updates every transport counter but never touches the
+  /// local cache or the resizer clock — callers fill and tick. Shared by
+  /// the per-key read path and MultiGet's deferred duplicate re-fetch.
+  Value RingFetch(Key key, uint64_t now, OpOutcome* outcome);
+  /// Grows the per-server counter vectors to cover the cached route view
+  /// (lock-free; constructor and RefreshRouteView only — the per-op paths
+  /// never touch the cluster's topology lock).
   void EnsureServerVectors();
+  /// Router-path guard: grows the counter vectors to cover `sid`, which a
+  /// custom router may mint beyond the cached snapshot's server count.
+  void EnsureServerCapacity(ServerId sid);
 
   /// True if the breaker currently blocks requests to `sid` (open and not
   /// yet due for a half-open probe).
@@ -361,6 +390,23 @@ class FrontendClient {
   std::vector<Breaker> breakers_;
   FrontendStats stats_;
   uint64_t update_version_ = 1;
+
+  /// One read still owed a backend visit after the local probe phase.
+  struct BatchPending {
+    Key key;
+    uint32_t slot;  // index into the batch's keys/out arrays
+    ServerId sid;
+  };
+  // MultiGet scratch, reused across calls so a batched driver pays zero
+  // steady-state allocations per batch (the client is single-threaded, so
+  // plain members are safe). Contents are meaningless between calls.
+  std::vector<BatchPending> batch_pending_;
+  std::vector<BatchPending> batch_rejected_;
+  std::vector<uint32_t> batch_miss_slots_;
+  std::vector<uint32_t> batch_deferred_slots_;
+  cot::FlatHashMap<Key, uint32_t> batch_missed_;
+  std::vector<Key> batch_group_keys_;
+  std::vector<Value> batch_group_values_;
 };
 
 }  // namespace cot::cluster

@@ -17,11 +17,11 @@ size_t EffectiveTrackerCapacity(size_t cache_capacity,
 
 CotCache::CotCache(const CotCacheConfig& config)
     : cache_capacity_(config.cache_capacity),
+      read_skip_ok_(config.weights.read_weight >= 0.0),
       tracker_(EffectiveTrackerCapacity(config.cache_capacity,
                                         config.tracker_capacity),
                config.weights),
-      cache_heap_(config.cache_capacity),
-      values_(config.cache_capacity) {}
+      cache_heap_(config.cache_capacity) {}
 
 CotCache::CotCache(size_t cache_capacity, size_t tracker_capacity)
     : CotCache(CotCacheConfig{cache_capacity, tracker_capacity,
@@ -31,16 +31,30 @@ std::optional<cache::Value> CotCache::Get(Key key) {
   ++epoch_.accesses;
   SpaceSavingTracker::TrackResult tracked =
       tracker_.TrackAccess(key, AccessType::kRead);
-  // Preserve S_c ⊆ S_k: if the tracker displaced a cached key, drop it.
-  if (tracked.evicted.has_value()) DropFromCache(*tracked.evicted);
+  RememberTracked(key, tracked.hotness);
+  MaybeDropEvicted(tracked);
 
-  auto it = values_.find(key);
-  if (it != values_.end()) {
-    // Cache hit: refresh the key's hotness in the cache heap.
-    cache_heap_.Update(key, tracked.hotness);
+  // Cached priorities mirror tracker hotness, so a hotness strictly below
+  // the cache's minimum proves the key is not resident — no index probe
+  // needed. Valid only when the read we just recorded cannot have lowered
+  // the hotness (read_weight >= 0, the normal configuration): then
+  // new-hotness < min implies pre-access hotness < min as well.
+  if (read_skip_ok_ &&
+      (cache_heap_.empty() || tracked.hotness < cache_heap_.TopPriority())) {
+    if (tracked.was_tracked) ++epoch_.tracker_only_hits;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+
+  CacheHeap::Id id = cache_heap_.IdOf(key);
+  if (id != CacheHeap::kInvalidId) {
+    // Cache hit: refresh the key's hotness in the cache heap. The node id
+    // stays valid across the sift, so the value is read without a second
+    // probe.
+    cache_heap_.UpdateAt(id, tracked.hotness);
     ++stats_.hits;
     ++epoch_.cache_hits;
-    return it->second;
+    return cache_heap_.AuxAt(id);
   }
   if (tracked.was_tracked) ++epoch_.tracker_only_hits;
   ++stats_.misses;
@@ -50,21 +64,37 @@ std::optional<cache::Value> CotCache::Get(Key key) {
 void CotCache::Put(Key key, Value value) {
   if (cache_capacity_ == 0) return;
   // Ensure the key is tracked (Get normally guarantees this; a direct Put
-  // records a read access).
-  std::optional<double> hotness = tracker_.HotnessOf(key);
+  // records a read access). In the read-through sequence Get(key) →
+  // Put(key) the memo short-circuits the tracker probe entirely.
+  std::optional<double> hotness;
+  if (last_tracked_valid_ && last_tracked_key_ == key) {
+    hotness = last_tracked_hotness_;
+  } else {
+    hotness = tracker_.HotnessOf(key);
+  }
   if (!hotness.has_value()) {
     SpaceSavingTracker::TrackResult tracked =
         tracker_.TrackAccess(key, AccessType::kRead);
-    if (tracked.evicted.has_value()) DropFromCache(*tracked.evicted);
+    RememberTracked(key, tracked.hotness);
+    MaybeDropEvicted(tracked);
     hotness = tracked.hotness;
   }
-  auto it = values_.find(key);
-  if (it != values_.end()) {
-    it->second = value;
-    cache_heap_.Update(key, *hotness);
+  // A hotness strictly below the cache's minimum priority proves the key is
+  // not resident (cached priorities mirror tracker hotness), so the index
+  // probe is skipped: a free line admits directly, a full cache has already
+  // failed the admission filter and declines with zero probes.
+  if (!cache_heap_.empty() && *hotness < cache_heap_.TopPriority()) {
+    if (cache_heap_.size() >= cache_capacity_) return;
+    AdmitToCache(key, std::move(value), *hotness);
     return;
   }
-  if (values_.size() < cache_capacity_) {
+  CacheHeap::Id id = cache_heap_.IdOf(key);
+  if (id != CacheHeap::kInvalidId) {
+    cache_heap_.AuxAt(id) = value;
+    cache_heap_.UpdateAt(id, *hotness);
+    return;
+  }
+  if (cache_heap_.size() < cache_capacity_) {
     AdmitToCache(key, value, *hotness);
     return;
   }
@@ -85,18 +115,19 @@ void CotCache::Invalidate(Key key) {
   // Updates lower hotness under the dual-cost model.
   SpaceSavingTracker::TrackResult tracked =
       tracker_.TrackAccess(key, AccessType::kUpdate);
-  if (tracked.evicted.has_value()) DropFromCache(*tracked.evicted);
-  if (values_.count(key) != 0) {
+  RememberTracked(key, tracked.hotness);
+  MaybeDropEvicted(tracked);
+  if (cache_heap_.Contains(key)) {
     DropFromCache(key);
     ++stats_.invalidations;
   }
 }
 
 Status CotCache::Resize(size_t new_capacity) {
+  ForgetTracked();
   cache_capacity_ = new_capacity;
   cache_heap_.Reserve(cache_capacity_);
-  values_.reserve(cache_capacity_);
-  while (values_.size() > cache_capacity_) {
+  while (cache_heap_.size() > cache_capacity_) {
     Key victim = cache_heap_.TopKey();
     DropFromCache(victim);
     ++stats_.evictions;
@@ -110,6 +141,7 @@ Status CotCache::Resize(size_t new_capacity) {
 }
 
 Status CotCache::ResizeTracker(size_t new_tracker_capacity) {
+  ForgetTracked();
   size_t minimum = std::max<size_t>(1, 2 * cache_capacity_);
   if (new_tracker_capacity < minimum) {
     return Status::InvalidArgument(
@@ -128,20 +160,26 @@ std::optional<double> CotCache::MinCachedHotness() const {
 }
 
 void CotCache::HalveAllHotness() {
+  ForgetTracked();
   tracker_.HalveAllHotness();
   cache_heap_.TransformPrioritiesMonotone([](double h) { return h * 0.5; });
 }
 
 void CotCache::AdmitToCache(Key key, Value value, double hotness) {
-  values_[key] = value;
-  cache_heap_.Push(key, hotness);
+  cache_heap_.Push(key, hotness, std::move(value));
   ++stats_.insertions;
 }
 
-void CotCache::DropFromCache(Key key) {
-  if (values_.erase(key) != 0) {
-    cache_heap_.Erase(key);
+void CotCache::DropFromCache(Key key) { cache_heap_.Erase(key); }
+
+void CotCache::MaybeDropEvicted(
+    const SpaceSavingTracker::TrackResult& tracked) {
+  if (!tracked.evicted.has_value()) return;
+  if (cache_heap_.empty() ||
+      tracked.evicted_hotness < cache_heap_.TopPriority()) {
+    return;  // provably not resident — no probe needed
   }
+  DropFromCache(*tracked.evicted);
 }
 
 std::vector<CotCache::ExportedKey> CotCache::ExportState() const {
@@ -151,23 +189,23 @@ std::vector<CotCache::ExportedKey> CotCache::ExportState() const {
     ExportedKey exported;
     exported.key = key;
     exported.counters = tracker_.CountersOf(key).value();
-    auto it = values_.find(key);
-    if (it != values_.end()) exported.value = it->second;
+    CacheHeap::Id id = cache_heap_.IdOf(key);
+    if (id != CacheHeap::kInvalidId) exported.value = cache_heap_.AuxAt(id);
     out.push_back(exported);
   }
   return out;
 }
 
 void CotCache::ImportState(const std::vector<ExportedKey>& state) {
+  ForgetTracked();
   tracker_.Clear();
   cache_heap_.Clear();
-  values_.clear();
   // State is hottest-first; fill the tracker up to K and the cache up to
   // C from the hottest cached entries.
   for (const ExportedKey& entry : state) {
     if (tracker_.size() >= tracker_.capacity()) break;
     tracker_.Seed(entry.key, entry.counters);
-    if (entry.value.has_value() && values_.size() < cache_capacity_) {
+    if (entry.value.has_value() && cache_heap_.size() < cache_capacity_) {
       AdmitToCache(entry.key, *entry.value,
                    tracker_.HotnessOf(entry.key).value());
     }
@@ -175,8 +213,7 @@ void CotCache::ImportState(const std::vector<ExportedKey>& state) {
 }
 
 bool CotCache::CheckInvariants() const {
-  if (values_.size() != cache_heap_.size()) return false;
-  if (values_.size() > cache_capacity_) return false;
+  if (cache_heap_.size() > cache_capacity_) return false;
   if (tracker_.capacity() < std::max<size_t>(1, 2 * cache_capacity_)) {
     return false;
   }

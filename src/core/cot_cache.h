@@ -8,7 +8,6 @@
 #include "cache/cache.h"
 #include "core/hotness.h"
 #include "core/space_saving_tracker.h"
-#include "util/flat_hash_map.h"
 #include "util/indexed_min_heap.h"
 #include "util/status.h"
 
@@ -75,8 +74,8 @@ class CotCache : public cache::Cache {
   /// copy.
   void Invalidate(Key key) override;
 
-  bool Contains(Key key) const override { return values_.count(key) != 0; }
-  size_t size() const override { return values_.size(); }
+  bool Contains(Key key) const override { return cache_heap_.Contains(key); }
+  size_t size() const override { return cache_heap_.size(); }
   size_t capacity() const override { return cache_capacity_; }
 
   /// Elastic resize of the cache (C). Shrinking evicts coldest-first.
@@ -159,12 +158,42 @@ class CotCache : public cache::Cache {
   void AdmitToCache(Key key, Value value, double hotness);
   /// Drops `key` from cache structures if resident.
   void DropFromCache(Key key);
+  /// Drops a tracker-evicted key from the cache — but only after proving it
+  /// could be resident: a cached key's priority equals its tracker hotness,
+  /// and the victim held the tracker minimum, so an eviction hotness
+  /// strictly below the cache's own minimum skips the probe entirely.
+  void MaybeDropEvicted(const SpaceSavingTracker::TrackResult& tracked);
+
+  /// Memo of the most recent tracker access: `Put(key)` directly after
+  /// `Get(key)` — the universal read-through sequence — reuses the hotness
+  /// that `Get` already computed instead of re-probing the tracker. Valid
+  /// because hotness only changes through tracker mutations, and every
+  /// mutation path either overwrites the memo (TrackAccess) or clears it
+  /// (resize, decay, import).
+  void RememberTracked(Key key, double hotness) {
+    last_tracked_key_ = key;
+    last_tracked_hotness_ = hotness;
+    last_tracked_valid_ = true;
+  }
+  void ForgetTracked() { last_tracked_valid_ = false; }
+
+  /// Min-heap by hotness whose nodes carry the cached value as aux
+  /// payload: the hit path pays one hash probe to reach value, hotness,
+  /// and heap position (the former parallel value map cost a second one).
+  using CacheHeap = IndexedMinHeap<Key, double, std::less<double>, Value>;
 
   size_t cache_capacity_;
+  /// True when reads cannot lower hotness (read_weight >= 0, the normal
+  /// configuration). Gates the Get fast path: post-read hotness below the
+  /// cache minimum then proves pre-read hotness was below it too, i.e. the
+  /// key is not resident and the index probe can be skipped.
+  bool read_skip_ok_;
   SpaceSavingTracker tracker_;
-  IndexedMinHeap<Key, double> cache_heap_;  // priority = hotness
-  FlatHashMap<Key, Value> values_;
+  CacheHeap cache_heap_;  // priority = hotness, aux = value
   EpochStats epoch_;
+  Key last_tracked_key_ = 0;
+  double last_tracked_hotness_ = 0.0;
+  bool last_tracked_valid_ = false;
 };
 
 }  // namespace cot::core

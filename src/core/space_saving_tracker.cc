@@ -6,53 +6,61 @@
 namespace cot::core {
 
 SpaceSavingTracker::SpaceSavingTracker(size_t capacity, HotnessWeights weights)
-    : capacity_(capacity),
-      weights_(weights),
-      heap_(capacity),
-      counters_(capacity) {
+    : capacity_(capacity), weights_(weights), heap_(capacity) {
   assert(capacity >= 1);
 }
 
 SpaceSavingTracker::TrackResult SpaceSavingTracker::TrackAccess(
     Key key, AccessType type) {
   TrackResult result;
-  auto it = counters_.find(key);
-  if (it != counters_.end()) {
-    // Already tracked: update counters and reorder.
+  // Both branches fuse the membership test with the admission: one index
+  // probe covers "already tracked?" and, on a miss, places the new entry.
+  std::pair<Heap::Id, bool> entry;
+  if (heap_.size() >= capacity_) {
+    // Full: an untracked key replaces the root (minimum hotness) in place,
+    // inheriting its counters — Algorithm 1 lines 2-4 ("benefit of the
+    // doubt").
+    entry = heap_.FindOrReplaceTopWith(key, [&] {
+      Heap::Id top = heap_.TopId();
+      result.evicted = heap_.KeyAt(top);
+      result.evicted_hotness = heap_.TopPriority();
+      KeyCounters inherited = heap_.AuxAt(top);
+      inherited.Record(type);
+      return std::pair{ComputeHotness(inherited, weights_), inherited};
+    });
+  } else {
+    entry = heap_.FindOrPushWith(key, [&] {
+      KeyCounters counters;
+      counters.Record(type);
+      return std::pair{ComputeHotness(counters, weights_), counters};
+    });
+  }
+  auto [id, was_tracked] = entry;
+  if (was_tracked) {
+    // Already tracked: update counters and reorder. The probe above located
+    // counters, hotness, and heap position all at once.
     result.was_tracked = true;
-    it->second.Record(type);
-    double h = ComputeHotness(it->second, weights_);
-    heap_.Update(key, h);
+    KeyCounters& counters = heap_.AuxAt(id);
+    counters.Record(type);
+    double h = ComputeHotness(counters, weights_);
+    heap_.UpdateAt(id, h);
     result.hotness = h;
     return result;
   }
-  // Untracked key.
-  KeyCounters inherited;
-  if (heap_.size() >= capacity_) {
-    // Replace the root (minimum hotness) and inherit its counters —
-    // Algorithm 1 lines 2-4 ("benefit of the doubt").
-    auto [victim, victim_hotness] = heap_.Pop();
-    inherited = counters_[victim];
-    counters_.erase(victim);
-    result.evicted = victim;
-  }
-  inherited.Record(type);
-  double h = ComputeHotness(inherited, weights_);
-  counters_[key] = inherited;
-  heap_.Push(key, h);
-  result.hotness = h;
+  result.hotness = heap_.PriorityAt(id);
   return result;
 }
 
 std::optional<double> SpaceSavingTracker::HotnessOf(Key key) const {
-  if (!heap_.Contains(key)) return std::nullopt;
-  return heap_.PriorityOf(key);
+  Heap::Id id = heap_.IdOf(key);
+  if (id == Heap::kInvalidId) return std::nullopt;
+  return heap_.PriorityAt(id);
 }
 
 std::optional<KeyCounters> SpaceSavingTracker::CountersOf(Key key) const {
-  auto it = counters_.find(key);
-  if (it == counters_.end()) return std::nullopt;
-  return it->second;
+  Heap::Id id = heap_.IdOf(key);
+  if (id == Heap::kInvalidId) return std::nullopt;
+  return heap_.AuxAt(id);
 }
 
 std::optional<double> SpaceSavingTracker::MinHotness() const {
@@ -68,40 +76,31 @@ Status SpaceSavingTracker::Resize(size_t new_capacity,
   capacity_ = new_capacity;
   while (heap_.size() > capacity_) {
     auto [victim, hotness] = heap_.Pop();
-    counters_.erase(victim);
     if (evicted != nullptr) evicted->push_back(victim);
   }
   // Growing: pre-size for the new steady state so the expansion itself is
   // the only rehash (elastic expansion happens on the serving path).
   heap_.Reserve(capacity_);
-  counters_.reserve(capacity_);
   return Status::OK();
 }
 
 void SpaceSavingTracker::HalveAllHotness() {
-  for (auto& [key, counters] : counters_) counters.Scale(0.5);
+  heap_.ForEachId([&](Heap::Id id) { heap_.AuxAt(id).Scale(0.5); });
   heap_.TransformPrioritiesMonotone([](double h) { return h * 0.5; });
 }
 
-void SpaceSavingTracker::Clear() {
-  heap_.Clear();
-  counters_.clear();
-}
+void SpaceSavingTracker::Clear() { heap_.Clear(); }
 
 void SpaceSavingTracker::Seed(Key key, const KeyCounters& counters) {
   double h = ComputeHotness(counters, weights_);
-  auto it = counters_.find(key);
-  if (it != counters_.end()) {
-    it->second = counters;
-    heap_.Update(key, h);
+  Heap::Id id = heap_.IdOf(key);
+  if (id != Heap::kInvalidId) {
+    heap_.AuxAt(id) = counters;
+    heap_.UpdateAt(id, h);
     return;
   }
-  if (heap_.size() >= capacity_) {
-    auto [victim, victim_hotness] = heap_.Pop();
-    counters_.erase(victim);
-  }
-  counters_[key] = counters;
-  heap_.Push(key, h);
+  if (heap_.size() >= capacity_) heap_.Pop();
+  heap_.Push(key, h, counters);
 }
 
 std::vector<std::pair<SpaceSavingTracker::Key, double>>
@@ -117,13 +116,11 @@ SpaceSavingTracker::SortedByHotnessDesc() const {
 }
 
 bool SpaceSavingTracker::CheckInvariants() const {
-  if (heap_.size() != counters_.size()) return false;
   if (heap_.size() > capacity_) return false;
   bool ok = true;
-  heap_.ForEach([&](const Key& k, double h) {
-    auto it = counters_.find(k);
-    if (it == counters_.end() ||
-        ComputeHotness(it->second, weights_) != h) {
+  // Every node's hotness must be derivable from its own counters.
+  heap_.ForEachId([&](Heap::Id id) {
+    if (ComputeHotness(heap_.AuxAt(id), weights_) != heap_.PriorityAt(id)) {
       ok = false;
     }
   });

@@ -6,7 +6,6 @@
 #include <vector>
 
 #include "core/hotness.h"
-#include "util/flat_hash_map.h"
 #include "util/indexed_min_heap.h"
 #include "util/status.h"
 
@@ -43,6 +42,11 @@ class SpaceSavingTracker {
     /// CoT cache) uses this to preserve the invariant that cached keys
     /// remain tracked.
     std::optional<Key> evicted;
+    /// Hotness the evicted key held at eviction (the tracker minimum).
+    /// Lets the owner prove the victim cannot be cached — a cached key's
+    /// cache priority equals its tracker hotness, so an eviction hotness
+    /// strictly below the cache's minimum needs no cache probe at all.
+    double evicted_hotness = 0.0;
     /// True if the key was already tracked before this access.
     bool was_tracked = false;
   };
@@ -106,10 +110,15 @@ class SpaceSavingTracker {
   bool CheckInvariants() const;
 
  private:
+  /// Min-heap by hotness whose nodes carry the key's counters as aux
+  /// payload: one hash probe per access reaches counters, hotness, and the
+  /// heap position alike (the former parallel counters map cost a second
+  /// probe on every single access).
+  using Heap = IndexedMinHeap<Key, double, std::less<double>, KeyCounters>;
+
   size_t capacity_;
   HotnessWeights weights_;
-  IndexedMinHeap<Key, double> heap_;  // priority = hotness
-  FlatHashMap<Key, KeyCounters> counters_;
+  Heap heap_;  // priority = hotness, aux = counters
 };
 
 }  // namespace cot::core

@@ -21,6 +21,8 @@ std::string_view ToString(TraceEventType type) {
       return "topology_change";
     case TraceEventType::kEpochMismatch:
       return "epoch_mismatch";
+    case TraceEventType::kBatchLookup:
+      return "batch_lookup";
   }
   return "unknown";
 }
@@ -111,6 +113,12 @@ struct PayloadWriter {
     AppendU64(out, "server", p.server);
     AppendU64(out, "client_epoch", p.client_epoch);
     AppendU64(out, "shard_epoch", p.shard_epoch);
+  }
+  void operator()(const BatchLookupPayload& p) const {
+    AppendU64(out, "batch_size", p.batch_size);
+    AppendU64(out, "local_hits", p.local_hits);
+    AppendU64(out, "sub_batches", p.sub_batches);
+    AppendU64(out, "backend_keys", p.backend_keys);
   }
 };
 

@@ -34,6 +34,10 @@ enum class TraceEventType : uint8_t {
   /// A fenced shard request was rejected for carrying a stale routing
   /// epoch; the client refreshed its route view and retried.
   kEpochMismatch,
+  /// One batched read (`FrontendClient::MultiGet`): how many keys the
+  /// batch carried, how many the local cache absorbed, and how the rest
+  /// fanned out over shard sub-batches.
+  kBatchLookup,
 };
 
 std::string_view ToString(TraceEventType type);
@@ -95,6 +99,13 @@ struct EpochMismatchPayload {
   uint64_t shard_epoch = 0;   // the epoch the shard is serving in
 };
 
+struct BatchLookupPayload {
+  uint32_t batch_size = 0;    // keys in the batch
+  uint32_t local_hits = 0;    // keys absorbed by the front-end cache
+  uint32_t sub_batches = 0;   // shard sub-batches the misses fanned out to
+  uint32_t backend_keys = 0;  // keys delivered to shards
+};
+
 /// One recorded event. `(client, seq)` is the deterministic order key:
 /// `seq` increments per tracer, and a tracer is only ever written by the
 /// one thread driving its client, so merged traces are byte-identical at
@@ -107,7 +118,7 @@ struct TraceEvent {
   std::variant<EpochBoundaryPayload, ResizerDecisionPayload,
                BreakerTransitionPayload, FaultActivationPayload,
                RetryEpisodePayload, TopologyChangePayload,
-               EpochMismatchPayload>
+               EpochMismatchPayload, BatchLookupPayload>
       payload;
 };
 
@@ -158,6 +169,9 @@ class EventTracer {
   }
   void Record(uint64_t op_clock, EpochMismatchPayload payload) {
     Push(TraceEventType::kEpochMismatch, op_clock, payload);
+  }
+  void Record(uint64_t op_clock, BatchLookupPayload payload) {
+    Push(TraceEventType::kBatchLookup, op_clock, payload);
   }
 
   /// Retained events, oldest first.

@@ -2,44 +2,155 @@
 #define COT_UTIL_FLAT_HASH_MAP_H_
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#if defined(__SSE2__) && !defined(COT_FLAT_HASH_MAP_NO_SSE2)
+#include <emmintrin.h>
+#define COT_FLAT_HASH_MAP_HAVE_SSE2 1
+#else
+#define COT_FLAT_HASH_MAP_HAVE_SSE2 0
+#endif
 
 #include "util/hash.h"
 
 namespace cot {
 
+namespace flat_hash_map_detail {
+
+/// Control bytes. A full slot stores the key's 7-bit H2 tag (high bit
+/// clear); empty and tombstone sentinels have the high bit set, so "slot
+/// holds an entry" is a single sign test and a whole group of slots can be
+/// classified with one wide comparison.
+inline constexpr uint8_t kEmpty = 0x80;
+inline constexpr uint8_t kDeleted = 0xFE;
+
+inline constexpr bool IsFull(uint8_t ctrl) { return (ctrl & 0x80) == 0; }
+
+inline constexpr uint64_t kLsbs = 0x0101010101010101ULL;
+inline constexpr uint64_t kMsbs = 0x8080808080808080ULL;
+
+/// One unaligned 8-byte load of the control array (SWAR group).
+inline uint64_t LoadGroupSwar(const uint8_t* p) {
+  uint64_t g;
+  std::memcpy(&g, p, sizeof(g));
+  return g;
+}
+
+/// SWAR candidate mask: bit 8*i+7 is set for (at least) every byte i equal
+/// to `h2`. The classic zero-byte trick borrows across bytes, so a byte
+/// *following* a true match may be flagged spuriously — callers always
+/// confirm candidates with a full key comparison, so false positives cost
+/// one extra compare and never correctness.
+inline uint64_t MatchH2Swar(uint64_t group, uint8_t h2) {
+  uint64_t x = group ^ (kLsbs * h2);
+  return (x - kLsbs) & ~x & kMsbs;
+}
+
+/// Exact reference implementation of the H2 match (scalar byte loop). The
+/// SWAR mask must be a superset of this with false positives only in the
+/// shadow of a true match — pinned by the path-equivalence tests.
+inline uint64_t MatchH2Scalar(uint64_t group, uint8_t h2) {
+  uint64_t mask = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (static_cast<uint8_t>(group >> (8 * i)) == h2) {
+      mask |= 0x80ULL << (8 * i);
+    }
+  }
+  return mask;
+}
+
+/// Non-zero iff the group holds at least one kEmpty byte. Built on the same
+/// zero-byte trick; spurious per-byte bits can only appear when a lower
+/// byte truly matched, so the any-of answer is exact.
+inline uint64_t MatchEmptySwar(uint64_t group) {
+  uint64_t x = group ^ (kLsbs * kEmpty);
+  return (x - kLsbs) & ~x & kMsbs;
+}
+
+inline uint64_t MatchEmptyScalar(uint64_t group) {
+  uint64_t mask = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (static_cast<uint8_t>(group >> (8 * i)) == kEmpty) {
+      mask |= 0x80ULL << (8 * i);
+    }
+  }
+  return mask;
+}
+
+/// Bit 8*i+7 set for every non-full byte i (empty or tombstone). Exact:
+/// sentinels are the only control bytes with the high bit set.
+inline uint64_t MatchEmptyOrDeletedSwar(uint64_t group) {
+  return group & kMsbs;
+}
+
+inline constexpr uint64_t kLow7s = 0x7F7F7F7F7F7F7F7FULL;
+
+/// EXACT per-byte kEmpty mask (bit 8*i+7 set iff byte i == kEmpty, no
+/// false positives). Masking to the low 7 bits before the carry-add keeps
+/// every byte's computation independent — costlier than MatchEmptySwar by
+/// two ops, but usable where individual bit positions matter (the erase
+/// path's never-full window test), not just the any-of predicate.
+inline uint64_t MatchEmptyExactSwar(uint64_t group) {
+  uint64_t x = group ^ (kLsbs * kEmpty);
+  return ~((x & kLow7s) + kLow7s) & ~x & kMsbs;
+}
+
+inline uint64_t MatchEmptyExactScalar(uint64_t group) {
+  return MatchEmptyScalar(group);  // the scalar loop is already exact
+}
+
+}  // namespace flat_hash_map_detail
+
 /// Open-addressing hash map for integer keys — the hot-path replacement for
-/// `std::unordered_map` in the tracker, the indexed heaps, and the
-/// replacement policies.
+/// `std::unordered_map` in the tracker, the indexed heaps, the replacement
+/// policies, and the back-end shard stores.
 ///
-/// Node-based `std::unordered_map` costs one allocation plus at least one
-/// dependent pointer chase per lookup; microbenchmarks show those chases
-/// dominate per-access cost for every policy. This map stores entries
-/// inline in one flat array (robin-hood linear probing, power-of-two
-/// capacity, Mix64 hashing), so a lookup is a masked index plus a short
-/// contiguous scan. Erase uses backward-shift deletion, so there are no
-/// tombstones and probe sequences never degrade over time.
+/// Layout is Swiss-table style: entries live inline in one flat slot array,
+/// and a separate control-byte array mirrors it — one byte per slot holding
+/// either a sentinel (empty / tombstone) or the 7 low bits of the key's
+/// hash (the "H2" tag). A lookup hashes once, then scans the control array
+/// a *group* at a time: 16 bytes per probe with SSE2, else 8 bytes via
+/// portable SWAR on a `uint64_t`. One wide compare rejects a whole group of
+/// non-matching slots, so the common case touches one cache line of
+/// metadata and (on a hit) exactly one slot — strictly less probe work than
+/// the per-slot robin-hood walk this map replaces, and the entire
+/// improvement is inherited by every owner without call-site changes.
+///
+/// Erase writes a tombstone (kDeleted). Tombstoned slots are reused by
+/// later inserts (the probe takes the first empty-or-tombstone slot on the
+/// key's probe path), and purged wholesale whenever the table rehashes; the
+/// growth trigger counts full+tombstone slots, so probe chains cannot
+/// degrade unboundedly under churn.
 ///
 /// Semantics match the `unordered_map` subset the codebase uses — `find`,
 /// `operator[]`, `erase(key)`, `count`, `clear`, `reserve`, `size`,
 /// range-for over `std::pair<K, V>` — with two deliberate deviations:
-///   - iterators and references are invalidated by *any* insert or erase
-///     (entries move during probing); never hold one across a mutation;
+///   - iterators and references are invalidated by *any* insert (the table
+///     may rehash); never hold one across a mutation;
 ///   - iteration order is unspecified and changes as the table grows.
 ///
 /// Keys must be integers (they are hashed through Mix64); values need only
-/// be movable. A default-constructed map owns no storage; `reserve` (or the
-/// sizing constructor) pre-allocates so a capacity-bounded owner never
-/// rehashes in steady state.
-template <typename K, typename V>
+/// be movable and default-constructible. A default-constructed map owns no
+/// storage; `reserve` (or the sizing constructor) pre-allocates so a
+/// capacity-bounded owner never rehashes in steady state.
+///
+/// The `kUseSimd` template parameter exists for the path-equivalence test
+/// campaign (forcing the portable SWAR probe on SSE2 hardware); production
+/// code uses the default.
+template <typename K, typename V,
+          bool kUseSimd = (COT_FLAT_HASH_MAP_HAVE_SSE2 != 0)>
 class FlatHashMap {
   static_assert(std::is_integral_v<K> || std::is_enum_v<K>,
                 "FlatHashMap keys must be integers (hashed via Mix64)");
+  static_assert(!kUseSimd || COT_FLAT_HASH_MAP_HAVE_SSE2,
+                "kUseSimd requires SSE2");
 
  public:
   using value_type = std::pair<K, V>;
@@ -58,6 +169,17 @@ class FlatHashMap {
   bool empty() const { return size_ == 0; }
   /// Slots allocated (diagnostic; >= size() / kMaxLoadNum * kMaxLoadDen).
   size_t bucket_count() const { return slots_.size(); }
+
+  /// Tombstoned slots (diagnostic): erased entries whose slot could not be
+  /// returned to the empty state. High counts on a steady-size table mean
+  /// probe chains are longer than the load factor alone suggests.
+  size_t tombstone_count() const {
+    size_t n = 0;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (ctrl_[i] == flat_hash_map_detail::kDeleted) ++n;
+    }
+    return n;
+  }
 
  private:
   template <bool kConst>
@@ -96,7 +218,10 @@ class FlatHashMap {
    private:
     friend class FlatHashMap;
     void SkipEmpty() {
-      while (idx_ < map_->slots_.size() && map_->dist_[idx_] == 0) ++idx_;
+      while (idx_ < map_->slots_.size() &&
+             !flat_hash_map_detail::IsFull(map_->ctrl_[idx_])) {
+        ++idx_;
+      }
     }
     MapPtr map_ = nullptr;
     size_t idx_ = 0;
@@ -130,51 +255,97 @@ class FlatHashMap {
   }
   bool contains(const K& key) const { return FindIndex(key) != kNotFound; }
 
-  /// Value for `key`, default-constructing it on first access.
-  V& operator[](const K& key) {
-    size_t idx = FindIndex(key);
-    if (idx != kNotFound) return slots_[idx].second;
-    ReserveForOneMore();
-    return slots_[InsertFresh(key)].second;
+  /// Finds `key` or inserts it with a default-constructed value, in one
+  /// probe pass over the table (the lookup and the search for an insertable
+  /// slot share the same group scan). Returns the entry and whether it was
+  /// inserted. This is the primitive behind operator[]; callers that need
+  /// to distinguish "found" from "created" (e.g. the indexed heap's fused
+  /// access-or-admit path) use it directly.
+  std::pair<iterator, bool> find_or_insert(const K& key) {
+    if (slots_.empty()) Rehash(kMinSlots);
+    const uint64_t hash = Hash(key);
+    const uint8_t h2 = H2(hash);
+    // Restarted after an in-place purge or rehash (both relocate entries).
+    while (true) {
+      const size_t mask = slots_.size() - 1;
+      size_t pos = H1(hash) & mask;
+      size_t insert_idx = kNotFound;
+      while (true) {
+        Group g = Group::Load(ctrl_.data() + pos);
+        auto candidates = g.MatchH2(h2);
+        while (candidates != 0) {
+          size_t idx = (pos + Group::NextOffset(candidates)) & mask;
+          if (slots_[idx].first == key) return {iterator(this, idx), false};
+        }
+        if (insert_idx == kNotFound) {
+          auto open = g.MatchEmptyOrDeleted();
+          if (open != 0) insert_idx = (pos + Group::NextOffset(open)) & mask;
+        }
+        if (g.MatchEmpty() != 0) break;
+        pos = (pos + kGroupWidth) & mask;
+      }
+      // Absent: install at the first open slot seen on the probe path.
+      const bool reuse_tombstone =
+          ctrl_[insert_idx] == flat_hash_map_detail::kDeleted;
+      if (!reuse_tombstone && growth_left_ == 0) {
+        if (SlotsFor(size_ + 1) <= slots_.size()) {
+          DropDeletesWithoutResize();
+        } else {
+          Rehash(SlotsFor(size_ + 1));
+        }
+        continue;
+      }
+      if (!reuse_tombstone) --growth_left_;
+      SetCtrl(insert_idx, h2);
+      slots_[insert_idx].first = key;
+      slots_[insert_idx].second = V{};
+      ++size_;
+      return {iterator(this, insert_idx), true};
+    }
   }
+
+  /// Value for `key`, default-constructing it on first access.
+  V& operator[](const K& key) { return find_or_insert(key).first->second; }
 
   /// Inserts or overwrites. Returns true if a new entry was created.
   bool insert_or_assign(const K& key, V value) {
-    size_t idx = FindIndex(key);
-    if (idx != kNotFound) {
-      slots_[idx].second = std::move(value);
-      return false;
-    }
-    ReserveForOneMore();
-    slots_[InsertFresh(key)].second = std::move(value);
-    return true;
+    auto [it, inserted] = find_or_insert(key);
+    it->second = std::move(value);
+    return inserted;
   }
 
   /// Removes `key`; returns the number of entries removed (0 or 1).
+  ///
+  /// The vacated slot becomes truly empty (returning its growth budget)
+  /// whenever the surrounding control bytes prove that no probe chain can
+  /// pass through it — i.e. the window of `kGroupWidth` slots covering it
+  /// always presents an empty byte that would have terminated any probe
+  /// earlier. Otherwise a tombstone is left: later inserts on the same
+  /// probe path reuse it, and tombstones are purged wholesale at the next
+  /// rehash. Without this test, erase-heavy steady states (the tracker's
+  /// space-saving replacement loop) accumulate tombstones until every
+  /// insert triggers a purge.
   size_t erase(const K& key) {
     size_t idx = FindIndex(key);
     if (idx == kNotFound) return 0;
-    // Backward-shift deletion: pull every displaced successor one slot
-    // toward its home bucket; no tombstones are left behind.
-    size_t mask = slots_.size() - 1;
-    size_t next = (idx + 1) & mask;
-    while (dist_[next] > 1) {
-      slots_[idx] = std::move(slots_[next]);
-      dist_[idx] = static_cast<uint8_t>(dist_[next] - 1);
-      idx = next;
-      next = (next + 1) & mask;
+    if (WasNeverFull(idx)) {
+      SetCtrl(idx, flat_hash_map_detail::kEmpty);
+      ++growth_left_;
+    } else {
+      SetCtrl(idx, flat_hash_map_detail::kDeleted);
     }
-    dist_[idx] = 0;
     slots_[idx] = value_type{};  // release resources held by the value
     --size_;
     return 1;
   }
 
-  /// Removes every entry; keeps the allocated table.
+  /// Removes every entry; keeps the allocated table (tombstones included —
+  /// they are purged along with everything else).
   void clear() {
-    std::fill(dist_.begin(), dist_.end(), uint8_t{0});
+    std::fill(ctrl_.begin(), ctrl_.end(), flat_hash_map_detail::kEmpty);
     for (value_type& slot : slots_) slot = value_type{};
     size_ = 0;
+    growth_left_ = MaxLoad(slots_.size());
   }
 
   /// Grows the table so `expected_size` entries fit without rehashing.
@@ -186,14 +357,24 @@ class FlatHashMap {
  private:
   static constexpr size_t kNotFound = static_cast<size_t>(-1);
   static constexpr size_t kMinSlots = 8;
-  // Max load factor 7/8: high enough that the table stays compact, low
-  // enough that robin-hood probe lengths stay short.
+  /// Probe granularity: control bytes scanned per wide load.
+  static constexpr size_t kGroupWidth = kUseSimd ? 16 : 8;
+  /// Cloned control bytes past the end so an unaligned group load starting
+  /// at any slot never wraps: ctrl_[cap + j] mirrors ctrl_[j & (cap - 1)].
+  static constexpr size_t kGroupTail = kGroupWidth - 1;
+  // Max load factor 7/8 counted over full *and* tombstoned slots: at least
+  // one slot in eight stays truly empty, which is what terminates every
+  // probe loop.
   static constexpr size_t kMaxLoadNum = 7;
   static constexpr size_t kMaxLoadDen = 8;
 
-  static size_t Hash(const K& key) {
-    return static_cast<size_t>(Mix64(static_cast<uint64_t>(key)));
+  static size_t MaxLoad(size_t cap) { return cap / kMaxLoadDen * kMaxLoadNum; }
+
+  static uint64_t Hash(const K& key) {
+    return Mix64(static_cast<uint64_t>(key));
   }
+  static uint8_t H2(uint64_t hash) { return static_cast<uint8_t>(hash & 0x7F); }
+  static size_t H1(uint64_t hash) { return static_cast<size_t>(hash >> 7); }
 
   /// Smallest power-of-two slot count that holds `n` entries within the max
   /// load factor.
@@ -203,18 +384,134 @@ class FlatHashMap {
     return slots;
   }
 
+  // --- group probe primitives --------------------------------------------
+  // Each returns a per-slot bitmask; NextCandidate pops the lowest set bit
+  // and yields its slot offset within the group. The SWAR H2 match may
+  // contain false positives (see flat_hash_map_detail) — every candidate is
+  // confirmed against the stored key.
+
+#if COT_FLAT_HASH_MAP_HAVE_SSE2
+  struct GroupSse2 {
+    __m128i bytes;
+    static GroupSse2 Load(const uint8_t* p) {
+      return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+    }
+    uint32_t MatchH2(uint8_t h2) const {
+      return static_cast<uint32_t>(_mm_movemask_epi8(
+          _mm_cmpeq_epi8(bytes, _mm_set1_epi8(static_cast<char>(h2)))));
+    }
+    uint32_t MatchEmpty() const {
+      return static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(
+          bytes,
+          _mm_set1_epi8(static_cast<char>(flat_hash_map_detail::kEmpty)))));
+    }
+    uint32_t MatchEmptyOrDeleted() const {
+      // Sentinels are exactly the bytes with the sign bit set.
+      return static_cast<uint32_t>(_mm_movemask_epi8(bytes));
+    }
+    // cmpeq is exact per byte already.
+    uint32_t MatchEmptyExact() const { return MatchEmpty(); }
+    static size_t NextOffset(uint32_t& mask) {
+      size_t off = static_cast<size_t>(std::countr_zero(mask));
+      mask &= mask - 1;
+      return off;
+    }
+    /// Slots before the first matching byte (mask must be from this group).
+    static size_t TrailingNonMatches(uint32_t mask) {
+      return static_cast<size_t>(std::countr_zero(mask));
+    }
+    /// Slots after the last matching byte.
+    static size_t LeadingNonMatches(uint32_t mask) {
+      return static_cast<size_t>(std::countl_zero(mask << 16));
+    }
+  };
+#endif
+
+  struct GroupSwar {
+    uint64_t bytes;
+    static GroupSwar Load(const uint8_t* p) {
+      return {flat_hash_map_detail::LoadGroupSwar(p)};
+    }
+    uint64_t MatchH2(uint8_t h2) const {
+      return flat_hash_map_detail::MatchH2Swar(bytes, h2);
+    }
+    uint64_t MatchEmpty() const {
+      return flat_hash_map_detail::MatchEmptySwar(bytes);
+    }
+    uint64_t MatchEmptyOrDeleted() const {
+      return flat_hash_map_detail::MatchEmptyOrDeletedSwar(bytes);
+    }
+    uint64_t MatchEmptyExact() const {
+      return flat_hash_map_detail::MatchEmptyExactSwar(bytes);
+    }
+    static size_t NextOffset(uint64_t& mask) {
+      size_t off = static_cast<size_t>(std::countr_zero(mask)) / 8;
+      mask &= mask - 1;
+      return off;
+    }
+    static size_t TrailingNonMatches(uint64_t mask) {
+      return static_cast<size_t>(std::countr_zero(mask)) / 8;
+    }
+    static size_t LeadingNonMatches(uint64_t mask) {
+      return static_cast<size_t>(std::countl_zero(mask)) / 8;
+    }
+  };
+
+#if COT_FLAT_HASH_MAP_HAVE_SSE2
+  using Group = std::conditional_t<kUseSimd, GroupSse2, GroupSwar>;
+#else
+  using Group = GroupSwar;
+#endif
+
+  /// True when no probe sequence can ever have stepped *past* slot `idx`:
+  /// every group-aligned window covering `idx` contains an empty byte both
+  /// strictly before and strictly after it within one group width (the
+  /// Abseil-style erase test). In that case the erased slot may become
+  /// empty instead of a tombstone. Small tables (capacity <= group width)
+  /// are always eligible — a single group load covers every slot, so no
+  /// probe ever advances beyond its first group.
+  bool WasNeverFull(size_t idx) const {
+    const size_t cap = slots_.size();
+    if (cap <= kGroupWidth) return true;
+    const size_t before_idx = (idx - kGroupWidth) & (cap - 1);
+    auto after = Group::Load(ctrl_.data() + idx).MatchEmptyExact();
+    auto before = Group::Load(ctrl_.data() + before_idx).MatchEmptyExact();
+    return after != 0 && before != 0 &&
+           Group::TrailingNonMatches(after) +
+                   Group::LeadingNonMatches(before) <
+               kGroupWidth;
+  }
+
+  /// Writes a control byte and its wrap-around mirror(s). For capacities of
+  /// at least kGroupTail this is at most two stores.
+  void SetCtrl(size_t idx, uint8_t value) {
+    ctrl_[idx] = value;
+    size_t cap = slots_.size();
+    for (size_t m = idx + cap; m < cap + kGroupTail; m += cap) {
+      ctrl_[m] = value;
+    }
+  }
+
   size_t FindIndex(const K& key) const {
     if (slots_.empty()) return kNotFound;
-    size_t mask = slots_.size() - 1;
-    size_t idx = Hash(key) & mask;
-    uint8_t d = 1;
+    const size_t mask = slots_.size() - 1;
+    const uint64_t hash = Hash(key);
+    const uint8_t h2 = H2(hash);
+    size_t pos = H1(hash) & mask;
+    // Linear probing by whole groups. kGroupWidth divides every capacity
+    // >= kGroupWidth, and smaller tables are covered entirely by the first
+    // group (the cloned tail wraps them), so the sequence visits every
+    // slot; the max-load invariant guarantees a truly-empty byte
+    // terminates it.
     while (true) {
-      // Robin-hood invariant: if the resident entry is closer to its home
-      // than we would be, the key cannot be further along the probe chain.
-      if (dist_[idx] < d) return kNotFound;
-      if (slots_[idx].first == key) return idx;
-      idx = (idx + 1) & mask;
-      ++d;
+      Group g = Group::Load(ctrl_.data() + pos);
+      auto candidates = g.MatchH2(h2);
+      while (candidates != 0) {
+        size_t idx = (pos + Group::NextOffset(candidates)) & mask;
+        if (slots_[idx].first == key) return idx;
+      }
+      if (g.MatchEmpty() != 0) return kNotFound;
+      pos = (pos + kGroupWidth) & mask;
     }
   }
 
@@ -223,71 +520,111 @@ class FlatHashMap {
     return idx == kNotFound ? slots_.size() : idx;
   }
 
-  void ReserveForOneMore() {
-    if (slots_.empty() ||
-        (size_ + 1) * kMaxLoadDen > slots_.size() * kMaxLoadNum) {
-      Rehash(slots_.empty() ? kMinSlots : slots_.size() * 2);
+  /// First empty-or-tombstone slot on `key`'s probe path. The table always
+  /// holds at least one true empty (max-load invariant), so this
+  /// terminates.
+  size_t FindInsertSlot(uint64_t hash) const {
+    const size_t mask = slots_.size() - 1;
+    size_t pos = H1(hash) & mask;
+    while (true) {
+      Group g = Group::Load(ctrl_.data() + pos);
+      auto open = g.MatchEmptyOrDeleted();
+      if (open != 0) return (pos + Group::NextOffset(open)) & mask;
+      pos = (pos + kGroupWidth) & mask;
     }
   }
 
-  /// Robin-hood insertion of a key known to be absent, with room
-  /// guaranteed. Returns the slot where `key` landed.
-  size_t InsertFresh(K key) {
-    value_type carry{key, V{}};
-    size_t mask = slots_.size() - 1;
-    size_t idx = Hash(key) & mask;
-    uint8_t d = 1;
-    size_t key_slot = kNotFound;
-    while (true) {
-      if (dist_[idx] == 0) {
-        slots_[idx] = std::move(carry);
-        dist_[idx] = d;
-        ++size_;
-        return key_slot == kNotFound ? idx : key_slot;
-      }
-      if (dist_[idx] < d) {
-        // Steal from the rich: the resident is closer to home, so it yields
-        // its slot and gets carried forward instead.
-        std::swap(carry, slots_[idx]);
-        std::swap(d, dist_[idx]);
-        if (key_slot == kNotFound) key_slot = idx;
-      }
-      idx = (idx + 1) & mask;
-      ++d;
-      if (d == UINT8_MAX) {
-        // Probe chain about to overflow the distance byte (pathological
-        // clustering). Grow the table — which re-places everything already
-        // resident, including `key` if a swap placed it — then insert the
-        // still-carried entry into the bigger table.
-        bool key_was_placed = key_slot != kNotFound;
-        Rehash(slots_.size() * 2);
-        size_t carried_slot = InsertFresh(carry.first);
-        slots_[carried_slot].second = std::move(carry.second);
-        if (!key_was_placed) return carried_slot;  // carry was `key` itself
-        key_slot = FindIndex(key);
-        assert(key_slot != kNotFound);
-        return key_slot;
+  /// Reclaims every tombstone without reallocating (Abseil's
+  /// drop_deletes_without_resize): mark tombstones empty and full slots
+  /// "pending", then re-place each pending element on its probe path —
+  /// moving into empties, swapping with other pending elements, or staying
+  /// put when already within its target probe group. O(capacity), zero
+  /// allocation; afterwards the table is tombstone-free.
+  void DropDeletesWithoutResize() {
+    const size_t cap = slots_.size();
+    const size_t mask = cap - 1;
+    // Phase 1: kDeleted -> kEmpty; full -> kDeleted (meaning "pending
+    // re-placement" from here on).
+    for (size_t i = 0; i < cap; ++i) {
+      ctrl_[i] = flat_hash_map_detail::IsFull(ctrl_[i])
+                     ? flat_hash_map_detail::kDeleted
+                     : flat_hash_map_detail::kEmpty;
+    }
+    for (size_t j = 0; j < kGroupTail; ++j) ctrl_[cap + j] = ctrl_[j];
+    // Phase 2: re-place pending elements. Each iteration settles one
+    // element (placed or kept), so this terminates in <= 2*cap steps.
+    for (size_t i = 0; i < cap; ++i) {
+      while (ctrl_[i] == flat_hash_map_detail::kDeleted) {
+        const uint64_t hash = Hash(slots_[i].first);
+        const size_t start = H1(hash) & mask;
+        const size_t target = FindInsertSlot(hash);
+        // Probe-group index of a position on this key's probe sequence.
+        auto probe_group = [&](size_t p) {
+          return ((p - start) & mask) / kGroupWidth;
+        };
+        if (probe_group(target) == probe_group(i)) {
+          // Already within the group the probe would land in — keep.
+          SetCtrl(i, H2(hash));
+          break;
+        }
+        if (ctrl_[target] == flat_hash_map_detail::kEmpty) {
+          SetCtrl(target, H2(hash));
+          slots_[target] = std::move(slots_[i]);
+          slots_[i] = value_type{};
+          SetCtrl(i, flat_hash_map_detail::kEmpty);
+          break;
+        }
+        // Target holds another pending element: place ours there and
+        // re-process the displaced one, now sitting at i.
+        assert(ctrl_[target] == flat_hash_map_detail::kDeleted);
+        SetCtrl(target, H2(hash));
+        std::swap(slots_[i], slots_[target]);
       }
     }
+    growth_left_ = MaxLoad(cap) - size_;
   }
 
   void Rehash(size_t new_slots) {
-    assert((new_slots & (new_slots - 1)) == 0);
+    assert((new_slots & (new_slots - 1)) == 0 && new_slots >= kMinSlots);
     std::vector<value_type> old_slots = std::move(slots_);
-    std::vector<uint8_t> old_dist = std::move(dist_);
+    std::vector<uint8_t> old_ctrl = std::move(ctrl_);
     slots_.assign(new_slots, value_type{});
-    dist_.assign(new_slots, 0);
-    size_ = 0;
+    ctrl_.assign(new_slots + kGroupTail, flat_hash_map_detail::kEmpty);
+    growth_left_ = MaxLoad(new_slots);
+    const size_t mask = new_slots - 1;
     for (size_t i = 0; i < old_slots.size(); ++i) {
-      if (old_dist[i] == 0) continue;
-      size_t slot = InsertFresh(old_slots[i].first);
-      slots_[slot].second = std::move(old_slots[i].second);
+      if (!flat_hash_map_detail::IsFull(old_ctrl[i])) continue;
+      // Known-absent insert into a tombstone-free table: the first empty
+      // slot on the probe path is the destination.
+      const uint64_t hash = Hash(old_slots[i].first);
+      size_t pos = H1(hash) & mask;
+      size_t idx;
+      while (true) {
+        Group g = Group::Load(ctrl_.data() + pos);
+        auto open = g.MatchEmptyOrDeleted();
+        if (open != 0) {
+          idx = (pos + Group::NextOffset(open)) & mask;
+          break;
+        }
+        pos = (pos + kGroupWidth) & mask;
+      }
+      SetCtrl(idx, H2(hash));
+      slots_[idx] = std::move(old_slots[i]);
+      --growth_left_;
     }
+    size_t live = size_;
+    (void)live;
+    assert(growth_left_ == MaxLoad(new_slots) - size_);
   }
 
   std::vector<value_type> slots_;
-  std::vector<uint8_t> dist_;  // 0 = empty; d >= 1 = 1-based probe distance
+  /// One byte per slot plus kGroupTail cloned wrap bytes; empty when the
+  /// map owns no storage.
+  std::vector<uint8_t> ctrl_;
   size_t size_ = 0;
+  /// Empty slots that may still be consumed before the next rehash
+  /// (MaxLoad(capacity) minus full-plus-tombstone slots).
+  size_t growth_left_ = 0;
 };
 
 }  // namespace cot

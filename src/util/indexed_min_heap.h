@@ -3,15 +3,17 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "util/flat_hash_map.h"
 
 namespace cot {
 
-/// Binary min-heap with by-key addressing: every key appears at most once
+/// 4-ary min-heap with by-key addressing: every key appears at most once
 /// and its priority can be updated or the key erased in O(log n) by key
 /// alone. This is the core structure behind the space-saving tracker, the
 /// CoT cache min-heap, the LFU cache, and the LRU-k eviction queue — all of
@@ -20,14 +22,37 @@ namespace cot {
 /// `Compare(a, b)` returning true means `a` has *higher* priority to stay at
 /// the root (default `std::less`: smallest priority at the root).
 ///
+/// Layout, tuned for the sift-heavy access patterns above:
+///   - The heap array stores (priority, node id) pairs, so every sift
+///     comparison reads *contiguous* memory — a 4-ary level's children span
+///     one or two cache lines — instead of chasing a pointer per child.
+///   - Arity 4 halves the depth of the sift-down that dominates
+///     replace-the-minimum workloads (space-saving admission).
+///   - Each key owns a stable *node* (key, heap position, aux payload); the
+///     by-key hash index maps key -> node id and is touched exactly once
+///     per operation — never per sift level, since ids don't move.
+///
+/// Each node can carry an `Aux` payload (default: none). This lets an owner
+/// that would otherwise keep a parallel `FlatHashMap` keyed identically to
+/// the heap — the tracker's per-key counters, the CoT cache's values —
+/// store that state *inside* the heap node and reach it through the same
+/// single hash probe that locates the priority. Node ids (`Id`) are stable
+/// for the lifetime of a key, so the id returned by `IdOf`/`Push`/`TopId`
+/// can be used for several accesses (priority, aux, update) without
+/// re-probing; an id is invalidated only when its key is erased.
+///
 /// Priorities may be compound (e.g. `std::pair` for tie-breaking). Keys must
-/// be integers: the by-key index is a `FlatHashMap`, which keeps the
-/// sift-path index updates (one per level) on cache-friendly flat storage.
-/// Owners that know their capacity should pass it to the sizing constructor
-/// (or call `Reserve`) so the index never rehashes in steady state.
-template <typename K, typename P, typename Compare = std::less<P>>
+/// be integers: the by-key index is a `FlatHashMap`. Owners that know their
+/// capacity should pass it to the sizing constructor (or call `Reserve`) so
+/// the index never rehashes in steady state.
+template <typename K, typename P, typename Compare = std::less<P>,
+          typename Aux = std::monostate>
 class IndexedMinHeap {
  public:
+  /// Stable handle to a key's node; valid until the key is erased.
+  using Id = uint32_t;
+  static constexpr Id kInvalidId = static_cast<Id>(-1);
+
   IndexedMinHeap() = default;
   explicit IndexedMinHeap(Compare cmp) : cmp_(std::move(cmp)) {}
   /// Pre-sizes heap storage and index for `expected_capacity` keys.
@@ -38,58 +63,67 @@ class IndexedMinHeap {
 
   /// Pre-allocates for `expected_capacity` keys without changing content.
   void Reserve(size_t expected_capacity) {
-    entries_.reserve(expected_capacity);
+    nodes_.reserve(expected_capacity);
+    heap_.reserve(expected_capacity);
     index_.reserve(expected_capacity);
   }
 
   /// Number of keys in the heap.
-  size_t size() const { return entries_.size(); }
+  size_t size() const { return heap_.size(); }
   /// True when the heap holds no keys.
-  bool empty() const { return entries_.empty(); }
+  bool empty() const { return heap_.empty(); }
   /// True if `key` is present.
   bool Contains(const K& key) const { return index_.count(key) != 0; }
 
   /// Key at the root (minimum). Heap must be non-empty.
   const K& TopKey() const {
     assert(!empty());
-    return entries_[0].key;
+    return nodes_[heap_[0].id].key;
   }
   /// Priority at the root. Heap must be non-empty.
   const P& TopPriority() const {
     assert(!empty());
-    return entries_[0].priority;
+    return heap_[0].priority;
   }
 
   /// Priority of `key`, which must be present.
   const P& PriorityOf(const K& key) const {
     auto it = index_.find(key);
     assert(it != index_.end());
-    return entries_[it->second].priority;
+    return heap_[nodes_[it->second].heap_pos].priority;
   }
 
-  /// Inserts `key` with `priority`. `key` must not already be present.
-  void Push(const K& key, P priority) {
-    assert(!Contains(key));
-    entries_.push_back(Entry{key, std::move(priority)});
-    index_[key] = entries_.size() - 1;
-    SiftUp(entries_.size() - 1);
-  }
+  // --- handle (Id) surface ------------------------------------------------
+  // One hash probe buys a stable node id; everything below is array
+  // indexing. This is the hot-path API: callers that need priority + aux +
+  // update for the same key pay one probe instead of one per access.
 
-  /// Removes and returns the root (key, priority). Heap must be non-empty.
-  std::pair<K, P> Pop() {
-    assert(!empty());
-    std::pair<K, P> out{entries_[0].key, entries_[0].priority};
-    RemoveAt(0);
-    return out;
-  }
-
-  /// Changes the priority of an existing `key` and restores heap order.
-  void Update(const K& key, P priority) {
+  /// Node id of `key`, or kInvalidId when absent.
+  Id IdOf(const K& key) const {
     auto it = index_.find(key);
-    assert(it != index_.end());
-    size_t pos = it->second;
-    bool decreased = cmp_(priority, entries_[pos].priority);
-    entries_[pos].priority = std::move(priority);
+    return it == index_.end() ? kInvalidId : it->second;
+  }
+  /// Node id at the root. Heap must be non-empty.
+  Id TopId() const {
+    assert(!empty());
+    return heap_[0].id;
+  }
+  /// Key of a valid node id.
+  const K& KeyAt(Id id) const { return nodes_[id].key; }
+  /// Priority of a valid node id.
+  const P& PriorityAt(Id id) const {
+    return heap_[nodes_[id].heap_pos].priority;
+  }
+  /// Aux payload of a valid node id.
+  Aux& AuxAt(Id id) { return nodes_[id].aux; }
+  const Aux& AuxAt(Id id) const { return nodes_[id].aux; }
+
+  /// Changes the priority of the node `id` and restores heap order. The id
+  /// stays valid (ids survive sifting).
+  void UpdateAt(Id id, P priority) {
+    uint32_t pos = nodes_[id].heap_pos;
+    bool decreased = cmp_(priority, heap_[pos].priority);
+    heap_[pos].priority = std::move(priority);
     if (decreased) {
       SiftUp(pos);
     } else {
@@ -97,24 +131,132 @@ class IndexedMinHeap {
     }
   }
 
+  /// Inserts `key` with `priority` (and optional aux payload); returns the
+  /// new node's id. `key` must not already be present.
+  Id Push(const K& key, P priority, Aux aux = Aux{}) {
+    assert(!Contains(key));
+    uint32_t id = AllocNode(key, std::move(aux));
+    uint32_t pos = static_cast<uint32_t>(heap_.size());
+    heap_.push_back(HeapSlot{std::move(priority), id});
+    nodes_[id].heap_pos = pos;
+    index_[key] = id;
+    SiftUp(pos);
+    return id;
+  }
+
+  /// Single-probe "access or admit": looks up `key` and, when absent,
+  /// pushes it — reusing the lookup's probe to place the index entry, so a
+  /// miss costs one table scan instead of two (IdOf miss + Push insert).
+  /// `make()` is invoked only on a miss and must return the new node's
+  /// `std::pair<P, Aux>`. Returns the node id and whether the key was
+  /// already present.
+  template <typename MakeFn>
+  std::pair<Id, bool> FindOrPushWith(const K& key, MakeFn&& make) {
+    auto [it, inserted] = index_.find_or_insert(key);
+    if (!inserted) return {it->second, true};
+    auto [priority, aux] = make();
+    uint32_t id = AllocNode(key, std::move(aux));
+    uint32_t pos = static_cast<uint32_t>(heap_.size());
+    heap_.push_back(HeapSlot{std::move(priority), id});
+    nodes_[id].heap_pos = pos;
+    it->second = id;
+    SiftUp(pos);
+    return {id, false};
+  }
+
+  /// Single-probe counterpart of ReplaceTop: looks up `key` and, when
+  /// absent, evicts the root and admits `key` in its node — the
+  /// space-saving replacement step fused with the membership test that
+  /// precedes it. The index entry is placed by the lookup's own probe; only
+  /// the evicted key pays a second (erase) probe. `make()` is invoked only
+  /// on a miss, before the root is touched, and must return the newcomer's
+  /// `std::pair<P, Aux>`. Heap must be non-empty. Returns the node id and
+  /// whether the key was already present.
+  template <typename MakeFn>
+  std::pair<Id, bool> FindOrReplaceTopWith(const K& key, MakeFn&& make) {
+    assert(!empty());
+    auto [it, inserted] = index_.find_or_insert(key);
+    if (!inserted) return {it->second, true};
+    auto [priority, aux] = make();
+    uint32_t id = heap_[0].id;
+    // Erase after the insert above: erase never relocates entries, so `it`
+    // stays valid (the root's key is distinct from `key`, which was absent).
+    index_.erase(nodes_[id].key);
+    nodes_[id].key = key;
+    nodes_[id].aux = std::move(aux);
+    heap_[0].priority = std::move(priority);
+    it->second = id;
+    SiftDown(0);
+    return {id, false};
+  }
+
+  /// Removes and returns the root (key, priority). Heap must be non-empty.
+  std::pair<K, P> Pop() {
+    assert(!empty());
+    std::pair<K, P> out{nodes_[heap_[0].id].key, std::move(heap_[0].priority)};
+    RemoveAt(0);
+    return out;
+  }
+
+  /// Replaces the root's key/priority/aux in place and restores heap order
+  /// — the space-saving "evict min, admit newcomer" move. Equivalent to
+  /// Pop() + Push(key, ...) but reuses the root's node (one index erase +
+  /// one insert, a single sift-down that usually stops after a level or
+  /// two since the newcomer's priority is near the evicted minimum, and no
+  /// full-depth re-sink of an arbitrary leaf). Heap must be non-empty and
+  /// `key` must not already be present. Returns the (reused) node id.
+  Id ReplaceTop(const K& key, P priority, Aux aux = Aux{}) {
+    assert(!empty());
+    assert(!Contains(key));
+    uint32_t id = heap_[0].id;
+    index_.erase(nodes_[id].key);
+    nodes_[id].key = key;
+    nodes_[id].aux = std::move(aux);
+    heap_[0].priority = std::move(priority);
+    index_[key] = id;
+    SiftDown(0);
+    return id;
+  }
+
+  /// Changes the priority of an existing `key` and restores heap order.
+  void Update(const K& key, P priority) {
+    Id id = IdOf(key);
+    assert(id != kInvalidId);
+    UpdateAt(id, std::move(priority));
+  }
+
   /// Removes `key` if present; returns whether it was present.
   bool Erase(const K& key) {
     auto it = index_.find(key);
     if (it == index_.end()) return false;
-    RemoveAt(it->second);
+    RemoveAt(nodes_[it->second].heap_pos);
     return true;
   }
 
   /// Removes all keys.
   void Clear() {
-    entries_.clear();
+    nodes_.clear();
+    free_.clear();
+    heap_.clear();
     index_.clear();
   }
 
   /// Visits every (key, priority) pair in unspecified (heap) order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (const Entry& e : entries_) fn(e.key, e.priority);
+    for (const HeapSlot& slot : heap_) fn(nodes_[slot.id].key, slot.priority);
+  }
+
+  /// Visits every live node id in unspecified (heap) order. Combine with
+  /// KeyAt/PriorityAt/AuxAt — the mutable-aux iteration primitive (e.g.
+  /// half-life decay of per-key counters stored as aux).
+  template <typename Fn>
+  void ForEachId(Fn&& fn) {
+    for (const HeapSlot& slot : heap_) fn(static_cast<Id>(slot.id));
+  }
+  template <typename Fn>
+  void ForEachId(Fn&& fn) const {
+    for (const HeapSlot& slot : heap_) fn(static_cast<Id>(slot.id));
   }
 
   /// Applies `fn` to every priority in place. `fn` MUST be monotone
@@ -123,94 +265,126 @@ class IndexedMinHeap {
   /// O(n), no re-heapification.
   template <typename Fn>
   void TransformPrioritiesMonotone(Fn&& fn) {
-    for (Entry& e : entries_) e.priority = fn(e.priority);
+    for (HeapSlot& slot : heap_) slot.priority = fn(slot.priority);
     assert(CheckInvariants());
   }
 
   /// Verifies the heap invariant and index consistency; O(n). Intended for
   /// tests (property checks after random operation sequences).
   bool CheckInvariants() const {
-    if (index_.size() != entries_.size()) return false;
-    for (size_t i = 0; i < entries_.size(); ++i) {
-      auto it = index_.find(entries_[i].key);
-      if (it == index_.end() || it->second != i) return false;
-      size_t left = 2 * i + 1, right = 2 * i + 2;
-      if (left < entries_.size() &&
-          cmp_(entries_[left].priority, entries_[i].priority)) {
-        return false;
-      }
-      if (right < entries_.size() &&
-          cmp_(entries_[right].priority, entries_[i].priority)) {
-        return false;
+    if (index_.size() != heap_.size()) return false;
+    if (heap_.size() + free_.size() != nodes_.size()) return false;
+    for (size_t i = 0; i < heap_.size(); ++i) {
+      uint32_t id = heap_[i].id;
+      if (id >= nodes_.size()) return false;
+      if (nodes_[id].heap_pos != i) return false;
+      auto it = index_.find(nodes_[id].key);
+      if (it == index_.end() || it->second != id) return false;
+      for (size_t c = kArity * i + 1;
+           c < kArity * i + 1 + kArity && c < heap_.size(); ++c) {
+        if (cmp_(heap_[c].priority, heap_[i].priority)) return false;
       }
     }
     return true;
   }
 
  private:
-  struct Entry {
-    K key;
+  /// One heap position: priority inline (sift comparisons read contiguous
+  /// memory) plus the owning node's id.
+  struct HeapSlot {
     P priority;
+    uint32_t id;
   };
 
-  void Place(size_t pos, Entry entry) {
-    index_[entry.key] = pos;
-    entries_[pos] = std::move(entry);
+  /// Stable per-key state; a key's node id is fixed for its lifetime.
+  struct Node {
+    K key;
+    uint32_t heap_pos;
+    // Overlaps padding when Aux is the empty default.
+    [[no_unique_address]] Aux aux;
+  };
+
+  static constexpr uint32_t kArity = 4;
+
+  /// Allocates (or recycles) a node for `key`; heap_pos is set by the
+  /// caller once the heap slot exists. Does not touch the index.
+  uint32_t AllocNode(const K& key, Aux aux) {
+    if (!free_.empty()) {
+      uint32_t id = free_.back();
+      free_.pop_back();
+      nodes_[id].key = key;
+      nodes_[id].aux = std::move(aux);
+      return id;
+    }
+    uint32_t id = static_cast<uint32_t>(nodes_.size());
+    nodes_.push_back(Node{key, 0, std::move(aux)});
+    return id;
   }
 
-  void SiftUp(size_t pos) {
-    Entry entry = std::move(entries_[pos]);
+  void PlaceSlot(uint32_t pos, HeapSlot slot) {
+    nodes_[slot.id].heap_pos = pos;
+    heap_[pos] = std::move(slot);
+  }
+
+  void SiftUp(uint32_t pos) {
+    HeapSlot slot = std::move(heap_[pos]);
     while (pos > 0) {
-      size_t parent = (pos - 1) / 2;
-      if (!cmp_(entry.priority, entries_[parent].priority)) break;
-      Place(pos, std::move(entries_[parent]));
+      uint32_t parent = (pos - 1) / kArity;
+      if (!cmp_(slot.priority, heap_[parent].priority)) break;
+      PlaceSlot(pos, std::move(heap_[parent]));
       pos = parent;
     }
-    Place(pos, std::move(entry));
+    PlaceSlot(pos, std::move(slot));
   }
 
-  void SiftDown(size_t pos) {
-    Entry entry = std::move(entries_[pos]);
-    size_t n = entries_.size();
+  void SiftDown(uint32_t pos) {
+    HeapSlot slot = std::move(heap_[pos]);
+    const uint32_t n = static_cast<uint32_t>(heap_.size());
     while (true) {
-      size_t left = 2 * pos + 1;
-      if (left >= n) break;
-      size_t smallest = left;
-      size_t right = left + 1;
-      if (right < n &&
-          cmp_(entries_[right].priority, entries_[left].priority)) {
-        smallest = right;
+      uint32_t first = kArity * pos + 1;
+      if (first >= n) break;
+      uint32_t last = first + kArity < n ? first + kArity : n;
+      uint32_t smallest = first;
+      for (uint32_t c = first + 1; c < last; ++c) {
+        if (cmp_(heap_[c].priority, heap_[smallest].priority)) smallest = c;
       }
-      if (!cmp_(entries_[smallest].priority, entry.priority)) break;
-      Place(pos, std::move(entries_[smallest]));
+      if (!cmp_(heap_[smallest].priority, slot.priority)) break;
+      PlaceSlot(pos, std::move(heap_[smallest]));
       pos = smallest;
     }
-    Place(pos, std::move(entry));
+    PlaceSlot(pos, std::move(slot));
   }
 
-  void RemoveAt(size_t pos) {
-    index_.erase(entries_[pos].key);
-    size_t last = entries_.size() - 1;
+  void RemoveAt(uint32_t pos) {
+    uint32_t id = heap_[pos].id;
+    index_.erase(nodes_[id].key);
+    nodes_[id].aux = Aux{};  // release aux resources
+    free_.push_back(id);
+    uint32_t last = static_cast<uint32_t>(heap_.size()) - 1;
     if (pos != last) {
-      Entry moved = std::move(entries_[last]);
-      entries_.pop_back();
-      // Re-insert the displaced entry at `pos`.
-      entries_[pos] = std::move(moved);
-      index_[entries_[pos].key] = pos;
-      // Restore order in whichever direction is needed.
+      // Move the last heap entry into the hole, then restore order in
+      // whichever direction is needed.
+      PlaceSlot(pos, std::move(heap_[last]));
+      heap_.pop_back();
       if (pos > 0 &&
-          cmp_(entries_[pos].priority, entries_[(pos - 1) / 2].priority)) {
+          cmp_(heap_[pos].priority, heap_[(pos - 1) / kArity].priority)) {
         SiftUp(pos);
       } else {
         SiftDown(pos);
       }
     } else {
-      entries_.pop_back();
+      heap_.pop_back();
     }
   }
 
-  std::vector<Entry> entries_;
-  FlatHashMap<K, size_t> index_;
+  std::vector<Node> nodes_;
+  /// Recycled node ids of erased keys.
+  std::vector<uint32_t> free_;
+  /// Heap order: position -> (priority, node id).
+  std::vector<HeapSlot> heap_;
+  /// By-key index: key -> node id (NOT heap position — ids are stable, so
+  /// sifting never touches this map).
+  FlatHashMap<K, uint32_t> index_;
   Compare cmp_;
 };
 

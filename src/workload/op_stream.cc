@@ -93,6 +93,7 @@ OpStream::OpStream(uint64_t item_count, std::vector<Phase> phases,
     : item_count_(item_count), phases_(std::move(phases)), rng_(seed) {}
 
 bool OpStream::Done() const {
+  if (peeked_.has_value()) return false;
   if (phase_index_ >= phases_.size()) return true;
   const Phase& last = phases_.back();
   if (last.num_ops == 0) return false;  // unbounded tail phase
@@ -100,6 +101,20 @@ bool OpStream::Done() const {
 }
 
 Op OpStream::Next() {
+  if (peeked_.has_value()) {
+    Op op = *peeked_;
+    peeked_.reset();
+    return op;
+  }
+  return Draw();
+}
+
+const Op& OpStream::Peek() {
+  if (!peeked_.has_value()) peeked_ = Draw();
+  return *peeked_;
+}
+
+Op OpStream::Draw() {
   assert(!Done());
   Phase* phase = &phases_[phase_index_];
   while (phase->num_ops != 0 && phase->emitted >= phase->num_ops) {

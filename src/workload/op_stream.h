@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,12 @@ class OpStream {
   /// Draws the next operation. Must not be called when `Done()`.
   Op Next();
 
+  /// The operation `Next` will return, without consuming it (drawn once
+  /// and buffered, so the stream stays deterministic). Must not be called
+  /// when `Done()`. Lets batching drivers stop a read batch at the first
+  /// update without losing it.
+  const Op& Peek();
+
   /// Index of the phase the next operation will come from.
   size_t current_phase() const { return phase_index_; }
   /// Number of operations emitted so far.
@@ -92,10 +99,14 @@ class OpStream {
 
   OpStream(uint64_t item_count, std::vector<Phase> phases, uint64_t seed);
 
+  /// Draws one operation from the underlying phases (shared by Next/Peek).
+  Op Draw();
+
   uint64_t item_count_;
   std::vector<Phase> phases_;
   size_t phase_index_ = 0;
   uint64_t ops_emitted_ = 0;
+  std::optional<Op> peeked_;  // drawn by Peek, not yet consumed by Next
   Rng rng_;
 };
 

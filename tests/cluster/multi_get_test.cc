@@ -1,0 +1,449 @@
+// Tests for the batched read path: FrontendClient::MultiGet and the fenced
+// BackendServer::MultiGet underneath it. The contract under test is the one
+// DESIGN.md states — a batch is logically equivalent to N sequential Gets
+// (same local probes and fills, same per-key accounting, op clock +1 per
+// key) with only the transport amortized — so most tests here are
+// differentials: the same key stream through a batching client and a
+// per-key client on twin clusters must leave identical traffic counters,
+// identical shard contents, and identical values.
+//
+// Known, documented divergences (NOT covered by exact differentials):
+// fault draws happen once per sub-batch instead of once per key, and an
+// epoch-mismatch rejection counts once per rejected sub-batch instead of
+// once per key. Those paths get behavioural tests instead.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "cache/lru_cache.h"
+#include "cluster/backend_server.h"
+#include "cluster/cache_cluster.h"
+#include "cluster/consistent_hash_ring.h"
+#include "cluster/fault_injector.h"
+#include "cluster/frontend_client.h"
+#include "cluster/routing.h"
+#include "core/cot_cache.h"
+#include "metrics/event_tracer.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace cot::cluster {
+namespace {
+
+void ExpectStatsEqual(const FrontendStats& batch, const FrontendStats& seq) {
+  EXPECT_EQ(batch.reads, seq.reads);
+  EXPECT_EQ(batch.updates, seq.updates);
+  EXPECT_EQ(batch.local_hits, seq.local_hits);
+  EXPECT_EQ(batch.backend_lookups, seq.backend_lookups);
+  EXPECT_EQ(batch.backend_hits, seq.backend_hits);
+  EXPECT_EQ(batch.storage_reads, seq.storage_reads);
+  EXPECT_EQ(batch.failed_requests, seq.failed_requests);
+  EXPECT_EQ(batch.retries, seq.retries);
+  EXPECT_EQ(batch.failovers, seq.failovers);
+  EXPECT_EQ(batch.degraded_ops, seq.degraded_ops);
+  EXPECT_EQ(batch.invalidations, seq.invalidations);
+  EXPECT_EQ(batch.breaker_trips, seq.breaker_trips);
+  EXPECT_EQ(batch.epoch_mismatches, seq.epoch_mismatches);
+  EXPECT_EQ(batch.route_refreshes, seq.route_refreshes);
+}
+
+void ExpectClusterStateEqual(const CacheCluster& a, const CacheCluster& b) {
+  ASSERT_EQ(a.ring().server_count(), b.ring().server_count());
+  for (ServerId sid = 0; sid < a.ring().server_count(); ++sid) {
+    EXPECT_EQ(a.server(sid).size(), b.server(sid).size()) << "shard " << sid;
+    EXPECT_EQ(a.server(sid).lookup_count(), b.server(sid).lookup_count())
+        << "shard " << sid;
+    EXPECT_EQ(a.server(sid).hit_count(), b.server(sid).hit_count())
+        << "shard " << sid;
+    EXPECT_EQ(a.server(sid).set_count(), b.server(sid).set_count())
+        << "shard " << sid;
+  }
+}
+
+/// Drives the same `keys` stream through a batching client (chunks of
+/// `batch`) and a per-key client on twin clusters, then asserts values,
+/// client stats, per-shard epoch/cumulative counters, and shard-side
+/// traffic all match exactly.
+void RunDifferential(std::unique_ptr<cache::Cache> batch_cache,
+                     std::unique_ptr<cache::Cache> seq_cache,
+                     const std::vector<cache::Key>& keys, size_t batch) {
+  CacheCluster batch_cluster(8, 2000);
+  CacheCluster seq_cluster(8, 2000);
+  FrontendClient batch_client(&batch_cluster, std::move(batch_cache));
+  FrontendClient seq_client(&seq_cluster, std::move(seq_cache));
+
+  for (size_t i = 0; i < keys.size(); i += batch) {
+    size_t n = std::min(batch, keys.size() - i);
+    std::vector<cache::Value> got = batch_client.MultiGet(
+        std::span<const cache::Key>(&keys[i], n));
+    ASSERT_EQ(got.size(), n);
+    for (size_t j = 0; j < n; ++j) {
+      cache::Value want = seq_client.Get(keys[i + j]);
+      ASSERT_EQ(got[j], want) << "key " << keys[i + j] << " at " << (i + j);
+    }
+  }
+
+  EXPECT_EQ(batch_client.op_clock(), seq_client.op_clock());
+  ExpectStatsEqual(batch_client.stats(), seq_client.stats());
+  EXPECT_EQ(batch_client.epoch_lookups(), seq_client.epoch_lookups());
+  EXPECT_EQ(batch_client.cumulative_lookups(),
+            seq_client.cumulative_lookups());
+  ExpectClusterStateEqual(batch_cluster, seq_cluster);
+}
+
+std::vector<cache::Key> RandomKeys(uint64_t seed, size_t n,
+                                   uint64_t key_space) {
+  Rng rng(seed);
+  std::vector<cache::Key> keys(n);
+  for (auto& k : keys) k = rng.NextBelow(key_space);
+  return keys;
+}
+
+TEST(MultiGetTest, CachelessDifferentialAcrossBatchSizes) {
+  // Dense key space (500 keys, 4000 reads) so batches repeat keys both
+  // across and within a batch — a cacheless client pays one backend
+  // lookup per occurrence sequentially, and the sub-batch reproduces that
+  // exactly.
+  auto keys = RandomKeys(11, 4000, 500);
+  for (size_t batch : {1u, 2u, 7u, 16u, 64u}) {
+    SCOPED_TRACE(batch);
+    RunDifferential(nullptr, nullptr, keys, batch);
+  }
+}
+
+TEST(MultiGetTest, NoEvictLruDifferentialAcrossBatchSizes) {
+  // A local cache big enough to never evict: the batch's probe/fill split
+  // (probe all keys, then fill misses in key order with duplicate slots
+  // re-probed) must be invisible — byte-identical stats.
+  auto keys = RandomKeys(12, 4000, 500);
+  for (size_t batch : {1u, 3u, 16u, 64u}) {
+    SCOPED_TRACE(batch);
+    RunDifferential(std::make_unique<cache::LruCache>(1024),
+                    std::make_unique<cache::LruCache>(1024), keys, batch);
+  }
+}
+
+TEST(MultiGetTest, WithinBatchDuplicatesCountLikeSequentialGets) {
+  // The sharp edge of batch/sequential equivalence: a duplicate inside one
+  // batch. Sequentially the first Get fills the local cache and the
+  // second hits it; the batch must defer the duplicate past the fill phase
+  // and re-probe, producing the same hit.
+  CacheCluster cluster(4, 1000);
+  FrontendClient client(&cluster, std::make_unique<cache::LruCache>(64));
+  const cache::Key k1 = 42, k2 = 7;
+  std::vector<cache::Key> batch = {k1, k1, k2, k1, k2};
+  std::vector<cache::Value> got = client.MultiGet(batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(got[i], StorageLayer::InitialValue(batch[i])) << i;
+  }
+  // Exactly one backend visit per distinct key; every repeat is a local
+  // hit, just as five sequential Gets would produce.
+  EXPECT_EQ(client.stats().reads, 5u);
+  EXPECT_EQ(client.stats().backend_lookups, 2u);
+  EXPECT_EQ(client.stats().local_hits, 3u);
+  EXPECT_EQ(client.stats().storage_reads, 2u);
+  EXPECT_EQ(client.op_clock(), 5u);
+}
+
+TEST(MultiGetTest, SmallCotCacheValuesAlwaysAuthoritative) {
+  // With a small evicting CoT cache the batch's probe-then-fill ordering
+  // can admit/evict microscopically differently from sequential Gets
+  // (documented divergence), but values must always be authoritative.
+  CacheCluster cluster(8, 2000);
+  FrontendClient client(
+      &cluster, std::make_unique<core::CotCache>(32, 128));
+  auto keys = RandomKeys(13, 3000, 400);
+  for (size_t i = 0; i < keys.size(); i += 16) {
+    size_t n = std::min<size_t>(16, keys.size() - i);
+    auto got = client.MultiGet(std::span<const cache::Key>(&keys[i], n));
+    for (size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(got[j], cluster.storage().Get(keys[i + j]));
+    }
+  }
+  // Bookkeeping is still per key.
+  EXPECT_EQ(client.stats().reads, keys.size());
+  EXPECT_EQ(client.op_clock(), keys.size());
+  EXPECT_EQ(client.stats().local_hits + client.stats().backend_lookups,
+            keys.size());
+}
+
+TEST(MultiGetTest, EmptyAndSingletonBatches) {
+  CacheCluster cluster(4, 1000);
+  FrontendClient client(&cluster, std::make_unique<cache::LruCache>(8));
+  EXPECT_TRUE(client.MultiGet({}).empty());
+  EXPECT_EQ(client.op_clock(), 0u);
+  EXPECT_EQ(client.stats().reads, 0u);
+
+  std::vector<cache::Key> one = {9};
+  auto got = client.MultiGet(one);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], StorageLayer::InitialValue(9));
+  EXPECT_EQ(client.op_clock(), 1u);
+  EXPECT_EQ(client.stats().backend_lookups, 1u);
+}
+
+/// Trivial deterministic router: key % servers. Exercises the router
+/// fallback, where MultiGet degrades to per-key Gets by contract.
+class ModRouter : public RoutingPolicy {
+ public:
+  explicit ModRouter(uint32_t servers) : servers_(servers) {}
+  ServerId Route(uint64_t key) override {
+    return static_cast<ServerId>(key % servers_);
+  }
+
+ private:
+  uint32_t servers_;
+};
+
+TEST(MultiGetTest, RouterFallbackMatchesPerKeyGets) {
+  CacheCluster batch_cluster(4, 1000);
+  CacheCluster seq_cluster(4, 1000);
+  ModRouter batch_router(4);
+  ModRouter seq_router(4);
+  FrontendClient batch_client(&batch_cluster,
+                              std::make_unique<cache::LruCache>(256));
+  FrontendClient seq_client(&seq_cluster,
+                            std::make_unique<cache::LruCache>(256));
+  batch_client.SetRouter(&batch_router);
+  seq_client.SetRouter(&seq_router);
+
+  auto keys = RandomKeys(14, 1000, 300);
+  for (size_t i = 0; i < keys.size(); i += 8) {
+    size_t n = std::min<size_t>(8, keys.size() - i);
+    auto got =
+        batch_client.MultiGet(std::span<const cache::Key>(&keys[i], n));
+    for (size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(got[j], seq_client.Get(keys[i + j]));
+    }
+  }
+  ExpectStatsEqual(batch_client.stats(), seq_client.stats());
+  EXPECT_EQ(batch_client.cumulative_lookups(),
+            seq_client.cumulative_lookups());
+  ExpectClusterStateEqual(batch_cluster, seq_cluster);
+}
+
+TEST(MultiGetTest, CrashWindowDegradesToStorageAndStaysCorrect) {
+  // A shard crashed for the whole run: batched reads to it retry, trip
+  // the breaker, and fail over to storage — every value still
+  // authoritative, every key still counted as a read. (Fault draws are
+  // per sub-batch, a documented divergence from per-key Gets, so this is
+  // a behavioural test, not a differential.)
+  CacheCluster cluster(4, 1000);
+  FrontendClient client(&cluster, nullptr);
+  const ServerId dead = 1;
+  FaultSchedule schedule;
+  schedule.events.push_back(FaultEvent{dead, FaultType::kCrash,
+                                       /*start_op=*/0,
+                                       /*end_op=*/1000000});
+  FaultInjector injector(schedule);
+  FailurePolicy policy;
+  policy.breaker_failure_threshold = 2;
+  policy.breaker_cooldown_ops = 32;
+  client.SetFaultInjector(&injector, /*client_id=*/0, policy);
+
+  auto keys = RandomKeys(15, 512, 800);
+  uint64_t dead_keys = 0;
+  for (size_t i = 0; i < keys.size(); i += 16) {
+    auto got = client.MultiGet(std::span<const cache::Key>(&keys[i], 16));
+    for (size_t j = 0; j < 16; ++j) {
+      ASSERT_EQ(got[j], cluster.storage().Get(keys[i + j]));
+      if (cluster.ring().ServerFor(keys[i + j]) == dead) ++dead_keys;
+    }
+  }
+  ASSERT_GT(dead_keys, 0u);
+  EXPECT_EQ(client.stats().breaker_trips, 1u);
+  // Every key owned by the dead shard was served anyway, from storage —
+  // either as a failover (delivery failed) or a degraded read (breaker
+  // open, shard never contacted).
+  EXPECT_EQ(client.stats().failovers + client.stats().degraded_ops,
+            dead_keys);
+  EXPECT_GT(client.stats().degraded_ops, 0u);
+  EXPECT_EQ(cluster.server(dead).lookup_count(), 0u);
+}
+
+TEST(MultiGetTest, EpochMismatchMidBatchRefreshesAndRecovers) {
+  CacheCluster cluster(4, 1000);
+  FrontendClient client(&cluster, nullptr);
+  auto keys = RandomKeys(16, 64, 900);
+  // Warm pass, then a topology change behind the client's back.
+  client.MultiGet(keys);
+  cluster.AddServer();
+  ASSERT_NE(client.route_view_epoch(),
+            cluster.ring_snapshot_synced()->epoch);
+
+  auto got = client.MultiGet(keys);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(got[i], cluster.storage().Get(keys[i]));
+  }
+  // Every stale sub-batch was rejected whole (one mismatch per rejected
+  // request — it IS one request), one refresh serviced the round, and the
+  // client's view is current again.
+  EXPECT_GE(client.stats().epoch_mismatches, 1u);
+  EXPECT_LE(client.stats().epoch_mismatches, 4u);  // <= old shard count
+  EXPECT_EQ(client.stats().route_refreshes, 1u);
+  EXPECT_EQ(client.route_view_epoch(),
+            cluster.ring_snapshot_synced()->epoch);
+  EXPECT_EQ(client.stats().failovers, 0u);
+
+  // Steady state after the refresh: no further mismatches.
+  client.MultiGet(keys);
+  EXPECT_EQ(client.stats().route_refreshes, 1u);
+}
+
+TEST(MultiGetTest, TracerRecordsOneBatchLookupEvent) {
+  CacheCluster cluster(4, 1000);
+  FrontendClient client(&cluster, std::make_unique<cache::LruCache>(64));
+  metrics::EventTracer tracer(1024, /*client=*/0);
+  client.SetTracer(&tracer);
+
+  std::vector<cache::Key> keys = {1, 2, 3, 1, 2};  // 2 dup local hits
+  client.MultiGet(keys);
+  std::vector<metrics::TraceEvent> events;
+  for (const auto& e : tracer.Events()) {
+    if (e.type == metrics::TraceEventType::kBatchLookup) events.push_back(e);
+  }
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].op_clock, 0u);  // stamped at batch entry
+  const auto& p =
+      std::get<metrics::BatchLookupPayload>(events[0].payload);
+  EXPECT_EQ(p.batch_size, 5u);
+  EXPECT_EQ(p.local_hits, 2u);
+  EXPECT_EQ(p.backend_keys, 3u);
+  EXPECT_GE(p.sub_batches, 1u);
+  EXPECT_LE(p.sub_batches, 3u);
+  EXPECT_EQ(p.local_hits + p.backend_keys, p.batch_size);
+}
+
+TEST(BackendServerMultiGetTest, AccountsLikeFencedGetsPlusFills) {
+  BackendServer shard;
+  shard.Set(1, 100);
+  shard.Set(2, 200);
+  uint64_t fetched = 0;
+  std::vector<cache::Key> keys = {1, 5, 2, 6};
+  std::vector<cache::Value> out(keys.size());
+  auto result = shard.MultiGet(
+      keys, /*client_epoch=*/0,
+      [&](cache::Key k) {
+        ++fetched;
+        return k + 1000;
+      },
+      out.data());
+  EXPECT_EQ(result.status, BackendServer::ShardStatus::kOk);
+  EXPECT_EQ(result.hits, 2u);
+  EXPECT_EQ(out, (std::vector<cache::Value>{100, 1005, 200, 1006}));
+  EXPECT_EQ(fetched, 2u);  // only the misses hit the authoritative layer
+  // Counter deltas: one lookup per key, one set per original fill plus one
+  // per batch fill.
+  EXPECT_EQ(shard.lookup_count(), 4u);
+  EXPECT_EQ(shard.hit_count(), 2u);
+  EXPECT_EQ(shard.set_count(), 4u);
+  EXPECT_EQ(shard.size(), 4u);  // misses were installed
+  // The fills are resident now: a second pass is all hits, no fetches.
+  auto again = shard.MultiGet(
+      keys, 0, [&](cache::Key k) { ++fetched; return k; }, out.data());
+  EXPECT_EQ(again.hits, 4u);
+  EXPECT_EQ(fetched, 2u);
+}
+
+TEST(BackendServerMultiGetTest, StaleEpochRejectsBatchAtomically) {
+  BackendServer shard;
+  shard.Set(1, 100);
+  shard.SetRoutingEpoch(7);
+  std::vector<cache::Key> keys = {1, 2};
+  std::vector<cache::Value> out(keys.size(), 0);
+  bool fetch_called = false;
+  auto result = shard.MultiGet(
+      keys, /*client_epoch=*/3,
+      [&](cache::Key k) {
+        fetch_called = true;
+        return k;
+      },
+      out.data());
+  EXPECT_EQ(result.status, BackendServer::ShardStatus::kEpochMismatch);
+  EXPECT_EQ(result.shard_epoch, 7u);
+  // Rejected whole: no fetch, no content change, no per-key counters —
+  // exactly one mismatch counted for the one request.
+  EXPECT_FALSE(fetch_called);
+  EXPECT_EQ(shard.size(), 1u);
+  EXPECT_EQ(shard.lookup_count(), 0u);
+  EXPECT_EQ(shard.hit_count(), 0u);
+  EXPECT_EQ(shard.epoch_mismatch_count(), 1u);
+}
+
+TEST(ConsistentHashRingTest, BucketIndexMatchesBinarySearchReference) {
+  // The bucket index in ServerFor is new hot-path code; pin it against an
+  // independently built sorted-points + lower_bound reference (same point
+  // placement function) across add/remove churn.
+  struct RefPoint {
+    uint64_t position;
+    ServerId server;
+  };
+  auto reference_for = [](const std::vector<RefPoint>& pts, uint64_t key) {
+    uint64_t h = Mix64(key);
+    auto it = std::lower_bound(
+        pts.begin(), pts.end(), h,
+        [](const RefPoint& p, uint64_t v) { return p.position < v; });
+    if (it == pts.end()) it = pts.begin();
+    return it->server;
+  };
+  auto rebuild = [](const std::vector<ServerId>& servers,
+                    uint32_t virtual_nodes) {
+    std::vector<RefPoint> pts;
+    for (ServerId id : servers) {
+      for (uint32_t v = 0; v < virtual_nodes; ++v) {
+        pts.push_back(
+            RefPoint{HashPair(static_cast<uint64_t>(id) + 1, v), id});
+      }
+    }
+    std::sort(pts.begin(), pts.end(),
+              [](const RefPoint& a, const RefPoint& b) {
+                if (a.position != b.position) return a.position < b.position;
+                return a.server < b.server;
+              });
+    return pts;
+  };
+
+  for (uint32_t virtual_nodes : {1u, 3u, 128u}) {
+    SCOPED_TRACE(virtual_nodes);
+    ConsistentHashRing ring(4, virtual_nodes);
+    std::vector<ServerId> servers = {0, 1, 2, 3};
+    Rng rng(99);
+    for (int round = 0; round < 6; ++round) {
+      auto pts = rebuild(servers, virtual_nodes);
+      for (int i = 0; i < 2000; ++i) {
+        uint64_t key = rng.NextUint64();
+        ASSERT_EQ(ring.ServerFor(key), reference_for(pts, key))
+            << "round " << round << " key " << key;
+      }
+      // Churn: alternately drop a server and add a fresh one.
+      if (round % 2 == 0 && servers.size() > 1) {
+        ServerId victim = servers[rng.NextBelow(servers.size())];
+        ASSERT_TRUE(ring.RemoveServer(victim).ok());
+        servers.erase(std::find(servers.begin(), servers.end(), victim));
+      } else {
+        servers.push_back(ring.AddServer());
+      }
+    }
+  }
+}
+
+TEST(ConsistentHashRingTest, BucketIndexSurvivesSparseRing) {
+  // Degenerate shapes: a single point (every key wraps to it) and a
+  // two-point ring where almost all buckets are empty and borrow the
+  // successor's start.
+  ConsistentHashRing ring(2, 1);
+  ASSERT_TRUE(ring.RemoveServer(1).ok());
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(ring.ServerFor(rng.NextUint64()), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace cot::cluster

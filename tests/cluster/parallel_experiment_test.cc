@@ -143,6 +143,77 @@ TEST(ParallelExperimentTest, TraceAndStatsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+/// Batching is a transport optimization: a cacheless mixed read/update run
+/// driven through MultiGet sub-batches must reproduce the per-op run's
+/// per-client traffic and per-shard loads exactly (each occurrence of a
+/// key pays its backend visit either way, and an update flushes the
+/// pending run first). The one thing batching IS allowed to move is the
+/// shard-hit vs storage-read split of those visits — shard content is
+/// shared state, and a batched turn schedule interleaves the clients'
+/// fills differently — so only the split's sum is pinned here.
+TEST(ParallelExperimentTest, BatchedCachelessRunMatchesPerOpRun) {
+  ExperimentConfig config = ParallelConfig(0.95);
+  auto cacheless = [](uint32_t) { return std::unique_ptr<cache::Cache>(); };
+  auto per_op = RunExperiment(config, cacheless, nullptr);
+  ASSERT_TRUE(per_op.ok());
+
+  for (uint32_t batch : {4u, 16u, 64u}) {
+    config.batch_size = batch;
+    auto batched = RunExperiment(config, cacheless, nullptr);
+    ASSERT_TRUE(batched.ok());
+    EXPECT_EQ(batched->per_server_lookups, per_op->per_server_lookups)
+        << "batch=" << batch;
+    EXPECT_EQ(batched->total_backend_lookups, per_op->total_backend_lookups);
+    EXPECT_EQ(batched->aggregate.reads, per_op->aggregate.reads);
+    EXPECT_EQ(batched->aggregate.updates, per_op->aggregate.updates);
+    EXPECT_EQ(
+        batched->aggregate.backend_hits + batched->aggregate.storage_reads,
+        per_op->aggregate.backend_hits + per_op->aggregate.storage_reads)
+        << "batch=" << batch;
+    ASSERT_EQ(batched->per_client.size(), per_op->per_client.size());
+    for (size_t i = 0; i < per_op->per_client.size(); ++i) {
+      EXPECT_EQ(batched->per_client[i].backend_lookups,
+                per_op->per_client[i].backend_lookups)
+          << "batch=" << batch << " client " << i;
+      EXPECT_EQ(batched->per_client[i].updates,
+                per_op->per_client[i].updates);
+    }
+  }
+}
+
+/// A batched run's merged trace (including the new kBatchLookup events) is
+/// still a pure function of each client's own stream — byte-identical at
+/// any thread count.
+TEST(ParallelExperimentTest, BatchedTraceByteIdenticalAcrossThreadCounts) {
+  ExperimentConfig config = ParallelConfig(1.0);
+  config.trace_capacity = 8192;
+  config.batch_size = 16;
+  auto cacheless = [](uint32_t) { return std::unique_ptr<cache::Cache>(); };
+
+  auto serialize = [](const std::vector<metrics::TraceEvent>& trace) {
+    std::string jsonl;
+    for (const auto& event : trace) {
+      jsonl += metrics::ToJson(event);
+      jsonl += '\n';
+    }
+    return jsonl;
+  };
+
+  auto serial = RunExperiment(config, cacheless, nullptr);
+  ASSERT_TRUE(serial.ok());
+  std::string serial_jsonl = serialize(serial->trace);
+  EXPECT_GT(serial->metrics.counter("trace/events/batch_lookup"), 0u);
+
+  for (uint32_t threads : {2u, 4u}) {
+    config.num_threads = threads;
+    auto parallel = RunExperiment(config, cacheless, nullptr);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(serialize(parallel->trace), serial_jsonl)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->trace_dropped, serial->trace_dropped);
+  }
+}
+
 /// Tracing off (the default) leaves the result's trace empty but still
 /// exports run metrics.
 TEST(ParallelExperimentTest, TracingDisabledByDefault) {

@@ -180,5 +180,171 @@ TEST(FlatHashMapPropertyTest, ClearKeepsTableReusable) {
   }
 }
 
+TEST(FlatHashMapPropertyTest, FindOrInsertMatchesModelUnderChurn) {
+  // The one-probe find-or-insert entry point under the same churn the
+  // random campaign applies to the classic mutators: fresh inserts get a
+  // default-constructed value the caller then assigns; repeats must hand
+  // back the live entry.
+  Rng rng(1234);
+  FlatHashMap<uint64_t, uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> model;
+  for (uint64_t i = 0; i < 30000; ++i) {
+    uint64_t key = rng.NextBelow(48);
+    double roll = rng.NextDouble();
+    if (roll < 0.6) {
+      auto [it, inserted] = map.find_or_insert(key);
+      auto [mit, model_inserted] = model.try_emplace(key, 0);
+      ASSERT_EQ(inserted, model_inserted) << "op " << i << " key " << key;
+      it->second += key + 3;
+      mit->second += key + 3;
+      ASSERT_EQ(it->second, mit->second);
+    } else if (roll < 0.9) {
+      ASSERT_EQ(map.erase(key), model.erase(key)) << "op " << i;
+    } else {
+      map.reserve(map.size() + rng.NextBelow(32));
+    }
+    if (i % 1024 == 1023) ExpectMatchesModel(map, model, 48);
+  }
+  ExpectMatchesModel(map, model, 48);
+}
+
+TEST(FlatHashMapPropertyTest, TombstoneSlotsAreReusedWithoutGrowth) {
+  // Insert/erase cycles over a fixed working set must not grow the table:
+  // the insert probe takes the first tombstone on the key's probe path,
+  // and the rehash trigger purges the rest. A leak of either kind shows
+  // up as bucket_count creep (or unbounded tombstone_count).
+  FlatHashMap<uint64_t, uint64_t> map;
+  for (uint64_t i = 0; i < 6; ++i) map.insert_or_assign(i * 131, i);
+  const size_t buckets = map.bucket_count();
+  for (uint64_t cycle = 0; cycle < 5000; ++cycle) {
+    uint64_t key = (cycle % 6) * 131;
+    ASSERT_EQ(map.erase(key), 1u);
+    map.insert_or_assign(key, cycle);
+    ASSERT_EQ(map.size(), 6u);
+    ASSERT_LE(map.tombstone_count(), map.bucket_count());
+  }
+  // Steady-state churn may rehash in place (purging tombstones) but must
+  // never need a bigger table for the same 6 live entries.
+  EXPECT_EQ(map.bucket_count(), buckets);
+  for (uint64_t i = 0; i < 6; ++i) EXPECT_TRUE(map.contains(i * 131));
+}
+
+// ---- SWAR probe-kernel equivalence -------------------------------------
+//
+// The group matchers are the correctness core of the probe loop. Each SWAR
+// kernel has an exact scalar reference next to it in the header; these
+// tests pin the documented contracts over random and adversarial groups.
+
+uint64_t AdversarialGroup(Rng& rng, uint8_t h2) {
+  // Bytes drawn from the values that stress the zero-byte trick: the tag
+  // itself, off-by-one neighbours, both sentinels, and extremes.
+  const uint8_t pool[] = {h2,
+                          static_cast<uint8_t>(h2 + 1),
+                          static_cast<uint8_t>(h2 - 1),
+                          flat_hash_map_detail::kEmpty,
+                          flat_hash_map_detail::kDeleted,
+                          0x00,
+                          0x7F,
+                          0xFF};
+  uint64_t group = 0;
+  for (int b = 0; b < 8; ++b) {
+    group |= static_cast<uint64_t>(pool[rng.NextBelow(8)]) << (8 * b);
+  }
+  return group;
+}
+
+TEST(FlatHashMapPropertyTest, SwarH2MatchAgreesWithScalarReference) {
+  namespace d = flat_hash_map_detail;
+  Rng rng(42);
+  for (int trial = 0; trial < 200000; ++trial) {
+    uint8_t h2 = static_cast<uint8_t>(rng.NextBelow(128));  // tags are 7-bit
+    uint64_t group =
+        (trial % 2 == 0) ? rng.NextUint64() : AdversarialGroup(rng, h2);
+    uint64_t exact = d::MatchH2Scalar(group, h2);
+    uint64_t swar = d::MatchH2Swar(group, h2);
+    // Superset: every true match is flagged.
+    ASSERT_EQ(swar & exact, exact) << "group " << group;
+    // False positives only in the shadow of a true match: a spurious bit
+    // at byte i requires a genuine match at some lower byte.
+    uint64_t spurious = swar & ~exact;
+    for (int b = 0; b < 8; ++b) {
+      if (spurious & (0x80ULL << (8 * b))) {
+        uint64_t lower_true = exact & ((0x80ULL << (8 * b)) - 1);
+        ASSERT_NE(lower_true, 0u)
+            << "unshadowed false positive at byte " << b;
+      }
+    }
+  }
+}
+
+TEST(FlatHashMapPropertyTest, SwarEmptyMatchersAgreeWithScalarReference) {
+  namespace d = flat_hash_map_detail;
+  Rng rng(7);
+  for (int trial = 0; trial < 200000; ++trial) {
+    uint64_t group = (trial % 2 == 0)
+                         ? rng.NextUint64()
+                         : AdversarialGroup(rng, d::kEmpty);
+    // Any-of predicate: exact as a boolean.
+    ASSERT_EQ(d::MatchEmptySwar(group) != 0, d::MatchEmptyScalar(group) != 0)
+        << "group " << group;
+    // The exact variant must agree bit-for-bit.
+    ASSERT_EQ(d::MatchEmptyExactSwar(group), d::MatchEmptyScalar(group))
+        << "group " << group;
+    // Empty-or-deleted = high bit per byte, by construction of the
+    // control encoding.
+    uint64_t expected = 0;
+    for (int b = 0; b < 8; ++b) {
+      if (!d::IsFull(static_cast<uint8_t>(group >> (8 * b)))) {
+        expected |= 0x80ULL << (8 * b);
+      }
+    }
+    ASSERT_EQ(d::MatchEmptyOrDeletedSwar(group), expected);
+  }
+}
+
+#if COT_FLAT_HASH_MAP_HAVE_SSE2
+TEST(FlatHashMapPropertyTest, SimdAndSwarTablesStayIdentical) {
+  // The same operation stream through the 16-wide SSE2 probe and the
+  // 8-wide portable SWAR probe (kUseSimd = false) must produce identical
+  // tables — the group width is an implementation detail.
+  Rng rng(271828);
+  FlatHashMap<uint64_t, uint64_t, true> simd;
+  FlatHashMap<uint64_t, uint64_t, false> swar;
+  std::unordered_map<uint64_t, uint64_t> model;
+  for (uint64_t i = 0; i < 40000; ++i) {
+    uint64_t key = rng.NextBelow(512);
+    double roll = rng.NextDouble();
+    if (roll < 0.5) {
+      uint64_t value = rng.NextUint64();
+      ASSERT_EQ(simd.insert_or_assign(key, value),
+                swar.insert_or_assign(key, value));
+      model.insert_or_assign(key, value);
+    } else if (roll < 0.6) {
+      auto [sit, s_fresh] = simd.find_or_insert(key);
+      auto [wit, w_fresh] = swar.find_or_insert(key);
+      ASSERT_EQ(s_fresh, w_fresh) << "op " << i;
+      sit->second = wit->second = model[key];
+    } else if (roll < 0.95) {
+      ASSERT_EQ(simd.erase(key), swar.erase(key)) << "op " << i;
+      model.erase(key);
+    } else {
+      size_t extra = rng.NextBelow(64);
+      simd.reserve(simd.size() + extra);
+      swar.reserve(swar.size() + extra);
+    }
+    ASSERT_EQ(simd.size(), swar.size()) << "op " << i;
+  }
+  ASSERT_EQ(simd.size(), model.size());
+  for (const auto& [key, value] : model) {
+    auto sit = simd.find(key);
+    auto wit = swar.find(key);
+    ASSERT_NE(sit, simd.end());
+    ASSERT_NE(wit, swar.end());
+    EXPECT_EQ(sit->second, value);
+    EXPECT_EQ(wit->second, value);
+  }
+}
+#endif  // COT_FLAT_HASH_MAP_HAVE_SSE2
+
 }  // namespace
 }  // namespace cot

@@ -140,6 +140,47 @@ TEST(OpStreamTest, DeterministicAcrossRuns) {
   }
 }
 
+TEST(OpStreamTest, PeekDoesNotConsumeOrPerturbTheStream) {
+  // A peek-heavy walk must see exactly the stream a plain walk sees: Peek
+  // draws the op once and Next hands back the same draw, so interleaving
+  // peeks (even repeated ones) cannot shift the sequence.
+  PhaseSpec spec = ZipfPhase(500);
+  spec.read_fraction = 0.9;  // mixed types, so Peek's type matters
+  auto plain = OpStream::Create(200, {spec}, 42);
+  auto peeky = OpStream::Create(200, {spec}, 42);
+  ASSERT_TRUE(plain.ok() && peeky.ok());
+  uint64_t n = 0;
+  while (!plain->Done()) {
+    const Op& peeked = peeky->Peek();
+    const Op& again = peeky->Peek();  // repeated peeks are idempotent
+    EXPECT_EQ(peeked.key, again.key);
+    EXPECT_EQ(peeked.type, again.type);
+    Op expected = plain->Next();
+    Op consumed = peeky->Next();
+    EXPECT_EQ(consumed.key, expected.key);
+    EXPECT_EQ(consumed.type, expected.type);
+    EXPECT_EQ(peeked.key, expected.key);
+    EXPECT_EQ(peeked.type, expected.type);
+    ++n;
+  }
+  EXPECT_TRUE(peeky->Done());
+  EXPECT_EQ(n, 500u);
+  EXPECT_EQ(peeky->ops_emitted(), 500u);
+}
+
+TEST(OpStreamTest, PeekedFinalOpKeepsStreamNotDone) {
+  // The batching driver's termination logic: a peeked-but-unconsumed op is
+  // still owed, so Done() must stay false until Next() takes it.
+  auto stream = OpStream::Create(100, {ZipfPhase(3)}, 9);
+  ASSERT_TRUE(stream.ok());
+  stream->Next();
+  stream->Next();
+  stream->Peek();  // draws the last budgeted op
+  EXPECT_FALSE(stream->Done());
+  stream->Next();
+  EXPECT_TRUE(stream->Done());
+}
+
 TEST(OpStreamTest, DifferentSeedsDiffer) {
   auto s1 = OpStream::Create(1000, {ZipfPhase(200)}, 1);
   auto s2 = OpStream::Create(1000, {ZipfPhase(200)}, 2);

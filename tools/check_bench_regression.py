@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compares a fresh BENCH_micro.json against a committed baseline.
+
+Both files are google-benchmark JSON output, either a single run object or
+a list of run objects (the repo's BENCH_micro.json concatenates one object
+per bench binary). For every benchmark name present in both files the tool
+compares real_time — preferring the `median` aggregate when the file was
+recorded with repetitions — and fails if any benchmark slowed down by more
+than the noise threshold.
+
+Exit status: 0 = no regression, 1 = regression beyond threshold,
+2 = usage / malformed input.
+
+Usage:
+  tools/check_bench_regression.py BASELINE FRESH [--threshold 1.25]
+      [--filter REGEX]
+
+The threshold is a ratio: fresh/baseline above it fails. The default 1.25
+tolerates scheduler noise on a quiet machine; CI smoke jobs run on shared
+machines with a different CPU than the recording host, so they pass a much
+larger value — there the check guards the harness plumbing and
+catastrophic (algorithmic) regressions, not single-digit percents.
+Speedups never fail, whatever their size.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {benchmark name -> real_time ns} for one JSON file.
+
+    Prefers the `median` aggregate; falls back to the plain iteration
+    entry when the file was recorded without repetitions. Non-timing
+    aggregates (stddev, cv, mean) are ignored.
+    """
+    with open(path) as f:
+        data = json.load(f)
+    runs = data if isinstance(data, list) else [data]
+    medians = {}
+    singles = {}
+    for run in runs:
+        for b in run.get("benchmarks", []):
+            agg = b.get("aggregate_name")
+            if agg == "median":
+                name = re.sub(r"_median$", "", b["name"])
+                medians[name] = b["real_time"]
+            elif agg is None and b.get("run_type", "iteration") == "iteration":
+                singles[b["name"]] = b["real_time"]
+    out = dict(singles)
+    out.update(medians)  # medians win over raw iterations of the same name
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail when fresh benchmark timings regress past a "
+        "threshold vs a baseline"
+    )
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("fresh", help="freshly recorded JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="max tolerated fresh/baseline real_time ratio (default 1.25)",
+    )
+    parser.add_argument(
+        "--filter",
+        default="",
+        help="only check benchmark names matching this regex",
+    )
+    args = parser.parse_args()
+    if args.threshold <= 0:
+        print("error: --threshold must be positive", file=sys.stderr)
+        return 2
+
+    try:
+        baseline = load_benchmarks(args.baseline)
+        fresh = load_benchmarks(args.fresh)
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    name_filter = re.compile(args.filter) if args.filter else None
+    common = [
+        n
+        for n in baseline
+        if n in fresh and (name_filter is None or name_filter.search(n))
+    ]
+    if not common:
+        print("error: no common benchmarks between the two files",
+              file=sys.stderr)
+        return 2
+
+    width = max(len(n) for n in common)
+    regressions = []
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  ratio")
+    for name in sorted(common):
+        ratio = fresh[name] / baseline[name] if baseline[name] > 0 else 1.0
+        flag = ""
+        if ratio > args.threshold:
+            regressions.append((name, ratio))
+            flag = "  REGRESSED"
+        print(
+            f"{name:<{width}}  {baseline[name]:>12.1f}  {fresh[name]:>12.1f}"
+            f"  {ratio:5.2f}x{flag}"
+        )
+
+    only_base = sorted(set(baseline) - set(fresh))
+    only_fresh = sorted(set(fresh) - set(baseline))
+    if only_base:
+        print(f"note: {len(only_base)} benchmark(s) only in baseline: "
+              + ", ".join(only_base))
+    if only_fresh:
+        print(f"note: {len(only_fresh)} benchmark(s) only in fresh run: "
+              + ", ".join(only_fresh))
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "
+            f"{args.threshold:.2f}x:"
+        )
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1
+    print(f"\nOK: {len(common)} benchmark(s) within {args.threshold:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

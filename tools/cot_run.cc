@@ -129,6 +129,9 @@ int RunTool(int argc, char** argv) {
   flags.AddInt64("seed", 42, "base RNG seed");
   flags.AddInt64("num-threads", 1,
                  "OS threads driving the clients (1 = serial interleave)");
+  flags.AddInt64("batch-size", 1,
+                 "issue runs of up to N consecutive reads as one batched "
+                 "MultiGet (1 = per-op path)");
   flags.AddBool("elastic", false,
                 "enable CoT elastic resizing (policy must be cot)");
   flags.AddDouble("target-imbalance", 1.1, "elastic resizing target I_t");
@@ -200,6 +203,7 @@ int RunTool(int argc, char** argv) {
   config.total_ops = static_cast<uint64_t>(flags.GetInt64("ops"));
   config.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
   config.num_threads = static_cast<uint32_t>(flags.GetInt64("num-threads"));
+  config.batch_size = static_cast<uint32_t>(flags.GetInt64("batch-size"));
 
   {
     auto faults = cluster::ParseFaultSchedule(
