@@ -158,4 +158,8 @@ void BackendServer::Clear() {
   ResetCounters();
 }
 
+void BackendServer::ConfigureOverload(const OverloadPolicy& policy) {
+  serving_queue_ = std::make_unique<ServingQueue>(policy);
+}
+
 }  // namespace cot::cluster

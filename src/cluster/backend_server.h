@@ -4,12 +4,14 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "cache/cache.h"
+#include "cluster/serving_queue.h"
 #include "util/flat_hash_map.h"
 
 namespace cot::cluster {
@@ -284,6 +286,18 @@ class BackendServer {
     return adopted_count_.load(std::memory_order_relaxed);
   }
 
+  /// Installs overload defenses (bounded serving queue + deadline
+  /// admission) for this shard. Content operations are unaffected — the
+  /// queue models serving *time*, which only open-loop drivers account
+  /// for. Replaces any existing queue (counters reset); do not call while
+  /// another thread is admitting.
+  void ConfigureOverload(const OverloadPolicy& policy);
+
+  /// The shard's serving queue, or nullptr when overload defenses were
+  /// never configured (all closed-loop paths).
+  ServingQueue* serving_queue() { return serving_queue_.get(); }
+  const ServingQueue* serving_queue() const { return serving_queue_.get(); }
+
   /// Visits every resident (key, value) pair under the shard lock (safety
   /// sweeps in tests and invariant checks). `fn` must not call back into
   /// this shard.
@@ -323,6 +337,7 @@ class BackendServer {
   std::atomic<uint64_t> eviction_count_{0};
   std::atomic<uint64_t> epoch_mismatch_count_{0};
   std::atomic<uint64_t> adopted_count_{0};
+  std::unique_ptr<ServingQueue> serving_queue_;
 };
 
 }  // namespace cot::cluster

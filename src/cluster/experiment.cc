@@ -185,6 +185,7 @@ void ExportMetrics(ExperimentResult* result) {
   reg.SetCounter("client/route_refreshes", a.route_refreshes);
   reg.SetCounter("faults/failed_requests", a.failed_requests);
   reg.SetCounter("faults/retries", a.retries);
+  reg.SetCounter("faults/retries_suppressed", a.retries_suppressed);
   reg.SetCounter("faults/failovers", a.failovers);
   reg.SetCounter("faults/degraded_ops", a.degraded_ops);
   reg.SetCounter("faults/lost_invalidations", a.lost_invalidations);
@@ -264,6 +265,14 @@ StatusOr<ExperimentResult> RunExperiment(
     PreloadBackend(cluster, config.key_space, config.num_threads);
   }
 
+  // One shared retry-budget bucket per run (opt-in; see FailurePolicy).
+  std::unique_ptr<RetryBudget> retry_budget;
+  if (config.failure_policy.retry_budget_ratio > 0.0) {
+    retry_budget = std::make_unique<RetryBudget>(
+        config.failure_policy.retry_budget_ratio,
+        config.failure_policy.retry_budget_burst);
+  }
+
   std::vector<std::unique_ptr<FrontendClient>> clients;
   std::vector<workload::OpStream> streams;
   std::vector<std::unique_ptr<metrics::EventTracer>> tracers;
@@ -275,6 +284,9 @@ StatusOr<ExperimentResult> RunExperiment(
     if (injector != nullptr) {
       clients.back()->SetFaultInjector(injector.get(), i,
                                        config.failure_policy);
+    }
+    if (retry_budget != nullptr) {
+      clients.back()->SetRetryBudget(retry_budget.get());
     }
     if (config.trace_capacity > 0) {
       // One private tracer per client, written only by the thread that

@@ -16,6 +16,7 @@ void FrontendStats::Add(const FrontendStats& other) {
   storage_reads += other.storage_reads;
   failed_requests += other.failed_requests;
   retries += other.retries;
+  retries_suppressed += other.retries_suppressed;
   failovers += other.failovers;
   degraded_ops += other.degraded_ops;
   invalidations += other.invalidations;
@@ -171,6 +172,9 @@ void FrontendClient::MaybeRecoverShard(ServerId sid, uint64_t now) {
 bool FrontendClient::TryDeliver(ServerId sid, uint64_t now,
                                 OpOutcome* outcome) {
   if (fault_injector_ == nullptr) return true;
+  // Every delivery attempt that is not a retry is fresh traffic: it funds
+  // the cluster-wide retry budget.
+  if (retry_budget_ != nullptr) retry_budget_->OnFreshRequest();
   uint32_t attempt = 0;
   for (;;) {
     FaultInjector::Decision d =
@@ -196,6 +200,17 @@ bool FrontendClient::TryDeliver(ServerId sid, uint64_t now,
     // A crashed shard is down for the whole window — the retry clock is
     // logical, so re-asking at the same instant cannot succeed.
     if (d.crashed || attempt >= failure_policy_.max_retries) {
+      if (tracer_ != nullptr) {
+        tracer_->Record(now,
+                        metrics::RetryEpisodePayload{
+                            static_cast<uint32_t>(sid), attempt + 1, false});
+      }
+      return false;
+    }
+    // Past the knee, unbounded retries amplify offered load into collapse;
+    // the shared budget caps retry traffic at a fraction of fresh traffic.
+    if (retry_budget_ != nullptr && !retry_budget_->TryConsume()) {
+      ++stats_.retries_suppressed;
       if (tracer_ != nullptr) {
         tracer_->Record(now,
                         metrics::RetryEpisodePayload{
@@ -450,12 +465,24 @@ std::vector<cache::Value> FrontendClient::MultiGet(std::span<const Key> keys) {
     for (size_t i = 0; i < keys.size(); ++i) out[i] = Get(keys[i]);
     return out;
   }
-  // Transport-level events (fault draws, breaker cooldowns, traces) key
-  // off the batch-entry clock; logically the batch is still one op per
-  // key, so the clock advances by the batch size.
+  // Logically the batch is one op per key, so the clock advances by the
+  // batch size. Batch-level events (the BatchLookup trace record) are
+  // stamped at the batch-entry clock; each shard request the batch issues
+  // — a sub-batch, or a deferred-duplicate re-fetch — consumes exactly ONE
+  // tick from the batch's clock interval for its fault draw, regardless of
+  // how many keys it carries (see DESIGN.md "Batched reads"). Ticks are
+  // clamped to the interval so a request can never draw against a clock
+  // the batch does not own.
   const uint64_t now = op_clock_;
   op_clock_ += keys.size();
   stats_.reads += keys.size();
+  const uint64_t last_tick = now + (keys.size() - 1);
+  uint64_t fault_tick = 0;
+  auto next_draw_clock = [&]() {
+    const uint64_t t = now + fault_tick;
+    ++fault_tick;
+    return t < last_tick ? t : last_tick;
+  };
   OpOutcome outcome;  // transport bookkeeping sink (TryDeliver/mismatch)
 
   // 1. Local probes, all keys, in key order. A duplicate of a key that
@@ -516,22 +543,26 @@ std::vector<cache::Value> FrontendClient::MultiGet(std::span<const Key> keys) {
       const ServerId sid = pending[i].sid;
       const size_t count = j - i;
       ++sub_batches;
+      // One request on the wire = one op-clock tick, however many keys it
+      // carries. The breaker check, the fault draw, and recovery all see
+      // the same per-request clock.
+      const uint64_t draw_clock = next_draw_clock();
       bool to_storage = false;
       if (fault_injector_ != nullptr) {
-        if (BreakerBlocks(sid, now)) {
+        if (BreakerBlocks(sid, draw_clock)) {
           // Degraded mode: the whole sub-batch skips the shard; every
           // read it carried is served from storage.
           stats_.degraded_ops += count;
           ++failed_ops_per_server_[sid];
           epoch_shard_unavailable_[sid] = 1;
           to_storage = true;
-        } else if (!TryDeliver(sid, now, &outcome)) {
+        } else if (!TryDeliver(sid, draw_clock, &outcome)) {
           // One fault draw per sub-batch: the batch is one request on the
           // wire, so it fails (and retries) as a unit.
           stats_.failovers += count;
           to_storage = true;
         } else {
-          MaybeRecoverShard(sid, now);
+          MaybeRecoverShard(sid, draw_clock);
         }
       }
       if (to_storage) {
@@ -615,7 +646,9 @@ std::vector<cache::Value> FrontendClient::MultiGet(std::span<const Key> keys) {
           ++stats_.local_hits;
           ++local_hits;
         } else {
-          out[slot] = RingFetch(keys[slot], now, &outcome);
+          // A deferred re-fetch is its own request on the wire: it draws
+          // at the next tick, like a sub-batch.
+          out[slot] = RingFetch(keys[slot], next_draw_clock(), &outcome);
           local_cache_->Put(keys[slot], out[slot]);
           ++backend_keys;
         }

@@ -10,6 +10,7 @@
 #include "cache/cache.h"
 #include "cluster/cache_cluster.h"
 #include "cluster/fault_injector.h"
+#include "cluster/retry_budget.h"
 #include "cluster/routing.h"
 #include "core/cot_cache.h"
 #include "core/elastic_resizer.h"
@@ -34,6 +35,9 @@ struct FrontendStats {
   uint64_t failed_requests = 0;
   /// Re-attempts made after a transient failure.
   uint64_t retries = 0;
+  /// Retries the client wanted but the cluster-wide retry budget denied
+  /// (the op took its fallback path instead of re-asking the shard).
+  uint64_t retries_suppressed = 0;
   /// Reads that contacted a shard, exhausted retries, and fell back to
   /// authoritative storage.
   uint64_t failovers = 0;
@@ -105,6 +109,14 @@ struct FailurePolicy {
   /// to authoritative storage (counted as a failover) and an invalidation
   /// escalates to a fenced cold restart of the key's owner.
   uint32_t max_route_refreshes = 4;
+  /// Cluster-wide retry budget as a fraction of fresh backend traffic
+  /// (0.1 = retries may consume up to ~10% of fresh requests). 0 — the
+  /// default — disables the budget entirely: no shared bucket is created,
+  /// preserving per-client determinism (see `RetryBudget`). The experiment
+  /// drivers construct one shared `RetryBudget` per run when this is set.
+  double retry_budget_ratio = 0.0;
+  /// Bucket cap in whole tokens when the budget is enabled.
+  double retry_budget_burst = 16.0;
 };
 
 /// The paper's modified cache-client library (Section 5.1): a front-end
@@ -175,6 +187,16 @@ class FrontendClient {
   /// restore the never-fails cluster.
   void SetFaultInjector(const FaultInjector* injector, uint32_t client_id,
                         const FailurePolicy& policy = FailurePolicy());
+
+  /// Attaches the cluster-wide retry-budget token bucket (borrowed; one
+  /// instance shared by every client of the cluster; null — the default —
+  /// means unlimited retries up to `FailurePolicy::max_retries`). When the
+  /// bucket is dry a would-be retry is abandoned: the op takes the same
+  /// fallback path as exhausted retries (reads fail over to storage,
+  /// invalidations escalate to the loss fence), counted in
+  /// `FrontendStats::retries_suppressed`. Note the shared bucket couples
+  /// clients, so per-client determinism holds only without one attached.
+  void SetRetryBudget(RetryBudget* budget) { retry_budget_ = budget; }
 
   /// Attaches a structured event sink (borrowed; null disables — the
   /// default, with zero cost beyond one predicted branch on cold paths).
@@ -380,6 +402,7 @@ class FrontendClient {
   core::CotCache* cot_cache_ = nullptr;  // set iff local cache is a CotCache
   std::unique_ptr<core::ElasticResizer> resizer_;
   const FaultInjector* fault_injector_ = nullptr;
+  RetryBudget* retry_budget_ = nullptr;
   uint32_t fault_client_id_ = 0;
   FailurePolicy failure_policy_;
   uint64_t op_clock_ = 0;

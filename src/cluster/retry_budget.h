@@ -1,0 +1,84 @@
+#ifndef COT_CLUSTER_RETRY_BUDGET_H_
+#define COT_CLUSTER_RETRY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace cot::cluster {
+
+/// Cluster-wide retry-budget token bucket.
+///
+/// Retries are the fuel of metastable overload: past the saturation knee,
+/// every timeout spawns a retry, which adds load, which causes more
+/// timeouts — goodput collapses and *stays* collapsed even when offered
+/// load drops back. The industry fix (Finagle, gRPC, Envoy) is a retry
+/// budget: retries may consume at most a fixed fraction of fresh traffic,
+/// so the retry amplification factor is bounded by (1 + ratio) instead of
+/// (1 + max_retries).
+///
+/// Every fresh (first-attempt) backend request deposits `ratio` tokens;
+/// every retry withdraws one. The bucket is capped at `burst` tokens so a
+/// long quiet period cannot bank an unbounded retry storm. Tokens are
+/// tracked in integer milli-tokens so the bucket is a single atomic —
+/// clients on every thread share one instance without a lock.
+///
+/// Determinism note: a *shared* bucket makes each client's retry decisions
+/// depend on sibling traffic, so per-client behaviour is no longer a pure
+/// function of its own stream. The closed-loop determinism suites therefore
+/// run with no budget attached (the default everywhere); the open-loop
+/// harness, whose contract is the accounting identity rather than per-op
+/// equality, enables it.
+class RetryBudget {
+ public:
+  /// `ratio` is the retries-per-fresh-request allowance (0.1 = 10%);
+  /// `burst` is the bucket cap in whole tokens.
+  RetryBudget(double ratio, double burst)
+      : deposit_milli_(static_cast<int64_t>(ratio * 1000.0)),
+        cap_milli_(static_cast<int64_t>(burst * 1000.0)),
+        milli_tokens_(cap_milli_) {}
+
+  /// Deposits the per-fresh-request allowance (saturating at the cap).
+  void OnFreshRequest() {
+    if (deposit_milli_ == 0) return;
+    int64_t cur = milli_tokens_.load(std::memory_order_relaxed);
+    for (;;) {
+      const int64_t next = cur + deposit_milli_ > cap_milli_
+                               ? cap_milli_
+                               : cur + deposit_milli_;
+      if (next == cur) return;
+      if (milli_tokens_.compare_exchange_weak(cur, next,
+                                              std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  /// Withdraws one token for a retry. Returns false (and withdraws
+  /// nothing) when the budget is exhausted — the caller must give up the
+  /// retry and take its fallback path instead.
+  bool TryConsume() {
+    int64_t cur = milli_tokens_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur < 1000) return false;
+      if (milli_tokens_.compare_exchange_weak(cur, cur - 1000,
+                                              std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  /// Current balance in whole tokens (tests / introspection).
+  double tokens() const {
+    return static_cast<double>(milli_tokens_.load(std::memory_order_relaxed)) /
+           1000.0;
+  }
+
+ private:
+  const int64_t deposit_milli_;
+  const int64_t cap_milli_;
+  std::atomic<int64_t> milli_tokens_;
+};
+
+}  // namespace cot::cluster
+
+#endif  // COT_CLUSTER_RETRY_BUDGET_H_

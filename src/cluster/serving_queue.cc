@@ -1,0 +1,62 @@
+#include "cluster/serving_queue.h"
+
+#include <algorithm>
+
+namespace cot::cluster {
+
+void ServingQueue::DrainLocked(uint64_t now_us) {
+  while (!backlog_.empty() && backlog_.front() <= now_us) {
+    backlog_.pop_front();
+  }
+}
+
+ServingQueue::AdmitResult ServingQueue::Admit(uint64_t arrival_us,
+                                              uint64_t service_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DrainLocked(arrival_us);
+  AdmitResult result;
+  result.depth = static_cast<uint32_t>(backlog_.size());
+  uint32_t seen = max_depth_seen_.load(std::memory_order_relaxed);
+  while (result.depth > seen &&
+         !max_depth_seen_.compare_exchange_weak(seen, result.depth,
+                                                std::memory_order_relaxed)) {
+  }
+  if (policy_.max_queue_depth != 0 &&
+      result.depth >= policy_.max_queue_depth) {
+    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    result.status = AdmitStatus::kShedQueueFull;
+    return result;
+  }
+  const uint64_t start =
+      backlog_.empty() ? arrival_us : std::max(arrival_us, backlog_.back());
+  result.wait_us = start - arrival_us;
+  if (policy_.deadline_us != 0 && result.wait_us > policy_.deadline_us) {
+    shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+    result.status = AdmitStatus::kShedDeadline;
+    return result;
+  }
+  result.completion_us = start + service_us;
+  backlog_.push_back(result.completion_us);
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+void ServingQueue::ExtendLast(uint64_t extra_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!backlog_.empty()) backlog_.back() += extra_us;
+}
+
+uint32_t ServingQueue::DepthAt(uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DrainLocked(now_us);
+  return static_cast<uint32_t>(backlog_.size());
+}
+
+bool ServingQueue::UnderPressureAt(uint64_t now_us) {
+  if (policy_.max_queue_depth == 0) return false;
+  const double threshold =
+      policy_.pressure_fraction * static_cast<double>(policy_.max_queue_depth);
+  return static_cast<double>(DepthAt(now_us)) >= threshold;
+}
+
+}  // namespace cot::cluster

@@ -1,0 +1,126 @@
+#ifndef COT_CLUSTER_SERVING_QUEUE_H_
+#define COT_CLUSTER_SERVING_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace cot::cluster {
+
+/// Overload defenses for one back-end shard's serving queue. All knobs
+/// default to "off" so existing closed-loop experiments are unaffected.
+struct OverloadPolicy {
+  /// Maximum number of queued-or-in-service requests. An arrival that finds
+  /// the queue at this depth is shed (tail drop). 0 = unbounded.
+  uint32_t max_queue_depth = 0;
+  /// Deadline-aware admission (CoDel-flavored, applied at enqueue): an
+  /// arrival whose *projected* queueing delay already exceeds this budget
+  /// is shed immediately instead of occupying a slot it cannot use —
+  /// serving a request that will blow its deadline is wasted capacity.
+  /// 0 = no deadline admission.
+  uint64_t deadline_us = 0;
+  /// Queue-pressure threshold as a fraction of `max_queue_depth`. At or
+  /// above it the shard is "under pressure": invalidation fan-out bypasses
+  /// the data queue (tier-1 degradation — deletes are metadata-cheap and
+  /// must not be dropped, or stale reads follow). Meaningless when
+  /// `max_queue_depth` is 0.
+  double pressure_fraction = 0.75;
+};
+
+/// Virtual-time bounded FIFO for one shard.
+///
+/// The queue tracks the *completion timestamps* of admitted requests. An
+/// arrival first drains everything that completed before it, then either
+/// takes the next service slot (waiting behind the current backlog) or is
+/// shed by the tail-drop / deadline rules above. This prices queueing delay
+/// into the simulated latency of every admitted request — the quantity a
+/// closed-loop driver can never observe, because its clients stop offering
+/// load the moment the server slows down.
+///
+/// Thread safety: guarded by a mutex, like the shard content it models.
+/// With one driver thread the admit sequence (and therefore every shed
+/// decision) is fully deterministic; with several, per-op outcomes depend
+/// on arrival interleaving but the accounting identity
+/// offered = admitted + shed always holds exactly.
+class ServingQueue {
+ public:
+  enum class AdmitStatus : uint8_t {
+    kAdmitted = 0,
+    /// Tail drop: queue at max depth.
+    kShedQueueFull = 1,
+    /// Deadline admission: projected wait exceeds the latency budget.
+    kShedDeadline = 2,
+  };
+
+  struct AdmitResult {
+    AdmitStatus status = AdmitStatus::kAdmitted;
+    /// Time spent queued before service starts (admitted only).
+    uint64_t wait_us = 0;
+    /// Virtual time at which service completes (admitted only).
+    uint64_t completion_us = 0;
+    /// Queue depth observed on arrival (before this request joined).
+    uint32_t depth = 0;
+  };
+
+  explicit ServingQueue(const OverloadPolicy& policy) : policy_(policy) {}
+
+  /// Offers one request arriving at `arrival_us` needing `service_us` of
+  /// shard time. Requests are served FIFO, one at a time (a shard is one
+  /// serving process in the sim's latency model).
+  AdmitResult Admit(uint64_t arrival_us, uint64_t service_us);
+
+  /// Extends the most recently admitted request's service by `extra_us`
+  /// (a storage round-trip discovered after admission). No-op if the
+  /// queue has fully drained since.
+  void ExtendLast(uint64_t extra_us);
+
+  /// Queue depth as seen by an arrival at `now_us` (after draining
+  /// completed requests).
+  uint32_t DepthAt(uint64_t now_us);
+
+  /// True when the backlog at `now_us` is at or past
+  /// `pressure_fraction * max_queue_depth` (bounded queues only).
+  bool UnderPressureAt(uint64_t now_us);
+
+  const OverloadPolicy& policy() const { return policy_; }
+
+  uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed_queue_full() const {
+    return shed_queue_full_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed_deadline() const {
+    return shed_deadline_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed_total() const { return shed_queue_full() + shed_deadline(); }
+  /// Invalidations that skipped the data queue under pressure (counted by
+  /// the driver via `NoteBypass`; the queue itself never sees them).
+  uint64_t bypassed() const {
+    return bypassed_.load(std::memory_order_relaxed);
+  }
+  void NoteBypass() { bypassed_.fetch_add(1, std::memory_order_relaxed); }
+  /// High-water mark of observed arrival depth.
+  uint32_t max_depth_seen() const {
+    return max_depth_seen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Drops completions at or before `now_us`. Caller holds `mu_`.
+  void DrainLocked(uint64_t now_us);
+
+  OverloadPolicy policy_;
+  std::mutex mu_;
+  /// Completion timestamps of queued-or-in-service requests, ascending.
+  std::deque<uint64_t> backlog_;
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_queue_full_{0};
+  std::atomic<uint64_t> shed_deadline_{0};
+  std::atomic<uint64_t> bypassed_{0};
+  std::atomic<uint32_t> max_depth_seen_{0};
+};
+
+}  // namespace cot::cluster
+
+#endif  // COT_CLUSTER_SERVING_QUEUE_H_

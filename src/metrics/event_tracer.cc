@@ -23,6 +23,8 @@ std::string_view ToString(TraceEventType type) {
       return "epoch_mismatch";
     case TraceEventType::kBatchLookup:
       return "batch_lookup";
+    case TraceEventType::kLoadShed:
+      return "load_shed";
   }
   return "unknown";
 }
@@ -119,6 +121,12 @@ struct PayloadWriter {
     AppendU64(out, "local_hits", p.local_hits);
     AppendU64(out, "sub_batches", p.sub_batches);
     AppendU64(out, "backend_keys", p.backend_keys);
+  }
+  void operator()(const LoadShedPayload& p) const {
+    AppendU64(out, "server", p.server);
+    AppendStr(out, "reason", p.reason);
+    AppendU64(out, "queue_depth", p.queue_depth);
+    AppendU64(out, "wait_us", p.wait_us);
   }
 };
 

@@ -38,6 +38,10 @@ enum class TraceEventType : uint8_t {
   /// batch carried, how many the local cache absorbed, and how the rest
   /// fanned out over shard sub-batches.
   kBatchLookup,
+  /// An overloaded shard shed a request (bounded serving queue tail drop
+  /// or deadline admission) or let an invalidation bypass the data queue
+  /// under pressure — the open-loop driver's degradation tiers.
+  kLoadShed,
 };
 
 std::string_view ToString(TraceEventType type);
@@ -106,6 +110,13 @@ struct BatchLookupPayload {
   uint32_t backend_keys = 0;  // keys delivered to shards
 };
 
+struct LoadShedPayload {
+  uint32_t server = 0;      // shard whose queue shed / was bypassed
+  std::string_view reason;  // "queue_full" | "deadline" | "invalidation_bypass"
+  uint32_t queue_depth = 0;  // backlog depth observed at the decision
+  uint64_t wait_us = 0;      // projected wait that triggered a deadline shed
+};
+
 /// One recorded event. `(client, seq)` is the deterministic order key:
 /// `seq` increments per tracer, and a tracer is only ever written by the
 /// one thread driving its client, so merged traces are byte-identical at
@@ -118,7 +129,7 @@ struct TraceEvent {
   std::variant<EpochBoundaryPayload, ResizerDecisionPayload,
                BreakerTransitionPayload, FaultActivationPayload,
                RetryEpisodePayload, TopologyChangePayload,
-               EpochMismatchPayload, BatchLookupPayload>
+               EpochMismatchPayload, BatchLookupPayload, LoadShedPayload>
       payload;
 };
 
@@ -172,6 +183,9 @@ class EventTracer {
   }
   void Record(uint64_t op_clock, BatchLookupPayload payload) {
     Push(TraceEventType::kBatchLookup, op_clock, payload);
+  }
+  void Record(uint64_t op_clock, LoadShedPayload payload) {
+    Push(TraceEventType::kLoadShed, op_clock, payload);
   }
 
   /// Retained events, oldest first.

@@ -47,6 +47,7 @@ class Histogram {
   double Median() const { return Percentile(50.0); }
   double P95() const { return Percentile(95.0); }
   double P99() const { return Percentile(99.0); }
+  double P999() const { return Percentile(99.9); }
 
   /// Renders a short single-line summary, e.g. for bench output.
   std::string ToString() const;

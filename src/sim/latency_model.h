@@ -38,6 +38,12 @@ struct LatencyModel {
   /// factor. 0 disables.
   double load_share_penalty = 2.5;
 
+  /// Service time of an invalidation delete at a shard: metadata-only
+  /// (erase a map entry), an order of magnitude below moving a 750 KB
+  /// value. Used by the open-loop simulator's serving queues; the
+  /// closed-loop paths fold invalidations into the RTT as before.
+  double invalidation_service_us = 15.0;
+
   /// Client-side timeout charged for each failed backend attempt: the
   /// client waits this long before declaring the request lost and moving
   /// on (retry, failover, or giving up on an invalidation).

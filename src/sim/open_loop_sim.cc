@@ -1,0 +1,371 @@
+#include "sim/open_loop_sim.h"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+
+#include "cluster/cache_cluster.h"
+#include "cluster/frontend_client.h"
+#include "cluster/retry_budget.h"
+#include "cluster/storage_layer.h"
+#include "metrics/histogram.h"
+
+namespace cot::sim {
+
+namespace {
+
+using cluster::CacheCluster;
+using cluster::FrontendClient;
+using cluster::RetryBudget;
+using cluster::ServingQueue;
+using cluster::StorageLayer;
+
+/// Per-thread accumulator: each driver thread fills its own, merged after
+/// the join, so the replay loop touches no shared counters.
+struct ThreadAccum {
+  uint64_t offered = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;
+  uint64_t goodput = 0;
+  uint64_t local_hits = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t shed_storage = 0;
+  uint64_t degraded_failovers = 0;
+  uint64_t invalidation_bypass = 0;
+  uint64_t retries_suppressed = 0;
+  double latency_sum_us = 0.0;
+  double last_completion_us = 0.0;
+  metrics::Histogram hist_local;
+  metrics::Histogram hist_backend;
+  metrics::Histogram hist_storage;
+  metrics::Histogram hist_degraded;
+  metrics::Histogram hist_update;
+  metrics::Histogram hist_wait;
+};
+
+}  // namespace
+
+StatusOr<OpenLoopResult> RunOpenLoop(const OpenLoopConfig& config,
+                                     const workload::BinaryTraceView& trace,
+                                     const cluster::CacheFactory& factory,
+                                     const LatencyModel& model) {
+  if (trace.empty()) {
+    return Status::InvalidArgument("open-loop replay needs a non-empty trace");
+  }
+  if (config.num_servers == 0) {
+    return Status::InvalidArgument("num_servers must be >= 1");
+  }
+  if (config.logical_clients == 0) {
+    return Status::InvalidArgument("logical_clients must be >= 1");
+  }
+  if (config.num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (config.arrival_rate_per_sec <= 0.0) {
+    return Status::InvalidArgument("arrival_rate_per_sec must be positive");
+  }
+
+  const uint64_t ops = config.max_ops == 0
+                           ? trace.size()
+                           : std::min<uint64_t>(config.max_ops, trace.size());
+  const uint64_t key_space = std::max<uint64_t>(trace.key_space(), 1);
+
+  CacheCluster cluster(config.num_servers, key_space, config.virtual_nodes);
+  if (config.preload_backend) {
+    for (uint64_t key = 0; key < key_space; ++key) {
+      cluster.server(cluster.ring().ServerFor(key))
+          .Set(key, StorageLayer::InitialValue(key));
+    }
+    cluster.ResetServerCounters();
+  }
+  // Every shard gets a serving queue — with the default all-zero policy it
+  // is unbounded and never sheds, but still prices queueing delay: that IS
+  // the no-defense configuration whose latency explodes past the knee.
+  for (uint32_t s = 0; s < config.num_servers; ++s) {
+    cluster.server(s).ConfigureOverload(config.overload);
+  }
+  // The storage tier is one more serving process with the same defenses:
+  // failover traffic queues (and sheds) there instead of vanishing into an
+  // infinitely fast authoritative store.
+  ServingQueue storage_queue(config.overload);
+
+  std::unique_ptr<RetryBudget> budget;
+  if (config.retry_budget_ratio > 0.0) {
+    budget = std::make_unique<RetryBudget>(config.retry_budget_ratio,
+                                           config.retry_budget_burst);
+  }
+
+  std::vector<std::unique_ptr<FrontendClient>> clients;
+  clients.reserve(config.logical_clients);
+  for (uint32_t c = 0; c < config.logical_clients; ++c) {
+    clients.push_back(std::make_unique<FrontendClient>(
+        &cluster, factory ? factory(c) : nullptr));
+    if (budget != nullptr) clients.back()->SetRetryBudget(budget.get());
+  }
+
+  // One arrival sequence for the whole cluster, precomputed so every
+  // thread replays against identical timestamps: arrival i executes trace
+  // op i on logical client i % logical_clients.
+  std::vector<uint64_t> arrivals(ops);
+  {
+    workload::ArrivalGenerator gen(config.arrival,
+                                   config.arrival_rate_per_sec, config.seed);
+    for (uint64_t i = 0; i < ops; ++i) arrivals[i] = gen.Next();
+  }
+
+  const uint32_t num_threads =
+      std::min<uint32_t>(config.num_threads, config.logical_clients);
+  std::vector<ThreadAccum> accums(num_threads);
+  std::vector<std::unique_ptr<metrics::EventTracer>> tracers;
+  if (config.trace_capacity > 0) {
+    tracers.reserve(num_threads);
+    for (uint32_t t = 0; t < num_threads; ++t) {
+      tracers.push_back(
+          std::make_unique<metrics::EventTracer>(config.trace_capacity, t));
+    }
+  }
+
+  auto replay = [&](uint32_t tau) {
+    ThreadAccum& acc = accums[tau];
+    metrics::EventTracer* tracer =
+        config.trace_capacity > 0 ? tracers[tau].get() : nullptr;
+    for (uint64_t i = 0; i < ops; ++i) {
+      const uint32_t c =
+          static_cast<uint32_t>(i % config.logical_clients);
+      if (c % num_threads != tau) continue;
+      const uint64_t now = arrivals[i];
+      const workload::Op op = trace[i];
+      FrontendClient* client = clients[c].get();
+      cache::Cache* local = client->local_cache();
+      ++acc.offered;
+      if (budget != nullptr) budget->OnFreshRequest();
+
+      auto complete = [&](double latency_us, metrics::Histogram* hist) {
+        ++acc.completed;
+        acc.latency_sum_us += latency_us;
+        const double end = static_cast<double>(now) + latency_us;
+        acc.last_completion_us = std::max(acc.last_completion_us, end);
+        if (config.deadline_us == 0 ||
+            latency_us <= static_cast<double>(config.deadline_us)) {
+          ++acc.goodput;
+        }
+        hist->Add(static_cast<uint64_t>(latency_us));
+      };
+
+      if (op.type == workload::OpType::kRead) {
+        // Local-hit fast path: no shard request, no admission decision.
+        // Contains() is non-mutating, so a shed op never perturbs the
+        // cache; the subsequent ApplyDetailed performs the real (LRU/CoT
+        // accounted) hit.
+        if (local != nullptr && local->Contains(op.key)) {
+          client->ApplyDetailed(op);
+          ++acc.local_hits;
+          complete(model.local_hit_us, &acc.hist_local);
+          continue;
+        }
+        const cluster::ServerId sid = cluster.OwnerOf(op.key);
+        ServingQueue* queue = cluster.server(sid).serving_queue();
+        const ServingQueue::AdmitResult admit =
+            queue->Admit(now, static_cast<uint64_t>(model.base_service_us));
+        if (admit.status == ServingQueue::AdmitStatus::kAdmitted) {
+          const FrontendClient::OpOutcome outcome =
+              client->ApplyDetailed(op);
+          double extra = 0.0;
+          if (outcome.storage_accessed) {
+            // The shard missed and read through to storage: the serving
+            // slot is held for the round trip, lengthening the backlog
+            // behind it.
+            queue->ExtendLast(static_cast<uint64_t>(model.storage_extra_us));
+            extra = model.storage_extra_us;
+          }
+          const double latency = model.rtt_us +
+                                 static_cast<double>(admit.wait_us) +
+                                 model.base_service_us + extra;
+          acc.hist_wait.Add(admit.wait_us);
+          complete(latency,
+                   outcome.storage_accessed ? &acc.hist_storage
+                                            : &acc.hist_backend);
+          continue;
+        }
+        // Shed at the shard. Tier-2 degradation: fail the read over to the
+        // storage tier — if the retry budget funds it.
+        if (admit.status == ServingQueue::AdmitStatus::kShedQueueFull) {
+          ++acc.shed_queue_full;
+        } else {
+          ++acc.shed_deadline;
+        }
+        if (tracer != nullptr) {
+          tracer->Record(
+              i, metrics::LoadShedPayload{
+                     static_cast<uint32_t>(sid),
+                     admit.status == ServingQueue::AdmitStatus::kShedQueueFull
+                         ? "queue_full"
+                         : "deadline",
+                     admit.depth, admit.wait_us});
+        }
+        if (budget == nullptr || !budget->TryConsume()) {
+          if (budget != nullptr) ++acc.retries_suppressed;
+          ++acc.shed;
+          continue;
+        }
+        const uint64_t storage_arrival =
+            now + static_cast<uint64_t>(model.rtt_us);
+        const ServingQueue::AdmitResult fallback = storage_queue.Admit(
+            storage_arrival, static_cast<uint64_t>(model.storage_extra_us));
+        if (fallback.status != ServingQueue::AdmitStatus::kAdmitted) {
+          ++acc.shed_storage;
+          ++acc.shed;
+          if (tracer != nullptr) {
+            tracer->Record(i, metrics::LoadShedPayload{
+                                  config.num_servers, "queue_full",
+                                  fallback.depth, fallback.wait_us});
+          }
+          continue;
+        }
+        // Degraded completion, same semantics as the breaker's degraded
+        // read: storage serves the value, the local cache is filled, the
+        // shard is never touched (we never confirmed a serving slot).
+        const cache::Value value = cluster.storage().Get(op.key);
+        if (local != nullptr) local->Put(op.key, value);
+        ++acc.degraded_failovers;
+        const double latency = model.rtt_us +
+                               static_cast<double>(fallback.wait_us) +
+                               model.storage_extra_us;
+        complete(latency, &acc.hist_degraded);
+        continue;
+      }
+
+      // Update: the storage write is authoritative and always happens; the
+      // invalidation fan-out to the shard is the part under overload
+      // control. Tier-1 degradation sheds it *from the data queue first* —
+      // a delete is metadata-cheap, and dropping it would trade overload
+      // for stale reads, so under pressure (or a full queue) it bypasses
+      // the queue instead of competing with 750 KB value moves.
+      const cluster::ServerId sid = cluster.OwnerOf(op.key);
+      ServingQueue* queue = cluster.server(sid).serving_queue();
+      double wait = 0.0;
+      bool bypass = queue->UnderPressureAt(now);
+      if (!bypass) {
+        const ServingQueue::AdmitResult admit = queue->Admit(
+            now, static_cast<uint64_t>(model.invalidation_service_us));
+        if (admit.status == ServingQueue::AdmitStatus::kAdmitted) {
+          wait = static_cast<double>(admit.wait_us);
+        } else {
+          bypass = true;
+        }
+      }
+      if (bypass) {
+        queue->NoteBypass();
+        ++acc.invalidation_bypass;
+        if (tracer != nullptr) {
+          tracer->Record(i, metrics::LoadShedPayload{
+                                static_cast<uint32_t>(sid),
+                                "invalidation_bypass",
+                                queue->DepthAt(now), 0});
+        }
+      }
+      client->ApplyDetailed(op);
+      const double latency = model.rtt_us + model.storage_extra_us + wait +
+                             model.invalidation_service_us;
+      complete(latency, &acc.hist_update);
+    }
+  };
+
+  if (num_threads == 1) {
+    replay(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (uint32_t t = 0; t < num_threads; ++t) workers.emplace_back(replay, t);
+    for (std::thread& w : workers) w.join();
+  }
+
+  OpenLoopResult result;
+  metrics::Histogram hist_local;
+  metrics::Histogram hist_backend;
+  metrics::Histogram hist_storage;
+  metrics::Histogram hist_degraded;
+  metrics::Histogram hist_update;
+  metrics::Histogram hist_wait;
+  double latency_sum = 0.0;
+  double last_completion = 0.0;
+  for (const ThreadAccum& acc : accums) {
+    result.offered += acc.offered;
+    result.completed += acc.completed;
+    result.shed += acc.shed;
+    result.failed += acc.failed;
+    result.goodput += acc.goodput;
+    result.local_hits += acc.local_hits;
+    result.shed_queue_full += acc.shed_queue_full;
+    result.shed_deadline += acc.shed_deadline;
+    result.shed_storage += acc.shed_storage;
+    result.degraded_failovers += acc.degraded_failovers;
+    result.invalidation_bypass += acc.invalidation_bypass;
+    result.retries_suppressed += acc.retries_suppressed;
+    latency_sum += acc.latency_sum_us;
+    last_completion = std::max(last_completion, acc.last_completion_us);
+    hist_local.Merge(acc.hist_local);
+    hist_backend.Merge(acc.hist_backend);
+    hist_storage.Merge(acc.hist_storage);
+    hist_degraded.Merge(acc.hist_degraded);
+    hist_update.Merge(acc.hist_update);
+    hist_wait.Merge(acc.hist_wait);
+  }
+  for (const std::unique_ptr<FrontendClient>& client : clients) {
+    result.aggregate.Add(client->stats());
+  }
+
+  const double last_arrival =
+      ops == 0 ? 0.0 : static_cast<double>(arrivals[ops - 1]);
+  result.makespan_us = std::max(last_completion, last_arrival);
+  if (result.makespan_us > 0.0) {
+    const double seconds = result.makespan_us / 1e6;
+    result.offered_rate_per_sec = static_cast<double>(result.offered) / seconds;
+    result.completed_rate_per_sec =
+        static_cast<double>(result.completed) / seconds;
+    result.goodput_rate_per_sec = static_cast<double>(result.goodput) / seconds;
+  }
+  if (result.completed > 0) {
+    result.mean_latency_us =
+        latency_sum / static_cast<double>(result.completed);
+  }
+
+  metrics::MetricsRegistry& reg = result.metrics;
+  reg.SetCounter("openloop/offered", result.offered);
+  reg.SetCounter("openloop/completed", result.completed);
+  reg.SetCounter("openloop/shed", result.shed);
+  reg.SetCounter("openloop/failed", result.failed);
+  reg.SetCounter("openloop/goodput", result.goodput);
+  reg.SetCounter("openloop/local_hits", result.local_hits);
+  reg.SetCounter("openloop/shed_queue_full", result.shed_queue_full);
+  reg.SetCounter("openloop/shed_deadline", result.shed_deadline);
+  reg.SetCounter("openloop/shed_storage", result.shed_storage);
+  reg.SetCounter("openloop/degraded_failovers", result.degraded_failovers);
+  reg.SetCounter("openloop/invalidation_bypass", result.invalidation_bypass);
+  reg.SetCounter("openloop/retries_suppressed", result.retries_suppressed);
+  reg.SetGauge("openloop/arrival_rate_per_sec", config.arrival_rate_per_sec);
+  reg.SetGauge("openloop/offered_rate_per_sec", result.offered_rate_per_sec);
+  reg.SetGauge("openloop/completed_rate_per_sec",
+               result.completed_rate_per_sec);
+  reg.SetGauge("openloop/goodput_rate_per_sec", result.goodput_rate_per_sec);
+  reg.SetGauge("openloop/makespan_us", result.makespan_us);
+  reg.SetGauge("openloop/mean_latency_us", result.mean_latency_us);
+  reg.histogram("latency_us/local_hit").Merge(hist_local);
+  reg.histogram("latency_us/backend").Merge(hist_backend);
+  reg.histogram("latency_us/storage").Merge(hist_storage);
+  reg.histogram("latency_us/degraded").Merge(hist_degraded);
+  reg.histogram("latency_us/update").Merge(hist_update);
+  reg.histogram("queue_wait_us/backend").Merge(hist_wait);
+
+  if (config.trace_capacity > 0) {
+    std::vector<const metrics::EventTracer*> ptrs;
+    ptrs.reserve(tracers.size());
+    for (const auto& t : tracers) ptrs.push_back(t.get());
+    result.trace = metrics::EventTracer::Merge(ptrs);
+  }
+  return result;
+}
+
+}  // namespace cot::sim

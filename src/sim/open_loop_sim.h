@@ -1,0 +1,142 @@
+#ifndef COT_SIM_OPEN_LOOP_SIM_H_
+#define COT_SIM_OPEN_LOOP_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/experiment.h"
+#include "cluster/serving_queue.h"
+#include "metrics/event_tracer.h"
+#include "metrics/metrics_registry.h"
+#include "sim/latency_model.h"
+#include "util/status.h"
+#include "workload/arrival.h"
+#include "workload/binary_trace.h"
+
+namespace cot::sim {
+
+/// Configuration of an open-loop replay.
+struct OpenLoopConfig {
+  /// Back-end caching shards.
+  uint32_t num_servers = 4;
+  /// Logical front-end clients multiplexed over the driver threads.
+  /// Arrival i executes trace op i on client i % logical_clients, so one
+  /// arrival stream drives thousands of front-ends; each logical client
+  /// owns its own local cache and sees a strided slice of the trace.
+  uint32_t logical_clients = 256;
+  /// OS threads. Clients are partitioned c % num_threads; each thread
+  /// replays its clients' arrivals in ascending arrival order. The
+  /// accounting identity offered = completed + shed + failed holds exactly
+  /// at any thread count; per-op outcomes are deterministic at 1 thread.
+  uint32_t num_threads = 1;
+  /// Cap on replayed ops (0 = the whole trace).
+  uint64_t max_ops = 0;
+  /// Aggregate offered load, operations per second of virtual time. This
+  /// is the open-loop contract: arrivals never wait for completions.
+  double arrival_rate_per_sec = 10000.0;
+  workload::ArrivalProcess arrival = workload::ArrivalProcess::kPoisson;
+  uint64_t seed = 42;
+  uint32_t virtual_nodes = 16384;
+  /// Install every key on its owning shard before the run (YCSB load
+  /// phase), so steady-state shard misses come only from invalidations.
+  bool preload_backend = true;
+  /// End-to-end latency SLO: a completion within this budget counts
+  /// toward *goodput*; a later completion still counts as completed (the
+  /// client got its bytes, too late to be useful). 0 = every completion
+  /// is goodput.
+  uint64_t deadline_us = 5000;
+  /// Per-shard serving-queue defenses (depth bound, deadline admission,
+  /// pressure threshold). The default — all zeros — is the no-defense
+  /// configuration: unbounded queues, nothing shed, queueing delay free
+  /// to grow without bound past the knee.
+  cluster::OverloadPolicy overload;
+  /// Cluster-wide retry budget funding storage failovers of shed reads
+  /// (and client retries, if a fault injector were attached): tier-2
+  /// degradation spends these tokens. 0 disables — a shed read is simply
+  /// dropped.
+  double retry_budget_ratio = 0.0;
+  double retry_budget_burst = 16.0;
+  /// Per-thread trace-event ring capacity (load-shed events). 0 disables.
+  size_t trace_capacity = 0;
+};
+
+/// Outcome of an open-loop replay. The fundamental identity — checked by
+/// tests at 1/2/4 threads on byte-identical traces — is
+///
+///     offered == completed + shed + failed
+///
+/// every offered operation meets exactly one fate.
+struct OpenLoopResult {
+  uint64_t offered = 0;
+  /// Ops that produced their value/ack (including degraded completions).
+  uint64_t completed = 0;
+  /// Ops dropped by admission control (queue full, deadline, storage
+  /// failover denied or itself shed).
+  uint64_t shed = 0;
+  /// Ops that failed outright (fault injection; 0 in fault-free runs).
+  uint64_t failed = 0;
+  /// Completions within `deadline_us` — the metric the knee bench plots.
+  uint64_t goodput = 0;
+
+  // Decomposition (diagnostics; not part of the identity).
+  uint64_t local_hits = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t shed_storage = 0;
+  /// Shed reads completed via the storage tier (tier-2 degradation).
+  uint64_t degraded_failovers = 0;
+  /// Invalidations that bypassed a pressured/full data queue (tier-1
+  /// degradation; the delete still executed — never dropped).
+  uint64_t invalidation_bypass = 0;
+  /// Storage failovers denied by the retry budget (op counted shed).
+  uint64_t retries_suppressed = 0;
+
+  /// Virtual time of the last completion (or last arrival if later).
+  double makespan_us = 0.0;
+  double offered_rate_per_sec = 0.0;
+  double completed_rate_per_sec = 0.0;
+  double goodput_rate_per_sec = 0.0;
+  double mean_latency_us = 0.0;
+
+  /// Aggregated logical client counters.
+  cluster::FrontendStats aggregate;
+  /// Counters, gauges, and the per-path latency / queue-wait histograms
+  /// (p50/p99/p999 material).
+  metrics::MetricsRegistry metrics;
+  /// Merged load-shed events (empty unless trace_capacity > 0).
+  std::vector<metrics::TraceEvent> trace;
+};
+
+/// Replays `trace` through a real cluster stack under an arrival-rate
+/// driven virtual clock.
+///
+/// Where the closed-loop `RunEndToEnd` keeps one request outstanding per
+/// client — so offered load sags exactly when the cluster slows down, and
+/// overload is unobservable — this driver offers load on a schedule that
+/// never waits. Queue growth, queueing delay, shedding, and the knee in
+/// the goodput-vs-offered-load curve all become measurable.
+///
+/// Mechanics per arrival (virtual time `t`, logical client `c`):
+///  - local-cache hit: completes at t + local_hit_us, no shard involved;
+///  - read miss: admitted to the owning shard's bounded serving queue
+///    (waiting behind its backlog, service priced by the latency model,
+///    storage misses extend service); a shed read fails over to the
+///    storage tier if the retry budget allows (tier-2 degradation, its
+///    own serving queue), else it is dropped;
+///  - update: writes storage, then delivers its invalidation through the
+///    shard queue — bypassing it (tier-1 degradation) when the shard is
+///    under pressure or the queue is full, because a dropped delete would
+///    become a stale read. Invalidations are never logically dropped.
+///
+/// The logical state machine is the real `cot::cluster` stack (same
+/// FrontendClient/BackendServer/StorageLayer as every other driver); the
+/// simulator only decides admission and prices time. Shed operations are
+/// never applied logically — the request never happened.
+StatusOr<OpenLoopResult> RunOpenLoop(const OpenLoopConfig& config,
+                                     const workload::BinaryTraceView& trace,
+                                     const cluster::CacheFactory& factory,
+                                     const LatencyModel& model);
+
+}  // namespace cot::sim
+
+#endif  // COT_SIM_OPEN_LOOP_SIM_H_

@@ -1,0 +1,43 @@
+#include "workload/arrival.h"
+
+#include <cmath>
+
+namespace cot::workload {
+
+StatusOr<ArrivalProcess> ParseArrivalProcess(const std::string& name) {
+  if (name == "poisson") return ArrivalProcess::kPoisson;
+  if (name == "uniform") return ArrivalProcess::kUniform;
+  return Status::InvalidArgument("unknown arrival process: " + name +
+                                 " (expected poisson|uniform)");
+}
+
+std::string ArrivalProcessName(ArrivalProcess p) {
+  switch (p) {
+    case ArrivalProcess::kPoisson:
+      return "poisson";
+    case ArrivalProcess::kUniform:
+      return "uniform";
+  }
+  return "unknown";
+}
+
+ArrivalGenerator::ArrivalGenerator(ArrivalProcess process, double rate_per_sec,
+                                   uint64_t seed)
+    : process_(process),
+      rate_per_sec_(rate_per_sec > 0 ? rate_per_sec : 1.0),
+      mean_gap_us_(1e6 / (rate_per_sec > 0 ? rate_per_sec : 1.0)),
+      rng_(seed) {}
+
+uint64_t ArrivalGenerator::Next() {
+  double gap = mean_gap_us_;
+  if (process_ == ArrivalProcess::kPoisson) {
+    // Inverse-CDF exponential draw. NextDouble() is in [0, 1); flip to
+    // (0, 1] so log() never sees zero.
+    const double u = 1.0 - rng_.NextDouble();
+    gap = -mean_gap_us_ * std::log(u);
+  }
+  clock_us_ += gap;
+  return static_cast<uint64_t>(clock_us_);
+}
+
+}  // namespace cot::workload

@@ -1,0 +1,62 @@
+#ifndef COT_WORKLOAD_ARRIVAL_H_
+#define COT_WORKLOAD_ARRIVAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace cot::workload {
+
+/// Shape of the open-loop arrival process.
+enum class ArrivalProcess : uint8_t {
+  /// Exponential inter-arrival gaps (memoryless): the standard model for
+  /// independent front-end users; produces bursts that stress queues even
+  /// below the mean-capacity knee.
+  kPoisson = 0,
+  /// Constant gaps at exactly 1/rate: the smoothest possible offered load;
+  /// isolates the knee location from burstiness effects.
+  kUniform = 1,
+};
+
+StatusOr<ArrivalProcess> ParseArrivalProcess(const std::string& name);
+std::string ArrivalProcessName(ArrivalProcess p);
+
+/// Generates a deterministic, monotone sequence of virtual-time arrival
+/// timestamps (microseconds) at a target aggregate rate.
+///
+/// Open-loop contract: the next arrival time never depends on how long
+/// service took — offered load is an *input*. One generator drives the
+/// whole cluster's arrival sequence; the sim assigns each arrival to a
+/// logical client round-robin, so "thousands of clients" cost one stream.
+///
+/// Determinism: the gap sequence is a pure function of (seed, rate,
+/// process), independent of thread count or wall clock.
+class ArrivalGenerator {
+ public:
+  /// `rate_per_sec` must be positive. `seed` fixes the Poisson gap draws
+  /// (unused for kUniform).
+  ArrivalGenerator(ArrivalProcess process, double rate_per_sec, uint64_t seed);
+
+  /// Returns the next arrival timestamp in virtual microseconds. The first
+  /// call returns the first gap after t=0. Gaps are clamped to >= 0 and the
+  /// running clock accumulates in double precision before rounding, so the
+  /// long-run rate matches `rate_per_sec` even when the mean gap is well
+  /// under one microsecond.
+  uint64_t Next();
+
+  double rate_per_sec() const { return rate_per_sec_; }
+  ArrivalProcess process() const { return process_; }
+
+ private:
+  ArrivalProcess process_;
+  double rate_per_sec_;
+  double mean_gap_us_;
+  double clock_us_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace cot::workload
+
+#endif  // COT_WORKLOAD_ARRIVAL_H_

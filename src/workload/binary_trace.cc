@@ -1,0 +1,153 @@
+#include "workload/binary_trace.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace cot::workload {
+
+namespace {
+
+// Serializes a header into a 32-byte buffer.
+void FillHeader(uint64_t count, uint64_t key_space, unsigned char* buf) {
+  std::memcpy(buf, BinaryTraceHeader::kMagic, 8);
+  std::memcpy(buf + 8, &count, 8);
+  std::memcpy(buf + 16, &key_space, 8);
+  std::memset(buf + 24, 0, 8);
+}
+
+}  // namespace
+
+BinaryTraceWriter::~BinaryTraceWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status BinaryTraceWriter::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("writer already open");
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot create " + path + ": " +
+                            std::strerror(errno));
+  }
+  unsigned char header[BinaryTraceHeader::kSize];
+  FillHeader(0, 0, header);
+  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header)) {
+    return Status::Internal("short write on header of " + path);
+  }
+  count_ = 0;
+  max_key_plus_one_ = 0;
+  return Status::OK();
+}
+
+Status BinaryTraceWriter::Append(Op op) {
+  if (file_ == nullptr) return Status::FailedPrecondition("writer not open");
+  const uint64_t word = EncodeBinaryOp(op);
+  if (std::fwrite(&word, sizeof(word), 1, file_) != 1) {
+    return Status::Internal("short write appending op");
+  }
+  ++count_;
+  if (op.key + 1 > max_key_plus_one_) max_key_plus_one_ = op.key + 1;
+  return Status::OK();
+}
+
+Status BinaryTraceWriter::Finish() {
+  if (file_ == nullptr) return Status::FailedPrecondition("writer not open");
+  unsigned char header[BinaryTraceHeader::kSize];
+  FillHeader(count_, max_key_plus_one_, header);
+  Status st = Status::OK();
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(header, 1, sizeof(header), file_) != sizeof(header) ||
+      std::fflush(file_) != 0) {
+    st = Status::Internal("failed to finalize trace header");
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  return st;
+}
+
+BinaryTraceView::~BinaryTraceView() { Reset(); }
+
+BinaryTraceView::BinaryTraceView(BinaryTraceView&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_len_(std::exchange(other.map_len_, 0)),
+      words_(std::exchange(other.words_, nullptr)),
+      count_(std::exchange(other.count_, 0)),
+      key_space_(std::exchange(other.key_space_, 0)) {}
+
+BinaryTraceView& BinaryTraceView::operator=(BinaryTraceView&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    map_ = std::exchange(other.map_, nullptr);
+    map_len_ = std::exchange(other.map_len_, 0);
+    words_ = std::exchange(other.words_, nullptr);
+    count_ = std::exchange(other.count_, 0);
+    key_space_ = std::exchange(other.key_space_, 0);
+  }
+  return *this;
+}
+
+void BinaryTraceView::Reset() {
+  if (map_ != nullptr) {
+    ::munmap(map_, map_len_);
+    map_ = nullptr;
+  }
+  map_len_ = 0;
+  words_ = nullptr;
+  count_ = 0;
+  key_space_ = 0;
+}
+
+StatusOr<BinaryTraceView> BinaryTraceView::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal("fstat failed on " + path);
+  }
+  const size_t len = static_cast<size_t>(st.st_size);
+  if (len < BinaryTraceHeader::kSize) {
+    ::close(fd);
+    return Status::InvalidArgument(path + ": too small for a trace header");
+  }
+  void* map = ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (map == MAP_FAILED) {
+    return Status::Internal("mmap failed on " + path + ": " +
+                            std::strerror(errno));
+  }
+  const unsigned char* bytes = static_cast<const unsigned char*>(map);
+  if (std::memcmp(bytes, BinaryTraceHeader::kMagic, 8) != 0) {
+    ::munmap(map, len);
+    return Status::InvalidArgument(path + ": bad magic (not a COTBTRC1 file)");
+  }
+  uint64_t count = 0;
+  uint64_t key_space = 0;
+  std::memcpy(&count, bytes + 8, 8);
+  std::memcpy(&key_space, bytes + 16, 8);
+  if (len < BinaryTraceHeader::kSize + count * sizeof(uint64_t)) {
+    ::munmap(map, len);
+    return Status::InvalidArgument(path + ": truncated (header claims " +
+                                   std::to_string(count) + " ops)");
+  }
+  BinaryTraceView view;
+  view.map_ = map;
+  view.map_len_ = len;
+  view.words_ = reinterpret_cast<const uint64_t*>(
+      bytes + BinaryTraceHeader::kSize);
+  view.count_ = count;
+  view.key_space_ = key_space;
+  return view;
+}
+
+}  // namespace cot::workload

@@ -320,6 +320,87 @@ TEST(MultiGetTest, TracerRecordsOneBatchLookupEvent) {
   EXPECT_EQ(p.local_hits + p.backend_keys, p.batch_size);
 }
 
+// The per-sub-batch clock invariant (DESIGN.md "Batched reads"): each
+// shard request a batch issues consumes exactly one tick from the batch's
+// clock interval [now, now + batch_size), in issue order (sub-batches by
+// ascending ServerId). A one-tick fault window can therefore hit exactly
+// one sub-batch — and which one is determined by issue order, not batch
+// entry time.
+TEST(MultiGetTest, EachSubBatchConsumesOneFaultClockTick) {
+  CacheCluster cluster(4, 1000);
+  // Two keys on two distinct shards, sidA < sidB: the sidA sub-batch is
+  // issued first (tick 0), sidB second (tick 1).
+  cache::Key key_a = 0, key_b = 0;
+  ServerId sid_a = 0, sid_b = 0;
+  bool found = false;
+  for (cache::Key a = 0; a < 100 && !found; ++a) {
+    for (cache::Key b = 0; b < 100 && !found; ++b) {
+      if (cluster.ring().ServerFor(a) < cluster.ring().ServerFor(b)) {
+        key_a = a;
+        sid_a = cluster.ring().ServerFor(a);
+        key_b = b;
+        sid_b = cluster.ring().ServerFor(b);
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+
+  // Window covering exactly op-clock tick 1 on sidB, certain failure.
+  FaultSchedule schedule;
+  schedule.events.push_back(
+      FaultEvent{sid_b, FaultType::kTransient, /*start_op=*/1,
+                 /*end_op=*/2, /*probability=*/1.0});
+  {
+    FaultInjector injector(schedule);
+    FrontendClient client(&cluster, nullptr);
+    client.SetFaultInjector(&injector, /*client_id=*/0, FailurePolicy{});
+    const std::vector<cache::Key> batch = {key_a, key_b};
+    auto got = client.MultiGet(batch);
+    // sidB's sub-batch drew at tick 1 — inside the window — so it failed
+    // over; sidA's drew at tick 0 and went through.
+    EXPECT_EQ(got[0], cluster.storage().Get(key_a));
+    EXPECT_EQ(got[1], cluster.storage().Get(key_b));
+    EXPECT_EQ(client.stats().failovers, 1u);
+    EXPECT_EQ(cluster.server(sid_a).lookup_count(), 1u);
+    EXPECT_EQ(cluster.server(sid_b).lookup_count(), 0u);
+  }
+
+  // Converse: the same window moved to tick 0 misses sidB's sub-batch
+  // entirely (it draws at tick 1), and sidA fails instead when targeted.
+  cluster.ResetServerCounters();
+  schedule.events[0].start_op = 0;
+  schedule.events[0].end_op = 1;
+  {
+    FaultInjector injector(schedule);
+    FrontendClient client(&cluster, nullptr);
+    client.SetFaultInjector(&injector, /*client_id=*/0, FailurePolicy{});
+    const std::vector<cache::Key> batch = {key_a, key_b};
+    client.MultiGet(batch);
+    EXPECT_EQ(client.stats().failovers, 0u);
+    EXPECT_EQ(cluster.server(sid_b).lookup_count(), 1u);
+  }
+
+  // A window starting at the batch-end clock can never touch the batch:
+  // draws are clamped to [now, now + batch_size).
+  cluster.ResetServerCounters();
+  schedule.events[0].server = sid_a;
+  schedule.events[0].start_op = 2;
+  schedule.events[0].end_op = 1000;
+  schedule.events.push_back(
+      FaultEvent{sid_b, FaultType::kTransient, /*start_op=*/2,
+                 /*end_op=*/1000, /*probability=*/1.0});
+  {
+    FaultInjector injector(schedule);
+    FrontendClient client(&cluster, nullptr);
+    client.SetFaultInjector(&injector, /*client_id=*/0, FailurePolicy{});
+    const std::vector<cache::Key> batch = {key_a, key_b};
+    client.MultiGet(batch);
+    EXPECT_EQ(client.stats().failovers, 0u);
+    EXPECT_EQ(client.stats().failed_requests, 0u);
+  }
+}
+
 TEST(BackendServerMultiGetTest, AccountsLikeFencedGetsPlusFills) {
   BackendServer shard;
   shard.Set(1, 100);

@@ -1,0 +1,94 @@
+#include "cluster/retry_budget.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cot::cluster {
+namespace {
+
+TEST(RetryBudget, StartsFullAtTheBurstCap) {
+  RetryBudget budget(0.1, 4.0);
+  EXPECT_DOUBLE_EQ(budget.tokens(), 4.0);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(budget.TryConsume());
+  EXPECT_FALSE(budget.TryConsume());
+  EXPECT_DOUBLE_EQ(budget.tokens(), 0.0);
+}
+
+TEST(RetryBudget, FreshTrafficRefillsAtTheRatio) {
+  RetryBudget budget(0.1, 4.0);
+  while (budget.TryConsume()) {
+  }
+  // 10 fresh requests at ratio 0.1 fund exactly one retry.
+  for (int i = 0; i < 9; ++i) budget.OnFreshRequest();
+  EXPECT_FALSE(budget.TryConsume());
+  budget.OnFreshRequest();
+  EXPECT_TRUE(budget.TryConsume());
+  EXPECT_FALSE(budget.TryConsume());
+}
+
+TEST(RetryBudget, DepositsSaturateAtTheCap) {
+  RetryBudget budget(0.5, 2.0);
+  for (int i = 0; i < 1000; ++i) budget.OnFreshRequest();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);
+  EXPECT_TRUE(budget.TryConsume());
+  EXPECT_TRUE(budget.TryConsume());
+  EXPECT_FALSE(budget.TryConsume());
+}
+
+TEST(RetryBudget, LongRunRetryFractionIsBoundedByTheRatio) {
+  // Sustained overload: every fresh request wants a retry. The budget must
+  // cap granted retries at ratio * fresh + the initial burst.
+  const double ratio = 0.1;
+  const double burst = 16.0;
+  RetryBudget budget(ratio, burst);
+  const int fresh = 100000;
+  int granted = 0;
+  for (int i = 0; i < fresh; ++i) {
+    budget.OnFreshRequest();
+    if (budget.TryConsume()) ++granted;
+  }
+  EXPECT_LE(granted, static_cast<int>(ratio * fresh + burst) + 1);
+  // And the budget is not overly stingy: nearly all of the allowance is
+  // actually usable.
+  EXPECT_GE(granted, static_cast<int>(ratio * fresh));
+}
+
+TEST(RetryBudget, ZeroRatioNeverRefills) {
+  RetryBudget budget(0.0, 2.0);
+  EXPECT_TRUE(budget.TryConsume());
+  EXPECT_TRUE(budget.TryConsume());
+  for (int i = 0; i < 100; ++i) budget.OnFreshRequest();
+  EXPECT_FALSE(budget.TryConsume());
+}
+
+TEST(RetryBudget, ConcurrentAccountingNeverOverdraws) {
+  const double ratio = 0.2;
+  const double burst = 8.0;
+  RetryBudget budget(ratio, burst);
+  const int kThreads = 4;
+  const int kFreshPerThread = 50000;
+  std::vector<int> granted(kThreads, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kFreshPerThread; ++i) {
+        budget.OnFreshRequest();
+        if (budget.TryConsume()) ++granted[t];
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  int total = 0;
+  for (int g : granted) total += g;
+  const int fresh = kThreads * kFreshPerThread;
+  // Withdrawals can never exceed deposits + the initial burst, regardless
+  // of interleaving.
+  EXPECT_LE(total, static_cast<int>(ratio * fresh + burst) + 1);
+  EXPECT_GE(budget.tokens(), 0.0);
+}
+
+}  // namespace
+}  // namespace cot::cluster

@@ -1,0 +1,141 @@
+#include "cluster/serving_queue.h"
+
+#include "gtest/gtest.h"
+
+namespace cot::cluster {
+namespace {
+
+using Status = ServingQueue::AdmitStatus;
+
+TEST(ServingQueue, IdleQueueServesImmediately) {
+  ServingQueue q(OverloadPolicy{});
+  auto r = q.Admit(1000, 150);
+  EXPECT_EQ(r.status, Status::kAdmitted);
+  EXPECT_EQ(r.wait_us, 0u);
+  EXPECT_EQ(r.completion_us, 1150u);
+  EXPECT_EQ(r.depth, 0u);
+}
+
+TEST(ServingQueue, BackToBackArrivalsQueueFifo) {
+  ServingQueue q(OverloadPolicy{});
+  // Three arrivals at t=0, 150us service each: waits 0, 150, 300.
+  EXPECT_EQ(q.Admit(0, 150).wait_us, 0u);
+  auto second = q.Admit(0, 150);
+  EXPECT_EQ(second.wait_us, 150u);
+  EXPECT_EQ(second.completion_us, 300u);
+  auto third = q.Admit(0, 150);
+  EXPECT_EQ(third.wait_us, 300u);
+  EXPECT_EQ(third.completion_us, 450u);
+  EXPECT_EQ(third.depth, 2u);
+}
+
+TEST(ServingQueue, CompletedWorkDrainsBeforeAdmission) {
+  ServingQueue q(OverloadPolicy{});
+  q.Admit(0, 100);
+  q.Admit(0, 100);  // completes at 200
+  auto late = q.Admit(250, 100);
+  EXPECT_EQ(late.wait_us, 0u);  // both predecessors done by 250
+  EXPECT_EQ(late.depth, 0u);
+  EXPECT_EQ(late.completion_us, 350u);
+}
+
+TEST(ServingQueue, ArrivalDuringServiceWaitsForTheRemainder) {
+  ServingQueue q(OverloadPolicy{});
+  q.Admit(0, 100);  // completes at 100
+  auto r = q.Admit(60, 100);
+  EXPECT_EQ(r.wait_us, 40u);
+  EXPECT_EQ(r.completion_us, 200u);
+}
+
+TEST(ServingQueue, TailDropAtMaxDepth) {
+  OverloadPolicy policy;
+  policy.max_queue_depth = 2;
+  ServingQueue q(policy);
+  EXPECT_EQ(q.Admit(0, 100).status, Status::kAdmitted);
+  EXPECT_EQ(q.Admit(0, 100).status, Status::kAdmitted);
+  auto dropped = q.Admit(0, 100);
+  EXPECT_EQ(dropped.status, Status::kShedQueueFull);
+  EXPECT_EQ(dropped.depth, 2u);
+  EXPECT_EQ(q.admitted(), 2u);
+  EXPECT_EQ(q.shed_queue_full(), 1u);
+  // After the backlog drains, admission resumes.
+  EXPECT_EQ(q.Admit(500, 100).status, Status::kAdmitted);
+}
+
+TEST(ServingQueue, DeadlineAdmissionShedsLongWaits) {
+  OverloadPolicy policy;
+  policy.deadline_us = 120;
+  ServingQueue q(policy);
+  EXPECT_EQ(q.Admit(0, 100).status, Status::kAdmitted);  // wait 0
+  EXPECT_EQ(q.Admit(0, 100).status, Status::kAdmitted);  // wait 100
+  auto shed = q.Admit(0, 100);                           // wait would be 200
+  EXPECT_EQ(shed.status, Status::kShedDeadline);
+  EXPECT_EQ(q.shed_deadline(), 1u);
+  // A shed request holds no slot: the next arrival still sees wait 200
+  // (not 300), and is shed for the same reason.
+  EXPECT_EQ(q.Admit(0, 100).status, Status::kShedDeadline);
+}
+
+TEST(ServingQueue, ShedRequestsConsumeNoCapacity) {
+  OverloadPolicy policy;
+  policy.max_queue_depth = 1;
+  ServingQueue q(policy);
+  ASSERT_EQ(q.Admit(0, 100).status, Status::kAdmitted);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(q.Admit(0, 100).status, Status::kShedQueueFull);
+  }
+  // Only the one admitted request occupies time: at t=100 all is drained.
+  EXPECT_EQ(q.DepthAt(100), 0u);
+}
+
+TEST(ServingQueue, ExtendLastLengthensTheBacklog) {
+  ServingQueue q(OverloadPolicy{});
+  q.Admit(0, 100);
+  q.ExtendLast(400);  // storage round-trip discovered after admission
+  auto next = q.Admit(0, 100);
+  EXPECT_EQ(next.wait_us, 500u);
+}
+
+TEST(ServingQueue, ExtendLastAfterDrainIsANoOp) {
+  ServingQueue q(OverloadPolicy{});
+  q.Admit(0, 100);
+  EXPECT_EQ(q.DepthAt(1000), 0u);  // drains the queue
+  q.ExtendLast(400);
+  EXPECT_EQ(q.Admit(1000, 100).wait_us, 0u);
+}
+
+TEST(ServingQueue, PressureTracksTheConfiguredFraction) {
+  OverloadPolicy policy;
+  policy.max_queue_depth = 4;
+  policy.pressure_fraction = 0.5;
+  ServingQueue q(policy);
+  EXPECT_FALSE(q.UnderPressureAt(0));
+  q.Admit(0, 100);
+  EXPECT_FALSE(q.UnderPressureAt(0));  // depth 1 < 2
+  q.Admit(0, 100);
+  EXPECT_TRUE(q.UnderPressureAt(0));  // depth 2 >= 0.5 * 4
+  // Pressure subsides once the backlog drains.
+  EXPECT_FALSE(q.UnderPressureAt(1000));
+}
+
+TEST(ServingQueue, UnboundedQueueNeverPressured) {
+  ServingQueue q(OverloadPolicy{});
+  for (int i = 0; i < 100; ++i) q.Admit(0, 100);
+  EXPECT_FALSE(q.UnderPressureAt(0));
+}
+
+TEST(ServingQueue, CountersAndHighWaterMark) {
+  OverloadPolicy policy;
+  policy.max_queue_depth = 3;
+  ServingQueue q(policy);
+  for (int i = 0; i < 5; ++i) q.Admit(0, 100);
+  q.NoteBypass();
+  EXPECT_EQ(q.admitted(), 3u);
+  EXPECT_EQ(q.shed_queue_full(), 2u);
+  EXPECT_EQ(q.shed_total(), 2u);
+  EXPECT_EQ(q.bypassed(), 1u);
+  EXPECT_EQ(q.max_depth_seen(), 3u);
+}
+
+}  // namespace
+}  // namespace cot::cluster

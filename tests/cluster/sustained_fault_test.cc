@@ -1,0 +1,200 @@
+// Retry/backoff and breaker-cooldown behaviour under *sustained* fault
+// schedules — windows covering the whole run, not the brief pulses the
+// windowed fault tests use. Sustained transient failure is the regime
+// where retry storms form and circuit breakers earn their keep: the
+// breaker must keep re-opening after failed half-open probes, retries must
+// stay bounded, and the (opt-in) retry budget must cap the retry fraction
+// of total traffic.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/lru_cache.h"
+#include "cluster/experiment.h"
+#include "cluster/fault_injector.h"
+#include "cluster/frontend_client.h"
+
+namespace cot::cluster {
+namespace {
+
+constexpr uint64_t kOps = 60000;
+
+ExperimentConfig SustainedConfig(double probability, ServerId victim = 0) {
+  ExperimentConfig config;
+  config.num_servers = 4;
+  config.num_clients = 4;
+  config.key_space = 10000;
+  config.total_ops = kOps;
+  config.seed = 5;
+  workload::PhaseSpec phase;
+  phase.distribution = workload::Distribution::kUniform;
+  phase.read_fraction = 0.95;
+  config.phases = {phase};
+  FaultEvent e;
+  e.server = victim;
+  e.type = FaultType::kTransient;
+  e.start_op = 0;
+  e.end_op = kOps;  // the victim never heals
+  e.probability = probability;
+  config.faults.events.push_back(e);
+  return config;
+}
+
+CacheFactory SmallLru() {
+  return [](uint32_t) { return std::make_unique<cache::LruCache>(128); };
+}
+
+// A shard that fails every request: the breaker opens after
+// `breaker_failure_threshold` consecutive failures, then admits exactly one
+// probe per cooldown. Every probe fails and re-opens, so over a long run
+// the number of requests that ever reached the dead shard is bounded by
+// trips + probes — not by traffic.
+TEST(SustainedFaultTest, BreakerProbesBoundTrafficToADeadShard) {
+  ExperimentConfig config = SustainedConfig(1.0);
+  config.failure_policy.breaker_failure_threshold = 3;
+  config.failure_policy.breaker_cooldown_ops = 64;
+  config.failure_policy.max_retries = 2;
+  auto result = RunExperiment(config, SmallLru());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const FrontendStats& a = result->aggregate;
+
+  // One closed->open trip per client: a failed half-open probe re-arms
+  // the open breaker without counting a new trip, so a sustained outage
+  // is exactly one trip however long it lasts.
+  EXPECT_EQ(a.breaker_trips, 4u);
+  // But probing continued all run: failures beyond the initial trip
+  // threshold are the half-open probes.
+  EXPECT_GT(a.failed_requests,
+            config.num_clients *
+                config.failure_policy.breaker_failure_threshold);
+  // Reads owned by the dead shard were served degraded (storage direct,
+  // breaker open) instead of hammering it.
+  EXPECT_GT(a.degraded_ops, 0u);
+  // Total failed attempts at the dead shard are bounded by probe cadence:
+  // per client roughly ops/cooldown probes plus the initial threshold
+  // (each failed probe re-opens immediately), times a small retry factor.
+  // Invalidations bypass the breaker by design (dropping one risks a
+  // stale read), so budget their attempts separately on top.
+  const uint64_t per_client_ops = kOps / config.num_clients;
+  const uint64_t probe_bound =
+      config.num_clients *
+      (config.failure_policy.breaker_failure_threshold +
+       per_client_ops / config.failure_policy.breaker_cooldown_ops + 1) *
+      (1 + config.failure_policy.max_retries);
+  const uint64_t invalidation_bound =
+      a.updates * (1 + config.failure_policy.max_retries);
+  EXPECT_LE(a.failed_requests, probe_bound + invalidation_bound);
+  // But the client never gave up on correctness: every op completed.
+  EXPECT_EQ(a.reads + a.updates, kOps);
+}
+
+// Longer cooldowns mean fewer probes: the half-open cadence, not the
+// offered load, controls how often a sick shard is re-tested.
+TEST(SustainedFaultTest, CooldownControlsProbeCadence) {
+  ExperimentConfig slow_probe = SustainedConfig(1.0);
+  slow_probe.failure_policy.breaker_cooldown_ops = 256;
+  ExperimentConfig fast_probe = SustainedConfig(1.0);
+  fast_probe.failure_policy.breaker_cooldown_ops = 16;
+  auto slow = RunExperiment(slow_probe, SmallLru());
+  auto fast = RunExperiment(fast_probe, SmallLru());
+  ASSERT_TRUE(slow.ok() && fast.ok());
+  // Trips are identical (one sustained outage = one trip per client);
+  // what the cooldown controls is how often the dead shard is re-probed,
+  // i.e. how many failures the client keeps eating.
+  EXPECT_EQ(slow->aggregate.breaker_trips, fast->aggregate.breaker_trips);
+  EXPECT_LT(slow->aggregate.failed_requests,
+            fast->aggregate.failed_requests);
+}
+
+// Flaky-but-alive shard (p = 0.5): retries usually succeed, the breaker
+// rarely opens with a lenient threshold, and retry volume tracks the
+// failure rate — the pre-storm regime.
+TEST(SustainedFaultTest, FlakyShardRetriesRecoverWithoutTripping) {
+  ExperimentConfig config = SustainedConfig(0.5);
+  config.failure_policy.breaker_failure_threshold = 8;
+  config.failure_policy.max_retries = 3;
+  auto result = RunExperiment(config, SmallLru());
+  ASSERT_TRUE(result.ok());
+  const FrontendStats& a = result->aggregate;
+  EXPECT_GT(a.retries, 0u);
+  // With p=0.5 and 3 retries, almost every op eventually lands; failovers
+  // mop up the tail. No op is lost.
+  EXPECT_EQ(a.reads + a.updates, kOps);
+  // Retries succeed often enough that failovers are a small fraction of
+  // the victim's traffic.
+  EXPECT_LT(a.failovers, a.retries);
+}
+
+// Sustained-fault runs stay deterministic across thread counts (no retry
+// budget attached): fault decisions are pure hashes of the observing
+// client's own stream.
+TEST(SustainedFaultTest, SustainedScheduleIsThreadCountInvariant) {
+  auto run = [](uint32_t threads) {
+    ExperimentConfig config = SustainedConfig(0.3);
+    config.num_threads = threads;
+    return RunExperiment(config, SmallLru());
+  };
+  auto one = run(1);
+  auto four = run(4);
+  ASSERT_TRUE(one.ok() && four.ok());
+  EXPECT_EQ(one->aggregate.failed_requests, four->aggregate.failed_requests);
+  EXPECT_EQ(one->aggregate.retries, four->aggregate.retries);
+  EXPECT_EQ(one->aggregate.breaker_trips, four->aggregate.breaker_trips);
+  EXPECT_EQ(one->aggregate.local_hits, four->aggregate.local_hits);
+  EXPECT_EQ(one->per_server_lookups, four->per_server_lookups);
+}
+
+// The retry budget under sustained flakiness: with it, granted retries are
+// capped near ratio * traffic; denied retries are counted and the op takes
+// its fallback (failover) path instead. Without it, retry volume is a
+// multiple higher — the storm the budget exists to prevent.
+TEST(SustainedFaultTest, RetryBudgetCapsSustainedRetryVolume) {
+  ExperimentConfig with_budget = SustainedConfig(0.6);
+  with_budget.failure_policy.max_retries = 3;
+  with_budget.failure_policy.breaker_failure_threshold = 1000;  // isolate
+  with_budget.failure_policy.retry_budget_ratio = 0.1;
+  with_budget.failure_policy.retry_budget_burst = 16.0;
+  ExperimentConfig without = with_budget;
+  without.failure_policy.retry_budget_ratio = 0.0;
+
+  auto capped = RunExperiment(with_budget, SmallLru());
+  auto uncapped = RunExperiment(without, SmallLru());
+  ASSERT_TRUE(capped.ok() && uncapped.ok());
+  const FrontendStats& c = capped->aggregate;
+  const FrontendStats& u = uncapped->aggregate;
+
+  EXPECT_EQ(u.retries_suppressed, 0u);
+  EXPECT_GT(c.retries_suppressed, 0u);
+  // Retries stay within the budgeted fraction of fresh backend traffic
+  // (fresh deposits happen per backend request, so bound against lookups
+  // plus invalidation deliveries; the burst allows a small overshoot).
+  const uint64_t fresh =
+      c.backend_lookups + c.invalidations + c.storage_reads;
+  EXPECT_LE(c.retries, fresh / 10 + 17);
+  // And materially fewer than the unbudgeted run.
+  EXPECT_LT(c.retries * 2, u.retries);
+  // Identity of work: every op still completed in both runs.
+  EXPECT_EQ(c.reads + c.updates, kOps);
+  EXPECT_EQ(u.reads + u.updates, kOps);
+}
+
+// Suppressed retries still leave the protocol correct: a denied read retry
+// fails over to storage (correct value), a denied invalidation retry
+// escalates exactly like an exhausted one.
+TEST(SustainedFaultTest, BudgetDenialTakesTheFallbackPathNotAWrongAnswer) {
+  ExperimentConfig config = SustainedConfig(0.7);
+  config.failure_policy.max_retries = 3;
+  config.failure_policy.retry_budget_ratio = 0.05;
+  auto result = RunExperiment(config, SmallLru());
+  ASSERT_TRUE(result.ok());
+  const FrontendStats& a = result->aggregate;
+  EXPECT_GT(a.retries_suppressed, 0u);
+  // Denied read retries show up as failovers/degraded ops, not losses.
+  EXPECT_GT(a.failovers + a.degraded_ops, 0u);
+  EXPECT_EQ(a.reads + a.updates, kOps);
+}
+
+}  // namespace
+}  // namespace cot::cluster

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_bench_regression.py.
+
+Runs the script as a subprocess (the way CI and run_all_benches.sh invoke
+it) against synthetic google-benchmark JSON files and checks the exit
+codes and warning output, in particular the warn-not-fail behavior for
+benchmarks present in only one of the two files.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "..", "tools",
+    "check_bench_regression.py")
+
+
+def bench_file(dirname, fname, entries):
+    """Writes a single-run google-benchmark JSON file.
+
+    entries: {name -> real_time ns}, recorded as plain iteration runs.
+    """
+    path = os.path.join(dirname, fname)
+    run = {
+        "benchmarks": [
+            {"name": n, "run_type": "iteration", "real_time": t,
+             "cpu_time": t, "time_unit": "ns"}
+            for n, t in entries.items()
+        ]
+    }
+    with open(path, "w") as f:
+        json.dump(run, f)
+    return path
+
+
+def run_check(*argv):
+    proc = subprocess.run(
+        [sys.executable, SCRIPT, *argv],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    return proc.returncode, proc.stdout
+
+
+class CheckBenchRegressionTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+        self.dir = self.tmp.name
+
+    def test_no_regression_passes(self):
+        base = bench_file(self.dir, "base.json", {"BM_A": 100.0, "BM_B": 50.0})
+        fresh = bench_file(self.dir, "fresh.json", {"BM_A": 110.0, "BM_B": 40.0})
+        code, out = run_check(base, fresh, "--threshold", "1.25")
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK:", out)
+
+    def test_regression_fails(self):
+        base = bench_file(self.dir, "base.json", {"BM_A": 100.0})
+        fresh = bench_file(self.dir, "fresh.json", {"BM_A": 200.0})
+        code, out = run_check(base, fresh, "--threshold", "1.25")
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSED", out)
+
+    def test_new_bench_only_in_fresh_warns_not_fails(self):
+        # A brand-new bench (no baseline entry yet) must be able to land.
+        base = bench_file(self.dir, "base.json", {"BM_A": 100.0})
+        fresh = bench_file(self.dir, "fresh.json",
+                           {"BM_A": 100.0, "BM_New": 77.0})
+        code, out = run_check(base, fresh)
+        self.assertEqual(code, 0, out)
+        self.assertIn("warning:", out)
+        self.assertIn("BM_New", out)
+
+    def test_retired_bench_only_in_baseline_warns_not_fails(self):
+        base = bench_file(self.dir, "base.json",
+                          {"BM_A": 100.0, "BM_Old": 12.0})
+        fresh = bench_file(self.dir, "fresh.json", {"BM_A": 100.0})
+        code, out = run_check(base, fresh)
+        self.assertEqual(code, 0, out)
+        self.assertIn("warning:", out)
+        self.assertIn("BM_Old", out)
+
+    def test_disjoint_sets_warn_and_pass(self):
+        # Entirely disjoint name sets: nothing to compare, exit 0 with a
+        # warning instead of the old hard error.
+        base = bench_file(self.dir, "base.json", {"BM_Old": 10.0})
+        fresh = bench_file(self.dir, "fresh.json", {"BM_New": 20.0})
+        code, out = run_check(base, fresh)
+        self.assertEqual(code, 0, out)
+        self.assertIn("no common benchmarks", out)
+        self.assertIn("warning:", out)
+
+    def test_disjoint_plus_regression_still_fails_on_common(self):
+        base = bench_file(self.dir, "base.json",
+                          {"BM_A": 100.0, "BM_Old": 10.0})
+        fresh = bench_file(self.dir, "fresh.json",
+                           {"BM_A": 300.0, "BM_New": 20.0})
+        code, out = run_check(base, fresh, "--threshold", "1.25")
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSED", out)
+        self.assertIn("warning:", out)
+
+    def test_malformed_input_still_errors(self):
+        bad = os.path.join(self.dir, "bad.json")
+        with open(bad, "w") as f:
+            f.write("not json")
+        base = bench_file(self.dir, "base.json", {"BM_A": 100.0})
+        code, _ = run_check(base, bad)
+        self.assertEqual(code, 2)
+
+    def test_median_aggregate_preferred(self):
+        base = bench_file(self.dir, "base.json", {"BM_A": 100.0})
+        path = os.path.join(self.dir, "fresh.json")
+        run = {
+            "benchmarks": [
+                {"name": "BM_A", "run_type": "iteration",
+                 "real_time": 500.0, "cpu_time": 500.0, "time_unit": "ns"},
+                {"name": "BM_A_median", "run_type": "aggregate",
+                 "aggregate_name": "median", "real_time": 100.0,
+                 "cpu_time": 100.0, "time_unit": "ns"},
+            ]
+        }
+        with open(path, "w") as f:
+            json.dump(run, f)
+        code, out = run_check(base, path, "--threshold", "1.25")
+        self.assertEqual(code, 0, out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,90 @@
+#include "workload/arrival.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cot::workload {
+namespace {
+
+TEST(ArrivalProcess, ParsesKnownNamesAndRejectsOthers) {
+  auto p = ParseArrivalProcess("poisson");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, ArrivalProcess::kPoisson);
+  auto u = ParseArrivalProcess("uniform");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(*u, ArrivalProcess::kUniform);
+  EXPECT_FALSE(ParseArrivalProcess("bursty").ok());
+  EXPECT_EQ(ArrivalProcessName(ArrivalProcess::kPoisson), "poisson");
+  EXPECT_EQ(ArrivalProcessName(ArrivalProcess::kUniform), "uniform");
+}
+
+TEST(ArrivalGenerator, TimestampsAreMonotone) {
+  ArrivalGenerator gen(ArrivalProcess::kPoisson, 50000.0, 7);
+  uint64_t prev = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t t = gen.Next();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ArrivalGenerator, UniformHitsTheExactRate) {
+  // 10k/s -> 100 us gaps; arrival n lands at (n+1)*100 us.
+  ArrivalGenerator gen(ArrivalProcess::kUniform, 10000.0, 1);
+  for (uint64_t n = 1; n <= 1000; ++n) {
+    EXPECT_EQ(gen.Next(), n * 100);
+  }
+}
+
+TEST(ArrivalGenerator, PoissonConvergesToTheTargetRate) {
+  const double rate = 20000.0;
+  const int n = 200000;
+  ArrivalGenerator gen(ArrivalProcess::kPoisson, rate, 42);
+  uint64_t last = 0;
+  for (int i = 0; i < n; ++i) last = gen.Next();
+  const double achieved = static_cast<double>(n) /
+                          (static_cast<double>(last) / 1e6);
+  // 200k exponential draws: the sample mean is within ~1% whp.
+  EXPECT_NEAR(achieved / rate, 1.0, 0.02);
+}
+
+TEST(ArrivalGenerator, SameSeedSameSchedule) {
+  ArrivalGenerator a(ArrivalProcess::kPoisson, 5000.0, 99);
+  ArrivalGenerator b(ArrivalProcess::kPoisson, 5000.0, 99);
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(ArrivalGenerator, DifferentSeedsDiverge) {
+  ArrivalGenerator a(ArrivalProcess::kPoisson, 5000.0, 1);
+  ArrivalGenerator b(ArrivalProcess::kPoisson, 5000.0, 2);
+  int diffs = 0;
+  for (int i = 0; i < 1000; ++i) diffs += a.Next() != b.Next() ? 1 : 0;
+  EXPECT_GT(diffs, 900);
+}
+
+TEST(ArrivalGenerator, PoissonIsBurstierThanUniform) {
+  // Coefficient of variation of exponential gaps is ~1; uniform is 0.
+  ArrivalGenerator gen(ArrivalProcess::kPoisson, 10000.0, 3);
+  std::vector<double> gaps;
+  uint64_t prev = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t t = gen.Next();
+    gaps.push_back(static_cast<double>(t - prev));
+    prev = t;
+  }
+  double mean = 0.0;
+  for (double g : gaps) mean += g;
+  mean /= static_cast<double>(gaps.size());
+  double var = 0.0;
+  for (double g : gaps) var += (g - mean) * (g - mean);
+  var /= static_cast<double>(gaps.size());
+  const double cv = std::sqrt(var) / mean;
+  EXPECT_GT(cv, 0.9);
+  EXPECT_LT(cv, 1.1);
+}
+
+}  // namespace
+}  // namespace cot::workload

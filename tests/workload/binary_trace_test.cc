@@ -1,0 +1,112 @@
+#include "workload/binary_trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "workload/types.h"
+
+namespace cot::workload {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(BinaryTrace, RoundTripsOpsAndHeader) {
+  const std::string path = TestPath("bt_roundtrip.bin");
+  const std::vector<Op> ops = {
+      {0, OpType::kRead},      {17, OpType::kUpdate}, {5, OpType::kRead},
+      {99999, OpType::kRead},  {42, OpType::kUpdate},
+  };
+  BinaryTraceWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  for (Op op : ops) ASSERT_TRUE(writer.Append(op).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(writer.count(), ops.size());
+
+  auto view = BinaryTraceView::Open(path);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  ASSERT_EQ(view->size(), ops.size());
+  EXPECT_EQ(view->key_space(), 100000u);  // max key + 1
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ((*view)[i].key, ops[i].key) << "op " << i;
+    EXPECT_EQ((*view)[i].type, ops[i].type) << "op " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTrace, EncodeDecodeIsLossless) {
+  for (Op op : {Op{0, OpType::kRead}, Op{0, OpType::kUpdate},
+                Op{(uint64_t{1} << 62), OpType::kUpdate},
+                Op{123456789, OpType::kRead}}) {
+    const Op back = DecodeBinaryOp(EncodeBinaryOp(op));
+    EXPECT_EQ(back.key, op.key);
+    EXPECT_EQ(back.type, op.type);
+  }
+}
+
+TEST(BinaryTrace, EmptyTraceOpensWithZeroSize) {
+  const std::string path = TestPath("bt_empty.bin");
+  BinaryTraceWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  auto view = BinaryTraceView::Open(path);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->size(), 0u);
+  EXPECT_TRUE(view->empty());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTrace, RejectsMissingFile) {
+  auto view = BinaryTraceView::Open(TestPath("bt_does_not_exist.bin"));
+  EXPECT_FALSE(view.ok());
+}
+
+TEST(BinaryTrace, RejectsBadMagic) {
+  const std::string path = TestPath("bt_badmagic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTATRACE-PADDING-TO-32-BYTES!!!";
+  }
+  auto view = BinaryTraceView::Open(path);
+  EXPECT_FALSE(view.ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTrace, RejectsTruncatedBody) {
+  const std::string path = TestPath("bt_truncated.bin");
+  BinaryTraceWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  for (uint64_t k = 0; k < 16; ++k) {
+    ASSERT_TRUE(writer.Append({k, OpType::kRead}).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  // Chop the last op off; the header still claims 16.
+  ASSERT_EQ(truncate(path.c_str(),
+                     static_cast<off_t>(BinaryTraceHeader::kSize + 15 * 8)),
+            0);
+  auto view = BinaryTraceView::Open(path);
+  EXPECT_FALSE(view.ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTrace, ViewIsMovable) {
+  const std::string path = TestPath("bt_move.bin");
+  BinaryTraceWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(writer.Append({7, OpType::kUpdate}).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  auto view = BinaryTraceView::Open(path);
+  ASSERT_TRUE(view.ok());
+  BinaryTraceView moved = std::move(view).value();
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0].key, 7u);
+  EXPECT_EQ(moved[0].type, OpType::kUpdate);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cot::workload

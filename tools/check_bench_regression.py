@@ -9,7 +9,10 @@ recorded with repetitions — and fails if any benchmark slowed down by more
 than the noise threshold.
 
 Exit status: 0 = no regression, 1 = regression beyond threshold,
-2 = usage / malformed input.
+2 = usage / malformed input. Benchmarks present in only one of the two
+files are reported as warnings but never fail the gate — new benches can
+land before the baseline is re-recorded, and retiring a bench does not
+block CI. An empty intersection is likewise a warning, not an error.
 
 Usage:
   tools/check_bench_regression.py BASELINE FRESH [--threshold 1.25]
@@ -90,33 +93,39 @@ def main():
         for n in baseline
         if n in fresh and (name_filter is None or name_filter.search(n))
     ]
-    if not common:
-        print("error: no common benchmarks between the two files",
-              file=sys.stderr)
-        return 2
 
-    width = max(len(n) for n in common)
     regressions = []
-    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  ratio")
-    for name in sorted(common):
-        ratio = fresh[name] / baseline[name] if baseline[name] > 0 else 1.0
-        flag = ""
-        if ratio > args.threshold:
-            regressions.append((name, ratio))
-            flag = "  REGRESSED"
-        print(
-            f"{name:<{width}}  {baseline[name]:>12.1f}  {fresh[name]:>12.1f}"
-            f"  {ratio:5.2f}x{flag}"
-        )
+    if common:
+        width = max(len(n) for n in common)
+        print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}"
+              "  ratio")
+        for name in sorted(common):
+            ratio = fresh[name] / baseline[name] if baseline[name] > 0 else 1.0
+            flag = ""
+            if ratio > args.threshold:
+                regressions.append((name, ratio))
+                flag = "  REGRESSED"
+            print(
+                f"{name:<{width}}  {baseline[name]:>12.1f}"
+                f"  {fresh[name]:>12.1f}  {ratio:5.2f}x{flag}"
+            )
 
+    # Benchmarks present in only one file are warnings, never failures:
+    # a new bench must be able to land before the baseline is re-recorded,
+    # and a retired bench must not block the gate. Only overlapping names
+    # can regress.
     only_base = sorted(set(baseline) - set(fresh))
     only_fresh = sorted(set(fresh) - set(baseline))
     if only_base:
-        print(f"note: {len(only_base)} benchmark(s) only in baseline: "
-              + ", ".join(only_base))
+        print(f"warning: {len(only_base)} benchmark(s) only in baseline "
+              "(retired or not run): " + ", ".join(only_base))
     if only_fresh:
-        print(f"note: {len(only_fresh)} benchmark(s) only in fresh run: "
-              + ", ".join(only_fresh))
+        print(f"warning: {len(only_fresh)} benchmark(s) only in fresh run "
+              "(new, no baseline yet): " + ", ".join(only_fresh))
+    if not common:
+        print("warning: no common benchmarks between the two files; "
+              "nothing to compare — not treating this as a regression")
+        return 0
 
     if regressions:
         print(

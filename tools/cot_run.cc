@@ -10,6 +10,8 @@
 //   cot_run --policy cot --elastic --target-imbalance 1.1 --ops 5000000
 //   cot_run --policy lru --distribution uniform --timed
 //   cot_run --trace my_accesses.txt --policy cot --cache-lines 64
+//   cot_run --open-loop --trace-bin t.bin --arrival-rate 40000 \
+//       --queue-depth 64 --shed-wait-us 2000 --retry-budget 0.1
 
 #include <algorithm>
 #include <cstdio>
@@ -22,7 +24,9 @@
 #include "metrics/event_tracer.h"
 #include "metrics/imbalance.h"
 #include "sim/end_to_end_sim.h"
+#include "sim/open_loop_sim.h"
 #include "util/flags.h"
+#include "workload/binary_trace.h"
 #include "workload/trace.h"
 
 #include "core/policy_factory.h"
@@ -174,6 +178,36 @@ int RunTool(int argc, char** argv) {
   flags.AddInt64("churn-seed", 1, "seed for the chaos plan generator");
   flags.AddInt64("churn-warmup", 0,
                  "no chaos events before this per-client op count");
+  flags.AddBool("open-loop", false,
+                "replay a binary trace (--trace-bin) under an arrival-rate "
+                "driven open-loop schedule instead of the closed-loop "
+                "drivers");
+  flags.AddString("trace-bin", "",
+                  "mmap-able binary trace (cot_trace_gen --binary) for "
+                  "--open-loop");
+  flags.AddDouble("arrival-rate", 10000.0,
+                  "open-loop aggregate offered load, ops per second of "
+                  "virtual time");
+  flags.AddString("arrival", "poisson",
+                  "open-loop arrival process: poisson|uniform");
+  flags.AddInt64("logical-clients", 256,
+                 "open-loop logical front-end clients multiplexed over "
+                 "--num-threads OS threads");
+  flags.AddInt64("queue-depth", 0,
+                 "per-shard serving-queue depth bound (0 = unbounded, "
+                 "i.e. no defense)");
+  flags.AddInt64("shed-wait-us", 0,
+                 "deadline admission: shed a request whose queueing delay "
+                 "would exceed this (0 = off)");
+  flags.AddDouble("pressure-fraction", 0.75,
+                  "queue-depth fraction beyond which invalidations bypass "
+                  "the data queue (tier-1 degradation)");
+  flags.AddInt64("deadline-us", 5000,
+                 "end-to-end SLO: completions within this count as goodput");
+  flags.AddDouble("retry-budget", 0.0,
+                  "retry-budget token ratio funding storage failovers of "
+                  "shed reads (0 = off)");
+  flags.AddDouble("retry-budget-burst", 16.0, "retry-budget bucket cap");
   flags.AddString("metrics-out", "",
                   "write run counters/gauges/latency histograms as JSON to "
                   "this file");
@@ -223,6 +257,9 @@ int RunTool(int argc, char** argv) {
   config.failure_policy.breaker_cooldown_ops =
       static_cast<uint64_t>(flags.GetInt64("fault-breaker-cooldown"));
   config.failure_policy.recover_cold = !flags.GetBool("fault-no-cold-recovery");
+  config.failure_policy.retry_budget_ratio = flags.GetDouble("retry-budget");
+  config.failure_policy.retry_budget_burst =
+      flags.GetDouble("retry-budget-burst");
 
   const std::string& churn_spec = flags.GetString("churn");
   int64_t chaos_events = flags.GetInt64("churn-chaos");
@@ -339,12 +376,131 @@ int RunTool(int argc, char** argv) {
   core::ResizerConfig resizer;
   resizer.target_imbalance = flags.GetDouble("target-imbalance");
 
+  if (flags.GetBool("open-loop")) {
+    const std::string& bin_path = flags.GetString("trace-bin");
+    if (bin_path.empty()) {
+      std::fprintf(stderr, "--open-loop requires --trace-bin\n");
+      return 2;
+    }
+    auto view = workload::BinaryTraceView::Open(bin_path);
+    if (!view.ok()) {
+      std::fprintf(stderr, "%s\n", view.status().ToString().c_str());
+      return 1;
+    }
+    auto arrival = workload::ParseArrivalProcess(flags.GetString("arrival"));
+    if (!arrival.ok()) {
+      std::fprintf(stderr, "%s\n", arrival.status().ToString().c_str());
+      return 2;
+    }
+    sim::OpenLoopConfig ol;
+    ol.num_servers = config.num_servers;
+    ol.logical_clients =
+        static_cast<uint32_t>(flags.GetInt64("logical-clients"));
+    ol.num_threads = config.num_threads;
+    // --ops caps the replay; the sim clamps to the trace length.
+    ol.max_ops = config.total_ops;
+    ol.arrival_rate_per_sec = flags.GetDouble("arrival-rate");
+    ol.arrival = *arrival;
+    ol.seed = config.seed;
+    ol.deadline_us = static_cast<uint64_t>(flags.GetInt64("deadline-us"));
+    ol.overload.max_queue_depth =
+        static_cast<uint32_t>(flags.GetInt64("queue-depth"));
+    ol.overload.deadline_us =
+        static_cast<uint64_t>(flags.GetInt64("shed-wait-us"));
+    ol.overload.pressure_fraction = flags.GetDouble("pressure-fraction");
+    ol.retry_budget_ratio = flags.GetDouble("retry-budget");
+    ol.retry_budget_burst = flags.GetDouble("retry-budget-burst");
+    ol.trace_capacity = trace_out.empty() ? 0 : config.trace_capacity;
+    auto result = sim::RunOpenLoop(ol, *view, factory, sim::LatencyModel{});
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %llu ops over %llu keys (%s)\n",
+                static_cast<unsigned long long>(view->size()),
+                static_cast<unsigned long long>(view->key_space()),
+                bin_path.c_str());
+    std::printf("offered:            %llu ops at %.0f/s (%s arrivals, "
+                "achieved %.0f/s)\n",
+                static_cast<unsigned long long>(result->offered),
+                ol.arrival_rate_per_sec,
+                workload::ArrivalProcessName(ol.arrival).c_str(),
+                result->offered_rate_per_sec);
+    std::printf("completed:          %llu (%.0f/s)   goodput: %llu "
+                "(%.0f/s within %llu us)\n",
+                static_cast<unsigned long long>(result->completed),
+                result->completed_rate_per_sec,
+                static_cast<unsigned long long>(result->goodput),
+                result->goodput_rate_per_sec,
+                static_cast<unsigned long long>(ol.deadline_us));
+    std::printf("shed:               %llu (queue_full %llu  deadline %llu  "
+                "storage %llu  budget-denied %llu)\n",
+                static_cast<unsigned long long>(result->shed),
+                static_cast<unsigned long long>(result->shed_queue_full),
+                static_cast<unsigned long long>(result->shed_deadline),
+                static_cast<unsigned long long>(result->shed_storage),
+                static_cast<unsigned long long>(result->retries_suppressed));
+    std::printf("degraded failovers: %llu   invalidation bypasses: %llu\n",
+                static_cast<unsigned long long>(result->degraded_failovers),
+                static_cast<unsigned long long>(result->invalidation_bypass));
+    std::printf("local hits:         %llu\n",
+                static_cast<unsigned long long>(result->local_hits));
+    std::printf("mean latency:       %.1f us   makespan: %.2f ms\n",
+                result->mean_latency_us, result->makespan_us / 1000.0);
+    for (const char* path :
+         {"latency_us/local_hit", "latency_us/backend", "latency_us/storage",
+          "latency_us/degraded", "latency_us/update",
+          "queue_wait_us/backend"}) {
+      const metrics::Histogram& h = result->metrics.histogram(path);
+      if (h.count() == 0) continue;
+      std::printf("%-22s p50 %.0f  p99 %.0f  p999 %.0f  (n=%llu)\n", path,
+                  h.Median(), h.P99(), h.P999(),
+                  static_cast<unsigned long long>(h.count()));
+    }
+    // The accounting identity is a hard invariant of the replayer: every
+    // offered op meets exactly one fate. A violation is a bug, not a
+    // report — fail loudly so CI smoke runs catch it.
+    if (result->offered !=
+        result->completed + result->shed + result->failed) {
+      std::fprintf(stderr,
+                   "IDENTITY VIOLATION: offered %llu != completed %llu + "
+                   "shed %llu + failed %llu\n",
+                   static_cast<unsigned long long>(result->offered),
+                   static_cast<unsigned long long>(result->completed),
+                   static_cast<unsigned long long>(result->shed),
+                   static_cast<unsigned long long>(result->failed));
+      return 3;
+    }
+    std::printf("identity:           offered %llu = completed %llu + shed "
+                "%llu + failed %llu\n",
+                static_cast<unsigned long long>(result->offered),
+                static_cast<unsigned long long>(result->completed),
+                static_cast<unsigned long long>(result->shed),
+                static_cast<unsigned long long>(result->failed));
+    bool ok = true;
+    if (!metrics_out.empty()) {
+      ok = WriteFileOrWarn(metrics_out, result->metrics.ToJson()) && ok;
+    }
+    if (!trace_out.empty()) {
+      std::string jsonl;
+      for (const auto& e : result->trace) {
+        jsonl += metrics::ToJson(e);
+        jsonl += '\n';
+      }
+      ok = WriteFileOrWarn(trace_out, jsonl) && ok;
+    }
+    PrintTraceSummary(result->trace, 0);
+    return ok ? 0 : 1;
+  }
+
   auto print_fault_summary = [&](const cluster::FrontendStats& a) {
     if (config.faults.empty()) return;
     std::printf(
-        "faults: failed %llu  retries %llu  failovers %llu  degraded %llu\n",
+        "faults: failed %llu  retries %llu (suppressed %llu)  failovers "
+        "%llu  degraded %llu\n",
         static_cast<unsigned long long>(a.failed_requests),
         static_cast<unsigned long long>(a.retries),
+        static_cast<unsigned long long>(a.retries_suppressed),
         static_cast<unsigned long long>(a.failovers),
         static_cast<unsigned long long>(a.degraded_ops));
     std::printf(

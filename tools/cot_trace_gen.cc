@@ -2,9 +2,14 @@
 // `cot_run --trace` (and workload::Trace) consume — handy for smoke
 // testing trace pipelines and for sharing reproducible workloads.
 //
+// With --binary it instead emits the mmap-able COTBTRC1 format that the
+// open-loop replayer (`cot_run --open-loop --trace-bin`) maps read-only —
+// 8 bytes per op, no parsing at replay time.
+//
 // Examples:
 //   cot_trace_gen --ops 100000 --keys 10000 --skew 1.2 > trace.txt
 //   cot_trace_gen --distribution uniform --read-fraction 0.9 --out t.txt
+//   cot_trace_gen --ops 1000000 --binary --out trace.bin
 
 #include <cstdio>
 #include <fstream>
@@ -12,6 +17,7 @@
 #include <memory>
 
 #include "util/flags.h"
+#include "workload/binary_trace.h"
 #include "workload/op_stream.h"
 #include "workload/trace.h"
 
@@ -29,6 +35,9 @@ int RunTool(int argc, char** argv) {
   flags.AddInt64("ops", 100000, "operations to generate");
   flags.AddInt64("seed", 42, "RNG seed");
   flags.AddString("out", "", "output file (default: stdout)");
+  flags.AddBool("binary", false,
+                "write the mmap-able binary format (COTBTRC1) instead of "
+                "text; requires --out");
 
   Status s = flags.Parse(argc, argv);
   if (!s.ok()) {
@@ -69,10 +78,32 @@ int RunTool(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
     return 1;
   }
+
+  const std::string& out_path = flags.GetString("out");
+  if (flags.GetBool("binary")) {
+    if (out_path.empty()) {
+      std::fprintf(stderr, "--binary requires --out (no stdout mode)\n");
+      return 2;
+    }
+    workload::BinaryTraceWriter writer;
+    Status ws = writer.Open(out_path);
+    if (ws.ok()) {
+      while (!stream->Done() && ws.ok()) ws = writer.Append(stream->Next());
+    }
+    if (ws.ok()) ws = writer.Finish();
+    if (!ws.ok()) {
+      std::fprintf(stderr, "%s\n", ws.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %llu binary ops to %s\n",
+                 static_cast<unsigned long long>(writer.count()),
+                 out_path.c_str());
+    return 0;
+  }
+
   workload::Trace trace;
   while (!stream->Done()) trace.Append(stream->Next());
 
-  const std::string& out_path = flags.GetString("out");
   if (out_path.empty()) {
     std::fputs(trace.ToText().c_str(), stdout);
   } else {
