@@ -52,6 +52,65 @@ void BM_Lru2Access(benchmark::State& state) {
 }
 void BM_CotAccess(benchmark::State& state) { PolicyAccessLoop(state, "cot"); }
 
+// Per-path CoT access costs. BM_CotAccess above mixes the three regimes a
+// Zipfian stream produces (resident hit, tracked miss, untracked arrival),
+// which makes a win attributable to nothing in particular; these three pin
+// each path in steady state so regressions name the path that moved.
+
+// Pure hit path: key space == cache lines, so after warmup every Get is a
+// resident hit — one tracker probe, O(1) lazy hotness update, no heap op.
+void BM_CotGetHit(benchmark::State& state) {
+  core::CotCache cache(kLines, 4 * kLines);
+  for (uint64_t k = 0; k < kLines; ++k) {
+    if (!cache.Get(k).has_value()) cache.Put(k, k);
+  }
+  Rng rng(42);
+  for (auto _ : state) {
+    auto v = cache.Get(rng.NextBelow(kLines));
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Tracked-miss path: residents are made hot first, then only
+// tracked-but-not-cached keys are probed. Get never admits, so every
+// iteration is a tracker counter update + a declined residency check, with
+// no tracker eviction and no cache mutation.
+void BM_CotGetMiss(benchmark::State& state) {
+  core::CotCache cache(kLines, 4 * kLines);
+  for (uint64_t k = 0; k < kLines; ++k) {
+    for (int r = 0; r < 8; ++r) (void)cache.Get(k);
+    cache.Put(k, k);
+  }
+  // Fill the remaining tracker slots with the cold keys the loop probes.
+  for (uint64_t k = kLines; k < 4 * kLines; ++k) (void)cache.Get(k);
+  Rng rng(42);
+  for (auto _ : state) {
+    auto v = cache.Get(kLines + rng.NextBelow(3 * kLines));
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Untracked-arrival path: a monotone fresh-key stream, so once the tracker
+// fills every Get replaces the tracker minimum (the space-saving move —
+// min-repair + counter inheritance) and the read-through Put offers the
+// inheriting newcomer for admission.
+void BM_CotUntrackedArrival(benchmark::State& state) {
+  core::CotCache cache(kLines, 4 * kLines);
+  uint64_t k = 0;
+  for (; k < 8 * kLines; ++k) {
+    if (!cache.Get(k).has_value()) cache.Put(k, k);
+  }
+  for (auto _ : state) {
+    auto v = cache.Get(k);
+    if (!v.has_value()) cache.Put(k, k);
+    ++k;
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
 void BM_TrackerTrackAccess(benchmark::State& state) {
   core::SpaceSavingTracker tracker(static_cast<size_t>(state.range(0)));
   workload::ZipfianGenerator gen(kKeys, 0.99);
@@ -210,6 +269,9 @@ BENCHMARK(BM_LfuAccess);
 BENCHMARK(BM_ArcAccess);
 BENCHMARK(BM_Lru2Access);
 BENCHMARK(BM_CotAccess);
+BENCHMARK(BM_CotGetHit);
+BENCHMARK(BM_CotGetMiss);
+BENCHMARK(BM_CotUntrackedArrival);
 BENCHMARK(BM_TrackerTrackAccess)->Arg(512)->Arg(4096)->Arg(32768);
 BENCHMARK(BM_RingLookup)->Arg(128)->Arg(16384);
 BENCHMARK(BM_ZipfianNext);

@@ -96,9 +96,23 @@ for run in runs:
 json.dump(runs, open(path, "w"), indent=1)
 EOF
 
+# Families the gate demands exist in every fresh recording: a silently
+# dropped registration (renamed bench, dead #ifdef) must fail loudly, not
+# sail through as an only-in-baseline warning.
+REQUIRED_FAMILIES="
+  --require BM_CotAccess
+  --require BM_CotGetHit
+  --require BM_CotGetMiss
+  --require BM_CotUntrackedArrival
+  --require BM_TrackerTrackAccess
+  --require BM_CotMixedReadUpdate
+"
+
 if [ -f BENCH_micro.json ]; then
   echo "regression check vs committed BENCH_micro.json"
-  if python3 tools/check_bench_regression.py BENCH_micro.json "$NEW"; then
+  # shellcheck disable=SC2086  # REQUIRED_FAMILIES is deliberate word-splitting
+  if python3 tools/check_bench_regression.py BENCH_micro.json "$NEW" \
+       $REQUIRED_FAMILIES; then
     :
   elif [ "$ACCEPT" = 1 ]; then
     echo "regression check failed but --accept given; recording anyway"

@@ -17,7 +17,6 @@ size_t EffectiveTrackerCapacity(size_t cache_capacity,
 
 CotCache::CotCache(const CotCacheConfig& config)
     : cache_capacity_(config.cache_capacity),
-      read_skip_ok_(config.weights.read_weight >= 0.0),
       tracker_(EffectiveTrackerCapacity(config.cache_capacity,
                                         config.tracker_capacity),
                config.weights),
@@ -29,32 +28,24 @@ CotCache::CotCache(size_t cache_capacity, size_t tracker_capacity)
 
 std::optional<cache::Value> CotCache::Get(Key key) {
   ++epoch_.accesses;
+  // The ONE hash probe of the access: membership, counters, hotness, and
+  // residency all come back from the tracker node.
   SpaceSavingTracker::TrackResult tracked =
       tracker_.TrackAccess(key, AccessType::kRead);
-  RememberTracked(key, tracked.hotness);
-  MaybeDropEvicted(tracked);
-
-  // Cached priorities mirror tracker hotness, so a hotness strictly below
-  // the cache's minimum proves the key is not resident — no index probe
-  // needed. Valid only when the read we just recorded cannot have lowered
-  // the hotness (read_weight >= 0, the normal configuration): then
-  // new-hotness < min implies pre-access hotness < min as well.
-  if (read_skip_ok_ &&
-      (cache_heap_.empty() || tracked.hotness < cache_heap_.TopPriority())) {
-    if (tracked.was_tracked) ++epoch_.tracker_only_hits;
-    ++stats_.misses;
-    return std::nullopt;
-  }
-
-  CacheHeap::Id id = cache_heap_.IdOf(key);
-  if (id != CacheHeap::kInvalidId) {
-    // Cache hit: refresh the key's hotness in the cache heap. The node id
-    // stays valid across the sift, so the value is read without a second
-    // probe.
-    cache_heap_.UpdateAt(id, tracked.hotness);
+  RememberTracked(key, tracked.id);
+  DropEvicted(tracked);
+  if (tracked.owner_slot != SpaceSavingTracker::kNoOwner) {
+    // Resident: a plain read leaves the cache heap untouched (the slot
+    // keeps a stale lower bound); only a hotness *drop* (negative read
+    // weight) must sync the slot eagerly. Raises stay fully lazy here —
+    // the cache-heap root is the *coldest* resident, so reads rarely
+    // dirty it and RepairCacheTop stays cheap without per-hit upkeep
+    // (measured: leaf-refreshing on hits cost ~10ns on the pure-hit path
+    // for no gain on the mixed path).
+    if (tracked.lowered) SyncLoweredSlot(tracked.owner_slot, tracked.hotness, key);
     ++stats_.hits;
     ++epoch_.cache_hits;
-    return cache_heap_.AuxAt(id);
+    return cache_heap_.AuxAt(tracked.owner_slot).value;
   }
   if (tracked.was_tracked) ++epoch_.tracker_only_hits;
   ++stats_.misses;
@@ -66,59 +57,59 @@ void CotCache::Put(Key key, Value value) {
   // Ensure the key is tracked (Get normally guarantees this; a direct Put
   // records a read access). In the read-through sequence Get(key) →
   // Put(key) the memo short-circuits the tracker probe entirely.
-  std::optional<double> hotness;
+  SpaceSavingTracker::NodeId id;
   if (last_tracked_valid_ && last_tracked_key_ == key) {
-    hotness = last_tracked_hotness_;
+    id = last_tracked_id_;
   } else {
-    hotness = tracker_.HotnessOf(key);
+    id = tracker_.IdOf(key);
   }
-  if (!hotness.has_value()) {
+  if (id == SpaceSavingTracker::kInvalidNode) {
     SpaceSavingTracker::TrackResult tracked =
         tracker_.TrackAccess(key, AccessType::kRead);
-    RememberTracked(key, tracked.hotness);
-    MaybeDropEvicted(tracked);
-    hotness = tracked.hotness;
+    RememberTracked(key, tracked.id);
+    DropEvicted(tracked);
+    id = tracked.id;
   }
-  // A hotness strictly below the cache's minimum priority proves the key is
-  // not resident (cached priorities mirror tracker hotness), so the index
-  // probe is skipped: a free line admits directly, a full cache has already
-  // failed the admission filter and declines with zero probes.
-  if (!cache_heap_.empty() && *hotness < cache_heap_.TopPriority()) {
-    if (cache_heap_.size() >= cache_capacity_) return;
-    AdmitToCache(key, std::move(value), *hotness);
-    return;
-  }
-  CacheHeap::Id id = cache_heap_.IdOf(key);
-  if (id != CacheHeap::kInvalidId) {
-    cache_heap_.AuxAt(id) = value;
-    cache_heap_.UpdateAt(id, *hotness);
+  double hotness = tracker_.HotnessAt(id);
+  uint32_t slot = tracker_.OwnerSlotAt(id);
+  if (slot != SpaceSavingTracker::kNoOwner) {
+    // Already resident: refresh the value. The slot's stale bound is
+    // already ≤ the (only ever lazily raised) hotness.
+    cache_heap_.AuxAt(slot).value = std::move(value);
     return;
   }
   if (cache_heap_.size() < cache_capacity_) {
-    AdmitToCache(key, value, *hotness);
+    AdmitToCache(key, std::move(value), hotness, id);
     return;
   }
   // Admission filter (Algorithm 2, line 6): only keys hotter than the
-  // coldest cached key displace it.
-  assert(!cache_heap_.empty());
-  if (*hotness > cache_heap_.TopPriority()) {
-    Key victim = cache_heap_.TopKey();
-    DropFromCache(victim);
+  // coldest cached key displace it. The filter compares hotness alone; the
+  // (hotness, key) order picks which of the equally cold residents goes.
+  RepairCacheTop();
+  if (hotness > cache_heap_.TopPriority().hotness()) {
+    uint32_t victim_slot = cache_heap_.TopId();
+    tracker_.SetOwnerSlot(cache_heap_.AuxAt(victim_slot).tracker_id,
+                          SpaceSavingTracker::kNoOwner);
     ++stats_.evictions;
-    AdmitToCache(key, value, *hotness);
+    uint32_t new_slot = cache_heap_.ReplaceTop(key, HotnessKey{hotness, key},
+                                               CacheNode{std::move(value), id});
+    tracker_.SetOwnerSlot(id, new_slot);
+    ++stats_.insertions;
   }
   // Otherwise decline: the cache keeps its hotter resident set.
 }
 
 void CotCache::Invalidate(Key key) {
   ++epoch_.accesses;
-  // Updates lower hotness under the dual-cost model.
+  // Updates lower hotness under the dual-cost model (the tracker syncs its
+  // own slot eagerly).
   SpaceSavingTracker::TrackResult tracked =
       tracker_.TrackAccess(key, AccessType::kUpdate);
-  RememberTracked(key, tracked.hotness);
-  MaybeDropEvicted(tracked);
-  if (cache_heap_.Contains(key)) {
-    DropFromCache(key);
+  RememberTracked(key, tracked.id);
+  DropEvicted(tracked);
+  if (tracked.owner_slot != SpaceSavingTracker::kNoOwner) {
+    DropCacheSlot(tracked.owner_slot);
+    tracker_.SetOwnerSlot(tracked.id, SpaceSavingTracker::kNoOwner);
     ++stats_.invalidations;
   }
 }
@@ -128,8 +119,11 @@ Status CotCache::Resize(size_t new_capacity) {
   cache_capacity_ = new_capacity;
   cache_heap_.Reserve(cache_capacity_);
   while (cache_heap_.size() > cache_capacity_) {
-    Key victim = cache_heap_.TopKey();
-    DropFromCache(victim);
+    RepairCacheTop();
+    uint32_t victim_slot = cache_heap_.TopId();
+    tracker_.SetOwnerSlot(cache_heap_.AuxAt(victim_slot).tracker_id,
+                          SpaceSavingTracker::kNoOwner);
+    DropCacheSlot(victim_slot);
     ++stats_.evictions;
   }
   // Maintain K >= 2C.
@@ -147,50 +141,64 @@ Status CotCache::ResizeTracker(size_t new_tracker_capacity) {
     return Status::InvalidArgument(
         "tracker capacity must be >= max(2 * cache capacity, 1)");
   }
-  std::vector<Key> evicted;
-  Status s = tracker_.Resize(new_tracker_capacity, &evicted);
+  std::vector<SpaceSavingTracker::EvictedKey> evicted;
+  Status s = tracker_.ResizeWithOwners(new_tracker_capacity, &evicted);
   if (!s.ok()) return s;
-  for (Key key : evicted) DropFromCache(key);
+  for (const SpaceSavingTracker::EvictedKey& victim : evicted) {
+    if (victim.owner_slot != SpaceSavingTracker::kNoOwner) {
+      DropCacheSlot(victim.owner_slot);
+    }
+  }
   return Status::OK();
 }
 
 std::optional<double> CotCache::MinCachedHotness() const {
   if (cache_heap_.empty()) return std::nullopt;
-  return cache_heap_.TopPriority();
+  RepairCacheTop();
+  return cache_heap_.TopPriority().hotness();
+}
+
+void CotCache::RepairCacheTop() const {
+  // Mirror of SpaceSavingTracker::RepairTop over the cache heap: slot
+  // priorities are stale lower bounds of the tracker-side true hotness;
+  // re-stamping the root until clean makes it the true coldest resident.
+  while (true) {
+    uint32_t top = cache_heap_.TopId();
+    double true_hotness =
+        tracker_.HotnessAt(cache_heap_.AuxAt(top).tracker_id);
+    HotnessKey want{true_hotness, cache_heap_.KeyAt(top)};
+    if (cache_heap_.TopPriority() == want) return;
+    cache_heap_.UpdateAt(top, want);
+  }
 }
 
 void CotCache::HalveAllHotness() {
   ForgetTracked();
   tracker_.HalveAllHotness();
-  cache_heap_.TransformPrioritiesMonotone([](double h) { return h * 0.5; });
+  cache_heap_.TransformPrioritiesMonotone(
+      [](HotnessKey p) { return HotnessKey{p.hotness() * 0.5, p.key()}; });
 }
 
-void CotCache::AdmitToCache(Key key, Value value, double hotness) {
-  cache_heap_.Push(key, hotness, std::move(value));
+void CotCache::AdmitToCache(Key key, Value value, double hotness,
+                            SpaceSavingTracker::NodeId id) {
+  uint32_t slot = cache_heap_.Push(key, HotnessKey{hotness, key},
+                                   CacheNode{std::move(value), id});
+  tracker_.SetOwnerSlot(id, slot);
   ++stats_.insertions;
-}
-
-void CotCache::DropFromCache(Key key) { cache_heap_.Erase(key); }
-
-void CotCache::MaybeDropEvicted(
-    const SpaceSavingTracker::TrackResult& tracked) {
-  if (!tracked.evicted.has_value()) return;
-  if (cache_heap_.empty() ||
-      tracked.evicted_hotness < cache_heap_.TopPriority()) {
-    return;  // provably not resident — no probe needed
-  }
-  DropFromCache(*tracked.evicted);
 }
 
 std::vector<CotCache::ExportedKey> CotCache::ExportState() const {
   std::vector<ExportedKey> out;
   out.reserve(tracker_.size());
   for (const auto& [key, hotness] : tracker_.SortedByHotnessDesc()) {
+    SpaceSavingTracker::NodeId id = tracker_.IdOf(key);
     ExportedKey exported;
     exported.key = key;
-    exported.counters = tracker_.CountersOf(key).value();
-    CacheHeap::Id id = cache_heap_.IdOf(key);
-    if (id != CacheHeap::kInvalidId) exported.value = cache_heap_.AuxAt(id);
+    exported.counters = tracker_.CountersAt(id);
+    uint32_t slot = tracker_.OwnerSlotAt(id);
+    if (slot != SpaceSavingTracker::kNoOwner) {
+      exported.value = cache_heap_.AuxAt(slot).value;
+    }
     out.push_back(exported);
   }
   return out;
@@ -204,10 +212,10 @@ void CotCache::ImportState(const std::vector<ExportedKey>& state) {
   // C from the hottest cached entries.
   for (const ExportedKey& entry : state) {
     if (tracker_.size() >= tracker_.capacity()) break;
-    tracker_.Seed(entry.key, entry.counters);
+    SpaceSavingTracker::NodeId id = tracker_.Seed(entry.key, entry.counters);
+    if (id == SpaceSavingTracker::kInvalidNode) continue;
     if (entry.value.has_value() && cache_heap_.size() < cache_capacity_) {
-      AdmitToCache(entry.key, *entry.value,
-                   tracker_.HotnessOf(entry.key).value());
+      AdmitToCache(entry.key, *entry.value, tracker_.HotnessAt(id), id);
     }
   }
 }
@@ -218,11 +226,31 @@ bool CotCache::CheckInvariants() const {
     return false;
   }
   bool ok = true;
-  // S_c ⊆ S_k and cache-heap hotness mirrors the tracker.
-  cache_heap_.ForEach([&](const Key& k, double h) {
-    auto tracked = tracker_.HotnessOf(k);
-    if (!tracked.has_value() || *tracked != h) ok = false;
+  size_t owned = 0;
+  // S_c ⊆ S_k with exact owner-slot cross-links, and every cache slot a
+  // valid stale lower bound of the tracker-side hotness.
+  cache_heap_.ForEachId([&](uint32_t slot) {
+    Key key = cache_heap_.KeyAt(slot);
+    SpaceSavingTracker::NodeId id = cache_heap_.AuxAt(slot).tracker_id;
+    SpaceSavingTracker::NodeId by_key = tracker_.IdOf(key);
+    if (by_key == SpaceSavingTracker::kInvalidNode || by_key != id ||
+        tracker_.OwnerSlotAt(id) != slot) {
+      ok = false;
+      return;
+    }
+    const HotnessKey& stale = cache_heap_.PriorityAt(slot);
+    if (stale.key() != key) ok = false;
+    if (HotnessKeyLess{}(HotnessKey{tracker_.HotnessAt(id), key}, stale)) {
+      ok = false;
+    }
   });
+  // Owner slots on tracker nodes must point back into live cache nodes —
+  // counting both directions proves the mapping is a bijection.
+  tracker_.ForEach([&](Key key, double) {
+    SpaceSavingTracker::NodeId id = tracker_.IdOf(key);
+    if (tracker_.OwnerSlotAt(id) != SpaceSavingTracker::kNoOwner) ++owned;
+  });
+  if (owned != cache_heap_.size()) ok = false;
   return ok && cache_heap_.CheckInvariants() && tracker_.CheckInvariants();
 }
 

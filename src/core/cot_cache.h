@@ -8,7 +8,7 @@
 #include "cache/cache.h"
 #include "core/hotness.h"
 #include "core/space_saving_tracker.h"
-#include "util/indexed_min_heap.h"
+#include "util/min_heap_core.h"
 #include "util/status.h"
 
 namespace cot::core {
@@ -30,11 +30,32 @@ struct CotCacheConfig {
 /// A `CotCache` couples a space-saving tracker of K keys with a min-heap
 /// cache of C < K entries, both ordered by dual-cost hotness. Every access
 /// first updates the tracker; a missed key is admitted into the cache only
-/// when its tracked hotness exceeds `h_min`, the hotness at the cache-heap
-/// root. The cache therefore always holds the *exact* top-C keys of the
-/// (approximate) top-K tracked keys — cold and noisy keys from the long
+/// when its tracked hotness exceeds `h_min`, the hotness of the coldest
+/// cached key. The cache therefore always holds the *exact* top-C keys of
+/// the (approximate) top-K tracked keys — cold and noisy keys from the long
 /// tail cannot displace resident heavy hitters, which is what lets a tiny
 /// front-end cache behave near-perfectly on skewed workloads.
+///
+/// ## Single-probe metadata
+///
+/// Residency lives on the tracker node: each tracked key carries an
+/// `owner_slot` holding its cache-heap node id (or none). `Get` therefore
+/// pays exactly ONE hash probe — the tracker access — and resolves
+/// counters, hotness, heap position, and residency from it; the cache heap
+/// itself is an index-free `MinHeapCore` whose nodes carry the value and a
+/// back-reference to the tracker node. Tracker evictions report the
+/// victim's owner slot, so dropping a cached victim is probe-free too.
+///
+/// ## Lazy cache-heap maintenance
+///
+/// Like the tracker's heap (see `SpaceSavingTracker`), cache slot
+/// priorities are stale (hotness, key) lower bounds: a hit raises only the
+/// node's tracked hotness, while accesses that lower hotness fix the slot
+/// eagerly. `h_min` consultations (admission at capacity, shrink,
+/// `MinCachedHotness`) first repair the root, which is then provably the
+/// true coldest resident. Victim selection uses the same total
+/// (hotness, key) order as the tracker, so eviction sequences match the
+/// O(n)-scan `ReferenceCotCache` decision-for-decision.
 ///
 /// Epoch accounting: the cache counts hits on cached keys (S_c) and on
 /// tracked-but-not-cached keys (S_{k-c}) since the last `ResetEpochStats`,
@@ -53,14 +74,14 @@ class CotCache : public cache::Cache {
   /// at least 1.
   explicit CotCache(const CotCacheConfig& config);
 
-  /// Convenience constructor: capacity C with tracker `ratio * C`.
+  /// Convenience constructor: capacity C with tracker capacity K.
   CotCache(size_t cache_capacity, size_t tracker_capacity);
 
   // --- cache::Cache interface -------------------------------------------
 
   /// Algorithm 2, read path: records a read in the tracker, then serves
-  /// from the local cache when resident (updating the key's position in the
-  /// cache heap). On a miss the caller fetches from the back-end and offers
+  /// from the local cache when resident. One hash probe total (see class
+  /// comment). On a miss the caller fetches from the back-end and offers
   /// the value via `Put`.
   std::optional<Value> Get(Key key) override;
 
@@ -74,7 +95,11 @@ class CotCache : public cache::Cache {
   /// copy.
   void Invalidate(Key key) override;
 
-  bool Contains(Key key) const override { return cache_heap_.Contains(key); }
+  bool Contains(Key key) const override {
+    SpaceSavingTracker::NodeId id = tracker_.IdOf(key);
+    return id != SpaceSavingTracker::kInvalidNode &&
+           tracker_.OwnerSlotAt(id) != SpaceSavingTracker::kNoOwner;
+  }
   size_t size() const override { return cache_heap_.size(); }
   size_t capacity() const override { return cache_capacity_; }
 
@@ -99,7 +124,8 @@ class CotCache : public cache::Cache {
   const SpaceSavingTracker& tracker() const { return tracker_; }
 
   /// `h_min`: hotness of the coldest cached key; `nullopt` when the cache
-  /// is empty.
+  /// is empty. Repairs the cache-heap root (amortized against the hits
+  /// that dirtied it).
   std::optional<double> MinCachedHotness() const;
 
   /// Half-life decay of all tracked and cached hotness (resizer Case 2).
@@ -149,50 +175,71 @@ class CotCache : public cache::Cache {
   /// Counter/epoch statistics are not transferred.
   void ImportState(const std::vector<ExportedKey>& state);
 
-  /// Verifies all structural invariants (S_c ⊆ S_k, heap orders, size
-  /// bounds); O(n log n). Test hook.
+  /// Verifies all structural invariants (S_c ⊆ S_k, owner-slot
+  /// cross-links, heap orders, stale-lower-bound property, size bounds);
+  /// O(n log n). Test hook.
   bool CheckInvariants() const;
 
  private:
-  /// Inserts into the cache heap + value map, evicting the root if full.
-  void AdmitToCache(Key key, Value value, double hotness);
-  /// Drops `key` from cache structures if resident.
-  void DropFromCache(Key key);
-  /// Drops a tracker-evicted key from the cache — but only after proving it
-  /// could be resident: a cached key's priority equals its tracker hotness,
-  /// and the victim held the tracker minimum, so an eviction hotness
-  /// strictly below the cache's own minimum skips the probe entirely.
-  void MaybeDropEvicted(const SpaceSavingTracker::TrackResult& tracked);
+  /// Cache-heap node payload: the cached value plus a back-reference to
+  /// the key's tracker node (for probe-free victim owner-slot clearing and
+  /// true-hotness reads during repair).
+  struct CacheNode {
+    Value value = 0;
+    SpaceSavingTracker::NodeId tracker_id = SpaceSavingTracker::kInvalidNode;
+  };
+
+  /// Index-free min-heap by stale (hotness, key) lower bounds; residency
+  /// is recorded on the tracker node (`owner_slot`), so this heap needs no
+  /// key index of its own.
+  using CacheHeap = MinHeapCore<Key, HotnessKey, HotnessKeyLess, CacheNode>;
+
+  /// Pushes a new cache node for tracker node `id` and records residency.
+  void AdmitToCache(Key key, Value value, double hotness,
+                    SpaceSavingTracker::NodeId id);
+  /// Erases the cache node `slot` (the owning tracker node is gone or is
+  /// cleared by the caller).
+  void DropCacheSlot(uint32_t slot) { cache_heap_.EraseAt(slot); }
+  /// Applies a tracker eviction to the cache: if the victim was resident,
+  /// its cache node is dropped — by slot, no probe.
+  void DropEvicted(const SpaceSavingTracker::TrackResult& tracked) {
+    if (tracked.evicted_owner_slot != SpaceSavingTracker::kNoOwner) {
+      DropCacheSlot(tracked.evicted_owner_slot);
+    }
+  }
+  /// A hit that lowered hotness must eagerly lower the cache slot too, to
+  /// keep it a valid lower bound.
+  void SyncLoweredSlot(uint32_t slot, double hotness, Key key) {
+    HotnessKey p{hotness, key};
+    if (HotnessKeyLess{}(p, cache_heap_.PriorityAt(slot))) {
+      cache_heap_.UpdateAt(slot, p);
+    }
+  }
+  /// Re-stamps the cache-heap root with its true hotness (read off the
+  /// tracker node) until clean; the root is then the true coldest
+  /// resident. Const for `MinCachedHotness`; the heap is mutable for
+  /// exactly this repair.
+  void RepairCacheTop() const;
 
   /// Memo of the most recent tracker access: `Put(key)` directly after
-  /// `Get(key)` — the universal read-through sequence — reuses the hotness
-  /// that `Get` already computed instead of re-probing the tracker. Valid
-  /// because hotness only changes through tracker mutations, and every
-  /// mutation path either overwrites the memo (TrackAccess) or clears it
-  /// (resize, decay, import).
-  void RememberTracked(Key key, double hotness) {
+  /// `Get(key)` — the universal read-through sequence — reuses the node id
+  /// that `Get` already resolved instead of re-probing the tracker. Valid
+  /// because node ids are stable while a key stays tracked, and every
+  /// path that could untrack the key either overwrites the memo
+  /// (TrackAccess) or clears it (resize, decay, import).
+  void RememberTracked(Key key, SpaceSavingTracker::NodeId id) {
     last_tracked_key_ = key;
-    last_tracked_hotness_ = hotness;
+    last_tracked_id_ = id;
     last_tracked_valid_ = true;
   }
   void ForgetTracked() { last_tracked_valid_ = false; }
 
-  /// Min-heap by hotness whose nodes carry the cached value as aux
-  /// payload: the hit path pays one hash probe to reach value, hotness,
-  /// and heap position (the former parallel value map cost a second one).
-  using CacheHeap = IndexedMinHeap<Key, double, std::less<double>, Value>;
-
   size_t cache_capacity_;
-  /// True when reads cannot lower hotness (read_weight >= 0, the normal
-  /// configuration). Gates the Get fast path: post-read hotness below the
-  /// cache minimum then proves pre-read hotness was below it too, i.e. the
-  /// key is not resident and the index probe can be skipped.
-  bool read_skip_ok_;
   SpaceSavingTracker tracker_;
-  CacheHeap cache_heap_;  // priority = hotness, aux = value
+  mutable CacheHeap cache_heap_;
   EpochStats epoch_;
   Key last_tracked_key_ = 0;
-  double last_tracked_hotness_ = 0.0;
+  SpaceSavingTracker::NodeId last_tracked_id_ = 0;
   bool last_tracked_valid_ = false;
 };
 

@@ -53,6 +53,74 @@ inline double ComputeHotness(const KeyCounters& counters,
          counters.update_count * weights.update_weight;
 }
 
+/// Order-preserving integer image of a finite double: for non-NaN a, b,
+/// a < b implies PunHotness(a) < PunHotness(b) (the IEEE-754 sign-flip
+/// trick). The only divergence from IEEE `<` is that -0.0 orders strictly
+/// below +0.0 instead of comparing equal — an acceptable refinement, since
+/// any consistent total order over (hotness, key) is a valid victim rule.
+inline uint64_t PunHotness(double h) {
+  uint64_t u;
+  __builtin_memcpy(&u, &h, sizeof u);
+  return (u >> 63) ? ~u : (u | (uint64_t{1} << 63));
+}
+
+/// Inverse of PunHotness (exact round-trip).
+inline double UnpunHotness(uint64_t u) {
+  u = (u >> 63) ? (u & ~(uint64_t{1} << 63)) : ~u;
+  double h;
+  __builtin_memcpy(&h, &u, sizeof h);
+  return h;
+}
+
+/// Compound min-heap priority used by the tracker and the CoT cache heap:
+/// hotness first, the key itself as a deterministic tie-break (among
+/// equally cold keys, the smallest key is the victim). A *total* order
+/// makes victim selection a pure function of tracked state — independent
+/// of the heap's internal layout history — which is what lets the lazily
+/// maintained production heaps be proven decision-for-decision equivalent
+/// to an O(n)-scan reference implementation. Admission decisions compare
+/// hotness alone (Algorithm 2's strict `>`); the tie-break only selects
+/// *which* of the equally cold keys goes.
+///
+/// Stored as a single 128-bit integer — punned hotness in the high word,
+/// key in the low word — so the lexicographic compare that dominates heap
+/// sifting is one branch-free integer comparison instead of a
+/// double-compare / branch / key-compare chain. Counter inheritance packs
+/// the tracked tail into a handful of hotness values, so sift compares hit
+/// the tie-break constantly; resolving it in the same compare instruction
+/// (not a second branch) is worth ~2x on the replace-the-minimum path.
+class HotnessKey {
+ public:
+  constexpr HotnessKey() = default;
+  HotnessKey(double hotness, uint64_t key)
+      : bits_((static_cast<unsigned __int128>(PunHotness(hotness)) << 64) |
+              key) {}
+
+  double hotness() const {
+    return UnpunHotness(static_cast<uint64_t>(bits_ >> 64));
+  }
+  uint64_t key() const { return static_cast<uint64_t>(bits_); }
+
+  friend bool operator<(const HotnessKey& a, const HotnessKey& b) {
+    return a.bits_ < b.bits_;
+  }
+  friend bool operator==(const HotnessKey& a, const HotnessKey& b) {
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(const HotnessKey& a, const HotnessKey& b) {
+    return a.bits_ != b.bits_;
+  }
+
+ private:
+  unsigned __int128 bits_ = 0;
+};
+
+struct HotnessKeyLess {
+  bool operator()(const HotnessKey& a, const HotnessKey& b) const {
+    return a < b;
+  }
+};
+
 }  // namespace cot::core
 
 #endif  // COT_CORE_HOTNESS_H_

@@ -1,0 +1,345 @@
+#include "core/reference_cot.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cot::core {
+
+// --- ReferenceSpaceSavingTracker -------------------------------------------
+
+ReferenceSpaceSavingTracker::ReferenceSpaceSavingTracker(
+    size_t capacity, HotnessWeights weights)
+    : capacity_(capacity), weights_(weights) {
+  assert(capacity >= 1);
+}
+
+size_t ReferenceSpaceSavingTracker::FindIndex(Key key) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].key == key) return i;
+  }
+  return kNotFound;
+}
+
+size_t ReferenceSpaceSavingTracker::MinIndex() const {
+  assert(!entries_.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    if (HotnessKeyLess{}(HotnessKey{entries_[i].hotness, entries_[i].key},
+                         HotnessKey{entries_[best].hotness,
+                                    entries_[best].key})) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+ReferenceSpaceSavingTracker::TrackResult
+ReferenceSpaceSavingTracker::TrackAccess(Key key, AccessType type) {
+  TrackResult result;
+  size_t i = FindIndex(key);
+  if (i != kNotFound) {
+    result.was_tracked = true;
+    Entry& e = entries_[i];
+    e.counters.Record(type);
+    double h = ComputeHotness(e.counters, weights_);
+    // Same canonical packed order the production tracker uses, so the
+    // `lowered` flag matches bit-for-bit in every edge case.
+    result.lowered =
+        HotnessKeyLess{}(HotnessKey{h, key}, HotnessKey{e.hotness, key});
+    e.hotness = h;
+    result.hotness = h;
+    return result;
+  }
+  if (entries_.size() >= capacity_) {
+    // Replace the (hotness, key)-minimum, inheriting its counters.
+    size_t victim = MinIndex();
+    Entry& e = entries_[victim];
+    result.evicted = e.key;
+    result.evicted_hotness = e.hotness;
+    e.key = key;
+    e.counters.Record(type);
+    e.hotness = ComputeHotness(e.counters, weights_);
+    result.hotness = e.hotness;
+    return result;
+  }
+  Entry e;
+  e.key = key;
+  e.counters.Record(type);
+  e.hotness = ComputeHotness(e.counters, weights_);
+  result.hotness = e.hotness;
+  entries_.push_back(e);
+  return result;
+}
+
+std::optional<double> ReferenceSpaceSavingTracker::HotnessOf(Key key) const {
+  size_t i = FindIndex(key);
+  if (i == kNotFound) return std::nullopt;
+  return entries_[i].hotness;
+}
+
+std::optional<KeyCounters> ReferenceSpaceSavingTracker::CountersOf(
+    Key key) const {
+  size_t i = FindIndex(key);
+  if (i == kNotFound) return std::nullopt;
+  return entries_[i].counters;
+}
+
+std::optional<double> ReferenceSpaceSavingTracker::MinHotness() const {
+  if (entries_.empty()) return std::nullopt;
+  return entries_[MinIndex()].hotness;
+}
+
+Status ReferenceSpaceSavingTracker::Resize(size_t new_capacity,
+                                           std::vector<Key>* evicted) {
+  if (new_capacity < 1) {
+    return Status::InvalidArgument("tracker capacity must be >= 1");
+  }
+  capacity_ = new_capacity;
+  while (entries_.size() > capacity_) {
+    size_t victim = MinIndex();
+    if (evicted != nullptr) evicted->push_back(entries_[victim].key);
+    entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(victim));
+  }
+  return Status::OK();
+}
+
+void ReferenceSpaceSavingTracker::HalveAllHotness() {
+  for (Entry& e : entries_) {
+    e.counters.Scale(0.5);
+    e.hotness *= 0.5;
+  }
+}
+
+bool ReferenceSpaceSavingTracker::Seed(Key key, const KeyCounters& counters) {
+  double h = ComputeHotness(counters, weights_);
+  size_t i = FindIndex(key);
+  if (i != kNotFound) {
+    entries_[i].counters = counters;
+    entries_[i].hotness = h;
+    return true;
+  }
+  if (entries_.size() >= capacity_) {
+    size_t victim = MinIndex();
+    if (HotnessKeyLess{}(HotnessKey{h, key},
+                         HotnessKey{entries_[victim].hotness,
+                                    entries_[victim].key})) {
+      return false;  // colder than the current minimum: declined
+    }
+    entries_[victim] = Entry{key, counters, h};
+    return true;
+  }
+  entries_.push_back(Entry{key, counters, h});
+  return true;
+}
+
+std::vector<std::pair<ReferenceSpaceSavingTracker::Key, double>>
+ReferenceSpaceSavingTracker::SortedByHotnessDesc() const {
+  std::vector<std::pair<Key, double>> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.emplace_back(e.key, e.hotness);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+bool ReferenceSpaceSavingTracker::CheckInvariants() const {
+  if (entries_.size() > capacity_) return false;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (ComputeHotness(entries_[i].counters, weights_) !=
+        entries_[i].hotness) {
+      return false;
+    }
+    for (size_t j = i + 1; j < entries_.size(); ++j) {
+      if (entries_[i].key == entries_[j].key) return false;
+    }
+  }
+  return true;
+}
+
+// --- ReferenceCotCache -----------------------------------------------------
+
+namespace {
+
+size_t EffectiveTrackerCapacity(size_t cache_capacity,
+                                size_t tracker_capacity) {
+  size_t minimum = std::max<size_t>(1, 2 * cache_capacity);
+  return std::max(tracker_capacity, minimum);
+}
+
+}  // namespace
+
+ReferenceCotCache::ReferenceCotCache(const CotCacheConfig& config)
+    : cache_capacity_(config.cache_capacity),
+      tracker_(EffectiveTrackerCapacity(config.cache_capacity,
+                                        config.tracker_capacity),
+               config.weights) {}
+
+ReferenceCotCache::ReferenceCotCache(size_t cache_capacity,
+                                     size_t tracker_capacity)
+    : ReferenceCotCache(CotCacheConfig{cache_capacity, tracker_capacity,
+                                       HotnessWeights{}}) {}
+
+size_t ReferenceCotCache::LineIndex(Key key) const {
+  for (size_t i = 0; i < lines_.size(); ++i) {
+    if (lines_[i].key == key) return i;
+  }
+  return kNotFound;
+}
+
+size_t ReferenceCotCache::ColdestLineIndex() const {
+  assert(!lines_.empty());
+  size_t best = 0;
+  double best_h = tracker_.HotnessOf(lines_[0].key).value();
+  for (size_t i = 1; i < lines_.size(); ++i) {
+    double h = tracker_.HotnessOf(lines_[i].key).value();
+    if (HotnessKeyLess{}(HotnessKey{h, lines_[i].key},
+                         HotnessKey{best_h, lines_[best].key})) {
+      best = i;
+      best_h = h;
+    }
+  }
+  return best;
+}
+
+void ReferenceCotCache::DropIfResident(const std::optional<Key>& evicted) {
+  if (!evicted.has_value()) return;
+  size_t i = LineIndex(*evicted);
+  if (i != kNotFound) {
+    lines_.erase(lines_.begin() + static_cast<ptrdiff_t>(i));
+  }
+}
+
+std::optional<cache::Value> ReferenceCotCache::Get(Key key) {
+  ++epoch_.accesses;
+  auto tracked = tracker_.TrackAccess(key, AccessType::kRead);
+  DropIfResident(tracked.evicted);
+  size_t i = LineIndex(key);
+  if (i != kNotFound) {
+    ++stats_.hits;
+    ++epoch_.cache_hits;
+    return lines_[i].value;
+  }
+  if (tracked.was_tracked) ++epoch_.tracker_only_hits;
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ReferenceCotCache::Put(Key key, Value value) {
+  if (cache_capacity_ == 0) return;
+  std::optional<double> hotness = tracker_.HotnessOf(key);
+  if (!hotness.has_value()) {
+    auto tracked = tracker_.TrackAccess(key, AccessType::kRead);
+    DropIfResident(tracked.evicted);
+    hotness = tracked.hotness;
+  }
+  size_t i = LineIndex(key);
+  if (i != kNotFound) {
+    lines_[i].value = value;
+    return;
+  }
+  if (lines_.size() < cache_capacity_) {
+    lines_.push_back(Line{key, value});
+    ++stats_.insertions;
+    return;
+  }
+  // Admission filter: strictly hotter than the coldest resident (hotness
+  // alone decides admission; (hotness, key) order picks the victim).
+  size_t victim = ColdestLineIndex();
+  if (*hotness > tracker_.HotnessOf(lines_[victim].key).value()) {
+    lines_.erase(lines_.begin() + static_cast<ptrdiff_t>(victim));
+    ++stats_.evictions;
+    lines_.push_back(Line{key, value});
+    ++stats_.insertions;
+  }
+}
+
+void ReferenceCotCache::Invalidate(Key key) {
+  ++epoch_.accesses;
+  auto tracked = tracker_.TrackAccess(key, AccessType::kUpdate);
+  DropIfResident(tracked.evicted);
+  size_t i = LineIndex(key);
+  if (i != kNotFound) {
+    lines_.erase(lines_.begin() + static_cast<ptrdiff_t>(i));
+    ++stats_.invalidations;
+  }
+}
+
+Status ReferenceCotCache::Resize(size_t new_capacity) {
+  cache_capacity_ = new_capacity;
+  while (lines_.size() > cache_capacity_) {
+    size_t victim = ColdestLineIndex();
+    lines_.erase(lines_.begin() + static_cast<ptrdiff_t>(victim));
+    ++stats_.evictions;
+  }
+  size_t min_tracker = std::max<size_t>(1, 2 * cache_capacity_);
+  if (tracker_.capacity() < min_tracker) {
+    return tracker_.Resize(min_tracker);
+  }
+  return Status::OK();
+}
+
+Status ReferenceCotCache::ResizeTracker(size_t new_tracker_capacity) {
+  size_t minimum = std::max<size_t>(1, 2 * cache_capacity_);
+  if (new_tracker_capacity < minimum) {
+    return Status::InvalidArgument(
+        "tracker capacity must be >= max(2 * cache capacity, 1)");
+  }
+  std::vector<Key> evicted;
+  Status s = tracker_.Resize(new_tracker_capacity, &evicted);
+  if (!s.ok()) return s;
+  for (Key key : evicted) DropIfResident(key);
+  return Status::OK();
+}
+
+std::optional<double> ReferenceCotCache::MinCachedHotness() const {
+  if (lines_.empty()) return std::nullopt;
+  return tracker_.HotnessOf(lines_[ColdestLineIndex()].key);
+}
+
+void ReferenceCotCache::HalveAllHotness() { tracker_.HalveAllHotness(); }
+
+std::vector<ReferenceCotCache::ExportedKey> ReferenceCotCache::ExportState()
+    const {
+  std::vector<ExportedKey> out;
+  out.reserve(tracker_.size());
+  for (const auto& [key, hotness] : tracker_.SortedByHotnessDesc()) {
+    ExportedKey exported;
+    exported.key = key;
+    exported.counters = tracker_.CountersOf(key).value();
+    size_t i = LineIndex(key);
+    if (i != kNotFound) exported.value = lines_[i].value;
+    out.push_back(exported);
+  }
+  return out;
+}
+
+void ReferenceCotCache::ImportState(const std::vector<ExportedKey>& state) {
+  tracker_.Clear();
+  lines_.clear();
+  for (const ExportedKey& entry : state) {
+    if (tracker_.size() >= tracker_.capacity()) break;
+    if (!tracker_.Seed(entry.key, entry.counters)) continue;
+    if (entry.value.has_value() && lines_.size() < cache_capacity_) {
+      lines_.push_back(Line{entry.key, *entry.value});
+      ++stats_.insertions;
+    }
+  }
+}
+
+bool ReferenceCotCache::CheckInvariants() const {
+  if (lines_.size() > cache_capacity_) return false;
+  if (tracker_.capacity() < std::max<size_t>(1, 2 * cache_capacity_)) {
+    return false;
+  }
+  for (size_t i = 0; i < lines_.size(); ++i) {
+    if (!tracker_.Contains(lines_[i].key)) return false;
+    for (size_t j = i + 1; j < lines_.size(); ++j) {
+      if (lines_[i].key == lines_[j].key) return false;
+    }
+  }
+  return tracker_.CheckInvariants();
+}
+
+}  // namespace cot::core

@@ -1,0 +1,158 @@
+#ifndef COT_CORE_REFERENCE_COT_H_
+#define COT_CORE_REFERENCE_COT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cache/cache.h"
+#include "core/cot_cache.h"
+#include "core/hotness.h"
+#include "util/status.h"
+
+namespace cot::core {
+
+/// O(n)-scan reference model of `SpaceSavingTracker`: a flat vector of
+/// (key, counters) entries, every minimum found by a full linear scan under
+/// the same total (hotness, key) order the production tracker uses. No
+/// heap, no index, no laziness — each decision is a direct transcription of
+/// Algorithm 1 plus the victim tie-break rule, which makes the
+/// implementation obviously correct by inspection.
+///
+/// This is the oracle of the lockstep differential suite
+/// (`cot_lockstep_differential_test.cc`): the production tracker's lazy
+/// deferred-sift maintenance must reproduce this model's hit/eviction/
+/// export sequences decision-for-decision. It is NOT for production use —
+/// every operation is O(K).
+class ReferenceSpaceSavingTracker {
+ public:
+  using Key = uint64_t;
+
+  explicit ReferenceSpaceSavingTracker(
+      size_t capacity, HotnessWeights weights = HotnessWeights{});
+
+  /// Mirrors `SpaceSavingTracker::TrackResult` minus the production-only
+  /// handle fields (node id, owner slots).
+  struct TrackResult {
+    double hotness = 0.0;
+    std::optional<Key> evicted;
+    double evicted_hotness = 0.0;
+    bool was_tracked = false;
+    bool lowered = false;
+  };
+
+  TrackResult TrackAccess(Key key, AccessType type);
+
+  bool Contains(Key key) const { return FindIndex(key) != kNotFound; }
+  std::optional<double> HotnessOf(Key key) const;
+  std::optional<KeyCounters> CountersOf(Key key) const;
+  std::optional<double> MinHotness() const;
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  const HotnessWeights& weights() const { return weights_; }
+
+  /// Shrinks by repeatedly removing the (hotness, key) minimum.
+  Status Resize(size_t new_capacity, std::vector<Key>* evicted = nullptr);
+
+  void HalveAllHotness();
+  void Clear() { entries_.clear(); }
+
+  /// Same decision rule as `SpaceSavingTracker::Seed`: overwrite when
+  /// tracked, push when not full, otherwise replace the minimum unless the
+  /// seed is (hotness, key)-colder than it (declined). Returns whether the
+  /// key is tracked afterwards.
+  bool Seed(Key key, const KeyCounters& counters);
+
+  std::vector<std::pair<Key, double>> SortedByHotnessDesc() const;
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Entry& e : entries_) fn(e.key, e.hotness);
+  }
+
+  bool CheckInvariants() const;
+
+ private:
+  struct Entry {
+    Key key = 0;
+    KeyCounters counters;
+    double hotness = 0.0;
+  };
+
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+  size_t FindIndex(Key key) const;
+  /// Index of the (hotness, key)-minimum entry; entries_ must be non-empty.
+  size_t MinIndex() const;
+
+  size_t capacity_;
+  HotnessWeights weights_;
+  std::vector<Entry> entries_;
+};
+
+/// O(n)-scan reference model of `CotCache`: the same admission, eviction,
+/// invalidation, epoch-accounting, resize, decay, and warm-handoff
+/// decision rules as the production cache, implemented over the reference
+/// tracker and a flat vector of resident lines. Residency is a linear
+/// scan; the coldest resident is a full scan under (hotness, key) order.
+/// The production cache's single-probe layout and lazy heaps must
+/// reproduce this model exactly — `Get` results, all `CacheStats` and
+/// `EpochStats` counters, and `ExportState` sequences included.
+class ReferenceCotCache : public cache::Cache {
+ public:
+  using Key = cache::Key;
+  using Value = cache::Value;
+  using EpochStats = CotCache::EpochStats;
+  using ExportedKey = CotCache::ExportedKey;
+
+  explicit ReferenceCotCache(const CotCacheConfig& config);
+  ReferenceCotCache(size_t cache_capacity, size_t tracker_capacity);
+
+  std::optional<Value> Get(Key key) override;
+  void Put(Key key, Value value) override;
+  void Invalidate(Key key) override;
+  bool Contains(Key key) const override {
+    return LineIndex(key) != kNotFound;
+  }
+  size_t size() const override { return lines_.size(); }
+  size_t capacity() const override { return cache_capacity_; }
+  Status Resize(size_t new_capacity) override;
+  std::string name() const override { return "cot-reference"; }
+
+  Status ResizeTracker(size_t new_tracker_capacity);
+  size_t tracker_capacity() const { return tracker_.capacity(); }
+  size_t tracker_size() const { return tracker_.size(); }
+  const ReferenceSpaceSavingTracker& tracker() const { return tracker_; }
+
+  std::optional<double> MinCachedHotness() const;
+  void HalveAllHotness();
+
+  const EpochStats& epoch_stats() const { return epoch_; }
+  void ResetEpochStats() { epoch_ = EpochStats(); }
+
+  std::vector<ExportedKey> ExportState() const;
+  void ImportState(const std::vector<ExportedKey>& state);
+
+  bool CheckInvariants() const;
+
+ private:
+  struct Line {
+    Key key = 0;
+    Value value = 0;
+  };
+
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+  size_t LineIndex(Key key) const;
+  /// Index of the (hotness, key)-coldest line; lines_ must be non-empty.
+  size_t ColdestLineIndex() const;
+  void DropIfResident(const std::optional<Key>& evicted);
+
+  size_t cache_capacity_;
+  ReferenceSpaceSavingTracker tracker_;
+  std::vector<Line> lines_;
+  EpochStats epoch_;
+};
+
+}  // namespace cot::core
+
+#endif  // COT_CORE_REFERENCE_COT_H_

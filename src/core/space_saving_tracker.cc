@@ -5,67 +5,135 @@
 
 namespace cot::core {
 
+namespace {
+// Small and mid-size trackers reserve the index well past capacity so it
+// runs at a very low load factor: every untracked arrival at capacity is
+// an insert + a victim erase, and robin-hood backward-shift deletion gets
+// cheaper the shorter the probe chains are — 4x slack halves the measured
+// churn cost of the replace-the-minimum path. Past ~8K keys the trade
+// flips: arrivals are a shrinking fraction of a skewed stream (more of
+// the key space is tracked) while the inflated table stops fitting in L2,
+// so every probe pays a deeper miss. There the index is sized to capacity
+// only.
+size_t IndexReserve(size_t capacity) {
+  constexpr size_t kSlack = 4;
+  constexpr size_t kSlackCeiling = 32768;  // max slots spent on slack
+  return capacity * kSlack <= kSlackCeiling ? capacity * kSlack : capacity;
+}
+}  // namespace
+
 SpaceSavingTracker::SpaceSavingTracker(size_t capacity, HotnessWeights weights)
     : capacity_(capacity), weights_(weights), heap_(capacity) {
   assert(capacity >= 1);
+  index_.reserve(IndexReserve(capacity));
 }
 
 SpaceSavingTracker::TrackResult SpaceSavingTracker::TrackAccess(
     Key key, AccessType type) {
   TrackResult result;
-  // Both branches fuse the membership test with the admission: one index
-  // probe covers "already tracked?" and, on a miss, places the new entry.
-  std::pair<Heap::Id, bool> entry;
-  if (heap_.size() >= capacity_) {
-    // Full: an untracked key replaces the root (minimum hotness) in place,
-    // inheriting its counters — Algorithm 1 lines 2-4 ("benefit of the
-    // doubt").
-    entry = heap_.FindOrReplaceTopWith(key, [&] {
-      Heap::Id top = heap_.TopId();
-      result.evicted = heap_.KeyAt(top);
-      result.evicted_hotness = heap_.TopPriority();
-      KeyCounters inherited = heap_.AuxAt(top);
-      inherited.Record(type);
-      return std::pair{ComputeHotness(inherited, weights_), inherited};
-    });
-  } else {
-    entry = heap_.FindOrPushWith(key, [&] {
-      KeyCounters counters;
-      counters.Record(type);
-      return std::pair{ComputeHotness(counters, weights_), counters};
-    });
-  }
-  auto [id, was_tracked] = entry;
-  if (was_tracked) {
-    // Already tracked: update counters and reorder. The probe above located
-    // counters, hotness, and heap position all at once.
+  // One index probe covers "already tracked?" and, on a miss, places the
+  // new entry (find_or_insert's slot stays valid across the victim erase
+  // below — erase never relocates entries).
+  auto [it, inserted] = index_.find_or_insert(key);
+  if (!inserted) {
+    // Tracked (the common case): exact counters and hotness live in the
+    // node — update them and stop. The heap slot keeps its old priority as
+    // a stale lower bound; only an access that *lowers* hotness must fix
+    // the slot now (sift-up), or the lower-bound invariant would break.
     result.was_tracked = true;
-    KeyCounters& counters = heap_.AuxAt(id);
-    counters.Record(type);
-    double h = ComputeHotness(counters, weights_);
-    heap_.UpdateAt(id, h);
+    NodeId id = it->second;
+    NodeState& node = heap_.AuxAt(id);
+    node.counters.Record(type);
+    double h = ComputeHotness(node.counters, weights_);
+    // "Lowered" in the canonical packed order, so the eager-repair rule
+    // below and the stale-slot invariant agree in every edge case.
+    HotnessKey now{h, key};
+    result.lowered = now < HotnessKey{node.hotness, key};
+    node.hotness = h;
+    if (result.lowered) {
+      if (now < heap_.PriorityAt(id)) heap_.UpdateAt(id, now);
+    } else {
+      // A raise stays lazy in general, but when it cannot disturb heap
+      // order at the node's current position (leaf, or still ≤ all
+      // children — 3/4 of a 4-ary heap are leaves) the slot is re-stamped
+      // exactly for free, so arrivals rarely find a stale root. Sifting
+      // eagerly on the residual failures measured no better.
+      heap_.TryRaiseInPlace(id, now);
+    }
     result.hotness = h;
+    result.id = id;
+    result.owner_slot = node.owner_slot;
     return result;
   }
-  result.hotness = heap_.PriorityAt(id);
+  if (heap_.size() >= capacity_) {
+    // Full: the untracked key replaces the true minimum in place,
+    // inheriting its counters — Algorithm 1 lines 2-4 ("benefit of the
+    // doubt"). Consulting the minimum is what pays the deferred repairs.
+    RepairTop();
+    Heap::Id top = heap_.TopId();
+    const NodeState& victim = heap_.AuxAt(top);
+    result.evicted = heap_.KeyAt(top);
+    result.evicted_hotness = victim.hotness;
+    result.evicted_owner_slot = victim.owner_slot;
+    KeyCounters inherited = victim.counters;
+    inherited.Record(type);
+    double h = ComputeHotness(inherited, weights_);
+    index_.erase(*result.evicted);
+    NodeId id =
+        heap_.ReplaceTop(key, HotnessKey{h, key}, NodeState{inherited, h});
+    it->second = id;
+    result.hotness = h;
+    result.id = id;
+    return result;
+  }
+  KeyCounters counters;
+  counters.Record(type);
+  double h = ComputeHotness(counters, weights_);
+  NodeId id = heap_.Push(key, HotnessKey{h, key}, NodeState{counters, h});
+  it->second = id;
+  result.hotness = h;
+  result.id = id;
   return result;
 }
 
+void SpaceSavingTracker::RepairTop() const {
+  // Every slot priority is a lower bound of its node's true (hotness, key).
+  // Re-stamping the root with its true value and sifting down strictly
+  // shrinks the dirty set, so this terminates; once the root is clean it is
+  // the true minimum (see class comment for the proof).
+  while (true) {
+    Heap::Id top = heap_.TopId();
+    HotnessKey want{heap_.AuxAt(top).hotness, heap_.KeyAt(top)};
+    if (heap_.TopPriority() == want) return;
+    heap_.UpdateAt(top, want);
+  }
+}
+
+SpaceSavingTracker::EvictedKey SpaceSavingTracker::PopMin() {
+  RepairTop();
+  Heap::Id top = heap_.TopId();
+  EvictedKey out{heap_.KeyAt(top), heap_.AuxAt(top).owner_slot};
+  index_.erase(out.key);
+  heap_.PopTop();
+  return out;
+}
+
 std::optional<double> SpaceSavingTracker::HotnessOf(Key key) const {
-  Heap::Id id = heap_.IdOf(key);
-  if (id == Heap::kInvalidId) return std::nullopt;
-  return heap_.PriorityAt(id);
+  NodeId id = IdOf(key);
+  if (id == kInvalidNode) return std::nullopt;
+  return heap_.AuxAt(id).hotness;
 }
 
 std::optional<KeyCounters> SpaceSavingTracker::CountersOf(Key key) const {
-  Heap::Id id = heap_.IdOf(key);
-  if (id == Heap::kInvalidId) return std::nullopt;
-  return heap_.AuxAt(id);
+  NodeId id = IdOf(key);
+  if (id == kInvalidNode) return std::nullopt;
+  return heap_.AuxAt(id).counters;
 }
 
 std::optional<double> SpaceSavingTracker::MinHotness() const {
   if (heap_.empty()) return std::nullopt;
-  return heap_.TopPriority();
+  RepairTop();
+  return heap_.TopPriority().hotness();
 }
 
 Status SpaceSavingTracker::Resize(size_t new_capacity,
@@ -75,39 +143,85 @@ Status SpaceSavingTracker::Resize(size_t new_capacity,
   }
   capacity_ = new_capacity;
   while (heap_.size() > capacity_) {
-    auto [victim, hotness] = heap_.Pop();
-    if (evicted != nullptr) evicted->push_back(victim);
+    EvictedKey victim = PopMin();
+    if (evicted != nullptr) evicted->push_back(victim.key);
   }
   // Growing: pre-size for the new steady state so the expansion itself is
   // the only rehash (elastic expansion happens on the serving path).
   heap_.Reserve(capacity_);
+  index_.reserve(IndexReserve(capacity_));
+  return Status::OK();
+}
+
+Status SpaceSavingTracker::ResizeWithOwners(size_t new_capacity,
+                                            std::vector<EvictedKey>* evicted) {
+  if (new_capacity < 1) {
+    return Status::InvalidArgument("tracker capacity must be >= 1");
+  }
+  capacity_ = new_capacity;
+  while (heap_.size() > capacity_) {
+    EvictedKey victim = PopMin();
+    if (evicted != nullptr) evicted->push_back(victim);
+  }
+  heap_.Reserve(capacity_);
+  index_.reserve(IndexReserve(capacity_));
   return Status::OK();
 }
 
 void SpaceSavingTracker::HalveAllHotness() {
-  heap_.ForEachId([&](Heap::Id id) { heap_.AuxAt(id).Scale(0.5); });
-  heap_.TransformPrioritiesMonotone([](double h) { return h * 0.5; });
+  heap_.ForEachId([&](Heap::Id id) {
+    NodeState& node = heap_.AuxAt(id);
+    node.counters.Scale(0.5);
+    node.hotness *= 0.5;
+  });
+  // Scaling preserves (hotness, key) order and keeps every stale lower
+  // bound below its (also halved) true hotness.
+  heap_.TransformPrioritiesMonotone(
+      [](HotnessKey p) { return HotnessKey{p.hotness() * 0.5, p.key()}; });
 }
 
-void SpaceSavingTracker::Clear() { heap_.Clear(); }
+void SpaceSavingTracker::Clear() {
+  heap_.Clear();
+  index_.clear();
+}
 
-void SpaceSavingTracker::Seed(Key key, const KeyCounters& counters) {
+SpaceSavingTracker::NodeId SpaceSavingTracker::Seed(
+    Key key, const KeyCounters& counters) {
   double h = ComputeHotness(counters, weights_);
-  Heap::Id id = heap_.IdOf(key);
-  if (id != Heap::kInvalidId) {
-    heap_.AuxAt(id) = counters;
-    heap_.UpdateAt(id, h);
-    return;
+  NodeId id = IdOf(key);
+  if (id != kInvalidNode) {
+    NodeState& node = heap_.AuxAt(id);
+    node.counters = counters;
+    node.hotness = h;
+    // A raise stays lazy; a lowered hotness must fix the slot eagerly to
+    // keep the slot a lower bound.
+    HotnessKey p{h, key};
+    if (HotnessKeyLess{}(p, heap_.PriorityAt(id))) heap_.UpdateAt(id, p);
+    return id;
   }
-  if (heap_.size() >= capacity_) heap_.Pop();
-  heap_.Push(key, h, counters);
+  if (heap_.size() >= capacity_) {
+    RepairTop();
+    // Space-saving keeps the hottest K keys: a seed colder than the
+    // current minimum (by (hotness, key) order) is declined, not admitted
+    // by evicting a hotter key.
+    if (HotnessKeyLess{}(HotnessKey{h, key}, heap_.TopPriority())) {
+      return kInvalidNode;
+    }
+    index_.erase(heap_.TopKey());
+    id = heap_.ReplaceTop(key, HotnessKey{h, key}, NodeState{counters, h});
+    index_[key] = id;
+    return id;
+  }
+  id = heap_.Push(key, HotnessKey{h, key}, NodeState{counters, h});
+  index_[key] = id;
+  return id;
 }
 
 std::vector<std::pair<SpaceSavingTracker::Key, double>>
 SpaceSavingTracker::SortedByHotnessDesc() const {
   std::vector<std::pair<Key, double>> out;
   out.reserve(heap_.size());
-  heap_.ForEach([&](const Key& k, double h) { out.emplace_back(k, h); });
+  ForEach([&](Key k, double h) { out.emplace_back(k, h); });
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;
     return a.first < b.first;
@@ -117,12 +231,21 @@ SpaceSavingTracker::SortedByHotnessDesc() const {
 
 bool SpaceSavingTracker::CheckInvariants() const {
   if (heap_.size() > capacity_) return false;
+  if (index_.size() != heap_.size()) return false;
   bool ok = true;
-  // Every node's hotness must be derivable from its own counters.
   heap_.ForEachId([&](Heap::Id id) {
-    if (ComputeHotness(heap_.AuxAt(id), weights_) != heap_.PriorityAt(id)) {
-      ok = false;
-    }
+    const NodeState& node = heap_.AuxAt(id);
+    // Exact hotness must be derivable from the node's own counters.
+    if (ComputeHotness(node.counters, weights_) != node.hotness) ok = false;
+    // The slot is a stale lower bound: tagged with the node's own key and
+    // never above the true (hotness, key).
+    const HotnessKey& stale = heap_.PriorityAt(id);
+    Key key = heap_.KeyAt(id);
+    if (stale.key() != key) ok = false;
+    if (HotnessKeyLess{}(HotnessKey{node.hotness, key}, stale)) ok = false;
+    // Index round-trip.
+    auto it = index_.find(key);
+    if (it == index_.end() || it->second != id) ok = false;
   });
   return ok && heap_.CheckInvariants();
 }

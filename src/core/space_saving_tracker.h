@@ -6,7 +6,8 @@
 #include <vector>
 
 #include "core/hotness.h"
-#include "util/indexed_min_heap.h"
+#include "util/flat_hash_map.h"
+#include "util/min_heap_core.h"
 #include "util/status.h"
 
 namespace cot::core {
@@ -15,20 +16,51 @@ namespace cot::core {
 /// Agrawal & El Abbadi, ICDT 2005) extended with the paper's dual-cost
 /// hotness model — Algorithm 1 of the paper.
 ///
-/// The tracker maintains at most K keys in a min-heap ordered by hotness
-/// with an O(1) hash index. When an untracked key arrives and the tracker
-/// is full, it *replaces* the minimum-hotness key and inherits that key's
-/// counters ("benefit of the doubt"), the signature move of space-saving:
-/// the reported hotness of any tracked key overestimates its true hotness
-/// by at most the smallest hotness that was ever evicted, and any key whose
+/// The tracker maintains at most K keys ordered by hotness with an O(1)
+/// hash index. When an untracked key arrives and the tracker is full, it
+/// *replaces* the minimum-hotness key and inherits that key's counters
+/// ("benefit of the doubt"), the signature move of space-saving: the
+/// reported hotness of any tracked key overestimates its true hotness by
+/// at most the smallest hotness that was ever evicted, and any key whose
 /// true share exceeds 1/K is guaranteed to be tracked in steady state.
 ///
-/// The tracker is the metadata backbone of CoT: it costs 16 bytes of
-/// counters per tracked key (plus index overhead), never stores values, and
-/// supports O(n)-amortized elastic resizing and O(n) half-life decay.
+/// ## Lazy hotness maintenance
+///
+/// The common access — a read of an already-tracked key — is O(1): it
+/// updates the node's exact counters and hotness and *leaves the heap
+/// untouched*. The heap slot keeps the key's previous (smaller) priority as
+/// a stale **lower bound**; the node is then "dirty". Heap order is
+/// repaired only when the minimum is actually consulted (untracked arrival
+/// at capacity, `MinHotness`, shrink, seeding at capacity): `RepairTop`
+/// re-stamps the root with its true hotness and sifts down, repeating until
+/// the root is clean. A clean root is provably the true minimum: stale ≤
+/// true for every node, so root.stale ≤ min(stale) ≤ min(true), and a clean
+/// root has root.true = root.stale ≤ every true. Accesses that *lower*
+/// hotness (updates; reads under a negative read weight) fix their slot
+/// eagerly — a sift-up — because a slot above the true value would break
+/// the lower-bound invariant. A key accessed M times between repairs thus
+/// pays one sift instead of M.
+///
+/// Victim selection is totally ordered by (hotness, key) — among equally
+/// cold keys the smallest key goes — so eviction sequences are a pure
+/// function of the tracked state, independent of heap layout history, and
+/// provably equal to the O(n)-scan `ReferenceSpaceSavingTracker`.
+///
+/// ## Owner slots
+///
+/// Each node carries an opaque `owner_slot` (the CoT cache stores its
+/// cache-heap node id there). This merges the tracker index and the cache
+/// residency table: one hash probe resolves counters, hotness, heap
+/// position, and residency, and tracker evictions hand the owner the
+/// victim's slot so dependent state is dropped without any further probe.
 class SpaceSavingTracker {
  public:
   using Key = uint64_t;
+  /// Stable per-key node handle, valid while the key stays tracked.
+  using NodeId = uint32_t;
+  static constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+  /// `owner_slot` value meaning "no owner state attached".
+  static constexpr uint32_t kNoOwner = static_cast<uint32_t>(-1);
 
   /// Creates a tracker for at most `capacity` keys.
   explicit SpaceSavingTracker(size_t capacity,
@@ -43,22 +75,33 @@ class SpaceSavingTracker {
     /// remain tracked.
     std::optional<Key> evicted;
     /// Hotness the evicted key held at eviction (the tracker minimum).
-    /// Lets the owner prove the victim cannot be cached — a cached key's
-    /// cache priority equals its tracker hotness, so an eviction hotness
-    /// strictly below the cache's minimum needs no cache probe at all.
     double evicted_hotness = 0.0;
     /// True if the key was already tracked before this access.
     bool was_tracked = false;
+    /// True when this access lowered the key's hotness (an update, or a
+    /// read under a negative read weight). The owner must then re-sync any
+    /// dependent lazy ordering eagerly — lazy maintenance tolerates only
+    /// raises.
+    bool lowered = false;
+    /// Node id of the accessed key (always valid).
+    NodeId id = kInvalidNode;
+    /// Owner slot of the accessed key (unchanged by this call).
+    uint32_t owner_slot = kNoOwner;
+    /// Owner slot the evicted key held, `kNoOwner` when nothing was evicted
+    /// or the victim carried no owner state. Lets the owner drop dependent
+    /// state probe-free.
+    uint32_t evicted_owner_slot = kNoOwner;
   };
 
   /// Records one access to `key` — Algorithm 1 (`track_key`). If the key is
   /// untracked it is admitted, replacing (and inheriting the counters of)
   /// the minimum-hotness key when full. The access then updates the key's
-  /// counters per the dual-cost model and reorders the heap.
+  /// counters per the dual-cost model; heap order is maintained lazily (see
+  /// class comment).
   TrackResult TrackAccess(Key key, AccessType type);
 
   /// True if `key` is currently tracked.
-  bool Contains(Key key) const { return heap_.Contains(key); }
+  bool Contains(Key key) const { return index_.count(key) != 0; }
 
   /// Hotness of `key`; `nullopt` when untracked.
   std::optional<double> HotnessOf(Key key) const;
@@ -66,8 +109,33 @@ class SpaceSavingTracker {
   /// Counters of `key`; `nullopt` when untracked (test/diagnostic hook).
   std::optional<KeyCounters> CountersOf(Key key) const;
 
-  /// Minimum hotness among tracked keys; `nullopt` when empty.
+  /// Minimum hotness among tracked keys; `nullopt` when empty. Repairs the
+  /// heap root (amortized against the accesses that dirtied it).
   std::optional<double> MinHotness() const;
+
+  // --- handle (NodeId) surface --------------------------------------------
+  // One probe (TrackAccess or IdOf) buys a stable node id; everything below
+  // is array indexing. The CoT cache runs its whole access path on ids.
+
+  /// Node id of `key`, or `kInvalidNode` when untracked.
+  NodeId IdOf(Key key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? kInvalidNode : it->second;
+  }
+  /// Key of a valid node id.
+  Key KeyAt(NodeId id) const { return heap_.KeyAt(id); }
+  /// Exact hotness of a valid node id (never stale).
+  double HotnessAt(NodeId id) const { return heap_.AuxAt(id).hotness; }
+  /// Counters of a valid node id.
+  const KeyCounters& CountersAt(NodeId id) const {
+    return heap_.AuxAt(id).counters;
+  }
+  /// Owner slot of a valid node id.
+  uint32_t OwnerSlotAt(NodeId id) const { return heap_.AuxAt(id).owner_slot; }
+  /// Attaches/clears the owner slot of a valid node id.
+  void SetOwnerSlot(NodeId id, uint32_t owner_slot) {
+    heap_.AuxAt(id).owner_slot = owner_slot;
+  }
 
   /// Number of tracked keys.
   size_t size() const { return heap_.size(); }
@@ -76,49 +144,86 @@ class SpaceSavingTracker {
   /// The hotness weights in effect.
   const HotnessWeights& weights() const { return weights_; }
 
+  /// One key evicted by a shrink, with the owner slot it carried.
+  struct EvictedKey {
+    Key key = 0;
+    uint32_t owner_slot = kNoOwner;
+  };
+
   /// Elastically resizes the tracker. Shrinking evicts the coldest keys
   /// first and reports them (so the owner can drop dependent state);
   /// `new_capacity` must be >= 1.
   Status Resize(size_t new_capacity, std::vector<Key>* evicted = nullptr);
 
+  /// `Resize` variant reporting evicted keys together with their owner
+  /// slots, so the owner's drops are probe-free.
+  Status ResizeWithOwners(size_t new_capacity,
+                          std::vector<EvictedKey>* evicted);
+
   /// Half-life decay: halves every key's counters (and therefore hotness).
-  /// Order-preserving, O(n), no re-heapification. Used by the resizer's
-  /// Case 2 (hot-set turnover) to retire stale trends.
+  /// Order-preserving, O(n), no re-heapification — scaling by 0.5 keeps
+  /// stale lower bounds below true hotness and preserves (hotness, key)
+  /// order. Used by the resizer's Case 2 (hot-set turnover) to retire
+  /// stale trends.
   void HalveAllHotness();
 
   /// Removes every tracked key.
   void Clear();
 
   /// Directly installs `key` with the given counters (overwriting if
-  /// already tracked; evicting the minimum-hotness key if full). This is
-  /// NOT part of the space-saving algorithm — it exists for warm handoff
+  /// already tracked; replacing the minimum-hotness key if full — but only
+  /// when the seeded key is at least as hot, by (hotness, key) order, as
+  /// that minimum; a colder seed is declined). This is NOT part of the
+  /// space-saving algorithm — it exists for warm handoff
   /// (CotCache::ImportState) and tests, where counters from a previous
   /// instance must be restored without replaying the access stream.
-  void Seed(Key key, const KeyCounters& counters);
+  /// Returns the key's node id, or `kInvalidNode` when declined.
+  NodeId Seed(Key key, const KeyCounters& counters);
 
   /// Returns the tracked keys sorted hottest-first (O(n log n); for tests,
   /// reports and the perfect-cache oracle construction).
   std::vector<std::pair<Key, double>> SortedByHotnessDesc() const;
 
-  /// Visits every (key, hotness) pair in unspecified order.
+  /// Visits every (key, exact hotness) pair in unspecified order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    heap_.ForEach([&](const Key& k, double h) { fn(k, h); });
+    heap_.ForEachId(
+        [&](Heap::Id id) { fn(heap_.KeyAt(id), heap_.AuxAt(id).hotness); });
   }
 
-  /// Verifies heap/index consistency (O(n); test hook).
+  /// Verifies heap/index consistency and the lazy-maintenance invariant
+  /// (every slot's stale priority ≤ the node's true (hotness, key), hotness
+  /// derivable from counters); O(n). Test hook.
   bool CheckInvariants() const;
 
  private:
-  /// Min-heap by hotness whose nodes carry the key's counters as aux
-  /// payload: one hash probe per access reaches counters, hotness, and the
-  /// heap position alike (the former parallel counters map cost a second
-  /// probe on every single access).
-  using Heap = IndexedMinHeap<Key, double, std::less<double>, KeyCounters>;
+  /// Exact per-key state living in the heap node; the heap slot's priority
+  /// is a possibly stale lower bound of {hotness, key}.
+  struct NodeState {
+    KeyCounters counters;
+    double hotness = 0.0;
+    uint32_t owner_slot = kNoOwner;
+  };
+
+  /// Index-free heap core; the key -> node-id index lives in `index_` so
+  /// one probe serves membership, counters, hotness, and owner residency.
+  using Heap = MinHeapCore<Key, HotnessKey, HotnessKeyLess, NodeState>;
+
+  /// Re-stamps the root with its true priority and sifts down until the
+  /// root is clean (then provably the true (hotness, key) minimum). Const
+  /// because consulting the minimum is logically read-only; the heap is
+  /// mutable for exactly this repair.
+  void RepairTop() const;
+
+  /// Evicts the true-minimum key; returns it with its owner slot. Heap
+  /// must be non-empty.
+  EvictedKey PopMin();
 
   size_t capacity_;
   HotnessWeights weights_;
-  Heap heap_;  // priority = hotness, aux = counters
+  mutable Heap heap_;
+  /// Key -> node id. Ids are stable, so sifting never touches this map.
+  FlatHashMap<Key, uint32_t> index_;
 };
 
 }  // namespace cot::core

@@ -10,36 +10,31 @@
 #include <vector>
 
 #include "util/flat_hash_map.h"
+#include "util/min_heap_core.h"
 
 namespace cot {
 
 /// 4-ary min-heap with by-key addressing: every key appears at most once
 /// and its priority can be updated or the key erased in O(log n) by key
-/// alone. This is the core structure behind the space-saving tracker, the
-/// CoT cache min-heap, the LFU cache, and the LRU-k eviction queue — all of
-/// which need "find/replace the minimum" *and* "adjust an arbitrary key".
+/// alone. This is `MinHeapCore` (the index-free sifting core) composed with
+/// an internal `FlatHashMap` key -> node-id index — the convenient form for
+/// owners whose key mapping has no other home: the LFU cache and the LRU-k
+/// eviction queue. Owners that already keep per-key metadata (the
+/// space-saving tracker, the CoT cache) use `MinHeapCore` directly and
+/// store the node id in their own table, so one hash probe serves both
+/// structures.
 ///
 /// `Compare(a, b)` returning true means `a` has *higher* priority to stay at
 /// the root (default `std::less`: smallest priority at the root).
 ///
-/// Layout, tuned for the sift-heavy access patterns above:
-///   - The heap array stores (priority, node id) pairs, so every sift
-///     comparison reads *contiguous* memory — a 4-ary level's children span
-///     one or two cache lines — instead of chasing a pointer per child.
-///   - Arity 4 halves the depth of the sift-down that dominates
-///     replace-the-minimum workloads (space-saving admission).
-///   - Each key owns a stable *node* (key, heap position, aux payload); the
-///     by-key hash index maps key -> node id and is touched exactly once
-///     per operation — never per sift level, since ids don't move.
-///
 /// Each node can carry an `Aux` payload (default: none). This lets an owner
 /// that would otherwise keep a parallel `FlatHashMap` keyed identically to
-/// the heap — the tracker's per-key counters, the CoT cache's values —
-/// store that state *inside* the heap node and reach it through the same
-/// single hash probe that locates the priority. Node ids (`Id`) are stable
-/// for the lifetime of a key, so the id returned by `IdOf`/`Push`/`TopId`
-/// can be used for several accesses (priority, aux, update) without
-/// re-probing; an id is invalidated only when its key is erased.
+/// the heap store that state *inside* the heap node and reach it through the
+/// same single hash probe that locates the priority. Node ids (`Id`) are
+/// stable for the lifetime of a key, so the id returned by
+/// `IdOf`/`Push`/`TopId` can be used for several accesses (priority, aux,
+/// update) without re-probing; an id is invalidated only when its key is
+/// erased.
 ///
 /// Priorities may be compound (e.g. `std::pair` for tie-breaking). Keys must
 /// be integers: the by-key index is a `FlatHashMap`. Owners that know their
@@ -49,48 +44,42 @@ template <typename K, typename P, typename Compare = std::less<P>,
           typename Aux = std::monostate>
 class IndexedMinHeap {
  public:
+  using Core = MinHeapCore<K, P, Compare, Aux>;
   /// Stable handle to a key's node; valid until the key is erased.
-  using Id = uint32_t;
-  static constexpr Id kInvalidId = static_cast<Id>(-1);
+  using Id = typename Core::Id;
+  static constexpr Id kInvalidId = Core::kInvalidId;
 
   IndexedMinHeap() = default;
-  explicit IndexedMinHeap(Compare cmp) : cmp_(std::move(cmp)) {}
+  explicit IndexedMinHeap(Compare cmp) : core_(std::move(cmp)) {}
   /// Pre-sizes heap storage and index for `expected_capacity` keys.
   explicit IndexedMinHeap(size_t expected_capacity, Compare cmp = Compare())
-      : cmp_(std::move(cmp)) {
-    Reserve(expected_capacity);
+      : core_(expected_capacity, std::move(cmp)) {
+    index_.reserve(expected_capacity);
   }
 
   /// Pre-allocates for `expected_capacity` keys without changing content.
   void Reserve(size_t expected_capacity) {
-    nodes_.reserve(expected_capacity);
-    heap_.reserve(expected_capacity);
+    core_.Reserve(expected_capacity);
     index_.reserve(expected_capacity);
   }
 
   /// Number of keys in the heap.
-  size_t size() const { return heap_.size(); }
+  size_t size() const { return core_.size(); }
   /// True when the heap holds no keys.
-  bool empty() const { return heap_.empty(); }
+  bool empty() const { return core_.empty(); }
   /// True if `key` is present.
   bool Contains(const K& key) const { return index_.count(key) != 0; }
 
   /// Key at the root (minimum). Heap must be non-empty.
-  const K& TopKey() const {
-    assert(!empty());
-    return nodes_[heap_[0].id].key;
-  }
+  const K& TopKey() const { return core_.TopKey(); }
   /// Priority at the root. Heap must be non-empty.
-  const P& TopPriority() const {
-    assert(!empty());
-    return heap_[0].priority;
-  }
+  const P& TopPriority() const { return core_.TopPriority(); }
 
   /// Priority of `key`, which must be present.
   const P& PriorityOf(const K& key) const {
     auto it = index_.find(key);
     assert(it != index_.end());
-    return heap_[nodes_[it->second].heap_pos].priority;
+    return core_.PriorityAt(it->second);
   }
 
   // --- handle (Id) surface ------------------------------------------------
@@ -104,43 +93,25 @@ class IndexedMinHeap {
     return it == index_.end() ? kInvalidId : it->second;
   }
   /// Node id at the root. Heap must be non-empty.
-  Id TopId() const {
-    assert(!empty());
-    return heap_[0].id;
-  }
+  Id TopId() const { return core_.TopId(); }
   /// Key of a valid node id.
-  const K& KeyAt(Id id) const { return nodes_[id].key; }
+  const K& KeyAt(Id id) const { return core_.KeyAt(id); }
   /// Priority of a valid node id.
-  const P& PriorityAt(Id id) const {
-    return heap_[nodes_[id].heap_pos].priority;
-  }
+  const P& PriorityAt(Id id) const { return core_.PriorityAt(id); }
   /// Aux payload of a valid node id.
-  Aux& AuxAt(Id id) { return nodes_[id].aux; }
-  const Aux& AuxAt(Id id) const { return nodes_[id].aux; }
+  Aux& AuxAt(Id id) { return core_.AuxAt(id); }
+  const Aux& AuxAt(Id id) const { return core_.AuxAt(id); }
 
   /// Changes the priority of the node `id` and restores heap order. The id
   /// stays valid (ids survive sifting).
-  void UpdateAt(Id id, P priority) {
-    uint32_t pos = nodes_[id].heap_pos;
-    bool decreased = cmp_(priority, heap_[pos].priority);
-    heap_[pos].priority = std::move(priority);
-    if (decreased) {
-      SiftUp(pos);
-    } else {
-      SiftDown(pos);
-    }
-  }
+  void UpdateAt(Id id, P priority) { core_.UpdateAt(id, std::move(priority)); }
 
   /// Inserts `key` with `priority` (and optional aux payload); returns the
   /// new node's id. `key` must not already be present.
   Id Push(const K& key, P priority, Aux aux = Aux{}) {
     assert(!Contains(key));
-    uint32_t id = AllocNode(key, std::move(aux));
-    uint32_t pos = static_cast<uint32_t>(heap_.size());
-    heap_.push_back(HeapSlot{std::move(priority), id});
-    nodes_[id].heap_pos = pos;
+    Id id = core_.Push(key, std::move(priority), std::move(aux));
     index_[key] = id;
-    SiftUp(pos);
     return id;
   }
 
@@ -155,12 +126,8 @@ class IndexedMinHeap {
     auto [it, inserted] = index_.find_or_insert(key);
     if (!inserted) return {it->second, true};
     auto [priority, aux] = make();
-    uint32_t id = AllocNode(key, std::move(aux));
-    uint32_t pos = static_cast<uint32_t>(heap_.size());
-    heap_.push_back(HeapSlot{std::move(priority), id});
-    nodes_[id].heap_pos = pos;
+    Id id = core_.Push(key, std::move(priority), std::move(aux));
     it->second = id;
-    SiftUp(pos);
     return {id, false};
   }
 
@@ -178,23 +145,18 @@ class IndexedMinHeap {
     auto [it, inserted] = index_.find_or_insert(key);
     if (!inserted) return {it->second, true};
     auto [priority, aux] = make();
-    uint32_t id = heap_[0].id;
     // Erase after the insert above: erase never relocates entries, so `it`
     // stays valid (the root's key is distinct from `key`, which was absent).
-    index_.erase(nodes_[id].key);
-    nodes_[id].key = key;
-    nodes_[id].aux = std::move(aux);
-    heap_[0].priority = std::move(priority);
+    index_.erase(core_.TopKey());
+    Id id = core_.ReplaceTop(key, std::move(priority), std::move(aux));
     it->second = id;
-    SiftDown(0);
     return {id, false};
   }
 
   /// Removes and returns the root (key, priority). Heap must be non-empty.
   std::pair<K, P> Pop() {
-    assert(!empty());
-    std::pair<K, P> out{nodes_[heap_[0].id].key, std::move(heap_[0].priority)};
-    RemoveAt(0);
+    auto out = core_.PopTop();
+    index_.erase(out.first);
     return out;
   }
 
@@ -208,13 +170,9 @@ class IndexedMinHeap {
   Id ReplaceTop(const K& key, P priority, Aux aux = Aux{}) {
     assert(!empty());
     assert(!Contains(key));
-    uint32_t id = heap_[0].id;
-    index_.erase(nodes_[id].key);
-    nodes_[id].key = key;
-    nodes_[id].aux = std::move(aux);
-    heap_[0].priority = std::move(priority);
+    index_.erase(core_.TopKey());
+    Id id = core_.ReplaceTop(key, std::move(priority), std::move(aux));
     index_[key] = id;
-    SiftDown(0);
     return id;
   }
 
@@ -222,29 +180,28 @@ class IndexedMinHeap {
   void Update(const K& key, P priority) {
     Id id = IdOf(key);
     assert(id != kInvalidId);
-    UpdateAt(id, std::move(priority));
+    core_.UpdateAt(id, std::move(priority));
   }
 
   /// Removes `key` if present; returns whether it was present.
   bool Erase(const K& key) {
     auto it = index_.find(key);
     if (it == index_.end()) return false;
-    RemoveAt(nodes_[it->second].heap_pos);
+    core_.EraseAt(it->second);
+    index_.erase(key);
     return true;
   }
 
   /// Removes all keys.
   void Clear() {
-    nodes_.clear();
-    free_.clear();
-    heap_.clear();
+    core_.Clear();
     index_.clear();
   }
 
   /// Visits every (key, priority) pair in unspecified (heap) order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (const HeapSlot& slot : heap_) fn(nodes_[slot.id].key, slot.priority);
+    core_.ForEach(std::forward<Fn>(fn));
   }
 
   /// Visits every live node id in unspecified (heap) order. Combine with
@@ -252,11 +209,11 @@ class IndexedMinHeap {
   /// half-life decay of per-key counters stored as aux).
   template <typename Fn>
   void ForEachId(Fn&& fn) {
-    for (const HeapSlot& slot : heap_) fn(static_cast<Id>(slot.id));
+    core_.ForEachId(std::forward<Fn>(fn));
   }
   template <typename Fn>
   void ForEachId(Fn&& fn) const {
-    for (const HeapSlot& slot : heap_) fn(static_cast<Id>(slot.id));
+    core_.ForEachId(std::forward<Fn>(fn));
   }
 
   /// Applies `fn` to every priority in place. `fn` MUST be monotone
@@ -265,127 +222,27 @@ class IndexedMinHeap {
   /// O(n), no re-heapification.
   template <typename Fn>
   void TransformPrioritiesMonotone(Fn&& fn) {
-    for (HeapSlot& slot : heap_) slot.priority = fn(slot.priority);
-    assert(CheckInvariants());
+    core_.TransformPrioritiesMonotone(std::forward<Fn>(fn));
   }
 
   /// Verifies the heap invariant and index consistency; O(n). Intended for
   /// tests (property checks after random operation sequences).
   bool CheckInvariants() const {
-    if (index_.size() != heap_.size()) return false;
-    if (heap_.size() + free_.size() != nodes_.size()) return false;
-    for (size_t i = 0; i < heap_.size(); ++i) {
-      uint32_t id = heap_[i].id;
-      if (id >= nodes_.size()) return false;
-      if (nodes_[id].heap_pos != i) return false;
-      auto it = index_.find(nodes_[id].key);
-      if (it == index_.end() || it->second != id) return false;
-      for (size_t c = kArity * i + 1;
-           c < kArity * i + 1 + kArity && c < heap_.size(); ++c) {
-        if (cmp_(heap_[c].priority, heap_[i].priority)) return false;
-      }
-    }
-    return true;
+    if (index_.size() != core_.size()) return false;
+    if (!core_.CheckInvariants()) return false;
+    bool ok = true;
+    core_.ForEachId([&](Id id) {
+      auto it = index_.find(core_.KeyAt(id));
+      if (it == index_.end() || it->second != id) ok = false;
+    });
+    return ok;
   }
 
  private:
-  /// One heap position: priority inline (sift comparisons read contiguous
-  /// memory) plus the owning node's id.
-  struct HeapSlot {
-    P priority;
-    uint32_t id;
-  };
-
-  /// Stable per-key state; a key's node id is fixed for its lifetime.
-  struct Node {
-    K key;
-    uint32_t heap_pos;
-    // Overlaps padding when Aux is the empty default.
-    [[no_unique_address]] Aux aux;
-  };
-
-  static constexpr uint32_t kArity = 4;
-
-  /// Allocates (or recycles) a node for `key`; heap_pos is set by the
-  /// caller once the heap slot exists. Does not touch the index.
-  uint32_t AllocNode(const K& key, Aux aux) {
-    if (!free_.empty()) {
-      uint32_t id = free_.back();
-      free_.pop_back();
-      nodes_[id].key = key;
-      nodes_[id].aux = std::move(aux);
-      return id;
-    }
-    uint32_t id = static_cast<uint32_t>(nodes_.size());
-    nodes_.push_back(Node{key, 0, std::move(aux)});
-    return id;
-  }
-
-  void PlaceSlot(uint32_t pos, HeapSlot slot) {
-    nodes_[slot.id].heap_pos = pos;
-    heap_[pos] = std::move(slot);
-  }
-
-  void SiftUp(uint32_t pos) {
-    HeapSlot slot = std::move(heap_[pos]);
-    while (pos > 0) {
-      uint32_t parent = (pos - 1) / kArity;
-      if (!cmp_(slot.priority, heap_[parent].priority)) break;
-      PlaceSlot(pos, std::move(heap_[parent]));
-      pos = parent;
-    }
-    PlaceSlot(pos, std::move(slot));
-  }
-
-  void SiftDown(uint32_t pos) {
-    HeapSlot slot = std::move(heap_[pos]);
-    const uint32_t n = static_cast<uint32_t>(heap_.size());
-    while (true) {
-      uint32_t first = kArity * pos + 1;
-      if (first >= n) break;
-      uint32_t last = first + kArity < n ? first + kArity : n;
-      uint32_t smallest = first;
-      for (uint32_t c = first + 1; c < last; ++c) {
-        if (cmp_(heap_[c].priority, heap_[smallest].priority)) smallest = c;
-      }
-      if (!cmp_(heap_[smallest].priority, slot.priority)) break;
-      PlaceSlot(pos, std::move(heap_[smallest]));
-      pos = smallest;
-    }
-    PlaceSlot(pos, std::move(slot));
-  }
-
-  void RemoveAt(uint32_t pos) {
-    uint32_t id = heap_[pos].id;
-    index_.erase(nodes_[id].key);
-    nodes_[id].aux = Aux{};  // release aux resources
-    free_.push_back(id);
-    uint32_t last = static_cast<uint32_t>(heap_.size()) - 1;
-    if (pos != last) {
-      // Move the last heap entry into the hole, then restore order in
-      // whichever direction is needed.
-      PlaceSlot(pos, std::move(heap_[last]));
-      heap_.pop_back();
-      if (pos > 0 &&
-          cmp_(heap_[pos].priority, heap_[(pos - 1) / kArity].priority)) {
-        SiftUp(pos);
-      } else {
-        SiftDown(pos);
-      }
-    } else {
-      heap_.pop_back();
-    }
-  }
-
-  std::vector<Node> nodes_;
-  /// Recycled node ids of erased keys.
-  std::vector<uint32_t> free_;
-  /// Heap order: position -> (priority, node id).
-  std::vector<HeapSlot> heap_;
+  Core core_;
   /// By-key index: key -> node id (NOT heap position — ids are stable, so
   /// sifting never touches this map).
   FlatHashMap<K, uint32_t> index_;
-  Compare cmp_;
 };
 
 }  // namespace cot

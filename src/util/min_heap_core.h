@@ -1,0 +1,339 @@
+#ifndef COT_UTIL_MIN_HEAP_CORE_H_
+#define COT_UTIL_MIN_HEAP_CORE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace cot {
+
+/// Index-free 4-ary min-heap addressed by stable node ids. This is the
+/// sifting core shared by `IndexedMinHeap` (which adds an internal by-key
+/// hash index) and by owners that keep the key -> id mapping *themselves* —
+/// the space-saving tracker stores the id in its own metadata table, and
+/// the CoT cache heap needs no key index at all because residency is
+/// recorded on the tracker node. Separating the heap from the index is
+/// what lets one hash probe serve several structures.
+///
+/// `Compare(a, b)` returning true means `a` has *higher* priority to stay
+/// at the root (default `std::less`: smallest priority at the root).
+/// `P` should be cheaply copyable — sift loops keep the running minimum in
+/// a register and copy child priorities while selecting it.
+///
+/// Layout, tuned for sift-heavy access patterns:
+///   - Priorities and slot ids are parallel arrays (struct-of-arrays): a
+///     sift comparison only touches the priority array, so a 4-ary level's
+///     children read one cache line of priorities (16-byte `HotnessKey`)
+///     with no id/padding interleaved; ids are read only on an actual move.
+///   - The child-minimum selection is written as conditional moves over a
+///     register-held running minimum, which compiles branch-free for
+///     integer-comparable priorities — heap-ordered data makes those
+///     branches unpredictable, and mispredicts dominate an L1-resident
+///     sift.
+///   - Arity 4 halves the depth of the sift-down that dominates
+///     replace-the-minimum workloads (space-saving admission).
+///   - Each node (key, heap position, aux payload) has a stable id for the
+///     lifetime of its key: sifting moves heap slots, never nodes, so an id
+///     obtained once stays valid across any number of reorderings and is
+///     invalidated only by `EraseAt`/`PopTop`/`Clear` of that key.
+///
+/// The owner is responsible for key uniqueness and for mapping keys to ids;
+/// the core never checks either. `Aux` carries per-key payload (counters,
+/// values) inside the node so the owner's single probe reaches everything.
+template <typename K, typename P, typename Compare = std::less<P>,
+          typename Aux = std::monostate>
+class MinHeapCore {
+ public:
+  /// Stable handle to a key's node; valid until the key is removed.
+  using Id = uint32_t;
+  static constexpr Id kInvalidId = static_cast<Id>(-1);
+
+  MinHeapCore() = default;
+  explicit MinHeapCore(Compare cmp) : cmp_(std::move(cmp)) {}
+  /// Pre-sizes node and heap storage for `expected_capacity` keys.
+  explicit MinHeapCore(size_t expected_capacity, Compare cmp = Compare())
+      : cmp_(std::move(cmp)) {
+    Reserve(expected_capacity);
+  }
+
+  /// Pre-allocates for `expected_capacity` keys without changing content.
+  void Reserve(size_t expected_capacity) {
+    nodes_.reserve(expected_capacity);
+    priorities_.reserve(expected_capacity);
+    slot_ids_.reserve(expected_capacity);
+  }
+
+  /// Number of keys in the heap.
+  size_t size() const { return slot_ids_.size(); }
+  /// True when the heap holds no keys.
+  bool empty() const { return slot_ids_.empty(); }
+
+  /// Node id at the root (minimum). Heap must be non-empty.
+  Id TopId() const {
+    assert(!empty());
+    return slot_ids_[0];
+  }
+  /// Key at the root. Heap must be non-empty.
+  const K& TopKey() const {
+    assert(!empty());
+    return nodes_[slot_ids_[0]].key;
+  }
+  /// Priority at the root. Heap must be non-empty.
+  const P& TopPriority() const {
+    assert(!empty());
+    return priorities_[0];
+  }
+
+  /// Key of a valid node id.
+  const K& KeyAt(Id id) const { return nodes_[id].key; }
+  /// Priority of a valid node id.
+  const P& PriorityAt(Id id) const {
+    return priorities_[nodes_[id].heap_pos];
+  }
+  /// Aux payload of a valid node id.
+  Aux& AuxAt(Id id) { return nodes_[id].aux; }
+  const Aux& AuxAt(Id id) const { return nodes_[id].aux; }
+
+  /// Changes the priority of the node `id` and restores heap order. The id
+  /// stays valid (ids survive sifting).
+  void UpdateAt(Id id, P priority) {
+    uint32_t pos = nodes_[id].heap_pos;
+    bool decreased = cmp_(priority, priorities_[pos]);
+    priorities_[pos] = std::move(priority);
+    if (decreased) {
+      SiftUp(pos);
+    } else {
+      SiftDown(pos);
+    }
+  }
+
+  /// Opportunistic O(1) cousin of `UpdateAt` for priority *raises*: if the
+  /// raise does not violate heap order at the node's current position, the
+  /// slot is re-stamped in place and nothing sifts. That covers two common
+  /// cases — the node sits on a leaf (3/4 of a 4-ary heap; parent ≤ old ≤
+  /// new always holds), or the new priority is still ≤ every child (a
+  /// raise inside a tie-pack, checked against one cache line of child
+  /// priorities). Returns false, touching nothing, when the raise would
+  /// need a real sift. Lazily-maintained owners call this on every raise
+  /// to keep most slots exact, which starves the deferred-repair loop that
+  /// otherwise pays a full-depth sift per stale slot surfacing at the
+  /// root. `priority` must not compare below the node's current slot
+  /// priority.
+  bool TryRaiseInPlace(Id id, P priority) {
+    uint32_t pos = nodes_[id].heap_pos;
+    assert(!cmp_(priority, priorities_[pos]));
+    const uint32_t n = static_cast<uint32_t>(slot_ids_.size());
+    const uint32_t first = kArity * pos + 1;
+    if (first < n) {
+      const uint32_t last = first + kArity < n ? first + kArity : n;
+      for (uint32_t c = first; c < last; ++c) {
+        if (cmp_(priorities_[c], priority)) return false;
+      }
+    }
+    priorities_[pos] = std::move(priority);
+    return true;
+  }
+
+  /// Inserts a new node; returns its id. The owner must guarantee `key` is
+  /// not already present.
+  Id Push(const K& key, P priority, Aux aux = Aux{}) {
+    uint32_t id = AllocNode(key, std::move(aux));
+    uint32_t pos = static_cast<uint32_t>(slot_ids_.size());
+    priorities_.push_back(std::move(priority));
+    slot_ids_.push_back(id);
+    nodes_[id].heap_pos = pos;
+    SiftUp(pos);
+    return id;
+  }
+
+  /// Replaces the root's key/priority/aux in place and restores heap order
+  /// — the space-saving "evict min, admit newcomer" move. Equivalent to
+  /// PopTop() + Push(key, ...) but reuses the root's node (a single
+  /// sift-down that usually stops after a level or two since the newcomer's
+  /// priority is near the evicted minimum, and no full-depth re-sink of an
+  /// arbitrary leaf). Heap must be non-empty; the owner must drop its
+  /// mapping for the evicted key (read `TopKey()` first) and record the
+  /// returned id — which is the root's reused id — for the newcomer.
+  Id ReplaceTop(const K& key, P priority, Aux aux = Aux{}) {
+    assert(!empty());
+    uint32_t id = slot_ids_[0];
+    nodes_[id].key = key;
+    nodes_[id].aux = std::move(aux);
+    priorities_[0] = std::move(priority);
+    SiftDown(0);
+    return id;
+  }
+
+  /// Removes and returns the root (key, priority). Heap must be non-empty.
+  /// The root's id becomes invalid (it is recycled for a future Push).
+  std::pair<K, P> PopTop() {
+    assert(!empty());
+    std::pair<K, P> out{nodes_[slot_ids_[0]].key, std::move(priorities_[0])};
+    RemoveAt(0);
+    return out;
+  }
+
+  /// Removes the node `id`, which becomes invalid (recycled).
+  void EraseAt(Id id) { RemoveAt(nodes_[id].heap_pos); }
+
+  /// Removes all keys; every id becomes invalid.
+  void Clear() {
+    nodes_.clear();
+    free_.clear();
+    priorities_.clear();
+    slot_ids_.clear();
+  }
+
+  /// Visits every (key, priority) pair in unspecified (heap) order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < slot_ids_.size(); ++i) {
+      fn(nodes_[slot_ids_[i]].key, priorities_[i]);
+    }
+  }
+
+  /// Visits every live node id in unspecified (heap) order. Combine with
+  /// KeyAt/PriorityAt/AuxAt — the mutable-aux iteration primitive (e.g.
+  /// half-life decay of per-key counters stored as aux).
+  template <typename Fn>
+  void ForEachId(Fn&& fn) {
+    for (uint32_t id : slot_ids_) fn(static_cast<Id>(id));
+  }
+  template <typename Fn>
+  void ForEachId(Fn&& fn) const {
+    for (uint32_t id : slot_ids_) fn(static_cast<Id>(id));
+  }
+
+  /// Applies `fn` to every priority in place. `fn` MUST be monotone
+  /// (order-preserving) — e.g. scaling all hotness values by 0.5 during
+  /// half-life decay — so the heap property is preserved without a rebuild.
+  /// O(n), no re-heapification.
+  template <typename Fn>
+  void TransformPrioritiesMonotone(Fn&& fn) {
+    for (P& priority : priorities_) priority = fn(priority);
+    assert(CheckInvariants());
+  }
+
+  /// Verifies the heap invariant and node/slot cross-links; O(n). The
+  /// owner's key -> id mapping is checked by the owner. Test hook.
+  bool CheckInvariants() const {
+    if (priorities_.size() != slot_ids_.size()) return false;
+    if (slot_ids_.size() + free_.size() != nodes_.size()) return false;
+    for (size_t i = 0; i < slot_ids_.size(); ++i) {
+      uint32_t id = slot_ids_[i];
+      if (id >= nodes_.size()) return false;
+      if (nodes_[id].heap_pos != i) return false;
+      for (size_t c = kArity * i + 1;
+           c < kArity * i + 1 + kArity && c < slot_ids_.size(); ++c) {
+        if (cmp_(priorities_[c], priorities_[i])) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  /// Stable per-key state; a key's node id is fixed for its lifetime.
+  struct Node {
+    K key;
+    uint32_t heap_pos;
+    // Overlaps padding when Aux is the empty default.
+    [[no_unique_address]] Aux aux;
+  };
+
+  static constexpr uint32_t kArity = 4;
+
+  /// Allocates (or recycles) a node for `key`; heap_pos is set by the
+  /// caller once the heap slot exists.
+  uint32_t AllocNode(const K& key, Aux aux) {
+    if (!free_.empty()) {
+      uint32_t id = free_.back();
+      free_.pop_back();
+      nodes_[id].key = key;
+      nodes_[id].aux = std::move(aux);
+      return id;
+    }
+    uint32_t id = static_cast<uint32_t>(nodes_.size());
+    nodes_.push_back(Node{key, 0, std::move(aux)});
+    return id;
+  }
+
+  void PlaceSlot(uint32_t pos, P priority, uint32_t id) {
+    nodes_[id].heap_pos = pos;
+    priorities_[pos] = std::move(priority);
+    slot_ids_[pos] = id;
+  }
+
+  void SiftUp(uint32_t pos) {
+    P priority = std::move(priorities_[pos]);
+    uint32_t id = slot_ids_[pos];
+    while (pos > 0) {
+      uint32_t parent = (pos - 1) / kArity;
+      if (!cmp_(priority, priorities_[parent])) break;
+      PlaceSlot(pos, std::move(priorities_[parent]), slot_ids_[parent]);
+      pos = parent;
+    }
+    PlaceSlot(pos, std::move(priority), id);
+  }
+
+  void SiftDown(uint32_t pos) {
+    P priority = std::move(priorities_[pos]);
+    uint32_t id = slot_ids_[pos];
+    const uint32_t n = static_cast<uint32_t>(slot_ids_.size());
+    while (true) {
+      uint32_t first = kArity * pos + 1;
+      if (first >= n) break;
+      uint32_t last = first + kArity < n ? first + kArity : n;
+      // Register-held running minimum; `?:` over the copied priority keeps
+      // the selection conditional-move-friendly (see class comment).
+      uint32_t smallest = first;
+      P min_priority = priorities_[first];
+      for (uint32_t c = first + 1; c < last; ++c) {
+        const bool less = cmp_(priorities_[c], min_priority);
+        min_priority = less ? priorities_[c] : min_priority;
+        smallest = less ? c : smallest;
+      }
+      if (!cmp_(min_priority, priority)) break;
+      PlaceSlot(pos, std::move(min_priority), slot_ids_[smallest]);
+      pos = smallest;
+    }
+    PlaceSlot(pos, std::move(priority), id);
+  }
+
+  void RemoveAt(uint32_t pos) {
+    uint32_t id = slot_ids_[pos];
+    nodes_[id].aux = Aux{};  // release aux resources
+    free_.push_back(id);
+    uint32_t last = static_cast<uint32_t>(slot_ids_.size()) - 1;
+    if (pos != last) {
+      // Move the last heap entry into the hole, then restore order in
+      // whichever direction is needed.
+      PlaceSlot(pos, std::move(priorities_[last]), slot_ids_[last]);
+      priorities_.pop_back();
+      slot_ids_.pop_back();
+      if (pos > 0 && cmp_(priorities_[pos], priorities_[(pos - 1) / kArity])) {
+        SiftUp(pos);
+      } else {
+        SiftDown(pos);
+      }
+    } else {
+      priorities_.pop_back();
+      slot_ids_.pop_back();
+    }
+  }
+
+  std::vector<Node> nodes_;
+  /// Recycled node ids of erased keys.
+  std::vector<uint32_t> free_;
+  /// Heap order, struct-of-arrays: position -> priority / node id.
+  std::vector<P> priorities_;
+  std::vector<uint32_t> slot_ids_;
+  Compare cmp_;
+};
+
+}  // namespace cot
+
+#endif  // COT_UTIL_MIN_HEAP_CORE_H_

@@ -1,0 +1,322 @@
+// Lockstep differential suite for the optimized tracker/CoT hot path.
+//
+// The production `SpaceSavingTracker` and `CotCache` maintain their heaps
+// lazily (stale lower-bound slot priorities, repair-on-min-read) and merge
+// the tracker index with cache residency into a single probe. Those are
+// pure performance restructurings: every externally observable decision —
+// hit/miss results, eviction victims, admission outcomes, stats and epoch
+// counters, export sequences — must equal the O(n)-scan reference
+// implementation (`reference_cot.h`), which transcribes Algorithm 1/2 plus
+// the (hotness, key) victim tie-break directly.
+//
+// Each scenario drives both implementations through the same seeded stream
+// (Zipfian, sequential scan, update-heavy, tie-dense uniform) interleaved
+// with the structural events that historically break shadow state: cache
+// and tracker resizes in both directions, half-life decay, and warm
+// handoff export/import round trips. `CheckInvariants` runs on the
+// optimized side after EVERY step, so a broken lazy invariant is caught at
+// the step that introduced it, not at the next minimum consultation.
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cot_cache.h"
+#include "core/reference_cot.h"
+#include "core/space_saving_tracker.h"
+#include "util/random.h"
+#include "workload/zipfian_generator.h"
+
+namespace cot::core {
+namespace {
+
+using cache::Key;
+using cache::Value;
+
+// --- stream generation ------------------------------------------------------
+
+enum class StreamKind {
+  kZipfian,      // skewed reads (+ optional updates)
+  kScan,         // sequential wraparound sweep
+  kTinyUniform,  // tiny key space: dense hotness ties
+};
+
+struct Scenario {
+  const char* name;
+  StreamKind kind;
+  uint64_t key_space;
+  double skew;            // zipfian only
+  double update_fraction; // fraction of accesses that are updates
+  size_t cache_capacity;
+  size_t tracker_capacity;
+  HotnessWeights weights;
+  int steps;
+};
+
+class StreamGen {
+ public:
+  StreamGen(const Scenario& s, uint64_t seed) : scenario_(s), rng_(seed) {
+    if (s.kind == StreamKind::kZipfian) {
+      zipf_.emplace(s.key_space, s.skew);
+    }
+  }
+
+  Key NextKey() {
+    switch (scenario_.kind) {
+      case StreamKind::kZipfian:
+        return zipf_->Next(rng_);
+      case StreamKind::kScan:
+        return next_scan_++ % scenario_.key_space;
+      case StreamKind::kTinyUniform:
+        return rng_.NextBelow(scenario_.key_space);
+    }
+    return 0;
+  }
+
+  bool NextIsUpdate() { return rng_.Bernoulli(scenario_.update_fraction); }
+
+ private:
+  Scenario scenario_;
+  Rng rng_;
+  std::optional<workload::ZipfianGenerator> zipf_;
+  uint64_t next_scan_ = 0;
+};
+
+Value ValueFor(Key k) { return k * 0x9E3779B97F4A7C15ULL + 1; }
+
+// --- tracker-level lockstep -------------------------------------------------
+
+class TrackerLockstepTest : public ::testing::TestWithParam<Scenario> {};
+
+void ExpectSameTrackResult(const SpaceSavingTracker::TrackResult& a,
+                           const ReferenceSpaceSavingTracker::TrackResult& b,
+                           int step) {
+  ASSERT_EQ(a.hotness, b.hotness) << "step " << step;
+  ASSERT_EQ(a.was_tracked, b.was_tracked) << "step " << step;
+  ASSERT_EQ(a.lowered, b.lowered) << "step " << step;
+  ASSERT_EQ(a.evicted, b.evicted) << "step " << step;
+  if (a.evicted.has_value()) {
+    ASSERT_EQ(a.evicted_hotness, b.evicted_hotness) << "step " << step;
+  }
+}
+
+TEST_P(TrackerLockstepTest, DecisionSequencesMatchReference) {
+  const Scenario& s = GetParam();
+  SpaceSavingTracker opt(s.tracker_capacity, s.weights);
+  ReferenceSpaceSavingTracker ref(s.tracker_capacity, s.weights);
+  StreamGen gen(s, /*seed=*/1234);
+  Rng event_rng(99);
+
+  for (int step = 0; step < s.steps; ++step) {
+    Key key = gen.NextKey();
+    AccessType type =
+        gen.NextIsUpdate() ? AccessType::kUpdate : AccessType::kRead;
+    auto a = opt.TrackAccess(key, type);
+    auto b = ref.TrackAccess(key, type);
+    ASSERT_NO_FATAL_FAILURE(ExpectSameTrackResult(a, b, step));
+    ASSERT_TRUE(opt.CheckInvariants()) << "step " << step;
+
+    // Structural events, each compared exhaustively right after.
+    bool perturbed = false;
+    if (step == s.steps / 4) {
+      // Shrink to ~60%: coldest keys leave, identical victim sequences.
+      size_t smaller = std::max<size_t>(1, s.tracker_capacity * 3 / 5);
+      std::vector<Key> ev_a, ev_b;
+      ASSERT_TRUE(opt.Resize(smaller, &ev_a).ok());
+      ASSERT_TRUE(ref.Resize(smaller, &ev_b).ok());
+      ASSERT_EQ(ev_a, ev_b) << "step " << step;
+      perturbed = true;
+    } else if (step == s.steps / 3) {
+      ASSERT_TRUE(opt.Resize(s.tracker_capacity).ok());
+      ASSERT_TRUE(ref.Resize(s.tracker_capacity).ok());
+      perturbed = true;
+    } else if (step == s.steps / 2) {
+      opt.HalveAllHotness();
+      ref.HalveAllHotness();
+      perturbed = true;
+    } else if (step == 2 * s.steps / 3) {
+      // Seed a batch of keys (some tracked, some new, some too cold),
+      // mirroring a warm-handoff import mid-stream.
+      for (int i = 0; i < 8; ++i) {
+        Key sk = event_rng.NextBelow(2 * s.key_space);
+        KeyCounters counters;
+        counters.read_count =
+            static_cast<double>(event_rng.NextBelow(40));
+        counters.update_count =
+            static_cast<double>(event_rng.NextBelow(10));
+        SpaceSavingTracker::NodeId id = opt.Seed(sk, counters);
+        bool installed = ref.Seed(sk, counters);
+        ASSERT_EQ(id != SpaceSavingTracker::kInvalidNode, installed)
+            << "step " << step << " seed " << sk;
+      }
+      perturbed = true;
+    }
+    if (perturbed) {
+      ASSERT_TRUE(opt.CheckInvariants()) << "step " << step;
+    }
+
+    if (perturbed || step % 97 == 0) {
+      ASSERT_EQ(opt.MinHotness(), ref.MinHotness()) << "step " << step;
+      ASSERT_TRUE(opt.CheckInvariants()) << "step " << step;
+    }
+    if (perturbed || step % 250 == 0) {
+      ASSERT_EQ(opt.SortedByHotnessDesc(), ref.SortedByHotnessDesc())
+          << "step " << step;
+    }
+  }
+  ASSERT_EQ(opt.SortedByHotnessDesc(), ref.SortedByHotnessDesc());
+}
+
+// --- cache-level lockstep ---------------------------------------------------
+
+class CotLockstepTest : public ::testing::TestWithParam<Scenario> {};
+
+void ExpectSameCounters(const CotCache& opt, const ReferenceCotCache& ref,
+                        int step) {
+  ASSERT_EQ(opt.stats().hits, ref.stats().hits) << "step " << step;
+  ASSERT_EQ(opt.stats().misses, ref.stats().misses) << "step " << step;
+  ASSERT_EQ(opt.stats().insertions, ref.stats().insertions)
+      << "step " << step;
+  ASSERT_EQ(opt.stats().evictions, ref.stats().evictions) << "step " << step;
+  ASSERT_EQ(opt.stats().invalidations, ref.stats().invalidations)
+      << "step " << step;
+  ASSERT_EQ(opt.epoch_stats().cache_hits, ref.epoch_stats().cache_hits)
+      << "step " << step;
+  ASSERT_EQ(opt.epoch_stats().tracker_only_hits,
+            ref.epoch_stats().tracker_only_hits)
+      << "step " << step;
+  ASSERT_EQ(opt.epoch_stats().accesses, ref.epoch_stats().accesses)
+      << "step " << step;
+  ASSERT_EQ(opt.size(), ref.size()) << "step " << step;
+  ASSERT_EQ(opt.tracker_size(), ref.tracker_size()) << "step " << step;
+}
+
+void ExpectSameExportedState(const CotCache& opt,
+                             const ReferenceCotCache& ref, int step) {
+  auto a = opt.ExportState();
+  auto b = ref.ExportState();
+  ASSERT_EQ(a.size(), b.size()) << "step " << step;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].key, b[i].key) << "step " << step << " entry " << i;
+    ASSERT_EQ(a[i].counters.read_count, b[i].counters.read_count)
+        << "step " << step << " entry " << i;
+    ASSERT_EQ(a[i].counters.update_count, b[i].counters.update_count)
+        << "step " << step << " entry " << i;
+    ASSERT_EQ(a[i].value, b[i].value) << "step " << step << " entry " << i;
+  }
+}
+
+TEST_P(CotLockstepTest, DecisionSequencesMatchReference) {
+  const Scenario& s = GetParam();
+  CotCacheConfig config{s.cache_capacity, s.tracker_capacity, s.weights};
+  CotCache opt(config);
+  ReferenceCotCache ref(config);
+  StreamGen gen(s, /*seed=*/4321);
+
+  for (int step = 0; step < s.steps; ++step) {
+    Key key = gen.NextKey();
+    if (gen.NextIsUpdate()) {
+      opt.Invalidate(key);
+      ref.Invalidate(key);
+    } else {
+      // Read-through: a miss fetches from the notional back-end and offers
+      // the value for admission, exactly as FrontendClient drives it.
+      auto a = opt.Get(key);
+      auto b = ref.Get(key);
+      ASSERT_EQ(a, b) << "step " << step;
+      if (!a.has_value()) {
+        opt.Put(key, ValueFor(key));
+        ref.Put(key, ValueFor(key));
+      }
+    }
+    ASSERT_NO_FATAL_FAILURE(ExpectSameCounters(opt, ref, step));
+    ASSERT_TRUE(opt.CheckInvariants()) << "step " << step;
+
+    bool perturbed = false;
+    if (step == s.steps / 5) {
+      // Cache shrink (coldest residents leave in identical order, visible
+      // through the evictions counter and the exported state).
+      ASSERT_EQ(opt.Resize(s.cache_capacity / 2).ok(),
+                ref.Resize(s.cache_capacity / 2).ok());
+      perturbed = true;
+    } else if (step == s.steps / 4) {
+      ASSERT_EQ(opt.Resize(s.cache_capacity).ok(),
+                ref.Resize(s.cache_capacity).ok());
+      perturbed = true;
+    } else if (step == s.steps * 2 / 5) {
+      // Tracker shrink to the K >= 2C floor: cached keys among the victims
+      // must be dropped from both caches identically.
+      size_t floor = std::max<size_t>(1, 2 * s.cache_capacity);
+      ASSERT_EQ(opt.ResizeTracker(floor).ok(),
+                ref.ResizeTracker(floor).ok());
+      perturbed = true;
+    } else if (step == s.steps / 2) {
+      ASSERT_EQ(opt.ResizeTracker(s.tracker_capacity).ok(),
+                ref.ResizeTracker(s.tracker_capacity).ok());
+      perturbed = true;
+    } else if (step == s.steps * 3 / 5) {
+      opt.HalveAllHotness();
+      ref.HalveAllHotness();
+      perturbed = true;
+    } else if (step == s.steps * 4 / 5) {
+      // Warm-handoff round trip: both sides export identical state, then
+      // both re-import the optimized export.
+      ASSERT_NO_FATAL_FAILURE(ExpectSameExportedState(opt, ref, step));
+      auto exported = opt.ExportState();
+      opt.ImportState(exported);
+      ref.ImportState(exported);
+      perturbed = true;
+    }
+    if (perturbed) {
+      ASSERT_TRUE(opt.CheckInvariants()) << "step " << step;
+      ASSERT_NO_FATAL_FAILURE(ExpectSameExportedState(opt, ref, step));
+      ASSERT_EQ(opt.MinCachedHotness(), ref.MinCachedHotness())
+          << "step " << step;
+    }
+    if (step % 97 == 0) {
+      ASSERT_EQ(opt.MinCachedHotness(), ref.MinCachedHotness())
+          << "step " << step;
+      ASSERT_TRUE(opt.CheckInvariants()) << "step " << step;
+    }
+    if (step % 500 == 0) {
+      ASSERT_NO_FATAL_FAILURE(ExpectSameExportedState(opt, ref, step));
+    }
+  }
+  ASSERT_NO_FATAL_FAILURE(ExpectSameExportedState(opt, ref, s.steps));
+  ASSERT_EQ(opt.MinCachedHotness(), ref.MinCachedHotness());
+}
+
+// --- scenarios --------------------------------------------------------------
+
+const Scenario kScenarios[] = {
+    {"zipfian_reads", StreamKind::kZipfian, 4096, 0.99, 0.0, 64, 256,
+     HotnessWeights{}, 4000},
+    {"zipfian_mixed", StreamKind::kZipfian, 2048, 0.99, 0.25, 64, 128,
+     HotnessWeights{}, 4000},
+    {"update_heavy", StreamKind::kZipfian, 2048, 0.9, 0.6, 48, 96,
+     HotnessWeights{}, 4000},
+    {"scan", StreamKind::kScan, 1500, 0.0, 0.05, 32, 64, HotnessWeights{},
+     4000},
+    {"tiny_ties", StreamKind::kTinyUniform, 24, 0.0, 0.3, 4, 8,
+     HotnessWeights{}, 5000},
+    {"negative_read_weight", StreamKind::kZipfian, 512, 0.99, 0.2, 16, 32,
+     HotnessWeights{-0.5, 2.0}, 3000},
+    {"uniform_churn", StreamKind::kTinyUniform, 8192, 0.0, 0.1, 32, 64,
+     HotnessWeights{}, 4000},
+};
+
+std::string ScenarioName(const ::testing::TestParamInfo<Scenario>& info) {
+  return info.param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, TrackerLockstepTest,
+                         ::testing::ValuesIn(kScenarios), ScenarioName);
+INSTANTIATE_TEST_SUITE_P(Streams, CotLockstepTest,
+                         ::testing::ValuesIn(kScenarios), ScenarioName);
+
+}  // namespace
+}  // namespace cot::core

@@ -157,6 +157,56 @@ TEST(SpaceSavingTrackerTest, SortedByHotnessDesc) {
   EXPECT_EQ(sorted[2].first, 10u);
 }
 
+// Regression: Seed at capacity used to evict the current minimum
+// unconditionally, even when the seeded key was colder — a cold warm-handoff
+// entry could displace a hotter tracked key.
+TEST(SpaceSavingTrackerTest, SeedColderThanMinimumIsDeclinedAtCapacity) {
+  SpaceSavingTracker tracker(2);
+  for (int i = 0; i < 5; ++i) tracker.TrackAccess(1, AccessType::kRead);
+  for (int i = 0; i < 3; ++i) tracker.TrackAccess(2, AccessType::kRead);
+  ASSERT_EQ(tracker.size(), 2u);
+  ASSERT_EQ(tracker.MinHotness(), 3.0);
+
+  KeyCounters cold;
+  cold.read_count = 1.0;  // hotness 1 < minimum 3: must be declined
+  EXPECT_EQ(tracker.Seed(7, cold), SpaceSavingTracker::kInvalidNode);
+  EXPECT_FALSE(tracker.Contains(7));
+  EXPECT_TRUE(tracker.Contains(1));
+  EXPECT_TRUE(tracker.Contains(2));
+  EXPECT_EQ(tracker.MinHotness(), 3.0);
+  EXPECT_TRUE(tracker.CheckInvariants());
+
+  KeyCounters hot;
+  hot.read_count = 10.0;  // hotter than the minimum: replaces key 2
+  EXPECT_NE(tracker.Seed(8, hot), SpaceSavingTracker::kInvalidNode);
+  EXPECT_TRUE(tracker.Contains(8));
+  EXPECT_FALSE(tracker.Contains(2));
+  EXPECT_TRUE(tracker.Contains(1));
+  EXPECT_EQ(tracker.size(), 2u);
+  EXPECT_EQ(tracker.MinHotness(), 5.0);
+  EXPECT_TRUE(tracker.CheckInvariants());
+}
+
+// Seed ties break on (hotness, key): an equally hot seed with a larger key
+// replaces the minimum (it is not lex-smaller), and with a smaller key it
+// is declined.
+TEST(SpaceSavingTrackerTest, SeedTieBreaksOnKeyOrder) {
+  SpaceSavingTracker tracker(1);
+  tracker.TrackAccess(5, AccessType::kRead);
+  KeyCounters one_read;
+  one_read.read_count = 1.0;
+
+  // Same hotness, smaller key: lex-colder, declined.
+  EXPECT_EQ(tracker.Seed(3, one_read), SpaceSavingTracker::kInvalidNode);
+  EXPECT_TRUE(tracker.Contains(5));
+
+  // Same hotness, larger key: not lex-colder, replaces.
+  EXPECT_NE(tracker.Seed(9, one_read), SpaceSavingTracker::kInvalidNode);
+  EXPECT_TRUE(tracker.Contains(9));
+  EXPECT_FALSE(tracker.Contains(5));
+  EXPECT_TRUE(tracker.CheckInvariants());
+}
+
 // --- Space-saving theoretical guarantees (Metwally et al. 2005) ----------
 
 TEST(SpaceSavingPropertyTest, OverestimationBoundedByMinCount) {

@@ -1,5 +1,7 @@
 #include "sim/open_loop_sim.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -21,7 +23,13 @@ class OpenLoopSimTest : public ::testing::Test {
   static constexpr uint64_t kKeys = 5000;
 
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/open_loop_sim_test.bin";
+    // Unique per test process: ctest -j runs fixture instances concurrently,
+    // and sharing one path means one process truncates the file another has
+    // mmapped (SIGBUS).
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = ::testing::TempDir() + "/open_loop_sim_" +
+            std::to_string(::getpid()) + "_" + info->name() + ".bin";
     workload::PhaseSpec phase;
     phase.distribution = workload::Distribution::kZipfian;
     phase.skew = 0.99;

@@ -111,6 +111,40 @@ class CheckBenchRegressionTest(unittest.TestCase):
         code, _ = run_check(base, bad)
         self.assertEqual(code, 2)
 
+    def test_require_present_family_passes(self):
+        base = bench_file(self.dir, "base.json", {"BM_A": 100.0})
+        fresh = bench_file(self.dir, "fresh.json",
+                           {"BM_A": 100.0, "BM_CotGetHit": 30.0})
+        code, out = run_check(base, fresh, "--require", "BM_CotGetHit",
+                              "--require", "BM_A")
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK:", out)
+
+    def test_require_absent_family_fails(self):
+        # Unlike the only-in-baseline warning, a dropped *required* family
+        # (silently unregistered bench, renamed family) must fail the gate
+        # even though nothing regressed.
+        base = bench_file(self.dir, "base.json", {"BM_A": 100.0})
+        fresh = bench_file(self.dir, "fresh.json", {"BM_A": 100.0})
+        code, out = run_check(base, fresh, "--require", "BM_CotGetHit")
+        self.assertEqual(code, 1, out)
+        self.assertIn("FAIL", out)
+        self.assertIn("BM_CotGetHit", out)
+
+    def test_require_is_regex_over_family(self):
+        # One pattern can gate an arg-parameterized family.
+        base = bench_file(self.dir, "base.json", {"BM_A": 100.0})
+        fresh = bench_file(self.dir, "fresh.json",
+                           {"BM_A": 100.0, "BM_TrackerTrackAccess/512": 70.0})
+        code, out = run_check(base, fresh, "--require", "BM_TrackerTrackAccess")
+        self.assertEqual(code, 0, out)
+
+    def test_require_bad_regex_is_usage_error(self):
+        base = bench_file(self.dir, "base.json", {"BM_A": 100.0})
+        fresh = bench_file(self.dir, "fresh.json", {"BM_A": 100.0})
+        code, _ = run_check(base, fresh, "--require", "BM_[")
+        self.assertEqual(code, 2)
+
     def test_median_aggregate_preferred(self):
         base = bench_file(self.dir, "base.json", {"BM_A": 100.0})
         path = os.path.join(self.dir, "fresh.json")

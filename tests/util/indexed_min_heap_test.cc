@@ -55,6 +55,59 @@ TEST(IndexedMinHeapTest, UpdateRestoresOrder) {
   EXPECT_TRUE(heap.CheckInvariants());
 }
 
+TEST(MinHeapCoreTest, TryRaiseInPlaceAcceptsOrderPreservingRaises) {
+  // Direct core usage (externally-owned ids), as the tracker uses it.
+  MinHeapCore<int, int> heap;
+  std::vector<MinHeapCore<int, int>::Id> ids;
+  for (int i = 0; i < 21; ++i) ids.push_back(heap.Push(i, i * 10));
+  // A leaf raise always succeeds with no reordering (21 nodes, 4-ary:
+  // positions 6.. are leaves; the last-pushed key sits on one).
+  MinHeapCore<int, int>::Id leaf = ids.back();
+  int leaf_priority = heap.PriorityAt(leaf);
+  EXPECT_TRUE(heap.TryRaiseInPlace(leaf, leaf_priority + 5));
+  EXPECT_EQ(heap.PriorityAt(leaf), leaf_priority + 5);
+  EXPECT_TRUE(heap.CheckInvariants());
+  // A root raise above a child must be refused untouched...
+  MinHeapCore<int, int>::Id root = heap.TopId();
+  int root_priority = heap.TopPriority();
+  EXPECT_FALSE(heap.TryRaiseInPlace(root, 10000));
+  EXPECT_EQ(heap.PriorityAt(root), root_priority);
+  // ...but a raise that stays at or below every child is stamped in
+  // place, still at the root.
+  EXPECT_TRUE(heap.TryRaiseInPlace(root, root_priority + 5));
+  EXPECT_EQ(heap.TopId(), root);
+  EXPECT_EQ(heap.TopPriority(), root_priority + 5);
+  EXPECT_TRUE(heap.CheckInvariants());
+}
+
+TEST(MinHeapCoreTest, TryRaiseInPlaceRandomizedAgainstUpdateAt) {
+  // Whenever TryRaiseInPlace succeeds, the heap must be exactly as valid
+  // as if UpdateAt had run; whenever it refuses, the heap is untouched
+  // and UpdateAt still works. Pop order stays fully sorted either way.
+  Rng rng(1234);
+  MinHeapCore<int, int> heap;
+  std::vector<MinHeapCore<int, int>::Id> ids;
+  std::vector<int> model;
+  for (int i = 0; i < 64; ++i) {
+    int p = static_cast<int>(rng.NextBelow(100));
+    ids.push_back(heap.Push(i, p));
+    model.push_back(p);
+  }
+  for (int step = 0; step < 2000; ++step) {
+    size_t i = rng.NextBelow(ids.size());
+    int raised = heap.PriorityAt(ids[i]) + static_cast<int>(rng.NextBelow(8));
+    if (!heap.TryRaiseInPlace(ids[i], raised)) {
+      heap.UpdateAt(ids[i], raised);
+    }
+    model[i] = raised;
+    ASSERT_TRUE(heap.CheckInvariants());
+  }
+  std::sort(model.begin(), model.end());
+  for (int expected : model) {
+    EXPECT_EQ(heap.PopTop().second, expected);
+  }
+}
+
 TEST(IndexedMinHeapTest, EraseRemovesKey) {
   IndexedMinHeap<int, int> heap;
   for (int i = 0; i < 10; ++i) heap.Push(i, i);

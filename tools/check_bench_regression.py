@@ -16,7 +16,13 @@ block CI. An empty intersection is likewise a warning, not an error.
 
 Usage:
   tools/check_bench_regression.py BASELINE FRESH [--threshold 1.25]
-      [--filter REGEX]
+      [--filter REGEX] [--require REGEX ...]
+
+--require REGEX (repeatable) additionally demands that at least one
+benchmark in the FRESH run matches each given regex. This gates whole
+benchmark *families*: a rename or a silently dropped registration would
+otherwise sail through as a "benchmark only in baseline" warning. Missing
+required families fail the gate even when nothing regressed.
 
 The threshold is a ratio: fresh/baseline above it fails. The default 1.25
 tolerates scheduler noise on a quiet machine; CI smoke jobs run on shared
@@ -75,6 +81,14 @@ def main():
         default="",
         help="only check benchmark names matching this regex",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="REGEX",
+        help="fail unless at least one fresh benchmark matches REGEX "
+        "(repeatable; gates whole benchmark families)",
+    )
     args = parser.parse_args()
     if args.threshold <= 0:
         print("error: --threshold must be positive", file=sys.stderr)
@@ -86,6 +100,17 @@ def main():
     except (OSError, json.JSONDecodeError, KeyError) as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
+
+    missing_required = []
+    for pattern in args.require:
+        try:
+            required = re.compile(pattern)
+        except re.error as e:
+            print(f"error: bad --require regex {pattern!r}: {e}",
+                  file=sys.stderr)
+            return 2
+        if not any(required.search(n) for n in fresh):
+            missing_required.append(pattern)
 
     name_filter = re.compile(args.filter) if args.filter else None
     common = [
@@ -122,6 +147,14 @@ def main():
     if only_fresh:
         print(f"warning: {len(only_fresh)} benchmark(s) only in fresh run "
               "(new, no baseline yet): " + ", ".join(only_fresh))
+    if missing_required:
+        print(
+            f"\nFAIL: {len(missing_required)} required benchmark "
+            "family(ies) absent from the fresh run:"
+        )
+        for pattern in missing_required:
+            print(f"  --require {pattern}: no fresh benchmark matches")
+        return 1
     if not common:
         print("warning: no common benchmarks between the two files; "
               "nothing to compare — not treating this as a regression")
