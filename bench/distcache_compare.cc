@@ -1,0 +1,332 @@
+// Head-to-head: DistCache-style two-layer caching versus plain consistent
+// hashing, CoT front-end caches, and the server-side balancing families
+// (Slicer-style slice reassignment, hot-key replication), under Zipfian
+// skew. The two-layer scheme partitions a small upper cache tier by two
+// independent hashes and routes each hot key to the less-loaded of its
+// two candidate nodes (power-of-two-choices), which is what flattens the
+// max-shard load that plain hashing concentrates on the hot key's owner.
+//
+// Reported per scheme: max/min shard-load imbalance (the paper's measure;
+// under the two-layer topology this covers the *shard* tier only, so
+// numbers stay comparable), Jain's fairness, back-end lookups, cache-tier
+// lookups and share, update fan-out, and front-end hit rate. A churn leg
+// re-runs plain vs. two-layer with mid-run shard add/remove.
+//
+// Writes BENCH_distcache.json (committed copy at the repo root) and
+// self-gates: exits non-zero unless the two-layer max-shard imbalance is
+// *strictly below* plain consistent hashing at every alpha >= 0.99 — the
+// acceptance criterion of the two-layer PR.
+//
+// Usage: distcache_compare [--full] [--out BENCH_distcache.json]
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/cache_cluster.h"
+#include "cluster/distcache_router.h"
+#include "cluster/experiment.h"
+#include "cluster/frontend_client.h"
+#include "cluster/hot_key_replicator.h"
+#include "cluster/slice_map.h"
+#include "metrics/imbalance.h"
+#include "workload/op_stream.h"
+
+namespace {
+
+using namespace cot;
+
+constexpr uint32_t kShards = 8;
+constexpr uint32_t kClients = 10;
+constexpr uint32_t kCacheNodes = 4;
+constexpr size_t kHotKeys = 128;
+constexpr uint64_t kEpochOps = 1024;
+constexpr double kReadFraction = 0.95;
+constexpr uint64_t kSeed = 42;
+
+struct SchemeResult {
+  double imbalance = 0.0;       // max/min over *shard* lookups
+  double jain = 1.0;            // Jain's fairness over shard lookups
+  uint64_t backend_lookups = 0; // lookups that reached the shard tier
+  uint64_t tier_lookups = 0;    // lookups absorbed by the cache tier
+  double tier_share = 0.0;      // tier / (tier + shard)
+  double hit_rate = 0.0;        // front-end local hit rate
+  uint64_t invalidations = 0;   // update fan-out (deliveries)
+  uint64_t keys_migrated = 0;   // churn leg only
+};
+
+workload::PhaseSpec Phase(double alpha, uint64_t ops_per_client) {
+  workload::PhaseSpec phase;
+  phase.distribution = workload::Distribution::kZipfian;
+  phase.skew = alpha;
+  phase.read_fraction = kReadFraction;
+  phase.num_ops = ops_per_client;
+  return phase;
+}
+
+SchemeResult FromEngine(const cluster::ExperimentResult& r) {
+  SchemeResult out;
+  out.imbalance = r.imbalance;
+  out.jain = metrics::JainFairnessIndex(r.per_server_lookups);
+  out.backend_lookups = r.total_backend_lookups;
+  out.tier_lookups = metrics::TotalLoad(r.cache_node_lookups);
+  uint64_t routed = out.tier_lookups + out.backend_lookups;
+  out.tier_share =
+      routed == 0 ? 0.0 : static_cast<double>(out.tier_lookups) / routed;
+  out.hit_rate = r.local_hit_rate;
+  out.invalidations = r.aggregate.invalidations;
+  out.keys_migrated = r.keys_migrated;
+  return out;
+}
+
+/// Schemes the experiment engine runs natively: "plain" (ring, cacheless),
+/// "distcache" (two-layer topology, cacheless), "cot" (ring + front-end
+/// caches). `churn` optionally adds the mid-run membership plan.
+SchemeResult RunEngineScheme(const std::string& scheme, double alpha,
+                             uint64_t key_space, uint64_t total_ops,
+                             const cluster::ChurnSchedule* churn) {
+  cluster::ExperimentConfig config;
+  config.num_servers = kShards;
+  config.key_space = key_space;
+  config.num_clients = kClients;
+  config.total_ops = total_ops;
+  config.phases = {Phase(alpha, total_ops / kClients)};
+  config.seed = kSeed;
+  if (churn != nullptr) config.churn = *churn;
+  if (scheme == "distcache") {
+    config.topology = cluster::Topology::kDistCache;
+    config.cache_nodes = kCacheNodes;
+    config.distcache_hot_keys = kHotKeys;
+    config.distcache_epoch_ops = kEpochOps;
+  }
+  cluster::CacheFactory factory = [&](uint32_t) {
+    return scheme == "cot"
+               ? bench::MakePolicy("cot", 512, bench::TrackerRatioForSkew(alpha))
+               : nullptr;
+  };
+  auto result = cluster::RunExperiment(config, factory);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", scheme.c_str(),
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return FromEngine(*result);
+}
+
+/// Server-side balancers (SliceMap, HotKeyReplicator) are attached by the
+/// driver, not the engine, so this leg drives the same workload (same
+/// phase spec, same per-client seeds, same preload) through a manual
+/// round-robin loop — the shape the engine's serial path uses.
+SchemeResult RunServerSideScheme(const std::string& scheme, double alpha,
+                                 uint64_t key_space, uint64_t total_ops) {
+  cluster::CacheCluster cluster(kShards, key_space);
+  for (uint64_t k = 0; k < key_space; ++k) {
+    cluster.server(cluster.ring().ServerFor(k))
+        .Set(k, cluster::StorageLayer::InitialValue(k));
+  }
+  cluster.ResetServerCounters();
+
+  std::unique_ptr<cluster::SliceMap> slicer;
+  std::unique_ptr<cluster::HotKeyReplicator> replicator;
+  if (scheme == "slicer") {
+    slicer = std::make_unique<cluster::SliceMap>(kShards, 4096);
+  } else {
+    replicator = std::make_unique<cluster::HotKeyReplicator>(
+        kShards, /*hot_share=*/0.02, /*gamma=*/8, /*tracker_size=*/256);
+  }
+
+  std::vector<std::unique_ptr<cluster::FrontendClient>> clients;
+  std::vector<workload::OpStream> streams;
+  for (uint32_t i = 0; i < kClients; ++i) {
+    clients.push_back(
+        std::make_unique<cluster::FrontendClient>(&cluster, nullptr));
+    if (slicer) clients.back()->SetRouter(slicer.get());
+    if (replicator) clients.back()->SetRouter(replicator.get());
+    auto stream = workload::OpStream::Create(
+        key_space, {Phase(alpha, total_ops / kClients)}, kSeed + i);
+    streams.push_back(std::move(stream).value());
+  }
+
+  const uint64_t epoch = total_ops / 20;  // 20 control-plane rounds
+  uint64_t ops = 0;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (uint32_t i = 0; i < kClients; ++i) {
+      if (streams[i].Done()) continue;
+      clients[i]->Apply(streams[i].Next());
+      progressed = true;
+      if (++ops % epoch == 0) {
+        if (slicer) slicer->Rebalance(&cluster);
+        if (replicator) replicator->EndEpoch(clients[i]->route_view());
+      }
+    }
+  }
+
+  SchemeResult out;
+  std::vector<uint64_t> loads = cluster.PerServerLookups();
+  out.imbalance = metrics::LoadImbalance(loads);
+  out.jain = metrics::JainFairnessIndex(loads);
+  out.backend_lookups = metrics::TotalLoad(loads);
+  for (const auto& c : clients) out.invalidations += c->stats().invalidations;
+  return out;
+}
+
+void AppendRow(std::string* out, const char* scheme, double alpha,
+               const SchemeResult& r, bool churn_leg) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  {\"scheme\": \"%s\", \"alpha\": %.2f, \"shard_imbalance\": %.3f, "
+      "\"jain_fairness\": %.4f, \"backend_lookups\": %llu, "
+      "\"cache_tier_lookups\": %llu, \"cache_tier_share\": %.3f, "
+      "\"local_hit_rate\": %.3f, \"invalidations\": %llu%s%s}",
+      scheme, alpha, r.imbalance, r.jain,
+      static_cast<unsigned long long>(r.backend_lookups),
+      static_cast<unsigned long long>(r.tier_lookups), r.tier_share,
+      r.hit_rate, static_cast<unsigned long long>(r.invalidations),
+      churn_leg ? ", \"keys_migrated\": " : "",
+      churn_leg
+          ? std::to_string(static_cast<unsigned long long>(r.keys_migrated))
+                .c_str()
+          : "");
+  *out += buf;
+}
+
+int Run(int argc, char** argv) {
+  const bool full = bench::FullScale(argc, argv);
+  std::string out_path = "BENCH_distcache.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[i + 1];
+    }
+  }
+  bench::Banner("DistCache compare",
+                "two-layer p2c cache tier vs plain hashing, CoT, and "
+                "server-side balancers",
+                full);
+
+  const uint64_t key_space = full ? 1000000 : 100000;
+  const uint64_t total_ops = full ? 5000000 : 1000000;
+  const std::vector<double> alphas = {0.99, 1.2};
+  const std::vector<std::string> engine_schemes = {"plain", "distcache",
+                                                   "cot"};
+  const std::vector<std::string> server_schemes = {"slicer", "replication"};
+
+  std::string sweep_json;
+  double plain_imbalance[2] = {0.0, 0.0};
+  double distcache_imbalance[2] = {0.0, 0.0};
+
+  std::printf("%-12s %6s %10s %8s %16s %11s %10s\n", "scheme", "alpha",
+              "imbalance", "jain", "backend-lookups", "tier-share",
+              "hit-rate");
+  for (size_t a = 0; a < alphas.size(); ++a) {
+    for (const std::string& scheme : engine_schemes) {
+      SchemeResult r =
+          RunEngineScheme(scheme, alphas[a], key_space, total_ops, nullptr);
+      if (scheme == "plain") plain_imbalance[a] = r.imbalance;
+      if (scheme == "distcache") distcache_imbalance[a] = r.imbalance;
+      std::printf("%-12s %6.2f %10.3f %8.4f %16llu %10.1f%% %10.3f\n",
+                  scheme.c_str(), alphas[a], r.imbalance, r.jain,
+                  static_cast<unsigned long long>(r.backend_lookups),
+                  r.tier_share * 100.0, r.hit_rate);
+      if (!sweep_json.empty()) sweep_json += ",\n";
+      AppendRow(&sweep_json, scheme.c_str(), alphas[a], r, false);
+    }
+    for (const std::string& scheme : server_schemes) {
+      SchemeResult r =
+          RunServerSideScheme(scheme, alphas[a], key_space, total_ops);
+      std::printf("%-12s %6.2f %10.3f %8.4f %16llu %10.1f%% %10.3f\n",
+                  scheme.c_str(), alphas[a], r.imbalance, r.jain,
+                  static_cast<unsigned long long>(r.backend_lookups),
+                  r.tier_share * 100.0, r.hit_rate);
+      if (!sweep_json.empty()) sweep_json += ",\n";
+      AppendRow(&sweep_json, scheme.c_str(), alphas[a], r, false);
+    }
+  }
+
+  // Churn leg: the same comparison with mid-run membership changes —
+  // grow by two shards a third of the way in, retire one shard at two
+  // thirds. Ids are authored in plain shard-id space; under the two-layer
+  // topology the engine re-bases them past the cache-node ids.
+  const uint64_t per_client = total_ops / kClients;
+  cluster::ChurnSchedule churn;
+  churn.events.push_back(
+      {per_client / 3, cluster::ChurnAction::kAddServer, 0});
+  churn.events.push_back(
+      {per_client / 3 + 1, cluster::ChurnAction::kAddServer, 0});
+  churn.events.push_back(
+      {2 * per_client / 3, cluster::ChurnAction::kRemoveServer, 2});
+
+  std::string churn_json;
+  std::printf("\nchurn leg (add 2 shards @1/3, remove shard 2 @2/3):\n");
+  for (const char* scheme : {"plain", "distcache"}) {
+    SchemeResult r = RunEngineScheme(scheme, 1.2, key_space, total_ops, &churn);
+    std::printf("%-12s %6.2f %10.3f %8.4f %16llu %10.1f%% migrated=%llu\n",
+                scheme, 1.2, r.imbalance, r.jain,
+                static_cast<unsigned long long>(r.backend_lookups),
+                r.tier_share * 100.0,
+                static_cast<unsigned long long>(r.keys_migrated));
+    if (!churn_json.empty()) churn_json += ",\n";
+    AppendRow(&churn_json, scheme, 1.2, r, true);
+  }
+
+  // Acceptance gate: the two-layer tier must strictly beat plain
+  // consistent hashing on max-shard imbalance at every alpha >= 0.99.
+  bool gate = true;
+  for (size_t a = 0; a < alphas.size(); ++a) {
+    if (!(distcache_imbalance[a] < plain_imbalance[a])) gate = false;
+  }
+
+  std::string json = "{\n \"config\": {";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "\"shards\": %u, \"clients\": %u, \"cache_nodes\": %u, "
+                "\"hot_keys\": %zu, \"epoch_ops\": %llu, \"keys\": %llu, "
+                "\"ops\": %llu, \"read_fraction\": %.2f, \"scale\": \"%s\"},\n",
+                kShards, kClients, kCacheNodes, kHotKeys,
+                static_cast<unsigned long long>(kEpochOps),
+                static_cast<unsigned long long>(key_space),
+                static_cast<unsigned long long>(total_ops), kReadFraction,
+                full ? "full" : "default");
+  json += buf;
+  json += " \"skew_sweep\": [\n" + sweep_json + "\n ],\n";
+  json += " \"churn\": [\n" + churn_json + "\n ],\n";
+  std::snprintf(buf, sizeof(buf),
+                " \"acceptance\": {\"plain_imbalance_alpha_099\": %.3f, "
+                "\"distcache_imbalance_alpha_099\": %.3f, "
+                "\"plain_imbalance_alpha_120\": %.3f, "
+                "\"distcache_imbalance_alpha_120\": %.3f, "
+                "\"distcache_strictly_beats_plain\": %s}\n}\n",
+                plain_imbalance[0], distcache_imbalance[0],
+                plain_imbalance[1], distcache_imbalance[1],
+                gate ? "true" : "false");
+  json += buf;
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!gate) {
+    std::fprintf(stderr,
+                 "ACCEPTANCE FAILED: two-layer imbalance is not strictly "
+                 "below plain hashing at every alpha >= 0.99\n");
+    return 1;
+  }
+  std::printf("acceptance: two-layer max-shard imbalance strictly below "
+              "plain hashing at alpha 0.99 and 1.2\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

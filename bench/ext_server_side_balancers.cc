@@ -60,8 +60,7 @@ SchemeResult RunScheme(const Scheme& scheme, uint64_t key_space,
   }
   if (scheme.use_replication) {
     replicator = std::make_unique<cluster::HotKeyReplicator>(
-        &cluster.ring(), /*hot_share=*/0.02, /*gamma=*/8,
-        /*tracker_size=*/256);
+        8u, /*hot_share=*/0.02, /*gamma=*/8, /*tracker_size=*/256);
   }
 
   std::vector<std::unique_ptr<cluster::FrontendClient>> clients;
@@ -99,7 +98,7 @@ SchemeResult RunScheme(const Scheme& scheme, uint64_t key_space,
           moved_sum += slicer->Rebalance(&cluster);
           ++rebalances;
         }
-        if (replicator) replicator->EndEpoch();
+        if (replicator) replicator->EndEpoch(clients[i]->route_view());
       }
     }
   }

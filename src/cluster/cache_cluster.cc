@@ -21,6 +21,7 @@ CacheCluster::CacheCluster(uint32_t num_servers, uint64_t key_space_size,
                            uint32_t virtual_nodes)
     : ring_(num_servers, virtual_nodes),
       active_(num_servers, true),
+      is_cache_node_(num_servers, false),
       storage_(key_space_size) {
   servers_.reserve(num_servers);
   size_t reserve = PerShardReserve(key_space_size, num_servers);
@@ -112,6 +113,12 @@ void CacheCluster::ResetServerCounters() {
 
 void CacheCluster::MigrateMisownedKeysLocked() {
   for (ServerId id = 0; id < servers_.size(); ++id) {
+    // Upper-tier cache nodes hold intentionally "misowned" copies (their
+    // whole point is serving keys the ring assigns elsewhere); draining
+    // them on every ring change would empty the tier. Their freshness is
+    // the router's contract (AllReplicas covers them on every write), not
+    // migration's.
+    if (is_cache_node_[id]) continue;
     // Inactive shards own nothing, so the predicate drains them entirely
     // (the scale-down handoff). ExtractIf and Adopt each take one shard
     // lock at a time — never nested — so migration cannot deadlock with
@@ -153,17 +160,52 @@ void CacheCluster::ApplyTopologyChangeLocked(Mutate&& mutate) {
 
 ServerId CacheCluster::AddServer() {
   std::unique_lock<std::shared_mutex> lock(topology_mu_);
-  ServerId id = 0;
+  // The new shard's id is its slot in the server vector, which can be
+  // ahead of the ring's own id counter when off-ring cache nodes occupy
+  // intermediate slots — so the id is assigned explicitly rather than
+  // taken from ring_.AddServer().
+  ServerId id = static_cast<ServerId>(servers_.size());
   ApplyTopologyChangeLocked([&] {
-    id = ring_.AddServer();
+    Status s = ring_.AddServerWithId(id);
+    assert(s.ok() && "fresh server id collided on the ring");
+    (void)s;
     servers_.push_back(std::make_unique<BackendServer>());
     servers_.back()->Reserve(
         PerShardReserve(storage_.key_space_size(),
                         ring_.active_server_count()));
     servers_.back()->SetRoutingEpoch(routing_epoch_);
     active_.push_back(true);
+    is_cache_node_.push_back(false);
   });
   return id;
+}
+
+ServerId CacheCluster::AddCacheNode(size_t max_items) {
+  std::unique_lock<std::shared_mutex> lock(topology_mu_);
+  // Not a topology change: the ring is untouched, no ownership moves, so
+  // there is no epoch bump, no fence, and no migration. The snapshot is
+  // republished (same epoch) only so its server vector covers the new id.
+  ServerId id = static_cast<ServerId>(servers_.size());
+  servers_.push_back(std::make_unique<BackendServer>(max_items));
+  servers_.back()->SetRoutingEpoch(routing_epoch_);
+  active_.push_back(false);
+  is_cache_node_.push_back(true);
+  snapshot_.store(MakeSnapshotLocked(), std::memory_order_release);
+  return id;
+}
+
+bool CacheCluster::IsCacheNode(ServerId id) const {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
+  return id < is_cache_node_.size() && is_cache_node_[id];
+}
+
+std::vector<ServerId> CacheCluster::CacheNodeIds() const {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
+  std::vector<ServerId> ids;
+  for (ServerId id = 0; id < is_cache_node_.size(); ++id) {
+    if (is_cache_node_[id]) ids.push_back(id);
+  }
+  return ids;
 }
 
 Status CacheCluster::RemoveServer(ServerId id) {
@@ -192,6 +234,10 @@ Status CacheCluster::RejoinServer(ServerId id) {
   }
   if (active_[id]) {
     return Status::FailedPrecondition("server is already active");
+  }
+  if (is_cache_node_[id]) {
+    return Status::FailedPrecondition(
+        "cache nodes never join the shard ring");
   }
   ApplyTopologyChangeLocked([&] {
     Status s = ring_.AddServerWithId(id);

@@ -146,8 +146,27 @@ class CacheCluster {
 
   /// Returns a previously removed shard to the ring under its old id. It
   /// reclaims its ring ranges, receiving the resident keys via the same
-  /// warm migration. Fails if `id` is unknown or currently active.
+  /// warm migration. Fails if `id` is unknown, currently active, or a
+  /// cache node (the upper tier never joins the shard ring).
   Status RejoinServer(ServerId id);
+
+  /// Adds one *upper-tier cache node* (the DistCache-style two-layer
+  /// topology): a `BackendServer` that never joins the consistent-hash
+  /// ring, owns no key range, and is populated purely by client fills
+  /// routed to it (`DistCacheRouter`). `max_items > 0` bounds it as an
+  /// LRU cache of that many items; 0 = unbounded. Cache nodes are not
+  /// "active" shards: they are excluded from live migration (their
+  /// residents are intentionally misowned copies), from invariant
+  /// ownership checks, and from ring-based imbalance accounting. Returns
+  /// the node's id — drawn from the same ServerId space as shards, so
+  /// clients address both tiers uniformly.
+  ServerId AddCacheNode(size_t max_items = 0);
+
+  /// True if `id` was created by `AddCacheNode`.
+  bool IsCacheNode(ServerId id) const;
+
+  /// Ids of every cache node, in creation order.
+  std::vector<ServerId> CacheNodeIds() const;
 
   /// True if `id` is still serving (present on the ring).
   bool IsActive(ServerId id) const;
@@ -192,6 +211,9 @@ class CacheCluster {
   // unique_ptr to keep the vector growable on AddServer.
   std::vector<std::unique_ptr<BackendServer>> servers_;
   std::vector<bool> active_;
+  // Parallel to servers_: true for upper-tier cache nodes (never on the
+  // ring, exempt from migration and ownership invariants).
+  std::vector<bool> is_cache_node_;
   uint64_t routing_epoch_ = 1;
   uint64_t topology_changes_ = 0;
   uint64_t keys_migrated_ = 0;

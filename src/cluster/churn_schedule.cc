@@ -262,19 +262,24 @@ Status VerifyClusterInvariants(CacheCluster& cluster) {
   const uint32_t n = cluster.server_count();
   for (ServerId id = 0; id < n; ++id) {
     const bool is_active = cluster.IsActive(id);
+    // Upper-tier cache nodes hold copies of keys the ring assigns to
+    // shards — that is their function — so the ownership and
+    // removed-shard-empty checks don't apply to them. The no-stale-copy
+    // check below still does: a cache-node value must match storage.
+    const bool is_cache_node = cluster.IsCacheNode(id);
     // Collect first (ForEach holds the shard lock; OwnerOf/storage reads
     // must not run under it).
     std::vector<std::pair<uint64_t, cache::Value>> resident;
     cluster.server(id).ForEach([&](uint64_t key, cache::Value value) {
       resident.emplace_back(key, value);
     });
-    if (!is_active && !resident.empty()) {
+    if (!is_active && !is_cache_node && !resident.empty()) {
       return Status::Internal("removed shard " + std::to_string(id) +
                               " still holds " +
                               std::to_string(resident.size()) + " keys");
     }
     for (const auto& [key, value] : resident) {
-      if (cluster.OwnerOf(key) != id) {
+      if (!is_cache_node && cluster.OwnerOf(key) != id) {
         return Status::Internal(
             "shard " + std::to_string(id) + " holds key " +
             std::to_string(key) + " owned by shard " +

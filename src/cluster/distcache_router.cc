@@ -1,0 +1,104 @@
+#include "cluster/distcache_router.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/hash.h"
+
+namespace cot::cluster {
+
+DistCacheRouter::DistCacheRouter(std::vector<ServerId> cache_nodes,
+                                 DistCacheConfig config)
+    : config_(config),
+      tracker_(std::max<size_t>(1, config.hot_keys * 2)) {
+  assert(config_.epoch_ops >= 1);
+  ResetCacheTier(std::move(cache_nodes));
+}
+
+void DistCacheRouter::ResetCacheTier(std::vector<ServerId> cache_nodes) {
+  cache_nodes_ = std::move(cache_nodes);
+  split_ = cache_nodes_.size() / 2 + cache_nodes_.size() % 2;
+  node_slot_.clear();
+  node_slot_.reserve(cache_nodes_.size());
+  for (uint32_t i = 0; i < cache_nodes_.size(); ++i) {
+    node_slot_[cache_nodes_[i]] = i;
+  }
+  loads_.assign(cache_nodes_.size(), 0);
+  hot_.clear();
+  hot_.reserve(config_.hot_keys);
+  ops_in_epoch_ = 0;
+}
+
+DistCacheRouter::Candidates DistCacheRouter::CandidatesFor(
+    uint64_t key) const {
+  assert(two_layer());
+  const size_t a_size = split_;
+  const size_t b_size = cache_nodes_.size() - split_;
+  // Two independently-salted placements, one per partition. Candidates are
+  // distinct for every key by construction: A and B index disjoint ranges
+  // of the node list.
+  Candidates c;
+  c.a = cache_nodes_[HashPair(key, config_.salt_a) % a_size];
+  c.b = cache_nodes_[split_ + HashPair(key, config_.salt_b) % b_size];
+  return c;
+}
+
+uint64_t DistCacheRouter::LoadEstimate(ServerId node) const {
+  auto it = node_slot_.find(node);
+  return it == node_slot_.end() ? 0 : loads_[it->second];
+}
+
+void DistCacheRouter::EndEpoch() {
+  ++epochs_completed_;
+  ops_in_epoch_ = 0;
+  // Rebuild the hot set from the tracker's current top cut.
+  hot_.clear();
+  size_t taken = 0;
+  for (const auto& [key, hotness] : tracker_.SortedByHotnessDesc()) {
+    if (taken >= config_.hot_keys) break;
+    (void)hotness;
+    hot_[key] = 1;
+    ++taken;
+  }
+  // Age both signals: halving keeps recent traffic dominant while bounding
+  // estimate staleness (see DistCacheConfig::epoch_ops).
+  for (uint64_t& load : loads_) load /= 2;
+  tracker_.HalveAllHotness();
+}
+
+ServerId DistCacheRouter::Route(uint64_t key, const RouteView& view) {
+  // Every routing decision is one observation for the control plane.
+  tracker_.TrackAccess(key, core::AccessType::kRead);
+  if (++ops_in_epoch_ >= config_.epoch_ops) EndEpoch();
+  if (!two_layer() || hot_.count(key) == 0) {
+    return view.ring->ServerFor(key);
+  }
+  const Candidates c = CandidatesFor(key);
+  const uint64_t load_a = loads_[node_slot_.find(c.a)->second];
+  const uint64_t load_b = loads_[node_slot_.find(c.b)->second];
+  // Power of two choices; ties go to the lower id so the decision is a
+  // total function of (stream, tier, salts).
+  if (load_a < load_b) return c.a;
+  if (load_b < load_a) return c.b;
+  return std::min(c.a, c.b);
+}
+
+std::vector<ServerId> DistCacheRouter::AllReplicas(uint64_t key,
+                                                   const RouteView& view) {
+  if (!two_layer()) return {view.ring->ServerFor(key)};
+  const Candidates c = CandidatesFor(key);
+  // Unconditionally fan out to both candidates plus the shard owner: a
+  // key's cache copies can outlive its hot-set membership, so every write
+  // must reach every node that could ever serve the key.
+  return {c.a, c.b, view.ring->ServerFor(key)};
+}
+
+void DistCacheRouter::OnLookup(uint64_t key, ServerId server) {
+  (void)key;
+  // Load estimates count delivered lookups per cache node (shard-tier
+  // lookups are not the upper layer's load).
+  auto it = node_slot_.find(server);
+  if (it != node_slot_.end()) ++loads_[it->second];
+}
+
+}  // namespace cot::cluster

@@ -1,0 +1,132 @@
+#ifndef COT_CLUSTER_DISTCACHE_ROUTER_H_
+#define COT_CLUSTER_DISTCACHE_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/routing.h"
+#include "core/space_saving_tracker.h"
+#include "util/flat_hash_map.h"
+
+namespace cot::cluster {
+
+/// Knobs for `DistCacheRouter`.
+struct DistCacheConfig {
+  /// Hot-set size: at most this many keys are routed to the cache layer.
+  /// The underlying space-saving tracker holds 2x this many keys so the
+  /// top-`hot_keys` cut is taken from a wider candidate pool.
+  size_t hot_keys = 64;
+  /// Routed operations between control-plane epochs (hot-set rebuild +
+  /// load-estimate halving). Bounds load-estimate staleness: an estimate
+  /// is always < 2 * epoch_ops (geometric series of per-epoch halvings).
+  uint64_t epoch_ops = 1024;
+  /// Salts of the two independent partition hash functions. Distinct by
+  /// default; tests may override to probe independence properties.
+  uint64_t salt_a = 0x9E3779B97F4A7C15ULL;
+  uint64_t salt_b = 0xC2B2AE3D27D4EB4FULL;
+};
+
+/// DistCache-style two-layer routing (Liu et al., NSDI 2019): a small
+/// upper layer of cache nodes (`CacheCluster::AddCacheNode`) is split into
+/// two *independent hash partitions*; every key has exactly one candidate
+/// node in each partition, placed by two independently-salted hashes. Hot
+/// keys are routed to the **less loaded** of their two candidates
+/// (power-of-two-choices), which is what gives DistCache its provable
+/// load-balance guarantee: with two independent placements per key, the
+/// max cache-node load concentrates near the mean even under adversarial
+/// skew. Cold keys take the normal consistent-hash path to the shard tier.
+///
+/// Mapped onto this substrate, per front-end client (the router carries
+/// per-client state — a hot-set tracker and load estimates — so each
+/// client owns a private instance; behaviour is then a pure function of
+/// the client's own request stream, preserving per-client determinism):
+///   - `Route` observes every access in a space-saving tracker; every
+///     `epoch_ops` routed ops the hot set is rebuilt from the tracker's
+///     top `hot_keys` keys and the per-node load estimates are halved;
+///   - a hot key goes to the less-loaded candidate (ties to the lower
+///     id); a cold key goes to `view.ring->ServerFor(key)`;
+///   - `AllReplicas` *always* returns {candidate A, candidate B, ring
+///     owner}: a write invalidates both possible cache copies and the
+///     shard copy, so no reconfiguration of the hot set can strand a
+///     stale replica — a key demoted from the hot set may leave copies on
+///     its candidates, and those copies must keep seeing invalidations in
+///     case the key is promoted again. The three targets are pairwise
+///     distinct by construction (disjoint partitions; cache nodes never
+///     join the ring).
+///
+/// The router is RNG-free: decisions depend only on the access stream,
+/// the cache-node list, and the salts.
+class DistCacheRouter : public RoutingPolicy {
+ public:
+  /// The two candidate cache nodes of a key, one per partition.
+  struct Candidates {
+    ServerId a = 0;
+    ServerId b = 0;
+  };
+
+  /// Creates a router over `cache_nodes` (ids from
+  /// `CacheCluster::AddCacheNode`, in any order; the first half becomes
+  /// partition A, the second half partition B). Fewer than 2 nodes
+  /// degenerates to plain consistent hashing (no cache layer).
+  explicit DistCacheRouter(std::vector<ServerId> cache_nodes,
+                           DistCacheConfig config = DistCacheConfig{});
+
+  ServerId Route(uint64_t key, const RouteView& view) override;
+  std::vector<ServerId> AllReplicas(uint64_t key,
+                                    const RouteView& view) override;
+  void OnLookup(uint64_t key, ServerId server) override;
+
+  /// The two candidates of `key` under the current partitioning.
+  /// Meaningful only with >= 2 cache nodes.
+  Candidates CandidatesFor(uint64_t key) const;
+
+  /// True if `key` is currently in the hot set (routed to the cache
+  /// layer).
+  bool IsHot(uint64_t key) const { return hot_.count(key) != 0; }
+
+  /// Current load estimate of cache node `node` (0 for unknown ids).
+  uint64_t LoadEstimate(ServerId node) const;
+
+  /// Forces a control-plane epoch now: rebuild the hot set from the
+  /// tracker's top `hot_keys` keys, halve load estimates, age the
+  /// tracker. Normally driven automatically every `epoch_ops` routed ops.
+  void EndEpoch();
+
+  /// Reconfigures the cache tier (elastic cache-layer scaling): replaces
+  /// the node list and re-partitions, clearing the hot set and the load
+  /// estimates (the first epoch after a reconfiguration routes via the
+  /// ring while the tracker re-derives the hot set). The caller MUST
+  /// flush every cache node — old and new — cold
+  /// (`CacheCluster::ForceColdRestart`): candidates change with the
+  /// partitioning, and a copy stranded on an ex-candidate would stop
+  /// receiving invalidations.
+  void ResetCacheTier(std::vector<ServerId> cache_nodes);
+
+  const std::vector<ServerId>& cache_nodes() const { return cache_nodes_; }
+  /// Nodes in partition A / partition B (A takes the extra node when the
+  /// tier size is odd).
+  size_t partition_a_size() const { return split_; }
+  size_t partition_b_size() const { return cache_nodes_.size() - split_; }
+  /// True when the cache layer is in play (>= 2 nodes, one per partition).
+  bool two_layer() const { return cache_nodes_.size() >= 2; }
+  /// Control-plane epochs completed (automatic + forced).
+  uint64_t epochs_completed() const { return epochs_completed_; }
+  const DistCacheConfig& config() const { return config_; }
+
+ private:
+  DistCacheConfig config_;
+  std::vector<ServerId> cache_nodes_;
+  size_t split_ = 0;  // cache_nodes_[0, split) = A, [split, n) = B
+  /// ServerId -> index into loads_ (parallel to cache_nodes_).
+  FlatHashMap<uint64_t, uint32_t> node_slot_;
+  std::vector<uint64_t> loads_;
+  /// Hot set as of the last epoch boundary (value unused).
+  FlatHashMap<uint64_t, uint8_t> hot_;
+  core::SpaceSavingTracker tracker_;
+  uint64_t ops_in_epoch_ = 0;
+  uint64_t epochs_completed_ = 0;
+};
+
+}  // namespace cot::cluster
+
+#endif  // COT_CLUSTER_DISTCACHE_ROUTER_H_

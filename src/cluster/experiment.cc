@@ -5,9 +5,11 @@
 #include <condition_variable>
 #include <cstdio>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "cluster/cache_cluster.h"
+#include "cluster/distcache_router.h"
 #include "metrics/imbalance.h"
 
 namespace cot::cluster {
@@ -171,6 +173,23 @@ class ChurnBarrier {
 
 }  // namespace
 
+StatusOr<Topology> ParseTopology(const std::string& name) {
+  if (name == "ring") return Topology::kRing;
+  if (name == "distcache") return Topology::kDistCache;
+  return Status::InvalidArgument("unknown topology '" + name +
+                                 "' (valid: ring, distcache)");
+}
+
+const char* ToString(Topology topology) {
+  switch (topology) {
+    case Topology::kRing:
+      return "ring";
+    case Topology::kDistCache:
+      return "distcache";
+  }
+  return "?";
+}
+
 void ExportMetrics(ExperimentResult* result) {
   metrics::MetricsRegistry& reg = result->metrics;
   const FrontendStats& a = result->aggregate;
@@ -205,6 +224,10 @@ void ExportMetrics(ExperimentResult* result) {
     std::snprintf(name, sizeof(name), "shard/%zu/unavailable_ops", i);
     reg.SetCounter(name, result->unavailable_ops_per_server[i]);
   }
+  for (size_t i = 0; i < result->cache_node_lookups.size(); ++i) {
+    std::snprintf(name, sizeof(name), "cache_node/%zu/lookups", i);
+    reg.SetCounter(name, result->cache_node_lookups[i]);
+  }
   reg.SetCounter("churn/topology_changes", result->topology_changes);
   reg.SetCounter("churn/keys_migrated", result->keys_migrated);
   reg.SetCounter("churn/epoch_rejects", result->epoch_rejects);
@@ -235,6 +258,11 @@ StatusOr<ExperimentResult> RunExperiment(
   if (config.num_threads == 0) {
     return Status::InvalidArgument("num_threads must be >= 1");
   }
+  if (config.topology == Topology::kDistCache && config.cache_nodes < 2) {
+    return Status::InvalidArgument(
+        "distcache topology needs cache_nodes >= 2 (one per independent "
+        "partition)");
+  }
 
   // Per-client op budget: split total_ops evenly; a single phase with
   // num_ops == 0 absorbs the whole per-client budget.
@@ -244,25 +272,53 @@ StatusOr<ExperimentResult> RunExperiment(
     phases[0].num_ops = ops_per_client;
   }
 
-  if (!config.churn.empty()) {
-    Status s = config.churn.Validate(config.num_servers);
+  ChurnSchedule churn = config.churn;
+  if (!churn.empty()) {
+    Status s = churn.Validate(config.num_servers);
     if (!s.ok()) return s;
   }
 
-  std::unique_ptr<FaultInjector> injector;
-  if (!config.faults.empty()) {
+  FaultSchedule faults = config.faults;
+  if (!faults.empty()) {
     // Validate against the *largest* tier the run reaches: a fault window
     // may legitimately target a shard that churn only creates mid-run.
-    Status s = config.faults.Validate(
-        config.churn.MaxServerCount(config.num_servers));
+    Status s = faults.Validate(churn.MaxServerCount(config.num_servers));
     if (!s.ok()) return s;
-    injector = std::make_unique<FaultInjector>(config.faults);
+  }
+
+  // Schedules are authored in plain shard-id space, where the j-th
+  // churn-added shard gets id num_servers + j. kDistCache inserts
+  // `cache_nodes` ids between the initial shards and any added shards, so
+  // after validating in the authored space, re-base references to added
+  // shards onto the actual id space.
+  if (config.topology == Topology::kDistCache) {
+    for (ChurnEvent& e : churn.events) {
+      if (e.server >= config.num_servers) e.server += config.cache_nodes;
+    }
+    for (FaultEvent& e : faults.events) {
+      if (e.server >= config.num_servers) e.server += config.cache_nodes;
+    }
+  }
+
+  std::unique_ptr<FaultInjector> injector;
+  if (!faults.empty()) {
+    injector = std::make_unique<FaultInjector>(faults);
   }
 
   CacheCluster cluster(config.num_servers, config.key_space,
                        config.virtual_nodes);
   if (config.preload_backend) {
     PreloadBackend(cluster, config.key_space, config.num_threads);
+  }
+
+  // Upper cache tier (kDistCache): off-ring nodes, created after the
+  // preload so their lookup counters only ever see routed traffic.
+  std::vector<ServerId> cache_node_ids;
+  if (config.topology == Topology::kDistCache) {
+    cache_node_ids.reserve(config.cache_nodes);
+    for (uint32_t i = 0; i < config.cache_nodes; ++i) {
+      cache_node_ids.push_back(cluster.AddCacheNode(config.cache_node_items));
+    }
   }
 
   // One shared retry-budget bucket per run (opt-in; see FailurePolicy).
@@ -276,11 +332,25 @@ StatusOr<ExperimentResult> RunExperiment(
   std::vector<std::unique_ptr<FrontendClient>> clients;
   std::vector<workload::OpStream> streams;
   std::vector<std::unique_ptr<metrics::EventTracer>> tracers;
+  // One private router per client (kDistCache): routers are stateful (hot
+  // set, load estimates), so sharing one across threads would race and —
+  // worse — make per-client stats depend on interleaving.
+  std::vector<std::unique_ptr<DistCacheRouter>> routers;
   clients.reserve(config.num_clients);
   streams.reserve(config.num_clients);
+  if (config.topology == Topology::kDistCache) {
+    routers.reserve(config.num_clients);
+  }
   for (uint32_t i = 0; i < config.num_clients; ++i) {
     clients.push_back(std::make_unique<FrontendClient>(
         &cluster, factory ? factory(i) : nullptr));
+    if (config.topology == Topology::kDistCache) {
+      DistCacheConfig dc;
+      dc.hot_keys = config.distcache_hot_keys;
+      dc.epoch_ops = config.distcache_epoch_ops;
+      routers.push_back(std::make_unique<DistCacheRouter>(cache_node_ids, dc));
+      clients.back()->SetRouter(routers.back().get());
+    }
     if (injector != nullptr) {
       clients.back()->SetFaultInjector(injector.get(), i,
                                        config.failure_policy);
@@ -309,11 +379,11 @@ StatusOr<ExperimentResult> RunExperiment(
   // num_clients — its (client, seq) keys merge deterministically after
   // every real client's events.
   std::unique_ptr<metrics::EventTracer> controller_tracer;
-  if (config.trace_capacity > 0 && !config.churn.empty()) {
+  if (config.trace_capacity > 0 && !churn.empty()) {
     controller_tracer = std::make_unique<metrics::EventTracer>(
         config.trace_capacity, config.num_clients);
   }
-  const std::vector<ChurnEventGroup> groups = GroupChurnEvents(config.churn);
+  const std::vector<ChurnEventGroup> groups = GroupChurnEvents(churn);
 
   uint32_t num_threads = std::min(config.num_threads, config.num_clients);
   if (num_threads <= 1) {
@@ -327,6 +397,12 @@ StatusOr<ExperimentResult> RunExperiment(
       DriveClientsUntil(all, clients, streams, group.at_op,
                         config.batch_size);
       ApplyChurnGroup(group, cluster, controller_tracer.get());
+      // Router clients route through the unfenced path, so the barrier is
+      // their only chance to observe the new ring. Ring clients keep their
+      // stale snapshot on purpose — the epoch fence is what catches them.
+      for (uint32_t i : all) {
+        if (clients[i]->router() != nullptr) clients[i]->RefreshRouteView();
+      }
     }
     DriveClientsUntil(all, clients, streams, UINT64_MAX, config.batch_size);
   } else {
@@ -346,6 +422,11 @@ StatusOr<ExperimentResult> RunExperiment(
         barrier.ArriveAndWait([&] {
           ApplyChurnGroup(group, cluster, controller_tracer.get());
         });
+        // Same refresh as the serial engine, but each thread refreshes only
+        // its own clients — no client is touched off its driving thread.
+        for (uint32_t i : mine) {
+          if (clients[i]->router() != nullptr) clients[i]->RefreshRouteView();
+        }
       }
       DriveClientsUntil(mine, clients, streams, UINT64_MAX,
                         config.batch_size);
@@ -359,7 +440,25 @@ StatusOr<ExperimentResult> RunExperiment(
   }
 
   ExperimentResult result;
-  result.per_server_lookups = cluster.PerServerLookups();
+  std::vector<uint64_t> all_lookups = cluster.PerServerLookups();
+  result.cache_node_ids = cluster.CacheNodeIds();
+  if (result.cache_node_ids.empty()) {
+    result.per_server_lookups = std::move(all_lookups);
+  } else {
+    // Partition loads: `imbalance` is the *shard* imbalance (comparable to
+    // ring runs); cache-node loads are reported alongside, not mixed in.
+    std::vector<bool> is_cache(all_lookups.size(), false);
+    result.cache_node_lookups.reserve(result.cache_node_ids.size());
+    for (ServerId id : result.cache_node_ids) {
+      is_cache[id] = true;
+      result.cache_node_lookups.push_back(all_lookups[id]);
+    }
+    result.per_server_lookups.reserve(all_lookups.size() -
+                                      result.cache_node_ids.size());
+    for (size_t i = 0; i < all_lookups.size(); ++i) {
+      if (!is_cache[i]) result.per_server_lookups.push_back(all_lookups[i]);
+    }
+  }
   result.imbalance = metrics::LoadImbalance(result.per_server_lookups);
   result.total_backend_lookups =
       metrics::TotalLoad(result.per_server_lookups);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/cache.h"
@@ -17,6 +18,24 @@
 #include "workload/op_stream.h"
 
 namespace cot::cluster {
+
+/// Cluster topology of a run.
+enum class Topology {
+  /// The paper's architecture: shards behind a consistent-hash ring (the
+  /// default; routers like SliceMap may still be attached by drivers).
+  kRing,
+  /// DistCache-style two layers: a small upper cache layer in independent
+  /// hash partitions with power-of-two-choices routing of hot keys
+  /// (`DistCacheRouter`), over the same ring + storage substrate.
+  kDistCache,
+};
+
+/// Parses a topology name ("ring", "distcache"). Unknown names fail with
+/// an InvalidArgument status that lists the valid values.
+StatusOr<Topology> ParseTopology(const std::string& name);
+
+/// Canonical name of `topology`.
+const char* ToString(Topology topology);
 
 /// Declarative description of one cluster run, mirroring the paper's
 /// experimental setup (Section 5.1): N memcached shards, M client threads
@@ -75,6 +94,21 @@ struct ExperimentConfig {
   /// transport (locks, fault draws, epoch checks), it does not reorder
   /// the stream.
   uint32_t batch_size = 1;
+  /// Cluster topology (see `Topology`). kDistCache adds `cache_nodes`
+  /// upper-tier cache nodes and gives every client a private
+  /// `DistCacheRouter`; clients then refresh their route views at every
+  /// churn barrier (the router path is unfenced, so the barrier — not the
+  /// epoch fence — is what keeps routing views current under churn).
+  Topology topology = Topology::kRing;
+  /// Upper-tier cache nodes (kDistCache only; must be >= 2 — one per
+  /// independent partition).
+  uint32_t cache_nodes = 4;
+  /// Per-cache-node LRU capacity in items; 0 = unbounded (kDistCache).
+  size_t cache_node_items = 0;
+  /// Hot-set size per client router (kDistCache).
+  size_t distcache_hot_keys = 64;
+  /// Routed ops between router control-plane epochs (kDistCache).
+  uint64_t distcache_epoch_ops = 1024;
   /// Structured event tracing: ring-buffer slots retained *per client*
   /// (resizer decisions, epoch boundaries, breaker transitions, fault
   /// activations, retry episodes). 0 — the default — disables tracing
@@ -93,10 +127,17 @@ using CacheFactory =
 
 /// Aggregated outcome of a run.
 struct ExperimentResult {
-  /// Lookup load per shard, counted at the shards.
+  /// Lookup load per shard, counted at the shards. Under kDistCache this
+  /// covers ring shards only — cache-node load is reported separately in
+  /// `cache_node_lookups`, so `imbalance` stays the *shard* imbalance the
+  /// paper measures and two-layer runs are comparable to ring runs.
   std::vector<uint64_t> per_server_lookups;
   /// max/min of `per_server_lookups` (the paper's load-imbalance).
   double imbalance = 1.0;
+  /// Upper-tier cache nodes, in creation order (empty under kRing).
+  std::vector<ServerId> cache_node_ids;
+  /// Lookup load per cache node, parallel to `cache_node_ids`.
+  std::vector<uint64_t> cache_node_lookups;
   /// Total lookups that reached the back-end.
   uint64_t total_backend_lookups = 0;
   /// Reads/updates/hits aggregated over all clients.

@@ -324,10 +324,11 @@ cache::Value FrontendClient::GetImpl(Key key, OpOutcome* outcome) {
     }
   }
   if (router_ != nullptr) {
-    // Router path (server-side balancing comparators): replica placement
-    // is the router's business, not the ring's, so requests use the
-    // legacy unfenced shard ops.
-    ServerId sid = router_->Route(key);
+    // Router path (server-side balancing comparators, two-layer
+    // topologies): replica placement is the router's business, not the
+    // ring's, so requests use the legacy unfenced shard ops. The routing
+    // decision itself reads only this client's immutable route view.
+    ServerId sid = router_->Route(key, route_view());
     EnsureServerCapacity(sid);
     if (fault_injector_ != nullptr) {
       if (BreakerBlocks(sid, now)) {
@@ -696,7 +697,7 @@ void FrontendClient::SetImpl(Key key, Value value, OpOutcome* outcome) {
   if (router_ != nullptr) {
     // The update must reach every replica of the key (the router owns
     // replica placement, so targets come from it, unfenced).
-    for (ServerId sid : router_->AllReplicas(key)) {
+    for (ServerId sid : router_->AllReplicas(key, route_view())) {
       EnsureServerCapacity(sid);
       DeliverInvalidation(sid, key, shard_value, now, outcome);
     }

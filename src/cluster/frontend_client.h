@@ -173,10 +173,26 @@ class FrontendClient {
   FrontendClient(CacheCluster* cluster,
                  std::unique_ptr<cache::Cache> local_cache);
 
-  /// Replaces consistent-hash routing with `router` (borrowed; typically
-  /// shared across clients) — how the server-side balancing comparators
-  /// (SliceMap, HotKeyReplicator) plug in. Pass null to restore the ring.
+  /// Replaces consistent-hash routing with `router` (borrowed) — how the
+  /// server-side balancing comparators (SliceMap, HotKeyReplicator) and
+  /// the two-layer DistCache topology (DistCacheRouter) plug in. Routing
+  /// decisions are made against this client's immutable route view (see
+  /// `route_view()`), so the policy never races topology mutations. Pass
+  /// null to restore the ring. Routers carrying per-client state (load
+  /// estimates, hot sets) must be private to one client to preserve
+  /// per-client determinism; stateless or serially-driven routers may be
+  /// shared.
   void SetRouter(RoutingPolicy* router) { router_ = router; }
+  /// The attached router (null = plain consistent hashing).
+  RoutingPolicy* router() const { return router_; }
+
+  /// The immutable routing view (epoch + ring) this client currently
+  /// decides against — what it hands its router on every Route/AllReplicas
+  /// call. Borrowed from the cached snapshot: valid until the next
+  /// `RefreshRouteView`.
+  RouteView route_view() const {
+    return RouteView{snapshot_->epoch, &snapshot_->ring};
+  }
 
   /// Selects the update-propagation protocol (default: kInvalidate).
   void SetWritePolicy(WritePolicy policy) { write_policy_ = policy; }

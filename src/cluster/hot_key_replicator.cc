@@ -4,36 +4,35 @@
 
 namespace cot::cluster {
 
-HotKeyReplicator::HotKeyReplicator(const ConsistentHashRing* ring,
-                                   double hot_share, uint32_t gamma,
-                                   size_t tracker_size)
-    : ring_(ring),
+HotKeyReplicator::HotKeyReplicator(uint32_t num_servers, double hot_share,
+                                   uint32_t gamma, size_t tracker_size)
+    : num_servers_(num_servers),
       hot_share_(hot_share),
       gamma_(gamma),
       tracker_size_(tracker_size) {
-  assert(ring != nullptr);
+  assert(num_servers >= 1);
   assert(gamma >= 1);
-  uint32_t n = ring->server_count();
-  trackers_.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
+  trackers_.reserve(num_servers);
+  for (uint32_t i = 0; i < num_servers; ++i) {
     trackers_.emplace_back(tracker_size_);
   }
-  epoch_lookups_.assign(n, 0);
+  epoch_lookups_.assign(num_servers, 0);
   // At most tracker_size keys per server can be promoted to hot.
-  replicas_.reserve(static_cast<size_t>(n) * tracker_size_);
+  replicas_.reserve(static_cast<size_t>(num_servers) * tracker_size_);
 }
 
-ServerId HotKeyReplicator::Route(uint64_t key) {
+ServerId HotKeyReplicator::Route(uint64_t key, const RouteView& view) {
   auto it = replicas_.find(key);
-  if (it == replicas_.end()) return ring_->ServerFor(key);
+  if (it == replicas_.end()) return view.ring->ServerFor(key);
   // Spread this key's lookups across its replica set.
   const std::vector<ServerId>& set = it->second;
   return set[rotation_++ % set.size()];
 }
 
-std::vector<ServerId> HotKeyReplicator::AllReplicas(uint64_t key) {
+std::vector<ServerId> HotKeyReplicator::AllReplicas(uint64_t key,
+                                                    const RouteView& view) {
   auto it = replicas_.find(key);
-  if (it == replicas_.end()) return {ring_->ServerFor(key)};
+  if (it == replicas_.end()) return {view.ring->ServerFor(key)};
   return it->second;
 }
 
@@ -42,10 +41,9 @@ void HotKeyReplicator::OnLookup(uint64_t key, ServerId server) {
   ++epoch_lookups_[server];
 }
 
-std::vector<uint64_t> HotKeyReplicator::EndEpoch() {
+std::vector<uint64_t> HotKeyReplicator::EndEpoch(const RouteView& view) {
   std::vector<uint64_t> broadcast;
-  uint32_t n = ring_->server_count();
-  for (uint32_t s = 0; s < n; ++s) {
+  for (uint32_t s = 0; s < num_servers_; ++s) {
     uint64_t load = epoch_lookups_[s];
     if (load == 0) continue;
     double threshold = hot_share_ * static_cast<double>(load);
@@ -53,11 +51,11 @@ std::vector<uint64_t> HotKeyReplicator::EndEpoch() {
       if (hotness < threshold) break;  // sorted: rest are colder
       if (replicas_.count(key) != 0) continue;
       // Replicate to gamma servers: the home server plus its successors.
-      ServerId home = ring_->ServerFor(key);
+      ServerId home = view.ring->ServerFor(key);
       std::vector<ServerId> set;
       set.reserve(gamma_);
-      for (uint32_t g = 0; g < gamma_ && g < n; ++g) {
-        set.push_back((home + g) % n);
+      for (uint32_t g = 0; g < gamma_ && g < num_servers_; ++g) {
+        set.push_back((home + g) % num_servers_);
       }
       replicas_[key] = std::move(set);
       broadcast.push_back(key);

@@ -21,31 +21,37 @@ namespace cot::cluster {
 /// Mapped onto this substrate:
 ///   - per-server space-saving trackers stand in for the servers' hot-spot
 ///     detectors (`OnLookup` feeds them);
-///   - `EndEpoch()` runs the detection/replication decision and returns
+///   - `EndEpoch(view)` runs the detection/replication decision and returns
 ///     the keys newly replicated this epoch (the "broadcast", whose cost a
 ///     real deployment pays in fan-out messages);
 ///   - `Route` hashes each lookup of a replicated key across its replica
 ///     set; `AllReplicas` lets invalidations reach every copy.
+///
+/// Home-server resolution goes through the caller's `RouteView` (the
+/// immutable snapshot ring), so routing decisions never race topology
+/// mutations; un-replicated keys fall through to plain consistent hashing.
 ///
 /// The contrast with CoT the paper draws: replication still serves every
 /// lookup from the back-end (no load *reduction*), needs server + client
 /// coordination, and multiplies update costs by gamma.
 class HotKeyReplicator : public RoutingPolicy {
  public:
-  /// Creates a replicator over `ring` (borrowed). A key is replicated when
-  /// it exceeds `hot_share` of its home server's epoch load; replicas are
-  /// spread over `gamma` servers. Each server tracks `tracker_size` keys.
-  HotKeyReplicator(const ConsistentHashRing* ring, double hot_share = 0.05,
-                   uint32_t gamma = 4, size_t tracker_size = 64);
+  /// Creates a replicator over a tier of `num_servers` servers. A key is
+  /// replicated when it exceeds `hot_share` of its home server's epoch
+  /// load; replicas are spread over `gamma` servers. Each server tracks
+  /// `tracker_size` keys.
+  explicit HotKeyReplicator(uint32_t num_servers, double hot_share = 0.05,
+                            uint32_t gamma = 4, size_t tracker_size = 64);
 
-  ServerId Route(uint64_t key) override;
-  std::vector<ServerId> AllReplicas(uint64_t key) override;
+  ServerId Route(uint64_t key, const RouteView& view) override;
+  std::vector<ServerId> AllReplicas(uint64_t key,
+                                    const RouteView& view) override;
   void OnLookup(uint64_t key, ServerId server) override;
 
   /// Runs each server's hot-key detection over the epoch's observations;
-  /// newly hot keys are replicated and returned (the broadcast set).
-  /// Epoch counters reset.
-  std::vector<uint64_t> EndEpoch();
+  /// newly hot keys are replicated (home = `view.ring->ServerFor`) and
+  /// returned (the broadcast set). Epoch counters reset.
+  std::vector<uint64_t> EndEpoch(const RouteView& view);
 
   /// True if `key` currently has a replica set.
   bool IsReplicated(uint64_t key) const {
@@ -57,7 +63,7 @@ class HotKeyReplicator : public RoutingPolicy {
   uint32_t gamma() const { return gamma_; }
 
  private:
-  const ConsistentHashRing* ring_;
+  uint32_t num_servers_;
   double hot_share_;
   uint32_t gamma_;
   size_t tracker_size_;

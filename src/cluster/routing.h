@@ -7,27 +7,52 @@
 
 namespace cot::cluster {
 
+/// The routing state a policy decides against: the client's cached
+/// `RingSnapshot` view, broken out as (epoch, ring). The view is immutable
+/// — `FrontendClient` builds it from the `shared_ptr<const RingSnapshot>`
+/// it already holds for the fenced serving path — so a policy reading it
+/// can never race a topology mutation, no matter when `CacheCluster`
+/// mutates the live ring. Policies that need the current topology (the
+/// plain ring router, the distcache cold path) read `ring`; policies with
+/// their own placement tables (SliceMap) may ignore it.
+///
+/// The view is passed per call rather than stored: a client refreshes its
+/// snapshot after a fenced rejection or a churn barrier, and the very next
+/// routing decision sees the new view with no policy-side invalidation
+/// hook required.
+struct RouteView {
+  /// Routing epoch of the snapshot the view was taken from.
+  uint64_t epoch = 0;
+  /// The ring as of that epoch (borrowed from the immutable snapshot;
+  /// never null when handed out by `FrontendClient`).
+  const ConsistentHashRing* ring = nullptr;
+};
+
 /// Key-to-server routing policy used by `FrontendClient`. The default is
 /// plain consistent hashing (`RingRouter`); the server-side load-balancing
 /// comparators from the paper's related work (Slicer-style slice
-/// reassignment, hot-key replication) plug in here, so they can be
-/// compared against — and composed with — CoT's front-end caching on the
-/// same substrate.
+/// reassignment, hot-key replication) and the DistCache-style two-layer
+/// topology (`DistCacheRouter`) plug in here, so they can be compared
+/// against — and composed with — CoT's front-end caching on the same
+/// substrate.
 ///
-/// Implementations may be shared by many clients (the simulation is
-/// single-threaded).
+/// Implementations may be shared by clients driven from one thread;
+/// parallel experiment drivers give each client its own instance (routing
+/// state is part of the client's deterministic logical state).
 class RoutingPolicy {
  public:
   virtual ~RoutingPolicy() = default;
 
-  /// Server to send one lookup of `key` to. Stateful policies may rotate
-  /// among replicas.
-  virtual ServerId Route(uint64_t key) = 0;
+  /// Server to send one lookup of `key` to, deciding against `view`.
+  /// Stateful policies may rotate among replicas.
+  virtual ServerId Route(uint64_t key, const RouteView& view) = 0;
 
-  /// Every server holding `key` (invalidations must reach all replicas).
-  /// Defaults to the single routed server.
-  virtual std::vector<ServerId> AllReplicas(uint64_t key) {
-    return {Route(key)};
+  /// Every server holding `key` (invalidations must reach all replicas —
+  /// a write that skips one leaves a stale copy). Defaults to the single
+  /// routed server.
+  virtual std::vector<ServerId> AllReplicas(uint64_t key,
+                                            const RouteView& view) {
+    return {Route(key, view)};
   }
 
   /// Metadata-collection hook: called after a lookup of `key` was sent to
@@ -40,15 +65,12 @@ class RoutingPolicy {
 };
 
 /// Plain consistent hashing — the paper's baseline key-discovery scheme.
+/// Stateless: it routes with whatever ring the caller's view carries.
 class RingRouter : public RoutingPolicy {
  public:
-  /// Routes via `ring` (borrowed; must outlive the router).
-  explicit RingRouter(const ConsistentHashRing* ring) : ring_(ring) {}
-
-  ServerId Route(uint64_t key) override { return ring_->ServerFor(key); }
-
- private:
-  const ConsistentHashRing* ring_;
+  ServerId Route(uint64_t key, const RouteView& view) override {
+    return view.ring->ServerFor(key);
+  }
 };
 
 }  // namespace cot::cluster

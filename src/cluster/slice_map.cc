@@ -27,7 +27,9 @@ uint32_t SliceMap::SliceOf(uint64_t key) const {
   return static_cast<uint32_t>(Mix64(key) >> slice_shift_);
 }
 
-ServerId SliceMap::Route(uint64_t key) { return assignment_[SliceOf(key)]; }
+ServerId SliceMap::Route(uint64_t key, const RouteView& /*view*/) {
+  return assignment_[SliceOf(key)];
+}
 
 void SliceMap::OnLookup(uint64_t key, ServerId /*server*/) {
   ++slice_load_[SliceOf(key)];

@@ -32,7 +32,9 @@ class SliceMap : public RoutingPolicy {
   /// initially assigned round-robin. `num_slices` must be a power of two.
   SliceMap(uint32_t num_servers, uint32_t num_slices = 4096);
 
-  ServerId Route(uint64_t key) override;
+  /// Routes via the slice assignment table; the ring view is ignored —
+  /// Slicer's placement is its own, not consistent hashing's.
+  ServerId Route(uint64_t key, const RouteView& view) override;
   void OnLookup(uint64_t key, ServerId server) override;
 
   /// Runs the reassignment optimization over the load observed since the

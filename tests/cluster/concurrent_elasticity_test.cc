@@ -17,6 +17,7 @@
 #include "cache/lru_cache.h"
 #include "cluster/cache_cluster.h"
 #include "cluster/frontend_client.h"
+#include "cluster/routing.h"
 
 namespace cot::cluster {
 namespace {
@@ -163,6 +164,71 @@ TEST(ConcurrentElasticityTest, MultiGetReadersSurviveTopologyStorm) {
 
   // Storm: every mutation bumps the routing epoch, so in-flight
   // sub-batches keep getting fenced rejections mid-batch.
+  std::vector<ServerId> added;
+  for (int round = 0; round < 4; ++round) {
+    added.push_back(cluster.AddServer());
+    ASSERT_TRUE(cluster.RemoveServer(added.front()).ok());
+    added.erase(added.begin());
+    added.push_back(cluster.AddServer());
+  }
+
+  stop.store(true);
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(wrong_reads.load(), 0u);
+  for (ServerId id : added) EXPECT_TRUE(cluster.IsActive(id));
+}
+
+TEST(ConcurrentElasticityTest, RouterClientsSurviveTopologyStorm) {
+  // Regression for the RingRouter raw-ring borrow: routing policies now
+  // receive the *client's snapshot* ring through RouteView, so a routed
+  // read never dereferences the live ring that a concurrent membership
+  // change is rewriting (the old API handed routers a ConsistentHashRing*
+  // into the cluster, which churn mutates in place — a use-after-update
+  // race this test reproduces under TSan). Router clients refresh their
+  // views mid-storm, mixing per-op Gets with the MultiGet fallback path.
+  const uint64_t kKeySpace = 4000;
+  CacheCluster cluster(4, kKeySpace);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> wrong_reads{0};
+  const int kReaders = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      FrontendClient client(
+          &cluster, t == 0 ? nullptr
+                           : std::make_unique<cache::LruCache>(64));
+      RingRouter router;
+      client.SetRouter(&router);
+      std::vector<uint64_t> batch(8);
+      uint64_t key = static_cast<uint64_t>(t);
+      uint64_t iter = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (++iter % 32 == 0) client.RefreshRouteView();
+        if (iter % 2 == 0) {
+          for (uint64_t& slot : batch) {
+            slot = key;
+            key = (key + kReaders) % kKeySpace;
+          }
+          std::vector<uint64_t> got = client.MultiGet(batch);
+          for (size_t i = 0; i < batch.size(); ++i) {
+            if (got[i] != StorageLayer::InitialValue(batch[i])) {
+              wrong_reads.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        } else {
+          if (client.Get(key) != StorageLayer::InitialValue(key)) {
+            wrong_reads.fetch_add(1, std::memory_order_relaxed);
+          }
+          key = (key + kReaders) % kKeySpace;
+        }
+      }
+    });
+  }
+
+  // The same storm shape as the MultiGet test: every mutation rewrites
+  // the live ring while routed reads are in flight on stale views.
   std::vector<ServerId> added;
   for (int round = 0; round < 4; ++round) {
     added.push_back(cluster.AddServer());

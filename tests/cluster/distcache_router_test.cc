@@ -1,0 +1,445 @@
+// Property and fuzz tests for the DistCache-style two-layer router: the
+// partition-independence and bounded-ownership properties the p2c load
+// guarantee rests on, determinism under a fixed seed, the load-estimate
+// staleness bound, and a randomized campaign against an O(n) reference
+// router. Plus the topology plumbing: ParseTopology, engine validation,
+// and the invalidate-every-replica integration contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/cache_cluster.h"
+#include "cluster/distcache_router.h"
+#include "cluster/experiment.h"
+#include "cluster/frontend_client.h"
+#include "core/space_saving_tracker.h"
+#include "util/hash.h"
+#include "metrics/imbalance.h"
+#include "util/random.h"
+#include "workload/zipfian_generator.h"
+
+namespace cot::cluster {
+namespace {
+
+DistCacheConfig SmallEpochs(size_t hot_keys = 16, uint64_t epoch_ops = 128) {
+  DistCacheConfig config;
+  config.hot_keys = hot_keys;
+  config.epoch_ops = epoch_ops;
+  return config;
+}
+
+std::vector<ServerId> Nodes(ServerId first, size_t count) {
+  std::vector<ServerId> nodes(count);
+  for (size_t i = 0; i < count; ++i) nodes[i] = first + i;
+  return nodes;
+}
+
+// --- Property: candidates come from distinct, independent partitions. ---
+
+TEST(DistCacheRouterTest, CandidatesAlwaysFromDistinctPartitions) {
+  // For every tier size (odd ones split unevenly) and a fuzzed key set,
+  // candidate A must come from the first partition, candidate B from the
+  // second, so the two candidates of a key are distinct *by construction*
+  // — the property that makes power-of-two-choices meaningful.
+  for (size_t tier : {2u, 3u, 4u, 5u, 7u, 8u}) {
+    SCOPED_TRACE("tier size " + std::to_string(tier));
+    // Non-zero-based ids catch id/index confusion.
+    DistCacheRouter router(Nodes(100, tier), SmallEpochs());
+    ASSERT_TRUE(router.two_layer());
+    EXPECT_EQ(router.partition_a_size() + router.partition_b_size(), tier);
+    EXPECT_GE(router.partition_a_size(), router.partition_b_size());
+    Rng rng(tier * 7919);
+    for (int i = 0; i < 20000; ++i) {
+      uint64_t key = rng.NextUint64();
+      DistCacheRouter::Candidates c = router.CandidatesFor(key);
+      ASSERT_NE(c.a, c.b) << "key " << key;
+      ASSERT_GE(c.a, 100u);
+      ASSERT_LT(c.a, 100u + router.partition_a_size());
+      ASSERT_GE(c.b, 100u + router.partition_a_size());
+      ASSERT_LT(c.b, 100u + tier);
+    }
+  }
+}
+
+TEST(DistCacheRouterTest, OwnershipFractionsBounded) {
+  // No cache node may own an outsized share of the key space in either
+  // partition: each node's candidate fraction stays within a factor of 2
+  // of its fair share (1 / partition size) over a large fuzzed sample.
+  for (size_t tier : {4u, 5u, 8u}) {
+    SCOPED_TRACE("tier size " + std::to_string(tier));
+    DistCacheRouter router(Nodes(0, tier), SmallEpochs());
+    std::map<ServerId, uint64_t> owned_a;
+    std::map<ServerId, uint64_t> owned_b;
+    const int kKeys = 100000;
+    Rng rng(tier * 31337);
+    for (int i = 0; i < kKeys; ++i) {
+      DistCacheRouter::Candidates c = router.CandidatesFor(rng.NextUint64());
+      ++owned_a[c.a];
+      ++owned_b[c.b];
+    }
+    auto check = [&](const std::map<ServerId, uint64_t>& owned,
+                     size_t partition_size, const char* label) {
+      double fair = 1.0 / static_cast<double>(partition_size);
+      EXPECT_EQ(owned.size(), partition_size) << label;
+      for (const auto& [node, count] : owned) {
+        double fraction = static_cast<double>(count) / kKeys;
+        EXPECT_GT(fraction, fair / 2) << label << " node " << node;
+        EXPECT_LT(fraction, fair * 2) << label << " node " << node;
+      }
+    };
+    check(owned_a, router.partition_a_size(), "partition A");
+    check(owned_b, router.partition_b_size(), "partition B");
+  }
+}
+
+// --- Property: deterministic under a fixed seed. ---
+
+TEST(DistCacheRouterTest, IdenticallyFedRoutersDecideIdentically) {
+  // The router is RNG-free: two instances fed the same access stream must
+  // make byte-identical decisions at every step, across epoch boundaries
+  // and hot-set rebuilds included.
+  ConsistentHashRing ring(8);
+  RouteView view{1, &ring};
+  DistCacheRouter lhs(Nodes(8, 4), SmallEpochs());
+  DistCacheRouter rhs(Nodes(8, 4), SmallEpochs());
+  Rng rng(99);
+  workload::ZipfianGenerator gen(5000, 1.1);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t key = gen.Next(rng);
+    ServerId a = lhs.Route(key, view);
+    ServerId b = rhs.Route(key, view);
+    ASSERT_EQ(a, b) << "op " << i << " key " << key;
+    lhs.OnLookup(key, a);
+    rhs.OnLookup(key, b);
+    ASSERT_EQ(lhs.AllReplicas(key, view), rhs.AllReplicas(key, view));
+  }
+  EXPECT_EQ(lhs.epochs_completed(), rhs.epochs_completed());
+  EXPECT_GT(lhs.epochs_completed(), 0u);
+}
+
+// --- Property: load-estimate staleness is bounded. ---
+
+TEST(DistCacheRouterTest, LoadEstimateStalenessBounded) {
+  // Each epoch contributes at most epoch_ops observations and halves the
+  // carried estimate, so an estimate is always < 2 * epoch_ops (geometric
+  // series) — a lookup can never be weighed against arbitrarily old load.
+  const uint64_t kEpochOps = 128;
+  DistCacheRouter router(Nodes(0, 4), SmallEpochs(8, kEpochOps));
+  ConsistentHashRing ring(8);
+  RouteView view{1, &ring};
+  Rng rng(7);
+  // Worst case for a single node: every op lands on node 0.
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t key = rng.NextBelow(64);
+    router.Route(key, view);
+    router.OnLookup(key, /*server=*/0);
+    for (ServerId node : router.cache_nodes()) {
+      ASSERT_LT(router.LoadEstimate(node), 2 * kEpochOps)
+          << "op " << i << " node " << node;
+    }
+  }
+}
+
+// --- Randomized campaign against an O(n) reference router. ---
+
+/// Straight-line reimplementation of the routing semantics with plain
+/// containers and linear scans: same hash placements and epoch cadence,
+/// but independent bookkeeping for the hot set, the load estimates, and
+/// the p2c choice. Divergence means one of the two implementations
+/// mis-handles an epoch boundary, a tie, or a load update.
+class ReferenceRouter {
+ public:
+  ReferenceRouter(std::vector<ServerId> nodes, DistCacheConfig config)
+      : config_(config),
+        nodes_(std::move(nodes)),
+        split_(nodes_.size() / 2 + nodes_.size() % 2),
+        loads_(nodes_.size(), 0),
+        tracker_(config.hot_keys * 2) {}
+
+  ServerId Route(uint64_t key, const ConsistentHashRing& ring) {
+    tracker_.TrackAccess(key, core::AccessType::kRead);
+    if (++ops_ >= config_.epoch_ops) EndEpoch();
+    if (nodes_.size() < 2 || hot_.count(key) == 0) return ring.ServerFor(key);
+    ServerId a = nodes_[HashPair(key, config_.salt_a) % split_];
+    ServerId b =
+        nodes_[split_ + HashPair(key, config_.salt_b) % (nodes_.size() - split_)];
+    uint64_t load_a = LoadOf(a);
+    uint64_t load_b = LoadOf(b);
+    if (load_a != load_b) return load_a < load_b ? a : b;
+    return std::min(a, b);
+  }
+
+  void OnLookup(ServerId server) {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i] == server) ++loads_[i];
+    }
+  }
+
+ private:
+  uint64_t LoadOf(ServerId server) const {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i] == server) return loads_[i];
+    }
+    return 0;
+  }
+
+  void EndEpoch() {
+    ops_ = 0;
+    hot_.clear();
+    for (const auto& [key, hotness] : tracker_.SortedByHotnessDesc()) {
+      if (hot_.size() >= config_.hot_keys) break;
+      (void)hotness;
+      hot_.insert(key);
+    }
+    for (uint64_t& load : loads_) load /= 2;
+    tracker_.HalveAllHotness();
+  }
+
+  DistCacheConfig config_;
+  std::vector<ServerId> nodes_;
+  size_t split_;
+  std::vector<uint64_t> loads_;
+  std::set<uint64_t> hot_;
+  core::SpaceSavingTracker tracker_;
+  uint64_t ops_ = 0;
+};
+
+TEST(DistCacheRouterTest, RandomizedCampaignMatchesReferenceRouter) {
+  for (uint64_t seed : {1ull, 17ull, 4242ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ConsistentHashRing ring(8);
+    RouteView view{1, &ring};
+    const size_t tier = 2 + seed % 4;  // 2..5 nodes, odd splits included
+    DistCacheRouter router(Nodes(20, tier), SmallEpochs(12, 64));
+    ReferenceRouter reference(Nodes(20, tier), SmallEpochs(12, 64));
+    Rng rng(seed);
+    workload::ZipfianGenerator gen(2000, 1.2);
+    for (int i = 0; i < 30000; ++i) {
+      uint64_t key = gen.Next(rng);
+      ServerId got = router.Route(key, view);
+      ServerId want = reference.Route(key, ring);
+      ASSERT_EQ(got, want) << "op " << i << " key " << key;
+      // Mirror the client contract: the delivered lookup is the load
+      // observation, whichever tier served it.
+      router.OnLookup(key, got);
+      reference.OnLookup(want);
+    }
+  }
+}
+
+// --- Behavior at the edges. ---
+
+TEST(DistCacheRouterTest, DegenerateTierRoutesEverythingViaRing) {
+  ConsistentHashRing ring(8);
+  RouteView view{1, &ring};
+  DistCacheRouter router({42}, SmallEpochs(8, 32));
+  EXPECT_FALSE(router.two_layer());
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t key = rng.NextBelow(100);
+    EXPECT_EQ(router.Route(key, view), ring.ServerFor(key));
+    EXPECT_EQ(router.AllReplicas(key, view),
+              std::vector<ServerId>{ring.ServerFor(key)});
+  }
+}
+
+TEST(DistCacheRouterTest, HotKeysMoveToCacheTierColdKeysStayOnRing) {
+  ConsistentHashRing ring(8);
+  RouteView view{1, &ring};
+  DistCacheRouter router(Nodes(8, 4), SmallEpochs(4, 64));
+  const uint64_t hot = 5;
+  for (int i = 0; i < 200; ++i) router.Route(hot, view);
+  ASSERT_TRUE(router.IsHot(hot));
+  DistCacheRouter::Candidates c = router.CandidatesFor(hot);
+  ServerId routed = router.Route(hot, view);
+  EXPECT_TRUE(routed == c.a || routed == c.b);
+  // The write fan-out covers both candidates plus the shard owner, and
+  // the three are pairwise distinct (cache nodes never join the ring).
+  std::vector<ServerId> replicas = router.AllReplicas(hot, view);
+  ASSERT_EQ(replicas.size(), 3u);
+  EXPECT_EQ(std::set<ServerId>(replicas.begin(), replicas.end()).size(), 3u);
+  EXPECT_EQ(replicas[2], ring.ServerFor(hot));
+  // A key never seen is cold and takes the ring.
+  EXPECT_FALSE(router.IsHot(999999));
+}
+
+TEST(DistCacheRouterTest, HotKeyRoutesBalanceAcrossCandidates) {
+  // p2c in action: a single viral key alternates between its two
+  // candidates as the load estimates see-saw, instead of pinning one node.
+  ConsistentHashRing ring(8);
+  RouteView view{1, &ring};
+  DistCacheRouter router(Nodes(8, 4), SmallEpochs(4, 64));
+  const uint64_t hot = 5;
+  for (int i = 0; i < 100; ++i) router.Route(hot, view);
+  ASSERT_TRUE(router.IsHot(hot));
+  std::map<ServerId, uint64_t> served;
+  for (int i = 0; i < 1000; ++i) {
+    ServerId sid = router.Route(hot, view);
+    router.OnLookup(hot, sid);
+    ++served[sid];
+  }
+  DistCacheRouter::Candidates c = router.CandidatesFor(hot);
+  EXPECT_GT(served[c.a], 400u);
+  EXPECT_GT(served[c.b], 400u);
+}
+
+TEST(DistCacheRouterTest, ResetCacheTierClearsDerivedState) {
+  ConsistentHashRing ring(8);
+  RouteView view{1, &ring};
+  DistCacheRouter router(Nodes(8, 4), SmallEpochs(4, 64));
+  const uint64_t hot = 5;
+  for (int i = 0; i < 200; ++i) {
+    router.OnLookup(hot, router.Route(hot, view));
+  }
+  ASSERT_TRUE(router.IsHot(hot));
+
+  router.ResetCacheTier(Nodes(30, 6));
+  EXPECT_FALSE(router.IsHot(hot)) << "hot set must not survive a reconfig";
+  EXPECT_EQ(router.partition_a_size(), 3u);
+  EXPECT_EQ(router.partition_b_size(), 3u);
+  for (ServerId node : router.cache_nodes()) {
+    EXPECT_EQ(router.LoadEstimate(node), 0u);
+  }
+  // The ex-tier's ids are strangers now.
+  EXPECT_EQ(router.LoadEstimate(8), 0u);
+}
+
+// --- Topology plumbing. ---
+
+TEST(ParseTopologyTest, AcceptsKnownNamesRejectsUnknown) {
+  auto ring = ParseTopology("ring");
+  ASSERT_TRUE(ring.ok());
+  EXPECT_EQ(*ring, Topology::kRing);
+  EXPECT_STREQ(ToString(*ring), "ring");
+
+  auto distcache = ParseTopology("distcache");
+  ASSERT_TRUE(distcache.ok());
+  EXPECT_EQ(*distcache, Topology::kDistCache);
+  EXPECT_STREQ(ToString(*distcache), "distcache");
+
+  auto bogus = ParseTopology("mesh");
+  ASSERT_FALSE(bogus.ok());
+  // The error must teach the valid values, not just reject.
+  EXPECT_NE(bogus.status().message().find("ring, distcache"),
+            std::string::npos)
+      << bogus.status();
+}
+
+TEST(ParseTopologyTest, EngineRejectsUndersizedCacheTier) {
+  ExperimentConfig config;
+  config.num_servers = 4;
+  config.key_space = 1000;
+  config.num_clients = 2;
+  config.total_ops = 1000;
+  config.phases = {workload::PhaseSpec{}};
+  config.topology = Topology::kDistCache;
+  config.cache_nodes = 1;  // one partition would be empty
+  auto result = RunExperiment(config, CacheFactory{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("cache_nodes"), std::string::npos)
+      << result.status();
+}
+
+// --- Client integration: no stale replica survives an update. ---
+
+TEST(DistCacheIntegrationTest, UpdateInvalidatesBothCandidatesAndOwner) {
+  CacheCluster cluster(4, 1000);
+  std::vector<ServerId> tier;
+  for (int i = 0; i < 4; ++i) tier.push_back(cluster.AddCacheNode());
+  DistCacheRouter router(tier, SmallEpochs(4, 32));
+  FrontendClient client(&cluster, nullptr);
+  client.SetRouter(&router);
+
+  const uint64_t hot = 7;
+  for (int i = 0; i < 100; ++i) client.Get(hot);
+  ASSERT_TRUE(router.IsHot(hot));
+  // Keep reading: both candidates eventually hold a copy (the estimates
+  // see-saw, so the routed target alternates and each side fills).
+  for (int i = 0; i < 64; ++i) client.Get(hot);
+  DistCacheRouter::Candidates c = router.CandidatesFor(hot);
+  ASSERT_TRUE(cluster.server(c.a).Get(hot).has_value());
+  ASSERT_TRUE(cluster.server(c.b).Get(hot).has_value());
+
+  uint64_t updates_before = client.stats().updates;
+  uint64_t invalidations_before = client.stats().invalidations;
+  client.Set(hot, 4321);
+  for (ServerId sid : router.AllReplicas(hot, client.route_view())) {
+    EXPECT_FALSE(cluster.server(sid).Get(hot).has_value())
+        << "stale replica on server " << sid;
+  }
+  // Three targets, three deliveries — the distcache conservation identity.
+  EXPECT_EQ(client.stats().updates, updates_before + 1);
+  EXPECT_EQ(client.stats().invalidations, invalidations_before + 3);
+  // Read-your-writes through whichever replica serves next.
+  EXPECT_EQ(client.Get(hot), 4321u);
+}
+
+TEST(DistCacheIntegrationTest, CacheNodesStayOffTheRingAcrossChurn) {
+  CacheCluster cluster(4, 500);
+  std::vector<ServerId> tier;
+  for (int i = 0; i < 2; ++i) tier.push_back(cluster.AddCacheNode());
+  EXPECT_TRUE(cluster.IsCacheNode(tier[0]));
+  EXPECT_FALSE(cluster.IsCacheNode(0));
+  EXPECT_EQ(cluster.CacheNodeIds(), tier);
+  // Cache nodes are not ring members: adding/removing shards never routes
+  // a key to them, and they can never be rejoined as shards.
+  ServerId added = cluster.AddServer();
+  ASSERT_TRUE(cluster.RemoveServer(1).ok());
+  for (uint64_t key = 0; key < 500; ++key) {
+    ServerId owner = cluster.OwnerOf(key);
+    EXPECT_FALSE(cluster.IsCacheNode(owner)) << "key " << key;
+  }
+  EXPECT_FALSE(cluster.RejoinServer(tier[0]).ok());
+  EXPECT_TRUE(cluster.IsActive(added));
+}
+
+// --- Engine integration: two-layer runs flatten shard load. ---
+
+TEST(DistCacheEngineTest, TwoLayerRunBeatsPlainRingOnSkew) {
+  ExperimentConfig config;
+  config.num_servers = 8;
+  config.key_space = 50000;
+  config.num_clients = 4;
+  config.total_ops = 400000;
+  workload::PhaseSpec phase;
+  phase.distribution = workload::Distribution::kZipfian;
+  phase.skew = 1.2;
+  phase.read_fraction = 0.95;
+  config.phases = {phase};
+
+  // Cacheless clients: skew hits the shard tier with nothing in front.
+  auto plain = RunExperiment(config, CacheFactory{});
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_TRUE(plain->cache_node_ids.empty());
+
+  config.topology = Topology::kDistCache;
+  config.distcache_hot_keys = 128;
+  auto layered = RunExperiment(config, CacheFactory{});
+  ASSERT_TRUE(layered.ok()) << layered.status();
+
+  ASSERT_EQ(layered->cache_node_ids.size(), 4u);
+  ASSERT_EQ(layered->cache_node_lookups.size(), 4u);
+  uint64_t tier_load = 0;
+  for (uint64_t n : layered->cache_node_lookups) tier_load += n;
+  EXPECT_GT(tier_load, 0u) << "hot keys must actually reach the tier";
+  // Shard imbalance excludes the cache tier, so the two runs compare
+  // apples to apples — and the two-layer run must win under heavy skew.
+  EXPECT_EQ(layered->per_server_lookups.size(), 8u);
+  EXPECT_LT(layered->imbalance, plain->imbalance);
+  // Conservation: every read is a hit, a lookup, or a fallback; every
+  // update invalidates all three replica targets (no faults => none lost).
+  const FrontendStats& a = layered->aggregate;
+  EXPECT_EQ(a.reads, a.local_hits + a.backend_lookups + a.degraded_ops +
+                         a.failovers);
+  EXPECT_EQ(a.updates * 3, a.invalidations);
+  EXPECT_EQ(a.lost_invalidations, 0u);
+}
+
+}  // namespace
+}  // namespace cot::cluster

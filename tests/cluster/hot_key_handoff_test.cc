@@ -20,26 +20,31 @@ namespace {
 constexpr uint64_t kKeys = 500;
 constexpr uint64_t kHotKey = 17;
 
+/// View over the cluster's current (quiescent) ring for control-plane
+/// calls made outside a client.
+RouteView ViewOf(const CacheCluster& cluster) {
+  return RouteView{cluster.routing_epoch(), &cluster.ring()};
+}
+
 /// Makes `key` hot enough for the replicator to build a replica set.
 void ReplicateKey(HotKeyReplicator& replicator, const CacheCluster& cluster,
                   uint64_t key) {
   ServerId home = cluster.OwnerOf(key);
   for (int i = 0; i < 1000; ++i) replicator.OnLookup(key, home);
-  replicator.EndEpoch();
+  replicator.EndEpoch(ViewOf(cluster));
   ASSERT_TRUE(replicator.IsReplicated(key));
 }
 
 TEST(HotKeyHandoffTest, UpdateInvalidatesEveryReplica) {
   CacheCluster cluster(4, kKeys);
-  HotKeyReplicator replicator(&cluster.ring(), /*hot_share=*/0.05,
-                              /*gamma=*/3);
+  HotKeyReplicator replicator(4, /*hot_share=*/0.05, /*gamma=*/3);
   ReplicateKey(replicator, cluster, kHotKey);
 
   FrontendClient client(&cluster, nullptr);
   client.SetRouter(&replicator);
 
   // Spread lookups across the replica set so several shards hold a copy.
-  std::vector<ServerId> replicas = replicator.AllReplicas(kHotKey);
+  std::vector<ServerId> replicas = replicator.AllReplicas(kHotKey, ViewOf(cluster));
   ASSERT_GE(replicas.size(), 2u);
   for (size_t i = 0; i < 2 * replicas.size(); ++i) client.Get(kHotKey);
 
@@ -56,12 +61,12 @@ TEST(HotKeyHandoffTest, UpdateInvalidatesEveryReplica) {
 
 TEST(HotKeyHandoffTest, HandoffDrainsReplicaCopiesWithoutStaleReads) {
   CacheCluster cluster(4, kKeys);
-  HotKeyReplicator replicator(&cluster.ring(), 0.05, /*gamma=*/3);
+  HotKeyReplicator replicator(4, 0.05, /*gamma=*/3);
   ReplicateKey(replicator, cluster, kHotKey);
 
   FrontendClient client(&cluster, nullptr);
   client.SetRouter(&replicator);
-  std::vector<ServerId> replicas = replicator.AllReplicas(kHotKey);
+  std::vector<ServerId> replicas = replicator.AllReplicas(kHotKey, ViewOf(cluster));
   for (size_t i = 0; i < 2 * replicas.size(); ++i) client.Get(kHotKey);
 
   // Grow the tier mid-stream. Migration flushes misowned copies (the
@@ -87,12 +92,12 @@ TEST(HotKeyHandoffTest, HandoffDrainsReplicaCopiesWithoutStaleReads) {
 
 TEST(HotKeyHandoffTest, UndeliverableReplicaInvalidationEscalates) {
   CacheCluster cluster(4, kKeys);
-  HotKeyReplicator replicator(&cluster.ring(), 0.05, /*gamma=*/3);
+  HotKeyReplicator replicator(4, 0.05, /*gamma=*/3);
   ReplicateKey(replicator, cluster, kHotKey);
 
   FrontendClient client(&cluster, nullptr);
   client.SetRouter(&replicator);
-  std::vector<ServerId> replicas = replicator.AllReplicas(kHotKey);
+  std::vector<ServerId> replicas = replicator.AllReplicas(kHotKey, ViewOf(cluster));
   ASSERT_GE(replicas.size(), 2u);
   for (size_t i = 0; i < 2 * replicas.size(); ++i) client.Get(kHotKey);
   uint64_t warm_clock = client.op_clock();

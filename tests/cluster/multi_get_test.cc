@@ -193,7 +193,7 @@ TEST(MultiGetTest, EmptyAndSingletonBatches) {
 class ModRouter : public RoutingPolicy {
  public:
   explicit ModRouter(uint32_t servers) : servers_(servers) {}
-  ServerId Route(uint64_t key) override {
+  ServerId Route(uint64_t key, const RouteView& /*view*/) override {
     return static_cast<ServerId>(key % servers_);
   }
 

@@ -17,6 +17,16 @@
 namespace cot::cluster {
 namespace {
 
+/// View over a bare ring for policies driven outside a client (epoch 1 =
+/// a fresh cluster's routing epoch).
+RouteView ViewOf(const ConsistentHashRing& ring) {
+  return RouteView{1, &ring};
+}
+
+/// SliceMap ignores the ring view entirely (its placement table is its
+/// own), so a null view exercises exactly that.
+const RouteView kNoView{};
+
 TEST(SliceMapTest, InitialAssignmentIsRoundRobin) {
   SliceMap map(4, 16);
   EXPECT_EQ(map.num_slices(), 16u);
@@ -28,8 +38,8 @@ TEST(SliceMapTest, InitialAssignmentIsRoundRobin) {
 TEST(SliceMapTest, RouteIsStableAndInRange) {
   SliceMap map(8, 4096);
   for (uint64_t k = 0; k < 1000; ++k) {
-    ServerId a = map.Route(k);
-    ServerId b = map.Route(k);
+    ServerId a = map.Route(k, kNoView);
+    ServerId b = map.Route(k, kNoView);
     EXPECT_EQ(a, b);
     EXPECT_LT(a, 8u);
   }
@@ -38,7 +48,7 @@ TEST(SliceMapTest, RouteIsStableAndInRange) {
 TEST(SliceMapTest, SliceOfMatchesRoutedOwner) {
   SliceMap map(8, 1024);
   for (uint64_t k = 0; k < 100; ++k) {
-    EXPECT_EQ(map.Route(k), map.OwnerOf(map.SliceOf(k)));
+    EXPECT_EQ(map.Route(k, kNoView), map.OwnerOf(map.SliceOf(k)));
   }
 }
 
@@ -50,7 +60,7 @@ TEST(SliceMapTest, RebalanceEvensOutSkewedSliceLoad) {
   std::vector<uint64_t> loads_before(4, 0);
   for (int i = 0; i < 200000; ++i) {
     uint64_t key = gen.Next(rng);
-    ServerId s = map.Route(key);
+    ServerId s = map.Route(key, kNoView);
     map.OnLookup(key, s);
     ++loads_before[s];
   }
@@ -64,7 +74,7 @@ TEST(SliceMapTest, RebalanceEvensOutSkewedSliceLoad) {
   workload::ZipfianGenerator gen2(100000, 1.2);
   std::vector<uint64_t> loads_after(4, 0);
   for (int i = 0; i < 200000; ++i) {
-    ++loads_after[map.Route(gen2.Next(rng2))];
+    ++loads_after[map.Route(gen2.Next(rng2), kNoView)];
   }
   double after = metrics::LoadImbalance(loads_after);
   EXPECT_LT(after, before);
@@ -78,30 +88,30 @@ TEST(SliceMapTest, CannotSplitAViralKey) {
   // fair share (1/8), so no slice assignment can reach balance.
   for (int i = 0; i < 100000; ++i) {
     uint64_t key = (i % 3 == 0) ? 12345u : static_cast<uint64_t>(i);
-    map.OnLookup(key, map.Route(key));
+    map.OnLookup(key, map.Route(key, kNoView));
   }
   map.Rebalance();
   // Replay: the viral key's owner still gets all of its traffic.
   std::vector<uint64_t> loads(8, 0);
   for (int i = 0; i < 100000; ++i) {
     uint64_t key = (i % 3 == 0) ? 12345u : static_cast<uint64_t>(i);
-    ++loads[map.Route(key)];
+    ++loads[map.Route(key, kNoView)];
   }
   EXPECT_GT(metrics::LoadImbalance(loads), 2.0);
 }
 
 TEST(HotKeyReplicatorTest, ColdKeysRouteViaRing) {
   ConsistentHashRing ring(8);
-  HotKeyReplicator replicator(&ring);
+  HotKeyReplicator replicator(8);
   for (uint64_t k = 0; k < 100; ++k) {
-    EXPECT_EQ(replicator.Route(k), ring.ServerFor(k));
+    EXPECT_EQ(replicator.Route(k, ViewOf(ring)), ring.ServerFor(k));
   }
   EXPECT_EQ(replicator.replicated_count(), 0u);
 }
 
 TEST(HotKeyReplicatorTest, HotKeyGetsReplicatedAndSpread) {
   ConsistentHashRing ring(8);
-  HotKeyReplicator replicator(&ring, /*hot_share=*/0.2, /*gamma=*/4);
+  HotKeyReplicator replicator(8, /*hot_share=*/0.2, /*gamma=*/4);
   uint64_t hot = 42;
   ServerId home = ring.ServerFor(hot);
   // The hot key takes 50% of its server's load this epoch.
@@ -109,38 +119,38 @@ TEST(HotKeyReplicatorTest, HotKeyGetsReplicatedAndSpread) {
     replicator.OnLookup(hot, home);
     replicator.OnLookup(static_cast<uint64_t>(1000 + i), home);
   }
-  auto broadcast = replicator.EndEpoch();
+  auto broadcast = replicator.EndEpoch(ViewOf(ring));
   ASSERT_EQ(broadcast.size(), 1u);
   EXPECT_EQ(broadcast[0], hot);
   EXPECT_TRUE(replicator.IsReplicated(hot));
   // Lookups now spread over gamma servers.
   std::set<ServerId> seen;
-  for (int i = 0; i < 100; ++i) seen.insert(replicator.Route(hot));
+  for (int i = 0; i < 100; ++i) seen.insert(replicator.Route(hot, ViewOf(ring)));
   EXPECT_EQ(seen.size(), 4u);
-  EXPECT_EQ(replicator.AllReplicas(hot).size(), 4u);
+  EXPECT_EQ(replicator.AllReplicas(hot, ViewOf(ring)).size(), 4u);
 }
 
 TEST(HotKeyReplicatorTest, ColdKeysStayUnreplicated) {
   ConsistentHashRing ring(8);
-  HotKeyReplicator replicator(&ring, 0.2, 4);
+  HotKeyReplicator replicator(8, 0.2, 4);
   Rng rng(3);
   for (int i = 0; i < 10000; ++i) {
     uint64_t k = rng.NextBelow(10000);
     replicator.OnLookup(k, ring.ServerFor(k));
   }
-  EXPECT_TRUE(replicator.EndEpoch().empty());
+  EXPECT_TRUE(replicator.EndEpoch(ViewOf(ring)).empty());
 }
 
 TEST(HotKeyReplicatorTest, EpochsAreIndependent) {
   ConsistentHashRing ring(4);
-  HotKeyReplicator replicator(&ring, 0.5, 2);
+  HotKeyReplicator replicator(4, 0.5, 2);
   uint64_t hot = 7;
   ServerId home = ring.ServerFor(hot);
   for (int i = 0; i < 100; ++i) replicator.OnLookup(hot, home);
-  ASSERT_EQ(replicator.EndEpoch().size(), 1u);
+  ASSERT_EQ(replicator.EndEpoch(ViewOf(ring)).size(), 1u);
   // Already replicated: not re-broadcast.
   for (int i = 0; i < 100; ++i) replicator.OnLookup(hot, home);
-  EXPECT_TRUE(replicator.EndEpoch().empty());
+  EXPECT_TRUE(replicator.EndEpoch(ViewOf(ring)).empty());
 }
 
 TEST(RoutingIntegrationTest, ClientHonoursRouterAndCollectsMetadata) {
@@ -148,14 +158,15 @@ TEST(RoutingIntegrationTest, ClientHonoursRouterAndCollectsMetadata) {
   SliceMap map(4, 64);
   FrontendClient client(&cluster, nullptr);
   client.SetRouter(&map);
+  EXPECT_EQ(client.router(), &map);
   client.Get(5);
-  ServerId expected = map.Route(5);
+  ServerId expected = map.Route(5, client.route_view());
   EXPECT_EQ(cluster.server(expected).lookup_count(), 1u);
 }
 
 TEST(RoutingIntegrationTest, InvalidationReachesAllReplicas) {
   CacheCluster cluster(8, 1000);
-  HotKeyReplicator replicator(&cluster.ring(), 0.2, 4);
+  HotKeyReplicator replicator(8, 0.2, 4);
   FrontendClient client(&cluster, nullptr);
   client.SetRouter(&replicator);
 
@@ -163,20 +174,20 @@ TEST(RoutingIntegrationTest, InvalidationReachesAllReplicas) {
   // Make it hot and replicated.
   ServerId home = cluster.ring().ServerFor(hot);
   for (int i = 0; i < 1000; ++i) replicator.OnLookup(hot, home);
-  replicator.EndEpoch();
+  replicator.EndEpoch(client.route_view());
   ASSERT_TRUE(replicator.IsReplicated(hot));
 
   // Fill several replicas by reading repeatedly (rotation).
   for (int i = 0; i < 16; ++i) client.Get(hot);
   size_t resident = 0;
-  for (ServerId s : replicator.AllReplicas(hot)) {
+  for (ServerId s : replicator.AllReplicas(hot, client.route_view())) {
     if (cluster.server(s).size() > 0) ++resident;
   }
   ASSERT_GE(resident, 2u);
 
   // Update: every replica must drop its copy.
   client.Set(hot, 999);
-  for (ServerId s : replicator.AllReplicas(hot)) {
+  for (ServerId s : replicator.AllReplicas(hot, client.route_view())) {
     auto v = cluster.server(s).Get(hot);
     EXPECT_FALSE(v.has_value()) << "stale replica on server " << s;
   }
@@ -185,7 +196,6 @@ TEST(RoutingIntegrationTest, InvalidationReachesAllReplicas) {
 }
 
 TEST(RoutingIntegrationTest, ReplicationReducesImbalanceOnSkew) {
-  CacheCluster cluster(8, 100000);
   workload::ZipfianGenerator gen(100000, 1.2);
 
   auto run = [&](RoutingPolicy* router) {
@@ -198,15 +208,14 @@ TEST(RoutingIntegrationTest, ReplicationReducesImbalanceOnSkew) {
       if (i % 10000 == 9999 && router != nullptr) {
         // epoch boundary for the replicator
         auto* rep = dynamic_cast<HotKeyReplicator*>(router);
-        if (rep != nullptr) rep->EndEpoch();
+        if (rep != nullptr) rep->EndEpoch(client.route_view());
       }
     }
     return metrics::LoadImbalance(fresh.PerServerLookups());
   };
 
   double baseline = run(nullptr);
-  HotKeyReplicator replicator(&cluster.ring(), /*hot_share=*/0.05,
-                              /*gamma=*/8);
+  HotKeyReplicator replicator(8, /*hot_share=*/0.05, /*gamma=*/8);
   double replicated = run(&replicator);
   EXPECT_LT(replicated, baseline * 0.7);
 }

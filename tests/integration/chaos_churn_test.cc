@@ -25,6 +25,7 @@
 
 #include "cluster/cache_cluster.h"
 #include "cluster/churn_schedule.h"
+#include "cluster/distcache_router.h"
 #include "cluster/experiment.h"
 #include "cluster/fault_injector.h"
 #include "cluster/frontend_client.h"
@@ -33,6 +34,7 @@
 #include "sim/end_to_end_sim.h"
 #include "util/random.h"
 #include "workload/op_stream.h"
+#include "workload/zipfian_generator.h"
 
 namespace cot::cluster {
 namespace {
@@ -306,6 +308,216 @@ TEST(ChaosChurnTest, MixedChaosKeepsPerClientLogicalStatsDeterministic) {
       EXPECT_EQ(a.failovers, b.failovers);
       EXPECT_EQ(a.degraded_ops, b.degraded_ops);
       ExpectConservation(b, "client " + std::to_string(c));
+    }
+  }
+}
+
+/// The distcache variant of the update identity: AllReplicas fans every
+/// update out to both cache-tier candidates plus the shard owner, so each
+/// update accounts for exactly three deliveries-or-losses.
+void ExpectDistCacheConservation(const FrontendStats& s,
+                                 const std::string& label) {
+  EXPECT_EQ(s.reads,
+            s.local_hits + s.backend_lookups + s.degraded_ops + s.failovers)
+      << label << ": every read is a hit, a backend lookup, or a fallback";
+  EXPECT_EQ(s.updates * 3, s.invalidations + s.lost_invalidations)
+      << label
+      << ": every update fans out to both candidates plus the owner";
+  EXPECT_EQ(s.backend_hits + s.storage_reads,
+            s.backend_lookups + s.degraded_ops + s.failovers)
+      << label << ": every non-local read is served exactly once";
+}
+
+/// Leg 1, two-layer form — the no-stale-read oracle over the distcache
+/// topology: a cacheless client routes hot keys through a 4-node cache
+/// tier while seeded churn+faults hit the shard ring AND the cache tier
+/// itself is reconfigured mid-run (repartition + cold flush, the elastic
+/// cache-layer scaling motion). Any read differing from the shadow map is
+/// a safety violation: a stale cache-tier copy that survived an update's
+/// fan-out or a reconfiguration.
+TEST(ChaosChurnTest, DistCacheLockstepShadowMapSeesNoStaleReads) {
+  constexpr uint64_t kKeys = 2000;
+  constexpr uint64_t kHorizon = 4000;
+  constexpr uint32_t kShards = 4;
+  constexpr uint32_t kCacheNodes = 4;
+
+  for (uint64_t seed : {11ull, 23ull, 47ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ChaosOptions options;
+    options.seed = seed;
+    options.initial_servers = kShards;
+    options.horizon_ops = kHorizon;
+    options.warmup_ops = 200;
+    options.churn_events = 5;
+    options.fault_events = 4;
+    ChaosPlan plan = MakeChaosPlan(options);
+    ASSERT_TRUE(plan.churn.Validate(kShards).ok());
+    // Chaos plans are authored in plain shard-id space (the j-th added
+    // shard gets id kShards + j). Cache nodes occupy those ids here, so
+    // re-base added-shard references — the same rule RunExperiment
+    // applies for kDistCache.
+    for (ChurnEvent& e : plan.churn.events) {
+      if (e.server >= kShards) e.server += kCacheNodes;
+    }
+    for (FaultEvent& e : plan.faults.events) {
+      if (e.server >= kShards) e.server += kCacheNodes;
+    }
+
+    CacheCluster cluster(kShards, kKeys);
+    std::vector<ServerId> tier;
+    for (uint32_t i = 0; i < kCacheNodes; ++i) {
+      tier.push_back(cluster.AddCacheNode());
+    }
+    DistCacheConfig dc;
+    dc.hot_keys = 32;
+    dc.epoch_ops = 256;
+    DistCacheRouter router(tier, dc);
+    FrontendClient client(&cluster, nullptr);
+    client.SetRouter(&router);
+    FaultInjector injector(plan.faults);
+    client.SetFaultInjector(&injector, /*client_id=*/0, FailurePolicy());
+
+    std::unordered_map<uint64_t, uint64_t> shadow;  // overrides only
+    auto expected = [&shadow](uint64_t key) {
+      auto it = shadow.find(key);
+      return it == shadow.end() ? StorageLayer::InitialValue(key)
+                                : it->second;
+    };
+
+    // Cache-tier reconfigurations on the same logical clock as churn:
+    // reverse the node list (every node switches partition) mid-run, then
+    // restore it. Each reconfig must be paired with a cold flush of every
+    // cache node — a copy stranded on an ex-candidate stops receiving
+    // invalidations and would serve stale forever.
+    std::vector<uint64_t> reconfigs = {kHorizon / 3, (2 * kHorizon) / 3};
+    size_t next_reconfig = 0;
+
+    Rng rng(seed ^ 0xD15CACE5ULL);
+    workload::ZipfianGenerator gen(kKeys, 1.1);
+    size_t next_event = 0;
+    for (uint64_t op = 0; op < kHorizon; ++op) {
+      while (next_event < plan.churn.events.size() &&
+             plan.churn.events[next_event].at_op == client.op_clock()) {
+        const ChurnEvent& e = plan.churn.events[next_event++];
+        switch (e.action) {
+          case ChurnAction::kAddServer:
+            cluster.AddServer();
+            break;
+          case ChurnAction::kRemoveServer:
+            ASSERT_TRUE(cluster.RemoveServer(e.server).ok());
+            break;
+          case ChurnAction::kRejoinServer:
+            ASSERT_TRUE(cluster.RejoinServer(e.server).ok());
+            break;
+        }
+        // Router clients route off their snapshot unfenced, so the churn
+        // barrier is where they must observe the new ring.
+        client.RefreshRouteView();
+      }
+      if (next_reconfig < reconfigs.size() &&
+          client.op_clock() >= reconfigs[next_reconfig]) {
+        ++next_reconfig;
+        std::vector<ServerId> reshuffled(tier.rbegin(), tier.rend());
+        tier = reshuffled;
+        router.ResetCacheTier(tier);
+        for (ServerId node : cluster.CacheNodeIds()) {
+          cluster.ForceColdRestart(node);
+        }
+      }
+      uint64_t key = gen.Next(rng);
+      if (rng.NextDouble() < 0.9) {
+        EXPECT_EQ(client.Get(key), expected(key))
+            << "stale read of key " << key << " at op " << op;
+      } else {
+        uint64_t value = 1000000 + op;
+        client.Set(key, value);
+        shadow[key] = value;
+      }
+    }
+    EXPECT_EQ(next_event, plan.churn.events.size())
+        << "every scheduled churn event must fire inside the horizon";
+    EXPECT_EQ(next_reconfig, reconfigs.size());
+    ExpectDistCacheConservation(client.stats(), "distcache lockstep");
+
+    // The tier must actually have served traffic for the oracle to mean
+    // anything.
+    uint64_t tier_lookups = 0;
+    for (ServerId node : cluster.CacheNodeIds()) {
+      tier_lookups += cluster.server(node).lookup_count();
+    }
+    EXPECT_GT(tier_lookups, 0u) << "hot keys never reached the cache tier";
+
+    // Quiesce sweep: every key re-checked against the shadow, every
+    // active shard touched (applies pending recovery fences), then the
+    // cluster-wide invariants — cache nodes included in the freshness
+    // check, exempted from ring-ownership.
+    for (uint64_t key = 0; key < kKeys; ++key) {
+      EXPECT_EQ(client.Get(key), expected(key)) << "sweep, key " << key;
+    }
+    Status invariants = VerifyClusterInvariants(cluster);
+    EXPECT_TRUE(invariants.ok()) << invariants;
+  }
+}
+
+/// Legs 2+3, two-layer form — full engine distcache runs under seeded
+/// churn+faults: the conservation identities (with the 3-target update
+/// fan-out) hold exactly, and per-client logical stats plus per-shard and
+/// per-cache-node load counts are bit-for-bit identical across 1/2/4
+/// threads.
+TEST(ChaosChurnTest, DistCacheEngineChaosDeterministicAcrossThreads) {
+  ChaosOptions options;
+  options.seed = 13;
+  options.initial_servers = 4;
+  options.horizon_ops = 4000;
+  options.warmup_ops = 500;
+  options.churn_events = 4;
+  options.fault_events = 3;
+  ChaosPlan plan = MakeChaosPlan(options);
+
+  ExperimentConfig config = ChaosConfig(/*read_fraction=*/0.9);
+  config.churn = plan.churn;
+  config.faults = plan.faults;
+  config.topology = Topology::kDistCache;
+  config.cache_nodes = 4;
+  config.distcache_hot_keys = 64;
+  config.distcache_epoch_ops = 512;
+
+  config.num_threads = 1;
+  auto serial = RunExperiment(config, CotFactory());
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  EXPECT_EQ(serial->topology_changes, plan.churn.events.size());
+  ASSERT_EQ(serial->cache_node_ids.size(), 4u);
+  ExpectDistCacheConservation(serial->aggregate, "serial aggregate");
+  for (uint32_t c = 0; c < config.num_clients; ++c) {
+    ExpectDistCacheConservation(serial->per_client[c],
+                                "serial client " + std::to_string(c));
+  }
+
+  for (uint32_t threads : {2u, 4u}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    config.num_threads = threads;
+    auto parallel = RunExperiment(config, CotFactory());
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(parallel->topology_changes, serial->topology_changes);
+    EXPECT_EQ(parallel->routing_epoch, serial->routing_epoch);
+    // Load counters are sums of per-client deterministic routing
+    // decisions, so they are exact across thread counts — shard tier and
+    // cache tier both.
+    EXPECT_EQ(parallel->per_server_lookups, serial->per_server_lookups);
+    EXPECT_EQ(parallel->cache_node_lookups, serial->cache_node_lookups);
+    for (uint32_t c = 0; c < config.num_clients; ++c) {
+      SCOPED_TRACE("client " + std::to_string(c));
+      const FrontendStats& a = serial->per_client[c];
+      const FrontendStats& b = parallel->per_client[c];
+      EXPECT_EQ(a.reads, b.reads);
+      EXPECT_EQ(a.updates, b.updates);
+      EXPECT_EQ(a.local_hits, b.local_hits);
+      EXPECT_EQ(a.backend_lookups, b.backend_lookups);
+      EXPECT_EQ(a.invalidations, b.invalidations);
+      EXPECT_EQ(a.lost_invalidations, b.lost_invalidations);
+      EXPECT_EQ(a.failovers, b.failovers);
+      EXPECT_EQ(a.degraded_ops, b.degraded_ops);
+      ExpectDistCacheConservation(b, "client " + std::to_string(c));
     }
   }
 }

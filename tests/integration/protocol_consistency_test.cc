@@ -23,6 +23,12 @@
 namespace cot::cluster {
 namespace {
 
+/// View over the cluster's quiescent ring for control-plane calls made
+/// outside a client (tests drive churnless clusters here).
+RouteView ViewOf(const CacheCluster& cluster) {
+  return RouteView{cluster.routing_epoch(), &cluster.ring()};
+}
+
 // Drives `ops` random reads/writes from `num_clients` clients and checks
 // every read against the reference model. `on_epoch` runs every 5000 ops
 // (control-plane work: rebalances, replication decisions).
@@ -139,21 +145,21 @@ TEST(ProtocolConsistencyTest, SliceRebalanceWithoutFlushWouldGoStale) {
 
   // Warm key_a on its current owner.
   client.Get(key_a);
-  ServerId owner_before = slicer.Route(key_a);
+  ServerId owner_before = slicer.Route(key_a, client.route_view());
 
   // Load pattern that flips the assignment: make slice 1 heavy.
-  for (int i = 0; i < 100; ++i) slicer.OnLookup(key_b, slicer.Route(key_b));
-  slicer.OnLookup(key_a, slicer.Route(key_a));
+  for (int i = 0; i < 100; ++i) slicer.OnLookup(key_b, slicer.Route(key_b, client.route_view()));
+  slicer.OnLookup(key_a, slicer.Route(key_a, client.route_view()));
   slicer.Rebalance(&cluster);  // with flush
 
-  if (slicer.Route(key_a) != owner_before) {
+  if (slicer.Route(key_a, client.route_view()) != owner_before) {
     // Update while the key lives elsewhere.
     client.Set(key_a, 777);
     // Flip back.
     for (int i = 0; i < 100; ++i) {
-      slicer.OnLookup(key_a, slicer.Route(key_a));
+      slicer.OnLookup(key_a, slicer.Route(key_a, client.route_view()));
     }
-    slicer.OnLookup(key_b, slicer.Route(key_b));
+    slicer.OnLookup(key_b, slicer.Route(key_b, client.route_view()));
     slicer.Rebalance(&cluster);
     // With the flush, the old owner no longer holds the pre-update copy.
     EXPECT_EQ(client.Get(key_a), 777u);
@@ -162,24 +168,24 @@ TEST(ProtocolConsistencyTest, SliceRebalanceWithoutFlushWouldGoStale) {
 
 TEST(ProtocolConsistencyTest, HotKeyReplicationStaysCoherent) {
   CacheCluster cluster(8, 5000);
-  HotKeyReplicator replicator(&cluster.ring(), /*hot_share=*/0.02,
+  HotKeyReplicator replicator(8, /*hot_share=*/0.02,
                               /*gamma=*/4, /*tracker_size=*/128);
   CheckConsistency(
       &cluster, 4, [] { return std::unique_ptr<cache::Cache>(); },
       &replicator, FrontendClient::WritePolicy::kInvalidate, 80000, 5,
-      [&] { replicator.EndEpoch(); });
+      [&] { replicator.EndEpoch(ViewOf(cluster)); });
 }
 
 TEST(ProtocolConsistencyTest, EverythingAtOnce) {
   // Replication + a CoT cache + epoch churn, one seed per run.
   for (uint64_t seed : {7u, 8u, 9u}) {
     CacheCluster cluster(8, 5000);
-    HotKeyReplicator replicator(&cluster.ring(), 0.02, 8, 128);
+    HotKeyReplicator replicator(8, 0.02, 8, 128);
     CheckConsistency(
         &cluster, 1,
         [] { return std::make_unique<core::CotCache>(16, 64); },
         &replicator, FrontendClient::WritePolicy::kInvalidate, 60000, seed,
-        [&] { replicator.EndEpoch(); });
+        [&] { replicator.EndEpoch(ViewOf(cluster)); });
   }
 }
 

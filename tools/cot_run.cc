@@ -136,6 +136,18 @@ int RunTool(int argc, char** argv) {
   flags.AddInt64("batch-size", 1,
                  "issue runs of up to N consecutive reads as one batched "
                  "MultiGet (1 = per-op path)");
+  flags.AddString("topology", "ring",
+                  "cluster topology: ring|distcache (adds a small cache "
+                  "tier with power-of-two-choices routing of hot keys)");
+  flags.AddInt64("cache-nodes", 4,
+                 "upper-tier cache nodes for --topology distcache (>= 2, "
+                 "split over two independent partitions)");
+  flags.AddInt64("cache-node-items", 0,
+                 "per-cache-node capacity in items (0 = unbounded)");
+  flags.AddInt64("distcache-hot-keys", 64,
+                 "per-client hot-set size routed to the cache tier");
+  flags.AddInt64("distcache-epoch", 1024,
+                 "router ops between hot-set/load-estimate refreshes");
   flags.AddBool("elastic", false,
                 "enable CoT elastic resizing (policy must be cot)");
   flags.AddDouble("target-imbalance", 1.1, "elastic resizing target I_t");
@@ -238,6 +250,21 @@ int RunTool(int argc, char** argv) {
   config.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
   config.num_threads = static_cast<uint32_t>(flags.GetInt64("num-threads"));
   config.batch_size = static_cast<uint32_t>(flags.GetInt64("batch-size"));
+  {
+    auto topo = cluster::ParseTopology(flags.GetString("topology"));
+    if (!topo.ok()) {
+      std::fprintf(stderr, "%s\n", topo.status().ToString().c_str());
+      return 2;
+    }
+    config.topology = *topo;
+  }
+  config.cache_nodes = static_cast<uint32_t>(flags.GetInt64("cache-nodes"));
+  config.cache_node_items =
+      static_cast<size_t>(flags.GetInt64("cache-node-items"));
+  config.distcache_hot_keys =
+      static_cast<size_t>(flags.GetInt64("distcache-hot-keys"));
+  config.distcache_epoch_ops =
+      static_cast<uint64_t>(flags.GetInt64("distcache-epoch"));
 
   {
     auto faults = cluster::ParseFaultSchedule(
@@ -347,6 +374,15 @@ int RunTool(int argc, char** argv) {
     config.key_space = std::max<uint64_t>(1, trace->KeySpaceSize());
     std::printf("trace: %zu ops over %llu keys\n", trace->size(),
                 static_cast<unsigned long long>(config.key_space));
+  }
+
+  if (config.topology == cluster::Topology::kDistCache &&
+      (flags.GetBool("timed") || flags.GetBool("open-loop") ||
+       trace != nullptr)) {
+    std::fprintf(stderr,
+                 "--topology distcache runs the logical experiment only "
+                 "(incompatible with --timed, --open-loop, --trace)\n");
+    return 2;
   }
 
   const std::string& policy = flags.GetString("policy");
@@ -642,6 +678,20 @@ int RunTool(int argc, char** argv) {
     std::printf(" %llu", static_cast<unsigned long long>(load));
   }
   std::printf("\n");
+  if (config.topology == cluster::Topology::kDistCache) {
+    uint64_t tier_load = 0;
+    for (uint64_t n : result->cache_node_lookups) tier_load += n;
+    std::printf("cache-tier load:   ");
+    for (uint64_t n : result->cache_node_lookups) {
+      std::printf(" %llu", static_cast<unsigned long long>(n));
+    }
+    uint64_t routed = tier_load + result->total_backend_lookups;
+    std::printf("  (%zu nodes, %.1f%% of routed lookups)\n",
+                result->cache_node_ids.size(),
+                routed == 0 ? 0.0
+                            : 100.0 * static_cast<double>(tier_load) /
+                                  static_cast<double>(routed));
+  }
   print_fault_summary(result->aggregate);
   print_churn_summary(*result);
   if (!config.faults.empty()) {
