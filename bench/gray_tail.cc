@@ -1,0 +1,235 @@
+// Gray-failure tail benchmark: closed-loop end-to-end timing of three
+// variants over one workload — fault-free, a gray shard with no defense,
+// and the same gray shard with the full defense (health scoring, adaptive
+// deadlines, budgeted hedged reads, lameduck quarantine).
+//
+// The claim under measurement (ISSUE: gray-failure defense): one shard
+// running 10x slow — alive, never crash-eligible, invisible to failure
+// counters — drags the cluster p99 by an order of magnitude, and the
+// health-driven defense pulls it back to within a small factor of the
+// fault-free tail without fencing the shard.
+//
+// Acceptance (self-gating, exit 4 on failure):
+//   defended_p99  <= 3x fault-free p99
+//   undefended_p99 >= 8x fault-free p99
+// Hedge accounting identity (exit 3 on violation):
+//   hedges_sent == hedges_won + hedges_lost + hedges_suppressed
+//
+// Writes BENCH_tail.json (repo root committed copy).
+//
+// Usage: gray_tail [--full] [--out BENCH_tail.json]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/experiment.h"
+#include "cluster/fault_injector.h"
+#include "sim/end_to_end_sim.h"
+#include "workload/op_stream.h"
+
+namespace {
+
+using namespace cot;
+
+struct Variant {
+  std::string name;
+  bool gray = false;
+  bool defended = false;
+};
+
+struct Point {
+  std::string name;
+  sim::EndToEndResult result;
+};
+
+cluster::ExperimentConfig MakeConfig(const Variant& v, uint64_t keys,
+                                     uint64_t ops) {
+  cluster::ExperimentConfig config;
+  config.num_servers = 4;
+  config.key_space = keys;
+  config.num_clients = 8;
+  config.total_ops = ops;
+  config.num_threads = 1;  // committed JSON must be byte-stable
+  workload::PhaseSpec phase;
+  phase.distribution = workload::Distribution::kZipfian;
+  // Moderate skew: enough locality to be realistic, low enough that the
+  // fault-free tail is service time and not hot-shard queueing — the
+  // measured ratio must isolate the gray shard, not Zipfian contention.
+  phase.skew = 0.9;
+  phase.read_fraction = 0.95;
+  config.phases = {phase};
+  if (v.gray) {
+    // One shard 10x slow for most of every client's stream: sustained,
+    // jittered, alive the whole time. Never crash-eligible — the point of
+    // gray is that failure counters see nothing.
+    cluster::FaultEvent e;
+    e.server = 1;
+    e.type = cluster::FaultType::kGray;
+    e.start_op = ops / config.num_clients / 10;
+    e.end_op = ops / config.num_clients;
+    e.slow_factor = 10.0;
+    e.jitter = 0.2;
+    config.faults.events = {e};
+  }
+  if (v.defended) {
+    config.failure_policy.health_enabled = true;
+    config.failure_policy.hedging_enabled = true;
+    config.failure_policy.retry_budget_ratio = 0.5;
+    config.failure_policy.retry_budget_burst = 16.0;
+  }
+  return config;
+}
+
+void AppendVariantJson(std::string* out, const Point& p, bool last) {
+  const sim::EndToEndResult& r = p.result;
+  const cluster::FrontendStats& a = r.logical.aggregate;
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  {\"variant\": \"%s\", \"makespan_us\": %.0f, "
+      "\"mean_latency_us\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+      "\"p999_us\": %.1f, \"max_backlog\": %.0f, "
+      "\"failed_requests\": %llu, \"breaker_trips\": %llu, "
+      "\"hedges_sent\": %llu, \"hedges_won\": %llu, "
+      "\"hedges_lost\": %llu, \"hedges_suppressed\": %llu, "
+      "\"lameduck_entries\": %llu, \"lameduck_exits\": %llu, "
+      "\"lameduck_bypasses\": %llu, \"lameduck_probes\": %llu}%s\n",
+      p.name.c_str(), r.makespan_us, r.mean_latency_us,
+      r.latency_us.Median(), r.latency_us.P99(), r.latency_us.P999(),
+      r.max_backlog, static_cast<unsigned long long>(a.failed_requests),
+      static_cast<unsigned long long>(a.breaker_trips),
+      static_cast<unsigned long long>(a.hedges_sent),
+      static_cast<unsigned long long>(a.hedges_won),
+      static_cast<unsigned long long>(a.hedges_lost),
+      static_cast<unsigned long long>(a.hedges_suppressed),
+      static_cast<unsigned long long>(a.lameduck_entries),
+      static_cast<unsigned long long>(a.lameduck_exits),
+      static_cast<unsigned long long>(a.lameduck_bypasses),
+      static_cast<unsigned long long>(a.lameduck_probes), last ? "" : ",");
+  *out += buf;
+}
+
+int Run(int argc, char** argv) {
+  const bool full = bench::FullScale(argc, argv);
+  std::string out_path = "BENCH_tail.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[i + 1];
+    }
+  }
+  bench::Banner("Gray-failure tail",
+                "p99 under a 10x-slow gray shard, defended vs undefended",
+                full);
+
+  const uint64_t keys = full ? 100000 : 20000;
+  const uint64_t ops = full ? 2000000 : 240000;
+
+  const std::vector<Variant> variants = {
+      {"fault_free", false, false},
+      {"gray_undefended", true, false},
+      {"gray_defended", true, true},
+  };
+
+  // No front-end cache: every read prices a backend round-trip, so the
+  // tail is the shard tail, undiluted by 2us local hits.
+  cluster::CacheFactory factory = [](uint32_t) -> std::unique_ptr<cache::Cache> {
+    return nullptr;
+  };
+
+  std::vector<Point> points;
+  std::printf("%-17s %12s %10s %10s %10s %10s\n", "variant", "makespan-ms",
+              "mean-us", "p50-us", "p99-us", "p999-us");
+  for (const Variant& v : variants) {
+    auto result = sim::RunEndToEnd(MakeConfig(v, keys, ops), factory,
+                                   sim::LatencyModel{});
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const cluster::FrontendStats& a = result->logical.aggregate;
+    if (a.hedges_sent != a.hedges_won + a.hedges_lost + a.hedges_suppressed) {
+      std::fprintf(stderr,
+                   "IDENTITY VIOLATION in %s: sent=%llu won=%llu lost=%llu "
+                   "suppressed=%llu\n",
+                   v.name.c_str(),
+                   static_cast<unsigned long long>(a.hedges_sent),
+                   static_cast<unsigned long long>(a.hedges_won),
+                   static_cast<unsigned long long>(a.hedges_lost),
+                   static_cast<unsigned long long>(a.hedges_suppressed));
+      return 3;
+    }
+    // Gray must stay gray: zero hard failures, zero breaker trips in
+    // every variant, or the scenario is not measuring what it claims.
+    if (a.failed_requests != 0 || a.breaker_trips != 0) {
+      std::fprintf(stderr, "%s: gray shard tripped failure machinery\n",
+                   v.name.c_str());
+      return 3;
+    }
+    std::printf("%-17s %12.1f %10.1f %10.1f %10.1f %10.1f\n", v.name.c_str(),
+                result->makespan_us / 1000.0, result->mean_latency_us,
+                result->latency_us.Median(), result->latency_us.P99(),
+                result->latency_us.P999());
+    points.push_back(Point{v.name, std::move(result).value()});
+  }
+
+  const double p99_free = points[0].result.latency_us.P99();
+  const double p99_undefended = points[1].result.latency_us.P99();
+  const double p99_defended = points[2].result.latency_us.P99();
+  const double undefended_ratio = p99_free > 0 ? p99_undefended / p99_free : 0;
+  const double defended_ratio = p99_free > 0 ? p99_defended / p99_free : 0;
+  const bool gray_hurts = undefended_ratio >= 8.0;
+  const bool defense_holds = defended_ratio <= 3.0;
+
+  std::printf("p99: fault-free %.0fus, undefended %.0fus (%.1fx) [%s], "
+              "defended %.0fus (%.1fx) [%s]\n",
+              p99_free, p99_undefended, undefended_ratio,
+              gray_hurts ? "OK: >=8x" : "FAIL: expected >=8x", p99_defended,
+              defended_ratio, defense_holds ? "OK: <=3x" : "FAIL: expected <=3x");
+
+  std::string json = "{\n \"config\": {";
+  {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "\"servers\": 4, \"clients\": 8, \"keys\": %llu, "
+                  "\"ops\": %llu, \"skew\": 0.9, \"read_fraction\": 0.95, "
+                  "\"gray_shard\": 1, \"gray_factor\": 10.0, "
+                  "\"gray_jitter\": 0.2, \"scale\": \"%s\"},\n",
+                  static_cast<unsigned long long>(keys),
+                  static_cast<unsigned long long>(ops),
+                  full ? "full" : "default");
+    json += buf;
+  }
+  json += " \"variants\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    AppendVariantJson(&json, points[i], i + 1 == points.size());
+  }
+  json += " ],\n";
+  {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  " \"acceptance\": {\"p99_fault_free_us\": %.1f, "
+                  "\"p99_undefended_us\": %.1f, \"p99_defended_us\": %.1f, "
+                  "\"undefended_ratio\": %.2f, \"defended_ratio\": %.2f, "
+                  "\"gray_hurts_undefended\": %s, \"defense_holds\": %s}\n}\n",
+                  p99_free, p99_undefended, p99_defended, undefended_ratio,
+                  defended_ratio, gray_hurts ? "true" : "false",
+                  defense_holds ? "true" : "false");
+    json += buf;
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return gray_hurts && defense_holds ? 0 : 4;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -16,6 +16,7 @@
 #include "cluster/cache_cluster.h"
 #include "cluster/consistent_hash_ring.h"
 #include "cluster/frontend_client.h"
+#include "cluster/health_monitor.h"
 #include "core/cot_cache.h"
 #include "core/space_saving_tracker.h"
 #include "metrics/event_tracer.h"
@@ -118,6 +119,23 @@ void BM_TrackerTrackAccess(benchmark::State& state) {
   for (auto _ : state) {
     auto r = tracker.TrackAccess(gen.Next(rng), core::AccessType::kRead);
     benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Per-delivery cost of the gray-failure defense: one HealthMonitor
+// observation (P-squared quantile update + EWMA score + lameduck check)
+// on the hot path of every successful shard delivery. The defense's
+// "negligible when healthy" claim rests on this staying O(ns).
+void BM_HealthMonitorObserve(benchmark::State& state) {
+  cluster::HealthMonitor monitor(8, cluster::HealthConfig{});
+  Rng rng(42);
+  uint32_t shard = 0;
+  for (auto _ : state) {
+    double latency = 300.0 + static_cast<double>(rng.NextUint64() % 200);
+    auto t = monitor.Observe(shard, latency, 394.0);
+    benchmark::DoNotOptimize(t);
+    shard = (shard + 1) % 8;
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -273,6 +291,7 @@ BENCHMARK(BM_CotGetHit);
 BENCHMARK(BM_CotGetMiss);
 BENCHMARK(BM_CotUntrackedArrival);
 BENCHMARK(BM_TrackerTrackAccess)->Arg(512)->Arg(4096)->Arg(32768);
+BENCHMARK(BM_HealthMonitorObserve);
 BENCHMARK(BM_RingLookup)->Arg(128)->Arg(16384);
 BENCHMARK(BM_ZipfianNext);
 BENCHMARK(BM_CotMixedReadUpdate);

@@ -106,6 +106,7 @@ REQUIRED_FAMILIES="
   --require BM_CotUntrackedArrival
   --require BM_TrackerTrackAccess
   --require BM_CotMixedReadUpdate
+  --require BM_HealthMonitorObserve
 "
 
 if [ -f BENCH_micro.json ]; then

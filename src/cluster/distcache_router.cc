@@ -24,6 +24,7 @@ void DistCacheRouter::ResetCacheTier(std::vector<ServerId> cache_nodes) {
     node_slot_[cache_nodes_[i]] = i;
   }
   loads_.assign(cache_nodes_.size(), 0);
+  weights_.assign(cache_nodes_.size(), 1.0);
   hot_.clear();
   hot_.reserve(config_.hot_keys);
   ops_in_epoch_ = 0;
@@ -46,6 +47,27 @@ DistCacheRouter::Candidates DistCacheRouter::CandidatesFor(
 uint64_t DistCacheRouter::LoadEstimate(ServerId node) const {
   auto it = node_slot_.find(node);
   return it == node_slot_.end() ? 0 : loads_[it->second];
+}
+
+double DistCacheRouter::HealthWeight(ServerId node) const {
+  auto it = node_slot_.find(node);
+  return it == node_slot_.end() ? 1.0 : weights_[it->second];
+}
+
+void DistCacheRouter::OnHealth(ServerId server, double weight) {
+  auto it = node_slot_.find(server);
+  if (it == node_slot_.end()) return;
+  weights_[it->second] = std::clamp(weight, 0.01, 1.0);
+}
+
+ServerId DistCacheRouter::HedgeReplica(uint64_t key, ServerId primary,
+                                       const RouteView& view) {
+  (void)view;
+  if (!two_layer() || hot_.count(key) == 0) return kNoReplica;
+  const Candidates c = CandidatesFor(key);
+  if (primary == c.a) return c.b;
+  if (primary == c.b) return c.a;
+  return kNoReplica;
 }
 
 void DistCacheRouter::EndEpoch() {
@@ -74,12 +96,23 @@ ServerId DistCacheRouter::Route(uint64_t key, const RouteView& view) {
     return view.ring->ServerFor(key);
   }
   const Candidates c = CandidatesFor(key);
-  const uint64_t load_a = loads_[node_slot_.find(c.a)->second];
-  const uint64_t load_b = loads_[node_slot_.find(c.b)->second];
-  // Power of two choices; ties go to the lower id so the decision is a
-  // total function of (stream, tier, salts).
-  if (load_a < load_b) return c.a;
-  if (load_b < load_a) return c.b;
+  const uint32_t slot_a = node_slot_.find(c.a)->second;
+  const uint32_t slot_b = node_slot_.find(c.b)->second;
+  // Power of two choices over health-scaled loads: a node's effective
+  // load is load / weight, compared cross-multiplied so the healthy
+  // (weight 1) case stays the exact integer comparison it always was. A
+  // lameduck node's reduced weight inflates its effective load, shedding
+  // hot-key traffic to the other candidate. Ties go to the lower id so
+  // the decision is a total function of (stream, tier, salts, health).
+  const double eff_a =
+      static_cast<double>(loads_[slot_a]) * weights_[slot_b];
+  const double eff_b =
+      static_cast<double>(loads_[slot_b]) * weights_[slot_a];
+  if (eff_a < eff_b) return c.a;
+  if (eff_b < eff_a) return c.b;
+  // Equal effective loads: prefer the healthier node, then the lower id.
+  if (weights_[slot_a] > weights_[slot_b]) return c.a;
+  if (weights_[slot_b] > weights_[slot_a]) return c.b;
   return std::min(c.a, c.b);
 }
 

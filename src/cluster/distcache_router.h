@@ -75,6 +75,19 @@ class DistCacheRouter : public RoutingPolicy {
   std::vector<ServerId> AllReplicas(uint64_t key,
                                     const RouteView& view) override;
   void OnLookup(uint64_t key, ServerId server) override;
+  /// Health weight of a cache node in (0, 1]: the p2c comparison scales a
+  /// node's load estimate by 1/weight, so a lameduck node (reduced
+  /// weight) loses ties it used to win and sheds hot-key traffic to the
+  /// other candidate — without ever being fenced out of the replica set
+  /// (`AllReplicas` ignores weights: invalidations always reach it).
+  /// Weights for ids outside the cache tier are ignored (shard-tier
+  /// quarantine is the client's lameduck bypass, not the router's).
+  void OnHealth(ServerId server, double weight) override;
+  /// The other p2c candidate of a currently-hot `key` — where a hedged
+  /// read can race a slow primary. kNoReplica for cold keys, primaries
+  /// outside the candidate pair, or a degenerate tier.
+  ServerId HedgeReplica(uint64_t key, ServerId primary,
+                        const RouteView& view) override;
 
   /// The two candidates of `key` under the current partitioning.
   /// Meaningful only with >= 2 cache nodes.
@@ -86,6 +99,10 @@ class DistCacheRouter : public RoutingPolicy {
 
   /// Current load estimate of cache node `node` (0 for unknown ids).
   uint64_t LoadEstimate(ServerId node) const;
+
+  /// Current health weight of cache node `node` (1.0 for unknown ids and
+  /// healthy nodes).
+  double HealthWeight(ServerId node) const;
 
   /// Forces a control-plane epoch now: rebuild the hot set from the
   /// tracker's top `hot_keys` keys, halve load estimates, age the
@@ -120,6 +137,10 @@ class DistCacheRouter : public RoutingPolicy {
   /// ServerId -> index into loads_ (parallel to cache_nodes_).
   FlatHashMap<uint64_t, uint32_t> node_slot_;
   std::vector<uint64_t> loads_;
+  /// Per-node health weights (parallel to cache_nodes_; 1.0 = healthy).
+  /// Reset to healthy on ResetCacheTier — clients re-signal on the next
+  /// lameduck transition they observe.
+  std::vector<double> weights_;
   /// Hot set as of the last epoch boundary (value unused).
   FlatHashMap<uint64_t, uint8_t> hot_;
   core::SpaceSavingTracker tracker_;

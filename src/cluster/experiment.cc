@@ -214,6 +214,15 @@ void ExportMetrics(ExperimentResult* result) {
   reg.SetCounter("faults/slow_ops", a.slow_ops);
   reg.SetCounter("faults/unavailable_shard_epochs",
                  a.unavailable_shard_epochs);
+  reg.SetCounter("health/hedges_sent", a.hedges_sent);
+  reg.SetCounter("health/hedges_won", a.hedges_won);
+  reg.SetCounter("health/hedges_lost", a.hedges_lost);
+  reg.SetCounter("health/hedges_suppressed", a.hedges_suppressed);
+  reg.SetCounter("health/lameduck_entries", a.lameduck_entries);
+  reg.SetCounter("health/lameduck_exits", a.lameduck_exits);
+  reg.SetCounter("health/lameduck_bypasses", a.lameduck_bypasses);
+  reg.SetCounter("health/lameduck_probes", a.lameduck_probes);
+  reg.SetCounter("health/gray_ops", a.gray_ops);
   char name[64];
   for (size_t i = 0; i < result->per_server_lookups.size(); ++i) {
     std::snprintf(name, sizeof(name), "shard/%zu/lookups", i);
@@ -322,12 +331,22 @@ StatusOr<ExperimentResult> RunExperiment(
   }
 
   // One shared retry-budget bucket per run (opt-in; see FailurePolicy).
+  // With the gray-failure defense on, the bucket is per *client* instead:
+  // budget-gated hedging feeds back into the op outcome, so a shared
+  // bucket would make each client's results depend on sibling traffic and
+  // break the byte-identical-at-any-thread-count contract.
   std::unique_ptr<RetryBudget> retry_budget;
-  if (config.failure_policy.retry_budget_ratio > 0.0) {
+  std::vector<std::unique_ptr<RetryBudget>> client_budgets;
+  const bool per_client_budget =
+      config.failure_policy.retry_budget_ratio > 0.0 &&
+      (config.failure_policy.health_enabled ||
+       config.failure_policy.hedging_enabled);
+  if (config.failure_policy.retry_budget_ratio > 0.0 && !per_client_budget) {
     retry_budget = std::make_unique<RetryBudget>(
         config.failure_policy.retry_budget_ratio,
         config.failure_policy.retry_budget_burst);
   }
+  if (per_client_budget) client_budgets.reserve(config.num_clients);
 
   std::vector<std::unique_ptr<FrontendClient>> clients;
   std::vector<workload::OpStream> streams;
@@ -357,6 +376,11 @@ StatusOr<ExperimentResult> RunExperiment(
     }
     if (retry_budget != nullptr) {
       clients.back()->SetRetryBudget(retry_budget.get());
+    } else if (per_client_budget) {
+      client_budgets.push_back(std::make_unique<RetryBudget>(
+          config.failure_policy.retry_budget_ratio,
+          config.failure_policy.retry_budget_burst));
+      clients.back()->SetRetryBudget(client_budgets.back().get());
     }
     if (config.trace_capacity > 0) {
       // One private tracer per client, written only by the thread that

@@ -16,6 +16,8 @@ std::string_view ToString(FaultType type) {
       return "transient";
     case FaultType::kSlow:
       return "slow";
+    case FaultType::kGray:
+      return "gray";
   }
   return "unknown";
 }
@@ -36,6 +38,25 @@ Status FaultSchedule::Validate(uint32_t num_servers) const {
     }
     if (e.type == FaultType::kSlow && e.slow_factor < 1.0) {
       return Status::InvalidArgument("slow factor must be >= 1");
+    }
+    if (e.type == FaultType::kGray) {
+      if (e.slow_factor < 1.0) {
+        return Status::InvalidArgument("gray slow factor must be >= 1");
+      }
+      if (e.jitter < 0.0 || e.jitter >= 1.0) {
+        return Status::InvalidArgument("gray jitter must be in [0, 1)");
+      }
+      if (e.client_fraction <= 0.0 || e.client_fraction > 1.0) {
+        return Status::InvalidArgument(
+            "gray client fraction must be in (0, 1]");
+      }
+      if (e.stall_probability < 0.0 || e.stall_probability > 1.0) {
+        return Status::InvalidArgument(
+            "gray stall probability must be in [0, 1]");
+      }
+      if (e.stall_factor < 1.0) {
+        return Status::InvalidArgument("gray stall factor must be >= 1");
+      }
     }
   }
   return Status::OK();
@@ -65,6 +86,13 @@ double UniformDraw(uint64_t seed, uint32_t client_id, uint64_t op_clock,
   return static_cast<double>(Mix64(h) >> 11) * 0x1.0p-53;
 }
 
+// Salts separating the independent gray draw streams from the transient
+// stream (and from each other) — the same decision tuple must not yield
+// correlated jitter, stall, and membership outcomes.
+constexpr uint64_t kGrayJitterSalt = 0x6a17'7e72'9a4b'0001ULL;
+constexpr uint64_t kGrayStallSalt = 0x57a1'1f0c'9a4b'0002ULL;
+constexpr uint64_t kGrayMemberSalt = 0x4a5f'a3c7'9a4b'0003ULL;
+
 }  // namespace
 
 FaultInjector::Decision FaultInjector::Evaluate(uint32_t client_id,
@@ -89,6 +117,31 @@ FaultInjector::Decision FaultInjector::Evaluate(uint32_t client_id,
       case FaultType::kSlow:
         d.slow_factor = std::max(d.slow_factor, e.slow_factor);
         break;
+      case FaultType::kGray: {
+        // Asymmetric visibility: membership is stable per (client,
+        // window) — keyed on start_op so overlapping windows on the same
+        // shard draw independently — never per attempt.
+        if (e.client_fraction < 1.0 &&
+            UniformDraw(schedule_.seed ^ kGrayMemberSalt, client_id,
+                        e.start_op, server, 0) >= e.client_fraction) {
+          break;
+        }
+        double factor = e.slow_factor;
+        if (e.jitter > 0.0) {
+          double u = UniformDraw(schedule_.seed ^ kGrayJitterSalt, client_id,
+                                 op_clock, server, attempt);
+          factor *= 1.0 + e.jitter * (2.0 * u - 1.0);
+        }
+        if (e.stall_probability > 0.0 &&
+            UniformDraw(schedule_.seed ^ kGrayStallSalt, client_id, op_clock,
+                        server, attempt) < e.stall_probability) {
+          factor *= e.stall_factor;
+        }
+        factor = std::max(factor, 1.0);
+        d.slow_factor = std::max(d.slow_factor, factor);
+        d.gray = true;
+        break;
+      }
     }
   }
   return d;
@@ -168,6 +221,17 @@ StatusOr<FaultSchedule> ParseFaultSchedule(const std::string& crash_spec,
                                            const std::string& transient_spec,
                                            const std::string& slow_spec,
                                            uint64_t seed) {
+  return ParseFaultSchedule(crash_spec, transient_spec, slow_spec, "", "", "",
+                            seed);
+}
+
+StatusOr<FaultSchedule> ParseFaultSchedule(const std::string& crash_spec,
+                                           const std::string& transient_spec,
+                                           const std::string& slow_spec,
+                                           const std::string& gray_slow_spec,
+                                           const std::string& gray_asym_spec,
+                                           const std::string& gray_stall_spec,
+                                           uint64_t seed) {
   FaultSchedule schedule;
   schedule.seed = seed;
   Status s = ParseEntries(
@@ -204,6 +268,48 @@ StatusOr<FaultSchedule> ParseFaultSchedule(const std::string& crash_spec,
         e.start_op = static_cast<uint64_t>(v[1]);
         e.end_op = static_cast<uint64_t>(v[2]);
         e.slow_factor = v[3];
+        return e;
+      },
+      &schedule.events);
+  if (!s.ok()) return s;
+  s = ParseEntries(
+      gray_slow_spec, 5, "gray-slow",
+      [](const std::vector<double>& v) {
+        FaultEvent e;
+        e.type = FaultType::kGray;
+        e.server = static_cast<ServerId>(v[0]);
+        e.start_op = static_cast<uint64_t>(v[1]);
+        e.end_op = static_cast<uint64_t>(v[2]);
+        e.slow_factor = v[3];
+        e.jitter = v[4];
+        return e;
+      },
+      &schedule.events);
+  if (!s.ok()) return s;
+  s = ParseEntries(
+      gray_asym_spec, 5, "gray-asym",
+      [](const std::vector<double>& v) {
+        FaultEvent e;
+        e.type = FaultType::kGray;
+        e.server = static_cast<ServerId>(v[0]);
+        e.start_op = static_cast<uint64_t>(v[1]);
+        e.end_op = static_cast<uint64_t>(v[2]);
+        e.slow_factor = v[3];
+        e.client_fraction = v[4];
+        return e;
+      },
+      &schedule.events);
+  if (!s.ok()) return s;
+  s = ParseEntries(
+      gray_stall_spec, 5, "gray-stall",
+      [](const std::vector<double>& v) {
+        FaultEvent e;
+        e.type = FaultType::kGray;
+        e.server = static_cast<ServerId>(v[0]);
+        e.start_op = static_cast<uint64_t>(v[1]);
+        e.end_op = static_cast<uint64_t>(v[2]);
+        e.stall_probability = v[3];
+        e.stall_factor = v[4];
         return e;
       },
       &schedule.events);

@@ -24,6 +24,17 @@ enum class FaultType {
   /// The shard serves correctly but `slow_factor` times slower — priced
   /// by the end-to-end simulator, invisible to logical results.
   kSlow,
+  /// Gray failure: the shard is *slow but alive*. Like kSlow it never
+  /// fails a request (so circuit breakers built on failure counts never
+  /// trip), but the degradation is richer: the sustained `slow_factor`
+  /// gets per-attempt multiplicative jitter (`jitter`), only a
+  /// deterministic `client_fraction` of clients observe it at all
+  /// (asymmetric degradation — a degraded NIC is not equally visible from
+  /// every rack), and with `stall_probability` an attempt additionally
+  /// stalls by `stall_factor` (compaction pause / GC hiccup). All draws
+  /// are stateless hashes of the decision tuple, so gray runs stay
+  /// byte-identical at any thread count.
+  kGray,
 };
 
 std::string_view ToString(FaultType type);
@@ -41,8 +52,22 @@ struct FaultEvent {
   uint64_t end_op = 0;
   /// Per-request failure probability; meaningful for kTransient only.
   double probability = 1.0;
-  /// Service-time multiplier (>= 1); meaningful for kSlow only.
+  /// Service-time multiplier (>= 1); meaningful for kSlow and kGray.
   double slow_factor = 1.0;
+  /// Per-attempt multiplicative jitter amplitude in [0, 1): a successful
+  /// gray attempt is scaled by `slow_factor * (1 + jitter * u)` with
+  /// u drawn uniformly from [-1, 1). kGray only.
+  double jitter = 0.0;
+  /// Fraction of clients (in (0, 1]) that observe this gray window at
+  /// all; membership is a stable per-(client, window) hash draw, so the
+  /// same clients are degraded for the whole window. kGray only.
+  double client_fraction = 1.0;
+  /// Probability that an attempt additionally stalls (intermittent
+  /// hiccup), multiplying the factor by `stall_factor`. kGray only.
+  double stall_probability = 0.0;
+  /// Multiplier applied on top of `slow_factor` when a stall fires
+  /// (>= 1). kGray only.
+  double stall_factor = 1.0;
 };
 
 /// A full per-run fault plan: a set of windows plus the seed that drives
@@ -79,6 +104,10 @@ class FaultInjector {
     bool crashed = false;
     /// Service-time multiplier for a *successful* attempt (>= 1).
     double slow_factor = 1.0;
+    /// An active gray window applied to this attempt (this client is in
+    /// the window's observing fraction). Lets callers count gray
+    /// exposure separately from plain kSlow windows.
+    bool gray = false;
   };
 
   explicit FaultInjector(FaultSchedule schedule);
@@ -118,6 +147,22 @@ class FaultInjector {
 StatusOr<FaultSchedule> ParseFaultSchedule(const std::string& crash_spec,
                                            const std::string& transient_spec,
                                            const std::string& slow_spec,
+                                           uint64_t seed);
+
+/// Full parser including the `cot_run --gray-*` gray-failure modes, each
+/// producing kGray events:
+///   gray_slow_spec:  "server:start:end:factor:jitter[,...]"
+///   gray_asym_spec:  "server:start:end:factor:fraction[,...]"
+///   gray_stall_spec: "server:start:end:prob:factor[,...]"
+/// (a stall entry keeps the sustained factor at 1 — only the intermittent
+/// hiccup degrades it). The 4-argument overload above delegates here with
+/// empty gray specs.
+StatusOr<FaultSchedule> ParseFaultSchedule(const std::string& crash_spec,
+                                           const std::string& transient_spec,
+                                           const std::string& slow_spec,
+                                           const std::string& gray_slow_spec,
+                                           const std::string& gray_asym_spec,
+                                           const std::string& gray_stall_spec,
                                            uint64_t seed);
 
 }  // namespace cot::cluster

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "metrics/imbalance.h"
 
@@ -28,6 +29,15 @@ void FrontendStats::Add(const FrontendStats& other) {
   unavailable_shard_epochs += other.unavailable_shard_epochs;
   epoch_mismatches += other.epoch_mismatches;
   route_refreshes += other.route_refreshes;
+  hedges_sent += other.hedges_sent;
+  hedges_won += other.hedges_won;
+  hedges_lost += other.hedges_lost;
+  hedges_suppressed += other.hedges_suppressed;
+  lameduck_entries += other.lameduck_entries;
+  lameduck_exits += other.lameduck_exits;
+  lameduck_bypasses += other.lameduck_bypasses;
+  lameduck_probes += other.lameduck_probes;
+  gray_ops += other.gray_ops;
 }
 
 FrontendClient::FrontendClient(CacheCluster* cluster,
@@ -70,6 +80,12 @@ void FrontendClient::SetFaultInjector(const FaultInjector* injector,
   fault_injector_ = injector;
   fault_client_id_ = client_id;
   failure_policy_ = policy;
+  if (injector != nullptr && policy.health_enabled) {
+    health_ = std::make_unique<HealthMonitor>(
+        static_cast<uint32_t>(snapshot_->servers.size()), policy.health);
+  } else {
+    health_.reset();
+  }
 }
 
 void FrontendClient::SetTracer(metrics::EventTracer* tracer) {
@@ -175,6 +191,12 @@ bool FrontendClient::TryDeliver(ServerId sid, uint64_t now,
   // Every delivery attempt that is not a retry is fresh traffic: it funds
   // the cluster-wide retry budget.
   if (retry_budget_ != nullptr) retry_budget_->OnFreshRequest();
+  if (health_ != nullptr) {
+    // Adaptive deadline in effect for this request's attempts; the sim
+    // prices each failed attempt at this instead of the fixed timeout.
+    outcome->deadline_us =
+        std::max(outcome->deadline_us, health_->DeadlineUs(sid));
+  }
   uint32_t attempt = 0;
   for (;;) {
     FaultInjector::Decision d =
@@ -182,6 +204,8 @@ bool FrontendClient::TryDeliver(ServerId sid, uint64_t now,
     if (!d.fail) {
       if (d.slow_factor > 1.0) ++stats_.slow_ops;
       outcome->slow_factor = std::max(outcome->slow_factor, d.slow_factor);
+      last_delivery_slow_factor_ = d.slow_factor;
+      ObserveHealth(sid, d, now);
       RecordSuccess(sid);
       if (attempt > 0 && tracer_ != nullptr) {
         tracer_->Record(now, metrics::RetryEpisodePayload{
@@ -220,6 +244,107 @@ bool FrontendClient::TryDeliver(ServerId sid, uint64_t now,
     }
     ++attempt;
     ++stats_.retries;
+  }
+}
+
+void FrontendClient::ObserveHealth(ServerId sid,
+                                   const FaultInjector::Decision& decision,
+                                   uint64_t now) {
+  if (health_ == nullptr) return;
+  if (decision.gray) ++stats_.gray_ops;
+  const double nominal = failure_policy_.health_nominal_latency_us;
+  const double observed = nominal * decision.slow_factor;
+  HealthMonitor::Transition t = health_->Observe(sid, observed, nominal);
+  if (t == HealthMonitor::Transition::kNone) return;
+  const bool entered = t == HealthMonitor::Transition::kEnterLameduck;
+  if (entered) {
+    ++stats_.lameduck_entries;
+  } else {
+    ++stats_.lameduck_exits;
+  }
+  if (router_ != nullptr) {
+    // Quarantine is advisory, not a fence: the router just makes the
+    // shard less attractive in p2c comparisons until it recovers.
+    router_->OnHealth(sid, entered ? failure_policy_.lameduck_weight : 1.0);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(now, metrics::HealthTransitionPayload{
+                             static_cast<uint32_t>(sid),
+                             entered ? "lameduck" : "healthy",
+                             health_->Score(sid), health_->QuantileUs(sid),
+                             health_->observations(sid)});
+  }
+}
+
+bool FrontendClient::LameduckBypass(ServerId sid, OpOutcome* outcome) {
+  if (health_ == nullptr || !health_->IsLameduck(sid)) return false;
+  if (health_->NextReadProbes(sid)) {
+    // Probe traffic keeps flowing to a quarantined shard — that is what
+    // makes recovery observable (and what distinguishes lameduck from an
+    // open breaker).
+    ++stats_.lameduck_probes;
+    return false;
+  }
+  ++stats_.lameduck_bypasses;
+  outcome->lameduck_bypass = true;
+  return true;
+}
+
+void FrontendClient::MaybeHedge(Key key, ServerId sid, uint64_t now,
+                                double slow_factor, OpOutcome* outcome) {
+  if (health_ == nullptr || !failure_policy_.hedging_enabled) return;
+  const double observed =
+      failure_policy_.health_nominal_latency_us * slow_factor;
+  const double delay = health_->HedgeDelayUs();
+  if (observed <= delay) return;
+  // The read is (deterministically) observed to run past the adaptive
+  // hedge delay: reissue it, budget permitting. `hedges_sent` counts
+  // triggers; sent == won + lost + suppressed is the hard identity.
+  ++stats_.hedges_sent;
+  if (retry_budget_ != nullptr && !retry_budget_->TryConsume()) {
+    // Dry bucket: the hedge is the first load the defense sheds. This is
+    // what keeps hedging from amplifying an overload into a retry storm.
+    ++stats_.hedges_suppressed;
+    if (tracer_ != nullptr) {
+      tracer_->Record(now, metrics::HedgePayload{static_cast<uint32_t>(sid),
+                                                 "storage", "suppressed",
+                                                 observed, delay});
+    }
+    return;
+  }
+  ServerId replica = RoutingPolicy::kNoReplica;
+  if (router_ != nullptr) {
+    replica = router_->HedgeReplica(key, sid, route_view());
+  }
+  const bool to_replica = replica != RoutingPolicy::kNoReplica;
+  double hedge_path_us;
+  if (to_replica) {
+    // Race the other replica. The oracle tells us what that attempt
+    // would observe at this instant (stateless draw, so the race outcome
+    // is deterministic); a failing replica attempt simply loses.
+    FaultInjector::Decision d =
+        fault_injector_->Evaluate(fault_client_id_, now, replica, 0);
+    hedge_path_us =
+        d.fail ? std::numeric_limits<double>::infinity()
+               : failure_policy_.health_nominal_latency_us * d.slow_factor;
+  } else {
+    hedge_path_us = failure_policy_.hedge_storage_latency_us;
+  }
+  outcome->hedged = true;
+  outcome->hedge_delay_us = delay;
+  outcome->hedge_to_replica = to_replica;
+  const bool won = delay + hedge_path_us < observed;
+  if (won) {
+    ++stats_.hedges_won;
+    outcome->hedge_won = true;
+  } else {
+    ++stats_.hedges_lost;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(now, metrics::HedgePayload{
+                             static_cast<uint32_t>(sid),
+                             to_replica ? "replica" : "storage",
+                             won ? "won" : "lost", observed, delay});
   }
 }
 
@@ -346,6 +471,17 @@ cache::Value FrontendClient::GetImpl(Key key, OpOutcome* outcome) {
         OnOperation();
         return value;
       }
+      if (LameduckBypass(sid, outcome)) {
+        // Quarantined shard: serve from storage without contacting it.
+        // Unlike the breaker path the shard is alive and stays warm —
+        // no unavailability marking, no fencing, probes keep flowing.
+        ++stats_.storage_reads;
+        outcome->storage_accessed = true;
+        Value value = cluster_->storage().Get(key);
+        if (local_cache_ != nullptr) local_cache_->Put(key, value);
+        OnOperation();
+        return value;
+      }
       if (!TryDeliver(sid, now, outcome)) {
         // Failover: retries exhausted (or crash diagnosed) — graceful
         // degradation to the authoritative layer. `Get` never fails.
@@ -360,6 +496,7 @@ cache::Value FrontendClient::GetImpl(Key key, OpOutcome* outcome) {
       // Delivered: enforce the recovery rule before reading content the
       // shard may have carried across a crash.
       MaybeRecoverShard(sid, now);
+      MaybeHedge(key, sid, now, last_delivery_slow_factor_, outcome);
     }
     ++epoch_lookups_[sid];
     ++cumulative_lookups_[sid];
@@ -410,6 +547,13 @@ cache::Value FrontendClient::RingFetch(Key key, uint64_t now,
         outcome->storage_accessed = true;
         return cluster_->storage().Get(key);
       }
+      if (LameduckBypass(sid, outcome)) {
+        // Quarantined shard: storage serves the read; the shard is alive
+        // and unfenced, probes keep flowing (see GetImpl).
+        ++stats_.storage_reads;
+        outcome->storage_accessed = true;
+        return cluster_->storage().Get(key);
+      }
       if (!TryDeliver(sid, now, outcome)) {
         ++stats_.failovers;
         ++stats_.storage_reads;
@@ -417,6 +561,7 @@ cache::Value FrontendClient::RingFetch(Key key, uint64_t now,
         return cluster_->storage().Get(key);
       }
       MaybeRecoverShard(sid, now);
+      MaybeHedge(key, sid, now, last_delivery_slow_factor_, outcome);
     }
     // The snapshot's shard pointer: no topology lock on the serving path.
     BackendServer& shard = *snapshot_->servers[sid];
@@ -557,6 +702,11 @@ std::vector<cache::Value> FrontendClient::MultiGet(std::span<const Key> keys) {
           ++failed_ops_per_server_[sid];
           epoch_shard_unavailable_[sid] = 1;
           to_storage = true;
+        } else if (LameduckBypass(sid, &outcome)) {
+          // The whole sub-batch bypasses the quarantined shard (it is one
+          // request on the wire); count every read it carried.
+          stats_.lameduck_bypasses += count - 1;
+          to_storage = true;
         } else if (!TryDeliver(sid, draw_clock, &outcome)) {
           // One fault draw per sub-batch: the batch is one request on the
           // wire, so it fails (and retries) as a unit.
@@ -597,6 +747,12 @@ std::vector<cache::Value> FrontendClient::MultiGet(std::span<const Key> keys) {
       stats_.backend_lookups += count;
       stats_.backend_hits += ack.hits;
       backend_keys += static_cast<uint32_t>(count);
+      if (fault_injector_ != nullptr) {
+        // One hedge decision per sub-batch — it was one request on the
+        // wire, so it is one candidate for reissue.
+        MaybeHedge(pending[i].key, sid, draw_clock,
+                   last_delivery_slow_factor_, &outcome);
+      }
       for (size_t k = i; k < j; ++k) {
         out[pending[k].slot] = group_values[k - i];
       }

@@ -10,6 +10,7 @@
 #include "cache/cache.h"
 #include "cluster/cache_cluster.h"
 #include "cluster/fault_injector.h"
+#include "cluster/health_monitor.h"
 #include "cluster/retry_budget.h"
 #include "cluster/routing.h"
 #include "core/cot_cache.h"
@@ -71,6 +72,32 @@ struct FrontendStats {
   /// Route-view refreshes performed after an epoch mismatch.
   uint64_t route_refreshes = 0;
 
+  // Gray-failure defense counters (all zero unless
+  // `FailurePolicy::health_enabled`). Accounting identity, hard-checked in
+  // tests: hedges_sent == hedges_won + hedges_lost + hedges_suppressed,
+  // and hedges_won + hedges_lost equals the RetryBudget withdrawals made
+  // for hedging (a suppressed hedge withdrew nothing).
+  /// Reads that triggered the hedge rule (ran past the adaptive hedge
+  /// delay) — including those the budget then suppressed.
+  uint64_t hedges_sent = 0;
+  /// Hedges whose reissued request finished first.
+  uint64_t hedges_won = 0;
+  /// Hedges where the primary response arrived first anyway.
+  uint64_t hedges_lost = 0;
+  /// Hedge reissues denied by the retry budget (no request was sent).
+  uint64_t hedges_suppressed = 0;
+  /// Shards this client quarantined (health score sank below the enter
+  /// threshold).
+  uint64_t lameduck_entries = 0;
+  /// Quarantined shards this client restored to healthy.
+  uint64_t lameduck_exits = 0;
+  /// Reads that bypassed a quarantined shard straight to storage.
+  uint64_t lameduck_bypasses = 0;
+  /// Probe reads deliberately sent to a quarantined shard.
+  uint64_t lameduck_probes = 0;
+  /// Successful attempts served inside a gray-degradation window.
+  uint64_t gray_ops = 0;
+
   /// Fraction of reads served by the local front-end cache.
   double LocalHitRate() const {
     return reads == 0 ? 0.0
@@ -113,10 +140,39 @@ struct FailurePolicy {
   /// (0.1 = retries may consume up to ~10% of fresh requests). 0 — the
   /// default — disables the budget entirely: no shared bucket is created,
   /// preserving per-client determinism (see `RetryBudget`). The experiment
-  /// drivers construct one shared `RetryBudget` per run when this is set.
+  /// drivers construct one shared `RetryBudget` per run when this is set
+  /// — or one *per client* when the gray-failure defense is on, so
+  /// budget-gated hedging stays byte-identical at any thread count.
   double retry_budget_ratio = 0.0;
   /// Bucket cap in whole tokens when the budget is enabled.
   double retry_budget_burst = 16.0;
+
+  // --- Gray-failure defense (see DESIGN.md "Gray failures") ---
+  /// Master switch: per-shard latency health scoring, adaptive deadlines
+  /// and lameduck quarantine. Off by default — no HealthMonitor is
+  /// allocated and every defense site is a null-pointer test, so
+  /// fault-free runs are bit-identical to pre-defense builds.
+  bool health_enabled = false;
+  /// Hedged reads (requires `health_enabled`): a read observed to run
+  /// past the adaptive hedge delay is reissued to the storage tier (or
+  /// the other p2c replica under a router that offers one), first
+  /// response wins. Strictly budget-gated when a RetryBudget is attached.
+  bool hedging_enabled = false;
+  /// Monitor tuning (quantile, EWMA alpha, deadline/hedge multipliers,
+  /// lameduck thresholds, probe cadence).
+  HealthConfig health;
+  /// Nominal healthy backend read latency in us — the deterministic
+  /// stand-in for a measured RTT: an attempt's observed latency is
+  /// `nominal * slow_factor` from the fault injector's decision. Default
+  /// mirrors the simulator's LatencyModel (rtt + base service).
+  double health_nominal_latency_us = 394.0;
+  /// Estimated storage-tier read latency in us (rtt + storage extra) —
+  /// what a hedge to storage is expected to cost when racing the primary.
+  double hedge_storage_latency_us = 644.0;
+  /// p2c routing weight of a quarantined shard in (0, 1]: the router
+  /// multiplies the shard's load estimate by 1/weight, shifting hot-key
+  /// traffic to the other candidate without fencing the shard.
+  double lameduck_weight = 0.25;
 };
 
 /// The paper's modified cache-client library (Section 5.1): a front-end
@@ -256,6 +312,24 @@ class FrontendClient {
     double slow_factor = 1.0;
     /// The shard contacted, valid iff `backend_contacted`.
     ServerId server = 0;
+    /// Adaptive per-shard deadline in effect for this op's attempts (us);
+    /// 0 means the legacy fixed timeout (health disabled). The simulator
+    /// prices each failed attempt at this deadline instead of the fixed
+    /// `LatencyModel::timeout_us`.
+    double deadline_us = 0.0;
+    /// A hedge was issued for this read: the simulator prices completion
+    /// as min(primary path, hedge_delay_us + hedge path).
+    bool hedged = false;
+    /// The hedge response was (logically) first; the primary's reply was
+    /// discarded.
+    bool hedge_won = false;
+    /// Adaptive delay after which the hedge was issued (us).
+    double hedge_delay_us = 0.0;
+    /// The hedge went to the other p2c replica instead of storage.
+    bool hedge_to_replica = false;
+    /// Read bypassed a lameduck-quarantined shard straight to storage
+    /// (priced like a degraded read, but the shard is alive and unfenced).
+    bool lameduck_bypass = false;
   };
 
   /// Read path. Always returns a value: storage is authoritative, and a
@@ -340,6 +414,11 @@ class FrontendClient {
   /// Zeroes traffic counters (epoch counters are unaffected).
   void ResetStats() { stats_ = FrontendStats(); }
 
+  /// The gray-failure health monitor; null unless
+  /// `FailurePolicy::health_enabled` was set when the fault injector was
+  /// attached.
+  const HealthMonitor* health_monitor() const { return health_.get(); }
+
  private:
   /// Per-shard circuit breaker (client-local, logical-clock cooldowns).
   struct Breaker {
@@ -402,6 +481,21 @@ class FrontendClient {
   void NoteEpochMismatch(ServerId sid, uint64_t client_epoch,
                          uint64_t shard_epoch, uint64_t now,
                          OpOutcome* outcome);
+  /// Health bookkeeping for one successful delivery: feeds the monitor
+  /// the attempt's deterministic observed latency, counts gray exposure,
+  /// and handles lameduck enter/exit (stats, trace, router weight).
+  void ObserveHealth(ServerId sid, const FaultInjector::Decision& decision,
+                     uint64_t now);
+  /// Gray-failure read bypass: true when `sid` is quarantined and this
+  /// read is not due to probe it — the caller serves the read from
+  /// storage instead. Counts bypasses/probes.
+  bool LameduckBypass(ServerId sid, OpOutcome* outcome);
+  /// Hedged-read decision for one successfully delivered read (or read
+  /// sub-batch) whose attempt ran `slow_factor` times slow on `sid`. May
+  /// consume one retry-budget token; updates hedge stats, trace, and the
+  /// outcome's pricing fields.
+  void MaybeHedge(Key key, ServerId sid, uint64_t now, double slow_factor,
+                  OpOutcome* outcome);
   /// Closes the current epoch's availability accounting.
   void CloseEpochAvailability();
 
@@ -421,6 +515,13 @@ class FrontendClient {
   RetryBudget* retry_budget_ = nullptr;
   uint32_t fault_client_id_ = 0;
   FailurePolicy failure_policy_;
+  /// Gray-failure defense state; allocated only when
+  /// `FailurePolicy::health_enabled` (null = zero-cost fault-free path).
+  std::unique_ptr<HealthMonitor> health_;
+  /// Slow factor of the most recent successful TryDeliver — the
+  /// per-request signal MaybeHedge needs (OpOutcome::slow_factor is a max
+  /// over the whole op, which may span several sub-batch requests).
+  double last_delivery_slow_factor_ = 1.0;
   uint64_t op_clock_ = 0;
   std::vector<uint64_t> epoch_lookups_;
   std::vector<uint64_t> cumulative_lookups_;

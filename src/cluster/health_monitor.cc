@@ -1,0 +1,169 @@
+#include "cluster/health_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cot::cluster {
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  np_[0] = 1;
+  np_[1] = 1 + 2 * p;
+  np_[2] = 1 + 4 * p;
+  np_[3] = 3 + 2 * p;
+  np_[4] = 5;
+  dn_[0] = 0;
+  dn_[1] = p / 2;
+  dn_[2] = p;
+  dn_[3] = (1 + p) / 2;
+  dn_[4] = 1;
+}
+
+void P2Quantile::Observe(double x) {
+  if (count_ < 5) {
+    q_[count_++] = x;
+    if (count_ == 5) std::sort(q_, q_ + 5);
+    return;
+  }
+  // Find the cell k containing x and clamp the extreme markers.
+  int k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x < q_[1]) {
+    k = 0;
+  } else if (x < q_[2]) {
+    k = 1;
+  } else if (x < q_[3]) {
+    k = 2;
+  } else if (x <= q_[4]) {
+    k = 3;
+  } else {
+    q_[4] = x;
+    k = 3;
+  }
+  for (int i = k + 1; i < 5; ++i) n_[i] += 1;
+  for (int i = 0; i < 5; ++i) np_[i] += dn_[i];
+  ++count_;
+  // Adjust the three interior markers toward their desired positions,
+  // parabolic (P-squared) when the neighbour gap allows, linear otherwise.
+  for (int i = 1; i <= 3; ++i) {
+    double d = np_[i] - n_[i];
+    if ((d >= 1 && n_[i + 1] - n_[i] > 1) ||
+        (d <= -1 && n_[i - 1] - n_[i] < -1)) {
+      double sign = d >= 0 ? 1.0 : -1.0;
+      double qp =
+          q_[i] + sign / (n_[i + 1] - n_[i - 1]) *
+                      ((n_[i] - n_[i - 1] + sign) * (q_[i + 1] - q_[i]) /
+                           (n_[i + 1] - n_[i]) +
+                       (n_[i + 1] - n_[i] - sign) * (q_[i] - q_[i - 1]) /
+                           (n_[i] - n_[i - 1]));
+      if (q_[i - 1] < qp && qp < q_[i + 1]) {
+        q_[i] = qp;
+      } else {
+        // Parabolic prediction left the bracket: fall back to linear.
+        int j = i + static_cast<int>(sign);
+        q_[i] += sign * (q_[j] - q_[i]) / (n_[j] - n_[i]);
+      }
+      n_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ >= 5) return q_[2];
+  // Exact small-sample quantile over the (unsorted until 5) prefix.
+  double sorted[5];
+  std::copy(q_, q_ + count_, sorted);
+  std::sort(sorted, sorted + count_);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p_ * count_));
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  return sorted[rank - 1];
+}
+
+HealthMonitor::HealthMonitor(uint32_t num_shards, const HealthConfig& config)
+    : config_(config), cluster_p50_(0.5) {
+  shards_.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    shards_.emplace_back(config_.quantile);
+  }
+}
+
+HealthMonitor::ShardHealth& HealthMonitor::Ensure(ServerId shard) {
+  while (shards_.size() <= shard) {
+    shards_.emplace_back(config_.quantile);
+  }
+  return shards_[shard];
+}
+
+HealthMonitor::Transition HealthMonitor::Observe(ServerId shard,
+                                                 double latency_us,
+                                                 double healthy_reference_us) {
+  ShardHealth& h = Ensure(shard);
+  h.p99.Observe(latency_us);
+  cluster_p50_.Observe(latency_us);
+  ++h.observations;
+  double sample = 1.0;
+  if (latency_us > 0.0 && healthy_reference_us > 0.0) {
+    sample = std::min(1.0, healthy_reference_us / latency_us);
+  }
+  h.score += config_.ewma_alpha * (sample - h.score);
+  if (!h.lameduck && h.observations >= config_.min_observations &&
+      h.score < config_.lameduck_enter) {
+    h.lameduck = true;
+    h.reads_since_probe = 0;
+    ++lameduck_count_;
+    return Transition::kEnterLameduck;
+  }
+  if (h.lameduck && h.score > config_.lameduck_exit) {
+    h.lameduck = false;
+    --lameduck_count_;
+    return Transition::kExitLameduck;
+  }
+  return Transition::kNone;
+}
+
+double HealthMonitor::Score(ServerId shard) const {
+  if (shard >= shards_.size()) return 1.0;
+  return shards_[shard].score;
+}
+
+double HealthMonitor::QuantileUs(ServerId shard) const {
+  if (shard >= shards_.size()) return 0.0;
+  return shards_[shard].p99.Value();
+}
+
+double HealthMonitor::DeadlineUs(ServerId shard) const {
+  double p99 = QuantileUs(shard);
+  return std::max(config_.deadline_floor_us, config_.deadline_k * p99);
+}
+
+double HealthMonitor::HedgeDelayUs() const {
+  return std::max(config_.hedge_floor_us,
+                  config_.hedge_k * cluster_p50_.Value());
+}
+
+bool HealthMonitor::IsLameduck(ServerId shard) const {
+  if (shard >= shards_.size()) return false;
+  return shards_[shard].lameduck;
+}
+
+bool HealthMonitor::NextReadProbes(ServerId shard) {
+  ShardHealth& h = Ensure(shard);
+  if (!h.lameduck) return true;
+  if (config_.probe_interval == 0) return false;
+  ++h.reads_since_probe;
+  if (h.reads_since_probe >= config_.probe_interval) {
+    h.reads_since_probe = 0;
+    return true;
+  }
+  return false;
+}
+
+uint64_t HealthMonitor::observations(ServerId shard) const {
+  if (shard >= shards_.size()) return 0;
+  return shards_[shard].observations;
+}
+
+}  // namespace cot::cluster

@@ -1,0 +1,163 @@
+#ifndef COT_CLUSTER_HEALTH_MONITOR_H_
+#define COT_CLUSTER_HEALTH_MONITOR_H_
+
+// Per-shard latency health tracking for gray-failure defense.
+//
+// Circuit breakers (frontend_client.h) are blind to *gray* failures: a
+// shard that is 10x slow but never errors trips no failure counter, yet
+// one such shard drags cluster p99 by an order of magnitude. The
+// HealthMonitor closes that gap by watching the latency distribution
+// itself: a streaming P-squared quantile estimator per shard (5 markers,
+// O(1) memory — never an unbounded reservoir) plus an EWMA health score
+// in [0, 1]. The score drives three defenses in FrontendClient:
+//
+//   * adaptive deadlines  — deadline(shard) = max(floor, k * p99(shard)),
+//     replacing the fixed LatencyModel-style timeout when pricing failed
+//     attempts;
+//   * hedged reads        — a read observed to run past the *cluster
+//     median*-derived hedge delay is reissued (budget permitting) to the
+//     storage tier or the other p2c replica; the median is robust to one
+//     gray shard polluting the tail, which the global p99 is not;
+//   * lameduck quarantine — a shard whose score sinks below
+//     `lameduck_enter` is quarantined: bulk reads bypass it to storage,
+//     every `probe_interval`-th read still probes it (so recovery is
+//     observable), invalidations are always delivered, and its p2c
+//     routing weight drops. Never fenced like a crash: the shard is slow,
+//     not dead, and its data is valid.
+//
+// Each client owns a private monitor fed with *deterministic* observed
+// latencies (nominal cost x the injector's slow factor), so health
+// decisions — like every other logical stat — are a pure function of the
+// client's own stream and byte-identical at any thread count. Private
+// monitors also model asymmetric gray failures naturally: a client that
+// does not observe the slowness keeps routing to the shard.
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/consistent_hash_ring.h"
+
+namespace cot::cluster {
+
+/// Streaming quantile estimator (Jain & Chlamtac's P-squared algorithm):
+/// five markers track the quantile without storing observations. Until
+/// five samples arrive, Value() falls back to the exact small-sample
+/// quantile.
+class P2Quantile {
+ public:
+  /// `p` in (0, 1), e.g. 0.99.
+  explicit P2Quantile(double p = 0.99);
+
+  void Observe(double x);
+
+  /// Current estimate of the p-quantile; 0 before any observation.
+  double Value() const;
+
+  uint64_t count() const { return count_; }
+
+ private:
+  double p_;
+  uint64_t count_ = 0;
+  // Marker heights, actual positions, desired positions, position rates.
+  double q_[5] = {0, 0, 0, 0, 0};
+  double n_[5] = {1, 2, 3, 4, 5};
+  double np_[5];
+  double dn_[5];
+};
+
+/// Tuning knobs for the monitor. Defaults are calibrated against the
+/// simulator's LatencyModel scale (nominal backend read ~ 394us = rtt +
+/// base service) but every threshold is relative, so the monitor works at
+/// any latency scale.
+struct HealthConfig {
+  /// Quantile tracked per shard for adaptive deadlines.
+  double quantile = 0.99;
+  /// EWMA smoothing for the health score (higher = faster reaction).
+  double ewma_alpha = 0.2;
+  /// Deadline floor in us — the legacy fixed timeout, kept as the lower
+  /// bound so healthy shards never see a tighter deadline than before.
+  double deadline_floor_us = 1000.0;
+  /// deadline(shard) = max(floor, deadline_k * p99(shard)).
+  double deadline_k = 3.0;
+  /// Hedge delay floor in us.
+  double hedge_floor_us = 500.0;
+  /// hedge delay = max(hedge_floor_us, hedge_k * cluster p50).
+  double hedge_k = 3.0;
+  /// Enter lameduck when the score sinks below this...
+  double lameduck_enter = 0.35;
+  /// ...and exit only above this (hysteresis so the state cannot
+  /// flap between adjacent observations).
+  double lameduck_exit = 0.70;
+  /// Observations of a shard required before it may be quarantined.
+  uint64_t min_observations = 8;
+  /// In lameduck, every Nth read is a probe sent to the shard; the rest
+  /// bypass to storage.
+  uint64_t probe_interval = 8;
+};
+
+class HealthMonitor {
+ public:
+  /// What a new observation did to the shard's quarantine state.
+  enum class Transition { kNone, kEnterLameduck, kExitLameduck };
+
+  HealthMonitor(uint32_t num_shards, const HealthConfig& config);
+
+  /// Feeds one observed latency for `shard`; `healthy_reference_us` is
+  /// the latency the caller would consider nominal (score sample =
+  /// clamp(reference / observed, 0, 1)). Returns the quarantine
+  /// transition, if any.
+  Transition Observe(ServerId shard, double latency_us,
+                     double healthy_reference_us);
+
+  /// EWMA health score in [0, 1]; 1 before any observation.
+  double Score(ServerId shard) const;
+
+  /// Current per-shard p99 estimate in us (0 before observations).
+  double QuantileUs(ServerId shard) const;
+
+  /// Adaptive deadline: max(floor, k * p99(shard)); the floor alone
+  /// before any observation.
+  double DeadlineUs(ServerId shard) const;
+
+  /// Adaptive hedge delay: max(hedge_floor, hedge_k * cluster p50).
+  double HedgeDelayUs() const;
+
+  bool IsLameduck(ServerId shard) const;
+
+  /// In lameduck, decides whether the next read to `shard` is a probe
+  /// (true, every `probe_interval`-th call) or a bypass (false).
+  /// Deterministic counter per shard; call once per routed read.
+  bool NextReadProbes(ServerId shard);
+
+  uint64_t observations(ServerId shard) const;
+
+  /// Shards currently quarantined (for reporting).
+  uint32_t lameduck_count() const { return lameduck_count_; }
+
+  const HealthConfig& config() const { return config_; }
+
+ private:
+  struct ShardHealth {
+    P2Quantile p99;
+    double score = 1.0;
+    uint64_t observations = 0;
+    bool lameduck = false;
+    uint64_t reads_since_probe = 0;
+    explicit ShardHealth(double quantile) : p99(quantile) {}
+  };
+
+  /// Grows state to cover `shard` (churn can add shards mid-run).
+  ShardHealth& Ensure(ServerId shard);
+
+  HealthConfig config_;
+  std::vector<ShardHealth> shards_;
+  /// Cluster-wide median latency across all shards this client touches —
+  /// the hedge-delay reference. Robust to a single gray shard: one slow
+  /// shard shifts the median barely, while it *is* the global tail.
+  P2Quantile cluster_p50_;
+  uint32_t lameduck_count_ = 0;
+};
+
+}  // namespace cot::cluster
+
+#endif  // COT_CLUSTER_HEALTH_MONITOR_H_

@@ -55,8 +55,12 @@ class RetryBudget {
 
   /// Withdraws one token for a retry. Returns false (and withdraws
   /// nothing) when the budget is exhausted — the caller must give up the
-  /// retry and take its fallback path instead.
+  /// retry and take its fallback path instead. A zero ratio disables
+  /// withdrawals entirely: a bucket that can never refill is a fixed
+  /// grant, not a budget, so it denies from the first request rather than
+  /// silently allowing `burst` unfunded retries.
   bool TryConsume() {
+    if (deposit_milli_ == 0) return false;
     int64_t cur = milli_tokens_.load(std::memory_order_relaxed);
     for (;;) {
       if (cur < 1000) return false;

@@ -62,6 +62,29 @@ class RoutingPolicy {
     (void)key;
     (void)server;
   }
+
+  /// Health hook: the client's gray-failure defense sets `server`'s
+  /// routing weight in (0, 1] — 1 restores full health, a lameduck shard
+  /// gets a reduced weight. Weight-aware policies (p2c) divide the
+  /// shard's attractiveness by it; the default ignores health entirely.
+  virtual void OnHealth(ServerId server, double weight) {
+    (void)server;
+    (void)weight;
+  }
+
+  /// Hedge-placement hook: a replica of `key` other than `primary` that a
+  /// hedged read could race against the slow primary, or kNoReplica when
+  /// the policy has none (the hedge then goes to the storage tier).
+  /// Policies replicating hot keys (DistCache p2c) return the other
+  /// candidate.
+  static constexpr ServerId kNoReplica = static_cast<ServerId>(-1);
+  virtual ServerId HedgeReplica(uint64_t key, ServerId primary,
+                                const RouteView& view) {
+    (void)key;
+    (void)primary;
+    (void)view;
+    return kNoReplica;
+  }
 };
 
 /// Plain consistent hashing — the paper's baseline key-discovery scheme.

@@ -25,6 +25,10 @@ std::string_view ToString(TraceEventType type) {
       return "batch_lookup";
     case TraceEventType::kLoadShed:
       return "load_shed";
+    case TraceEventType::kHealthTransition:
+      return "health_transition";
+    case TraceEventType::kHedge:
+      return "hedge";
   }
   return "unknown";
 }
@@ -127,6 +131,20 @@ struct PayloadWriter {
     AppendStr(out, "reason", p.reason);
     AppendU64(out, "queue_depth", p.queue_depth);
     AppendU64(out, "wait_us", p.wait_us);
+  }
+  void operator()(const HealthTransitionPayload& p) const {
+    AppendU64(out, "server", p.server);
+    AppendStr(out, "to", p.to);
+    AppendDouble(out, "score", p.score);
+    AppendDouble(out, "p99_us", p.p99_us);
+    AppendU64(out, "observations", p.observations);
+  }
+  void operator()(const HedgePayload& p) const {
+    AppendU64(out, "server", p.server);
+    AppendStr(out, "target", p.target);
+    AppendStr(out, "result", p.result);
+    AppendDouble(out, "primary_latency_us", p.primary_latency_us);
+    AppendDouble(out, "hedge_delay_us", p.hedge_delay_us);
   }
 };
 

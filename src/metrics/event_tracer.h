@@ -42,6 +42,13 @@ enum class TraceEventType : uint8_t {
   /// or deadline admission) or let an invalidation bypass the data queue
   /// under pressure — the open-loop driver's degradation tiers.
   kLoadShed,
+  /// A shard's health score crossed a quarantine threshold: it entered
+  /// lameduck (slow-but-alive, probed not fenced) or recovered to
+  /// healthy.
+  kHealthTransition,
+  /// One hedged read: a read running past the adaptive hedge delay was
+  /// reissued (or the retry budget suppressed the reissue).
+  kHedge,
 };
 
 std::string_view ToString(TraceEventType type);
@@ -117,6 +124,22 @@ struct LoadShedPayload {
   uint64_t wait_us = 0;      // projected wait that triggered a deadline shed
 };
 
+struct HealthTransitionPayload {
+  uint32_t server = 0;
+  std::string_view to;  // "lameduck" | "healthy"
+  double score = 1.0;   // EWMA health score at the transition
+  double p99_us = 0.0;  // shard p99 estimate at the transition
+  uint64_t observations = 0;
+};
+
+struct HedgePayload {
+  uint32_t server = 0;      // primary shard the slow read was routed to
+  std::string_view target;  // "storage" | "replica"
+  std::string_view result;  // "won" | "lost" | "suppressed"
+  double primary_latency_us = 0.0;  // observed primary-path latency
+  double hedge_delay_us = 0.0;      // adaptive delay that triggered it
+};
+
 /// One recorded event. `(client, seq)` is the deterministic order key:
 /// `seq` increments per tracer, and a tracer is only ever written by the
 /// one thread driving its client, so merged traces are byte-identical at
@@ -129,7 +152,8 @@ struct TraceEvent {
   std::variant<EpochBoundaryPayload, ResizerDecisionPayload,
                BreakerTransitionPayload, FaultActivationPayload,
                RetryEpisodePayload, TopologyChangePayload,
-               EpochMismatchPayload, BatchLookupPayload, LoadShedPayload>
+               EpochMismatchPayload, BatchLookupPayload, LoadShedPayload,
+               HealthTransitionPayload, HedgePayload>
       payload;
 };
 
@@ -186,6 +210,12 @@ class EventTracer {
   }
   void Record(uint64_t op_clock, LoadShedPayload payload) {
     Push(TraceEventType::kLoadShed, op_clock, payload);
+  }
+  void Record(uint64_t op_clock, HealthTransitionPayload payload) {
+    Push(TraceEventType::kHealthTransition, op_clock, payload);
+  }
+  void Record(uint64_t op_clock, HedgePayload payload) {
+    Push(TraceEventType::kHedge, op_clock, payload);
   }
 
   /// Retained events, oldest first.

@@ -78,12 +78,22 @@ StatusOr<EndToEndResult> RunEndToEnd(
   std::vector<std::unique_ptr<cluster::FrontendClient>> clients;
   std::vector<workload::OpStream> streams;
   std::vector<std::unique_ptr<metrics::EventTracer>> tracers;
+  // Per-client retry budgets (the closed-loop sim is serial, but the
+  // per-client split keeps its logical stats byte-identical to the
+  // threaded logical engine's — see RunExperiment).
+  std::vector<std::unique_ptr<cluster::RetryBudget>> budgets;
   for (uint32_t i = 0; i < config.num_clients; ++i) {
     clients.push_back(std::make_unique<cluster::FrontendClient>(
         &cluster, factory ? factory(i) : nullptr));
     if (injector != nullptr) {
       clients.back()->SetFaultInjector(injector.get(), i,
                                        config.failure_policy);
+    }
+    if (config.failure_policy.retry_budget_ratio > 0.0) {
+      budgets.push_back(std::make_unique<cluster::RetryBudget>(
+          config.failure_policy.retry_budget_ratio,
+          config.failure_policy.retry_budget_burst));
+      clients.back()->SetRetryBudget(budgets.back().get());
     }
     if (config.trace_capacity > 0) {
       tracers.push_back(std::make_unique<metrics::EventTracer>(
@@ -218,7 +228,8 @@ StatusOr<EndToEndResult> RunEndToEnd(
         outcome.failed_attempts == 0
             ? 0.0
             : model.FaultPenalty(outcome.failed_attempts,
-                                 outcome.backend_contacted);
+                                 outcome.backend_contacted,
+                                 outcome.deadline_us);
     // Stale-route rejections each cost a wasted round trip plus a route
     // refresh before the retry reached the current owner.
     penalty += model.EpochMismatchPenalty(outcome.epoch_mismatches);
@@ -258,10 +269,33 @@ StatusOr<EndToEndResult> RunEndToEnd(
           model.ServiceTime(backlog, share, active) * outcome.slow_factor;
       if (outcome.storage_accessed) service += model.storage_extra_us;
       double start = std::max(arrival, server.next_free);
+      completion = start + service + model.rtt_us / 2.0;
+      path_hist = outcome.storage_accessed ? &hist_storage : &hist_backend;
+      if (outcome.hedged && outcome.hedge_won) {
+        // A won hedge races the slow primary: the op completes at the
+        // hedge's path time instead. Hedges are priced, not materialized
+        // — the hedge target serves a second copy off the critical path,
+        // so it adds no logical lookups and no queue load. The primary is
+        // *cancelled* when the hedge returns (tied-request style): the
+        // shard frees the slot once the cancel reaches it, half an RTT
+        // later. Without cancellation a closed-loop client re-issues
+        // while its abandoned request still holds the slow shard, and
+        // the invisible queue debt turns the defense into a second
+        // overload — the classic hedging footgun.
+        double hedge_path =
+            outcome.hedge_to_replica
+                ? model.rtt_us + model.base_service_us
+                : model.rtt_us + model.storage_extra_us;
+        double hedged_completion =
+            ev.time + penalty + outcome.hedge_delay_us + hedge_path;
+        if (hedged_completion < completion) {
+          double cancel_at = hedged_completion + model.rtt_us / 2.0;
+          service = std::clamp(cancel_at - start, 0.0, service);
+          completion = hedged_completion;
+        }
+      }
       server.next_free = start + service;
       server.completions.push_back(server.next_free);
-      completion = server.next_free + model.rtt_us / 2.0;
-      path_hist = outcome.storage_accessed ? &hist_storage : &hist_backend;
     }
     double latency = completion - ev.time;
     latency_sum += latency;

@@ -93,13 +93,17 @@ struct LatencyModel {
   /// exponentially growing backoff. When the op was eventually delivered
   /// the last failure was followed by a (successful) retry, so it pays
   /// its backoff too; when it failed over, the last failure ended the
-  /// attempt loop.
-  double FaultPenalty(uint32_t failed_attempts,
-                      bool eventually_delivered) const {
+  /// attempt loop. `deadline_us` > 0 replaces the fixed `timeout_us` with
+  /// the client's adaptive per-shard deadline (see `HealthMonitor`): a
+  /// healthy shard's failures are declared dead sooner than the
+  /// conservative fixed timeout, a known-slow shard's later.
+  double FaultPenalty(uint32_t failed_attempts, bool eventually_delivered,
+                      double deadline_us = 0.0) const {
     double penalty = 0.0;
     double backoff = backoff_base_us;
+    const double per_failure = deadline_us > 0.0 ? deadline_us : timeout_us;
     for (uint32_t i = 0; i < failed_attempts; ++i) {
-      penalty += timeout_us;
+      penalty += per_failure;
       if (eventually_delivered || i + 1 < failed_attempts) {
         penalty += backoff;
         backoff *= 2.0;

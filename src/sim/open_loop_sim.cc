@@ -35,6 +35,10 @@ struct ThreadAccum {
   uint64_t degraded_failovers = 0;
   uint64_t invalidation_bypass = 0;
   uint64_t retries_suppressed = 0;
+  uint64_t hedges_sent = 0;
+  uint64_t hedges_won = 0;
+  uint64_t hedges_lost = 0;
+  uint64_t hedges_suppressed = 0;
   double latency_sum_us = 0.0;
   double last_completion_us = 0.0;
   metrics::Histogram hist_local;
@@ -180,9 +184,30 @@ StatusOr<OpenLoopResult> RunOpenLoop(const OpenLoopConfig& config,
             queue->ExtendLast(static_cast<uint64_t>(model.storage_extra_us));
             extra = model.storage_extra_us;
           }
-          const double latency = model.rtt_us +
-                                 static_cast<double>(admit.wait_us) +
-                                 model.base_service_us + extra;
+          double latency = model.rtt_us +
+                           static_cast<double>(admit.wait_us) +
+                           model.base_service_us + extra;
+          if (config.hedging && latency > config.hedge_delay_us) {
+            // The projected completion (queue wait included) blows
+            // through the hedge delay: race a storage-tier copy against
+            // the queued primary. Priced, not materialized — the serving
+            // slot above stays held (the shard still does the work), but
+            // the client stops waiting at whichever path returns first.
+            ++acc.hedges_sent;
+            if (budget != nullptr && !budget->TryConsume()) {
+              ++acc.hedges_suppressed;
+            } else {
+              const double hedge_latency = config.hedge_delay_us +
+                                           model.rtt_us +
+                                           model.storage_extra_us;
+              if (hedge_latency < latency) {
+                latency = hedge_latency;
+                ++acc.hedges_won;
+              } else {
+                ++acc.hedges_lost;
+              }
+            }
+          }
           acc.hist_wait.Add(admit.wait_us);
           complete(latency,
                    outcome.storage_accessed ? &acc.hist_storage
@@ -304,6 +329,10 @@ StatusOr<OpenLoopResult> RunOpenLoop(const OpenLoopConfig& config,
     result.degraded_failovers += acc.degraded_failovers;
     result.invalidation_bypass += acc.invalidation_bypass;
     result.retries_suppressed += acc.retries_suppressed;
+    result.hedges_sent += acc.hedges_sent;
+    result.hedges_won += acc.hedges_won;
+    result.hedges_lost += acc.hedges_lost;
+    result.hedges_suppressed += acc.hedges_suppressed;
     latency_sum += acc.latency_sum_us;
     last_completion = std::max(last_completion, acc.last_completion_us);
     hist_local.Merge(acc.hist_local);
@@ -345,6 +374,10 @@ StatusOr<OpenLoopResult> RunOpenLoop(const OpenLoopConfig& config,
   reg.SetCounter("openloop/degraded_failovers", result.degraded_failovers);
   reg.SetCounter("openloop/invalidation_bypass", result.invalidation_bypass);
   reg.SetCounter("openloop/retries_suppressed", result.retries_suppressed);
+  reg.SetCounter("openloop/hedges_sent", result.hedges_sent);
+  reg.SetCounter("openloop/hedges_won", result.hedges_won);
+  reg.SetCounter("openloop/hedges_lost", result.hedges_lost);
+  reg.SetCounter("openloop/hedges_suppressed", result.hedges_suppressed);
   reg.SetGauge("openloop/arrival_rate_per_sec", config.arrival_rate_per_sec);
   reg.SetGauge("openloop/offered_rate_per_sec", result.offered_rate_per_sec);
   reg.SetGauge("openloop/completed_rate_per_sec",

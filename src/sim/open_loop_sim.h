@@ -56,6 +56,16 @@ struct OpenLoopConfig {
   /// dropped.
   double retry_budget_ratio = 0.0;
   double retry_budget_burst = 16.0;
+  /// Hedged reads (gray-failure defense, open-loop flavor): an admitted
+  /// read whose projected completion — queue wait included — exceeds
+  /// `hedge_delay_us` also issues a hedge to the storage tier after that
+  /// delay, and the faster path defines the op's latency. Hedges are
+  /// priced, not materialized: no storage serving slot is held and no
+  /// logical lookup counters move, so every conservation identity is
+  /// untouched. Withdraws one retry-budget token per hedge when a budget
+  /// is configured (suppressed when the bucket is dry).
+  bool hedging = false;
+  double hedge_delay_us = 1500.0;
   /// Per-thread trace-event ring capacity (load-shed events). 0 disables.
   size_t trace_capacity = 0;
 };
@@ -90,6 +100,13 @@ struct OpenLoopResult {
   uint64_t invalidation_bypass = 0;
   /// Storage failovers denied by the retry budget (op counted shed).
   uint64_t retries_suppressed = 0;
+  /// Hedged-read accounting (zeros unless `hedging`); the identity
+  /// hedges_sent == hedges_won + hedges_lost + hedges_suppressed holds at
+  /// any thread count.
+  uint64_t hedges_sent = 0;
+  uint64_t hedges_won = 0;
+  uint64_t hedges_lost = 0;
+  uint64_t hedges_suppressed = 0;
 
   /// Virtual time of the last completion (or last arrival if later).
   double makespan_us = 0.0;

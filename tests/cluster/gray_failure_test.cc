@@ -1,0 +1,345 @@
+// Gray-failure injection and defense tests: the seeded gray fault modes
+// (sustained slow + jitter, asymmetric degradation, intermittent stalls)
+// never fail a request — so breakers never trip — while the health-driven
+// defense quarantines the gray shard, keeps probing it, and preserves
+// every conservation identity, including the DistCache three-replica
+// invalidation identity under mid-run quarantine and cache-tier reset.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cluster/cache_cluster.h"
+#include "cluster/distcache_router.h"
+#include "cluster/experiment.h"
+#include "cluster/fault_injector.h"
+#include "cluster/frontend_client.h"
+#include "workload/op_stream.h"
+
+namespace cot::cluster {
+namespace {
+
+FaultEvent GraySlow(ServerId server, uint64_t start, uint64_t end,
+                    double factor, double jitter = 0.0) {
+  FaultEvent e;
+  e.server = server;
+  e.type = FaultType::kGray;
+  e.start_op = start;
+  e.end_op = end;
+  e.slow_factor = factor;
+  e.jitter = jitter;
+  return e;
+}
+
+// --- Parsing the --gray-* specs. ---
+
+TEST(GrayParseTest, ParsesAllThreeGrayModes) {
+  auto schedule = ParseFaultSchedule(
+      /*crash=*/"", /*transient=*/"", /*slow=*/"",
+      /*gray_slow=*/"1:100:200:10:0.25",
+      /*gray_asym=*/"2:300:400:8:0.5",
+      /*gray_stall=*/"3:500:600:0.1:20", /*seed=*/7);
+  ASSERT_TRUE(schedule.ok()) << schedule.status();
+  ASSERT_EQ(schedule->events.size(), 3u);
+  EXPECT_EQ(schedule->seed, 7u);
+
+  const FaultEvent& slow = schedule->events[0];
+  EXPECT_EQ(slow.type, FaultType::kGray);
+  EXPECT_EQ(slow.server, 1u);
+  EXPECT_EQ(slow.start_op, 100u);
+  EXPECT_EQ(slow.end_op, 200u);
+  EXPECT_DOUBLE_EQ(slow.slow_factor, 10.0);
+  EXPECT_DOUBLE_EQ(slow.jitter, 0.25);
+  EXPECT_DOUBLE_EQ(slow.client_fraction, 1.0);
+
+  const FaultEvent& asym = schedule->events[1];
+  EXPECT_EQ(asym.type, FaultType::kGray);
+  EXPECT_DOUBLE_EQ(asym.slow_factor, 8.0);
+  EXPECT_DOUBLE_EQ(asym.client_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(asym.jitter, 0.0);
+
+  const FaultEvent& stall = schedule->events[2];
+  EXPECT_EQ(stall.type, FaultType::kGray);
+  EXPECT_DOUBLE_EQ(stall.stall_probability, 0.1);
+  EXPECT_DOUBLE_EQ(stall.stall_factor, 20.0);
+  // A stall entry degrades only intermittently: the sustained factor is 1.
+  EXPECT_DOUBLE_EQ(stall.slow_factor, 1.0);
+
+  EXPECT_TRUE(schedule->Validate(4).ok());
+  EXPECT_EQ(ToString(FaultType::kGray), "gray");
+}
+
+TEST(GrayParseTest, RejectsOutOfRangeParameters) {
+  struct Case {
+    const char* gray_slow;
+    const char* gray_asym;
+    const char* gray_stall;
+  };
+  const Case bad[] = {
+      {"1:0:10:0.5:0", "", ""},    // factor < 1
+      {"1:0:10:2:1.0", "", ""},    // jitter must be < 1
+      {"1:0:10:2:-0.1", "", ""},   // jitter negative
+      {"", "1:0:10:2:0", ""},      // fraction must be > 0
+      {"", "1:0:10:2:1.5", ""},    // fraction > 1
+      {"", "", "1:0:10:1.5:2"},    // stall probability > 1
+      {"", "", "1:0:10:0.5:0.5"},  // stall factor < 1
+  };
+  for (const Case& c : bad) {
+    SCOPED_TRACE(std::string(c.gray_slow) + "|" + c.gray_asym + "|" +
+                 c.gray_stall);
+    auto schedule = ParseFaultSchedule("", "", "", c.gray_slow, c.gray_asym,
+                                       c.gray_stall, 7);
+    if (schedule.ok()) {
+      EXPECT_FALSE(schedule->Validate(4).ok());
+    }
+  }
+}
+
+// --- Injector semantics. ---
+
+TEST(GrayInjectorTest, GrayNeverFailsAndJitterStaysBounded) {
+  FaultSchedule schedule;
+  schedule.events = {GraySlow(1, 0, 10000, 10.0, 0.3)};
+  FaultInjector injector(schedule);
+  double lo = 1e9, hi = 0.0;
+  for (uint64_t op = 0; op < 10000; ++op) {
+    FaultInjector::Decision d = injector.Evaluate(0, op, 1, 0);
+    EXPECT_FALSE(d.fail);
+    EXPECT_FALSE(d.crashed);
+    EXPECT_TRUE(d.gray);
+    // factor * (1 + jitter * u), u in [-1, 1): [7, 13).
+    EXPECT_GE(d.slow_factor, 10.0 * 0.7);
+    EXPECT_LT(d.slow_factor, 10.0 * 1.3);
+    lo = std::min(lo, d.slow_factor);
+    hi = std::max(hi, d.slow_factor);
+  }
+  // The jitter draws actually spread — a constant factor would mean the
+  // jitter stream is dead.
+  EXPECT_GT(hi - lo, 10.0 * 0.3);
+  // Outside the window and off the shard: clean.
+  EXPECT_FALSE(injector.Evaluate(0, 10001, 1, 0).gray);
+  EXPECT_FALSE(injector.Evaluate(0, 5, 2, 0).gray);
+  EXPECT_DOUBLE_EQ(injector.Evaluate(0, 10001, 1, 0).slow_factor, 1.0);
+}
+
+TEST(GrayInjectorTest, DecisionsAreStatelessAndReproducible) {
+  FaultSchedule schedule;
+  schedule.events = {GraySlow(0, 0, 5000, 6.0, 0.4)};
+  FaultInjector a(schedule);
+  FaultInjector b(schedule);
+  for (uint64_t op = 0; op < 5000; op += 7) {
+    for (uint32_t attempt = 0; attempt < 3; ++attempt) {
+      FaultInjector::Decision da = a.Evaluate(3, op, 0, attempt);
+      // Same tuple, any injector instance, any call order: same decision.
+      FaultInjector::Decision db = b.Evaluate(3, op, 0, attempt);
+      EXPECT_DOUBLE_EQ(da.slow_factor, db.slow_factor);
+      EXPECT_EQ(da.gray, db.gray);
+      FaultInjector::Decision da2 = a.Evaluate(3, op, 0, attempt);
+      EXPECT_DOUBLE_EQ(da.slow_factor, da2.slow_factor);
+    }
+  }
+}
+
+TEST(GrayInjectorTest, AsymmetricMembershipIsStablePerClientWindow) {
+  FaultSchedule schedule;
+  FaultEvent e = GraySlow(2, 0, 2000, 5.0);
+  e.client_fraction = 0.5;
+  schedule.events = {e};
+  FaultInjector injector(schedule);
+  int observers = 0;
+  const uint32_t kClients = 64;
+  for (uint32_t client = 0; client < kClients; ++client) {
+    bool first = injector.Evaluate(client, 0, 2, 0).gray;
+    // Membership must not flap inside the window: a degraded NIC is
+    // visible (or not) from a given rack for the whole incident.
+    for (uint64_t op = 1; op < 2000; op += 97) {
+      EXPECT_EQ(injector.Evaluate(client, op, 2, 0).gray, first)
+          << "client " << client << " op " << op;
+    }
+    if (first) ++observers;
+  }
+  // Roughly half the clients observe (seeded draw; generous tolerance).
+  EXPECT_GT(observers, static_cast<int>(kClients / 4));
+  EXPECT_LT(observers, static_cast<int>(kClients * 3 / 4));
+}
+
+TEST(GrayInjectorTest, StallFrequencyMatchesProbability) {
+  FaultSchedule schedule;
+  FaultEvent e = GraySlow(0, 0, 20000, 1.0);
+  e.stall_probability = 0.2;
+  e.stall_factor = 30.0;
+  schedule.events = {e};
+  FaultInjector injector(schedule);
+  int stalls = 0;
+  for (uint64_t op = 0; op < 20000; ++op) {
+    FaultInjector::Decision d = injector.Evaluate(1, op, 0, 0);
+    EXPECT_TRUE(d.gray);
+    if (d.slow_factor > 1.0) {
+      EXPECT_DOUBLE_EQ(d.slow_factor, 30.0);
+      ++stalls;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(stalls) / 20000.0, 0.2, 0.02);
+}
+
+TEST(GrayInjectorTest, ComposesWithPlainSlowViaMax) {
+  FaultSchedule schedule;
+  FaultEvent slow;
+  slow.server = 0;
+  slow.type = FaultType::kSlow;
+  slow.start_op = 0;
+  slow.end_op = 1000;
+  slow.slow_factor = 7.0;
+  schedule.events = {slow, GraySlow(0, 0, 1000, 3.0)};
+  FaultInjector injector(schedule);
+  FaultInjector::Decision d = injector.Evaluate(0, 500, 0, 0);
+  EXPECT_TRUE(d.gray);
+  // Overlapping degradations do not stack multiplicatively — the shard is
+  // as slow as its worst affliction.
+  EXPECT_DOUBLE_EQ(d.slow_factor, 7.0);
+}
+
+// --- Engine integration: gray is invisible to failure counting. ---
+
+ExperimentConfig GrayRunConfig() {
+  ExperimentConfig config;
+  config.num_servers = 4;
+  config.key_space = 20000;
+  config.num_clients = 4;
+  config.total_ops = 120000;
+  workload::PhaseSpec phase;
+  phase.distribution = workload::Distribution::kZipfian;
+  phase.skew = 0.99;
+  phase.read_fraction = 0.95;
+  config.phases = {phase};
+  config.faults.events = {GraySlow(1, 1000, 15000, 10.0, 0.2)};
+  return config;
+}
+
+TEST(GrayEngineTest, UndefendedRunDegradesOnlyInLatency) {
+  ExperimentConfig config = GrayRunConfig();
+  auto result = RunExperiment(config, CacheFactory{});
+  ASSERT_TRUE(result.ok()) << result.status();
+  const FrontendStats& a = result->aggregate;
+  // The shard is slow but alive: nothing fails, nothing retries, no
+  // breaker trips, no failovers — the gray window is invisible to every
+  // failure-count defense.
+  EXPECT_EQ(a.failed_requests, 0u);
+  EXPECT_EQ(a.retries, 0u);
+  EXPECT_EQ(a.breaker_trips, 0u);
+  EXPECT_EQ(a.failovers, 0u);
+  EXPECT_EQ(a.degraded_ops, 0u);
+  EXPECT_GT(a.slow_ops, 0u);
+  // Undefended: no health machinery ran, so gray ops are not even counted.
+  EXPECT_EQ(a.gray_ops, 0u);
+  EXPECT_EQ(a.lameduck_entries, 0u);
+  EXPECT_EQ(a.hedges_sent, 0u);
+  EXPECT_EQ(a.lameduck_bypasses, 0u);
+  EXPECT_EQ(a.updates, a.invalidations + a.lost_invalidations);
+  EXPECT_EQ(a.lost_invalidations, 0u);
+}
+
+TEST(GrayEngineTest, DefendedRunQuarantinesAndKeepsIdentities) {
+  ExperimentConfig undefended = GrayRunConfig();
+  auto base = RunExperiment(undefended, CacheFactory{});
+  ASSERT_TRUE(base.ok()) << base.status();
+
+  ExperimentConfig config = GrayRunConfig();
+  config.failure_policy.health_enabled = true;
+  config.failure_policy.hedging_enabled = true;
+  config.failure_policy.retry_budget_ratio = 0.5;
+  auto result = RunExperiment(config, CacheFactory{});
+  ASSERT_TRUE(result.ok()) << result.status();
+  const FrontendStats& a = result->aggregate;
+
+  // The defense engaged: the gray shard went lameduck, bulk reads
+  // bypassed to storage, probes kept watching it, and it was released
+  // after the window.
+  EXPECT_GT(a.gray_ops, 0u);
+  EXPECT_GT(a.lameduck_entries, 0u);
+  EXPECT_GT(a.lameduck_bypasses, 0u);
+  EXPECT_GT(a.lameduck_probes, 0u);
+  EXPECT_GE(a.lameduck_exits, a.lameduck_entries - config.num_clients);
+  EXPECT_GT(a.hedges_sent, 0u);
+  // Hedge accounting identity — every trigger meets exactly one fate.
+  EXPECT_EQ(a.hedges_sent,
+            a.hedges_won + a.hedges_lost + a.hedges_suppressed);
+  // Still zero hard failures: quarantine is not fencing.
+  EXPECT_EQ(a.failed_requests, 0u);
+  EXPECT_EQ(a.breaker_trips, 0u);
+  // The bypasses actually moved load off the gray shard.
+  EXPECT_LT(result->per_server_lookups[1], base->per_server_lookups[1]);
+  // Read conservation: every read is a local hit, a shard lookup, a
+  // degraded/failover read, or a lameduck bypass.
+  EXPECT_EQ(a.reads, a.local_hits + a.backend_lookups + a.degraded_ops +
+                         a.failovers + a.lameduck_bypasses);
+  // Invalidation conservation is untouched by quarantine: lameduck shards
+  // keep receiving every delete.
+  EXPECT_EQ(a.updates, a.invalidations + a.lost_invalidations);
+  EXPECT_EQ(a.lost_invalidations, 0u);
+}
+
+// --- Satellite regression: DistCache conservation under quarantine. ---
+
+TEST(GrayDistCacheTest, InvalidationConservationSurvivesQuarantineAndReset) {
+  // A gray cache-tier node gets quarantined mid-run (health scoring on the
+  // delivering client), then the whole tier is reset — through all of
+  // which updates * 3 == invalidations + lost_invalidations must hold:
+  // AllReplicas always fans out to both candidates plus the owner, and
+  // neither lameduck nor a tier reset may swallow a delete.
+  CacheCluster cluster(4, 2000);
+  std::vector<ServerId> tier;
+  for (int i = 0; i < 4; ++i) tier.push_back(cluster.AddCacheNode());
+  DistCacheConfig dc;
+  dc.hot_keys = 16;
+  dc.epoch_ops = 128;
+  DistCacheRouter router(tier, dc);
+  FrontendClient client(&cluster, nullptr);
+  client.SetRouter(&router);
+
+  FaultSchedule schedule;
+  schedule.events = {GraySlow(tier[0], 0, 40000, 12.0, 0.1)};
+  FaultInjector injector(schedule);
+  FailurePolicy policy;
+  policy.health_enabled = true;
+  client.SetFaultInjector(&injector, /*client_id=*/0, policy);
+
+  // Hot, small key range: the tracker promotes these keys fast and the
+  // tier serves real traffic (so tier[0] actually gets observed).
+  auto drive = [&](int ops) {
+    for (int i = 0; i < ops; ++i) {
+      uint64_t key = static_cast<uint64_t>(i) % 64;
+      if (i % 10 == 9) {
+        client.Set(key, static_cast<uint64_t>(i));
+      } else {
+        client.Get(key);
+      }
+    }
+  };
+  drive(20000);
+  EXPECT_GT(client.stats().gray_ops, 0u)
+      << "the gray cache node was never observed — the scenario is vacuous";
+  EXPECT_GT(client.stats().lameduck_entries, 0u);
+  EXPECT_LT(router.HealthWeight(tier[0]), 1.0)
+      << "quarantine must reduce the node's p2c weight";
+
+  // Mid-run cache-tier reset (elastic reconfiguration): per the router
+  // contract every node is flushed cold, and health weights reset.
+  router.ResetCacheTier(tier);
+  for (ServerId node : tier) cluster.ForceColdRestart(node);
+  EXPECT_DOUBLE_EQ(router.HealthWeight(tier[0]), 1.0);
+  drive(20000);
+
+  const FrontendStats& s = client.stats();
+  EXPECT_EQ(s.updates * 3, s.invalidations + s.lost_invalidations)
+      << "updates=" << s.updates << " invalidations=" << s.invalidations
+      << " lost=" << s.lost_invalidations;
+  // Gray never fails requests, so nothing should actually be lost.
+  EXPECT_EQ(s.lost_invalidations, 0u);
+  EXPECT_EQ(s.failed_requests, 0u);
+}
+
+}  // namespace
+}  // namespace cot::cluster

@@ -1,0 +1,212 @@
+// HealthMonitor unit tests: P-squared streaming quantile accuracy (exact
+// below five samples, close to the true quantile in the stream regime),
+// EWMA health scoring, adaptive deadline / hedge-delay floors, lameduck
+// hysteresis with the min-observation gate, and the probe cadence that
+// keeps a quarantined shard observable.
+
+#include "cluster/health_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace cot::cluster {
+namespace {
+
+double ExactQuantile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(p * static_cast<double>(samples.size())));
+  rank = std::min(std::max<size_t>(rank, 1), samples.size());
+  return samples[rank - 1];
+}
+
+TEST(P2QuantileTest, ZeroBeforeObservationsExactBelowFiveSamples) {
+  P2Quantile q(0.5);
+  EXPECT_DOUBLE_EQ(q.Value(), 0.0);
+  q.Observe(30.0);
+  EXPECT_DOUBLE_EQ(q.Value(), 30.0);
+  q.Observe(10.0);
+  q.Observe(20.0);
+  // Exact small-sample quantile: rank ceil(0.5 * 3) = 2 of {10, 20, 30}.
+  EXPECT_DOUBLE_EQ(q.Value(), 20.0);
+  EXPECT_EQ(q.count(), 3u);
+}
+
+TEST(P2QuantileTest, TracksUniformStreamQuantiles) {
+  // 20k uniform samples in [0, 1000): the P2 estimate of p50 and p99 must
+  // land within a few percent of the exact order statistic.
+  for (double p : {0.5, 0.9, 0.99}) {
+    SCOPED_TRACE(p);
+    P2Quantile q(p);
+    std::vector<double> samples;
+    Rng rng(0xbeef + static_cast<uint64_t>(p * 100));
+    for (int i = 0; i < 20000; ++i) {
+      double x = static_cast<double>(rng.NextUint64() % 1000000) / 1000.0;
+      samples.push_back(x);
+      q.Observe(x);
+    }
+    double exact = ExactQuantile(samples, p);
+    EXPECT_NEAR(q.Value(), exact, 30.0)
+        << "p=" << p << " exact=" << exact << " est=" << q.Value();
+  }
+}
+
+TEST(P2QuantileTest, TracksBimodalTail) {
+  // The gray regime: 95% fast (~100us), 5% slow (~1000us). p99 must land
+  // in the slow mode, not between the modes.
+  P2Quantile q(0.99);
+  Rng rng(0x5109);
+  for (int i = 0; i < 50000; ++i) {
+    bool slow = rng.NextUint64() % 100 < 5;
+    double x = slow ? 1000.0 + static_cast<double>(rng.NextUint64() % 100)
+                    : 100.0 + static_cast<double>(rng.NextUint64() % 20);
+    q.Observe(x);
+  }
+  EXPECT_GT(q.Value(), 900.0);
+  EXPECT_LT(q.Value(), 1150.0);
+}
+
+TEST(HealthMonitorTest, HealthyDefaultsBeforeObservations) {
+  HealthConfig config;
+  HealthMonitor monitor(4, config);
+  EXPECT_DOUBLE_EQ(monitor.Score(2), 1.0);
+  EXPECT_DOUBLE_EQ(monitor.QuantileUs(2), 0.0);
+  EXPECT_DOUBLE_EQ(monitor.DeadlineUs(2), config.deadline_floor_us);
+  EXPECT_DOUBLE_EQ(monitor.HedgeDelayUs(), config.hedge_floor_us);
+  EXPECT_FALSE(monitor.IsLameduck(2));
+  EXPECT_EQ(monitor.lameduck_count(), 0u);
+  // Healthy shards are always probed (every read goes to the shard).
+  EXPECT_TRUE(monitor.NextReadProbes(2));
+  EXPECT_TRUE(monitor.NextReadProbes(2));
+}
+
+TEST(HealthMonitorTest, AdaptiveDeadlineTracksShardQuantile) {
+  HealthConfig config;
+  HealthMonitor monitor(2, config);
+  // Shard 0 serves at a steady 394us: p99 ~ 394, so k * p99 ~ 1182 beats
+  // the 1000us floor.
+  for (int i = 0; i < 100; ++i) monitor.Observe(0, 394.0, 394.0);
+  EXPECT_NEAR(monitor.QuantileUs(0), 394.0, 1.0);
+  EXPECT_NEAR(monitor.DeadlineUs(0), config.deadline_k * 394.0, 5.0);
+  // A fast shard (100us) stays floored — deadlines never tighten below
+  // the legacy fixed timeout.
+  for (int i = 0; i < 100; ++i) monitor.Observe(1, 100.0, 394.0);
+  EXPECT_DOUBLE_EQ(monitor.DeadlineUs(1), config.deadline_floor_us);
+}
+
+TEST(HealthMonitorTest, HedgeDelayUsesRobustClusterMedian) {
+  // Nine healthy shards and one 10x gray shard: the cluster p50 barely
+  // moves, so the hedge delay stays anchored to the healthy latency —
+  // exactly why the hedge reference is the median and not the mean or p99.
+  HealthConfig config;
+  HealthMonitor monitor(10, config);
+  for (int round = 0; round < 100; ++round) {
+    for (uint32_t s = 0; s < 9; ++s) monitor.Observe(s, 394.0, 394.0);
+    monitor.Observe(9, 3940.0, 394.0);
+  }
+  EXPECT_NEAR(monitor.HedgeDelayUs(), config.hedge_k * 394.0, 100.0);
+}
+
+TEST(HealthMonitorTest, LameduckEntryNeedsMinObservations) {
+  HealthConfig config;
+  HealthMonitor monitor(1, config);
+  // 10x slow from the first observation: the EWMA sinks below the enter
+  // threshold quickly, but quarantine must wait for min_observations — a
+  // couple of outliers on a cold shard are not a diagnosis.
+  for (uint64_t i = 0; i + 1 < config.min_observations; ++i) {
+    EXPECT_EQ(monitor.Observe(0, 3940.0, 394.0),
+              HealthMonitor::Transition::kNone)
+        << "observation " << i;
+    EXPECT_FALSE(monitor.IsLameduck(0));
+  }
+  EXPECT_EQ(monitor.Observe(0, 3940.0, 394.0),
+            HealthMonitor::Transition::kEnterLameduck);
+  EXPECT_TRUE(monitor.IsLameduck(0));
+  EXPECT_EQ(monitor.lameduck_count(), 1u);
+  // Staying slow reports no further transition — entry fires once.
+  EXPECT_EQ(monitor.Observe(0, 3940.0, 394.0),
+            HealthMonitor::Transition::kNone);
+  EXPECT_EQ(monitor.lameduck_count(), 1u);
+}
+
+TEST(HealthMonitorTest, HysteresisRequiresClearRecovery) {
+  HealthConfig config;
+  HealthMonitor monitor(1, config);
+  while (!monitor.IsLameduck(0)) monitor.Observe(0, 3940.0, 394.0);
+  // Mildly degraded probes (score sample ~0.5, between the two
+  // thresholds) must NOT exit — that is the hysteresis band.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(monitor.Observe(0, 788.0, 394.0),
+              HealthMonitor::Transition::kNone);
+    EXPECT_TRUE(monitor.IsLameduck(0));
+  }
+  // Full-speed probes push the score above lameduck_exit: exactly one
+  // exit transition, then quiet.
+  HealthMonitor::Transition t = HealthMonitor::Transition::kNone;
+  int healthy = 0;
+  while (t != HealthMonitor::Transition::kExitLameduck && healthy < 100) {
+    t = monitor.Observe(0, 394.0, 394.0);
+    ++healthy;
+  }
+  EXPECT_EQ(t, HealthMonitor::Transition::kExitLameduck);
+  EXPECT_FALSE(monitor.IsLameduck(0));
+  EXPECT_EQ(monitor.lameduck_count(), 0u);
+  EXPECT_EQ(monitor.Observe(0, 394.0, 394.0),
+            HealthMonitor::Transition::kNone);
+}
+
+TEST(HealthMonitorTest, ProbeCadenceInLameduck) {
+  HealthConfig config;
+  config.probe_interval = 4;
+  HealthMonitor monitor(1, config);
+  while (!monitor.IsLameduck(0)) monitor.Observe(0, 3940.0, 394.0);
+  // Every 4th read probes; the rest bypass. 20 reads => exactly 5 probes,
+  // at a regular cadence.
+  int probes = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (monitor.NextReadProbes(0)) ++probes;
+  }
+  EXPECT_EQ(probes, 5);
+}
+
+TEST(HealthMonitorTest, GrowsForChurnAddedShards) {
+  HealthConfig config;
+  HealthMonitor monitor(2, config);
+  // Observing a shard id beyond the initial tier (churn added it) must
+  // grow state, not crash or misattribute.
+  EXPECT_EQ(monitor.Observe(7, 394.0, 394.0),
+            HealthMonitor::Transition::kNone);
+  EXPECT_EQ(monitor.observations(7), 1u);
+  EXPECT_EQ(monitor.observations(1), 0u);
+  EXPECT_DOUBLE_EQ(monitor.Score(7), 1.0);
+}
+
+TEST(HealthMonitorTest, DeterministicAcrossInstances) {
+  // Two monitors fed the same stream agree on every reported value — the
+  // property the byte-identical-at-any-thread-count contract rests on.
+  HealthConfig config;
+  HealthMonitor a(4, config);
+  HealthMonitor b(4, config);
+  Rng rng(0xdead);
+  for (int i = 0; i < 5000; ++i) {
+    ServerId shard = rng.NextUint64() % 4;
+    double latency = 200.0 + static_cast<double>(rng.NextUint64() % 4000);
+    EXPECT_EQ(a.Observe(shard, latency, 394.0),
+              b.Observe(shard, latency, 394.0));
+  }
+  for (ServerId s = 0; s < 4; ++s) {
+    EXPECT_DOUBLE_EQ(a.Score(s), b.Score(s));
+    EXPECT_DOUBLE_EQ(a.QuantileUs(s), b.QuantileUs(s));
+    EXPECT_DOUBLE_EQ(a.DeadlineUs(s), b.DeadlineUs(s));
+    EXPECT_EQ(a.IsLameduck(s), b.IsLameduck(s));
+  }
+  EXPECT_DOUBLE_EQ(a.HedgeDelayUs(), b.HedgeDelayUs());
+}
+
+}  // namespace
+}  // namespace cot::cluster

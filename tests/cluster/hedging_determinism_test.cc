@@ -1,0 +1,158 @@
+// Hedging determinism: with the full gray-failure defense on (health
+// scoring, adaptive deadlines, budget-gated hedged reads, lameduck
+// quarantine), every per-client stat — including every hedge counter —
+// must be byte-identical at 1, 2, and 4 engine threads. The defense
+// state is all per-client (private HealthMonitor, private RetryBudget),
+// so thread scheduling must be invisible to the logical outcome. The
+// hedge accounting identity `sent == won + lost + suppressed` is a hard
+// check per client and in aggregate.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/experiment.h"
+#include "cluster/fault_injector.h"
+#include "workload/op_stream.h"
+
+namespace cot::cluster {
+namespace {
+
+ExperimentConfig DefendedGrayConfig() {
+  ExperimentConfig config;
+  config.num_servers = 4;
+  config.key_space = 20000;
+  config.num_clients = 8;
+  config.total_ops = 160000;
+  workload::PhaseSpec phase;
+  phase.distribution = workload::Distribution::kZipfian;
+  phase.skew = 0.99;
+  phase.read_fraction = 0.95;
+  config.phases = {phase};
+
+  FaultEvent gray;
+  gray.server = 1;
+  gray.type = FaultType::kGray;
+  gray.start_op = 500;
+  gray.end_op = 15000;
+  gray.slow_factor = 10.0;
+  gray.jitter = 0.25;
+  config.faults.events = {gray};
+
+  config.failure_policy.health_enabled = true;
+  config.failure_policy.hedging_enabled = true;
+  // A real (finite) budget so the suppressed path is exercised too; the
+  // engine gives each client a private bucket when the defense is on.
+  config.failure_policy.retry_budget_ratio = 0.1;
+  config.failure_policy.retry_budget_burst = 4.0;
+  return config;
+}
+
+void ExpectClientStatsIdentical(const FrontendStats& a, const FrontendStats& b,
+                                size_t client) {
+  EXPECT_EQ(a.reads, b.reads) << "client " << client;
+  EXPECT_EQ(a.updates, b.updates) << "client " << client;
+  EXPECT_EQ(a.local_hits, b.local_hits) << "client " << client;
+  EXPECT_EQ(a.backend_lookups, b.backend_lookups) << "client " << client;
+  // storage_reads is deliberately absent: with updates in the mix the
+  // backend-hit / storage-read split may shift under interleaving
+  // (invalidate-then-refill races — see ParallelExperimentTest). Every
+  // defense-owned counter below must still match exactly.
+  EXPECT_EQ(a.slow_ops, b.slow_ops) << "client " << client;
+  EXPECT_EQ(a.gray_ops, b.gray_ops) << "client " << client;
+  EXPECT_EQ(a.hedges_sent, b.hedges_sent) << "client " << client;
+  EXPECT_EQ(a.hedges_won, b.hedges_won) << "client " << client;
+  EXPECT_EQ(a.hedges_lost, b.hedges_lost) << "client " << client;
+  EXPECT_EQ(a.hedges_suppressed, b.hedges_suppressed) << "client " << client;
+  EXPECT_EQ(a.lameduck_entries, b.lameduck_entries) << "client " << client;
+  EXPECT_EQ(a.lameduck_exits, b.lameduck_exits) << "client " << client;
+  EXPECT_EQ(a.lameduck_bypasses, b.lameduck_bypasses) << "client " << client;
+  EXPECT_EQ(a.lameduck_probes, b.lameduck_probes) << "client " << client;
+  EXPECT_EQ(a.invalidations, b.invalidations) << "client " << client;
+  EXPECT_EQ(a.lost_invalidations, b.lost_invalidations) << "client " << client;
+  EXPECT_EQ(a.retries_suppressed, b.retries_suppressed) << "client " << client;
+}
+
+void ExpectHedgeIdentity(const FrontendStats& s, const char* what) {
+  EXPECT_EQ(s.hedges_sent, s.hedges_won + s.hedges_lost + s.hedges_suppressed)
+      << what << ": sent=" << s.hedges_sent << " won=" << s.hedges_won
+      << " lost=" << s.hedges_lost << " suppressed=" << s.hedges_suppressed;
+}
+
+TEST(HedgingDeterminismTest, ByteIdenticalAcrossThreadCounts) {
+  ExperimentConfig config = DefendedGrayConfig();
+  auto serial = RunExperiment(config, CacheFactory{});
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  // The scenario must actually hedge, win some, and hit the budget wall —
+  // a determinism claim over zeros would be vacuous.
+  ASSERT_GT(serial->aggregate.hedges_sent, 0u);
+  ASSERT_GT(serial->aggregate.hedges_won, 0u);
+  ASSERT_GT(serial->aggregate.hedges_suppressed, 0u);
+  ASSERT_GT(serial->aggregate.lameduck_entries, 0u);
+  ExpectHedgeIdentity(serial->aggregate, "serial aggregate");
+  for (size_t i = 0; i < serial->per_client.size(); ++i) {
+    ExpectHedgeIdentity(serial->per_client[i], "serial client");
+  }
+
+  for (uint32_t threads : {2u, 4u}) {
+    SCOPED_TRACE(threads);
+    config.num_threads = threads;
+    auto parallel = RunExperiment(config, CacheFactory{});
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(parallel->per_server_lookups, serial->per_server_lookups);
+    ASSERT_EQ(parallel->per_client.size(), serial->per_client.size());
+    for (size_t i = 0; i < serial->per_client.size(); ++i) {
+      ExpectClientStatsIdentical(serial->per_client[i],
+                                 parallel->per_client[i], i);
+      ExpectHedgeIdentity(parallel->per_client[i], "parallel client");
+    }
+    ExpectHedgeIdentity(parallel->aggregate, "parallel aggregate");
+    EXPECT_EQ(parallel->aggregate.hedges_sent, serial->aggregate.hedges_sent);
+  }
+}
+
+TEST(HedgingDeterminismTest, ByteIdenticalWithBatchedReads) {
+  // MultiGet batching routes group probes and bypasses differently from
+  // singleton reads; the defense must stay deterministic there too.
+  ExperimentConfig config = DefendedGrayConfig();
+  config.batch_size = 4;
+  auto serial = RunExperiment(config, CacheFactory{});
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ASSERT_GT(serial->aggregate.hedges_sent, 0u);
+  ExpectHedgeIdentity(serial->aggregate, "batched serial aggregate");
+
+  config.num_threads = 4;
+  auto parallel = RunExperiment(config, CacheFactory{});
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  ASSERT_EQ(parallel->per_client.size(), serial->per_client.size());
+  for (size_t i = 0; i < serial->per_client.size(); ++i) {
+    ExpectClientStatsIdentical(serial->per_client[i], parallel->per_client[i],
+                               i);
+  }
+  ExpectHedgeIdentity(parallel->aggregate, "batched parallel aggregate");
+}
+
+TEST(HedgingDeterminismTest, HedgeWithdrawalsMatchBudgetAccounting) {
+  // The budget-facing half of the identity: every non-suppressed hedge
+  // made exactly one successful withdrawal, so won + lost can never
+  // exceed what a budget of this ratio could have granted.
+  ExperimentConfig config = DefendedGrayConfig();
+  auto result = RunExperiment(config, CacheFactory{});
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (size_t i = 0; i < result->per_client.size(); ++i) {
+    const FrontendStats& s = result->per_client[i];
+    const uint64_t withdrawals = s.hedges_won + s.hedges_lost;
+    // Each op makes at most one fresh (budget-funding) delivery here — no
+    // failures, no churn — so ratio * (reads + updates) + burst bounds
+    // what the bucket could ever have granted.
+    const double ceiling =
+        0.1 * static_cast<double>(s.reads + s.updates) + 4.0;
+    EXPECT_LE(static_cast<double>(withdrawals), ceiling + 1.0)
+        << "client " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cot::cluster

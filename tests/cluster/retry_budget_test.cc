@@ -55,12 +55,36 @@ TEST(RetryBudget, LongRunRetryFractionIsBoundedByTheRatio) {
   EXPECT_GE(granted, static_cast<int>(ratio * fresh));
 }
 
-TEST(RetryBudget, ZeroRatioNeverRefills) {
+TEST(RetryBudget, ZeroRatioDisablesWithdrawalsEntirely) {
+  // A bucket that can never refill is a fixed grant, not a budget: with
+  // ratio 0 the very first withdrawal is denied, even though the
+  // constructor seeded the bucket at the burst cap. No amount of fresh
+  // traffic changes that.
   RetryBudget budget(0.0, 2.0);
-  EXPECT_TRUE(budget.TryConsume());
-  EXPECT_TRUE(budget.TryConsume());
+  EXPECT_FALSE(budget.TryConsume());
   for (int i = 0; i < 100; ++i) budget.OnFreshRequest();
   EXPECT_FALSE(budget.TryConsume());
+  // The balance is untouched: denials withdraw nothing.
+  EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);
+}
+
+TEST(RetryBudget, BurstExhaustionThenRefillCadence) {
+  // Drain the initial burst, then verify the refill cadence: at ratio
+  // 0.25 every 4th fresh request funds exactly one withdrawal, and the
+  // pattern repeats indefinitely with no drift.
+  RetryBudget budget(0.25, 3.0);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(budget.TryConsume());
+  EXPECT_FALSE(budget.TryConsume());
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    for (int i = 0; i < 3; ++i) {
+      budget.OnFreshRequest();
+      EXPECT_FALSE(budget.TryConsume())
+          << "cycle " << cycle << " fresh " << i;
+    }
+    budget.OnFreshRequest();
+    EXPECT_TRUE(budget.TryConsume()) << "cycle " << cycle;
+  }
+  EXPECT_DOUBLE_EQ(budget.tokens(), 0.0);
 }
 
 TEST(RetryBudget, ConcurrentAccountingNeverOverdraws) {
@@ -88,6 +112,32 @@ TEST(RetryBudget, ConcurrentAccountingNeverOverdraws) {
   // of interleaving.
   EXPECT_LE(total, static_cast<int>(ratio * fresh + burst) + 1);
   EXPECT_GE(budget.tokens(), 0.0);
+}
+
+TEST(RetryBudget, ConcurrentWithdrawalsGrantExactlyTheBurst) {
+  // With no deposits, concurrent withdrawers split exactly the seeded
+  // burst between them — never one token more, never one fewer — for any
+  // interleaving. (Run under TSan this also proves the single-atomic
+  // bucket is race-free.)
+  const int kThreads = 4;
+  const int kAttemptsPerThread = 10000;
+  const double kBurst = 16.0;
+  RetryBudget budget(0.1, kBurst);
+  std::vector<int> granted(kThreads, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kAttemptsPerThread; ++i) {
+        if (budget.TryConsume()) ++granted[t];
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  int total = 0;
+  for (int g : granted) total += g;
+  EXPECT_EQ(total, static_cast<int>(kBurst));
+  EXPECT_DOUBLE_EQ(budget.tokens(), 0.0);
 }
 
 }  // namespace

@@ -166,8 +166,41 @@ int RunTool(int argc, char** argv) {
                   "transient-failure windows 'server:start:end:prob[,...]'");
   flags.AddString("fault-slow", "",
                   "slow-shard windows 'server:start:end:factor[,...]'");
+  flags.AddString("gray-slow", "",
+                  "gray sustained-slow windows "
+                  "'server:start:end:factor:jitter[,...]' — the shard "
+                  "stays alive but every request is factor x slower, with "
+                  "per-attempt multiplicative jitter in [0,1)");
+  flags.AddString("gray-asym", "",
+                  "gray asymmetric-slow windows "
+                  "'server:start:end:factor:fraction[,...]' — only this "
+                  "fraction of clients observes the slowness");
+  flags.AddString("gray-stall", "",
+                  "gray intermittent-stall windows "
+                  "'server:start:end:prob:factor[,...]' — each request "
+                  "independently stalls factor x with this probability");
   flags.AddInt64("fault-seed", 0x5eedf001,
                  "seed for transient fault draws");
+  flags.AddBool("health", false,
+                "enable the gray-failure defense: per-shard streaming "
+                "latency quantiles, EWMA health scores, adaptive "
+                "deadlines, and lameduck quarantine");
+  flags.AddBool("hedge", false,
+                "enable budgeted hedged reads on top of --health (implies "
+                "--health; gate with --retry-budget)");
+  flags.AddDouble("deadline-k", 3.0,
+                  "adaptive deadline multiplier: deadline = max(floor, k x "
+                  "shard p99)");
+  flags.AddDouble("hedge-k", 3.0,
+                  "hedge delay multiplier: delay = max(floor, k x cluster "
+                  "p50)");
+  flags.AddDouble("lameduck-weight", 0.25,
+                  "p2c routing weight of a lameduck cache node (distcache "
+                  "topology)");
+  flags.AddDouble("hedge-delay-us", 1500.0,
+                  "open-loop hedge threshold: hedge a queued read whose "
+                  "projected completion exceeds this (with --open-loop "
+                  "--hedge)");
   flags.AddInt64("fault-retries", 2,
                  "max retries after a failed backend request");
   flags.AddInt64("fault-breaker-threshold", 3,
@@ -269,7 +302,8 @@ int RunTool(int argc, char** argv) {
   {
     auto faults = cluster::ParseFaultSchedule(
         flags.GetString("fault-crash"), flags.GetString("fault-transient"),
-        flags.GetString("fault-slow"),
+        flags.GetString("fault-slow"), flags.GetString("gray-slow"),
+        flags.GetString("gray-asym"), flags.GetString("gray-stall"),
         static_cast<uint64_t>(flags.GetInt64("fault-seed")));
     if (!faults.ok()) {
       std::fprintf(stderr, "%s\n", faults.status().ToString().c_str());
@@ -287,6 +321,12 @@ int RunTool(int argc, char** argv) {
   config.failure_policy.retry_budget_ratio = flags.GetDouble("retry-budget");
   config.failure_policy.retry_budget_burst =
       flags.GetDouble("retry-budget-burst");
+  config.failure_policy.hedging_enabled = flags.GetBool("hedge");
+  config.failure_policy.health_enabled =
+      flags.GetBool("health") || config.failure_policy.hedging_enabled;
+  config.failure_policy.health.deadline_k = flags.GetDouble("deadline-k");
+  config.failure_policy.health.hedge_k = flags.GetDouble("hedge-k");
+  config.failure_policy.lameduck_weight = flags.GetDouble("lameduck-weight");
 
   const std::string& churn_spec = flags.GetString("churn");
   int64_t chaos_events = flags.GetInt64("churn-chaos");
@@ -331,6 +371,49 @@ int RunTool(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", cs.ToString().c_str());
       return 2;
     }
+  }
+
+  // One-line digest of the effective fault plan (after chaos composition),
+  // so a run's failure conditions are visible in its log without decoding
+  // the specs: per-mode window counts, the targeted shard set, the op-clock
+  // span covered, the draw seed, and which defenses are armed.
+  if (!config.faults.empty()) {
+    uint64_t crash = 0, transient = 0, slow = 0, gray = 0;
+    uint64_t span_lo = UINT64_MAX, span_hi = 0;
+    std::vector<cluster::ServerId> shards;
+    for (const cluster::FaultEvent& e : config.faults.events) {
+      switch (e.type) {
+        case cluster::FaultType::kCrash: ++crash; break;
+        case cluster::FaultType::kTransient: ++transient; break;
+        case cluster::FaultType::kSlow: ++slow; break;
+        case cluster::FaultType::kGray: ++gray; break;
+      }
+      span_lo = std::min(span_lo, e.start_op);
+      span_hi = std::max(span_hi, e.end_op);
+      if (std::find(shards.begin(), shards.end(), e.server) == shards.end()) {
+        shards.push_back(e.server);
+      }
+    }
+    std::sort(shards.begin(), shards.end());
+    std::string shard_list;
+    for (cluster::ServerId id : shards) {
+      if (!shard_list.empty()) shard_list += ",";
+      shard_list += std::to_string(id);
+    }
+    const char* defense =
+        config.failure_policy.hedging_enabled
+            ? "health+hedge"
+            : (config.failure_policy.health_enabled ? "health" : "none");
+    std::printf(
+        "fault plan: windows crash=%llu transient=%llu slow=%llu gray=%llu"
+        "  shards={%s}  ops=[%llu,%llu)  seed=0x%llx  defense=%s\n",
+        static_cast<unsigned long long>(crash),
+        static_cast<unsigned long long>(transient),
+        static_cast<unsigned long long>(slow),
+        static_cast<unsigned long long>(gray), shard_list.c_str(),
+        static_cast<unsigned long long>(span_lo),
+        static_cast<unsigned long long>(span_hi),
+        static_cast<unsigned long long>(config.faults.seed), defense);
   }
 
   const std::string& metrics_out = flags.GetString("metrics-out");
@@ -446,6 +529,8 @@ int RunTool(int argc, char** argv) {
     ol.overload.pressure_fraction = flags.GetDouble("pressure-fraction");
     ol.retry_budget_ratio = flags.GetDouble("retry-budget");
     ol.retry_budget_burst = flags.GetDouble("retry-budget-burst");
+    ol.hedging = flags.GetBool("hedge");
+    ol.hedge_delay_us = flags.GetDouble("hedge-delay-us");
     ol.trace_capacity = trace_out.empty() ? 0 : config.trace_capacity;
     auto result = sim::RunOpenLoop(ol, *view, factory, sim::LatencyModel{});
     if (!result.ok()) {
@@ -479,6 +564,26 @@ int RunTool(int argc, char** argv) {
     std::printf("degraded failovers: %llu   invalidation bypasses: %llu\n",
                 static_cast<unsigned long long>(result->degraded_failovers),
                 static_cast<unsigned long long>(result->invalidation_bypass));
+    if (ol.hedging) {
+      std::printf("hedges:             %llu (won %llu  lost %llu  "
+                  "suppressed %llu)\n",
+                  static_cast<unsigned long long>(result->hedges_sent),
+                  static_cast<unsigned long long>(result->hedges_won),
+                  static_cast<unsigned long long>(result->hedges_lost),
+                  static_cast<unsigned long long>(result->hedges_suppressed));
+      if (result->hedges_sent != result->hedges_won + result->hedges_lost +
+                                     result->hedges_suppressed) {
+        std::fprintf(
+            stderr,
+            "IDENTITY VIOLATION: hedges_sent %llu != won %llu + lost %llu "
+            "+ suppressed %llu\n",
+            static_cast<unsigned long long>(result->hedges_sent),
+            static_cast<unsigned long long>(result->hedges_won),
+            static_cast<unsigned long long>(result->hedges_lost),
+            static_cast<unsigned long long>(result->hedges_suppressed));
+        return 3;
+      }
+    }
     std::printf("local hits:         %llu\n",
                 static_cast<unsigned long long>(result->local_hits));
     std::printf("mean latency:       %.1f us   makespan: %.2f ms\n",
@@ -551,6 +656,23 @@ int RunTool(int argc, char** argv) {
         static_cast<unsigned long long>(a.breaker_trips),
         static_cast<unsigned long long>(a.slow_ops),
         static_cast<unsigned long long>(a.unavailable_shard_epochs));
+    if (config.failure_policy.health_enabled) {
+      std::printf(
+          "        gray ops %llu  hedges %llu (won %llu  lost %llu  "
+          "suppressed %llu)\n",
+          static_cast<unsigned long long>(a.gray_ops),
+          static_cast<unsigned long long>(a.hedges_sent),
+          static_cast<unsigned long long>(a.hedges_won),
+          static_cast<unsigned long long>(a.hedges_lost),
+          static_cast<unsigned long long>(a.hedges_suppressed));
+      std::printf(
+          "        lameduck entries %llu  exits %llu  bypasses %llu  "
+          "probes %llu\n",
+          static_cast<unsigned long long>(a.lameduck_entries),
+          static_cast<unsigned long long>(a.lameduck_exits),
+          static_cast<unsigned long long>(a.lameduck_bypasses),
+          static_cast<unsigned long long>(a.lameduck_probes));
+    }
   };
 
   auto print_churn_summary = [&](const cluster::ExperimentResult& r) {
